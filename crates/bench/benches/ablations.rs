@@ -1,0 +1,155 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! Classic-vs-PortLess flow definition, the first-N classification point,
+//! the event-gap threshold, the auth channel (0-RTT vs 1-RTT), and the
+//! bootstrap duration. Each bench also prints the quality metric the
+//! ablation trades against, so `cargo bench` doubles as the ablation
+//! study.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fiat_core::{group_events, PredictabilityEngine, RuleTable};
+use fiat_net::{FlowDef, SimDuration, SimTime};
+use fiat_simnet::{HomeNetwork, PhoneLocation};
+use fiat_trace::{TestbedConfig, TestbedTrace};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+fn capture() -> &'static TestbedTrace {
+    static CAPTURE: OnceLock<TestbedTrace> = OnceLock::new();
+    CAPTURE.get_or_init(|| {
+        TestbedTrace::generate(TestbedConfig {
+            days: 0.5,
+            ..Default::default()
+        })
+    })
+}
+
+/// Classic vs PortLess: runtime cost and predictable fraction.
+fn ablation_flowdef(c: &mut Criterion) {
+    let cap = capture();
+    let mut g = c.benchmark_group("ablation_flowdef");
+    for def in FlowDef::ALL {
+        let engine = PredictabilityEngine::new(def);
+        let flags = engine.analyze(&cap.trace.packets, &cap.trace.dns);
+        let frac = flags.iter().filter(|&&f| f).count() as f64 / flags.len() as f64;
+        println!("[ablation] flowdef {def}: predictable fraction {frac:.3}");
+        g.bench_function(format!("{def}"), |b| {
+            b.iter(|| black_box(engine.analyze(&cap.trace.packets, &cap.trace.dns)))
+        });
+    }
+    g.finish();
+}
+
+/// Event-gap threshold: number of grouped events at each gap (the paper
+/// claims the 5 s choice barely matters).
+fn ablation_gap(c: &mut Criterion) {
+    let cap = capture();
+    let engine = PredictabilityEngine::new(FlowDef::PortLess);
+    let flags = engine.analyze(&cap.trace.packets, &cap.trace.dns);
+    let mut g = c.benchmark_group("ablation_gap");
+    for gap_s in [1u64, 2, 5, 10, 30] {
+        let gap = SimDuration::from_secs(gap_s);
+        let n = group_events(&cap.trace.packets, &flags, gap).len();
+        println!("[ablation] gap {gap_s}s: {n} events");
+        g.bench_function(format!("gap_{gap_s}s"), |b| {
+            b.iter(|| black_box(group_events(&cap.trace.packets, &flags, gap)))
+        });
+    }
+    g.finish();
+}
+
+/// Bootstrap duration: rules learned from windows of 5..40 minutes.
+fn ablation_bootstrap(c: &mut Criterion) {
+    let cap = capture();
+    let engine = PredictabilityEngine::new(FlowDef::PortLess);
+    let mut g = c.benchmark_group("ablation_bootstrap");
+    for mins in [5u64, 10, 20, 40] {
+        let window = cap
+            .trace
+            .window(SimTime::ZERO, SimTime::ZERO + SimDuration::from_mins(mins));
+        let rules = RuleTable::learn(&engine, &window.packets, &cap.trace.dns);
+        println!("[ablation] bootstrap {mins}min: {} rules", rules.len());
+        g.bench_function(format!("bootstrap_{mins}min"), |b| {
+            b.iter(|| black_box(RuleTable::learn(&engine, &window.packets, &cap.trace.dns)))
+        });
+    }
+    g.finish();
+}
+
+/// Auth channel: 0-RTT vs 1-RTT vs TCP+TLS-style (2 RTT) on LAN and
+/// mobile — mean time for the evidence to reach the proxy.
+fn ablation_channel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_channel");
+    for loc in [PhoneLocation::Lan, PhoneLocation::Mobile] {
+        for (name, flights) in [("0rtt", 1u32), ("1rtt", 3), ("tcp_tls", 5)] {
+            let mut net = HomeNetwork::new(7);
+            let mut mean = SimDuration::ZERO;
+            for _ in 0..500 {
+                let mut t = SimDuration::ZERO;
+                for _ in 0..flights {
+                    t += net.phone_to_proxy(loc);
+                }
+                mean += t / 500;
+            }
+            println!("[ablation] channel {name} {loc}: mean {mean}");
+            g.bench_function(format!("{name}_{loc}"), |b| {
+                let mut net = HomeNetwork::new(7);
+                b.iter(|| {
+                    let mut t = SimDuration::ZERO;
+                    for _ in 0..flights {
+                        t += net.phone_to_proxy(loc);
+                    }
+                    black_box(t)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+/// First-N classification point: how long the proxy waits (packets)
+/// before deciding, vs the attack window it leaves open.
+fn ablation_firstn(c: &mut Criterion) {
+    let cap = capture();
+    let engine = PredictabilityEngine::new(FlowDef::PortLess);
+    let flags = engine.analyze(&cap.trace.packets, &cap.trace.dns);
+    let events = group_events(&cap.trace.packets, &flags, SimDuration::from_secs(5));
+    let mut g = c.benchmark_group("ablation_firstn");
+    for n in [1usize, 3, 5, 10] {
+        // Fraction of events long enough to be classified at N, and the
+        // mean time from event start to the decision packet.
+        let classified = events.iter().filter(|e| e.len() >= n).count();
+        let mean_delay_ms: f64 = events
+            .iter()
+            .filter(|e| e.len() >= n)
+            .map(|e| {
+                (cap.trace.packets[e.packets[n - 1]].ts - e.start).as_millis_f64()
+            })
+            .sum::<f64>()
+            / classified.max(1) as f64;
+        println!(
+            "[ablation] first-N {n}: {classified}/{} events decidable, mean decision delay {mean_delay_ms:.0} ms",
+            events.len()
+        );
+        g.bench_function(format!("featurize_n{n}"), |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for e in events.iter().take(200) {
+                    let f = fiat_core::event_features(e, &cap.trace.packets);
+                    acc += f[4]; // pkt1-len
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablation_flowdef,
+    ablation_gap,
+    ablation_bootstrap,
+    ablation_channel,
+    ablation_firstn
+);
+criterion_main!(ablations);

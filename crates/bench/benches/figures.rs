@@ -1,0 +1,107 @@
+//! Criterion benches behind the figures: predictability analysis and
+//! dataset generation throughput (Fig 1a/1b/1c, Fig 2, IoT Inspector).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use fiat_core::{group_events, PredictabilityEngine, EVENT_GAP};
+use fiat_net::FlowDef;
+use fiat_trace::datasets::{aggregate_5s, soundtouch_flows, yourthings_like};
+use fiat_trace::{TestbedConfig, TestbedTrace};
+use std::hint::black_box;
+
+fn bench_fig1a_flows(c: &mut Criterion) {
+    let trace = soundtouch_flows(0);
+    let engine = PredictabilityEngine::new(FlowDef::PortLess);
+    let mut g = c.benchmark_group("fig1a");
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("soundtouch_analysis", |b| {
+        b.iter(|| black_box(engine.analyze(&trace.packets, &trace.dns)))
+    });
+    g.finish();
+}
+
+fn bench_fig1b_cdf(c: &mut Criterion) {
+    let corpus = yourthings_like(8, 2, 0);
+    let mut g = c.benchmark_group("fig1b");
+    for def in FlowDef::ALL {
+        let engine = PredictabilityEngine::new(def);
+        g.bench_function(format!("corpus_{def}"), |b| {
+            b.iter(|| {
+                let total: usize = corpus
+                    .iter()
+                    .map(|d| {
+                        engine
+                            .analyze(&d.trace.packets, &d.trace.dns)
+                            .iter()
+                            .filter(|&&f| f)
+                            .count()
+                    })
+                    .sum();
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_fig1c_max_intervals(c: &mut Criterion) {
+    let corpus = yourthings_like(4, 2, 1);
+    let engine = PredictabilityEngine::new(FlowDef::PortLess);
+    c.bench_function("fig1c/max_intervals", |b| {
+        b.iter(|| {
+            for d in &corpus {
+                black_box(engine.max_intervals(&d.trace.packets, &d.trace.dns));
+            }
+        })
+    });
+}
+
+fn bench_fig2_testbed(c: &mut Criterion) {
+    let capture = TestbedTrace::generate(TestbedConfig {
+        days: 0.25,
+        ..Default::default()
+    });
+    let engine = PredictabilityEngine::new(FlowDef::PortLess);
+    let mut g = c.benchmark_group("fig2");
+    g.throughput(Throughput::Elements(capture.trace.len() as u64));
+    g.bench_function("testbed_generation", |b| {
+        b.iter(|| {
+            black_box(TestbedTrace::generate(TestbedConfig {
+                days: 0.25,
+                ..Default::default()
+            }))
+        })
+    });
+    g.bench_function("predictability_report", |b| {
+        b.iter(|| black_box(engine.report(&capture.trace.packets, &capture.trace.dns)))
+    });
+    g.bench_function("event_grouping", |b| {
+        let flags = engine.analyze(&capture.trace.packets, &capture.trace.dns);
+        b.iter_batched(
+            || flags.clone(),
+            |flags| black_box(group_events(&capture.trace.packets, &flags, EVENT_GAP)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_inspector_aggregation(c: &mut Criterion) {
+    let corpus = yourthings_like(4, 2, 2);
+    c.bench_function("inspector/aggregate_5s", |b| {
+        b.iter(|| {
+            for d in &corpus {
+                black_box(aggregate_5s(&d.trace));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    figures,
+    bench_fig1a_flows,
+    bench_fig1b_cdf,
+    bench_fig1c_max_intervals,
+    bench_fig2_testbed,
+    bench_inspector_aggregation
+);
+criterion_main!(figures);

@@ -1,0 +1,219 @@
+//! Criterion benches behind the tables: model training/CV (Table 2/3),
+//! permutation importance (Table 4), the end-to-end proxy pipeline
+//! (Table 6), the latency simulation (Table 7), and the crypto/transport
+//! hot paths underneath.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fiat_bench::corpus::build_event_corpus;
+use fiat_bench::ml_tables::ModelKind;
+use fiat_bench::table7::table7;
+use fiat_core::classifier::event_dataset;
+use fiat_core::{
+    group_events, EventClassifier, FiatApp, FiatProxy, PredictabilityEngine, ProxyConfig,
+    EVENT_GAP,
+};
+use fiat_ml::permutation::permutation_importance;
+use fiat_ml::{naive_bayes::BernoulliNB, Classifier, StandardScaler};
+use fiat_net::{FlowDef, SimTime};
+use fiat_sensors::{extract_features, HumannessValidator, ImuTrace, MotionKind};
+use fiat_trace::{Location, TestbedConfig, TestbedTrace};
+use std::hint::black_box;
+
+fn corpus() -> fiat_ml::Dataset {
+    build_event_corpus(Location::Us, 2.0, 0, true)
+        .into_iter()
+        .find(|c| c.name == "EchoDot4")
+        .unwrap()
+        .dataset
+}
+
+fn bench_table2_models(c: &mut Criterion) {
+    let data = corpus();
+    let mut g = c.benchmark_group("table2_models");
+    for m in [
+        ModelKind::NearestCentroid,
+        ModelKind::BernoulliNb,
+        ModelKind::GaussianNb,
+        ModelKind::DecisionTree,
+        ModelKind::KNearestNeighbors,
+    ] {
+        g.bench_function(m.name(), |b| {
+            b.iter(|| black_box(m.cross_validate(&data, 5, 0).mean_balanced_accuracy()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_table3_train_predict(c: &mut Criterion) {
+    let data = corpus();
+    let mut g = c.benchmark_group("table3");
+    g.bench_function("bernoulli_fit", |b| {
+        b.iter(|| {
+            let (_, x) = StandardScaler::fit_transform(&data.x);
+            let mut m = BernoulliNB::new();
+            m.fit(&fiat_ml::Dataset {
+                x,
+                y: data.y.clone(),
+                n_classes: 3,
+                feature_names: data.feature_names.clone(),
+            });
+            black_box(m)
+        })
+    });
+    let (scaler, x) = StandardScaler::fit_transform(&data.x);
+    let scaled = fiat_ml::Dataset {
+        x,
+        y: data.y.clone(),
+        n_classes: 3,
+        feature_names: data.feature_names.clone(),
+    };
+    let mut model = BernoulliNB::new();
+    model.fit(&scaled);
+    let sample = scaler.transform(&data.x[..1.min(data.x.len())])[0].clone();
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("bernoulli_predict_one", |b| {
+        b.iter(|| black_box(model.predict_one(&sample)))
+    });
+    g.finish();
+}
+
+fn bench_table4_permutation(c: &mut Criterion) {
+    let data = corpus();
+    let (_, x) = StandardScaler::fit_transform(&data.x);
+    let scaled = fiat_ml::Dataset {
+        x,
+        y: data.y.clone(),
+        n_classes: 3,
+        feature_names: data.feature_names.clone(),
+    };
+    let mut model = BernoulliNB::new();
+    model.fit(&scaled);
+    c.bench_function("table4/permutation_importance_5", |b| {
+        b.iter(|| black_box(permutation_importance(&model, &scaled, 5, 0)))
+    });
+}
+
+fn bench_table6_pipeline(c: &mut Criterion) {
+    // Train a classifier and push a capture through the proxy.
+    let train = TestbedTrace::generate(TestbedConfig {
+        days: 1.0,
+        ..Default::default()
+    });
+    let engine = PredictabilityEngine::new(FlowDef::PortLess);
+    let flags = engine.analyze(&train.trace.packets, &train.trace.dns);
+    let events = group_events(&train.trace.packets, &flags, EVENT_GAP);
+    let ev0: Vec<_> = events.iter().filter(|e| e.device == 0).cloned().collect();
+    let data = event_dataset(&ev0, &train.trace.packets);
+
+    let eval = TestbedTrace::generate(TestbedConfig {
+        days: 0.5,
+        seed: 1,
+        ..Default::default()
+    });
+
+    let mut g = c.benchmark_group("table6_pipeline");
+    g.throughput(Throughput::Elements(eval.trace.len() as u64));
+    g.bench_function("proxy_on_packet", |b| {
+        b.iter(|| {
+            let validator = HumannessValidator::with_operating_point(0.934, 0.982, 0);
+            let mut proxy = FiatProxy::new(ProxyConfig::default(), &[9u8; 32], validator);
+            proxy.set_dns(eval.trace.dns.clone());
+            for (i, dev) in eval.devices.iter().enumerate() {
+                let clf = if let Some(size) = dev.simple_rule_size {
+                    EventClassifier::simple_rule(size)
+                } else {
+                    EventClassifier::train_bernoulli(&data)
+                };
+                proxy.register_device(i as u16, clf, dev.min_packets_to_complete);
+            }
+            proxy.start(SimTime::ZERO);
+            let mut allowed = 0u64;
+            for p in &eval.trace.packets {
+                if proxy.on_packet(p).is_allow() {
+                    allowed += 1;
+                }
+            }
+            black_box(allowed)
+        })
+    });
+    g.finish();
+}
+
+fn bench_table7_latency(c: &mut Criterion) {
+    c.bench_function("table7/latency_200reps", |b| {
+        b.iter(|| black_box(table7(200, 0)))
+    });
+}
+
+fn bench_humanness(c: &mut Criterion) {
+    let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 800, 0);
+    let mut g = c.benchmark_group("humanness");
+    g.bench_function("feature_extraction_48", |b| {
+        b.iter(|| black_box(extract_features(&imu)))
+    });
+    let (mut validator, _) = HumannessValidator::train(40, 0);
+    g.bench_function("validate", |b| {
+        b.iter(|| black_box(validator.validate(&imu, MotionKind::HumanTouch)))
+    });
+    g.finish();
+}
+
+fn bench_auth_channel(c: &mut Criterion) {
+    let secret = [7u8; 32];
+    let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+    let mut proxy = FiatProxy::new(ProxyConfig::default(), &secret, validator);
+    let mut app = FiatApp::new(&secret, 0);
+    let ch = app.handshake_request();
+    let sh = proxy.accept_handshake(&ch);
+    app.complete_handshake(&sh).unwrap();
+    let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 0);
+
+    let mut g = c.benchmark_group("auth_channel");
+    g.bench_function("zero_rtt_seal", |b| {
+        b.iter(|| {
+            black_box(
+                app.authorize_zero_rtt("app", &imu, MotionKind::HumanTouch, 0)
+                    .unwrap(),
+            )
+        })
+    });
+    let mut t = 0u64;
+    g.bench_function("zero_rtt_roundtrip", |b| {
+        b.iter(|| {
+            let z = app
+                .authorize_zero_rtt("app", &imu, MotionKind::HumanTouch, t)
+                .unwrap();
+            t += 1_000_000;
+            black_box(proxy.on_auth_zero_rtt(&z, SimTime::from_micros(t)).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let key = [1u8; 32];
+    let nonce = [2u8; 12];
+    let data = vec![0xa5u8; 1024];
+    let mut g = c.benchmark_group("crypto");
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("aead_seal_1k", |b| {
+        b.iter(|| black_box(fiat_crypto::seal(&key, &nonce, b"", &data)))
+    });
+    g.bench_function("hmac_1k", |b| {
+        b.iter(|| black_box(fiat_crypto::HmacSha256::mac(&key, &data)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    tables,
+    bench_table2_models,
+    bench_table3_train_predict,
+    bench_table4_permutation,
+    bench_table6_pipeline,
+    bench_table7_latency,
+    bench_humanness,
+    bench_auth_channel,
+    bench_crypto
+);
+criterion_main!(tables);

@@ -1,0 +1,201 @@
+//! Regenerate every table and figure of the FIAT paper.
+//!
+//! ```text
+//! experiments all                 # everything (slow; use --release)
+//! experiments fig1a|fig1b|fig1c|inspector
+//! experiments fig2
+//! experiments hyperparams [--fast] # §4.1 sweep; --fast skips the MLP
+//! experiments table2 [--fast]     # --fast skips the MLP/forest/boosting
+//! experiments table3|table4|table5
+//! experiments table6
+//! experiments table7
+//! experiments tolerance
+//! experiments appendixa
+//! ```
+//!
+//! Scale knobs: `--days N` (testbed capture length, default 8),
+//! `--seed N` (default 42). Output is plain text; every row is also
+//! mirrored to `results/<name>.txt` when `--save` is given.
+
+use fiat_bench::ml_tables::ModelKind;
+use fiat_bench::{fig1, fig2, ml_tables, table6, table7, tolerance};
+use fiat_core::ErrorModel;
+use std::fmt::Write as _;
+
+struct Args {
+    days: f64,
+    seed: u64,
+    fast: bool,
+    save: bool,
+}
+
+fn parse_args(rest: &[String]) -> Args {
+    let mut a = Args {
+        days: 8.0,
+        seed: 42,
+        fast: false,
+        save: false,
+    };
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--days" => {
+                a.days = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--days needs a number"));
+                i += 1;
+            }
+            "--seed" => {
+                a.seed = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs a number"));
+                i += 1;
+            }
+            "--fast" => a.fast = true,
+            "--save" => a.save = true,
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    a
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn appendixa_text() -> String {
+    let mut out = String::new();
+    writeln!(out, "# Appendix A: closed-form FP/FN model").unwrap();
+    writeln!(
+        out,
+        "{:<26} {:>8} {:>8} {:>8} {:>10}",
+        "operating point", "FP-N %", "FP-M %", "FN %", "FN term2 %"
+    )
+    .unwrap();
+    for (label, rm, rnm) in [
+        ("EchoDot4 (.980/.985)", 0.980, 0.985),
+        ("E4 (.960/.955)", 0.960, 0.955),
+        ("perfect (1.0/1.0)", 1.0, 1.0),
+    ] {
+        let m = ErrorModel::with_paper_validator(rm, rnm);
+        writeln!(
+            out,
+            "{:<26} {:>8.2} {:>8.2} {:>8.2} {:>10.2}",
+            label,
+            m.fp_non_manual() * 100.0,
+            m.fp_manual() * 100.0,
+            m.false_negative() * 100.0,
+            m.r_manual * (1.0 - m.r_non_human) * 100.0,
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "\nNote: the paper's eq. (3) as printed multiplies by R_human (0.934)\n\
+         instead of R_non_human (0.982); its Table 6 numbers follow the\n\
+         printed form. `fp_non_manual_as_printed` reproduces them:"
+    )
+    .unwrap();
+    let m = ErrorModel::with_paper_validator(0.980, 0.985);
+    writeln!(
+        out,
+        "EchoDot4 printed FP-N: {:.2}% (paper: 1.40%)",
+        m.fp_non_manual_as_printed() * 100.0
+    )
+    .unwrap();
+    out
+}
+
+fn run_one(name: &str, args: &Args) -> Option<String> {
+    let days = args.days;
+    let seed = args.seed;
+    let text = match name {
+        "fig1a" => fig1::fig1a(seed),
+        "fig1b" => fig1::fig1b_text(65, 104, 6, seed),
+        "fig1c" => fig1::fig1c_text(65, 10, seed),
+        "inspector" => {
+            let (fractions, median) = fig1::inspector(40, 4, seed);
+            let above = fractions.iter().filter(|&&f| f > 0.85).count();
+            format!(
+                "# IoT-Inspector-style 5 s aggregation\n\
+                 devices: {}  median predictability: {:.3}\n\
+                 devices above 85 %: {} ({:.0}%)  (paper: half of devices > 85 %)\n",
+                fractions.len(),
+                median,
+                above,
+                100.0 * above as f64 / fractions.len() as f64
+            )
+        }
+        "fig2" => fig2::fig2_text(days, seed),
+        "hyperparams" => ml_tables::hyperparams_text(days, seed, !args.fast),
+        "table2" => {
+            let models: &[ModelKind] = if args.fast {
+                &[
+                    ModelKind::NearestCentroid,
+                    ModelKind::BernoulliNb,
+                    ModelKind::GaussianNb,
+                    ModelKind::DecisionTree,
+                    ModelKind::KNearestNeighbors,
+                ]
+            } else {
+                &ModelKind::ALL
+            };
+            ml_tables::table2_text(days, seed, models)
+        }
+        "table3" => ml_tables::table3_text(days, seed),
+        "table4" => ml_tables::table4_text(days, seed, 50),
+        "table5" => ml_tables::table5_text(days, seed),
+        "table6" => table6::table6_text(days.max(4.0), 2.0, seed),
+        "table7" => table7::table7_text(200, seed),
+        "tolerance" => tolerance::tolerance_text(),
+        "appendixa" => appendixa_text(),
+        _ => return None,
+    };
+    Some(text)
+}
+
+const ALL: [&str; 14] = [
+    "fig1a",
+    "fig1b",
+    "fig1c",
+    "inspector",
+    "fig2",
+    "hyperparams",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "tolerance",
+    "appendixa",
+];
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("usage: experiments <all|{}> [--days N] [--seed N] [--fast] [--save]", ALL.join("|"));
+        std::process::exit(2);
+    };
+    let args = parse_args(rest);
+
+    let names: Vec<&str> = if cmd == "all" {
+        ALL.to_vec()
+    } else {
+        vec![cmd.as_str()]
+    };
+    for name in names {
+        let Some(text) = run_one(name, &args) else {
+            die(&format!("unknown experiment {name}"));
+        };
+        println!("{text}");
+        if args.save {
+            std::fs::create_dir_all("results").expect("create results dir");
+            std::fs::write(format!("results/{name}.txt"), &text).expect("write result");
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! §6 delay-tolerance experiment: how slow can FIAT afford to be before
+//! breaking IoT functionality? The paper empirically finds every testbed
+//! device tolerates two seconds of added validation delay, because TCP's
+//! timeout/retransmission absorbs the hold.
+
+use fiat_net::SimDuration;
+use fiat_simnet::tcp::TcpRetransmitModel;
+use std::fmt::Write;
+
+/// Per-device application deadlines (vendor apps surface an error after
+/// this long; cameras are the most patient, plugs the least).
+pub fn device_models() -> Vec<(&'static str, TcpRetransmitModel)> {
+    let with_deadline = |secs: u64| TcpRetransmitModel {
+        app_deadline: SimDuration::from_secs(secs),
+        ..Default::default()
+    };
+    vec![
+        ("EchoDot4", with_deadline(8)),
+        ("HomeMini", with_deadline(8)),
+        ("WyzeCam", with_deadline(12)),
+        ("SP10", with_deadline(6)),
+        ("Home", with_deadline(8)),
+        ("Nest-E", with_deadline(10)),
+        ("EchoDot3", with_deadline(8)),
+        ("E4", with_deadline(10)),
+        ("Blink", with_deadline(12)),
+        ("WP3", with_deadline(6)),
+    ]
+}
+
+/// Sweep added validation delay and report, per device, whether the
+/// function survives. Returns (delay, per-device survival flags).
+pub fn sweep(delays_ms: &[u64]) -> Vec<(SimDuration, Vec<(&'static str, bool)>)> {
+    let models = device_models();
+    delays_ms
+        .iter()
+        .map(|&ms| {
+            let d = SimDuration::from_millis(ms);
+            let flags = models
+                .iter()
+                .map(|(name, m)| (*name, m.tolerates(d)))
+                .collect();
+            (d, flags)
+        })
+        .collect()
+}
+
+/// Render the sweep.
+pub fn tolerance_text() -> String {
+    let delays = [0u64, 500, 1000, 2000, 3000, 5000, 8000, 12000];
+    let rows = sweep(&delays);
+    let mut out = String::new();
+    writeln!(out, "# Tolerance: added validation delay vs device function").unwrap();
+    write!(out, "{:<10}", "delay").unwrap();
+    for (name, _) in device_models() {
+        write!(out, "{name:>9}").unwrap();
+    }
+    writeln!(out).unwrap();
+    for (d, flags) in rows {
+        write!(out, "{:<10}", format!("{:.1}s", d.as_secs_f64())).unwrap();
+        for (_, ok) in flags {
+            write!(out, "{:>9}", if ok { "ok" } else { "BROKEN" }).unwrap();
+        }
+        writeln!(out).unwrap();
+    }
+    let min_max = device_models()
+        .iter()
+        .map(|(_, m)| m.max_tolerated_delay())
+        .min()
+        .unwrap();
+    writeln!(
+        out,
+        "minimum tolerated delay across devices: {:.1}s (paper: all devices tolerate 2s)",
+        min_max.as_secs_f64()
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_devices_tolerate_two_seconds() {
+        for (name, m) in device_models() {
+            assert!(
+                m.tolerates(SimDuration::from_secs(2)),
+                "{name} breaks at 2 s"
+            );
+        }
+    }
+
+    #[test]
+    fn no_device_tolerates_a_minute() {
+        for (name, m) in device_models() {
+            assert!(
+                !m.tolerates(SimDuration::from_secs(60)),
+                "{name} survives 60 s?!"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_is_monotone() {
+        // Once a device breaks at some delay it stays broken at larger
+        // delays.
+        let delays: Vec<u64> = (0..20).map(|i| i * 1000).collect();
+        let rows = sweep(&delays);
+        for dev in 0..10 {
+            let flags: Vec<bool> = rows.iter().map(|(_, f)| f[dev].1).collect();
+            let mut broken = false;
+            for f in flags {
+                if broken {
+                    assert!(!f);
+                }
+                if !f {
+                    broken = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn text_mentions_all_devices() {
+        let t = tolerance_text();
+        for (name, _) in device_models() {
+            assert!(t.contains(name));
+        }
+        assert!(t.contains("2s"));
+    }
+}

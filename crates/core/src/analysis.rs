@@ -1,0 +1,141 @@
+//! Appendix A: closed-form false-positive/negative probabilities.
+//!
+//! FIAT's end-to-end errors compose the unpredictable-event classifier's
+//! recalls with the humanness validator's recalls:
+//!
+//! - **FP-N** (eq. 3): a non-manual event is blocked — misclassified as
+//!   manual *and* the (correctly) absent human is detected as absent.
+//! - **FP-M** (eq. 4): a legitimate manual event is blocked — correctly
+//!   classified manual but the human mis-rejected.
+//! - **FN** (eq. 5): an attack succeeds — the manual event is either
+//!   misclassified as non-manual (allowed unconditionally) or correctly
+//!   classified but the absent human mis-validated as present.
+//!
+//! Note: the paper's eq. (2)/(3) print `P{non_human|non_human} = R_human`
+//! — a typo (it should be `R_non_human`); Table 6's printed numbers follow
+//! the typo'd form. [`ErrorModel::fp_non_manual`] implements the correct
+//! semantics, and [`ErrorModel::fp_non_manual_as_printed`] reproduces the
+//! paper's arithmetic for comparison against Table 6.
+
+/// The four recalls the composition depends on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorModel {
+    /// Event-classifier recall on manual events.
+    pub r_manual: f64,
+    /// Event-classifier recall on non-manual events.
+    pub r_non_manual: f64,
+    /// Humanness-validator recall on human interactions.
+    pub r_human: f64,
+    /// Humanness-validator recall on non-human (attack) attempts.
+    pub r_non_human: f64,
+}
+
+impl ErrorModel {
+    /// Construct, validating that all recalls are probabilities.
+    pub fn new(r_manual: f64, r_non_manual: f64, r_human: f64, r_non_human: f64) -> Self {
+        for (name, v) in [
+            ("r_manual", r_manual),
+            ("r_non_manual", r_non_manual),
+            ("r_human", r_human),
+            ("r_non_human", r_non_human),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{name} = {v} out of [0,1]");
+        }
+        ErrorModel {
+            r_manual,
+            r_non_manual,
+            r_human,
+            r_non_human,
+        }
+    }
+
+    /// The paper's Table 6 operating point for the humanness validator
+    /// (recall 0.934 human / 0.982 non-human) with given classifier recalls.
+    pub fn with_paper_validator(r_manual: f64, r_non_manual: f64) -> Self {
+        Self::new(r_manual, r_non_manual, 0.934, 0.982)
+    }
+
+    /// Eq. 3 (corrected): P{blocked | non-manual event, no human present}.
+    pub fn fp_non_manual(&self) -> f64 {
+        (1.0 - self.r_non_manual) * self.r_non_human
+    }
+
+    /// Eq. 3 exactly as printed in the paper (uses `r_human` where the
+    /// derivation calls for `r_non_human`); matches Table 6's numbers.
+    pub fn fp_non_manual_as_printed(&self) -> f64 {
+        (1.0 - self.r_non_manual) * self.r_human
+    }
+
+    /// Eq. 4: P{blocked | legitimate manual event}.
+    pub fn fp_manual(&self) -> f64 {
+        self.r_manual * (1.0 - self.r_human)
+    }
+
+    /// Eq. 5: P{attack succeeds | attacker-injected manual event}.
+    pub fn false_negative(&self) -> f64 {
+        1.0 - self.r_manual + self.r_manual * (1.0 - self.r_non_human)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 6, Echo Dot 4 row: manual recall .980, non-manual .985,
+    /// printed columns 1.40 / 1.76 / 3.76 (%).
+    #[test]
+    fn echo_dot4_row_reproduced() {
+        let m = ErrorModel::with_paper_validator(0.980, 0.985);
+        assert!((m.fp_non_manual_as_printed() * 100.0 - 1.40).abs() < 0.02);
+        assert!((m.false_negative() * 100.0 - 3.76).abs() < 0.02);
+        // The 1.76 printed in the "FP Non-M." column equals the second FN
+        // term, r_manual * (1 - r_non_human):
+        let second_term = m.r_manual * (1.0 - m.r_non_human);
+        assert!((second_term * 100.0 - 1.76).abs() < 0.02);
+    }
+
+    /// Table 6, E4 row: manual recall .960, non-manual .955 → FN 5.72 %.
+    #[test]
+    fn e4_row_reproduced() {
+        let m = ErrorModel::with_paper_validator(0.960, 0.955);
+        assert!(
+            (m.false_negative() * 100.0 - 5.72).abs() < 0.03,
+            "{}",
+            m.false_negative() * 100.0
+        );
+    }
+
+    #[test]
+    fn perfect_recalls_zero_errors() {
+        let m = ErrorModel::new(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(m.fp_non_manual(), 0.0);
+        assert_eq!(m.fp_manual(), 0.0);
+        assert_eq!(m.false_negative(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_classifier_all_false_negative() {
+        // Classifier never recognizes manual events: every attack slips.
+        let m = ErrorModel::new(0.0, 1.0, 0.9, 0.9);
+        assert_eq!(m.false_negative(), 1.0);
+        assert_eq!(m.fp_manual(), 0.0);
+    }
+
+    #[test]
+    fn monotonic_in_recalls() {
+        // Improving the non-human recall must not increase FN.
+        let lo = ErrorModel::new(0.95, 0.95, 0.93, 0.90);
+        let hi = ErrorModel::new(0.95, 0.95, 0.93, 0.99);
+        assert!(hi.false_negative() < lo.false_negative());
+        // Improving human recall must not increase FP-M.
+        let lo = ErrorModel::new(0.95, 0.95, 0.90, 0.98);
+        let hi = ErrorModel::new(0.95, 0.95, 0.99, 0.98);
+        assert!(hi.fp_manual() < lo.fp_manual());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of [0,1]")]
+    fn out_of_range_rejected() {
+        let _ = ErrorModel::new(1.2, 0.9, 0.9, 0.9);
+    }
+}

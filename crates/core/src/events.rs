@@ -1,0 +1,223 @@
+//! Grouping unpredictable packets into events (§3.2).
+//!
+//! Given a device's unpredictable packets in time order, consecutive
+//! packets less than five seconds apart belong to the same event; a gap of
+//! five seconds or more closes the event. The threshold "was chosen
+//! empirically and has very limited impact on the results" — the
+//! `ablation_gap` bench sweeps it.
+
+use fiat_net::{PacketRecord, SimDuration, SimTime, TrafficClass};
+use std::collections::HashMap;
+
+/// The paper's event gap threshold.
+pub const EVENT_GAP: SimDuration = SimDuration::from_secs(5);
+
+/// One unpredictable event: indices into the analyzed packet slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnpredictableEvent {
+    /// Device the event belongs to.
+    pub device: u16,
+    /// Packet indices (into the original slice), in time order.
+    pub packets: Vec<usize>,
+    /// Timestamp of the first packet.
+    pub start: SimTime,
+    /// Timestamp of the last packet.
+    pub end: SimTime,
+}
+
+impl UnpredictableEvent {
+    /// Number of packets in the event.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Whether the event is empty (never produced by the grouper).
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Majority ground-truth label of the event's packets (for
+    /// evaluation; the proxy cannot see labels).
+    pub fn majority_label(&self, packets: &[PacketRecord]) -> TrafficClass {
+        let mut counts = [0usize; 3];
+        for &i in &self.packets {
+            let k = match packets[i].label {
+                TrafficClass::Control => 0,
+                TrafficClass::Automated => 1,
+                TrafficClass::Manual => 2,
+            };
+            counts[k] += 1;
+        }
+        let best = (0..3).max_by_key(|&k| counts[k]).unwrap();
+        [
+            TrafficClass::Control,
+            TrafficClass::Automated,
+            TrafficClass::Manual,
+        ][best]
+    }
+}
+
+/// Group the unpredictable packets of `packets` (those with `flags[i] ==
+/// false`) into per-device events using `gap`.
+pub fn group_events(
+    packets: &[PacketRecord],
+    flags: &[bool],
+    gap: SimDuration,
+) -> Vec<UnpredictableEvent> {
+    assert_eq!(packets.len(), flags.len(), "flag length mismatch");
+    // Per device: running event under construction.
+    let mut open: HashMap<u16, UnpredictableEvent> = HashMap::new();
+    let mut done = Vec::new();
+    for (i, (p, &predictable)) in packets.iter().zip(flags).enumerate() {
+        if predictable {
+            continue;
+        }
+        match open.get_mut(&p.device) {
+            Some(ev) if p.ts - ev.end < gap => {
+                ev.packets.push(i);
+                ev.end = p.ts;
+            }
+            Some(ev) => {
+                done.push(std::mem::replace(
+                    ev,
+                    UnpredictableEvent {
+                        device: p.device,
+                        packets: vec![i],
+                        start: p.ts,
+                        end: p.ts,
+                    },
+                ));
+            }
+            None => {
+                open.insert(
+                    p.device,
+                    UnpredictableEvent {
+                        device: p.device,
+                        packets: vec![i],
+                        start: p.ts,
+                        end: p.ts,
+                    },
+                );
+            }
+        }
+    }
+    done.extend(open.into_values());
+    done.sort_by_key(|e| (e.start, e.device));
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiat_net::{Direction, TcpFlags, TlsVersion, Transport};
+    use std::net::Ipv4Addr;
+
+    fn pkt(ts_ms: u64, device: u16, label: TrafficClass) -> PacketRecord {
+        PacketRecord {
+            ts: SimTime::from_millis(ts_ms),
+            device,
+            direction: Direction::ToDevice,
+            local_ip: Ipv4Addr::new(192, 168, 1, 10),
+            remote_ip: Ipv4Addr::new(34, 0, 0, 1),
+            local_port: 5000,
+            remote_port: 443,
+            transport: Transport::Tcp,
+            tcp_flags: TcpFlags::ack(),
+            tls: TlsVersion::None,
+            size: 100,
+            label,
+        }
+    }
+
+    #[test]
+    fn single_burst_is_one_event() {
+        let packets: Vec<PacketRecord> = (0..5)
+            .map(|i| pkt(i * 1000, 0, TrafficClass::Manual))
+            .collect();
+        let flags = vec![false; 5];
+        let evs = group_events(&packets, &flags, EVENT_GAP);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].len(), 5);
+        assert_eq!(evs[0].start, SimTime::ZERO);
+        assert_eq!(evs[0].end, SimTime::from_millis(4000));
+    }
+
+    #[test]
+    fn five_second_gap_splits() {
+        // Gaps: 4.999 s keeps, 5.000 s splits (strict < gap).
+        let packets = vec![
+            pkt(0, 0, TrafficClass::Manual),
+            pkt(4_999, 0, TrafficClass::Manual),
+            pkt(9_999, 0, TrafficClass::Manual), // 5.000 s after previous
+        ];
+        let flags = vec![false; 3];
+        let evs = group_events(&packets, &flags, EVENT_GAP);
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].len(), 2);
+        assert_eq!(evs[1].len(), 1);
+    }
+
+    #[test]
+    fn predictable_packets_skipped_but_do_not_split() {
+        // An interleaved predictable packet must not break the event: the
+        // gap is measured between unpredictable packets.
+        let packets = vec![
+            pkt(0, 0, TrafficClass::Manual),
+            pkt(1000, 0, TrafficClass::Control), // predictable
+            pkt(2000, 0, TrafficClass::Manual),
+        ];
+        let flags = vec![false, true, false];
+        let evs = group_events(&packets, &flags, EVENT_GAP);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].packets, vec![0, 2]);
+    }
+
+    #[test]
+    fn devices_group_independently() {
+        // Interleaved packets of two devices within 5 s form two events.
+        let packets = vec![
+            pkt(0, 0, TrafficClass::Manual),
+            pkt(100, 1, TrafficClass::Manual),
+            pkt(200, 0, TrafficClass::Manual),
+            pkt(300, 1, TrafficClass::Manual),
+        ];
+        let flags = vec![false; 4];
+        let evs = group_events(&packets, &flags, EVENT_GAP);
+        assert_eq!(evs.len(), 2);
+        assert!(evs.iter().any(|e| e.device == 0 && e.packets == vec![0, 2]));
+        assert!(evs.iter().any(|e| e.device == 1 && e.packets == vec![1, 3]));
+    }
+
+    #[test]
+    fn majority_label() {
+        let packets = vec![
+            pkt(0, 0, TrafficClass::Manual),
+            pkt(100, 0, TrafficClass::Manual),
+            pkt(200, 0, TrafficClass::Control),
+        ];
+        let flags = vec![false; 3];
+        let evs = group_events(&packets, &flags, EVENT_GAP);
+        assert_eq!(evs[0].majority_label(&packets), TrafficClass::Manual);
+    }
+
+    #[test]
+    fn all_predictable_yields_no_events() {
+        let packets: Vec<PacketRecord> =
+            (0..10).map(|i| pkt(i * 100, 0, TrafficClass::Control)).collect();
+        let flags = vec![true; 10];
+        assert!(group_events(&packets, &flags, EVENT_GAP).is_empty());
+    }
+
+    #[test]
+    fn custom_gap_respected() {
+        let packets = vec![
+            pkt(0, 0, TrafficClass::Manual),
+            pkt(1_500, 0, TrafficClass::Manual),
+        ];
+        let flags = vec![false; 2];
+        let tight = group_events(&packets, &flags, SimDuration::from_secs(1));
+        assert_eq!(tight.len(), 2);
+        let loose = group_events(&packets, &flags, SimDuration::from_secs(2));
+        assert_eq!(loose.len(), 1);
+    }
+}

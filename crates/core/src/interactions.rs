@@ -1,0 +1,186 @@
+//! Device-to-device interaction rules (§7 "Complex Scenarios").
+//!
+//! Some IoT devices command others — Alexa turns on the smart light. The
+//! light's inbound command is manual-shaped but no phone was touched, so
+//! plain FIAT would drop it. The paper proposes allow rules forming a
+//! **directed acyclic graph** over devices: an edge `A → B` means
+//! "unpredictable traffic toward B is allowed while A has a recently
+//! authorized event". Acyclicity keeps authorization grounded: every
+//! permitted chain bottoms out at a device whose own event passed the
+//! human check (a cycle would let two devices vouch for each other
+//! forever).
+
+use fiat_net::{SimDuration, SimTime};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Error returned when an edge would break the DAG invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphError {
+    /// Adding this edge would create a cycle.
+    WouldCycle,
+    /// Self-edges are meaningless.
+    SelfEdge,
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::WouldCycle => write!(f, "edge would create an authorization cycle"),
+            GraphError::SelfEdge => write!(f, "self-edges are not allowed"),
+        }
+    }
+}
+
+/// The interaction DAG plus the runtime state needed to evaluate it:
+/// which trigger devices were recently authorized.
+#[derive(Debug, Default)]
+pub struct InteractionGraph {
+    /// Edges trigger → set of targets.
+    edges: HashMap<u16, HashSet<u16>>,
+    /// Last time each device had an *authorized* event (manual verified
+    /// or cascaded).
+    authorized_at: HashMap<u16, SimTime>,
+    /// How long a trigger authorization covers downstream commands.
+    pub cascade_window: SimDuration,
+}
+
+impl InteractionGraph {
+    /// Empty graph with the given cascade window.
+    pub fn new(cascade_window: SimDuration) -> Self {
+        InteractionGraph {
+            cascade_window,
+            ..Default::default()
+        }
+    }
+
+    /// Add an allow edge `trigger → target` ("Alexa may command the
+    /// light"), rejecting cycles and self-edges.
+    pub fn add_edge(&mut self, trigger: u16, target: u16) -> Result<(), GraphError> {
+        if trigger == target {
+            return Err(GraphError::SelfEdge);
+        }
+        if self.reachable(target, trigger) {
+            return Err(GraphError::WouldCycle);
+        }
+        self.edges.entry(trigger).or_default().insert(target);
+        Ok(())
+    }
+
+    /// Whether `to` is reachable from `from` along edges.
+    fn reachable(&self, from: u16, to: u16) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut queue = VecDeque::from([from]);
+        let mut seen = HashSet::from([from]);
+        while let Some(n) = queue.pop_front() {
+            if let Some(next) = self.edges.get(&n) {
+                for &m in next {
+                    if m == to {
+                        return true;
+                    }
+                    if seen.insert(m) {
+                        queue.push_back(m);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Record that `device` had an authorized event at `now` (called by
+    /// the proxy when it allows a verified manual event).
+    pub fn record_authorized(&mut self, device: u16, now: SimTime) {
+        self.authorized_at.insert(device, now);
+    }
+
+    /// Whether an unpredictable manual-looking event at `target` is
+    /// covered by a cascade: some upstream trigger with an edge to
+    /// `target` was authorized within the window. Chains are followed —
+    /// phone → Alexa → light needs Alexa authorized, and Alexa's own
+    /// authorization may itself have cascaded.
+    pub fn cascade_covers(&self, target: u16, now: SimTime) -> bool {
+        self.edges
+            .iter()
+            .filter(|(_, targets)| targets.contains(&target))
+            .any(|(&trigger, _)| {
+                let fresh = self
+                    .authorized_at
+                    .get(&trigger)
+                    .is_some_and(|&t| now.since(t) <= self.cascade_window && now >= t);
+                fresh || self.cascade_covers(trigger, now)
+            })
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(|s| s.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WINDOW: SimDuration = SimDuration::from_secs(10);
+    const ALEXA: u16 = 0;
+    const LIGHT: u16 = 1;
+    const BLINDS: u16 = 2;
+
+    #[test]
+    fn edge_management_and_dag_invariant() {
+        let mut g = InteractionGraph::new(WINDOW);
+        g.add_edge(ALEXA, LIGHT).unwrap();
+        g.add_edge(LIGHT, BLINDS).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        // Closing the cycle is rejected, directly and transitively.
+        assert_eq!(g.add_edge(LIGHT, ALEXA), Err(GraphError::WouldCycle));
+        assert_eq!(g.add_edge(BLINDS, ALEXA), Err(GraphError::WouldCycle));
+        assert_eq!(g.add_edge(ALEXA, ALEXA), Err(GraphError::SelfEdge));
+        // Duplicate edges are idempotent.
+        g.add_edge(ALEXA, LIGHT).unwrap();
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn cascade_covers_within_window() {
+        let mut g = InteractionGraph::new(WINDOW);
+        g.add_edge(ALEXA, LIGHT).unwrap();
+        assert!(!g.cascade_covers(LIGHT, SimTime::from_secs(100)));
+        g.record_authorized(ALEXA, SimTime::from_secs(100));
+        assert!(g.cascade_covers(LIGHT, SimTime::from_secs(105)));
+        // Window expiry.
+        assert!(!g.cascade_covers(LIGHT, SimTime::from_secs(111)));
+        // The trigger itself is not covered by its own authorization.
+        assert!(!g.cascade_covers(ALEXA, SimTime::from_secs(105)));
+    }
+
+    #[test]
+    fn chains_cascade_transitively() {
+        let mut g = InteractionGraph::new(WINDOW);
+        g.add_edge(ALEXA, LIGHT).unwrap();
+        g.add_edge(LIGHT, BLINDS).unwrap();
+        g.record_authorized(ALEXA, SimTime::from_secs(50));
+        // Alexa fresh -> light covered; light covered -> blinds covered
+        // even though the light itself never recorded authorization.
+        assert!(g.cascade_covers(LIGHT, SimTime::from_secs(52)));
+        assert!(g.cascade_covers(BLINDS, SimTime::from_secs(52)));
+    }
+
+    #[test]
+    fn no_backward_cascade() {
+        let mut g = InteractionGraph::new(WINDOW);
+        g.add_edge(ALEXA, LIGHT).unwrap();
+        g.record_authorized(LIGHT, SimTime::from_secs(50));
+        // Authorizing the target says nothing about the trigger.
+        assert!(!g.cascade_covers(ALEXA, SimTime::from_secs(51)));
+    }
+
+    #[test]
+    fn authorization_in_the_future_does_not_cover() {
+        let mut g = InteractionGraph::new(WINDOW);
+        g.add_edge(ALEXA, LIGHT).unwrap();
+        g.record_authorized(ALEXA, SimTime::from_secs(100));
+        assert!(!g.cascade_covers(LIGHT, SimTime::from_secs(95)));
+    }
+}

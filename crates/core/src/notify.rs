@@ -1,0 +1,219 @@
+//! User-facing security notifications (§5.4: "the user is notified of a
+//! potential security breach"; §7: "reporting such logs to the users can
+//! effectively relieve the concerns and allow the users to notice the
+//! silent false negatives").
+//!
+//! [`NotificationCenter`] digests the audit trail into alerts a home user
+//! can act on: per-device blocked-command alerts (rate-limited so a noisy
+//! device does not spam), lockout alerts, and a periodic digest that also
+//! surfaces *allowed* manual events — the §7 defence against silent false
+//! negatives: the user sees every manual authorization FIAT granted and
+//! can recognize ones they did not perform.
+
+use crate::audit::{AuditEntry, AuditVerdict};
+use fiat_net::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Severity of a user notification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational digest entry.
+    Info,
+    /// A command was blocked.
+    Warning,
+    /// A device was locked out (active attack suspected).
+    Critical,
+}
+
+/// One notification shown to the user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Notification {
+    /// When it was raised.
+    pub at: SimTime,
+    /// Device concerned.
+    pub device: u16,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Digests audit entries into rate-limited notifications.
+#[derive(Debug)]
+pub struct NotificationCenter {
+    /// Minimum spacing between Warning-level alerts per device.
+    pub warn_cooldown: SimDuration,
+    last_warn: HashMap<u16, SimTime>,
+    suppressed: HashMap<u16, u64>,
+    pending: Vec<Notification>,
+    // Digest bookkeeping: allowed manual events since the last digest.
+    allowed_manual: HashMap<u16, u64>,
+}
+
+impl Default for NotificationCenter {
+    fn default() -> Self {
+        Self::new(SimDuration::from_mins(5))
+    }
+}
+
+impl NotificationCenter {
+    /// Center with the given per-device warning cooldown.
+    pub fn new(warn_cooldown: SimDuration) -> Self {
+        NotificationCenter {
+            warn_cooldown,
+            last_warn: HashMap::new(),
+            suppressed: HashMap::new(),
+            pending: Vec::new(),
+            allowed_manual: HashMap::new(),
+        }
+    }
+
+    /// Ingest one audit entry (call in order).
+    pub fn ingest(&mut self, entry: &AuditEntry) {
+        match entry.verdict {
+            AuditVerdict::DroppedUnverified => {
+                let due = self
+                    .last_warn
+                    .get(&entry.device)
+                    .map_or(true, |&t| entry.ts.since(t) >= self.warn_cooldown);
+                if due {
+                    let extra = self.suppressed.remove(&entry.device).unwrap_or(0);
+                    let suffix = if extra > 0 {
+                        format!(" ({extra} similar alerts suppressed)")
+                    } else {
+                        String::new()
+                    };
+                    self.pending.push(Notification {
+                        at: entry.ts,
+                        device: entry.device,
+                        severity: Severity::Warning,
+                        message: format!(
+                            "Blocked an unverified manual command to device {}{suffix}",
+                            entry.device
+                        ),
+                    });
+                    self.last_warn.insert(entry.device, entry.ts);
+                } else {
+                    *self.suppressed.entry(entry.device).or_default() += 1;
+                }
+            }
+            AuditVerdict::LockedOut => {
+                self.pending.push(Notification {
+                    at: entry.ts,
+                    device: entry.device,
+                    severity: Severity::Critical,
+                    message: format!(
+                        "Device {} locked out after repeated unverified commands — \
+                         verify manually to restore",
+                        entry.device
+                    ),
+                });
+            }
+            AuditVerdict::AllowedManualVerified | AuditVerdict::AllowedCascade => {
+                *self.allowed_manual.entry(entry.device).or_default() += 1;
+            }
+            AuditVerdict::AllowedNonManual => {}
+        }
+    }
+
+    /// Drain pending alerts (warnings and criticals).
+    pub fn drain(&mut self) -> Vec<Notification> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Produce the periodic digest at `now`: one Info line per device that
+    /// had manual authorizations since the last digest, so the user can
+    /// spot authorizations they did not perform (§7's silent-FN defence).
+    pub fn digest(&mut self, now: SimTime) -> Vec<Notification> {
+        let mut out: Vec<Notification> = self
+            .allowed_manual
+            .drain()
+            .map(|(device, n)| Notification {
+                at: now,
+                device,
+                severity: Severity::Info,
+                message: format!(
+                    "Device {device}: {n} manual command(s) authorized since the last digest"
+                ),
+            })
+            .collect();
+        out.sort_by_key(|n| n.device);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::EventClass;
+
+    fn entry(ts_s: u64, device: u16, verdict: AuditVerdict) -> AuditEntry {
+        AuditEntry {
+            ts: SimTime::from_secs(ts_s),
+            device,
+            class: EventClass::Manual,
+            verdict,
+        }
+    }
+
+    #[test]
+    fn drops_raise_warnings_with_cooldown() {
+        let mut nc = NotificationCenter::new(SimDuration::from_secs(60));
+        nc.ingest(&entry(0, 3, AuditVerdict::DroppedUnverified));
+        nc.ingest(&entry(10, 3, AuditVerdict::DroppedUnverified)); // suppressed
+        nc.ingest(&entry(20, 3, AuditVerdict::DroppedUnverified)); // suppressed
+        nc.ingest(&entry(70, 3, AuditVerdict::DroppedUnverified)); // cooldown over
+        let alerts = nc.drain();
+        assert_eq!(alerts.len(), 2);
+        assert!(alerts[0].message.contains("Blocked"));
+        assert!(
+            alerts[1].message.contains("2 similar alerts suppressed"),
+            "{}",
+            alerts[1].message
+        );
+        assert!(nc.drain().is_empty());
+    }
+
+    #[test]
+    fn cooldowns_are_per_device() {
+        let mut nc = NotificationCenter::new(SimDuration::from_secs(60));
+        nc.ingest(&entry(0, 1, AuditVerdict::DroppedUnverified));
+        nc.ingest(&entry(1, 2, AuditVerdict::DroppedUnverified));
+        assert_eq!(nc.drain().len(), 2);
+    }
+
+    #[test]
+    fn lockout_is_critical_and_never_suppressed() {
+        let mut nc = NotificationCenter::new(SimDuration::from_secs(600));
+        nc.ingest(&entry(0, 3, AuditVerdict::DroppedUnverified));
+        nc.ingest(&entry(1, 3, AuditVerdict::LockedOut));
+        nc.ingest(&entry(2, 3, AuditVerdict::LockedOut));
+        let alerts = nc.drain();
+        assert_eq!(alerts.len(), 3);
+        assert_eq!(
+            alerts.iter().filter(|a| a.severity == Severity::Critical).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn digest_surfaces_allowed_manual_events() {
+        let mut nc = NotificationCenter::default();
+        nc.ingest(&entry(0, 1, AuditVerdict::AllowedManualVerified));
+        nc.ingest(&entry(1, 1, AuditVerdict::AllowedManualVerified));
+        nc.ingest(&entry(2, 4, AuditVerdict::AllowedCascade));
+        nc.ingest(&entry(3, 2, AuditVerdict::AllowedNonManual)); // not digested
+        let d = nc.digest(SimTime::from_secs(100));
+        assert_eq!(d.len(), 2);
+        assert!(d[0].message.contains("2 manual command(s)"));
+        assert_eq!(d[1].device, 4);
+        // Digest resets the counters.
+        assert!(nc.digest(SimTime::from_secs(200)).is_empty());
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Critical > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+}

@@ -1,0 +1,84 @@
+//! The pairing ceremony (§5.4 "Pairing").
+//!
+//! FIAT's app and the IoT proxy pair locally — scanning a QR code on the
+//! proxy, or an audio beacon at install time. The ceremony transports a
+//! random secret out-of-band; both sides derive the same key material and
+//! seal it in their respective TEEs (Android keystore, SGX). Nothing
+//! derived from the ceremony secret ever leaves a keystore afterwards.
+
+use fiat_crypto::{Hkdf, KeyHandle, KeyPurpose, TeeKeystore};
+
+/// The outcome of a successful pairing on one side.
+#[derive(Debug, Clone, Copy)]
+pub struct Paired {
+    /// Handle to the sealed HMAC signing key.
+    pub sign_key: KeyHandle,
+    /// Handle to the sealed AEAD encryption key.
+    pub encrypt_key: KeyHandle,
+}
+
+/// The channel PSK both sides feed to the QUIC layer. Kept out of the
+/// keystore because the QUIC handshake needs raw key material; in a real
+/// deployment the QUIC stack would also live inside the TEE boundary.
+pub type ChannelPsk = [u8; 32];
+
+/// Run one side of the ceremony: derive and seal the pairing keys from
+/// the out-of-band `ceremony_secret` (the QR code contents).
+pub fn pair(store: &TeeKeystore, ceremony_secret: &[u8; 32]) -> (Paired, ChannelPsk) {
+    let hk = Hkdf::extract(b"fiat-pairing", ceremony_secret);
+    let mut sign = [0u8; 32];
+    hk.expand(b"sign", &mut sign);
+    let mut encrypt = [0u8; 32];
+    hk.expand(b"encrypt", &mut encrypt);
+    let mut psk = [0u8; 32];
+    hk.expand(b"channel", &mut psk);
+    (
+        Paired {
+            sign_key: store.import(sign, KeyPurpose::Sign),
+            encrypt_key: store.import(encrypt, KeyPurpose::Encrypt),
+        },
+        psk,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_sides_derive_matching_keys() {
+        let phone = TeeKeystore::new();
+        let proxy = TeeKeystore::new();
+        let secret = [0x5au8; 32];
+        let (p_phone, psk_phone) = pair(&phone, &secret);
+        let (p_proxy, psk_proxy) = pair(&proxy, &secret);
+        assert_eq!(psk_phone, psk_proxy);
+        // A tag made on the phone verifies at the proxy.
+        let tag = phone.sign(p_phone.sign_key, b"evidence").unwrap();
+        assert!(proxy.verify(p_proxy.sign_key, b"evidence", &tag).unwrap());
+    }
+
+    #[test]
+    fn different_ceremonies_do_not_interoperate() {
+        let phone = TeeKeystore::new();
+        let proxy = TeeKeystore::new();
+        let (p_phone, psk_a) = pair(&phone, &[1u8; 32]);
+        let (p_proxy, psk_b) = pair(&proxy, &[2u8; 32]);
+        assert_ne!(psk_a, psk_b);
+        let tag = phone.sign(p_phone.sign_key, b"evidence").unwrap();
+        assert!(!proxy.verify(p_proxy.sign_key, b"evidence", &tag).unwrap());
+    }
+
+    #[test]
+    fn sign_and_encrypt_keys_are_distinct() {
+        let store = TeeKeystore::new();
+        let (p, psk) = pair(&store, &[7u8; 32]);
+        // Purpose binding: the encrypt key cannot sign and vice versa.
+        assert!(store.sign(p.encrypt_key, b"x").is_err());
+        assert!(store.seal(p.sign_key, &[0; 12], b"", b"x").is_err());
+        // The PSK differs from both sealed keys' derivation labels (can't
+        // read them back, but signing with PSK-as-key must not verify).
+        let tag = store.sign(p.sign_key, b"x").unwrap();
+        assert_ne!(tag, fiat_crypto::HmacSha256::mac(&psk, b"x"));
+    }
+}

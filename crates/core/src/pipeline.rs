@@ -1,0 +1,990 @@
+//! The IoT proxy's access-control procedure (Figure 4).
+//!
+//! Every packet destined to (or originating from) an IoT device passes
+//! through:
+//!
+//! 1. **Bootstrap** — for the first 20 minutes all traffic is allowed
+//!    while the rule table learns predictable flows (§5.4 "Rules
+//!    Creation"; 20 min = 2× the maximum predictable interval, Fig 1c).
+//! 2. **Rule match** — a hit means predictable: allow.
+//! 3. **Event grouping** — misses accumulate into unpredictable events
+//!    (5 s gap); the first N packets of each event are allowed, N capped
+//!    by the device's command-completion threshold so an unauthorized
+//!    command cannot finish before the verdict.
+//! 4. **Classification** — at packet N the event is classified (size rule
+//!    or BernoulliNB). Non-manual ⇒ allow the rest. Manual ⇒ allowed only
+//!    if a humanness proof arrived recently; otherwise the event's
+//!    remaining packets drop and the user is alerted.
+//! 5. **Lockout** — repeated unverified manual events within a short
+//!    window disconnect the device until manually cleared (brute-force
+//!    protection).
+
+use crate::audit::{AuditEntry, AuditLog, AuditVerdict};
+use crate::classifier::EventClassifier;
+use crate::client::{AuthMessage, FiatApp};
+use crate::events::UnpredictableEvent;
+use crate::interactions::InteractionGraph;
+use crate::pairing::{pair, Paired};
+use crate::predict::{PredictabilityEngine, RuleTable, DEFAULT_TOLERANCE};
+use fiat_crypto::TeeKeystore;
+use fiat_net::{DnsTable, FlowDef, PacketRecord, SimDuration, SimTime};
+use fiat_quic::{ClientHello, Server as QuicServer, ServerHello, ZeroRttPacket};
+use fiat_sensors::HumannessValidator;
+use std::collections::{HashMap, VecDeque};
+
+/// Proxy configuration (paper defaults).
+#[derive(Debug, Clone)]
+pub struct ProxyConfig {
+    /// Flow definition for rules (PortLess per §5.4).
+    pub flow_def: FlowDef,
+    /// Interval tolerance bin for the predictability engine.
+    pub tolerance: SimDuration,
+    /// Bootstrap window during which all traffic is allowed and learned.
+    pub bootstrap: SimDuration,
+    /// Unpredictable-event gap threshold.
+    pub event_gap: SimDuration,
+    /// Maximum packets allowed (and used as features) before classifying.
+    pub classify_at_cap: usize,
+    /// How long a humanness proof stays fresh.
+    pub human_valid_window: SimDuration,
+    /// Unverified manual events within [`ProxyConfig::lockout_window`]
+    /// that trigger a lockout.
+    pub lockout_threshold: u32,
+    /// Sliding window for the lockout counter.
+    pub lockout_window: SimDuration,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            flow_def: FlowDef::PortLess,
+            tolerance: DEFAULT_TOLERANCE,
+            bootstrap: SimDuration::from_mins(20),
+            event_gap: SimDuration::from_secs(5),
+            classify_at_cap: 5,
+            human_valid_window: SimDuration::from_secs(30),
+            lockout_threshold: 3,
+            lockout_window: SimDuration::from_secs(60),
+        }
+    }
+}
+
+/// Why a packet was allowed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllowReason {
+    /// Still in the bootstrap window.
+    Bootstrap,
+    /// Rule table hit: predictable traffic.
+    RuleHit,
+    /// Within the first-N allowance of an undecided event.
+    FirstN,
+    /// Event classified non-manual.
+    NonManual,
+    /// Manual event with a fresh humanness proof.
+    ManualVerified,
+    /// Manual event covered by a device-interaction cascade (§7).
+    Cascade,
+}
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Manual event without humanness proof.
+    ManualUnverified,
+    /// Device is locked out.
+    LockedOut,
+}
+
+/// Packet counters per decision reason (operator dashboard material).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// Packets allowed during bootstrap.
+    pub bootstrap: u64,
+    /// Packets allowed by a rule hit.
+    pub rule_hit: u64,
+    /// Packets allowed under the first-N allowance.
+    pub first_n: u64,
+    /// Packets of events classified non-manual.
+    pub non_manual: u64,
+    /// Packets of human-verified manual events.
+    pub manual_verified: u64,
+    /// Packets allowed via an interaction cascade.
+    pub cascade: u64,
+    /// Packets dropped as unverified manual.
+    pub dropped_unverified: u64,
+    /// Packets dropped because the device is locked out.
+    pub dropped_lockout: u64,
+}
+
+impl ProxyStats {
+    /// Total packets decided.
+    pub fn total(&self) -> u64 {
+        self.bootstrap
+            + self.rule_hit
+            + self.first_n
+            + self.non_manual
+            + self.manual_verified
+            + self.cascade
+            + self.dropped_unverified
+            + self.dropped_lockout
+    }
+
+    /// Total packets dropped.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_unverified + self.dropped_lockout
+    }
+
+    /// Fraction of (post-bootstrap) traffic handled by rules alone — the
+    /// paper's headline predictability payoff.
+    pub fn rule_fraction(&self) -> f64 {
+        let post = self.total() - self.bootstrap;
+        if post == 0 {
+            0.0
+        } else {
+            self.rule_hit as f64 / post as f64
+        }
+    }
+}
+
+/// Per-packet verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProxyDecision {
+    /// Forward the packet.
+    Allow(AllowReason),
+    /// Drop it.
+    Drop(DropReason),
+}
+
+impl ProxyDecision {
+    /// Whether the packet is forwarded.
+    pub fn is_allow(self) -> bool {
+        matches!(self, ProxyDecision::Allow(_))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EventFate {
+    AllowRest,
+    DropRest,
+}
+
+struct OpenEvent {
+    packets: Vec<PacketRecord>,
+    last: SimTime,
+    fate: Option<EventFate>,
+}
+
+struct DeviceState {
+    classifier: EventClassifier,
+    classify_at: usize,
+    open: Option<OpenEvent>,
+    drops: VecDeque<SimTime>,
+    locked: bool,
+}
+
+/// The FIAT proxy.
+pub struct FiatProxy {
+    config: ProxyConfig,
+    store: TeeKeystore,
+    keys: Paired,
+    quic: QuicServer,
+    validator: HumannessValidator,
+    devices: HashMap<u16, DeviceState>,
+    dns: DnsTable,
+    started_at: Option<SimTime>,
+    bootstrap_buffer: Vec<PacketRecord>,
+    rules: Option<RuleTable>,
+    human_valid_until: SimTime,
+    audit: AuditLog,
+    server_random_counter: u64,
+    interactions: Option<InteractionGraph>,
+    stats: ProxyStats,
+}
+
+impl FiatProxy {
+    /// Build a proxy paired via `ceremony_secret`, using `validator` for
+    /// humanness decisions.
+    pub fn new(
+        config: ProxyConfig,
+        ceremony_secret: &[u8; 32],
+        validator: HumannessValidator,
+    ) -> Self {
+        let store = TeeKeystore::new();
+        let (keys, psk) = pair(&store, ceremony_secret);
+        FiatProxy {
+            config,
+            store,
+            keys,
+            quic: QuicServer::new(psk),
+            validator,
+            devices: HashMap::new(),
+            dns: DnsTable::new(),
+            started_at: None,
+            bootstrap_buffer: Vec::new(),
+            rules: None,
+            human_valid_until: SimTime::ZERO,
+            audit: AuditLog::new(),
+            server_random_counter: 0,
+            interactions: None,
+            stats: ProxyStats::default(),
+        }
+    }
+
+    /// Decision counters accumulated since start.
+    pub fn stats(&self) -> ProxyStats {
+        self.stats
+    }
+
+    /// Install a device-interaction DAG (§7 "Complex Scenarios"): manual
+    /// traffic toward a target device is allowed while one of its
+    /// triggers has a recently authorized event.
+    pub fn set_interactions(&mut self, graph: InteractionGraph) {
+        self.interactions = Some(graph);
+    }
+
+    /// Mutable access to the interaction graph (e.g. to add edges live).
+    pub fn interactions_mut(&mut self) -> Option<&mut InteractionGraph> {
+        self.interactions.as_mut()
+    }
+
+    /// Register a device: its classifier and command-completion threshold
+    /// N (the first-N allowance is `min(N, classify_at_cap)`; for N = 1
+    /// devices the very first packet is held for an instant verdict).
+    pub fn register_device(
+        &mut self,
+        device: u16,
+        classifier: EventClassifier,
+        min_packets_to_complete: usize,
+    ) {
+        let classify_at = min_packets_to_complete
+            .min(self.config.classify_at_cap)
+            .max(1);
+        self.devices.insert(
+            device,
+            DeviceState {
+                classifier,
+                classify_at,
+                open: None,
+                drops: VecDeque::new(),
+                locked: false,
+            },
+        );
+    }
+
+    /// Provide DNS knowledge (the proxy observes DNS responses on-path).
+    pub fn set_dns(&mut self, dns: DnsTable) {
+        self.dns = dns;
+    }
+
+    /// Begin operation: bootstrap runs until `now + config.bootstrap`.
+    pub fn start(&mut self, now: SimTime) {
+        self.started_at = Some(now);
+    }
+
+    /// Learned rule count (0 until bootstrap completes).
+    pub fn rule_count(&self) -> usize {
+        self.rules.as_ref().map_or(0, |r| r.len())
+    }
+
+    /// The audit log.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Whether a device is locked out.
+    pub fn is_locked(&self, device: u16) -> bool {
+        self.devices.get(&device).is_some_and(|d| d.locked)
+    }
+
+    /// Manually clear a lockout (the §5.4 user verification).
+    pub fn clear_lockout(&mut self, device: u16) {
+        if let Some(d) = self.devices.get_mut(&device) {
+            d.locked = false;
+            d.drops.clear();
+        }
+    }
+
+    /// Accept the app's handshake and issue a ticket.
+    pub fn accept_handshake(&mut self, hello: &ClientHello) -> ServerHello {
+        self.server_random_counter += 1;
+        let mut random = [0u8; 32];
+        random[..8].copy_from_slice(&self.server_random_counter.to_be_bytes());
+        self.quic.accept(hello, random)
+    }
+
+    /// Process a 0-RTT auth message; returns `Ok(true)` if humanness was
+    /// verified (and the validity window refreshed).
+    pub fn on_auth_zero_rtt(
+        &mut self,
+        pkt: &ZeroRttPacket,
+        now: SimTime,
+    ) -> Result<bool, AuthError> {
+        let payload = self
+            .quic
+            .accept_zero_rtt(pkt)
+            .map_err(AuthError::Transport)?;
+        self.verify_and_validate(&payload, now)
+    }
+
+    /// Process a 1-RTT auth message.
+    pub fn on_auth_one_rtt(
+        &mut self,
+        pkt: &fiat_quic::Packet,
+        now: SimTime,
+    ) -> Result<bool, AuthError> {
+        let payload = self.quic.open(pkt).map_err(AuthError::Transport)?;
+        self.verify_and_validate(&payload, now)
+    }
+
+    fn verify_and_validate(&mut self, payload: &[u8], now: SimTime) -> Result<bool, AuthError> {
+        let (msg_bytes, tag) = FiatApp::split_payload(payload).ok_or(AuthError::Malformed)?;
+        if !self
+            .store
+            .verify(self.keys.sign_key, msg_bytes, tag)
+            .expect("sealed sign key")
+        {
+            return Err(AuthError::BadSignature);
+        }
+        let msg = AuthMessage::decode(msg_bytes).ok_or(AuthError::Malformed)?;
+        let human = self.validator.validate_features(&msg.features, msg.truth);
+        if human {
+            self.human_valid_until = now + self.config.human_valid_window;
+        }
+        Ok(human)
+    }
+
+    /// Whether a humanness proof is currently fresh.
+    pub fn human_fresh(&self, now: SimTime) -> bool {
+        now <= self.human_valid_until
+    }
+
+    /// Decide one intercepted packet (timestamped by its `ts`).
+    pub fn on_packet(&mut self, pkt: &PacketRecord) -> ProxyDecision {
+        let d = self.decide(pkt);
+        match d {
+            ProxyDecision::Allow(AllowReason::Bootstrap) => self.stats.bootstrap += 1,
+            ProxyDecision::Allow(AllowReason::RuleHit) => self.stats.rule_hit += 1,
+            ProxyDecision::Allow(AllowReason::FirstN) => self.stats.first_n += 1,
+            ProxyDecision::Allow(AllowReason::NonManual) => self.stats.non_manual += 1,
+            ProxyDecision::Allow(AllowReason::ManualVerified) => {
+                self.stats.manual_verified += 1
+            }
+            ProxyDecision::Allow(AllowReason::Cascade) => self.stats.cascade += 1,
+            ProxyDecision::Drop(DropReason::ManualUnverified) => {
+                self.stats.dropped_unverified += 1
+            }
+            ProxyDecision::Drop(DropReason::LockedOut) => self.stats.dropped_lockout += 1,
+        }
+        d
+    }
+
+    fn decide(&mut self, pkt: &PacketRecord) -> ProxyDecision {
+        let now = pkt.ts;
+        let started = self.started_at.expect("proxy not started");
+
+        if self.devices.get(&pkt.device).is_some_and(|d| d.locked) {
+            return ProxyDecision::Drop(DropReason::LockedOut);
+        }
+
+        // Bootstrap: allow and learn.
+        if now - started < self.config.bootstrap {
+            self.bootstrap_buffer.push(pkt.clone());
+            return ProxyDecision::Allow(AllowReason::Bootstrap);
+        }
+        if self.rules.is_none() {
+            let engine = PredictabilityEngine::new(self.config.flow_def)
+                .with_tolerance(self.config.tolerance);
+            self.rules = Some(RuleTable::learn(&engine, &self.bootstrap_buffer, &self.dns));
+            self.bootstrap_buffer.clear();
+            self.bootstrap_buffer.shrink_to_fit();
+        }
+
+        // Rule hit: predictable.
+        if self
+            .rules
+            .as_ref()
+            .expect("rules learned")
+            .matches(self.config.flow_def, pkt, &self.dns)
+        {
+            return ProxyDecision::Allow(AllowReason::RuleHit);
+        }
+
+        // Unpredictable: event path.
+        let human_fresh = now <= self.human_valid_until;
+        let gap = self.config.event_gap;
+        let Some(dev) = self.devices.get_mut(&pkt.device) else {
+            // Unknown device: fail open during incremental deployment,
+            // but audit nothing (no classifier to consult).
+            return ProxyDecision::Allow(AllowReason::FirstN);
+        };
+
+        // Close a stale event.
+        if dev
+            .open
+            .as_ref()
+            .is_some_and(|e| now - e.last >= gap)
+        {
+            dev.open = None;
+        }
+        let open = dev.open.get_or_insert_with(|| OpenEvent {
+            packets: Vec::new(),
+            last: now,
+            fate: None,
+        });
+        open.packets.push(pkt.clone());
+        open.last = now;
+
+        if let Some(fate) = open.fate {
+            return match fate {
+                EventFate::AllowRest => ProxyDecision::Allow(AllowReason::NonManual),
+                EventFate::DropRest => ProxyDecision::Drop(DropReason::ManualUnverified),
+            };
+        }
+
+        if open.packets.len() < dev.classify_at {
+            return ProxyDecision::Allow(AllowReason::FirstN);
+        }
+
+        // Classification point reached.
+        let ev = UnpredictableEvent {
+            device: pkt.device,
+            packets: (0..open.packets.len()).collect(),
+            start: open.packets[0].ts,
+            end: open.last,
+        };
+        let class = dev.classifier.classify_event(&ev, &open.packets);
+        if !class.is_manual() {
+            open.fate = Some(EventFate::AllowRest);
+            self.audit.append(AuditEntry {
+                ts: now,
+                device: pkt.device,
+                class,
+                verdict: AuditVerdict::AllowedNonManual,
+            });
+            return ProxyDecision::Allow(AllowReason::NonManual);
+        }
+
+        if human_fresh {
+            open.fate = Some(EventFate::AllowRest);
+            if let Some(g) = &mut self.interactions {
+                g.record_authorized(pkt.device, now);
+            }
+            self.audit.append(AuditEntry {
+                ts: now,
+                device: pkt.device,
+                class,
+                verdict: AuditVerdict::AllowedManualVerified,
+            });
+            return ProxyDecision::Allow(AllowReason::ManualVerified);
+        }
+
+        // No direct humanness proof: an interaction-graph cascade (Alexa
+        // -> light) can still vouch for this device.
+        if self
+            .interactions
+            .as_ref()
+            .is_some_and(|g| g.cascade_covers(pkt.device, now))
+        {
+            open.fate = Some(EventFate::AllowRest);
+            if let Some(g) = &mut self.interactions {
+                g.record_authorized(pkt.device, now);
+            }
+            self.audit.append(AuditEntry {
+                ts: now,
+                device: pkt.device,
+                class,
+                verdict: AuditVerdict::AllowedCascade,
+            });
+            return ProxyDecision::Allow(AllowReason::Cascade);
+        }
+
+        // Unverified manual event: drop and count toward lockout.
+        open.fate = Some(EventFate::DropRest);
+        dev.drops.push_back(now);
+        while dev
+            .drops
+            .front()
+            .is_some_and(|&t| now - t > self.config.lockout_window)
+        {
+            dev.drops.pop_front();
+        }
+        let locked = dev.drops.len() as u32 >= self.config.lockout_threshold;
+        if locked {
+            dev.locked = true;
+        }
+        self.audit.append(AuditEntry {
+            ts: now,
+            device: pkt.device,
+            class,
+            verdict: if locked {
+                AuditVerdict::LockedOut
+            } else {
+                AuditVerdict::DroppedUnverified
+            },
+        });
+        ProxyDecision::Drop(DropReason::ManualUnverified)
+    }
+}
+
+/// Errors from the auth-message path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuthError {
+    /// QUIC-level failure (replay, unknown ticket, decrypt).
+    Transport(fiat_quic::QuicError),
+    /// Payload failed HMAC verification (unauthorized device, §5.4).
+    BadSignature,
+    /// Payload did not parse.
+    Malformed,
+}
+
+impl std::fmt::Display for AuthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuthError::Transport(e) => write!(f, "transport: {e}"),
+            AuthError::BadSignature => write!(f, "signature verification failed"),
+            AuthError::Malformed => write!(f, "malformed auth message"),
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiat_net::{Direction, TcpFlags, TlsVersion, TrafficClass, Transport};
+    use fiat_sensors::{ImuTrace, MotionKind};
+    use std::net::Ipv4Addr;
+
+    const SECRET: [u8; 32] = [0x77; 32];
+
+    fn pkt(ts_ms: u64, size: u16) -> PacketRecord {
+        PacketRecord {
+            ts: SimTime::from_millis(ts_ms),
+            device: 0,
+            direction: Direction::ToDevice,
+            local_ip: Ipv4Addr::new(192, 168, 1, 10),
+            remote_ip: Ipv4Addr::new(34, 0, 0, 1),
+            local_port: 5000,
+            remote_port: 443,
+            transport: Transport::Tcp,
+            tcp_flags: TcpFlags::psh_ack(),
+            tls: TlsVersion::Tls12,
+            size,
+            label: TrafficClass::Control,
+        }
+    }
+
+    fn proxy_with_plug() -> FiatProxy {
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let mut proxy = FiatProxy::new(ProxyConfig::default(), &SECRET, validator);
+        // Plug: simple rule on size 235, N = 1 (decide on first packet).
+        proxy.register_device(0, EventClassifier::simple_rule(235), 1);
+        proxy.start(SimTime::ZERO);
+        proxy
+    }
+
+    /// Run the proxy through bootstrap with a periodic 100 B flow.
+    fn bootstrap(proxy: &mut FiatProxy) -> u64 {
+        // 100 B packets every 10 s for 20 min.
+        let mut t = 0;
+        while t < 20 * 60 * 1000 {
+            assert_eq!(
+                proxy.on_packet(&pkt(t, 100)),
+                ProxyDecision::Allow(AllowReason::Bootstrap)
+            );
+            t += 10_000;
+        }
+        t
+    }
+
+    #[test]
+    fn bootstrap_learns_rules_then_enforces() {
+        let mut proxy = proxy_with_plug();
+        let t = bootstrap(&mut proxy);
+        // Post-bootstrap: the periodic flow hits the learned rule.
+        assert_eq!(
+            proxy.on_packet(&pkt(t, 100)),
+            ProxyDecision::Allow(AllowReason::RuleHit)
+        );
+        assert!(proxy.rule_count() >= 1);
+        // A never-seen size misses and enters the event path.
+        let d = proxy.on_packet(&pkt(t + 1000, 999));
+        assert!(matches!(d, ProxyDecision::Allow(AllowReason::NonManual)));
+    }
+
+    #[test]
+    fn manual_command_without_human_dropped() {
+        let mut proxy = proxy_with_plug();
+        let t = bootstrap(&mut proxy);
+        // A 235 B command packet: classified manual at packet 1, no human.
+        assert_eq!(
+            proxy.on_packet(&pkt(t, 235)),
+            ProxyDecision::Drop(DropReason::ManualUnverified)
+        );
+        // The event's second packet also drops.
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 100, 235)),
+            ProxyDecision::Drop(DropReason::ManualUnverified)
+        );
+        assert_eq!(proxy.audit().len(), 1);
+        assert_eq!(
+            proxy.audit().entries()[0].verdict,
+            AuditVerdict::DroppedUnverified
+        );
+    }
+
+    #[test]
+    fn manual_command_with_human_allowed() {
+        let mut proxy = proxy_with_plug();
+        let t = bootstrap(&mut proxy);
+
+        // The phone sends valid evidence first (0-RTT after handshake).
+        let mut app = FiatApp::new(&SECRET, 1);
+        let ch = app.handshake_request();
+        let sh = proxy.accept_handshake(&ch);
+        app.complete_handshake(&sh).unwrap();
+        let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 3);
+        let z = app
+            .authorize_zero_rtt("com.smartplug.app", &imu, MotionKind::HumanTouch, t)
+            .unwrap();
+        assert_eq!(
+            proxy.on_auth_zero_rtt(&z, SimTime::from_millis(t)),
+            Ok(true)
+        );
+
+        // The command arrives moments later: allowed.
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 500, 235)),
+            ProxyDecision::Allow(AllowReason::ManualVerified)
+        );
+        assert_eq!(
+            proxy.audit().entries()[0].verdict,
+            AuditVerdict::AllowedManualVerified
+        );
+    }
+
+    #[test]
+    fn humanness_proof_expires() {
+        let mut proxy = proxy_with_plug();
+        let t = bootstrap(&mut proxy);
+        let mut app = FiatApp::new(&SECRET, 1);
+        let ch = app.handshake_request();
+        let sh = proxy.accept_handshake(&ch);
+        app.complete_handshake(&sh).unwrap();
+        let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 3);
+        let z = app
+            .authorize_zero_rtt("app", &imu, MotionKind::HumanTouch, t)
+            .unwrap();
+        proxy.on_auth_zero_rtt(&z, SimTime::from_millis(t)).unwrap();
+        // 31 s later (window is 30 s) the command is no longer covered.
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 31_000, 235)),
+            ProxyDecision::Drop(DropReason::ManualUnverified)
+        );
+    }
+
+    #[test]
+    fn attacker_touch_evidence_rejected() {
+        // Software-injected command with a resting phone: the evidence
+        // fails humanness, so the command drops.
+        let mut proxy = proxy_with_plug();
+        let t = bootstrap(&mut proxy);
+        let mut app = FiatApp::new(&SECRET, 1);
+        let ch = app.handshake_request();
+        let sh = proxy.accept_handshake(&ch);
+        app.complete_handshake(&sh).unwrap();
+        let imu = ImuTrace::synthesize(MotionKind::Resting, 500, 3);
+        let z = app
+            .authorize_zero_rtt("app", &imu, MotionKind::Resting, t)
+            .unwrap();
+        assert_eq!(
+            proxy.on_auth_zero_rtt(&z, SimTime::from_millis(t)),
+            Ok(false)
+        );
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 100, 235)),
+            ProxyDecision::Drop(DropReason::ManualUnverified)
+        );
+    }
+
+    #[test]
+    fn unauthorized_device_evidence_rejected() {
+        // An app paired with a *different* secret cannot validate: the
+        // QUIC layer itself refuses (different PSK).
+        let mut proxy = proxy_with_plug();
+        bootstrap(&mut proxy);
+        let mut evil = FiatApp::new(&[0x66; 32], 1);
+        let ch = evil.handshake_request();
+        let sh = proxy.accept_handshake(&ch);
+        // Handshake "completes" locally but keys mismatch.
+        evil.complete_handshake(&sh).unwrap();
+        let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 3);
+        let z = evil
+            .authorize_zero_rtt("app", &imu, MotionKind::HumanTouch, 0)
+            .unwrap();
+        assert!(matches!(
+            proxy.on_auth_zero_rtt(&z, SimTime::from_secs(1300)),
+            Err(AuthError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn replayed_evidence_rejected() {
+        let mut proxy = proxy_with_plug();
+        let t = bootstrap(&mut proxy);
+        let mut app = FiatApp::new(&SECRET, 1);
+        let ch = app.handshake_request();
+        let sh = proxy.accept_handshake(&ch);
+        app.complete_handshake(&sh).unwrap();
+        let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 3);
+        let z = app
+            .authorize_zero_rtt("app", &imu, MotionKind::HumanTouch, t)
+            .unwrap();
+        assert_eq!(proxy.on_auth_zero_rtt(&z, SimTime::from_millis(t)), Ok(true));
+        // A LAN attacker who captured the packet replays it later.
+        assert!(matches!(
+            proxy.on_auth_zero_rtt(&z, SimTime::from_millis(t + 60_000)),
+            Err(AuthError::Transport(fiat_quic::QuicError::Replayed))
+        ));
+    }
+
+    #[test]
+    fn brute_force_triggers_lockout() {
+        let mut proxy = proxy_with_plug();
+        let t = bootstrap(&mut proxy);
+        // Three unverified manual events within 60 s -> lockout.
+        for k in 0..3u64 {
+            let d = proxy.on_packet(&pkt(t + k * 10_000, 235));
+            assert_eq!(d, ProxyDecision::Drop(DropReason::ManualUnverified));
+        }
+        assert!(proxy.is_locked(0));
+        // Everything on the device now drops, even predictable traffic.
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 40_000, 100)),
+            ProxyDecision::Drop(DropReason::LockedOut)
+        );
+        // Manual clearing restores service.
+        proxy.clear_lockout(0);
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 50_000, 100)),
+            ProxyDecision::Allow(AllowReason::RuleHit)
+        );
+    }
+
+    #[test]
+    fn spaced_drops_do_not_lock() {
+        let mut proxy = proxy_with_plug();
+        let t = bootstrap(&mut proxy);
+        // Three drops spread over 5 minutes (outside the 60 s window):
+        // each event needs a fresh gap (>= 5 s) to be a new event.
+        for k in 0..3u64 {
+            proxy.on_packet(&pkt(t + k * 120_000, 235));
+        }
+        assert!(!proxy.is_locked(0));
+    }
+
+    #[test]
+    fn first_n_allowance_for_complex_device() {
+        // An ML device with classify point 5: four packets pass before
+        // the verdict.
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let mut proxy = FiatProxy::new(ProxyConfig::default(), &SECRET, validator);
+        // Train a BernoulliNB on a toy dataset where events like ours are
+        // manual.
+        let (packets, events) = toy_training();
+        let data = crate::classifier::event_dataset(&events, &packets);
+        proxy.register_device(0, EventClassifier::train_bernoulli(&data), 41);
+        proxy.start(SimTime::ZERO);
+        let t = bootstrap(&mut proxy);
+
+        for k in 0..4u64 {
+            assert_eq!(
+                proxy.on_packet(&pkt(t + k * 100, 900)),
+                ProxyDecision::Allow(AllowReason::FirstN),
+                "packet {k}"
+            );
+        }
+        // Fifth packet: classification fires (manual, no human -> drop).
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 400, 900)),
+            ProxyDecision::Drop(DropReason::ManualUnverified)
+        );
+    }
+
+    /// Toy training data: 900 B TLS bursts are manual, 150 B no-TLS are
+    /// control.
+    fn toy_training() -> (Vec<PacketRecord>, Vec<UnpredictableEvent>) {
+        let mut packets = Vec::new();
+        let mut events = Vec::new();
+        let mut t = 0u64;
+        for k in 0..40 {
+            let manual = k % 2 == 0;
+            let start = packets.len();
+            for j in 0..5 {
+                let mut p = pkt(t + j * 100, if manual { 900 } else { 150 });
+                p.tls = if manual { TlsVersion::Tls12 } else { TlsVersion::None };
+                p.label = if manual {
+                    TrafficClass::Manual
+                } else {
+                    TrafficClass::Control
+                };
+                packets.push(p);
+            }
+            events.push(UnpredictableEvent {
+                device: 0,
+                packets: (start..start + 5).collect(),
+                start: SimTime::from_millis(t),
+                end: SimTime::from_millis(t + 400),
+            });
+            t += 60_000;
+        }
+        (packets, events)
+    }
+
+    #[test]
+    fn unknown_device_fails_open() {
+        let mut proxy = proxy_with_plug();
+        let t = bootstrap(&mut proxy);
+        let mut p = pkt(t, 999);
+        p.device = 42; // never registered
+        assert!(proxy.on_packet(&p).is_allow());
+    }
+
+    #[test]
+    #[should_panic(expected = "proxy not started")]
+    fn packets_before_start_panic() {
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let mut proxy = FiatProxy::new(ProxyConfig::default(), &SECRET, validator);
+        proxy.on_packet(&pkt(0, 100));
+    }
+
+    #[test]
+    fn cascade_requires_fresh_trigger_authorization() {
+        // Edge Alexa(1) -> plug(0) with a 10 s cascade window: once the
+        // Alexa authorization goes stale, downstream commands drop again.
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let config = ProxyConfig {
+            human_valid_window: SimDuration::from_secs(1),
+            ..ProxyConfig::default()
+        };
+        let mut proxy = FiatProxy::new(config, &SECRET, validator);
+        proxy.register_device(0, EventClassifier::simple_rule(235), 1);
+        proxy.register_device(1, EventClassifier::simple_rule(235), 1);
+        let mut graph =
+            crate::interactions::InteractionGraph::new(SimDuration::from_secs(10));
+        graph.add_edge(1, 0).unwrap();
+        proxy.set_interactions(graph);
+        proxy.start(SimTime::ZERO);
+        let t = bootstrap(&mut proxy);
+
+        let mut app = FiatApp::new(&SECRET, 1);
+        let ch = app.handshake_request();
+        let sh = proxy.accept_handshake(&ch);
+        app.complete_handshake(&sh).unwrap();
+        let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 3);
+        let z = app
+            .authorize_zero_rtt("alexa", &imu, MotionKind::HumanTouch, t)
+            .unwrap();
+        proxy.on_auth_zero_rtt(&z, SimTime::from_millis(t)).unwrap();
+        let mut alexa_cmd = pkt(t + 500, 235);
+        alexa_cmd.device = 1;
+        assert!(proxy.on_packet(&alexa_cmd).is_allow());
+
+        // Within the 10 s cascade window: allowed.
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 8_000, 235)),
+            ProxyDecision::Allow(AllowReason::Cascade)
+        );
+        // Past it (and past the human window): dropped.
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 30_000, 235)),
+            ProxyDecision::Drop(DropReason::ManualUnverified)
+        );
+    }
+
+    #[test]
+    fn cascade_reason_surfaces_when_human_window_expired() {
+        // Direct check of the Cascade allow reason using a short human
+        // window.
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let config = ProxyConfig {
+            human_valid_window: SimDuration::from_secs(1),
+            ..ProxyConfig::default()
+        };
+        let mut proxy = FiatProxy::new(config, &SECRET, validator);
+        proxy.register_device(0, EventClassifier::simple_rule(235), 1);
+        proxy.register_device(1, EventClassifier::simple_rule(235), 1);
+        let mut graph = crate::interactions::InteractionGraph::new(
+            SimDuration::from_secs(60),
+        );
+        graph.add_edge(1, 0).unwrap();
+        proxy.set_interactions(graph);
+        proxy.start(SimTime::ZERO);
+        let t = bootstrap(&mut proxy);
+
+        let mut app = FiatApp::new(&SECRET, 1);
+        let ch = app.handshake_request();
+        let sh = proxy.accept_handshake(&ch);
+        app.complete_handshake(&sh).unwrap();
+        let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 3);
+        let z = app
+            .authorize_zero_rtt("alexa", &imu, MotionKind::HumanTouch, t)
+            .unwrap();
+        proxy.on_auth_zero_rtt(&z, SimTime::from_millis(t)).unwrap();
+        // Alexa's command rides the (1 s) human window.
+        let mut alexa_cmd = pkt(t + 500, 235);
+        alexa_cmd.device = 1;
+        assert_eq!(
+            proxy.on_packet(&alexa_cmd),
+            ProxyDecision::Allow(AllowReason::ManualVerified)
+        );
+        // 10 s later the human window is gone, but the cascade covers the
+        // plug via the authorized Alexa event.
+        let plug_cmd = pkt(t + 10_000, 235);
+        assert_eq!(
+            proxy.on_packet(&plug_cmd),
+            ProxyDecision::Allow(AllowReason::Cascade)
+        );
+        assert!(proxy
+            .audit()
+            .entries()
+            .iter()
+            .any(|e| e.verdict == AuditVerdict::AllowedCascade));
+        // Without the edge (device 5 unconfigured), the same command
+        // drops: check via a device with no incoming edges.
+        proxy.register_device(5, EventClassifier::simple_rule(235), 1);
+        let mut other = pkt(t + 11_000, 235);
+        other.device = 5;
+        assert_eq!(
+            proxy.on_packet(&other),
+            ProxyDecision::Drop(DropReason::ManualUnverified)
+        );
+    }
+
+    #[test]
+    fn stats_account_for_every_packet() {
+        let mut proxy = proxy_with_plug();
+        let t = bootstrap(&mut proxy);
+        proxy.on_packet(&pkt(t, 100)); // rule hit
+        proxy.on_packet(&pkt(t + 1000, 235)); // manual drop
+        let s = proxy.stats();
+        assert_eq!(s.rule_hit, 1);
+        assert_eq!(s.dropped_unverified, 1);
+        assert!(s.bootstrap > 0);
+        assert_eq!(s.total(), s.bootstrap + 2);
+        assert_eq!(s.dropped(), 1);
+        assert!((s.rule_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn audit_chain_stays_valid() {
+        let mut proxy = proxy_with_plug();
+        let t = bootstrap(&mut proxy);
+        for k in 0..5u64 {
+            proxy.on_packet(&pkt(t + k * 10_000, 235));
+        }
+        assert!(proxy.audit().verify());
+        assert!(proxy.audit().len() >= 3);
+    }
+}

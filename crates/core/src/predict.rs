@@ -1,0 +1,450 @@
+//! The §2.1 predictability heuristic.
+//!
+//! Packets are bucketed by flow key ([`FlowDef::Classic`] 6-tuple or
+//! [`FlowDef::PortLess`]); within a bucket, the inter-arrival time of each
+//! consecutive packet pair is computed. If an inter-arrival matches any
+//! previously computed inter-arrival for that bucket, *all packets
+//! associated with that inter-arrival — previous or future — are
+//! predictable*. Real traffic jitters by tens of milliseconds, so
+//! intervals are quantized into tolerance bins before matching.
+
+use fiat_net::{DnsTable, FlowDef, FlowKey, PacketRecord, SimDuration, SimTime, TrafficClass};
+use std::collections::{HashMap, HashSet};
+
+/// Default interval quantization bin: one microsecond, i.e. exact
+/// matching at capture resolution — what the paper's heuristic does.
+/// Timer-driven IoT control traffic re-fires at coarse scheduler ticks,
+/// so its inter-arrival values repeat exactly; the irregular gaps inside
+/// command bursts are effectively continuous and (almost) never do.
+/// Coarser bins trade false "predictable" matches for jitter tolerance —
+/// the `ablation_flowdef` bench sweeps this.
+pub const DEFAULT_TOLERANCE: SimDuration = SimDuration::from_micros(1);
+
+/// Offline analyzer: marks each packet of a trace predictable or not.
+#[derive(Debug, Clone)]
+pub struct PredictabilityEngine {
+    /// Flow definition for bucketing.
+    pub def: FlowDef,
+    /// Interval quantization bin.
+    pub tolerance: SimDuration,
+}
+
+impl PredictabilityEngine {
+    /// Engine with the given flow definition and default tolerance.
+    pub fn new(def: FlowDef) -> Self {
+        PredictabilityEngine {
+            def,
+            tolerance: DEFAULT_TOLERANCE,
+        }
+    }
+
+    /// Override the tolerance bin (for the gap-threshold ablation).
+    pub fn with_tolerance(mut self, tolerance: SimDuration) -> Self {
+        assert!(tolerance > SimDuration::ZERO, "tolerance must be positive");
+        self.tolerance = tolerance;
+        self
+    }
+
+    pub(crate) fn bin(&self, d: SimDuration) -> u64 {
+        d.as_micros() / self.tolerance.as_micros().max(1)
+    }
+
+    /// Analyze packets (with the trace's DNS table), returning one flag
+    /// per packet: `true` = predictable.
+    pub fn analyze(&self, packets: &[PacketRecord], dns: &DnsTable) -> Vec<bool> {
+        // Bucket id -> list of (packet index, timestamp), in trace order.
+        let mut buckets: HashMap<(u16, FlowKey), Vec<(usize, SimTime)>> = HashMap::new();
+        for (i, p) in packets.iter().enumerate() {
+            let key = (p.device, FlowKey::of(self.def, p, dns));
+            buckets.entry(key).or_default().push((i, p.ts));
+        }
+
+        let mut predictable = vec![false; packets.len()];
+        for members in buckets.values() {
+            // interval bin -> packet indices associated with it.
+            let mut by_bin: HashMap<u64, Vec<usize>> = HashMap::new();
+            for w in members.windows(2) {
+                let (i_prev, t_prev) = w[0];
+                let (i_cur, t_cur) = w[1];
+                let b = self.bin(t_cur - t_prev);
+                let entry = by_bin.entry(b).or_default();
+                entry.push(i_prev);
+                entry.push(i_cur);
+            }
+            for indices in by_bin.values() {
+                // An interval value seen at least twice (i.e. >= 3 distinct
+                // packets involved across >= 2 pairs) is a repeat.
+                if indices.len() >= 4 {
+                    for &i in indices {
+                        predictable[i] = true;
+                    }
+                }
+            }
+        }
+        predictable
+    }
+
+    /// Analyze and summarize per device and traffic class.
+    pub fn report(&self, packets: &[PacketRecord], dns: &DnsTable) -> PredictabilityReport {
+        let flags = self.analyze(packets, dns);
+        let mut per_device: HashMap<u16, ClassCounts> = HashMap::new();
+        for (p, &f) in packets.iter().zip(&flags) {
+            per_device.entry(p.device).or_default().add(p.label, f);
+        }
+        PredictabilityReport { per_device, flags }
+    }
+
+    /// For Figure 1(c): for each predictable bucket, the maximum matched
+    /// interval, weighted by the bucket's predictable packet count.
+    /// Returns `(max_interval, n_predictable_packets)` per bucket.
+    pub fn max_intervals(
+        &self,
+        packets: &[PacketRecord],
+        dns: &DnsTable,
+    ) -> Vec<(SimDuration, usize)> {
+        let mut buckets: HashMap<(u16, FlowKey), Vec<SimTime>> = HashMap::new();
+        for p in packets {
+            buckets
+                .entry((p.device, FlowKey::of(self.def, p, dns)))
+                .or_default()
+                .push(p.ts);
+        }
+        let mut out = Vec::new();
+        for times in buckets.values() {
+            let mut by_bin: HashMap<u64, (SimDuration, HashSet<usize>)> = HashMap::new();
+            for (k, w) in times.windows(2).enumerate() {
+                let iv = w[1] - w[0];
+                let e = by_bin.entry(self.bin(iv)).or_insert((iv, HashSet::new()));
+                e.0 = e.0.max(iv);
+                e.1.insert(k);
+                e.1.insert(k + 1);
+            }
+            let mut max_iv = SimDuration::ZERO;
+            let mut n = HashSet::new();
+            for (iv, idx) in by_bin.values() {
+                if idx.len() >= 3 {
+                    max_iv = max_iv.max(*iv);
+                    n.extend(idx.iter().copied());
+                }
+            }
+            if !n.is_empty() {
+                out.push((max_iv, n.len()));
+            }
+        }
+        out
+    }
+}
+
+/// Per-class predictable/total counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassCounts {
+    counts: [(u64, u64); 3], // (predictable, total) per class
+}
+
+impl ClassCounts {
+    fn class_idx(c: TrafficClass) -> usize {
+        match c {
+            TrafficClass::Control => 0,
+            TrafficClass::Automated => 1,
+            TrafficClass::Manual => 2,
+        }
+    }
+
+    fn add(&mut self, class: TrafficClass, predictable: bool) {
+        let (p, t) = &mut self.counts[Self::class_idx(class)];
+        *t += 1;
+        if predictable {
+            *p += 1;
+        }
+    }
+
+    /// Fraction of packets of `class` that were predictable (0 if none).
+    pub fn fraction(&self, class: TrafficClass) -> f64 {
+        let (p, t) = self.counts[Self::class_idx(class)];
+        if t == 0 {
+            0.0
+        } else {
+            p as f64 / t as f64
+        }
+    }
+
+    /// Total packets of `class`.
+    pub fn total(&self, class: TrafficClass) -> u64 {
+        self.counts[Self::class_idx(class)].1
+    }
+
+    /// Overall predictable fraction across classes.
+    pub fn overall_fraction(&self) -> f64 {
+        let p: u64 = self.counts.iter().map(|(p, _)| p).sum();
+        let t: u64 = self.counts.iter().map(|(_, t)| t).sum();
+        if t == 0 {
+            0.0
+        } else {
+            p as f64 / t as f64
+        }
+    }
+}
+
+/// Summary of a predictability analysis.
+#[derive(Debug, Clone)]
+pub struct PredictabilityReport {
+    /// Per-device class counters.
+    pub per_device: HashMap<u16, ClassCounts>,
+    /// The raw per-packet flags (aligned with the analyzed slice).
+    pub flags: Vec<bool>,
+}
+
+impl PredictabilityReport {
+    /// Predictable fraction for one device and class.
+    pub fn fraction(&self, device: u16, class: TrafficClass) -> f64 {
+        self.per_device
+            .get(&device)
+            .map_or(0.0, |c| c.fraction(class))
+    }
+
+    /// Overall predictable fraction for one device.
+    pub fn device_fraction(&self, device: u16) -> f64 {
+        self.per_device
+            .get(&device)
+            .map_or(0.0, |c| c.overall_fraction())
+    }
+}
+
+/// Minimum repeating interval for a bucket to become an allow rule.
+///
+/// Rules target periodic *control* flows, whose periods run from ~10 s to
+/// 10 min (Fig 1c). A single command burst also repeats an interval — a
+/// camera's 33 ms video cadence — but admitting it as a rule would let a
+/// later unauthorized command stream straight through the proxy, so
+/// sub-second repeats never make rules (they still count as predictable
+/// in the offline analysis, as in Fig 2).
+pub const MIN_RULE_INTERVAL: SimDuration = SimDuration::from_secs(1);
+
+/// The enforcement-time rule table (§5.4 "Rules Creation"): flows observed
+/// as predictable during the bootstrap window become allow rules; a rule
+/// hit at enforcement time means "predictable, allow".
+#[derive(Debug, Clone, Default)]
+pub struct RuleTable {
+    rules: HashSet<(u16, FlowKey)>,
+}
+
+impl RuleTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Learn rules from a bootstrap capture: a bucket becomes a rule when
+    /// it repeats an interval of at least [`MIN_RULE_INTERVAL`].
+    pub fn learn(
+        engine: &PredictabilityEngine,
+        packets: &[PacketRecord],
+        dns: &DnsTable,
+    ) -> RuleTable {
+        let mut buckets: HashMap<(u16, FlowKey), Vec<SimTime>> = HashMap::new();
+        for p in packets {
+            buckets
+                .entry((p.device, FlowKey::of(engine.def, p, dns)))
+                .or_default()
+                .push(p.ts);
+        }
+        let mut rules = HashSet::new();
+        for (key, times) in buckets {
+            let mut counts: HashMap<u64, (SimDuration, u32)> = HashMap::new();
+            for w in times.windows(2) {
+                let iv = w[1] - w[0];
+                let e = counts.entry(engine.bin(iv)).or_insert((iv, 0));
+                e.1 += 1;
+            }
+            if counts
+                .values()
+                .any(|(iv, n)| *n >= 2 && *iv >= MIN_RULE_INTERVAL)
+            {
+                rules.insert(key);
+            }
+        }
+        RuleTable { rules }
+    }
+
+    /// Whether a packet hits a learned rule.
+    pub fn matches(&self, def: FlowDef, pkt: &PacketRecord, dns: &DnsTable) -> bool {
+        self.rules.contains(&(pkt.device, FlowKey::of(def, pkt, dns)))
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Insert a rule directly (used for the §7 DAG-style allow rules,
+    /// e.g. "always allow Alexa → smart light").
+    pub fn insert(&mut self, device: u16, key: FlowKey) {
+        self.rules.insert((device, key));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiat_net::{Direction, TcpFlags, TlsVersion, Transport};
+    use std::net::Ipv4Addr;
+
+    fn pkt(ts_ms: u64, size: u16, port: u16) -> PacketRecord {
+        PacketRecord {
+            ts: SimTime::from_millis(ts_ms),
+            device: 0,
+            direction: Direction::FromDevice,
+            local_ip: Ipv4Addr::new(192, 168, 1, 10),
+            remote_ip: Ipv4Addr::new(34, 0, 0, 1),
+            local_port: port,
+            remote_port: 443,
+            transport: Transport::Tcp,
+            tcp_flags: TcpFlags::ack(),
+            tls: TlsVersion::None,
+            size,
+            label: TrafficClass::Control,
+        }
+    }
+
+    #[test]
+    fn periodic_flow_is_fully_predictable() {
+        let packets: Vec<PacketRecord> = (0..10).map(|i| pkt(i * 1000, 100, 5000)).collect();
+        let eng = PredictabilityEngine::new(FlowDef::PortLess);
+        let flags = eng.analyze(&packets, &DnsTable::new());
+        assert!(flags.iter().all(|&f| f), "{flags:?}");
+    }
+
+    #[test]
+    fn two_packet_flow_never_predictable() {
+        // Only one interval: cannot match a previous interval.
+        let packets = vec![pkt(0, 235, 5000), pkt(100, 235, 5000)];
+        let eng = PredictabilityEngine::new(FlowDef::PortLess);
+        let flags = eng.analyze(&packets, &DnsTable::new());
+        assert_eq!(flags, vec![false, false]);
+    }
+
+    #[test]
+    fn irregular_intervals_unpredictable() {
+        // Distinct intervals in distinct bins never repeat.
+        let times = [0u64, 1000, 3500, 9000, 20000];
+        let packets: Vec<PacketRecord> = times.iter().map(|&t| pkt(t, 100, 5000)).collect();
+        let eng = PredictabilityEngine::new(FlowDef::PortLess);
+        let flags = eng.analyze(&packets, &DnsTable::new());
+        assert!(flags.iter().all(|&f| !f), "{flags:?}");
+    }
+
+    #[test]
+    fn jitter_within_tolerance_still_matches() {
+        // Period 1000 ms with ±80 ms jitter lands in the same 250 ms bin
+        // often enough that most packets are predictable.
+        let times = [0u64, 1010, 2020, 3080, 4100, 5150, 6170];
+        let packets: Vec<PacketRecord> = times.iter().map(|&t| pkt(t, 100, 5000)).collect();
+        let eng = PredictabilityEngine::new(FlowDef::PortLess);
+        let flags = eng.analyze(&packets, &DnsTable::new());
+        let frac = flags.iter().filter(|&&f| f).count() as f64 / flags.len() as f64;
+        assert!(frac > 0.8, "{flags:?}");
+    }
+
+    #[test]
+    fn port_churn_breaks_classic_not_portless() {
+        // Same flow, but the source port changes every 2 packets.
+        let packets: Vec<PacketRecord> = (0..12)
+            .map(|i| pkt(i * 1000, 100, 5000 + (i / 2) as u16))
+            .collect();
+        let dns = DnsTable::new();
+        let classic = PredictabilityEngine::new(FlowDef::Classic).analyze(&packets, &dns);
+        let portless = PredictabilityEngine::new(FlowDef::PortLess).analyze(&packets, &dns);
+        assert!(classic.iter().all(|&f| !f), "classic: {classic:?}");
+        assert!(portless.iter().all(|&f| f), "portless: {portless:?}");
+    }
+
+    #[test]
+    fn different_sizes_bucket_separately() {
+        let mut packets = Vec::new();
+        for i in 0..6 {
+            packets.push(pkt(i * 1000, 100, 5000));
+        }
+        // Interleaved one-off packets of unique sizes stay unpredictable.
+        packets.push(pkt(150, 999, 5000));
+        packets.push(pkt(2150, 888, 5000));
+        packets.sort_by_key(|p| p.ts);
+        let eng = PredictabilityEngine::new(FlowDef::PortLess);
+        let flags = eng.analyze(&packets, &DnsTable::new());
+        for (p, f) in packets.iter().zip(&flags) {
+            assert_eq!(*f, p.size == 100, "size {} flagged {}", p.size, f);
+        }
+    }
+
+    #[test]
+    fn report_aggregates_by_class() {
+        let mut packets: Vec<PacketRecord> = (0..10).map(|i| pkt(i * 1000, 100, 5000)).collect();
+        let mut manual = pkt(2500, 777, 6000);
+        manual.label = TrafficClass::Manual;
+        packets.push(manual);
+        packets.sort_by_key(|p| p.ts);
+        let eng = PredictabilityEngine::new(FlowDef::PortLess);
+        let rep = eng.report(&packets, &DnsTable::new());
+        assert_eq!(rep.fraction(0, TrafficClass::Control), 1.0);
+        assert_eq!(rep.fraction(0, TrafficClass::Manual), 0.0);
+        assert!((rep.device_fraction(0) - 10.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_intervals_reports_period() {
+        let packets: Vec<PacketRecord> = (0..10).map(|i| pkt(i * 60_000, 100, 5000)).collect();
+        let eng = PredictabilityEngine::new(FlowDef::PortLess);
+        let iv = eng.max_intervals(&packets, &DnsTable::new());
+        assert_eq!(iv.len(), 1);
+        assert_eq!(iv[0].0, SimDuration::from_secs(60));
+        assert_eq!(iv[0].1, 10);
+    }
+
+    #[test]
+    fn devices_do_not_share_buckets() {
+        // Identical flows on two devices are independent: 2 packets each,
+        // so neither is predictable even though combined they would be.
+        let mut packets = vec![pkt(0, 100, 5000), pkt(1000, 100, 5000)];
+        let mut p3 = pkt(2000, 100, 5000);
+        p3.device = 1;
+        let mut p4 = pkt(3000, 100, 5000);
+        p4.device = 1;
+        packets.push(p3);
+        packets.push(p4);
+        let eng = PredictabilityEngine::new(FlowDef::PortLess);
+        let flags = eng.analyze(&packets, &DnsTable::new());
+        assert!(flags.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn rule_table_learns_predictable_buckets() {
+        let packets: Vec<PacketRecord> = (0..10).map(|i| pkt(i * 1000, 100, 5000)).collect();
+        let dns = DnsTable::new();
+        let eng = PredictabilityEngine::new(FlowDef::PortLess);
+        let rules = RuleTable::learn(&eng, &packets, &dns);
+        assert_eq!(rules.len(), 1);
+        // A fresh packet of the same flow hits; a different size misses.
+        assert!(rules.matches(FlowDef::PortLess, &pkt(99_000, 100, 60_000), &dns));
+        assert!(!rules.matches(FlowDef::PortLess, &pkt(99_000, 101, 60_000), &dns));
+    }
+
+    #[test]
+    fn rule_table_empty_from_unpredictable_bootstrap() {
+        let packets = vec![pkt(0, 1, 1), pkt(777, 2, 2), pkt(9999, 3, 3)];
+        let dns = DnsTable::new();
+        let eng = PredictabilityEngine::new(FlowDef::PortLess);
+        let rules = RuleTable::learn(&eng, &packets, &dns);
+        assert!(rules.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be positive")]
+    fn zero_tolerance_rejected() {
+        let _ = PredictabilityEngine::new(FlowDef::PortLess)
+            .with_tolerance(SimDuration::ZERO);
+    }
+}

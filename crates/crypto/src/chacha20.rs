@@ -1,0 +1,145 @@
+//! ChaCha20 stream cipher per RFC 8439 §2.
+
+/// ChaCha20 key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// ChaCha20 nonce length in bytes (IETF 96-bit variant).
+pub const NONCE_LEN: usize = 12;
+
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn init_state(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u32; 16] {
+    let mut s = [0u32; 16];
+    s[..4].copy_from_slice(&SIGMA);
+    for i in 0..8 {
+        s[4 + i] = u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    s[12] = counter;
+    for i in 0..3 {
+        s[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
+    }
+    s
+}
+
+/// Produce one 64-byte ChaCha20 keystream block.
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; 64] {
+    let initial = init_state(key, counter, nonce);
+    let mut s = initial;
+    for _ in 0..10 {
+        quarter_round(&mut s, 0, 4, 8, 12);
+        quarter_round(&mut s, 1, 5, 9, 13);
+        quarter_round(&mut s, 2, 6, 10, 14);
+        quarter_round(&mut s, 3, 7, 11, 15);
+        quarter_round(&mut s, 0, 5, 10, 15);
+        quarter_round(&mut s, 1, 6, 11, 12);
+        quarter_round(&mut s, 2, 7, 8, 13);
+        quarter_round(&mut s, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = s[i].wrapping_add(initial[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// XOR `data` in place with the ChaCha20 keystream starting at block `counter`.
+///
+/// Encryption and decryption are the same operation.
+pub fn xor_in_place(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+    for (i, chunk) in data.chunks_mut(64).enumerate() {
+        let ks = block(key, counter.wrapping_add(i as u32), nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let ks = block(&key, 1, &nonce);
+        assert_eq!(
+            hex(&ks),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    // RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encrypt_vector() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        xor_in_place(&key, 1, &nonce, &mut data);
+        assert_eq!(
+            hex(&data[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+        assert_eq!(
+            hex(&data[96..114]),
+            "5af90bbf74a35be6b40b8eedf2785e42874d"
+        );
+    }
+
+    #[test]
+    fn roundtrip() {
+        let key = [7u8; 32];
+        let nonce = [3u8; 12];
+        let plain: Vec<u8> = (0..300).map(|i| (i % 251) as u8).collect();
+        let mut data = plain.clone();
+        xor_in_place(&key, 0, &nonce, &mut data);
+        assert_ne!(data, plain);
+        xor_in_place(&key, 0, &nonce, &mut data);
+        assert_eq!(data, plain);
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        // Encrypting 128 bytes at counter 0 equals two 64-byte encryptions at
+        // counters 0 and 1.
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let mut whole = vec![0u8; 128];
+        xor_in_place(&key, 0, &nonce, &mut whole);
+        let mut first = vec![0u8; 64];
+        let mut second = vec![0u8; 64];
+        xor_in_place(&key, 0, &nonce, &mut first);
+        xor_in_place(&key, 1, &nonce, &mut second);
+        assert_eq!(&whole[..64], &first[..]);
+        assert_eq!(&whole[64..], &second[..]);
+    }
+}

@@ -1,0 +1,35 @@
+//! Constant-time helpers.
+
+/// Compare two byte slices without early exit on mismatch.
+///
+/// Returns `false` immediately if lengths differ (length is public for tags),
+/// otherwise the comparison time is independent of where bytes differ.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ct_eq;
+
+    #[test]
+    fn equal_slices() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+    }
+
+    #[test]
+    fn unequal_slices() {
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"abc", b"abcd"));
+        assert!(!ct_eq(b"\x00", b"\x01"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Poly1305 one-time authenticator per RFC 8439 §2.5.
+//!
+//! Arithmetic is done over 2^130 - 5 using five 26-bit limbs in `u32`,
+//! with `u64` intermediate products — the classic "donna" layout.
+
+/// Poly1305 key length (r ‖ s) in bytes.
+pub const KEY_LEN: usize = 32;
+/// Poly1305 tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Incremental Poly1305 MAC state.
+pub struct Poly1305 {
+    r: [u32; 5],
+    s: [u32; 4],
+    acc: [u32; 5],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Initialize from a 32-byte one-time key.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        // Clamp r per RFC 8439 §2.5.1, then split into 26-bit limbs.
+        let t0 = u32::from_le_bytes([key[0], key[1], key[2], key[3]]);
+        let t1 = u32::from_le_bytes([key[4], key[5], key[6], key[7]]);
+        let t2 = u32::from_le_bytes([key[8], key[9], key[10], key[11]]);
+        let t3 = u32::from_le_bytes([key[12], key[13], key[14], key[15]]);
+        let r = [
+            t0 & 0x3ffffff,
+            ((t0 >> 26) | (t1 << 6)) & 0x3ffff03,
+            ((t1 >> 20) | (t2 << 12)) & 0x3ffc0ff,
+            ((t2 >> 14) | (t3 << 18)) & 0x3f03fff,
+            (t3 >> 8) & 0x00fffff,
+        ];
+        let s = [
+            u32::from_le_bytes([key[16], key[17], key[18], key[19]]),
+            u32::from_le_bytes([key[20], key[21], key[22], key[23]]),
+            u32::from_le_bytes([key[24], key[25], key[26], key[27]]),
+            u32::from_le_bytes([key[28], key[29], key[30], key[31]]),
+        ];
+        Poly1305 {
+            r,
+            s,
+            acc: [0; 5],
+            buf: [0; 16],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorb message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.process_block(&block, false);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&data[..16]);
+            self.process_block(&block, false);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    fn process_block(&mut self, block: &[u8; 16], partial: bool) {
+        let t0 = u32::from_le_bytes([block[0], block[1], block[2], block[3]]);
+        let t1 = u32::from_le_bytes([block[4], block[5], block[6], block[7]]);
+        let t2 = u32::from_le_bytes([block[8], block[9], block[10], block[11]]);
+        let t3 = u32::from_le_bytes([block[12], block[13], block[14], block[15]]);
+        let hibit: u32 = if partial { 0 } else { 1 << 24 };
+
+        let mut h = self.acc;
+        h[0] = h[0].wrapping_add(t0 & 0x3ffffff);
+        h[1] = h[1].wrapping_add(((t0 >> 26) | (t1 << 6)) & 0x3ffffff);
+        h[2] = h[2].wrapping_add(((t1 >> 20) | (t2 << 12)) & 0x3ffffff);
+        h[3] = h[3].wrapping_add(((t2 >> 14) | (t3 << 18)) & 0x3ffffff);
+        h[4] = h[4].wrapping_add((t3 >> 8) | hibit);
+
+        // h *= r (mod 2^130 - 5): schoolbook with 5*r folding.
+        let r = self.r;
+        let s1 = r[1] * 5;
+        let s2 = r[2] * 5;
+        let s3 = r[3] * 5;
+        let s4 = r[4] * 5;
+        let h64: [u64; 5] = [h[0] as u64, h[1] as u64, h[2] as u64, h[3] as u64, h[4] as u64];
+        let d0 = h64[0] * r[0] as u64
+            + h64[1] * s4 as u64
+            + h64[2] * s3 as u64
+            + h64[3] * s2 as u64
+            + h64[4] * s1 as u64;
+        let d1 = h64[0] * r[1] as u64
+            + h64[1] * r[0] as u64
+            + h64[2] * s4 as u64
+            + h64[3] * s3 as u64
+            + h64[4] * s2 as u64;
+        let d2 = h64[0] * r[2] as u64
+            + h64[1] * r[1] as u64
+            + h64[2] * r[0] as u64
+            + h64[3] * s4 as u64
+            + h64[4] * s3 as u64;
+        let d3 = h64[0] * r[3] as u64
+            + h64[1] * r[2] as u64
+            + h64[2] * r[1] as u64
+            + h64[3] * r[0] as u64
+            + h64[4] * s4 as u64;
+        let d4 = h64[0] * r[4] as u64
+            + h64[1] * r[3] as u64
+            + h64[2] * r[2] as u64
+            + h64[3] * r[1] as u64
+            + h64[4] * r[0] as u64;
+
+        // Carry propagation.
+        let mut c: u64;
+        let mut d = [d0, d1, d2, d3, d4];
+        c = d[0] >> 26;
+        d[0] &= 0x3ffffff;
+        d[1] += c;
+        c = d[1] >> 26;
+        d[1] &= 0x3ffffff;
+        d[2] += c;
+        c = d[2] >> 26;
+        d[2] &= 0x3ffffff;
+        d[3] += c;
+        c = d[3] >> 26;
+        d[3] &= 0x3ffffff;
+        d[4] += c;
+        c = d[4] >> 26;
+        d[4] &= 0x3ffffff;
+        d[0] += c * 5;
+        c = d[0] >> 26;
+        d[0] &= 0x3ffffff;
+        d[1] += c;
+
+        self.acc = [d[0] as u32, d[1] as u32, d[2] as u32, d[3] as u32, d[4] as u32];
+    }
+
+    /// Produce the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            // Final partial block: append 0x01 then zero-pad; no high bit.
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1;
+            self.process_block(&block, true);
+        }
+
+        let mut h = self.acc;
+        // Full carry.
+        let mut c: u32;
+        c = h[1] >> 26;
+        h[1] &= 0x3ffffff;
+        h[2] += c;
+        c = h[2] >> 26;
+        h[2] &= 0x3ffffff;
+        h[3] += c;
+        c = h[3] >> 26;
+        h[3] &= 0x3ffffff;
+        h[4] += c;
+        c = h[4] >> 26;
+        h[4] &= 0x3ffffff;
+        h[0] += c * 5;
+        c = h[0] >> 26;
+        h[0] &= 0x3ffffff;
+        h[1] += c;
+
+        // Compute h + -p (i.e. h - (2^130 - 5)) and select.
+        let mut g = [0u32; 5];
+        c = 5;
+        for i in 0..5 {
+            g[i] = h[i].wrapping_add(c);
+            c = g[i] >> 26;
+            g[i] &= 0x3ffffff;
+        }
+        g[4] = g[4].wrapping_sub(1 << 26);
+
+        let mask = (g[4] >> 31).wrapping_sub(1); // all-ones if h >= p
+        for i in 0..5 {
+            h[i] = (h[i] & !mask) | (g[i] & mask);
+        }
+
+        // Serialize h into 128 bits little-endian.
+        let h0 = h[0] | (h[1] << 26);
+        let h1 = (h[1] >> 6) | (h[2] << 20);
+        let h2 = (h[2] >> 12) | (h[3] << 14);
+        let h3 = (h[3] >> 18) | (h[4] << 8);
+
+        // Add s mod 2^128.
+        let mut f: u64;
+        let mut out = [0u8; TAG_LEN];
+        f = h0 as u64 + self.s[0] as u64;
+        out[0..4].copy_from_slice(&(f as u32).to_le_bytes());
+        f = h1 as u64 + self.s[1] as u64 + (f >> 32);
+        out[4..8].copy_from_slice(&(f as u32).to_le_bytes());
+        f = h2 as u64 + self.s[2] as u64 + (f >> 32);
+        out[8..12].copy_from_slice(&(f as u32).to_le_bytes());
+        f = h3 as u64 + self.s[3] as u64 + (f >> 32);
+        out[12..16].copy_from_slice(&(f as u32).to_le_bytes());
+        out
+    }
+
+    /// One-shot MAC.
+    pub fn mac(key: &[u8; KEY_LEN], data: &[u8]) -> [u8; TAG_LEN] {
+        let mut p = Poly1305::new(key);
+        p.update(data);
+        p.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_vector() {
+        let key: [u8; 32] = [
+            0x85, 0xd6, 0xbe, 0x78, 0x57, 0x55, 0x6d, 0x33, 0x7f, 0x44, 0x52, 0xfe, 0x42, 0xd5,
+            0x06, 0xa8, 0x01, 0x03, 0x80, 0x8a, 0xfb, 0x0d, 0xb2, 0xfd, 0x4a, 0xbf, 0xf6, 0xaf,
+            0x41, 0x49, 0xf5, 0x1b,
+        ];
+        let msg = b"Cryptographic Forum Research Group";
+        assert_eq!(
+            hex(&Poly1305::mac(&key, msg)),
+            "a8061dc1305136c6c22b8baf0c0127a9"
+        );
+    }
+
+    #[test]
+    fn empty_message() {
+        // MAC of empty message is just s.
+        let mut key = [0u8; 32];
+        key[16..].copy_from_slice(&[9u8; 16]);
+        assert_eq!(Poly1305::mac(&key, b""), [9u8; 16]);
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let key = [0x42u8; 32];
+        let data: Vec<u8> = (0..100).collect();
+        for split in [0usize, 1, 15, 16, 17, 31, 32, 50, 99, 100] {
+            let mut p = Poly1305::new(&key);
+            p.update(&data[..split]);
+            p.update(&data[split..]);
+            assert_eq!(p.finalize(), Poly1305::mac(&key, &data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        let k1 = [1u8; 32];
+        let k2 = [2u8; 32];
+        assert_ne!(Poly1305::mac(&k1, b"msg"), Poly1305::mac(&k2, b"msg"));
+    }
+}

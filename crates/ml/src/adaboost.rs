@@ -1,0 +1,195 @@
+//! AdaBoost (multi-class SAMME) over shallow decision-tree weak learners.
+
+use crate::tree::DecisionTree;
+use crate::{Classifier, Dataset};
+
+/// AdaBoost classifier with decision stumps (depth-1 trees) by default.
+#[derive(Debug, Clone)]
+pub struct AdaBoost {
+    /// Number of boosting rounds.
+    pub n_estimators: usize,
+    /// Depth of each weak learner.
+    pub weak_depth: usize,
+    learners: Vec<(DecisionTree, f64)>,
+    n_classes: usize,
+}
+
+impl AdaBoost {
+    /// New booster with `n_estimators` rounds of depth-`weak_depth` trees.
+    pub fn new(n_estimators: usize, weak_depth: usize) -> Self {
+        assert!(n_estimators >= 1);
+        AdaBoost {
+            n_estimators,
+            weak_depth,
+            learners: Vec::new(),
+            n_classes: 0,
+        }
+    }
+}
+
+impl Default for AdaBoost {
+    fn default() -> Self {
+        Self::new(50, 1)
+    }
+}
+
+impl Classifier for AdaBoost {
+    fn fit(&mut self, data: &Dataset) {
+        let n = data.len();
+        let k = data.n_classes.max(2) as f64;
+        let mut w = vec![1.0 / n as f64; n];
+        self.learners.clear();
+        self.n_classes = data.n_classes;
+
+        for _ in 0..self.n_estimators {
+            let mut tree = DecisionTree::new(self.weak_depth);
+            tree.fit_weighted(data, &w);
+            let pred = tree.predict(&data.x);
+            let err: f64 = pred
+                .iter()
+                .zip(&data.y)
+                .zip(&w)
+                .filter(|((p, y), _)| p != y)
+                .map(|(_, &wi)| wi)
+                .sum();
+            // SAMME requires err < 1 - 1/K to make progress.
+            if err >= 1.0 - 1.0 / k {
+                break;
+            }
+            if err <= 1e-12 {
+                // Perfect learner: give it a large finite weight and stop.
+                self.learners.push((tree, 10.0));
+                break;
+            }
+            let alpha = ((1.0 - err) / err).ln() + (k - 1.0).ln();
+            for ((wi, p), y) in w.iter_mut().zip(&pred).zip(&data.y) {
+                if p != y {
+                    *wi *= (alpha).exp();
+                }
+            }
+            let total: f64 = w.iter().sum();
+            for wi in &mut w {
+                *wi /= total;
+            }
+            self.learners.push((tree, alpha));
+        }
+
+        if self.learners.is_empty() {
+            // Degenerate data: keep one majority-vote stump.
+            let mut tree = DecisionTree::new(0);
+            tree.fit(data);
+            self.learners.push((tree, 1.0));
+        }
+    }
+
+    fn predict_one(&self, x: &[f64]) -> usize {
+        assert!(!self.learners.is_empty(), "predict before fit");
+        let mut scores = vec![0.0f64; self.n_classes.max(1)];
+        for (tree, alpha) in &self.learners {
+            scores[tree.predict_one(x)] += alpha;
+        }
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor() -> Dataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..6 {
+            let j = i as f64 * 0.03;
+            x.push(vec![0.0 + j, 0.0 + j]);
+            y.push(0);
+            x.push(vec![1.0 - j, 1.0 - j]);
+            y.push(0);
+            x.push(vec![0.0 + j, 1.0 - j]);
+            y.push(1);
+            x.push(vec![1.0 - j, 0.0 + j]);
+            y.push(1);
+        }
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn stumps_boost_past_single_stump_on_xor() {
+        let d = xor();
+        let mut single = DecisionTree::new(1);
+        single.fit(&d);
+        let single_acc = single
+            .predict(&d.x)
+            .iter()
+            .zip(&d.y)
+            .filter(|(p, y)| p == y)
+            .count() as f64
+            / d.len() as f64;
+
+        let mut boost = AdaBoost::new(100, 2);
+        boost.fit(&d);
+        let boost_acc = boost
+            .predict(&d.x)
+            .iter()
+            .zip(&d.y)
+            .filter(|(p, y)| p == y)
+            .count() as f64
+            / d.len() as f64;
+        assert!(
+            boost_acc > single_acc,
+            "boosted {boost_acc} <= stump {single_acc}"
+        );
+        assert!(boost_acc >= 0.95, "boosted accuracy {boost_acc}");
+    }
+
+    #[test]
+    fn perfect_weak_learner_short_circuits() {
+        let d = Dataset::new(
+            vec![vec![0.0], vec![1.0], vec![10.0], vec![11.0]],
+            vec![0, 0, 1, 1],
+        );
+        let mut m = AdaBoost::new(50, 1);
+        m.fit(&d);
+        assert_eq!(m.learners.len(), 1, "should stop after perfect stump");
+        assert_eq!(m.predict(&d.x), d.y);
+    }
+
+    #[test]
+    fn three_class_samme() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            let j = i as f64 * 0.05;
+            x.push(vec![0.0 + j]);
+            y.push(0);
+            x.push(vec![5.0 + j]);
+            y.push(1);
+            x.push(vec![10.0 + j]);
+            y.push(2);
+        }
+        let d = Dataset::new(x, y);
+        let mut m = AdaBoost::new(30, 1);
+        m.fit(&d);
+        let acc = m
+            .predict(&d.x)
+            .iter()
+            .zip(&d.y)
+            .filter(|(p, y)| p == y)
+            .count() as f64
+            / d.len() as f64;
+        assert!(acc >= 0.95, "3-class accuracy {acc}");
+    }
+
+    #[test]
+    fn degenerate_single_class() {
+        let d = Dataset::new(vec![vec![0.0], vec![1.0]], vec![0, 0]);
+        let mut m = AdaBoost::new(5, 1);
+        m.fit(&d);
+        assert_eq!(m.predict_one(&[0.5]), 0);
+    }
+}

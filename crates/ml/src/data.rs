@@ -1,0 +1,222 @@
+//! Dataset container, splits, and stratified k-fold indices.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A dense supervised dataset.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Feature matrix, one row per sample.
+    pub x: Vec<Vec<f64>>,
+    /// Integer class labels in `0..n_classes`.
+    pub y: Vec<usize>,
+    /// Number of classes (max label + 1, or as declared).
+    pub n_classes: usize,
+    /// Human-readable feature names (used by permutation importance).
+    pub feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Build a dataset, inferring `n_classes` from the labels.
+    ///
+    /// # Panics
+    /// Panics if `x` and `y` lengths differ or rows are ragged.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<usize>) -> Self {
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        if let Some(first) = x.first() {
+            let w = first.len();
+            assert!(x.iter().all(|r| r.len() == w), "ragged feature matrix");
+        }
+        let n_classes = y.iter().copied().max().map_or(0, |m| m + 1);
+        let n_features = x.first().map_or(0, |r| r.len());
+        Dataset {
+            x,
+            y,
+            n_classes,
+            feature_names: (0..n_features).map(|i| format!("f{i}")).collect(),
+        }
+    }
+
+    /// Attach feature names.
+    ///
+    /// # Panics
+    /// Panics if the number of names differs from the number of features.
+    pub fn with_feature_names(mut self, names: Vec<String>) -> Self {
+        assert_eq!(names.len(), self.n_features(), "feature name count mismatch");
+        self.feature_names = names;
+        self
+    }
+
+    /// Force a class count larger than observed (e.g. a fold missing one
+    /// class entirely).
+    pub fn with_n_classes(mut self, n: usize) -> Self {
+        assert!(n >= self.n_classes, "cannot shrink class count");
+        self.n_classes = n;
+        self
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of features per sample.
+    pub fn n_features(&self) -> usize {
+        self.x.first().map_or(0, |r| r.len())
+    }
+
+    /// Samples per class.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &label in &self.y {
+            counts[label] += 1;
+        }
+        counts
+    }
+
+    /// Select a subset by sample indices.
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        Dataset {
+            x: idx.iter().map(|&i| self.x[i].clone()).collect(),
+            y: idx.iter().map(|&i| self.y[i]).collect(),
+            n_classes: self.n_classes,
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// Seeded shuffled train/test split; `test_frac` of samples go to test.
+    pub fn train_test_split(&self, test_frac: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..1.0).contains(&test_frac));
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        let n_test = ((self.len() as f64) * test_frac).round() as usize;
+        let (test_idx, train_idx) = idx.split_at(n_test);
+        (self.subset(train_idx), self.subset(test_idx))
+    }
+}
+
+/// Stratified k-fold index assignment: returns, for each fold, the list of
+/// test-sample indices. Each class's samples are shuffled independently and
+/// dealt round-robin so every fold sees (nearly) the class distribution of
+/// the whole set — matching sklearn's `StratifiedKFold(shuffle=True)`.
+pub fn stratified_kfold(y: &[usize], k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "need at least 2 folds");
+    let n_classes = y.iter().copied().max().map_or(0, |m| m + 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for class in 0..n_classes {
+        let mut members: Vec<usize> = (0..y.len()).filter(|&i| y[i] == class).collect();
+        members.shuffle(&mut rng);
+        for (j, i) in members.into_iter().enumerate() {
+            folds[j % k].push(i);
+        }
+    }
+    for f in &mut folds {
+        f.sort_unstable();
+    }
+    folds
+}
+
+/// Complement of a fold: all indices not in `fold`, for `n` total samples.
+pub fn fold_complement(fold: &[usize], n: usize) -> Vec<usize> {
+    let mut in_fold = vec![false; n];
+    for &i in fold {
+        in_fold[i] = true;
+    }
+    (0..n).filter(|&i| !in_fold[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n_per_class: usize) -> Dataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for c in 0..3usize {
+            for i in 0..n_per_class {
+                x.push(vec![c as f64, i as f64]);
+                y.push(c);
+            }
+        }
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let d = toy(5);
+        assert_eq!(d.len(), 15);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_classes, 3);
+        assert_eq!(d.class_counts(), vec![5, 5, 5]);
+        assert_eq!(d.feature_names, vec!["f0", "f1"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        Dataset::new(vec![vec![1.0]], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_panics() {
+        Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]);
+    }
+
+    #[test]
+    fn subset_picks_rows() {
+        let d = toy(2);
+        let s = d.subset(&[0, 5]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.y, vec![0, 2]);
+        assert_eq!(s.n_classes, 3);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_partitions() {
+        let d = toy(10);
+        let (tr1, te1) = d.train_test_split(0.3, 42);
+        let (tr2, te2) = d.train_test_split(0.3, 42);
+        assert_eq!(tr1.y, tr2.y);
+        assert_eq!(te1.y, te2.y);
+        assert_eq!(tr1.len() + te1.len(), d.len());
+        assert_eq!(te1.len(), 9);
+        let (_, te3) = d.train_test_split(0.3, 43);
+        assert_ne!(te1.x, te3.x, "different seeds should shuffle differently");
+    }
+
+    #[test]
+    fn stratified_folds_partition_and_balance() {
+        let d = toy(10);
+        let folds = stratified_kfold(&d.y, 5, 7);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..30).collect::<Vec<_>>());
+        // Each fold should have exactly 2 samples of each class.
+        for f in &folds {
+            let sub = d.subset(f);
+            assert_eq!(sub.class_counts(), vec![2, 2, 2]);
+        }
+    }
+
+    #[test]
+    fn fold_complement_is_exact() {
+        let fold = vec![1, 3, 5];
+        assert_eq!(fold_complement(&fold, 7), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn kfold_deterministic() {
+        let y: Vec<usize> = (0..50).map(|i| i % 2).collect();
+        assert_eq!(stratified_kfold(&y, 5, 1), stratified_kfold(&y, 5, 1));
+        assert_ne!(stratified_kfold(&y, 5, 1), stratified_kfold(&y, 5, 2));
+    }
+}

@@ -1,0 +1,151 @@
+//! Random forest: bootstrap-bagged CART trees with per-node sqrt(d)
+//! feature subsampling; majority vote at prediction.
+
+use crate::tree::DecisionTree;
+use crate::{Classifier, Dataset};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Random forest classifier.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Maximum depth of each tree.
+    pub max_depth: usize,
+    /// RNG seed for bootstrap sampling and feature subsampling.
+    pub seed: u64,
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// New forest.
+    pub fn new(n_trees: usize, max_depth: usize, seed: u64) -> Self {
+        assert!(n_trees >= 1);
+        RandomForest {
+            n_trees,
+            max_depth,
+            seed,
+            trees: Vec::new(),
+            n_classes: 0,
+        }
+    }
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        Self::new(50, 8, 0)
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, data: &Dataset) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.n_classes = data.n_classes;
+        self.trees = (0..self.n_trees)
+            .map(|t| {
+                // Bootstrap sample with replacement.
+                let idx: Vec<usize> = (0..data.len())
+                    .map(|_| rng.gen_range(0..data.len()))
+                    .collect();
+                let boot = data.subset(&idx);
+                let mut tree = DecisionTree::new(self.max_depth)
+                    .with_feature_subsampling(self.seed.wrapping_add(t as u64 * 7919 + 1));
+                tree.fit(&boot);
+                tree
+            })
+            .collect();
+    }
+
+    fn predict_one(&self, x: &[f64]) -> usize {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        let mut votes = vec![0usize; self.n_classes.max(1)];
+        for t in &self.trees {
+            votes[t.predict_one(x)] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_blobs(seed: u64) -> Dataset {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..60 {
+            let n: f64 = rng.gen_range(-0.5..0.5);
+            x.push(vec![0.0 + n, 0.0 - n, rng.gen_range(-1.0..1.0)]);
+            y.push(0);
+            let n: f64 = rng.gen_range(-0.5..0.5);
+            x.push(vec![3.0 + n, 3.0 - n, rng.gen_range(-1.0..1.0)]);
+            y.push(1);
+        }
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn fits_noisy_blobs() {
+        let d = noisy_blobs(1);
+        let mut f = RandomForest::new(20, 6, 42);
+        f.fit(&d);
+        let acc = f
+            .predict(&d.x)
+            .iter()
+            .zip(&d.y)
+            .filter(|(p, y)| p == y)
+            .count() as f64
+            / d.len() as f64;
+        assert!(acc > 0.95, "train accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = noisy_blobs(2);
+        let mut a = RandomForest::new(10, 5, 7);
+        let mut b = RandomForest::new(10, 5, 7);
+        a.fit(&d);
+        b.fit(&d);
+        assert_eq!(a.predict(&d.x), b.predict(&d.x));
+    }
+
+    #[test]
+    fn different_seeds_grow_different_forests() {
+        let d = noisy_blobs(3);
+        let mut a = RandomForest::new(3, 2, 1);
+        let mut b = RandomForest::new(3, 2, 999);
+        a.fit(&d);
+        b.fit(&d);
+        // With few shallow trees the vote patterns almost surely differ on
+        // at least one of 200 probe points.
+        let probes: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![i as f64 * 0.015, 3.0 - i as f64 * 0.015, 0.0])
+            .collect();
+        assert_ne!(a.predict(&probes), b.predict(&probes));
+    }
+
+    #[test]
+    fn single_tree_forest_works() {
+        let d = noisy_blobs(4);
+        let mut f = RandomForest::new(1, 6, 0);
+        f.fit(&d);
+        let acc = f
+            .predict(&d.x)
+            .iter()
+            .zip(&d.y)
+            .filter(|(p, y)| p == y)
+            .count() as f64
+            / d.len() as f64;
+        assert!(acc > 0.8);
+    }
+}

@@ -1,0 +1,146 @@
+//! k-Nearest Neighbors (§4.1: k from 3 to 15, best at k=5 with Euclidean).
+
+use crate::{Classifier, Dataset, Distance};
+
+/// k-NN classifier; ties broken toward the smallest class index among the
+/// tied classes with the nearest member.
+#[derive(Debug, Clone)]
+pub struct KNearestNeighbors {
+    /// Number of neighbors.
+    pub k: usize,
+    /// Distance metric.
+    pub distance: Distance,
+    train_x: Vec<Vec<f64>>,
+    train_y: Vec<usize>,
+    n_classes: usize,
+}
+
+impl KNearestNeighbors {
+    /// New k-NN with the paper's best settings by default callers pass
+    /// `k = 5`, `Distance::Euclidean`.
+    pub fn new(k: usize, distance: Distance) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        KNearestNeighbors {
+            k,
+            distance,
+            train_x: Vec::new(),
+            train_y: Vec::new(),
+            n_classes: 0,
+        }
+    }
+}
+
+impl Default for KNearestNeighbors {
+    fn default() -> Self {
+        Self::new(5, Distance::Euclidean)
+    }
+}
+
+impl Classifier for KNearestNeighbors {
+    fn fit(&mut self, data: &Dataset) {
+        self.train_x = data.x.clone();
+        self.train_y = data.y.clone();
+        self.n_classes = data.n_classes;
+    }
+
+    fn predict_one(&self, x: &[f64]) -> usize {
+        assert!(!self.train_x.is_empty(), "predict before fit");
+        let mut dists: Vec<(f64, usize)> = self
+            .train_x
+            .iter()
+            .zip(&self.train_y)
+            .map(|(t, &y)| (self.distance.compute(x, t), y))
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut votes = vec![0usize; self.n_classes];
+        for &(_, y) in dists.iter().take(k) {
+            votes[y] += 1;
+        }
+        let max_votes = *votes.iter().max().unwrap();
+        // Tie break: among classes with max votes, pick the one whose
+        // nearest neighbor is closest.
+        let tied: Vec<usize> = (0..self.n_classes)
+            .filter(|&c| votes[c] == max_votes)
+            .collect();
+        if tied.len() == 1 {
+            return tied[0];
+        }
+        for &(_, y) in dists.iter().take(k) {
+            if tied.contains(&y) {
+                return y;
+            }
+        }
+        tied[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_like() -> Dataset {
+        // Non-linear pattern k-NN handles but a linear model cannot.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..5 {
+            let j = i as f64 * 0.05;
+            x.push(vec![0.0 + j, 0.0 + j]);
+            y.push(0);
+            x.push(vec![1.0 - j, 1.0 - j]);
+            y.push(0);
+            x.push(vec![0.0 + j, 1.0 - j]);
+            y.push(1);
+            x.push(vec![1.0 - j, 0.0 + j]);
+            y.push(1);
+        }
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn one_nn_memorizes_training_set() {
+        let d = xor_like();
+        let mut m = KNearestNeighbors::new(1, Distance::Euclidean);
+        m.fit(&d);
+        assert_eq!(m.predict(&d.x), d.y);
+    }
+
+    #[test]
+    fn k5_solves_xor_clusters() {
+        let d = xor_like();
+        let mut m = KNearestNeighbors::default();
+        m.fit(&d);
+        assert_eq!(m.predict_one(&[0.05, 0.05]), 0);
+        assert_eq!(m.predict_one(&[0.95, 0.95]), 0);
+        assert_eq!(m.predict_one(&[0.05, 0.95]), 1);
+        assert_eq!(m.predict_one(&[0.95, 0.05]), 1);
+    }
+
+    #[test]
+    fn k_larger_than_training_set_degrades_to_majority() {
+        let d = Dataset::new(
+            vec![vec![0.0], vec![0.1], vec![10.0]],
+            vec![0, 0, 1],
+        );
+        let mut m = KNearestNeighbors::new(100, Distance::Euclidean);
+        m.fit(&d);
+        // Majority of all 3 points is class 0 regardless of query.
+        assert_eq!(m.predict_one(&[10.0]), 0);
+    }
+
+    #[test]
+    fn tie_breaks_toward_nearest() {
+        // k=2 with one vote each: nearest neighbor decides.
+        let d = Dataset::new(vec![vec![0.0], vec![1.0]], vec![0, 1]);
+        let mut m = KNearestNeighbors::new(2, Distance::Euclidean);
+        m.fit(&d);
+        assert_eq!(m.predict_one(&[0.1]), 0);
+        assert_eq!(m.predict_one(&[0.9]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_rejected() {
+        let _ = KNearestNeighbors::new(0, Distance::Euclidean);
+    }
+}

@@ -1,0 +1,200 @@
+//! Classification metrics: confusion matrix, precision/recall/F1, balanced
+//! accuracy (the paper's model-selection metric, Table 2).
+
+/// A square confusion matrix; rows are true classes, columns predictions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+/// Per-class precision/recall/F1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassMetrics {
+    /// Of samples predicted as this class, the fraction truly of it.
+    pub precision: f64,
+    /// Of samples truly of this class, the fraction predicted as it.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+    /// Number of true samples of this class.
+    pub support: usize,
+}
+
+impl ConfusionMatrix {
+    /// Build from true and predicted labels.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or a label is `>= n_classes`.
+    pub fn from_predictions(y_true: &[usize], y_pred: &[usize], n_classes: usize) -> Self {
+        assert_eq!(y_true.len(), y_pred.len(), "label length mismatch");
+        let mut counts = vec![vec![0usize; n_classes]; n_classes];
+        for (&t, &p) in y_true.iter().zip(y_pred) {
+            counts[t][p] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of samples with true class `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.counts[t][p]
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Plain accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.n_classes()).map(|i| self.counts[i][i]).sum();
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+
+    /// Per-class recall (sensitivity). Classes with no true samples yield 0.
+    pub fn recall(&self, class: usize) -> f64 {
+        let row_sum: usize = self.counts[class].iter().sum();
+        if row_sum == 0 {
+            0.0
+        } else {
+            self.counts[class][class] as f64 / row_sum as f64
+        }
+    }
+
+    /// Per-class precision. Classes never predicted yield 0.
+    pub fn precision(&self, class: usize) -> f64 {
+        let col_sum: usize = (0..self.n_classes()).map(|t| self.counts[t][class]).sum();
+        if col_sum == 0 {
+            0.0
+        } else {
+            self.counts[class][class] as f64 / col_sum as f64
+        }
+    }
+
+    /// Per-class F1 score.
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// All per-class metrics.
+    pub fn class_metrics(&self, class: usize) -> ClassMetrics {
+        ClassMetrics {
+            precision: self.precision(class),
+            recall: self.recall(class),
+            f1: self.f1(class),
+            support: self.counts[class].iter().sum(),
+        }
+    }
+
+    /// Balanced accuracy: mean recall over classes that have support.
+    ///
+    /// The paper uses balanced accuracy "to reduce the impact of different
+    /// numbers of unpredictable control/automated/manual events" (§4.1).
+    pub fn balanced_accuracy(&self) -> f64 {
+        let supported: Vec<usize> = (0..self.n_classes())
+            .filter(|&c| self.counts[c].iter().sum::<usize>() > 0)
+            .collect();
+        if supported.is_empty() {
+            return 0.0;
+        }
+        supported.iter().map(|&c| self.recall(c)).sum::<f64>() / supported.len() as f64
+    }
+
+    /// Macro-averaged F1 over classes with support.
+    pub fn macro_f1(&self) -> f64 {
+        let supported: Vec<usize> = (0..self.n_classes())
+            .filter(|&c| self.counts[c].iter().sum::<usize>() > 0)
+            .collect();
+        if supported.is_empty() {
+            return 0.0;
+        }
+        supported.iter().map(|&c| self.f1(c)).sum::<f64>() / supported.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = vec![0, 1, 2, 0, 1, 2];
+        let cm = ConfusionMatrix::from_predictions(&y, &y, 3);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.balanced_accuracy(), 1.0);
+        for c in 0..3 {
+            let m = cm.class_metrics(c);
+            assert_eq!(m.precision, 1.0);
+            assert_eq!(m.recall, 1.0);
+            assert_eq!(m.f1, 1.0);
+            assert_eq!(m.support, 2);
+        }
+    }
+
+    #[test]
+    fn known_binary_case() {
+        // true:  0 0 0 0 1 1
+        // pred:  0 0 1 1 1 0
+        let cm = ConfusionMatrix::from_predictions(&[0, 0, 0, 0, 1, 1], &[0, 0, 1, 1, 1, 0], 2);
+        assert_eq!(cm.count(0, 0), 2);
+        assert_eq!(cm.count(0, 1), 2);
+        assert_eq!(cm.count(1, 0), 1);
+        assert_eq!(cm.count(1, 1), 1);
+        assert!((cm.recall(0) - 0.5).abs() < 1e-12);
+        assert!((cm.recall(1) - 0.5).abs() < 1e-12);
+        assert!((cm.precision(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.precision(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((cm.balanced_accuracy() - 0.5).abs() < 1e-12);
+        assert!((cm.accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_accuracy_ignores_empty_classes() {
+        // Class 2 never occurs as a true label.
+        let cm = ConfusionMatrix::from_predictions(&[0, 0, 1, 1], &[0, 0, 1, 0], 3);
+        assert!((cm.balanced_accuracy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_accuracy_resists_imbalance() {
+        // 90 samples of class 0 all right, 10 of class 1 all wrong:
+        // plain accuracy 0.9 but balanced accuracy 0.5.
+        let mut yt = vec![0usize; 90];
+        yt.extend(vec![1usize; 10]);
+        let yp = vec![0usize; 100];
+        let cm = ConfusionMatrix::from_predictions(&yt, &yp, 2);
+        assert!((cm.accuracy() - 0.9).abs() < 1e-12);
+        assert!((cm.balanced_accuracy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_zero_when_never_predicted() {
+        let cm = ConfusionMatrix::from_predictions(&[0, 1], &[0, 0], 2);
+        assert_eq!(cm.f1(1), 0.0);
+        assert_eq!(cm.precision(1), 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let cm = ConfusionMatrix::from_predictions(&[], &[], 2);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.balanced_accuracy(), 0.0);
+        assert_eq!(cm.macro_f1(), 0.0);
+        assert_eq!(cm.total(), 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Multi-layer perceptron: ReLU hidden layers, softmax output, minibatch
+//! SGD with momentum. §4.1 explores 1–10 hidden layers of width 128 and
+//! finds 8 best on the paper's data.
+
+use crate::{Classifier, Dataset};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Fully-connected feed-forward network.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// Hidden layer sizes (e.g. `vec![128; 8]`).
+    pub hidden: Vec<usize>,
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch: usize,
+    /// RNG seed for init and shuffling.
+    pub seed: u64,
+    // weights[l][i][j]: layer l, output unit i, input j. biases[l][i].
+    weights: Vec<Vec<Vec<f64>>>,
+    biases: Vec<Vec<f64>>,
+    n_classes: usize,
+}
+
+impl Mlp {
+    /// New MLP with the given hidden layout.
+    pub fn new(hidden: Vec<usize>, epochs: usize, seed: u64) -> Self {
+        Mlp {
+            hidden,
+            lr: 0.01,
+            momentum: 0.9,
+            epochs,
+            batch: 16,
+            seed,
+            weights: Vec::new(),
+            biases: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<Vec<f64>> {
+        // Returns activations per layer (input first, logits last-softmaxed).
+        let mut acts = vec![x.to_vec()];
+        for (l, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            let prev = acts.last().unwrap();
+            let mut out: Vec<f64> = w
+                .iter()
+                .zip(b)
+                .map(|(wi, bi)| wi.iter().zip(prev).map(|(a, p)| a * p).sum::<f64>() + bi)
+                .collect();
+            if l + 1 < self.weights.len() {
+                for v in &mut out {
+                    *v = v.max(0.0); // ReLU
+                }
+            } else {
+                softmax(&mut out);
+            }
+            acts.push(out);
+        }
+        acts
+    }
+}
+
+fn softmax(v: &mut [f64]) {
+    let m = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for x in v.iter_mut() {
+        *x = (*x - m).exp();
+        sum += *x;
+    }
+    for x in v.iter_mut() {
+        *x /= sum;
+    }
+}
+
+impl Classifier for Mlp {
+    fn fit(&mut self, data: &Dataset) {
+        let d = data.n_features();
+        self.n_classes = data.n_classes;
+        let mut sizes = vec![d];
+        sizes.extend(&self.hidden);
+        sizes.push(data.n_classes.max(2));
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.weights.clear();
+        self.biases.clear();
+        for l in 0..sizes.len() - 1 {
+            // He initialization for ReLU layers.
+            let scale = (2.0 / sizes[l] as f64).sqrt();
+            self.weights.push(
+                (0..sizes[l + 1])
+                    .map(|_| (0..sizes[l]).map(|_| rng.gen_range(-scale..scale)).collect())
+                    .collect(),
+            );
+            self.biases.push(vec![0.0; sizes[l + 1]]);
+        }
+
+        let mut vel_w: Vec<Vec<Vec<f64>>> = self
+            .weights
+            .iter()
+            .map(|l| l.iter().map(|r| vec![0.0; r.len()]).collect())
+            .collect();
+        let mut vel_b: Vec<Vec<f64>> = self.biases.iter().map(|b| vec![0.0; b.len()]).collect();
+
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(self.batch) {
+                // Accumulate gradients over the minibatch.
+                let mut grad_w: Vec<Vec<Vec<f64>>> = self
+                    .weights
+                    .iter()
+                    .map(|l| l.iter().map(|r| vec![0.0; r.len()]).collect())
+                    .collect();
+                let mut grad_b: Vec<Vec<f64>> =
+                    self.biases.iter().map(|b| vec![0.0; b.len()]).collect();
+
+                for &i in chunk {
+                    let acts = self.forward(&data.x[i]);
+                    let n_layers = self.weights.len();
+                    // Output delta: softmax + cross-entropy.
+                    let mut delta: Vec<f64> = acts[n_layers].clone();
+                    delta[data.y[i]] -= 1.0;
+                    for l in (0..n_layers).rev() {
+                        for (u, &du) in delta.iter().enumerate() {
+                            grad_b[l][u] += du;
+                            for (j, &aj) in acts[l].iter().enumerate() {
+                                grad_w[l][u][j] += du * aj;
+                            }
+                        }
+                        if l > 0 {
+                            let mut prev_delta = vec![0.0; acts[l].len()];
+                            for (u, &du) in delta.iter().enumerate() {
+                                for (j, pd) in prev_delta.iter_mut().enumerate() {
+                                    *pd += du * self.weights[l][u][j];
+                                }
+                            }
+                            // ReLU derivative.
+                            for (pd, &a) in prev_delta.iter_mut().zip(&acts[l]) {
+                                if a <= 0.0 {
+                                    *pd = 0.0;
+                                }
+                            }
+                            delta = prev_delta;
+                        }
+                    }
+                }
+
+                let scale = self.lr / chunk.len() as f64;
+                for l in 0..self.weights.len() {
+                    for u in 0..self.weights[l].len() {
+                        let vb = &mut vel_b[l][u];
+                        *vb = self.momentum * *vb - scale * grad_b[l][u];
+                        self.biases[l][u] += *vb;
+                        for j in 0..self.weights[l][u].len() {
+                            let vw = &mut vel_w[l][u][j];
+                            *vw = self.momentum * *vw - scale * grad_w[l][u][j];
+                            self.weights[l][u][j] += *vw;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn predict_one(&self, x: &[f64]) -> usize {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        let acts = self.forward(x);
+        let out = acts.last().unwrap();
+        out.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_linear_separation() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let j = i as f64 * 0.05;
+            x.push(vec![-1.0 - j, 0.5]);
+            y.push(0);
+            x.push(vec![1.0 + j, -0.5]);
+            y.push(1);
+        }
+        let d = Dataset::new(x, y);
+        let mut m = Mlp::new(vec![16], 200, 0);
+        m.fit(&d);
+        assert_eq!(m.predict(&d.x), d.y);
+    }
+
+    #[test]
+    fn learns_xor_with_hidden_layer() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..8 {
+            let j = i as f64 * 0.02;
+            x.push(vec![0.0 + j, 0.0 + j]);
+            y.push(0);
+            x.push(vec![1.0 - j, 1.0 - j]);
+            y.push(0);
+            x.push(vec![0.0 + j, 1.0 - j]);
+            y.push(1);
+            x.push(vec![1.0 - j, 0.0 + j]);
+            y.push(1);
+        }
+        let d = Dataset::new(x, y);
+        let mut m = Mlp::new(vec![16, 16], 500, 3);
+        m.fit(&d);
+        let acc = m
+            .predict(&d.x)
+            .iter()
+            .zip(&d.y)
+            .filter(|(p, y)| p == y)
+            .count() as f64
+            / d.len() as f64;
+        assert!(acc >= 0.9, "XOR accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = Dataset::new(
+            vec![vec![0.0], vec![1.0], vec![2.0], vec![3.0]],
+            vec![0, 0, 1, 1],
+        );
+        let mut a = Mlp::new(vec![8], 50, 9);
+        let mut b = Mlp::new(vec![8], 50, 9);
+        a.fit(&d);
+        b.fit(&d);
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn softmax_normalizes() {
+        let mut v = vec![1.0, 2.0, 3.0];
+        softmax(&mut v);
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(v[2] > v[1] && v[1] > v[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_inputs() {
+        let mut v = vec![1000.0, 1001.0];
+        softmax(&mut v);
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,359 @@
+//! Naive Bayes classifiers: Bernoulli (the paper's deployed model, §6) and
+//! Gaussian (Table 2 baseline).
+
+use crate::{Classifier, Dataset};
+
+/// Bernoulli Naive Bayes with Laplace smoothing, mirroring sklearn's
+/// `BernoulliNB`: features are binarized at `binarize` (default 0.0, which
+/// after standard scaling splits at the feature mean).
+#[derive(Debug, Clone)]
+pub struct BernoulliNB {
+    /// Additive (Laplace/Lidstone) smoothing parameter.
+    pub alpha: f64,
+    /// Binarization threshold applied to every feature.
+    pub binarize: f64,
+    log_prior: Vec<f64>,
+    // log P(x_j = 1 | class) and log P(x_j = 0 | class)
+    log_p1: Vec<Vec<f64>>,
+    log_p0: Vec<Vec<f64>>,
+    classes: Vec<usize>,
+}
+
+impl BernoulliNB {
+    /// sklearn defaults: alpha 1.0, binarize 0.0.
+    pub fn new() -> Self {
+        BernoulliNB {
+            alpha: 1.0,
+            binarize: 0.0,
+            log_prior: Vec::new(),
+            log_p1: Vec::new(),
+            log_p0: Vec::new(),
+            classes: Vec::new(),
+        }
+    }
+
+    /// Override the smoothing parameter.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        self.alpha = alpha;
+        self
+    }
+}
+
+impl Default for BernoulliNB {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BernoulliNB {
+    /// Joint log-likelihood of each class for one sample (unnormalized
+    /// posterior). Used by margin-based permutation importance.
+    pub fn joint_log_likelihood(&self, x: &[f64]) -> Vec<f64> {
+        assert!(!self.classes.is_empty(), "predict before fit");
+        self.log_prior
+            .iter()
+            .enumerate()
+            .map(|(i, &prior)| {
+                let mut ll = prior;
+                for (j, &v) in x.iter().enumerate() {
+                    ll += if v > self.binarize {
+                        self.log_p1[i][j]
+                    } else {
+                        self.log_p0[i][j]
+                    };
+                }
+                ll
+            })
+            .collect()
+    }
+
+    /// The class labels corresponding to [`BernoulliNB::joint_log_likelihood`] order.
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+}
+
+impl Classifier for BernoulliNB {
+    fn fit(&mut self, data: &Dataset) {
+        let d = data.n_features();
+        let n = data.len() as f64;
+        self.log_prior.clear();
+        self.log_p1.clear();
+        self.log_p0.clear();
+        self.classes.clear();
+        for class in 0..data.n_classes {
+            let members: Vec<&Vec<f64>> = data
+                .x
+                .iter()
+                .zip(&data.y)
+                .filter(|(_, &y)| y == class)
+                .map(|(x, _)| x)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let nc = members.len() as f64;
+            self.log_prior.push((nc / n).ln());
+            let mut ones = vec![0.0f64; d];
+            for m in &members {
+                for (o, &v) in ones.iter_mut().zip(m.iter()) {
+                    if v > self.binarize {
+                        *o += 1.0;
+                    }
+                }
+            }
+            let mut lp1 = Vec::with_capacity(d);
+            let mut lp0 = Vec::with_capacity(d);
+            for &o in &ones {
+                let p1 = (o + self.alpha) / (nc + 2.0 * self.alpha);
+                lp1.push(p1.ln());
+                lp0.push((1.0 - p1).ln());
+            }
+            self.log_p1.push(lp1);
+            self.log_p0.push(lp0);
+            self.classes.push(class);
+        }
+    }
+
+    fn predict_one(&self, x: &[f64]) -> usize {
+        assert!(!self.classes.is_empty(), "predict before fit");
+        let mut best = 0;
+        let mut best_ll = f64::NEG_INFINITY;
+        for (i, &prior) in self.log_prior.iter().enumerate() {
+            let mut ll = prior;
+            for (j, &v) in x.iter().enumerate() {
+                ll += if v > self.binarize {
+                    self.log_p1[i][j]
+                } else {
+                    self.log_p0[i][j]
+                };
+            }
+            if ll > best_ll {
+                best_ll = ll;
+                best = i;
+            }
+        }
+        self.classes[best]
+    }
+}
+
+/// Gaussian Naive Bayes: per-class per-feature normal likelihoods with a
+/// variance floor for numerical stability (sklearn's `var_smoothing`).
+#[derive(Debug, Clone)]
+pub struct GaussianNB {
+    /// Fraction of the largest feature variance added to all variances.
+    pub var_smoothing: f64,
+    log_prior: Vec<f64>,
+    mean: Vec<Vec<f64>>,
+    var: Vec<Vec<f64>>,
+    classes: Vec<usize>,
+}
+
+impl GaussianNB {
+    /// sklearn default smoothing 1e-9.
+    pub fn new() -> Self {
+        GaussianNB {
+            var_smoothing: 1e-9,
+            log_prior: Vec::new(),
+            mean: Vec::new(),
+            var: Vec::new(),
+            classes: Vec::new(),
+        }
+    }
+}
+
+impl Default for GaussianNB {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Classifier for GaussianNB {
+    fn fit(&mut self, data: &Dataset) {
+        let d = data.n_features();
+        let n = data.len() as f64;
+        self.log_prior.clear();
+        self.mean.clear();
+        self.var.clear();
+        self.classes.clear();
+
+        // Global max variance for the smoothing floor.
+        let mut gmean = vec![0.0; d];
+        for row in &data.x {
+            for (m, v) in gmean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut gmean {
+            *m /= n.max(1.0);
+        }
+        let mut gvar_max = 0.0f64;
+        for j in 0..d {
+            let v: f64 = data.x.iter().map(|r| (r[j] - gmean[j]).powi(2)).sum::<f64>() / n.max(1.0);
+            gvar_max = gvar_max.max(v);
+        }
+        let eps = self.var_smoothing * gvar_max.max(1e-12);
+
+        for class in 0..data.n_classes {
+            let members: Vec<&Vec<f64>> = data
+                .x
+                .iter()
+                .zip(&data.y)
+                .filter(|(_, &y)| y == class)
+                .map(|(x, _)| x)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let nc = members.len() as f64;
+            self.log_prior.push((nc / n).ln());
+            let mut mean = vec![0.0; d];
+            for m in &members {
+                for (a, v) in mean.iter_mut().zip(m.iter()) {
+                    *a += v;
+                }
+            }
+            for a in &mut mean {
+                *a /= nc;
+            }
+            let mut var = vec![0.0; d];
+            for m in &members {
+                for ((a, mu), v) in var.iter_mut().zip(&mean).zip(m.iter()) {
+                    let c = v - mu;
+                    *a += c * c;
+                }
+            }
+            for a in &mut var {
+                *a = *a / nc + eps;
+            }
+            self.mean.push(mean);
+            self.var.push(var);
+            self.classes.push(class);
+        }
+    }
+
+    fn predict_one(&self, x: &[f64]) -> usize {
+        assert!(!self.classes.is_empty(), "predict before fit");
+        let mut best = 0;
+        let mut best_ll = f64::NEG_INFINITY;
+        for (i, &prior) in self.log_prior.iter().enumerate() {
+            let mut ll = prior;
+            for (j, &v) in x.iter().enumerate() {
+                let var = self.var[i][j];
+                let diff = v - self.mean[i][j];
+                ll += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
+            }
+            if ll > best_ll {
+                best_ll = ll;
+                best = i;
+            }
+        }
+        self.classes[best]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn binary_pattern_data() -> Dataset {
+        // Class 0: features mostly negative; class 1: mostly positive.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let jitter = (i % 5) as f64 * 0.01;
+            x.push(vec![-1.0 + jitter, -0.5, 1.0]);
+            y.push(0);
+            x.push(vec![1.0 - jitter, 0.5, 1.0]);
+            y.push(1);
+        }
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn bernoulli_learns_sign_patterns() {
+        let d = binary_pattern_data();
+        let mut m = BernoulliNB::new();
+        m.fit(&d);
+        assert_eq!(m.predict(&d.x), d.y);
+        // Unseen samples with the same sign pattern.
+        assert_eq!(m.predict_one(&[-2.0, -3.0, 0.5]), 0);
+        assert_eq!(m.predict_one(&[0.7, 2.0, 0.5]), 1);
+    }
+
+    #[test]
+    fn bernoulli_prior_dominates_uninformative_features() {
+        // All features identical across classes; 3:1 class imbalance means
+        // the prior should decide.
+        let x = vec![vec![1.0]; 8];
+        let y = vec![0, 0, 0, 0, 0, 0, 1, 1];
+        let mut m = BernoulliNB::new();
+        m.fit(&Dataset::new(x, y));
+        assert_eq!(m.predict_one(&[1.0]), 0);
+    }
+
+    #[test]
+    fn bernoulli_smoothing_handles_unseen_values() {
+        // Class 1 never has feature 0 "on"; a test sample with it on must
+        // not produce -inf (alpha smoothing).
+        let d = Dataset::new(
+            vec![vec![1.0], vec![1.0], vec![-1.0], vec![-1.0]],
+            vec![0, 0, 1, 1],
+        );
+        let mut m = BernoulliNB::new();
+        m.fit(&d);
+        // Prediction exists and is class 0 (which actually had 1.0).
+        assert_eq!(m.predict_one(&[1.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be positive")]
+    fn bernoulli_rejects_zero_alpha() {
+        let _ = BernoulliNB::new().with_alpha(0.0);
+    }
+
+    #[test]
+    fn gaussian_separable_blobs() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..30 {
+            let t = (i as f64) * 0.01;
+            x.push(vec![0.0 + t, 1.0 - t]);
+            y.push(0);
+            x.push(vec![5.0 + t, 6.0 - t]);
+            y.push(1);
+        }
+        let d = Dataset::new(x, y);
+        let mut m = GaussianNB::new();
+        m.fit(&d);
+        assert_eq!(m.predict(&d.x), d.y);
+        assert_eq!(m.predict_one(&[0.2, 0.8]), 0);
+        assert_eq!(m.predict_one(&[5.3, 5.9]), 1);
+    }
+
+    #[test]
+    fn gaussian_handles_zero_variance_feature() {
+        // Second feature constant: var floor prevents division by zero.
+        let d = Dataset::new(
+            vec![vec![0.0, 7.0], vec![0.1, 7.0], vec![5.0, 7.0], vec![5.1, 7.0]],
+            vec![0, 0, 1, 1],
+        );
+        let mut m = GaussianNB::new();
+        m.fit(&d);
+        assert_eq!(m.predict_one(&[0.05, 7.0]), 0);
+        assert_eq!(m.predict_one(&[5.05, 7.0]), 1);
+    }
+
+    #[test]
+    fn gaussian_uses_class_priors() {
+        // Overlapping distributions, strong prior for class 0.
+        let mut x = vec![vec![0.0]; 9];
+        x.push(vec![0.0]);
+        let mut y = vec![0usize; 9];
+        y.push(1);
+        let mut m = GaussianNB::new();
+        m.fit(&Dataset::new(x, y));
+        assert_eq!(m.predict_one(&[0.0]), 0);
+    }
+}

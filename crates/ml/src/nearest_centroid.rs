@@ -1,0 +1,152 @@
+//! Nearest Centroid Classifier — the paper's best model (Table 2, balanced
+//! accuracy 0.931), best with Chebyshev distance (§4.1).
+
+use crate::{Classifier, Dataset, Distance};
+
+/// Nearest-centroid classifier with a configurable distance metric.
+#[derive(Debug, Clone)]
+pub struct NearestCentroid {
+    /// Distance metric used at prediction time.
+    pub distance: Distance,
+    centroids: Vec<Vec<f64>>,
+    classes: Vec<usize>,
+}
+
+impl NearestCentroid {
+    /// New classifier with the given metric (paper's pick: Chebyshev).
+    pub fn new(distance: Distance) -> Self {
+        NearestCentroid {
+            distance,
+            centroids: Vec::new(),
+            classes: Vec::new(),
+        }
+    }
+
+    /// The fitted per-class centroids (empty before `fit`).
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+}
+
+impl Default for NearestCentroid {
+    fn default() -> Self {
+        Self::new(Distance::Chebyshev)
+    }
+}
+
+impl Classifier for NearestCentroid {
+    fn fit(&mut self, data: &Dataset) {
+        let d = data.n_features();
+        self.centroids.clear();
+        self.classes.clear();
+        for class in 0..data.n_classes {
+            let members: Vec<&Vec<f64>> = data
+                .x
+                .iter()
+                .zip(&data.y)
+                .filter(|(_, &y)| y == class)
+                .map(|(x, _)| x)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let mut c = vec![0.0; d];
+            for m in &members {
+                for (ci, v) in c.iter_mut().zip(m.iter()) {
+                    *ci += v;
+                }
+            }
+            let n = members.len() as f64;
+            for ci in &mut c {
+                *ci /= n;
+            }
+            self.centroids.push(c);
+            self.classes.push(class);
+        }
+    }
+
+    fn predict_one(&self, x: &[f64]) -> usize {
+        assert!(!self.centroids.is_empty(), "predict before fit");
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in self.centroids.iter().enumerate() {
+            let d = self.distance.compute(x, c);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        self.classes[best]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Dataset {
+        // Two well-separated 2-D blobs.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            x.push(vec![0.0 + 0.1 * i as f64, 0.0]);
+            y.push(0);
+            x.push(vec![10.0 + 0.1 * i as f64, 10.0]);
+            y.push(1);
+        }
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn separable_blobs_classified_perfectly() {
+        for dist in [Distance::Euclidean, Distance::Manhattan, Distance::Chebyshev] {
+            let mut m = NearestCentroid::new(dist);
+            let d = blobs();
+            m.fit(&d);
+            let pred = m.predict(&d.x);
+            assert_eq!(pred, d.y, "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn centroids_are_class_means() {
+        let d = Dataset::new(
+            vec![vec![0.0], vec![2.0], vec![10.0], vec![14.0]],
+            vec![0, 0, 1, 1],
+        );
+        let mut m = NearestCentroid::default();
+        m.fit(&d);
+        assert_eq!(m.centroids()[0], vec![1.0]);
+        assert_eq!(m.centroids()[1], vec![12.0]);
+    }
+
+    #[test]
+    fn skips_empty_classes() {
+        // Label 2 declared but absent: predictions still valid.
+        let d = Dataset::new(vec![vec![0.0], vec![10.0]], vec![0, 1]).with_n_classes(3);
+        let mut m = NearestCentroid::default();
+        m.fit(&d);
+        assert_eq!(m.predict_one(&[1.0]), 0);
+        assert_eq!(m.predict_one(&[9.0]), 1);
+    }
+
+    #[test]
+    fn chebyshev_differs_from_euclidean_when_it_should() {
+        // Centroids at (0,0) and (5,0); query (3, 4):
+        // Euclid: d0 = 5, d1 = sqrt(4+16)=4.47 -> class 1
+        // Chebyshev: d0 = max(3,4)=4, d1 = max(2,4)=4 -> tie, first wins (class 0)
+        let d = Dataset::new(vec![vec![0.0, 0.0], vec![5.0, 0.0]], vec![0, 1]);
+        let mut eu = NearestCentroid::new(Distance::Euclidean);
+        let mut ch = NearestCentroid::new(Distance::Chebyshev);
+        eu.fit(&d);
+        ch.fit(&d);
+        assert_eq!(eu.predict_one(&[3.0, 4.0]), 1);
+        assert_eq!(ch.predict_one(&[3.0, 4.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        NearestCentroid::default().predict_one(&[0.0]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Standard scaling: zero mean, unit variance per feature (§4.1: "we
+//! pre-process all the data by scaling all the features to unit variance").
+
+/// Per-feature standardization fitted on training data.
+#[derive(Debug, Clone, Default)]
+pub struct StandardScaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fit means and standard deviations on `x`. Zero-variance features get
+    /// std 1 so they map to 0 (sklearn behaviour).
+    pub fn fit(x: &[Vec<f64>]) -> Self {
+        let n = x.len().max(1) as f64;
+        let d = x.first().map_or(0, |r| r.len());
+        let mut mean = vec![0.0; d];
+        for row in x {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for row in x {
+            for ((v, m), x) in var.iter_mut().zip(&mean).zip(row) {
+                let c = x - m;
+                *v += c * c;
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        StandardScaler { mean, std }
+    }
+
+    /// Transform one sample in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        for ((v, m), s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Transform a matrix, returning a new one.
+    pub fn transform(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter()
+            .map(|r| {
+                let mut row = r.clone();
+                self.transform_row(&mut row);
+                row
+            })
+            .collect()
+    }
+
+    /// Fit and transform in one step.
+    pub fn fit_transform(x: &[Vec<f64>]) -> (Self, Vec<Vec<f64>>) {
+        let s = Self::fit(x);
+        let t = s.transform(x);
+        (s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_mean_unit_variance() {
+        let x = vec![
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ];
+        let (_, t) = StandardScaler::fit_transform(&x);
+        for j in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[j]).sum::<f64>() / 4.0;
+            let var: f64 = t.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-12, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-12, "var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let x = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let (_, t) = StandardScaler::fit_transform(&x);
+        assert!(t.iter().all(|r| r[0] == 0.0));
+    }
+
+    #[test]
+    fn transform_uses_training_stats() {
+        let train = vec![vec![0.0], vec![2.0]];
+        let s = StandardScaler::fit(&train);
+        // mean 1, std 1 -> 3.0 maps to 2.0
+        let out = s.transform(&[vec![3.0]]);
+        assert!((out[0][0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_noop() {
+        let s = StandardScaler::fit(&[]);
+        assert!(s.transform(&[]).is_empty());
+    }
+}

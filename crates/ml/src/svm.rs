@@ -1,0 +1,175 @@
+//! Linear support vector classifier trained by hinge-loss SGD
+//! (Pegasos-style), one-vs-rest for multi-class.
+
+use crate::{Classifier, Dataset};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Linear SVC (one-vs-rest).
+#[derive(Debug, Clone)]
+pub struct LinearSvc {
+    /// L2 regularization strength (Pegasos lambda).
+    pub lambda: f64,
+    /// Number of epochs over the training set.
+    pub epochs: usize,
+    /// RNG seed for sample shuffling.
+    pub seed: u64,
+    // One (weights, bias) per class.
+    weights: Vec<Vec<f64>>,
+    biases: Vec<f64>,
+}
+
+impl LinearSvc {
+    /// New SVC.
+    pub fn new(lambda: f64, epochs: usize, seed: u64) -> Self {
+        assert!(lambda > 0.0);
+        assert!(epochs >= 1);
+        LinearSvc {
+            lambda,
+            epochs,
+            seed,
+            weights: Vec::new(),
+            biases: Vec::new(),
+        }
+    }
+
+    /// Decision score for one class.
+    pub fn score(&self, class: usize, x: &[f64]) -> f64 {
+        self.weights[class]
+            .iter()
+            .zip(x)
+            .map(|(w, v)| w * v)
+            .sum::<f64>()
+            + self.biases[class]
+    }
+}
+
+impl Default for LinearSvc {
+    fn default() -> Self {
+        Self::new(1e-4, 30, 0)
+    }
+}
+
+impl Classifier for LinearSvc {
+    fn fit(&mut self, data: &Dataset) {
+        let d = data.n_features();
+        let n = data.len();
+        self.weights = vec![vec![0.0; d]; data.n_classes];
+        self.biases = vec![0.0; data.n_classes];
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+
+        for class in 0..data.n_classes {
+            let w = &mut self.weights[class];
+            let b = &mut self.biases[class];
+            let mut t = 0usize;
+            for _ in 0..self.epochs {
+                order.shuffle(&mut rng);
+                for &i in &order {
+                    t += 1;
+                    let eta = 1.0 / (self.lambda * t as f64);
+                    let yi = if data.y[i] == class { 1.0 } else { -1.0 };
+                    let margin = yi
+                        * (w.iter().zip(&data.x[i]).map(|(wj, xj)| wj * xj).sum::<f64>() + *b);
+                    // L2 shrink.
+                    let shrink = 1.0 - eta * self.lambda;
+                    for wj in w.iter_mut() {
+                        *wj *= shrink;
+                    }
+                    if margin < 1.0 {
+                        for (wj, xj) in w.iter_mut().zip(&data.x[i]) {
+                            *wj += eta * yi * xj;
+                        }
+                        *b += eta * yi;
+                    }
+                }
+            }
+        }
+    }
+
+    fn predict_one(&self, x: &[f64]) -> usize {
+        assert!(!self.weights.is_empty(), "predict before fit");
+        (0..self.weights.len())
+            .max_by(|&a, &b| {
+                self.score(a, x)
+                    .partial_cmp(&self.score(b, x))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data() -> Dataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let j = (i % 10) as f64 * 0.1;
+            x.push(vec![-1.0 - j, -1.0 + j]);
+            y.push(0);
+            x.push(vec![1.0 + j, 1.0 - j]);
+            y.push(1);
+        }
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn separates_linear_classes() {
+        let d = linear_data();
+        let mut m = LinearSvc::default();
+        m.fit(&d);
+        assert_eq!(m.predict(&d.x), d.y);
+        assert_eq!(m.predict_one(&[-2.0, -2.0]), 0);
+        assert_eq!(m.predict_one(&[2.0, 2.0]), 1);
+    }
+
+    #[test]
+    fn three_class_one_vs_rest() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..20 {
+            let j = (i % 10) as f64 * 0.05;
+            x.push(vec![-2.0 + j, 0.0]);
+            y.push(0);
+            x.push(vec![0.0 + j, 2.0]);
+            y.push(1);
+            x.push(vec![2.0 + j, -2.0]);
+            y.push(2);
+        }
+        let d = Dataset::new(x, y);
+        let mut m = LinearSvc::new(1e-4, 50, 1);
+        m.fit(&d);
+        let acc = m
+            .predict(&d.x)
+            .iter()
+            .zip(&d.y)
+            .filter(|(p, y)| p == y)
+            .count() as f64
+            / d.len() as f64;
+        assert!(acc >= 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = linear_data();
+        let mut a = LinearSvc::new(1e-3, 10, 5);
+        let mut b = LinearSvc::new(1e-3, 10, 5);
+        a.fit(&d);
+        b.fit(&d);
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.biases, b.biases);
+    }
+
+    #[test]
+    fn margin_sign_is_sensible() {
+        let d = linear_data();
+        let mut m = LinearSvc::default();
+        m.fit(&d);
+        assert!(m.score(0, &[-2.0, -2.0]) > m.score(1, &[-2.0, -2.0]));
+        assert!(m.score(1, &[2.0, 2.0]) > m.score(0, &[2.0, 2.0]));
+    }
+}

@@ -1,0 +1,362 @@
+//! CART decision tree with Gini impurity.
+//!
+//! Used three ways in the reproduction: as the Table 2 baseline (best max
+//! depth 3 per §4.1), as the humanness validator (9-layer tree per §5.4 /
+//! zkSENSE), and as the weak learner inside random forest and AdaBoost —
+//! hence support for sample weights and per-node feature subsampling.
+
+use crate::{Classifier, Dataset};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A fitted tree node.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// CART decision tree classifier.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    /// Maximum tree depth (root = depth 0 splits allowed up to this).
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// If set, consider only `ceil(sqrt(d))` random features per node
+    /// (random-forest mode); the value seeds the RNG.
+    pub feature_subsample_seed: Option<u64>,
+    root: Option<Node>,
+    depth_reached: usize,
+}
+
+impl DecisionTree {
+    /// New tree with the given maximum depth.
+    pub fn new(max_depth: usize) -> Self {
+        DecisionTree {
+            max_depth,
+            min_samples_split: 2,
+            feature_subsample_seed: None,
+            root: None,
+            depth_reached: 0,
+        }
+    }
+
+    /// Enable per-node sqrt(d) feature subsampling (for forests).
+    pub fn with_feature_subsampling(mut self, seed: u64) -> Self {
+        self.feature_subsample_seed = Some(seed);
+        self
+    }
+
+    /// Depth actually reached after fitting.
+    pub fn depth_reached(&self) -> usize {
+        self.depth_reached
+    }
+
+    /// Fit with explicit per-sample weights (AdaBoost). Weights must be
+    /// non-negative and not all zero.
+    pub fn fit_weighted(&mut self, data: &Dataset, weights: &[f64]) {
+        assert_eq!(weights.len(), data.len(), "weight length mismatch");
+        let idx: Vec<usize> = (0..data.len()).collect();
+        let mut rng = self
+            .feature_subsample_seed
+            .map(StdRng::seed_from_u64);
+        self.depth_reached = 0;
+        let depth_reached = &mut self.depth_reached;
+        self.root = Some(Self::build(
+            data,
+            weights,
+            &idx,
+            0,
+            self.max_depth,
+            self.min_samples_split,
+            &mut rng,
+            depth_reached,
+        ));
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        data: &Dataset,
+        w: &[f64],
+        idx: &[usize],
+        depth: usize,
+        max_depth: usize,
+        min_split: usize,
+        rng: &mut Option<StdRng>,
+        depth_reached: &mut usize,
+    ) -> Node {
+        *depth_reached = (*depth_reached).max(depth);
+        let majority = Self::weighted_majority(data, w, idx);
+        if depth >= max_depth || idx.len() < min_split || Self::is_pure(data, idx) {
+            return Node::Leaf { class: majority };
+        }
+        let d = data.n_features();
+        let features: Vec<usize> = match rng {
+            Some(r) => {
+                let m = ((d as f64).sqrt().ceil() as usize).max(1);
+                let mut all: Vec<usize> = (0..d).collect();
+                all.shuffle(r);
+                all.truncate(m);
+                all
+            }
+            None => (0..d).collect(),
+        };
+
+        let parent_gini = Self::gini(data, w, idx);
+        // Best candidate: (feature, threshold, impurity decrease, balance).
+        // Gini is concave, so decrease is always >= 0; among equal decreases
+        // prefer the most balanced split (largest min(left, right) weight),
+        // which lets depth-limited trees make progress on symmetric data
+        // (e.g. XOR) where every single split has zero marginal gain.
+        let mut best: Option<(usize, f64, f64, f64)> = None;
+        for &f in &features {
+            // Sort indices by this feature and scan candidate thresholds.
+            let mut order: Vec<usize> = idx.to_vec();
+            order.sort_by(|&a, &b| {
+                data.x[a][f]
+                    .partial_cmp(&data.x[b][f])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let total_w: f64 = order.iter().map(|&i| w[i]).sum();
+            if total_w <= 0.0 {
+                continue;
+            }
+            // Incremental class-weight tallies left of the split point.
+            let mut left_counts = vec![0.0f64; data.n_classes];
+            let mut left_w = 0.0;
+            let mut right_counts = vec![0.0f64; data.n_classes];
+            for &i in &order {
+                right_counts[data.y[i]] += w[i];
+            }
+            for k in 0..order.len() - 1 {
+                let i = order[k];
+                left_counts[data.y[i]] += w[i];
+                right_counts[data.y[i]] -= w[i];
+                left_w += w[i];
+                let v = data.x[i][f];
+                let v_next = data.x[order[k + 1]][f];
+                if v == v_next {
+                    continue; // cannot split between equal values
+                }
+                let right_w = total_w - left_w;
+                if left_w <= 0.0 || right_w <= 0.0 {
+                    continue;
+                }
+                let gl = Self::gini_from_counts(&left_counts, left_w);
+                let gr = Self::gini_from_counts(&right_counts, right_w);
+                let weighted = (left_w * gl + right_w * gr) / total_w;
+                let decrease = parent_gini - weighted;
+                let balance = left_w.min(right_w);
+                let threshold = (v + v_next) / 2.0;
+                let better = match best {
+                    None => true,
+                    Some((_, _, bd, bbal)) => {
+                        decrease > bd + 1e-15
+                            || ((decrease - bd).abs() <= 1e-15 && balance > bbal + 1e-15)
+                    }
+                };
+                if better {
+                    best = Some((f, threshold, decrease, balance));
+                }
+            }
+        }
+
+        match best {
+            Some((feature, threshold, _, _)) => {
+                let (li, ri): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| data.x[i][feature] <= threshold);
+                if li.is_empty() || ri.is_empty() {
+                    return Node::Leaf { class: majority };
+                }
+                let left = Self::build(data, w, &li, depth + 1, max_depth, min_split, rng, depth_reached);
+                let right = Self::build(data, w, &ri, depth + 1, max_depth, min_split, rng, depth_reached);
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                }
+            }
+            None => Node::Leaf { class: majority },
+        }
+    }
+
+    fn is_pure(data: &Dataset, idx: &[usize]) -> bool {
+        idx.windows(2).all(|w| data.y[w[0]] == data.y[w[1]])
+    }
+
+    fn weighted_majority(data: &Dataset, w: &[f64], idx: &[usize]) -> usize {
+        let mut counts = vec![0.0f64; data.n_classes.max(1)];
+        for &i in idx {
+            counts[data.y[i]] += w[i];
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    fn gini(data: &Dataset, w: &[f64], idx: &[usize]) -> f64 {
+        let mut counts = vec![0.0f64; data.n_classes];
+        let mut total = 0.0;
+        for &i in idx {
+            counts[data.y[i]] += w[i];
+            total += w[i];
+        }
+        Self::gini_from_counts(&counts, total)
+    }
+
+    fn gini_from_counts(counts: &[f64], total: f64) -> f64 {
+        if total <= 0.0 {
+            return 0.0;
+        }
+        1.0 - counts.iter().map(|c| (c / total) * (c / total)).sum::<f64>()
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, data: &Dataset) {
+        let weights = vec![1.0; data.len()];
+        self.fit_weighted(data, &weights);
+    }
+
+    fn predict_one(&self, x: &[f64]) -> usize {
+        let mut node = self.root.as_ref().expect("predict before fit");
+        loop {
+            match node {
+                Node::Leaf { class } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor() -> Dataset {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..4 {
+            let j = i as f64 * 0.02;
+            x.push(vec![0.0 + j, 0.0 + j]);
+            y.push(0);
+            x.push(vec![1.0 - j, 1.0 - j]);
+            y.push(0);
+            x.push(vec![0.0 + j, 1.0 - j]);
+            y.push(1);
+            x.push(vec![1.0 - j, 0.0 + j]);
+            y.push(1);
+        }
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn learns_axis_aligned_split() {
+        let d = Dataset::new(
+            vec![vec![1.0], vec![2.0], vec![8.0], vec![9.0]],
+            vec![0, 0, 1, 1],
+        );
+        let mut t = DecisionTree::new(3);
+        t.fit(&d);
+        assert_eq!(t.predict_one(&[0.0]), 0);
+        assert_eq!(t.predict_one(&[10.0]), 1);
+        assert_eq!(t.depth_reached(), 1);
+    }
+
+    #[test]
+    fn depth_2_solves_xor() {
+        let d = xor();
+        let mut t = DecisionTree::new(2);
+        t.fit(&d);
+        assert_eq!(t.predict(&d.x), d.y);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let d = xor();
+        let mut t = DecisionTree::new(1);
+        t.fit(&d);
+        assert!(t.depth_reached() <= 1);
+        // A depth-1 stump cannot solve XOR.
+        let acc = t
+            .predict(&d.x)
+            .iter()
+            .zip(&d.y)
+            .filter(|(p, y)| p == y)
+            .count();
+        assert!(acc < d.len());
+    }
+
+    #[test]
+    fn zero_depth_is_majority_vote() {
+        let d = Dataset::new(
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![1, 1, 0],
+        );
+        let mut t = DecisionTree::new(0);
+        t.fit(&d);
+        assert_eq!(t.predict_one(&[0.0]), 1);
+        assert_eq!(t.predict_one(&[2.0]), 1);
+    }
+
+    #[test]
+    fn weighted_fit_shifts_majority() {
+        // Same data, but the single class-0 sample carries all the weight.
+        let d = Dataset::new(
+            vec![vec![0.0], vec![0.0], vec![0.0]],
+            vec![1, 1, 0],
+        );
+        let mut t = DecisionTree::new(2);
+        t.fit_weighted(&d, &[0.1, 0.1, 10.0]);
+        assert_eq!(t.predict_one(&[0.0]), 0);
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        let d = Dataset::new(vec![vec![0.0], vec![1.0], vec![2.0]], vec![0, 0, 0]);
+        let mut t = DecisionTree::new(10);
+        t.fit(&d);
+        assert_eq!(t.depth_reached(), 0);
+        assert_eq!(t.predict_one(&[5.0]), 0);
+    }
+
+    #[test]
+    fn identical_features_cannot_split() {
+        // Two classes but indistinguishable features: tree must emit a leaf
+        // rather than a degenerate split.
+        let d = Dataset::new(vec![vec![1.0], vec![1.0]], vec![0, 1]);
+        let mut t = DecisionTree::new(5);
+        t.fit(&d);
+        assert_eq!(t.depth_reached(), 0);
+    }
+
+    #[test]
+    fn deterministic_with_subsampling() {
+        let d = xor();
+        let mut a = DecisionTree::new(4).with_feature_subsampling(9);
+        let mut b = DecisionTree::new(4).with_feature_subsampling(9);
+        a.fit(&d);
+        b.fit(&d);
+        assert_eq!(a.predict(&d.x), b.predict(&d.x));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests over the ML substrate: every classifier must emit
+//! labels inside the declared class range for arbitrary (finite) data,
+//! metrics must stay in [0, 1], and the pipeline pieces must be
+//! deterministic under a fixed seed.
+
+use fiat_ml::adaboost::AdaBoost;
+use fiat_ml::forest::RandomForest;
+use fiat_ml::knn::KNearestNeighbors;
+use fiat_ml::metrics::ConfusionMatrix;
+use fiat_ml::mlp::Mlp;
+use fiat_ml::naive_bayes::{BernoulliNB, GaussianNB};
+use fiat_ml::nearest_centroid::NearestCentroid;
+use fiat_ml::svm::LinearSvc;
+use fiat_ml::tree::DecisionTree;
+use fiat_ml::{Classifier, Dataset, Distance};
+use proptest::prelude::*;
+
+/// A random but non-degenerate dataset: 2-4 classes, every class has at
+/// least one sample.
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (2usize..4, 8usize..40, 2usize..6).prop_flat_map(|(classes, n, d)| {
+        prop::collection::vec(
+            (
+                prop::collection::vec(-100.0f64..100.0, d),
+                0..classes,
+            ),
+            n,
+        )
+        .prop_map(move |mut rows| {
+            // Guarantee every class appears.
+            for c in 0..classes {
+                if !rows.iter().any(|(_, y)| *y == c) {
+                    let proto = rows[0].0.clone();
+                    rows.push((proto, c));
+                }
+            }
+            let (x, y): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+            Dataset::new(x, y).with_n_classes(classes)
+        })
+    })
+}
+
+fn check_in_range<C: Classifier>(mut model: C, data: &Dataset) -> Result<(), TestCaseError> {
+    model.fit(data);
+    for row in &data.x {
+        let p = model.predict_one(row);
+        prop_assert!(p < data.n_classes, "label {} of {}", p, data.n_classes);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_classifiers_stay_in_label_range(data in arb_dataset()) {
+        check_in_range(NearestCentroid::new(Distance::Chebyshev), &data)?;
+        check_in_range(BernoulliNB::new(), &data)?;
+        check_in_range(GaussianNB::new(), &data)?;
+        check_in_range(KNearestNeighbors::new(3, Distance::Euclidean), &data)?;
+        check_in_range(DecisionTree::new(4), &data)?;
+        check_in_range(RandomForest::new(5, 3, 0), &data)?;
+        check_in_range(AdaBoost::new(5, 1), &data)?;
+        check_in_range(LinearSvc::new(1e-3, 3, 0), &data)?;
+        check_in_range(Mlp::new(vec![8], 5, 0), &data)?;
+    }
+
+    /// Metrics are bounded and consistent for arbitrary prediction pairs.
+    #[test]
+    fn metrics_bounded(
+        pairs in prop::collection::vec((0usize..4, 0usize..4), 1..200),
+    ) {
+        let (t, p): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
+        let cm = ConfusionMatrix::from_predictions(&t, &p, 4);
+        for v in [
+            cm.accuracy(),
+            cm.balanced_accuracy(),
+            cm.macro_f1(),
+        ] {
+            prop_assert!((0.0..=1.0).contains(&v), "{}", v);
+        }
+        for c in 0..4 {
+            prop_assert!((0.0..=1.0).contains(&cm.precision(c)));
+            prop_assert!((0.0..=1.0).contains(&cm.recall(c)));
+            prop_assert!((0.0..=1.0).contains(&cm.f1(c)));
+        }
+        prop_assert_eq!(cm.total(), t.len());
+    }
+
+    /// Perfect predictions always give perfect scores.
+    #[test]
+    fn perfect_predictions_score_one(
+        labels in prop::collection::vec(0usize..3, 3..100),
+    ) {
+        let cm = ConfusionMatrix::from_predictions(&labels, &labels, 3);
+        prop_assert_eq!(cm.accuracy(), 1.0);
+        prop_assert_eq!(cm.balanced_accuracy(), 1.0);
+        prop_assert_eq!(cm.macro_f1(), 1.0);
+    }
+
+    /// 1-NN always achieves perfect training accuracy on distinct points.
+    #[test]
+    fn one_nn_memorizes(data in arb_dataset()) {
+        // Deduplicate identical feature rows with conflicting labels.
+        let mut seen = std::collections::HashMap::new();
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for (row, &label) in data.x.iter().zip(&data.y) {
+            let key: Vec<u64> = row.iter().map(|v| v.to_bits()).collect();
+            if seen.insert(key, label).is_none() {
+                x.push(row.clone());
+                y.push(label);
+            }
+        }
+        let dedup = Dataset::new(x, y).with_n_classes(data.n_classes);
+        let mut knn = KNearestNeighbors::new(1, Distance::Euclidean);
+        knn.fit(&dedup);
+        let pred = knn.predict(&dedup.x);
+        prop_assert_eq!(pred, dedup.y);
+    }
+
+    /// Seeded models are bit-deterministic.
+    #[test]
+    fn seeded_models_deterministic(data in arb_dataset(), seed in any::<u64>()) {
+        let mut a = RandomForest::new(5, 3, seed);
+        let mut b = RandomForest::new(5, 3, seed);
+        a.fit(&data);
+        b.fit(&data);
+        prop_assert_eq!(a.predict(&data.x), b.predict(&data.x));
+        let mut a = Mlp::new(vec![6], 3, seed);
+        let mut b = Mlp::new(vec![6], 3, seed);
+        a.fit(&data);
+        b.fit(&data);
+        prop_assert_eq!(a.predict(&data.x), b.predict(&data.x));
+    }
+}

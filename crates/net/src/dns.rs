@@ -1,0 +1,167 @@
+//! DNS name knowledge used by the PortLess flow definition.
+//!
+//! §2.1 of the paper replaces the destination IP with its domain name,
+//! obtained either from DNS requests seen in the trace or via reverse DNS
+//! lookups against a fixed recursive resolver. We model both: observed
+//! forward mappings are authoritative; reverse lookups may return a
+//! canonical alias (e.g. CDN PTR names), which the paper notes can reduce
+//! accuracy versus in-trace DNS.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// How a domain mapping was learned; forward (in-trace DNS) beats reverse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DnsSource {
+    /// Observed an actual DNS response in the trace.
+    Forward,
+    /// Obtained via reverse (PTR) lookup; may be an alias.
+    Reverse,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Entry {
+    domain: String,
+    source: DnsSource,
+}
+
+/// IP → domain-name table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DnsTable {
+    entries: HashMap<Ipv4Addr, Entry>,
+}
+
+impl DnsTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a mapping observed from an in-trace DNS response. Forward
+    /// mappings always overwrite reverse ones.
+    pub fn observe_forward(&mut self, ip: Ipv4Addr, domain: impl Into<String>) {
+        self.entries.insert(
+            ip,
+            Entry {
+                domain: domain.into(),
+                source: DnsSource::Forward,
+            },
+        );
+    }
+
+    /// Record a mapping obtained via reverse lookup. Does not overwrite an
+    /// existing forward mapping.
+    pub fn observe_reverse(&mut self, ip: Ipv4Addr, domain: impl Into<String>) {
+        let e = self.entries.entry(ip).or_insert(Entry {
+            domain: String::new(),
+            source: DnsSource::Reverse,
+        });
+        if e.source == DnsSource::Reverse {
+            e.domain = domain.into();
+        }
+    }
+
+    /// Resolve an IP to the best-known name. Unknown IPs fall back to the
+    /// dotted-quad string, which keeps PortLess at least as accurate as
+    /// using raw IPs (§2.1 footnote 1).
+    pub fn name_of(&self, ip: Ipv4Addr) -> String {
+        self.entries
+            .get(&ip)
+            .map(|e| e.domain.clone())
+            .unwrap_or_else(|| ip.to_string())
+    }
+
+    /// Whether the table knows this IP.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        self.entries.contains_key(&ip)
+    }
+
+    /// How the mapping for `ip` was learned, if known.
+    pub fn source_of(&self, ip: Ipv4Addr) -> Option<DnsSource> {
+        self.entries.get(&ip).map(|e| e.source)
+    }
+
+    /// Number of known IPs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries as (ip, name, source), sorted by IP for deterministic
+    /// serialization.
+    pub fn entries_sorted(&self) -> Vec<(Ipv4Addr, &str, DnsSource)> {
+        let mut out: Vec<(Ipv4Addr, &str, DnsSource)> = self
+            .entries
+            .iter()
+            .map(|(ip, e)| (*ip, e.domain.as_str(), e.source))
+            .collect();
+        out.sort_by_key(|(ip, _, _)| u32::from(*ip));
+        out
+    }
+
+    /// Merge another table into this one, respecting forward-beats-reverse.
+    pub fn merge(&mut self, other: &DnsTable) {
+        for (ip, e) in &other.entries {
+            match e.source {
+                DnsSource::Forward => self.observe_forward(*ip, e.domain.clone()),
+                DnsSource::Reverse => self.observe_reverse(*ip, e.domain.clone()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IP: Ipv4Addr = Ipv4Addr::new(142, 250, 80, 46);
+
+    #[test]
+    fn unknown_ip_falls_back_to_dotted_quad() {
+        let t = DnsTable::new();
+        assert_eq!(t.name_of(IP), "142.250.80.46");
+        assert!(!t.contains(IP));
+    }
+
+    #[test]
+    fn forward_mapping_wins_over_reverse() {
+        let mut t = DnsTable::new();
+        t.observe_reverse(IP, "lga34s32-in-f14.1e100.net");
+        assert_eq!(t.name_of(IP), "lga34s32-in-f14.1e100.net");
+        t.observe_forward(IP, "google.com");
+        assert_eq!(t.name_of(IP), "google.com");
+        // Reverse cannot displace forward.
+        t.observe_reverse(IP, "alias.example");
+        assert_eq!(t.name_of(IP), "google.com");
+        assert_eq!(t.source_of(IP), Some(DnsSource::Forward));
+    }
+
+    #[test]
+    fn reverse_updates_reverse() {
+        let mut t = DnsTable::new();
+        t.observe_reverse(IP, "a.example");
+        t.observe_reverse(IP, "b.example");
+        assert_eq!(t.name_of(IP), "b.example");
+    }
+
+    #[test]
+    fn merge_respects_priority() {
+        let mut a = DnsTable::new();
+        a.observe_reverse(IP, "reverse.example");
+        let mut b = DnsTable::new();
+        b.observe_forward(IP, "forward.example");
+        a.merge(&b);
+        assert_eq!(a.name_of(IP), "forward.example");
+        // Merging a reverse-only table cannot displace it.
+        let mut c = DnsTable::new();
+        c.observe_reverse(IP, "other.example");
+        a.merge(&c);
+        assert_eq!(a.name_of(IP), "forward.example");
+        assert_eq!(a.len(), 1);
+    }
+}

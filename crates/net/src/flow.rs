@@ -1,0 +1,180 @@
+//! The paper's two flow definitions (§2.1).
+//!
+//! Packets are assigned to buckets; predictability is judged per bucket.
+//!
+//! - **Classic**: the 6-tuple `<ip_src, ip_dst, port_src, port_dst, proto,
+//!   size>`.
+//! - **PortLess**: drops both ports and replaces the destination IP with
+//!   its domain name, because many IoT devices talk to the same endpoint
+//!   from ever-changing ephemeral ports. The bucket becomes
+//!   `<device-side endpoint, remote domain, proto, size>` — we keep packet
+//!   direction in the key so that a request and its same-sized response do
+//!   not alias.
+
+use crate::dns::DnsTable;
+use crate::packet::PacketRecord;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Which flow definition to bucket with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowDef {
+    /// 6-tuple with ports and raw IPs.
+    Classic,
+    /// Ports dropped, remote IP replaced by its domain name.
+    PortLess,
+}
+
+impl FlowDef {
+    /// Both definitions, for sweeps.
+    pub const ALL: [FlowDef; 2] = [FlowDef::Classic, FlowDef::PortLess];
+}
+
+impl std::fmt::Display for FlowDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowDef::Classic => write!(f, "Classic"),
+            FlowDef::PortLess => write!(f, "PortLess"),
+        }
+    }
+}
+
+/// A bucket key under one of the two flow definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlowKey {
+    /// Classic 6-tuple.
+    Classic {
+        /// Source IP as on the wire.
+        src_ip: Ipv4Addr,
+        /// Destination IP as on the wire.
+        dst_ip: Ipv4Addr,
+        /// Source port.
+        src_port: u16,
+        /// Destination port.
+        dst_port: u16,
+        /// IANA protocol number.
+        proto: u8,
+        /// Packet size.
+        size: u16,
+    },
+    /// PortLess 4-tuple (plus direction to avoid request/response aliasing).
+    PortLess {
+        /// Remote endpoint domain name (or dotted quad if unknown).
+        remote: String,
+        /// IANA protocol number.
+        proto: u8,
+        /// Packet size.
+        size: u16,
+        /// Direction code (0 = from device, 1 = to device).
+        dir: u8,
+    },
+}
+
+impl FlowKey {
+    /// Bucket a packet under the given flow definition.
+    pub fn of(def: FlowDef, pkt: &PacketRecord, dns: &DnsTable) -> FlowKey {
+        match def {
+            FlowDef::Classic => FlowKey::Classic {
+                src_ip: pkt.src_ip(),
+                dst_ip: pkt.dst_ip(),
+                src_port: pkt.src_port(),
+                dst_port: pkt.dst_port(),
+                proto: pkt.transport.proto_number(),
+                size: pkt.size,
+            },
+            FlowDef::PortLess => FlowKey::PortLess {
+                remote: dns.name_of(pkt.remote_ip),
+                proto: pkt.transport.proto_number(),
+                size: pkt.size,
+                dir: pkt.direction.feature_code() as u8,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Direction, TcpFlags, TlsVersion, TrafficClass, Transport};
+    use crate::time::SimTime;
+
+    fn pkt(remote_port: u16, size: u16, direction: Direction) -> PacketRecord {
+        PacketRecord {
+            ts: SimTime::ZERO,
+            device: 0,
+            direction,
+            local_ip: Ipv4Addr::new(192, 168, 1, 20),
+            remote_ip: Ipv4Addr::new(52, 84, 1, 1),
+            local_port: 49152,
+            remote_port,
+            transport: Transport::Tcp,
+            tcp_flags: TcpFlags::ack(),
+            tls: TlsVersion::Tls12,
+            size,
+            label: TrafficClass::Control,
+        }
+    }
+
+    #[test]
+    fn classic_distinguishes_ports() {
+        let dns = DnsTable::new();
+        let a = FlowKey::of(FlowDef::Classic, &pkt(443, 100, Direction::FromDevice), &dns);
+        let b = FlowKey::of(FlowDef::Classic, &pkt(8443, 100, Direction::FromDevice), &dns);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn portless_ignores_ports() {
+        let dns = DnsTable::new();
+        let a = FlowKey::of(FlowDef::PortLess, &pkt(443, 100, Direction::FromDevice), &dns);
+        let b = FlowKey::of(FlowDef::PortLess, &pkt(8443, 100, Direction::FromDevice), &dns);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn portless_uses_domain_name() {
+        let mut dns = DnsTable::new();
+        dns.observe_forward(Ipv4Addr::new(52, 84, 1, 1), "iot.vendor.example");
+        let k = FlowKey::of(FlowDef::PortLess, &pkt(443, 100, Direction::FromDevice), &dns);
+        match k {
+            FlowKey::PortLess { remote, .. } => assert_eq!(remote, "iot.vendor.example"),
+            _ => panic!("wrong variant"),
+        }
+    }
+
+    #[test]
+    fn portless_same_domain_different_ip_aliases_together() {
+        // A device switching between two CDN IPs of the same service keeps
+        // one PortLess bucket — the motivating case for the definition.
+        let mut dns = DnsTable::new();
+        dns.observe_forward(Ipv4Addr::new(52, 84, 1, 1), "iot.vendor.example");
+        dns.observe_forward(Ipv4Addr::new(99, 9, 9, 9), "iot.vendor.example");
+        let mut p2 = pkt(443, 100, Direction::FromDevice);
+        p2.remote_ip = Ipv4Addr::new(99, 9, 9, 9);
+        let a = FlowKey::of(FlowDef::PortLess, &pkt(443, 100, Direction::FromDevice), &dns);
+        let b = FlowKey::of(FlowDef::PortLess, &p2, &dns);
+        assert_eq!(a, b);
+        // Classic keeps them apart.
+        let ca = FlowKey::of(FlowDef::Classic, &pkt(443, 100, Direction::FromDevice), &dns);
+        let cb = FlowKey::of(FlowDef::Classic, &p2, &dns);
+        assert_ne!(ca, cb);
+    }
+
+    #[test]
+    fn size_always_distinguishes() {
+        let dns = DnsTable::new();
+        for def in FlowDef::ALL {
+            let a = FlowKey::of(def, &pkt(443, 100, Direction::FromDevice), &dns);
+            let b = FlowKey::of(def, &pkt(443, 101, Direction::FromDevice), &dns);
+            assert_ne!(a, b, "{def}");
+        }
+    }
+
+    #[test]
+    fn direction_distinguishes_portless() {
+        let dns = DnsTable::new();
+        let a = FlowKey::of(FlowDef::PortLess, &pkt(443, 100, Direction::FromDevice), &dns);
+        let b = FlowKey::of(FlowDef::PortLess, &pkt(443, 100, Direction::ToDevice), &dns);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,330 @@
+//! Compact binary trace serialization ("fpcap").
+//!
+//! JSON traces are convenient but ~20× larger than needed; a two-week
+//! testbed capture is hundreds of thousands of packets. This module
+//! defines a small, versioned, length-prefixed binary container for
+//! [`Trace`] with a magic header, so captures can be archived and shared
+//! like pcap files. The DNS table rides along (the PortLess definition is
+//! meaningless without it).
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! magic "FPC1" | u32 dns_count | dns entries | u64 pkt_count | packets
+//! dns entry: u32 ip | u8 source | u16 name_len | name bytes
+//! packet:    u64 ts_us | u16 device | u8 dir | u32 local_ip | u32 remote_ip
+//!            | u16 lport | u16 rport | u8 proto | u8 flags | u8 tls
+//!            | u16 size | u8 label
+//! ```
+
+use crate::dns::{DnsSource, DnsTable};
+use crate::packet::{Direction, PacketRecord, TcpFlags, TlsVersion, TrafficClass, Transport};
+use crate::time::SimTime;
+use crate::trace::Trace;
+use std::net::Ipv4Addr;
+
+const MAGIC: &[u8; 4] = b"FPC1";
+
+/// Errors from decoding an fpcap blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PcapError {
+    /// Missing or wrong magic header.
+    BadMagic,
+    /// Blob ended before the declared contents.
+    Truncated,
+    /// A field held an invalid enum code.
+    BadField(&'static str),
+    /// A DNS name was not valid UTF-8.
+    BadName,
+}
+
+impl std::fmt::Display for PcapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PcapError::BadMagic => write!(f, "not an fpcap blob"),
+            PcapError::Truncated => write!(f, "fpcap blob truncated"),
+            PcapError::BadField(what) => write!(f, "invalid {what} code"),
+            PcapError::BadName => write!(f, "DNS name is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for PcapError {}
+
+/// Serialize a trace into the fpcap format.
+pub fn encode(trace: &Trace) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + trace.len() * 34);
+    out.extend_from_slice(MAGIC);
+
+    let entries = trace.dns.entries_sorted();
+    out.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+    for (ip, name, source) in entries {
+        out.extend_from_slice(&u32::from(ip).to_be_bytes());
+        out.push(match source {
+            DnsSource::Forward => 0,
+            DnsSource::Reverse => 1,
+        });
+        out.extend_from_slice(&(name.len() as u16).to_be_bytes());
+        out.extend_from_slice(name.as_bytes());
+    }
+
+    out.extend_from_slice(&(trace.len() as u64).to_be_bytes());
+    for p in &trace.packets {
+        out.extend_from_slice(&p.ts.as_micros().to_be_bytes());
+        out.extend_from_slice(&p.device.to_be_bytes());
+        out.push(match p.direction {
+            Direction::FromDevice => 0,
+            Direction::ToDevice => 1,
+        });
+        out.extend_from_slice(&u32::from(p.local_ip).to_be_bytes());
+        out.extend_from_slice(&u32::from(p.remote_ip).to_be_bytes());
+        out.extend_from_slice(&p.local_port.to_be_bytes());
+        out.extend_from_slice(&p.remote_port.to_be_bytes());
+        out.push(p.transport.proto_number());
+        out.push(p.tcp_flags.0);
+        out.push(match p.tls {
+            TlsVersion::None => 0,
+            TlsVersion::Tls10 => 1,
+            TlsVersion::Tls12 => 2,
+            TlsVersion::Tls13 => 3,
+        });
+        out.extend_from_slice(&p.size.to_be_bytes());
+        out.push(match p.label {
+            TrafficClass::Control => 0,
+            TrafficClass::Automated => 1,
+            TrafficClass::Manual => 2,
+        });
+    }
+    out
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], PcapError> {
+        let s = self
+            .bytes
+            .get(self.pos..self.pos + n)
+            .ok_or(PcapError::Truncated)?;
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, PcapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, PcapError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, PcapError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, PcapError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Deserialize an fpcap blob.
+pub fn decode(bytes: &[u8]) -> Result<Trace, PcapError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(PcapError::BadMagic);
+    }
+
+    let mut dns = DnsTable::new();
+    let n_dns = r.u32()? as usize;
+    for _ in 0..n_dns {
+        let ip = Ipv4Addr::from(r.u32()?);
+        let source = r.u8()?;
+        let name_len = r.u16()? as usize;
+        let name =
+            String::from_utf8(r.take(name_len)?.to_vec()).map_err(|_| PcapError::BadName)?;
+        match source {
+            0 => dns.observe_forward(ip, name),
+            1 => dns.observe_reverse(ip, name),
+            _ => return Err(PcapError::BadField("dns source")),
+        }
+    }
+
+    let n_pkts = r.u64()? as usize;
+    let mut packets = Vec::with_capacity(n_pkts.min(1 << 24));
+    for _ in 0..n_pkts {
+        let ts = SimTime::from_micros(r.u64()?);
+        let device = r.u16()?;
+        let direction = match r.u8()? {
+            0 => Direction::FromDevice,
+            1 => Direction::ToDevice,
+            _ => return Err(PcapError::BadField("direction")),
+        };
+        let local_ip = Ipv4Addr::from(r.u32()?);
+        let remote_ip = Ipv4Addr::from(r.u32()?);
+        let local_port = r.u16()?;
+        let remote_port = r.u16()?;
+        let transport = match r.u8()? {
+            6 => Transport::Tcp,
+            17 => Transport::Udp,
+            _ => return Err(PcapError::BadField("transport")),
+        };
+        let tcp_flags = TcpFlags(r.u8()?);
+        let tls = match r.u8()? {
+            0 => TlsVersion::None,
+            1 => TlsVersion::Tls10,
+            2 => TlsVersion::Tls12,
+            3 => TlsVersion::Tls13,
+            _ => return Err(PcapError::BadField("tls")),
+        };
+        let size = r.u16()?;
+        let label = match r.u8()? {
+            0 => TrafficClass::Control,
+            1 => TrafficClass::Automated,
+            2 => TrafficClass::Manual,
+            _ => return Err(PcapError::BadField("label")),
+        };
+        packets.push(PacketRecord {
+            ts,
+            device,
+            direction,
+            local_ip,
+            remote_ip,
+            local_port,
+            remote_port,
+            transport,
+            tcp_flags,
+            tls,
+            size,
+            label,
+        });
+    }
+    if r.pos != bytes.len() {
+        return Err(PcapError::Truncated); // trailing garbage
+    }
+    Ok(Trace { packets, dns })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.dns
+            .observe_forward(Ipv4Addr::new(34, 1, 2, 3), "a.vendor.example");
+        t.dns
+            .observe_reverse(Ipv4Addr::new(99, 9, 9, 9), "ptr.example");
+        for i in 0..50u64 {
+            t.push(PacketRecord {
+                ts: SimTime::from_millis(i * 137),
+                device: (i % 3) as u16,
+                direction: if i % 2 == 0 {
+                    Direction::FromDevice
+                } else {
+                    Direction::ToDevice
+                },
+                local_ip: Ipv4Addr::new(192, 168, 1, 10),
+                remote_ip: Ipv4Addr::new(34, 1, 2, 3),
+                local_port: 40000 + i as u16,
+                remote_port: 443,
+                transport: if i % 5 == 0 {
+                    Transport::Udp
+                } else {
+                    Transport::Tcp
+                },
+                tcp_flags: TcpFlags((i % 32) as u8),
+                tls: match i % 4 {
+                    0 => TlsVersion::None,
+                    1 => TlsVersion::Tls10,
+                    2 => TlsVersion::Tls12,
+                    _ => TlsVersion::Tls13,
+                },
+                size: 60 + (i * 13 % 1400) as u16,
+                label: match i % 3 {
+                    0 => TrafficClass::Control,
+                    1 => TrafficClass::Automated,
+                    _ => TrafficClass::Manual,
+                },
+            });
+        }
+        t.finish();
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let blob = encode(&t);
+        let back = decode(&blob).unwrap();
+        assert_eq!(back.packets, t.packets);
+        assert_eq!(
+            back.dns.name_of(Ipv4Addr::new(34, 1, 2, 3)),
+            "a.vendor.example"
+        );
+        assert_eq!(back.dns.name_of(Ipv4Addr::new(99, 9, 9, 9)), "ptr.example");
+        assert_eq!(back.dns.len(), 2);
+    }
+
+    #[test]
+    fn much_smaller_than_json() {
+        let t = sample_trace();
+        let blob = encode(&t);
+        let json = serde_json::to_vec(&t).unwrap();
+        assert!(
+            blob.len() * 3 < json.len(),
+            "fpcap {} vs json {}",
+            blob.len(),
+            json.len()
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode(b"NOPE").unwrap_err(), PcapError::BadMagic);
+        assert_eq!(decode(b"").unwrap_err(), PcapError::Truncated);
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let blob = encode(&sample_trace());
+        for cut in [4usize, 8, 20, blob.len() / 2, blob.len() - 1] {
+            assert!(decode(&blob[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut blob = encode(&sample_trace());
+        blob.push(0);
+        assert_eq!(decode(&blob).unwrap_err(), PcapError::Truncated);
+    }
+
+    #[test]
+    fn corrupt_enum_codes_rejected() {
+        let t = sample_trace();
+        let mut blob = encode(&t);
+        // Corrupt the first packet's direction byte: header is
+        // 4 (magic) + 4 (dns count) + dns entries + 8 (pkt count), then
+        // ts (8) + device (2), direction next.
+        let dns_bytes: usize = t
+            .dns
+            .entries_sorted()
+            .iter()
+            .map(|(_, name, _)| 4 + 1 + 2 + name.len())
+            .sum();
+        let dir_off = 4 + 4 + dns_bytes + 8 + 8 + 2;
+        blob[dir_off] = 9;
+        assert_eq!(decode(&blob).unwrap_err(), PcapError::BadField("direction"));
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = Trace::new();
+        let back = decode(&encode(&t)).unwrap();
+        assert!(back.is_empty());
+        assert!(back.dns.is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! Passive TLS sniffing: extract the version feature from record bytes.
+//!
+//! The §4.1 event features include the TLS version, which a passive proxy
+//! reads from the record layer and the ClientHello's
+//! `supported_versions` extension (TLS 1.3 negotiates 1.3 while the
+//! record/legacy fields still say 1.2). This module synthesizes and
+//! parses just enough of RFC 8446/5246 framing for that: record header,
+//! handshake header, and the ClientHello fields up to its extensions.
+
+use crate::packet::TlsVersion;
+
+/// TLS record content types we care about.
+const CONTENT_HANDSHAKE: u8 = 22;
+/// Handshake message type: ClientHello.
+const HS_CLIENT_HELLO: u8 = 1;
+/// Extension number: supported_versions (RFC 8446).
+const EXT_SUPPORTED_VERSIONS: u16 = 43;
+
+fn version_code(v: TlsVersion) -> [u8; 2] {
+    match v {
+        TlsVersion::Tls10 => [0x03, 0x01],
+        TlsVersion::Tls12 => [0x03, 0x03],
+        // TLS 1.3 uses 0x0303 in legacy fields; the true version rides
+        // the supported_versions extension.
+        TlsVersion::Tls13 => [0x03, 0x03],
+        TlsVersion::None => [0x00, 0x00],
+    }
+}
+
+/// Build a minimal ClientHello record negotiating `version`.
+///
+/// Fields beyond what version sniffing needs (random, session id, one
+/// cipher suite, null compression) are fixed; for TLS 1.3 a
+/// supported_versions extension carrying 0x0304 is appended.
+pub fn build_client_hello(version: TlsVersion) -> Vec<u8> {
+    assert!(version != TlsVersion::None, "cannot build a no-TLS hello");
+    let legacy = version_code(version);
+
+    // --- ClientHello body ---
+    let mut body = Vec::with_capacity(64);
+    body.extend_from_slice(&legacy); // client_version (legacy)
+    body.extend_from_slice(&[0x5a; 32]); // random
+    body.push(0); // session_id length
+    body.extend_from_slice(&[0x00, 0x02, 0x13, 0x01]); // one cipher suite
+    body.extend_from_slice(&[0x01, 0x00]); // null compression
+    // Extensions.
+    let mut exts = Vec::new();
+    if version == TlsVersion::Tls13 {
+        exts.extend_from_slice(&EXT_SUPPORTED_VERSIONS.to_be_bytes());
+        exts.extend_from_slice(&[0x00, 0x03]); // extension length
+        exts.extend_from_slice(&[0x02, 0x03, 0x04]); // list: [0x0304]
+    }
+    body.extend_from_slice(&(exts.len() as u16).to_be_bytes());
+    body.extend_from_slice(&exts);
+
+    // --- Handshake header ---
+    let mut hs = Vec::with_capacity(4 + body.len());
+    hs.push(HS_CLIENT_HELLO);
+    let len = body.len() as u32;
+    hs.extend_from_slice(&len.to_be_bytes()[1..]); // 24-bit length
+    hs.extend_from_slice(&body);
+
+    // --- Record header ---
+    let mut rec = Vec::with_capacity(5 + hs.len());
+    rec.push(CONTENT_HANDSHAKE);
+    rec.extend_from_slice(&[0x03, 0x01]); // record legacy version
+    rec.extend_from_slice(&(hs.len() as u16).to_be_bytes());
+    rec.extend_from_slice(&hs);
+    rec
+}
+
+/// Sniff the negotiated TLS version from the first bytes of a flow.
+/// Returns [`TlsVersion::None`] for anything that is not a plausible
+/// ClientHello record.
+pub fn sniff_version(bytes: &[u8]) -> TlsVersion {
+    // Record header: type(1) version(2) length(2).
+    if bytes.len() < 5 + 4 + 2 + 32 + 1 {
+        return TlsVersion::None;
+    }
+    if bytes[0] != CONTENT_HANDSHAKE || bytes[1] != 0x03 {
+        return TlsVersion::None;
+    }
+    let rec_len = u16::from_be_bytes([bytes[3], bytes[4]]) as usize;
+    let Some(hs) = bytes.get(5..5 + rec_len) else {
+        return TlsVersion::None;
+    };
+    if hs.len() < 4 || hs[0] != HS_CLIENT_HELLO {
+        return TlsVersion::None;
+    }
+    let body = &hs[4..];
+    if body.len() < 2 + 32 + 1 {
+        return TlsVersion::None;
+    }
+    let legacy = [body[0], body[1]];
+    let mut i = 2 + 32; // skip version + random
+    let sid_len = body[i] as usize;
+    i += 1 + sid_len;
+    // Cipher suites.
+    let Some(cs_len_bytes) = body.get(i..i + 2) else {
+        return legacy_only(legacy);
+    };
+    let cs_len = u16::from_be_bytes([cs_len_bytes[0], cs_len_bytes[1]]) as usize;
+    i += 2 + cs_len;
+    // Compression methods.
+    let Some(&comp_len) = body.get(i) else {
+        return legacy_only(legacy);
+    };
+    i += 1 + comp_len as usize;
+    // Extensions.
+    let Some(ext_len_bytes) = body.get(i..i + 2) else {
+        return legacy_only(legacy);
+    };
+    let ext_total = u16::from_be_bytes([ext_len_bytes[0], ext_len_bytes[1]]) as usize;
+    i += 2;
+    let Some(mut exts) = body.get(i..i + ext_total) else {
+        return legacy_only(legacy);
+    };
+    while exts.len() >= 4 {
+        let ext_type = u16::from_be_bytes([exts[0], exts[1]]);
+        let ext_len = u16::from_be_bytes([exts[2], exts[3]]) as usize;
+        let Some(data) = exts.get(4..4 + ext_len) else {
+            break;
+        };
+        if ext_type == EXT_SUPPORTED_VERSIONS && !data.is_empty() {
+            let list_len = data[0] as usize;
+            let mut versions = data.get(1..1 + list_len).unwrap_or(&[]);
+            while versions.len() >= 2 {
+                if versions[0] == 0x03 && versions[1] == 0x04 {
+                    return TlsVersion::Tls13;
+                }
+                versions = &versions[2..];
+            }
+        }
+        exts = &exts[4 + ext_len..];
+    }
+    legacy_only(legacy)
+}
+
+fn legacy_only(legacy: [u8; 2]) -> TlsVersion {
+    match legacy {
+        [0x03, 0x01] => TlsVersion::Tls10,
+        [0x03, 0x03] => TlsVersion::Tls12,
+        _ => TlsVersion::None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_versions() {
+        for v in [TlsVersion::Tls10, TlsVersion::Tls12, TlsVersion::Tls13] {
+            let hello = build_client_hello(v);
+            assert_eq!(sniff_version(&hello), v, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn tls13_detected_via_supported_versions_not_legacy() {
+        // The 1.3 hello carries 0x0303 in both legacy fields.
+        let hello = build_client_hello(TlsVersion::Tls13);
+        assert_eq!(&hello[1..3], &[0x03, 0x01]); // record version
+        let body_version_off = 5 + 4;
+        assert_eq!(&hello[body_version_off..body_version_off + 2], &[0x03, 0x03]);
+        assert_eq!(sniff_version(&hello), TlsVersion::Tls13);
+    }
+
+    #[test]
+    fn non_tls_bytes_yield_none() {
+        assert_eq!(sniff_version(b""), TlsVersion::None);
+        assert_eq!(sniff_version(&[0u8; 100]), TlsVersion::None);
+        assert_eq!(sniff_version(b"GET / HTTP/1.1\r\nHost: example.com\r\n\r\npadpadpad"), TlsVersion::None);
+        // Application-data record type is not a hello.
+        let mut app = build_client_hello(TlsVersion::Tls12);
+        app[0] = 23;
+        assert_eq!(sniff_version(&app), TlsVersion::None);
+    }
+
+    #[test]
+    fn truncated_hello_degrades_gracefully() {
+        let hello = build_client_hello(TlsVersion::Tls13);
+        for cut in [0, 4, 10, 40, hello.len() - 1] {
+            // Must never panic; short prefixes are None or a legacy guess.
+            let _ = sniff_version(&hello[..cut]);
+        }
+        // Cutting off only the extensions leaves the 1.2 legacy answer.
+        let no_ext = &hello[..hello.len() - 7];
+        assert_ne!(sniff_version(no_ext), TlsVersion::Tls13);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot build a no-TLS hello")]
+    fn building_none_rejected() {
+        let _ = build_client_hello(TlsVersion::None);
+    }
+}

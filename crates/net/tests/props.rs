@@ -1,0 +1,175 @@
+//! Property tests for wire formats and trace serialization.
+
+use fiat_net::headers::{build_frame, parse_frame, FrameSpec, MacAddr};
+use fiat_net::pcap;
+use fiat_net::tls::{build_client_hello, sniff_version};
+use fiat_net::{
+    Direction, PacketRecord, SimTime, TcpFlags, TlsVersion, Trace, TrafficClass, Transport,
+};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_transport() -> impl Strategy<Value = Transport> {
+    prop_oneof![Just(Transport::Tcp), Just(Transport::Udp)]
+}
+
+fn arb_tls() -> impl Strategy<Value = TlsVersion> {
+    prop_oneof![
+        Just(TlsVersion::None),
+        Just(TlsVersion::Tls10),
+        Just(TlsVersion::Tls12),
+        Just(TlsVersion::Tls13),
+    ]
+}
+
+fn arb_packet() -> impl Strategy<Value = PacketRecord> {
+    (
+        0u64..1u64 << 40,
+        any::<u16>(),
+        any::<bool>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        arb_transport(),
+        any::<u8>(),
+        arb_tls(),
+        40u16..1500,
+        0u8..3,
+    )
+        .prop_map(
+            |(ts, device, dir, lip, rip, lp, rp, transport, flags, tls, size, label)| {
+                PacketRecord {
+                    ts: SimTime::from_micros(ts),
+                    device,
+                    direction: if dir {
+                        Direction::FromDevice
+                    } else {
+                        Direction::ToDevice
+                    },
+                    local_ip: Ipv4Addr::from(lip),
+                    remote_ip: Ipv4Addr::from(rip),
+                    local_port: lp,
+                    remote_port: rp,
+                    transport,
+                    tcp_flags: TcpFlags(flags),
+                    tls,
+                    size,
+                    label: match label {
+                        0 => TrafficClass::Control,
+                        1 => TrafficClass::Automated,
+                        _ => TrafficClass::Manual,
+                    },
+                }
+            },
+        )
+}
+
+proptest! {
+    /// Ethernet/IP/TCP/UDP frames round-trip for arbitrary endpoints and
+    /// payload sizes, with checksums verifying.
+    #[test]
+    fn frame_roundtrip(
+        src_ip in any::<u32>(),
+        dst_ip in any::<u32>(),
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        transport in arb_transport(),
+        flags in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        ttl in 1u8..255,
+    ) {
+        let spec = FrameSpec {
+            src_mac: MacAddr::for_device(1),
+            dst_mac: MacAddr::for_device(2),
+            src_ip: Ipv4Addr::from(src_ip),
+            dst_ip: Ipv4Addr::from(dst_ip),
+            transport,
+            src_port,
+            dst_port,
+            tcp_flags: TcpFlags(flags),
+            payload: payload.clone(),
+            ttl,
+        };
+        let frame = build_frame(&spec);
+        let parsed = parse_frame(&frame).unwrap();
+        prop_assert_eq!(parsed.src_ip, spec.src_ip);
+        prop_assert_eq!(parsed.dst_ip, spec.dst_ip);
+        prop_assert_eq!(parsed.src_port, src_port);
+        prop_assert_eq!(parsed.dst_port, dst_port);
+        prop_assert_eq!(parsed.transport, transport);
+        prop_assert_eq!(parsed.payload_len, payload.len());
+        if transport == Transport::Tcp {
+            prop_assert_eq!(parsed.tcp_flags, TcpFlags(flags));
+        }
+    }
+
+    /// Any single-byte corruption of a frame is detected (checksum or
+    /// structural failure) or leaves the parsed metadata intact (MAC
+    /// bytes, which carry no checksum).
+    #[test]
+    fn frame_corruption_detected_or_harmless(
+        payload in prop::collection::vec(any::<u8>(), 0..64),
+        flip_at in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let spec = FrameSpec {
+            src_mac: MacAddr::for_device(1),
+            dst_mac: MacAddr::for_device(2),
+            src_ip: Ipv4Addr::new(192, 168, 1, 9),
+            dst_ip: Ipv4Addr::new(34, 4, 4, 4),
+            transport: Transport::Tcp,
+            src_port: 50000,
+            dst_port: 443,
+            tcp_flags: TcpFlags::psh_ack(),
+            payload,
+            ttl: 64,
+        };
+        let frame = build_frame(&spec);
+        let mut bad = frame.clone();
+        let i = flip_at % bad.len();
+        bad[i] ^= 1 << flip_bit;
+        match parse_frame(&bad) {
+            // MAC bytes (0..12) are unprotected; anything else detected.
+            Ok(_) => prop_assert!(i < 12, "undetected corruption at {}", i),
+            Err(_) => {}
+        }
+    }
+
+    /// fpcap round-trips arbitrary traces exactly.
+    #[test]
+    fn pcap_roundtrip(packets in prop::collection::vec(arb_packet(), 0..60)) {
+        let mut t = Trace::new();
+        for p in packets {
+            t.push(p);
+        }
+        t.finish();
+        t.dns.observe_forward(Ipv4Addr::new(1, 2, 3, 4), "x.example");
+        let blob = pcap::encode(&t);
+        let back = pcap::decode(&blob).unwrap();
+        prop_assert_eq!(back.packets, t.packets);
+        prop_assert_eq!(back.dns.len(), t.dns.len());
+    }
+
+    /// fpcap never panics on arbitrary bytes.
+    #[test]
+    fn pcap_decode_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = pcap::decode(&bytes);
+    }
+
+    /// TLS sniffing never panics on arbitrary bytes and correctly
+    /// round-trips synthesized hellos.
+    #[test]
+    fn tls_sniff_total(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = sniff_version(&bytes);
+    }
+
+    #[test]
+    fn tls_hello_roundtrip(version in prop_oneof![
+        Just(TlsVersion::Tls10),
+        Just(TlsVersion::Tls12),
+        Just(TlsVersion::Tls13),
+    ]) {
+        prop_assert_eq!(sniff_version(&build_client_hello(version)), version);
+    }
+}

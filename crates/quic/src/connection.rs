@@ -1,0 +1,431 @@
+//! PSK-authenticated handshake, session tickets, and packet protection.
+//!
+//! Key schedule (all HKDF-SHA256 from the pairing PSK established at
+//! §5.4 "Pairing"):
+//!
+//! ```text
+//! handshake_secret = HKDF-Extract(salt="fiat-quic", ikm=PSK)
+//! session_key      = HKDF-Expand(handshake_secret,
+//!                                "1rtt" || client_random || server_random)
+//! ticket_secret    = fresh random, stored server-side against ticket_id
+//! early_key        = HKDF-Expand(Extract("fiat-0rtt", ticket_secret), "early")
+//! ```
+//!
+//! Packets are ChaCha20-Poly1305 sealed with the packet number as nonce
+//! and direction tag as AAD, so reflected or re-ordered ciphertext fails
+//! authentication.
+
+use crate::replay::ReplayStore;
+use fiat_crypto::{aead, Hkdf};
+
+/// Errors surfaced by the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuicError {
+    /// AEAD open failed: wrong key, tampering, or wrong direction.
+    DecryptFailed,
+    /// The session ticket is unknown to this server.
+    UnknownTicket,
+    /// This exact 0-RTT packet was already accepted once.
+    Replayed,
+    /// Handshake message arrived in the wrong state.
+    BadState,
+    /// Packet number not strictly greater than the last accepted one.
+    StalePacketNumber,
+}
+
+impl std::fmt::Display for QuicError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuicError::DecryptFailed => write!(f, "packet failed authentication"),
+            QuicError::UnknownTicket => write!(f, "unknown session ticket"),
+            QuicError::Replayed => write!(f, "0-RTT replay detected"),
+            QuicError::BadState => write!(f, "handshake message in wrong state"),
+            QuicError::StalePacketNumber => write!(f, "stale packet number"),
+        }
+    }
+}
+
+impl std::error::Error for QuicError {}
+
+/// First flight of the 1-RTT handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientHello {
+    /// Client random contribution.
+    pub client_random: [u8; 32],
+}
+
+/// Server reply: random, plus a ticket for future 0-RTT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerHello {
+    /// Server random contribution.
+    pub server_random: [u8; 32],
+    /// Ticket enabling 0-RTT resumption.
+    pub ticket: SessionTicket,
+}
+
+/// A session ticket (opaque id; secret stays server-side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionTicket {
+    /// Server-chosen identifier.
+    pub id: u64,
+}
+
+/// A protected 1-RTT packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Strictly increasing per-direction packet number (also the nonce).
+    pub number: u64,
+    /// Sealed payload.
+    pub ciphertext: Vec<u8>,
+}
+
+/// A protected 0-RTT packet: early data bound to a ticket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ZeroRttPacket {
+    /// Which ticket's early key sealed this.
+    pub ticket: SessionTicket,
+    /// Client-chosen nonce for this early-data packet.
+    pub nonce: u64,
+    /// Sealed payload.
+    pub ciphertext: Vec<u8>,
+}
+
+fn nonce_bytes(direction: u8, n: u64) -> [u8; aead::NONCE_LEN] {
+    let mut out = [0u8; aead::NONCE_LEN];
+    out[0] = direction;
+    out[4..].copy_from_slice(&n.to_be_bytes());
+    out
+}
+
+fn session_key(psk: &[u8; 32], client_random: &[u8; 32], server_random: &[u8; 32]) -> [u8; 32] {
+    let hk = Hkdf::extract(b"fiat-quic", psk);
+    let mut info = Vec::with_capacity(4 + 64);
+    info.extend_from_slice(b"1rtt");
+    info.extend_from_slice(client_random);
+    info.extend_from_slice(server_random);
+    let mut key = [0u8; 32];
+    hk.expand(&info, &mut key);
+    key
+}
+
+fn early_key(ticket_secret: &[u8; 32]) -> [u8; 32] {
+    let mut key = [0u8; 32];
+    Hkdf::extract(b"fiat-0rtt", ticket_secret).expand(b"early", &mut key);
+    key
+}
+
+const DIR_CLIENT_TO_SERVER: u8 = 0;
+const DIR_SERVER_TO_CLIENT: u8 = 1;
+
+enum ClientState {
+    Idle,
+    AwaitingServerHello { client_random: [u8; 32] },
+    Established,
+}
+
+/// Client (phone) side of the channel.
+pub struct Client {
+    psk: [u8; 32],
+    state: ClientState,
+    key: Option<[u8; 32]>,
+    ticket: Option<(SessionTicket, [u8; 32])>, // ticket + early key
+    send_pn: u64,
+    recv_pn: u64,
+    zero_rtt_nonce: u64,
+}
+
+impl Client {
+    /// New client holding the pairing PSK.
+    pub fn new(psk: [u8; 32]) -> Self {
+        Client {
+            psk,
+            state: ClientState::Idle,
+            key: None,
+            ticket: None,
+            send_pn: 0,
+            recv_pn: 0,
+            zero_rtt_nonce: 0,
+        }
+    }
+
+    /// Begin a 1-RTT handshake. `client_random` must be fresh per
+    /// connection (caller provides randomness; the library stays
+    /// deterministic).
+    pub fn start_handshake(&mut self, client_random: [u8; 32]) -> ClientHello {
+        self.state = ClientState::AwaitingServerHello { client_random };
+        ClientHello { client_random }
+    }
+
+    /// Complete the handshake with the server's reply; stores the ticket
+    /// for later 0-RTT. Note: the ticket's early key is derived from the
+    /// PSK and ticket id, matching the server's bookkeeping.
+    pub fn finish_handshake(&mut self, hello: &ServerHello) -> Result<(), QuicError> {
+        let ClientState::AwaitingServerHello { client_random } = self.state else {
+            return Err(QuicError::BadState);
+        };
+        self.key = Some(session_key(&self.psk, &client_random, &hello.server_random));
+        // The client derives the same ticket secret the server stored:
+        // HKDF(PSK, "ticket" || id) — tickets are PSK-bound.
+        let secret = ticket_secret(&self.psk, hello.ticket.id);
+        self.ticket = Some((hello.ticket, early_key(&secret)));
+        self.state = ClientState::Established;
+        self.send_pn = 0;
+        self.recv_pn = 0;
+        Ok(())
+    }
+
+    /// Whether a ticket is cached for 0-RTT.
+    pub fn can_zero_rtt(&self) -> bool {
+        self.ticket.is_some()
+    }
+
+    /// Seal application data on the established 1-RTT connection.
+    pub fn seal(&mut self, data: &[u8]) -> Result<Packet, QuicError> {
+        let key = self.key.ok_or(QuicError::BadState)?;
+        self.send_pn += 1;
+        let n = self.send_pn;
+        Ok(Packet {
+            number: n,
+            ciphertext: aead::seal(&key, &nonce_bytes(DIR_CLIENT_TO_SERVER, n), b"1rtt", data),
+        })
+    }
+
+    /// Open a server-to-client packet.
+    pub fn open(&mut self, pkt: &Packet) -> Result<Vec<u8>, QuicError> {
+        let key = self.key.ok_or(QuicError::BadState)?;
+        if pkt.number <= self.recv_pn {
+            return Err(QuicError::StalePacketNumber);
+        }
+        let out = aead::open(
+            &key,
+            &nonce_bytes(DIR_SERVER_TO_CLIENT, pkt.number),
+            b"1rtt",
+            &pkt.ciphertext,
+        )
+        .map_err(|_| QuicError::DecryptFailed)?;
+        self.recv_pn = pkt.number;
+        Ok(out)
+    }
+
+    /// Seal early data for 0-RTT using the cached ticket.
+    pub fn seal_zero_rtt(&mut self, data: &[u8]) -> Result<ZeroRttPacket, QuicError> {
+        let (ticket, ekey) = self.ticket.ok_or(QuicError::BadState)?;
+        self.zero_rtt_nonce += 1;
+        let n = self.zero_rtt_nonce;
+        Ok(ZeroRttPacket {
+            ticket,
+            nonce: n,
+            ciphertext: aead::seal(&ekey, &nonce_bytes(DIR_CLIENT_TO_SERVER, n), b"0rtt", data),
+        })
+    }
+}
+
+fn ticket_secret(psk: &[u8; 32], id: u64) -> [u8; 32] {
+    let mut info = Vec::with_capacity(14);
+    info.extend_from_slice(b"ticket");
+    info.extend_from_slice(&id.to_be_bytes());
+    let mut out = [0u8; 32];
+    Hkdf::extract(b"fiat-ticket", psk).expand(&info, &mut out);
+    out
+}
+
+/// Server (IoT proxy) side of the channel.
+pub struct Server {
+    psk: [u8; 32],
+    key: Option<[u8; 32]>,
+    next_ticket_id: u64,
+    replay: ReplayStore,
+    send_pn: u64,
+    recv_pn: u64,
+}
+
+impl Server {
+    /// New server holding the pairing PSK.
+    pub fn new(psk: [u8; 32]) -> Self {
+        Server {
+            psk,
+            key: None,
+            next_ticket_id: 1,
+            replay: ReplayStore::new(),
+            send_pn: 0,
+            recv_pn: 0,
+        }
+    }
+
+    /// Accept a ClientHello; returns the ServerHello carrying a fresh
+    /// ticket. `server_random` is caller-provided for determinism.
+    pub fn accept(&mut self, hello: &ClientHello, server_random: [u8; 32]) -> ServerHello {
+        self.key = Some(session_key(&self.psk, &hello.client_random, &server_random));
+        let id = self.next_ticket_id;
+        self.next_ticket_id += 1;
+        self.send_pn = 0;
+        self.recv_pn = 0;
+        ServerHello {
+            server_random,
+            ticket: SessionTicket { id },
+        }
+    }
+
+    /// Open a client-to-server 1-RTT packet.
+    pub fn open(&mut self, pkt: &Packet) -> Result<Vec<u8>, QuicError> {
+        let key = self.key.ok_or(QuicError::BadState)?;
+        if pkt.number <= self.recv_pn {
+            return Err(QuicError::StalePacketNumber);
+        }
+        let out = aead::open(
+            &key,
+            &nonce_bytes(DIR_CLIENT_TO_SERVER, pkt.number),
+            b"1rtt",
+            &pkt.ciphertext,
+        )
+        .map_err(|_| QuicError::DecryptFailed)?;
+        self.recv_pn = pkt.number;
+        Ok(out)
+    }
+
+    /// Seal a server-to-client packet.
+    pub fn seal(&mut self, data: &[u8]) -> Result<Packet, QuicError> {
+        let key = self.key.ok_or(QuicError::BadState)?;
+        self.send_pn += 1;
+        let n = self.send_pn;
+        Ok(Packet {
+            number: n,
+            ciphertext: aead::seal(&key, &nonce_bytes(DIR_SERVER_TO_CLIENT, n), b"1rtt", data),
+        })
+    }
+
+    /// Accept a 0-RTT packet: ticket must have been issued by this server
+    /// and the (ticket, nonce) pair never seen before.
+    pub fn accept_zero_rtt(&mut self, pkt: &ZeroRttPacket) -> Result<Vec<u8>, QuicError> {
+        if pkt.ticket.id == 0 || pkt.ticket.id >= self.next_ticket_id {
+            return Err(QuicError::UnknownTicket);
+        }
+        if !self.replay.check_and_insert(pkt.ticket.id, pkt.nonce) {
+            return Err(QuicError::Replayed);
+        }
+        let secret = ticket_secret(&self.psk, pkt.ticket.id);
+        aead::open(
+            &early_key(&secret),
+            &nonce_bytes(DIR_CLIENT_TO_SERVER, pkt.nonce),
+            b"0rtt",
+            &pkt.ciphertext,
+        )
+        .map_err(|_| QuicError::DecryptFailed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PSK: [u8; 32] = [0x11; 32];
+
+    fn handshake(client: &mut Client, server: &mut Server) {
+        let ch = client.start_handshake([1u8; 32]);
+        let sh = server.accept(&ch, [2u8; 32]);
+        client.finish_handshake(&sh).unwrap();
+    }
+
+    #[test]
+    fn one_rtt_roundtrip_both_directions() {
+        let mut c = Client::new(PSK);
+        let mut s = Server::new(PSK);
+        handshake(&mut c, &mut s);
+        let p = c.seal(b"auth evidence").unwrap();
+        assert_eq!(s.open(&p).unwrap(), b"auth evidence");
+        let r = s.seal(b"ack").unwrap();
+        assert_eq!(c.open(&r).unwrap(), b"ack");
+    }
+
+    #[test]
+    fn mismatched_psk_fails() {
+        let mut c = Client::new(PSK);
+        let mut s = Server::new([0x22; 32]);
+        handshake(&mut c, &mut s);
+        let p = c.seal(b"data").unwrap();
+        assert_eq!(s.open(&p), Err(QuicError::DecryptFailed));
+    }
+
+    #[test]
+    fn zero_rtt_after_ticket() {
+        let mut c = Client::new(PSK);
+        let mut s = Server::new(PSK);
+        assert!(!c.can_zero_rtt());
+        handshake(&mut c, &mut s);
+        assert!(c.can_zero_rtt());
+        let z = c.seal_zero_rtt(b"fast evidence").unwrap();
+        assert_eq!(s.accept_zero_rtt(&z).unwrap(), b"fast evidence");
+    }
+
+    #[test]
+    fn zero_rtt_replay_rejected() {
+        let mut c = Client::new(PSK);
+        let mut s = Server::new(PSK);
+        handshake(&mut c, &mut s);
+        let z = c.seal_zero_rtt(b"once only").unwrap();
+        assert!(s.accept_zero_rtt(&z).is_ok());
+        // Verbatim replay (the §5.3 attack) is caught by the store.
+        assert_eq!(s.accept_zero_rtt(&z), Err(QuicError::Replayed));
+        // A fresh 0-RTT packet still works.
+        let z2 = c.seal_zero_rtt(b"again").unwrap();
+        assert_eq!(s.accept_zero_rtt(&z2).unwrap(), b"again");
+    }
+
+    #[test]
+    fn unknown_ticket_rejected() {
+        let mut c = Client::new(PSK);
+        let mut s = Server::new(PSK);
+        handshake(&mut c, &mut s);
+        let mut z = c.seal_zero_rtt(b"x").unwrap();
+        z.ticket.id = 999;
+        assert_eq!(s.accept_zero_rtt(&z), Err(QuicError::UnknownTicket));
+    }
+
+    #[test]
+    fn tampered_packet_rejected() {
+        let mut c = Client::new(PSK);
+        let mut s = Server::new(PSK);
+        handshake(&mut c, &mut s);
+        let mut p = c.seal(b"data").unwrap();
+        let n = p.ciphertext.len();
+        p.ciphertext[n - 1] ^= 1;
+        assert_eq!(s.open(&p), Err(QuicError::DecryptFailed));
+    }
+
+    #[test]
+    fn stale_packet_number_rejected() {
+        let mut c = Client::new(PSK);
+        let mut s = Server::new(PSK);
+        handshake(&mut c, &mut s);
+        let p1 = c.seal(b"one").unwrap();
+        let p2 = c.seal(b"two").unwrap();
+        assert!(s.open(&p2).is_ok());
+        // Old packet replayed at 1-RTT level.
+        assert_eq!(s.open(&p1), Err(QuicError::StalePacketNumber));
+    }
+
+    #[test]
+    fn send_before_handshake_fails() {
+        let mut c = Client::new(PSK);
+        assert_eq!(c.seal(b"x").unwrap_err(), QuicError::BadState);
+        assert_eq!(c.seal_zero_rtt(b"x").unwrap_err(), QuicError::BadState);
+    }
+
+    #[test]
+    fn direction_binding_prevents_reflection() {
+        let mut c = Client::new(PSK);
+        let mut s = Server::new(PSK);
+        handshake(&mut c, &mut s);
+        // A client packet reflected back to the client must not decrypt.
+        let p = c.seal(b"secret").unwrap();
+        assert_eq!(c.open(&p), Err(QuicError::DecryptFailed));
+    }
+
+    #[test]
+    fn tickets_are_per_connection_and_increasing() {
+        let mut s = Server::new(PSK);
+        let t1 = s.accept(&ClientHello { client_random: [0; 32] }, [1; 32]).ticket;
+        let t2 = s.accept(&ClientHello { client_random: [0; 32] }, [1; 32]).ticket;
+        assert!(t2.id > t1.id);
+    }
+}

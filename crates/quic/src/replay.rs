@@ -1,0 +1,104 @@
+//! Server-side 0-RTT anti-replay store.
+//!
+//! §5.3: "given only few devices are authorized within a household, it is
+//! feasible for the IoT proxy to keep a state of all previously held
+//! connections, which would prevent a replay attack." We remember every
+//! accepted (ticket, nonce) pair, with an optional capacity bound that
+//! evicts the *oldest ticket wholesale* (never individual nonces — partial
+//! eviction would re-open the replay window for that ticket).
+
+use std::collections::{BTreeMap, HashSet};
+
+/// Replay store: per-ticket sets of accepted early-data nonces.
+#[derive(Debug, Default)]
+pub struct ReplayStore {
+    seen: BTreeMap<u64, HashSet<u64>>,
+    max_tickets: Option<usize>,
+}
+
+impl ReplayStore {
+    /// Unbounded store (fine for a household's handful of devices).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store that retains at most `max_tickets` tickets, evicting oldest
+    /// ticket ids first. Early data for evicted tickets is rejected
+    /// outright by the caller re-checking ticket freshness.
+    pub fn with_capacity(max_tickets: usize) -> Self {
+        ReplayStore {
+            seen: BTreeMap::new(),
+            max_tickets: Some(max_tickets.max(1)),
+        }
+    }
+
+    /// Record (ticket, nonce); returns `true` if it was fresh, `false` if
+    /// already seen (a replay).
+    pub fn check_and_insert(&mut self, ticket: u64, nonce: u64) -> bool {
+        let fresh = self.seen.entry(ticket).or_default().insert(nonce);
+        if let Some(cap) = self.max_tickets {
+            while self.seen.len() > cap {
+                let oldest = *self.seen.keys().next().expect("non-empty");
+                self.seen.remove(&oldest);
+            }
+        }
+        fresh
+    }
+
+    /// Whether a pair has been recorded.
+    pub fn contains(&self, ticket: u64, nonce: u64) -> bool {
+        self.seen.get(&ticket).is_some_and(|s| s.contains(&nonce))
+    }
+
+    /// Number of tickets tracked.
+    pub fn tickets(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_then_replay() {
+        let mut r = ReplayStore::new();
+        assert!(r.check_and_insert(1, 10));
+        assert!(!r.check_and_insert(1, 10));
+        assert!(r.check_and_insert(1, 11));
+        assert!(r.check_and_insert(2, 10)); // different ticket, same nonce
+        assert!(r.contains(1, 10));
+        assert!(!r.contains(3, 10));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_ticket_wholesale() {
+        let mut r = ReplayStore::with_capacity(2);
+        r.check_and_insert(1, 1);
+        r.check_and_insert(2, 1);
+        r.check_and_insert(3, 1);
+        assert_eq!(r.tickets(), 2);
+        assert!(!r.contains(1, 1), "oldest ticket evicted");
+        assert!(r.contains(2, 1));
+        assert!(r.contains(3, 1));
+    }
+
+    #[test]
+    fn zero_capacity_clamped_to_one() {
+        let mut r = ReplayStore::with_capacity(0);
+        assert!(r.check_and_insert(1, 1));
+        assert!(!r.check_and_insert(1, 1));
+    }
+
+    #[test]
+    fn many_nonces_per_ticket() {
+        let mut r = ReplayStore::new();
+        for n in 0..1000 {
+            assert!(r.check_and_insert(7, n));
+        }
+        for n in 0..1000 {
+            assert!(!r.check_and_insert(7, n));
+        }
+        assert_eq!(r.tickets(), 1);
+    }
+}

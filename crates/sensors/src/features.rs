@@ -1,0 +1,133 @@
+//! 48-feature extraction from an IMU trace (§5.4: "the inputs are 48
+//! features extracted from the gyroscope and accelerometer").
+//!
+//! Layout: 2 sensors × 3 axes × 8 statistics = 48 features. The statistics
+//! per axis are mean, standard deviation, min, max, range, RMS, skewness,
+//! and kurtosis — the standard zkSENSE-style time-domain feature set.
+
+use crate::imu::ImuTrace;
+
+/// Number of extracted features.
+pub const FEATURE_COUNT: usize = 48;
+
+const STATS: [&str; 8] = [
+    "mean", "std", "min", "max", "range", "rms", "skew", "kurt",
+];
+
+/// Names of the 48 features, aligned with [`extract_features`] output.
+pub fn feature_names() -> Vec<String> {
+    let mut names = Vec::with_capacity(FEATURE_COUNT);
+    for sensor in ["accel", "gyro"] {
+        for axis in ["x", "y", "z"] {
+            for stat in STATS {
+                names.push(format!("{sensor}-{axis}-{stat}"));
+            }
+        }
+    }
+    names
+}
+
+fn axis_stats(values: impl Iterator<Item = f64>, out: &mut Vec<f64>) {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        out.extend_from_slice(&[0.0; 8]);
+        return;
+    }
+    let n = v.len() as f64;
+    let mean = v.iter().sum::<f64>() / n;
+    let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    let std = var.sqrt();
+    let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let rms = (v.iter().map(|x| x * x).sum::<f64>() / n).sqrt();
+    let (skew, kurt) = if std > 1e-12 {
+        let m3 = v.iter().map(|x| ((x - mean) / std).powi(3)).sum::<f64>() / n;
+        let m4 = v.iter().map(|x| ((x - mean) / std).powi(4)).sum::<f64>() / n;
+        (m3, m4 - 3.0) // excess kurtosis
+    } else {
+        (0.0, 0.0)
+    };
+    out.extend_from_slice(&[mean, std, min, max, max - min, rms, skew, kurt]);
+}
+
+/// Extract the 48-dimensional feature vector from a trace.
+pub fn extract_features(trace: &ImuTrace) -> Vec<f64> {
+    let mut out = Vec::with_capacity(FEATURE_COUNT);
+    for axis in 0..3 {
+        axis_stats(trace.accel.iter().map(|a| a[axis]), &mut out);
+    }
+    for axis in 0..3 {
+        axis_stats(trace.gyro.iter().map(|g| g[axis]), &mut out);
+    }
+    debug_assert_eq!(out.len(), FEATURE_COUNT);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imu::MotionKind;
+
+    #[test]
+    fn names_and_count_agree() {
+        let names = feature_names();
+        assert_eq!(names.len(), FEATURE_COUNT);
+        // All names unique.
+        let mut sorted = names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), FEATURE_COUNT);
+        assert_eq!(names[0], "accel-x-mean");
+        assert_eq!(names[47], "gyro-z-kurt");
+    }
+
+    #[test]
+    fn constant_signal_stats() {
+        let trace = ImuTrace {
+            accel: vec![[1.0, 2.0, 3.0]; 100],
+            gyro: vec![[0.0, 0.0, 0.0]; 100],
+        };
+        let f = extract_features(&trace);
+        // accel-x: mean 1, std 0, min 1, max 1, range 0, rms 1, skew 0, kurt 0.
+        assert_eq!(&f[0..8], &[1.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 0.0]);
+        // gyro axes all zero.
+        assert!(f[24..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn alternating_signal_stats() {
+        // +1/-1 alternating: mean 0, std 1, rms 1, range 2, kurtosis -2.
+        let accel: Vec<[f64; 3]> = (0..100)
+            .map(|i| [if i % 2 == 0 { 1.0 } else { -1.0 }, 0.0, 0.0])
+            .collect();
+        let trace = ImuTrace {
+            accel,
+            gyro: vec![[0.0; 3]; 100],
+        };
+        let f = extract_features(&trace);
+        assert!((f[0] - 0.0).abs() < 1e-12); // mean
+        assert!((f[1] - 1.0).abs() < 1e-12); // std
+        assert_eq!(f[2], -1.0); // min
+        assert_eq!(f[3], 1.0); // max
+        assert_eq!(f[4], 2.0); // range
+        assert!((f[5] - 1.0).abs() < 1e-12); // rms
+        assert!((f[6]).abs() < 1e-12); // skew
+        assert!((f[7] + 2.0).abs() < 1e-12); // excess kurtosis
+    }
+
+    #[test]
+    fn empty_trace_yields_zeros() {
+        let f = extract_features(&ImuTrace::default());
+        assert_eq!(f, vec![0.0; FEATURE_COUNT]);
+    }
+
+    #[test]
+    fn human_and_resting_features_differ_strongly() {
+        let h = extract_features(&ImuTrace::synthesize(MotionKind::HumanTouch, 1000, 0));
+        let r = extract_features(&ImuTrace::synthesize(MotionKind::Resting, 1000, 0));
+        // accel-x std (index 1) should be far larger for human.
+        assert!(h[1] > 10.0 * r[1]);
+        // range too (index 4).
+        assert!(h[4] > 10.0 * r[4]);
+    }
+}

@@ -1,0 +1,259 @@
+//! Synthetic IMU (accelerometer + gyroscope) traces.
+//!
+//! The generator is a small physical model rather than arbitrary noise:
+//!
+//! - **Human-held phone**: gravity vector with slow orientation drift,
+//!   physiological hand tremor (8–12 Hz band, ~0.05 m/s² amplitude), and
+//!   for each touch a damped-oscillator impulse (~30 ms ring-down) on both
+//!   sensors — this is the signature Invisible CAPPCHA and zkSENSE exploit.
+//! - **Resting phone** (software-injected touches, the paper's attacker):
+//!   gravity plus electronic sensor noise only.
+//! - **Replay-like synthetic motion**: smooth sinusoidal sway an attacker
+//!   might inject without OS access being available; distinguishable
+//!   because it lacks touch impulses and tremor statistics.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// IMU sampling rate used by FIAT's app (§5.3: 250 samples per second).
+pub const SAMPLE_RATE_HZ: u32 = 250;
+
+const GRAVITY: f64 = 9.81;
+
+/// What produced a trace (ground truth for training/evaluation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MotionKind {
+    /// Human holding the phone and touching the screen.
+    HumanTouch,
+    /// Phone resting on a surface; touches injected in software.
+    Resting,
+    /// Smooth synthetic motion injected by an attacker.
+    SyntheticSway,
+}
+
+impl MotionKind {
+    /// Binary humanness label (1 = human).
+    pub fn label(self) -> usize {
+        match self {
+            MotionKind::HumanTouch => 1,
+            MotionKind::Resting | MotionKind::SyntheticSway => 0,
+        }
+    }
+}
+
+/// A fixed-rate IMU capture: accelerometer and gyroscope, 3 axes each.
+#[derive(Debug, Clone, Default)]
+pub struct ImuTrace {
+    /// Accelerometer samples (m/s²), one `[x, y, z]` per tick.
+    pub accel: Vec<[f64; 3]>,
+    /// Gyroscope samples (rad/s), one `[x, y, z]` per tick.
+    pub gyro: Vec<[f64; 3]>,
+}
+
+impl ImuTrace {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.accel.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accel.is_empty()
+    }
+
+    /// Duration in seconds at the fixed sample rate.
+    pub fn duration_secs(&self) -> f64 {
+        self.len() as f64 / SAMPLE_RATE_HZ as f64
+    }
+
+    /// Synthesize a trace of `duration_ms` for the given motion kind.
+    pub fn synthesize(kind: MotionKind, duration_ms: u64, seed: u64) -> ImuTrace {
+        let n = (duration_ms as f64 / 1000.0 * SAMPLE_RATE_HZ as f64).round() as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut accel = Vec::with_capacity(n);
+        let mut gyro = Vec::with_capacity(n);
+        let dt = 1.0 / SAMPLE_RATE_HZ as f64;
+
+        // Electronic noise floor present in every capture.
+        let accel_noise = 0.003;
+        let gyro_noise = 0.0005;
+
+        match kind {
+            MotionKind::Resting => {
+                for _ in 0..n {
+                    accel.push([
+                        rng.gen_range(-accel_noise..accel_noise),
+                        rng.gen_range(-accel_noise..accel_noise),
+                        GRAVITY + rng.gen_range(-accel_noise..accel_noise),
+                    ]);
+                    gyro.push([
+                        rng.gen_range(-gyro_noise..gyro_noise),
+                        rng.gen_range(-gyro_noise..gyro_noise),
+                        rng.gen_range(-gyro_noise..gyro_noise),
+                    ]);
+                }
+            }
+            MotionKind::SyntheticSway => {
+                // One smooth low-frequency sinusoid per axis; no tremor, no
+                // impulses.
+                let f = rng.gen_range(0.3..1.2);
+                let amp_a = rng.gen_range(0.05..0.2);
+                let amp_g = rng.gen_range(0.01..0.05);
+                let phase: [f64; 3] = [
+                    rng.gen_range(0.0..std::f64::consts::TAU),
+                    rng.gen_range(0.0..std::f64::consts::TAU),
+                    rng.gen_range(0.0..std::f64::consts::TAU),
+                ];
+                for i in 0..n {
+                    let t = i as f64 * dt;
+                    let s = |p: f64| (std::f64::consts::TAU * f * t + p).sin();
+                    accel.push([
+                        amp_a * s(phase[0]) + rng.gen_range(-accel_noise..accel_noise),
+                        amp_a * s(phase[1]) + rng.gen_range(-accel_noise..accel_noise),
+                        GRAVITY + amp_a * s(phase[2]) + rng.gen_range(-accel_noise..accel_noise),
+                    ]);
+                    gyro.push([
+                        amp_g * s(phase[1]) + rng.gen_range(-gyro_noise..gyro_noise),
+                        amp_g * s(phase[2]) + rng.gen_range(-gyro_noise..gyro_noise),
+                        amp_g * s(phase[0]) + rng.gen_range(-gyro_noise..gyro_noise),
+                    ]);
+                }
+            }
+            MotionKind::HumanTouch => {
+                // Hand tremor band and drift.
+                let tremor_f = rng.gen_range(8.0..12.0);
+                let tremor_amp = rng.gen_range(0.03..0.08);
+                let drift_f = rng.gen_range(0.1..0.4);
+                let drift_amp = rng.gen_range(0.1..0.3);
+                // Touch times: at least one touch, roughly every 400-900 ms.
+                let mut touch_ticks = Vec::new();
+                let mut t_ms = rng.gen_range(50..250);
+                while (t_ms as u64) < duration_ms {
+                    touch_ticks
+                        .push((t_ms as f64 / 1000.0 * SAMPLE_RATE_HZ as f64).round() as usize);
+                    t_ms += rng.gen_range(400..900);
+                }
+                if touch_ticks.is_empty() {
+                    touch_ticks.push(n / 2);
+                }
+                let touch_amp: Vec<f64> = touch_ticks
+                    .iter()
+                    .map(|_| rng.gen_range(0.5..1.5))
+                    .collect();
+
+                for i in 0..n {
+                    let t = i as f64 * dt;
+                    let tremor = tremor_amp * (std::f64::consts::TAU * tremor_f * t).sin();
+                    let drift = drift_amp * (std::f64::consts::TAU * drift_f * t).sin();
+                    // Sum of damped impulses from touches in the past 100 ms.
+                    let mut impulse = 0.0;
+                    for (&tk, &amp) in touch_ticks.iter().zip(&touch_amp) {
+                        if i >= tk {
+                            let dt_t = (i - tk) as f64 * dt;
+                            if dt_t < 0.1 {
+                                // 60 Hz ring-down, ~30 ms decay constant.
+                                impulse += amp
+                                    * (-dt_t / 0.03).exp()
+                                    * (std::f64::consts::TAU * 60.0 * dt_t).cos();
+                            }
+                        }
+                    }
+                    let a = [
+                        0.6 * tremor + 0.8 * impulse + 0.3 * drift,
+                        0.8 * tremor + 0.5 * impulse + 0.4 * drift,
+                        GRAVITY + 0.4 * tremor + impulse,
+                    ];
+                    accel.push([
+                        a[0] + rng.gen_range(-accel_noise..accel_noise),
+                        a[1] + rng.gen_range(-accel_noise..accel_noise),
+                        a[2] + rng.gen_range(-accel_noise..accel_noise),
+                    ]);
+                    let g = [
+                        0.02 * tremor + 0.05 * impulse + 0.01 * drift,
+                        0.03 * tremor + 0.04 * impulse,
+                        0.01 * tremor + 0.02 * impulse + 0.02 * drift,
+                    ];
+                    gyro.push([
+                        g[0] + rng.gen_range(-gyro_noise..gyro_noise),
+                        g[1] + rng.gen_range(-gyro_noise..gyro_noise),
+                        g[2] + rng.gen_range(-gyro_noise..gyro_noise),
+                    ]);
+                }
+            }
+        }
+        ImuTrace { accel, gyro }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn std_dev(vals: impl Iterator<Item = f64>) -> f64 {
+        let v: Vec<f64> = vals.collect();
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        (v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn sample_count_matches_duration() {
+        let t = ImuTrace::synthesize(MotionKind::Resting, 1000, 0);
+        assert_eq!(t.len(), 250);
+        assert!((t.duration_secs() - 1.0).abs() < 1e-9);
+        assert_eq!(t.accel.len(), t.gyro.len());
+    }
+
+    #[test]
+    fn resting_trace_is_quiet() {
+        let t = ImuTrace::synthesize(MotionKind::Resting, 1000, 1);
+        let sx = std_dev(t.accel.iter().map(|a| a[0]));
+        assert!(sx < 0.01, "resting x-accel std {sx}");
+        // Gravity on z.
+        let mz = t.accel.iter().map(|a| a[2]).sum::<f64>() / t.len() as f64;
+        assert!((mz - 9.81).abs() < 0.01);
+    }
+
+    #[test]
+    fn human_trace_is_much_noisier_than_resting() {
+        let h = ImuTrace::synthesize(MotionKind::HumanTouch, 1000, 2);
+        let r = ImuTrace::synthesize(MotionKind::Resting, 1000, 2);
+        let sh = std_dev(h.accel.iter().map(|a| a[0]));
+        let sr = std_dev(r.accel.iter().map(|a| a[0]));
+        assert!(sh > 10.0 * sr, "human std {sh} vs resting {sr}");
+        let gh = std_dev(h.gyro.iter().map(|g| g[0]));
+        let gr = std_dev(r.gyro.iter().map(|g| g[0]));
+        assert!(gh > 5.0 * gr, "human gyro std {gh} vs resting {gr}");
+    }
+
+    #[test]
+    fn human_trace_always_contains_a_touch_impulse() {
+        // Peak |accel z - g| should exceed the tremor level in every seed.
+        for seed in 0..20 {
+            let t = ImuTrace::synthesize(MotionKind::HumanTouch, 600, seed);
+            let peak = t
+                .accel
+                .iter()
+                .map(|a| (a[2] - 9.81).abs())
+                .fold(0.0, f64::max);
+            assert!(peak > 0.2, "seed {seed}: peak {peak}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 7);
+        let b = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 7);
+        assert_eq!(a.accel, b.accel);
+        assert_eq!(a.gyro, b.gyro);
+        let c = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 8);
+        assert_ne!(a.accel, c.accel);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(MotionKind::HumanTouch.label(), 1);
+        assert_eq!(MotionKind::Resting.label(), 0);
+        assert_eq!(MotionKind::SyntheticSway.label(), 0);
+    }
+}

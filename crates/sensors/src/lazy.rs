@@ -1,0 +1,225 @@
+//! The lazy IMU buffer (§6): "we assume the FIAT app can keep a lazy
+//! buffer of sensor data, i.e., subscribe to sensor events in low
+//! frequency and increase the frequency when an IoT app is detected in
+//! the foreground — which requires about 60-80 ms."
+//!
+//! The buffer keeps a low-rate ring of recent samples; when an IoT app
+//! comes to the foreground it switches to the full 250 Hz rate after a
+//! rate-raise latency. Evidence windows then combine the low-rate history
+//! with high-rate samples, so sensor capture is off the authorization
+//! critical path.
+
+use crate::imu::{ImuTrace, SAMPLE_RATE_HZ};
+
+/// Low-power background sampling rate.
+pub const LOW_RATE_HZ: u32 = 10;
+
+/// Latency of raising the sampling rate (§6: 60–80 ms; we model the
+/// midpoint deterministically).
+pub const RATE_RAISE_MS: u64 = 70;
+
+/// Buffer state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferMode {
+    /// Background: sampling at [`LOW_RATE_HZ`].
+    Low,
+    /// Foreground IoT app: sampling at the full 250 Hz.
+    High,
+}
+
+/// A lazy ring buffer over an underlying continuous IMU signal.
+///
+/// The signal is provided as a full-rate trace (what the physical sensor
+/// would produce); the buffer models which of those samples the app
+/// actually receives given its subscription rate over time.
+#[derive(Debug)]
+pub struct LazyImuBuffer {
+    /// Capacity in milliseconds of history retained.
+    window_ms: u64,
+    mode: BufferMode,
+    /// Millisecond timestamps (relative) of retained samples with their
+    /// index into the source trace.
+    retained: Vec<(u64, usize)>,
+    /// When the current mode started (ms) and when high-rate delivery
+    /// actually begins (after the raise latency).
+    high_effective_from: Option<u64>,
+    now_ms: u64,
+}
+
+impl LazyImuBuffer {
+    /// New buffer retaining `window_ms` of history, starting in low mode.
+    pub fn new(window_ms: u64) -> Self {
+        assert!(window_ms > 0);
+        LazyImuBuffer {
+            window_ms,
+            mode: BufferMode::Low,
+            retained: Vec::new(),
+            high_effective_from: None,
+            now_ms: 0,
+        }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> BufferMode {
+        self.mode
+    }
+
+    /// The foreground IoT app was detected: raise the rate. High-rate
+    /// samples start flowing [`RATE_RAISE_MS`] later.
+    pub fn raise(&mut self) {
+        if self.mode == BufferMode::Low {
+            self.mode = BufferMode::High;
+            self.high_effective_from = Some(self.now_ms + RATE_RAISE_MS);
+        }
+    }
+
+    /// The IoT app left the foreground: drop back to low rate.
+    pub fn lower(&mut self) {
+        self.mode = BufferMode::Low;
+        self.high_effective_from = None;
+    }
+
+    /// Advance time to `t_ms`, ingesting samples from the source signal.
+    /// `source` is indexed at the full 250 Hz rate from t = 0.
+    pub fn advance(&mut self, t_ms: u64, source: &ImuTrace) {
+        assert!(t_ms >= self.now_ms, "time moves forward");
+        let full_rate = SAMPLE_RATE_HZ as u64;
+        let low_step_ms = 1000 / LOW_RATE_HZ as u64;
+        let mut t = self.now_ms;
+        while t < t_ms {
+            t += 1;
+            let deliver = match self.mode {
+                BufferMode::Low => t % low_step_ms == 0,
+                BufferMode::High => match self.high_effective_from {
+                    Some(eff) if t >= eff => t * full_rate % 1000 < full_rate,
+                    _ => t % low_step_ms == 0,
+                },
+            };
+            if deliver {
+                let idx = (t * full_rate / 1000) as usize;
+                if idx < source.len() {
+                    self.retained.push((t, idx));
+                }
+            }
+        }
+        self.now_ms = t_ms;
+        // Trim to the window.
+        let cutoff = self.now_ms.saturating_sub(self.window_ms);
+        self.retained.retain(|&(ts, _)| ts > cutoff);
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.retained.len()
+    }
+
+    /// Whether the buffer holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.retained.is_empty()
+    }
+
+    /// Materialize the retained window as an [`ImuTrace`] for feature
+    /// extraction.
+    pub fn snapshot(&self, source: &ImuTrace) -> ImuTrace {
+        let mut out = ImuTrace::default();
+        for &(_, idx) in &self.retained {
+            out.accel.push(source.accel[idx]);
+            out.gyro.push(source.gyro[idx]);
+        }
+        out
+    }
+
+    /// Effective sample rate over the last second (samples/s).
+    pub fn recent_rate(&self) -> f64 {
+        let cutoff = self.now_ms.saturating_sub(1000);
+        self.retained.iter().filter(|&&(ts, _)| ts > cutoff).count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::imu::MotionKind;
+
+    fn source(ms: u64) -> ImuTrace {
+        ImuTrace::synthesize(MotionKind::HumanTouch, ms, 1)
+    }
+
+    #[test]
+    fn low_mode_samples_sparsely() {
+        let src = source(3000);
+        let mut buf = LazyImuBuffer::new(2000);
+        buf.advance(1000, &src);
+        // 10 Hz for one second.
+        assert_eq!(buf.len(), 10);
+        assert!((buf.recent_rate() - 10.0).abs() <= 1.0);
+        assert_eq!(buf.mode(), BufferMode::Low);
+    }
+
+    #[test]
+    fn raise_reaches_full_rate_after_latency() {
+        let src = source(4000);
+        let mut buf = LazyImuBuffer::new(4000);
+        buf.advance(1000, &src);
+        buf.raise();
+        assert_eq!(buf.mode(), BufferMode::High);
+        // During the raise latency the buffer still runs low-rate.
+        buf.advance(1000 + RATE_RAISE_MS, &src);
+        let before = buf.len();
+        assert!(before <= 12, "{before}");
+        // One second of full-rate capture afterwards.
+        buf.advance(2000 + RATE_RAISE_MS, &src);
+        let gained = buf.len() - before;
+        assert!(
+            (200..=260).contains(&gained),
+            "high-rate second delivered {gained} samples"
+        );
+    }
+
+    #[test]
+    fn window_trims_old_history() {
+        let src = source(10_000);
+        let mut buf = LazyImuBuffer::new(1000);
+        buf.advance(5000, &src);
+        // Only the last second retained at 10 Hz.
+        assert!(buf.len() <= 11, "{}", buf.len());
+        assert!(buf.retained.iter().all(|&(ts, _)| ts > 4000));
+    }
+
+    #[test]
+    fn snapshot_extractable() {
+        let src = source(3000);
+        let mut buf = LazyImuBuffer::new(3000);
+        buf.advance(1000, &src);
+        buf.raise();
+        buf.advance(2500, &src);
+        let snap = buf.snapshot(&src);
+        assert_eq!(snap.len(), buf.len());
+        // Features extract without panicking and carry signal.
+        let f = crate::features::extract_features(&snap);
+        assert_eq!(f.len(), crate::features::FEATURE_COUNT);
+        assert!(f.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn lower_returns_to_sparse_sampling() {
+        let src = source(5000);
+        let mut buf = LazyImuBuffer::new(5000);
+        buf.raise();
+        buf.advance(1000, &src);
+        buf.lower();
+        let before = buf.len();
+        buf.advance(2000, &src);
+        assert_eq!(buf.mode(), BufferMode::Low);
+        assert!(buf.len() - before <= 11, "{}", buf.len() - before);
+    }
+
+    #[test]
+    #[should_panic(expected = "time moves forward")]
+    fn time_cannot_rewind() {
+        let src = source(1000);
+        let mut buf = LazyImuBuffer::new(1000);
+        buf.advance(500, &src);
+        buf.advance(400, &src);
+    }
+}

@@ -1,0 +1,179 @@
+//! Deterministic discrete-event scheduler.
+//!
+//! Generic over the event payload type. Ties in time are broken by
+//! insertion sequence number, so two runs with the same inputs pop events
+//! in exactly the same order.
+
+use fiat_net::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: payload `E` due at a simulated instant.
+#[derive(Debug)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+/// Min-heap ordering by (time, sequence).
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Discrete-event scheduler with a simulated clock.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Entry<E>>>,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// New scheduler at time zero.
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+        }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current time (causality violation).
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            payload,
+        }));
+        self.seq += 1;
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.queue.pop().map(|Reverse(e)| {
+            self.now = e.at;
+            (e.at, e.payload)
+        })
+    }
+
+    /// Peek at the next event's timestamp without advancing.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Drain all events in order, applying `f` to each. `f` may schedule
+    /// further events through the provided scheduler reference.
+    pub fn run(&mut self, mut f: impl FnMut(&mut Self, SimTime, E)) {
+        while let Some((t, e)) = self.pop() {
+            f(self, t, e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(3), "c");
+        s.schedule(SimTime::from_secs(1), "a");
+        s.schedule(SimTime::from_secs(2), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let mut s = Scheduler::new();
+        for i in 0..100 {
+            s.schedule(SimTime::from_secs(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(10), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn past_scheduling_panics() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(10), ());
+        s.pop();
+        s.schedule(SimTime::from_secs(5), ());
+    }
+
+    #[test]
+    fn run_allows_cascading_events() {
+        // Each event schedules a follow-up until a counter runs out.
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(1), 5u32);
+        let mut fired = Vec::new();
+        s.run(|s, t, remaining| {
+            fired.push((t.as_micros(), remaining));
+            if remaining > 0 {
+                s.schedule(t + fiat_net::SimDuration::from_secs(1), remaining - 1);
+            }
+        });
+        assert_eq!(fired.len(), 6);
+        assert_eq!(fired.last(), Some(&(6_000_000, 0)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut s = Scheduler::new();
+        s.schedule(SimTime::from_secs(2), ());
+        assert_eq!(s.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(s.now(), SimTime::ZERO);
+        assert_eq!(s.len(), 1);
+    }
+}

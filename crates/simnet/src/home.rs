@@ -1,0 +1,169 @@
+//! Home-network topology and path latency composition.
+//!
+//! Nodes: the user's phone (on the home LAN or on LTE near the home), the
+//! FIAT proxy (on the LAN), IoT devices (on the LAN), and the vendor cloud
+//! (in the WAN, optionally behind a VPN detour). The two racing paths:
+//!
+//! - **Auth path**: phone → proxy, directly over WiFi (LAN scenario) or
+//!   LTE + WAN (mobile scenario).
+//! - **Command path**: phone → vendor cloud (app RPC) → cloud processing
+//!   → cloud → device push, intercepted at the proxy.
+
+use crate::link::LatencyProfile;
+use fiat_net::SimDuration;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Where the phone is during an interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhoneLocation {
+    /// Phone on the home WiFi.
+    Lan,
+    /// Phone on a mobile (LTE) network near the home (§6: within 15 miles).
+    Mobile,
+}
+
+impl std::fmt::Display for PhoneLocation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PhoneLocation::Lan => write!(f, "LAN"),
+            PhoneLocation::Mobile => write!(f, "Mobile"),
+        }
+    }
+}
+
+/// The home-network latency model.
+#[derive(Debug)]
+pub struct HomeNetwork {
+    /// LAN WiFi hop.
+    pub lan: LatencyProfile,
+    /// LTE radio hop.
+    pub lte: LatencyProfile,
+    /// WAN hop to the vendor cloud.
+    pub wan: LatencyProfile,
+    /// Vendor cloud processing time.
+    pub cloud: LatencyProfile,
+    rng: StdRng,
+}
+
+impl HomeNetwork {
+    /// Default US-location network (no VPN detour).
+    pub fn new(seed: u64) -> Self {
+        HomeNetwork {
+            lan: LatencyProfile::lan_wifi(),
+            lte: LatencyProfile::lte(),
+            wan: LatencyProfile::wan_regional(),
+            cloud: LatencyProfile::cloud_processing(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Network with a VPN detour on the WAN path (Germany/Japan testbed
+    /// configurations).
+    pub fn with_vpn_detour(seed: u64) -> Self {
+        HomeNetwork {
+            wan: LatencyProfile::wan_vpn_detour(),
+            ..Self::new(seed)
+        }
+    }
+
+    /// One-way phone → proxy latency for the auth message.
+    pub fn phone_to_proxy(&mut self, loc: PhoneLocation) -> SimDuration {
+        match loc {
+            PhoneLocation::Lan => self.lan.sample(&mut self.rng),
+            // LTE uplink, WAN back to the home router, then into the LAN.
+            PhoneLocation::Mobile => {
+                self.lte.sample(&mut self.rng)
+                    + self.wan.sample(&mut self.rng)
+                    + self.lan.sample(&mut self.rng)
+            }
+        }
+    }
+
+    /// Round-trip phone ↔ proxy (e.g. one RTT of a handshake).
+    pub fn phone_proxy_rtt(&mut self, loc: PhoneLocation) -> SimDuration {
+        self.phone_to_proxy(loc) + self.phone_to_proxy(loc)
+    }
+
+    /// Latency from the user tapping the app to the first command packet
+    /// of the IoT command arriving at the proxy: phone → cloud RPC, cloud
+    /// processing, cloud → home push.
+    pub fn command_first_packet(&mut self, loc: PhoneLocation) -> SimDuration {
+        let uplink = match loc {
+            PhoneLocation::Lan => self.lan.sample(&mut self.rng) + self.wan.sample(&mut self.rng),
+            PhoneLocation::Mobile => {
+                self.lte.sample(&mut self.rng) + self.wan.sample(&mut self.rng)
+            }
+        };
+        let processing = self.cloud.sample(&mut self.rng);
+        let downlink = self.wan.sample(&mut self.rng);
+        uplink + processing + downlink
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lan_auth_is_fast() {
+        let mut net = HomeNetwork::new(0);
+        for _ in 0..100 {
+            let d = net.phone_to_proxy(PhoneLocation::Lan);
+            assert!(d <= SimDuration::from_millis(8), "{d}");
+        }
+    }
+
+    #[test]
+    fn mobile_auth_slower_than_lan() {
+        let mut net = HomeNetwork::new(1);
+        let lan: u64 = (0..100)
+            .map(|_| net.phone_to_proxy(PhoneLocation::Lan).as_micros())
+            .sum();
+        let mobile: u64 = (0..100)
+            .map(|_| net.phone_to_proxy(PhoneLocation::Mobile).as_micros())
+            .sum();
+        assert!(mobile > 5 * lan);
+    }
+
+    #[test]
+    fn command_path_dominated_by_cloud() {
+        // Mean command latency should exceed mean auth latency by a lot —
+        // this is the slack FIAT's race depends on (Table 7).
+        let mut net = HomeNetwork::new(2);
+        let n = 500;
+        let cmd: u64 = (0..n)
+            .map(|_| net.command_first_packet(PhoneLocation::Lan).as_micros())
+            .sum();
+        let auth: u64 = (0..n)
+            .map(|_| net.phone_to_proxy(PhoneLocation::Lan).as_micros())
+            .sum();
+        assert!(cmd > 20 * auth, "cmd {cmd} auth {auth}");
+    }
+
+    #[test]
+    fn vpn_detour_increases_command_latency() {
+        let mut us = HomeNetwork::new(3);
+        let mut vpn = HomeNetwork::with_vpn_detour(3);
+        let n = 300;
+        let us_total: u64 = (0..n)
+            .map(|_| us.command_first_packet(PhoneLocation::Lan).as_micros())
+            .sum();
+        let vpn_total: u64 = (0..n)
+            .map(|_| vpn.command_first_packet(PhoneLocation::Lan).as_micros())
+            .sum();
+        assert!(vpn_total > us_total);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = HomeNetwork::new(7);
+        let mut b = HomeNetwork::new(7);
+        for _ in 0..50 {
+            assert_eq!(
+                a.command_first_packet(PhoneLocation::Mobile),
+                b.command_first_packet(PhoneLocation::Mobile)
+            );
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Deterministic discrete-event home-network simulator.
+//!
+//! The paper's latency evaluation (Table 7) measures FIAT's authentication
+//! race: the humanness proof travelling phone → proxy must beat the IoT
+//! command travelling phone → vendor cloud → device. This crate provides
+//! the pieces to stage that race reproducibly:
+//!
+//! - [`event`]: a seeded, deterministic discrete-event scheduler. Events
+//!   at equal timestamps fire in insertion order (no wall clock, no
+//!   `HashMap` iteration order anywhere).
+//! - [`link`]: latency profiles (LAN WiFi, LTE, WAN, VPN detours) with
+//!   seeded jitter.
+//! - [`home`]: the home topology — phone, IoT proxy, IoT devices, vendor
+//!   cloud — and path-latency composition for LAN and mobile scenarios.
+//! - [`intercept`]: the NFQUEUE-style interception point: every forwarded
+//!   packet is held until a verdict callback decides Allow or Drop
+//!   (§5.4 "Traffic Intercept").
+//! - [`tcp`]: RFC 6298-style retransmission backoff, used for the §6
+//!   finding that devices tolerate ~2 s of added validation delay.
+//! - [`arp`]: the ARP-spoofing insertion itself — LAN ARP tables, the
+//!   proxy's poisoning volley, and frame-level capture through the real
+//!   Ethernet/IPv4 codecs.
+
+pub mod arp;
+pub mod event;
+pub mod home;
+pub mod intercept;
+pub mod link;
+pub mod tcp;
+
+pub use arp::SpoofedLan;
+pub use event::Scheduler;
+pub use home::{HomeNetwork, PhoneLocation};
+pub use intercept::{InterceptQueue, Verdict};
+pub use link::LatencyProfile;

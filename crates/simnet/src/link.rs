@@ -1,0 +1,149 @@
+//! Link latency profiles with seeded jitter.
+//!
+//! Profiles are calibrated so the composed paths land in the ranges Table 7
+//! reports: LAN QUIC 1-RTT ≈ 27 ms, 0-RTT ≈ 21 ms; mobile RTTs of hundreds
+//! of ms with high variance; WAN cloud detours making the IoT command's
+//! time-to-first-packet 600–2000 ms.
+
+use fiat_net::SimDuration;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// One-way latency distribution of a link: base plus uniform jitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyProfile {
+    /// Minimum one-way latency.
+    pub base: SimDuration,
+    /// Maximum additional jitter (uniform in `[0, jitter]`).
+    pub jitter: SimDuration,
+}
+
+impl LatencyProfile {
+    /// Construct from milliseconds.
+    pub const fn from_millis(base_ms: u64, jitter_ms: u64) -> Self {
+        LatencyProfile {
+            base: SimDuration::from_millis(base_ms),
+            jitter: SimDuration::from_millis(jitter_ms),
+        }
+    }
+
+    /// Home WiFi hop (phone ↔ proxy ↔ device on the same LAN).
+    pub const fn lan_wifi() -> Self {
+        Self::from_millis(3, 5)
+    }
+
+    /// LTE radio access hop (phone on mobile network).
+    pub const fn lte() -> Self {
+        Self::from_millis(35, 60)
+    }
+
+    /// WAN hop to a same-region cloud.
+    pub const fn wan_regional() -> Self {
+        Self::from_millis(20, 15)
+    }
+
+    /// WAN hop traversing a VPN detour (Germany/Japan experiments).
+    pub const fn wan_vpn_detour() -> Self {
+        Self::from_millis(90, 40)
+    }
+
+    /// Vendor-cloud internal processing before the command is pushed to
+    /// the device (measured time-to-first-packet in the paper includes
+    /// substantial cloud-side work).
+    pub const fn cloud_processing() -> Self {
+        Self::from_millis(350, 500)
+    }
+
+    /// Sample a one-way latency.
+    pub fn sample(&self, rng: &mut StdRng) -> SimDuration {
+        let j = self.jitter.as_micros();
+        let extra = if j == 0 { 0 } else { rng.gen_range(0..=j) };
+        self.base + SimDuration::from_micros(extra)
+    }
+
+    /// Expected (mean) one-way latency.
+    pub fn mean(&self) -> SimDuration {
+        self.base + self.jitter / 2
+    }
+}
+
+/// A seeded latency sampler bound to one profile.
+#[derive(Debug)]
+pub struct LinkSampler {
+    profile: LatencyProfile,
+    rng: StdRng,
+}
+
+impl LinkSampler {
+    /// New sampler.
+    pub fn new(profile: LatencyProfile, seed: u64) -> Self {
+        LinkSampler {
+            profile,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next latency sample.
+    pub fn sample(&mut self) -> SimDuration {
+        self.profile.sample(&mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_within_bounds() {
+        let p = LatencyProfile::from_millis(10, 20);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            let s = p.sample(&mut rng);
+            assert!(s >= SimDuration::from_millis(10));
+            assert!(s <= SimDuration::from_millis(30));
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_constant() {
+        let p = LatencyProfile::from_millis(7, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            assert_eq!(p.sample(&mut rng), SimDuration::from_millis(7));
+        }
+    }
+
+    #[test]
+    fn mean_is_midpoint() {
+        let p = LatencyProfile::from_millis(10, 20);
+        assert_eq!(p.mean(), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn sampler_is_deterministic() {
+        let mut a = LinkSampler::new(LatencyProfile::lte(), 5);
+        let mut b = LinkSampler::new(LatencyProfile::lte(), 5);
+        for _ in 0..100 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+
+    #[test]
+    fn profiles_are_ordered_sensibly() {
+        assert!(LatencyProfile::lan_wifi().mean() < LatencyProfile::lte().mean());
+        assert!(LatencyProfile::wan_regional().mean() < LatencyProfile::wan_vpn_detour().mean());
+        assert!(LatencyProfile::cloud_processing().mean() > LatencyProfile::lte().mean());
+    }
+
+    #[test]
+    fn empirical_mean_close_to_analytic() {
+        let p = LatencyProfile::lte();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| p.sample(&mut rng).as_micros()).sum();
+        let emp = total as f64 / n as f64;
+        let ana = p.mean().as_micros() as f64;
+        assert!((emp - ana).abs() / ana < 0.02, "emp {emp} vs {ana}");
+    }
+}

@@ -1,0 +1,146 @@
+//! TCP retransmission timing model (RFC 6298 exponential backoff).
+//!
+//! §6 of the paper finds that every testbed device tolerates roughly two
+//! seconds of extra delay injected by FIAT's validation, because TCP's
+//! timeout-and-retransmit absorbs it. This model answers: if the proxy
+//! holds a packet for `added_delay`, does the sender's retransmission
+//! schedule deliver the command before the application-level deadline?
+
+use fiat_net::SimDuration;
+
+/// RFC 6298 retransmission schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpRetransmitModel {
+    /// Initial retransmission timeout (RFC 6298 recommends 1 s).
+    pub initial_rto: SimDuration,
+    /// Maximum number of retransmissions before the connection aborts.
+    pub max_retries: u32,
+    /// Application-level deadline after which the IoT command is
+    /// considered failed (vendor apps time out and surface an error).
+    pub app_deadline: SimDuration,
+}
+
+impl Default for TcpRetransmitModel {
+    fn default() -> Self {
+        TcpRetransmitModel {
+            initial_rto: SimDuration::from_secs(1),
+            max_retries: 6,
+            app_deadline: SimDuration::from_secs(10),
+        }
+    }
+}
+
+impl TcpRetransmitModel {
+    /// Time of the `n`-th transmission attempt (0 = original send) under
+    /// exponential backoff: 0, RTO, RTO+2·RTO, RTO+2·RTO+4·RTO, ...
+    pub fn attempt_time(&self, n: u32) -> SimDuration {
+        let mut t = SimDuration::ZERO;
+        let mut rto = self.initial_rto;
+        for _ in 0..n {
+            t += rto;
+            rto = rto * 2;
+        }
+        t
+    }
+
+    /// Given that the proxy delays delivery by `hold`, the first attempt
+    /// whose (re)transmission reaches the receiver is the earliest attempt
+    /// sent at or after... in fact the *original* packet is delivered at
+    /// `hold` (NFQUEUE holds, then releases); retransmissions sent before
+    /// the release are also held and released together. Delivery time is
+    /// therefore `hold` itself if the connection has not aborted by then.
+    ///
+    /// Returns `Some(delivery_time)` if the command completes before both
+    /// the TCP abort and the application deadline, else `None`.
+    pub fn delivery_with_hold(&self, hold: SimDuration) -> Option<SimDuration> {
+        let abort_time = self.attempt_time(self.max_retries) + self.initial_rto * (1 << self.max_retries);
+        if hold >= abort_time {
+            return None; // sender gave up before the release
+        }
+        if hold >= self.app_deadline {
+            return None; // app already surfaced a failure
+        }
+        Some(hold)
+    }
+
+    /// Whether the IoT function survives an added validation delay,
+    /// i.e. delivery happens and the user-visible completion time stays
+    /// within the application deadline.
+    pub fn tolerates(&self, added_delay: SimDuration) -> bool {
+        self.delivery_with_hold(added_delay).is_some()
+    }
+
+    /// The largest added delay (millisecond resolution, binary search)
+    /// that the connection tolerates.
+    pub fn max_tolerated_delay(&self) -> SimDuration {
+        let mut lo = 0u64;
+        let mut hi = self.app_deadline.as_millis() + self.attempt_time(self.max_retries).as_millis();
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            if self.tolerates(SimDuration::from_millis(mid)) {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        SimDuration::from_millis(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempt_times_follow_exponential_backoff() {
+        let m = TcpRetransmitModel::default();
+        assert_eq!(m.attempt_time(0), SimDuration::ZERO);
+        assert_eq!(m.attempt_time(1), SimDuration::from_secs(1));
+        assert_eq!(m.attempt_time(2), SimDuration::from_secs(3));
+        assert_eq!(m.attempt_time(3), SimDuration::from_secs(7));
+        assert_eq!(m.attempt_time(4), SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn two_second_hold_tolerated() {
+        // The paper's empirical finding: all devices tolerate 2 s extra.
+        let m = TcpRetransmitModel::default();
+        assert!(m.tolerates(SimDuration::from_secs(2)));
+        assert_eq!(
+            m.delivery_with_hold(SimDuration::from_secs(2)),
+            Some(SimDuration::from_secs(2))
+        );
+    }
+
+    #[test]
+    fn hold_past_app_deadline_fails() {
+        let m = TcpRetransmitModel::default();
+        assert!(!m.tolerates(SimDuration::from_secs(10)));
+        assert!(!m.tolerates(SimDuration::from_secs(60)));
+    }
+
+    #[test]
+    fn short_deadline_device_is_less_tolerant() {
+        let strict = TcpRetransmitModel {
+            app_deadline: SimDuration::from_secs(3),
+            ..Default::default()
+        };
+        assert!(strict.tolerates(SimDuration::from_secs(2)));
+        assert!(!strict.tolerates(SimDuration::from_secs(3)));
+    }
+
+    #[test]
+    fn max_tolerated_matches_tolerates() {
+        let m = TcpRetransmitModel::default();
+        let max = m.max_tolerated_delay();
+        assert!(m.tolerates(max));
+        assert!(!m.tolerates(max + SimDuration::from_millis(1)));
+        // With the default 10 s deadline the bound is just under it.
+        assert_eq!(max, SimDuration::from_millis(9_999));
+    }
+
+    #[test]
+    fn zero_delay_always_tolerated() {
+        assert!(TcpRetransmitModel::default().tolerates(SimDuration::ZERO));
+    }
+}

@@ -1,0 +1,410 @@
+//! Public-dataset stand-ins: YourThings-like and Mon(IoT)r-like corpora,
+//! the Bose SoundTouch flows of Figure 1(a), and IoT-Inspector-style
+//! 5-second aggregation (§2.2).
+//!
+//! Each synthetic device draws a random flow structure (count, periods,
+//! sizes, port churn, IP replicas) and a per-device *unpredictability
+//! target*: the fraction of its traffic that is one-off, irregular
+//! chatter. The mixture over devices is what the Figure 1(b) CDFs measure;
+//! the measurement code in `fiat-core` is the artifact under test.
+
+use crate::device::{DeviceModel, PeriodicFlow};
+use crate::location::Location;
+use fiat_net::{
+    Direction, PacketRecord, SimDuration, SimTime, TcpFlags, TlsVersion, Trace, TrafficClass,
+    Transport,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// One synthetic public-dataset device and its capture.
+#[derive(Debug, Clone)]
+pub struct CorpusDevice {
+    /// Synthetic device name.
+    pub name: String,
+    /// Its packet trace (single device id 0 inside).
+    pub trace: Trace,
+}
+
+/// Random flow structure for one synthetic device.
+fn random_flows(rng: &mut StdRng, dev_idx: u16) -> Vec<PeriodicFlow> {
+    let n_flows = rng.gen_range(3..=10);
+    (0..n_flows)
+        .map(|fi| {
+            // Figure 1(c): most predictable flows repeat within 5 minutes,
+            // none slower than 10 minutes.
+            let period_s = if rng.gen_bool(0.85) {
+                rng.gen_range(10..=300)
+            } else {
+                rng.gen_range(300..=600)
+            };
+            PeriodicFlow {
+                domain: format!("svc{fi}.dev{dev_idx}.example.com"),
+                direction: if rng.gen_bool(0.6) {
+                    Direction::FromDevice
+                } else {
+                    Direction::ToDevice
+                },
+                transport: if rng.gen_bool(0.8) {
+                    Transport::Tcp
+                } else {
+                    Transport::Udp
+                },
+                size: rng.gen_range(60..=700),
+                period: SimDuration::from_secs(period_s),
+                jitter_ms: rng.gen_range(10..=60),
+                // Half the flows churn ports: the Classic-vs-PortLess gap.
+                port_churn_every: if rng.gen_bool(0.5) {
+                    rng.gen_range(2..=10)
+                } else {
+                    0
+                },
+                replica_ips: rng.gen_range(1..=3),
+                tls: if rng.gen_bool(0.7) {
+                    TlsVersion::Tls12
+                } else {
+                    TlsVersion::None
+                },
+            }
+        })
+        .collect()
+}
+
+/// Build a synthetic device whose traffic is `unpredictable_frac` one-off
+/// chatter by packet volume.
+fn synth_device(
+    name: String,
+    dev_idx: u16,
+    duration: SimDuration,
+    unpredictable_frac: f64,
+    noise_label: TrafficClass,
+    rng: &mut StdRng,
+) -> CorpusDevice {
+    let flows = random_flows(rng, dev_idx);
+    // Expected periodic packet count over the capture.
+    let periodic_count: f64 = flows
+        .iter()
+        .map(|f| duration.as_secs_f64() / f.period.as_secs_f64())
+        .sum();
+    let n_noise =
+        ((unpredictable_frac / (1.0 - unpredictable_frac)) * periodic_count).round() as usize;
+
+    let model = DeviceModel {
+        name: name.clone(),
+        kind: crate::device::DeviceKind::SmartSpeaker,
+        endpoint_base: dev_idx.wrapping_mul(16),
+        control_flows: flows,
+        control_events: None,
+        automated: None,
+        manual: None,
+        min_packets_to_complete: 5,
+        simple_rule_size: None,
+        confusion: 0.0,
+    };
+
+    let mut trace = Trace::new();
+    model.emit_control(&mut trace, 0, Location::Us, duration, rng);
+
+    // One-off unpredictable chatter: random sizes to random endpoints at
+    // random times — never forms a repeating bucket.
+    let noise_endpoint = model.endpoint_base + 15;
+    for k in 0..n_noise {
+        let ip = Location::Us.cloud_ip(noise_endpoint, (k % 23) as u8);
+        trace.push(PacketRecord {
+            ts: SimTime::from_micros(rng.gen_range(0..duration.as_micros().max(1))),
+            device: 0,
+            direction: if rng.gen_bool(0.5) {
+                Direction::FromDevice
+            } else {
+                Direction::ToDevice
+            },
+            local_ip: DeviceModel::lan_ip(0),
+            remote_ip: ip,
+            local_port: rng.gen_range(49152..=65535),
+            remote_port: 443,
+            transport: Transport::Tcp,
+            tcp_flags: TcpFlags::psh_ack(),
+            tls: TlsVersion::Tls12,
+            // Wide size range so buckets almost never repeat.
+            size: rng.gen_range(61..=1460),
+            label: noise_label,
+        });
+    }
+    trace.finish();
+    CorpusDevice { name, trace }
+}
+
+/// YourThings-like corpus: `n_devices` devices captured for `hours`.
+/// The per-device unpredictability mixture is calibrated to Figure 1(b):
+/// for ~80 % of devices no more than ~20 % of traffic is unpredictable.
+pub fn yourthings_like(n_devices: usize, hours: u64, seed: u64) -> Vec<CorpusDevice> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_devices)
+        .map(|i| {
+            let u = if rng.gen_bool(0.8) {
+                rng.gen_range(0.02..0.20)
+            } else {
+                rng.gen_range(0.20..0.60)
+            };
+            synth_device(
+                format!("yt-device-{i:02}"),
+                i as u16,
+                SimDuration::from_secs(hours * 3600),
+                u,
+                TrafficClass::Control,
+                &mut rng,
+            )
+        })
+        .collect()
+}
+
+/// Mon(IoT)r-like corpus: idle captures (control only, highly predictable)
+/// and active captures (manual command bursts around each operation,
+/// markedly less predictable).
+#[derive(Debug, Clone)]
+pub struct MoniotrCorpus {
+    /// Idle captures, one per device.
+    pub idle: Vec<CorpusDevice>,
+    /// Active captures, one per device.
+    pub active: Vec<CorpusDevice>,
+}
+
+/// Generate a Mon(IoT)r-like corpus.
+pub fn moniotr_like(n_devices: usize, seed: u64) -> MoniotrCorpus {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut idle = Vec::with_capacity(n_devices);
+    let mut active = Vec::with_capacity(n_devices);
+    for i in 0..n_devices {
+        // Idle: low unpredictability (§2.2: up to 90 % predictable for
+        // 90 % of devices under PortLess).
+        let u_idle = rng.gen_range(0.01..0.15);
+        idle.push(synth_device(
+            format!("moniotr-idle-{i:03}"),
+            i as u16,
+            SimDuration::from_mins(120),
+            u_idle,
+            TrafficClass::Control,
+            &mut rng,
+        ));
+        // Active: the same structure plus a heavy manual component.
+        let u_active = rng.gen_range(0.15..0.55);
+        active.push(synth_device(
+            format!("moniotr-active-{i:03}"),
+            i as u16,
+            SimDuration::from_mins(40),
+            u_active,
+            TrafficClass::Manual,
+            &mut rng,
+        ));
+    }
+    MoniotrCorpus { idle, active }
+}
+
+/// The Bose SoundTouch 10 of Figure 1(a): 8 strictly periodic flows over
+/// 30 minutes. Returns the trace; flows are distinguishable by size.
+pub fn soundtouch_flows(seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let periods_s: [u64; 8] = [15, 30, 30, 60, 60, 120, 300, 600];
+    let sizes: [u16; 8] = [66, 123, 155, 203, 311, 489, 577, 1024];
+    let flows: Vec<PeriodicFlow> = (0..8)
+        .map(|i| PeriodicFlow {
+            domain: format!("streaming{i}.bose.com"),
+            direction: if i % 2 == 0 {
+                Direction::FromDevice
+            } else {
+                Direction::ToDevice
+            },
+            transport: Transport::Tcp,
+            size: sizes[i],
+            period: SimDuration::from_secs(periods_s[i]),
+            jitter_ms: 20,
+            port_churn_every: 0,
+            replica_ips: 1,
+            tls: TlsVersion::Tls12,
+        })
+        .collect();
+    let model = DeviceModel {
+        name: "SoundTouch10".to_string(),
+        kind: crate::device::DeviceKind::SmartSpeaker,
+        endpoint_base: 900,
+        control_flows: flows,
+        control_events: None,
+        automated: None,
+        manual: None,
+        min_packets_to_complete: 5,
+        simple_rule_size: None,
+        confusion: 0.0,
+    };
+    let mut trace = Trace::new();
+    model.emit_control(&mut trace, 0, Location::Us, SimDuration::from_mins(30), &mut rng);
+    trace.finish();
+    trace
+}
+
+/// IoT-Inspector-style aggregation: collapse a packet trace into 5-second
+/// windows per (device, remote endpoint, transport, direction); each
+/// window becomes one pseudo-packet whose size is the byte sum (clamped to
+/// `u16::MAX`). One unpredictable packet inside a window perturbs the sum
+/// and poisons the whole window — the effect §2.2 describes.
+pub fn aggregate_5s(trace: &Trace) -> Trace {
+    type Key = (u16, std::net::Ipv4Addr, Transport, Direction, u64);
+    let mut windows: HashMap<Key, (u64, TrafficClass)> = HashMap::new();
+    let window_us = 5_000_000u64;
+    for p in &trace.packets {
+        let w = p.ts.as_micros() / window_us;
+        let key = (p.device, p.remote_ip, p.transport, p.direction, w);
+        let entry = windows.entry(key).or_insert((0, TrafficClass::Control));
+        entry.0 += p.size as u64;
+        // Escalate the label: manual > automated > control.
+        entry.1 = match (entry.1, p.label) {
+            (_, TrafficClass::Manual) | (TrafficClass::Manual, _) => TrafficClass::Manual,
+            (_, TrafficClass::Automated) | (TrafficClass::Automated, _) => TrafficClass::Automated,
+            _ => TrafficClass::Control,
+        };
+    }
+    let mut agg = Trace::new();
+    agg.dns = trace.dns.clone();
+    for ((device, remote_ip, transport, direction, w), (bytes, label)) in windows {
+        agg.push(PacketRecord {
+            ts: SimTime::from_micros(w * window_us),
+            device,
+            direction,
+            local_ip: DeviceModel::lan_ip(device),
+            remote_ip,
+            local_port: 0,
+            remote_port: 0,
+            transport,
+            tcp_flags: TcpFlags::default(),
+            tls: TlsVersion::None,
+            size: bytes.min(u16::MAX as u64) as u16,
+            label,
+        });
+    }
+    agg.finish();
+    agg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yourthings_corpus_shape() {
+        let corpus = yourthings_like(5, 2, 0);
+        assert_eq!(corpus.len(), 5);
+        for d in &corpus {
+            assert!(!d.trace.is_empty(), "{} empty", d.name);
+            // All packets from device 0 and within the window.
+            assert!(d.trace.packets.iter().all(|p| p.device == 0));
+            assert!(d.trace.duration() <= SimDuration::from_secs(2 * 3600));
+        }
+        // Names unique.
+        let mut names: Vec<&str> = corpus.iter().map(|d| d.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn moniotr_idle_quieter_than_active() {
+        let c = moniotr_like(4, 1);
+        assert_eq!(c.idle.len(), 4);
+        assert_eq!(c.active.len(), 4);
+        // Active captures contain manual-labeled noise; idle never.
+        for d in &c.idle {
+            assert_eq!(d.trace.count_labeled(0, TrafficClass::Manual), 0);
+        }
+        let manual_total: usize = c
+            .active
+            .iter()
+            .map(|d| d.trace.count_labeled(0, TrafficClass::Manual))
+            .sum();
+        assert!(manual_total > 0);
+    }
+
+    #[test]
+    fn soundtouch_has_eight_periodic_flows() {
+        let t = soundtouch_flows(0);
+        // 8 distinct sizes.
+        let mut sizes: Vec<u16> = t.packets.iter().map(|p| p.size).collect();
+        sizes.sort_unstable();
+        sizes.dedup();
+        assert_eq!(sizes.len(), 8);
+        // The 15 s flow dominates: ~120 packets over 30 min.
+        let fast = t.packets.iter().filter(|p| p.size == 66).count();
+        assert!((100..=125).contains(&fast), "fast flow count {fast}");
+        // 30-minute capture.
+        assert!(t.duration() <= SimDuration::from_mins(31));
+    }
+
+    #[test]
+    fn aggregation_collapses_windows() {
+        // A 1 Hz flow puts ~5 packets in each 5 s window.
+        let model = DeviceModel {
+            name: "dense".to_string(),
+            kind: crate::device::DeviceKind::SmartSpeaker,
+            endpoint_base: 0,
+            control_flows: vec![PeriodicFlow {
+                domain: "dense.example.com".to_string(),
+                direction: Direction::FromDevice,
+                transport: Transport::Tcp,
+                size: 100,
+                period: SimDuration::from_secs(1),
+                jitter_ms: 0,
+                port_churn_every: 0,
+                replica_ips: 1,
+                tls: TlsVersion::None,
+            }],
+            control_events: None,
+            automated: None,
+            manual: None,
+            min_packets_to_complete: 1,
+            simple_rule_size: None,
+            confusion: 0.0,
+        };
+        let mut t = Trace::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        model.emit_control(&mut t, 0, Location::Us, SimDuration::from_mins(2), &mut rng);
+        t.finish();
+        let agg = aggregate_5s(&t);
+        assert!(!agg.is_empty());
+        assert!(agg.len() * 3 < t.len(), "agg {} vs raw {}", agg.len(), t.len());
+        // Sums of ~5 packets of 100 B each.
+        assert!(agg.packets.iter().all(|p| p.size >= 100 && p.size <= 700));
+        // Windows aligned to 5 s.
+        assert!(agg
+            .packets
+            .iter()
+            .all(|p| p.ts.as_micros() % 5_000_000 == 0));
+    }
+
+    #[test]
+    fn aggregation_escalates_labels() {
+        let mut t = Trace::new();
+        let base = soundtouch_flows(2).packets[0].clone();
+        let mut p1 = base.clone();
+        p1.ts = SimTime::from_secs(0);
+        p1.label = TrafficClass::Control;
+        let mut p2 = base.clone();
+        p2.ts = SimTime::from_secs(1);
+        p2.label = TrafficClass::Manual;
+        t.push(p1);
+        t.push(p2);
+        t.finish();
+        let agg = aggregate_5s(&t);
+        assert_eq!(agg.len(), 1);
+        assert_eq!(agg.packets[0].label, TrafficClass::Manual);
+        assert_eq!(agg.packets[0].size, base.size * 2);
+    }
+
+    #[test]
+    fn deterministic_corpora() {
+        let a = yourthings_like(3, 1, 9);
+        let b = yourthings_like(3, 1, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.trace.packets, y.trace.packets);
+        }
+    }
+}

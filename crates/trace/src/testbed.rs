@@ -1,0 +1,881 @@
+//! The Table 1 testbed: ten devices, their generative models, and full
+//! labeled trace synthesis.
+//!
+//! Model parameters encode the paper's observations: a smart plug's
+//! two-packet 235 B commands (N=1), WyzeCam's 41-packet commands with a
+//! constant-rate video tail, Google Home's huge app-open bursts, and the
+//! Nest-E's hourly irregular control chatter that drops its control
+//! predictability to ~90 % while every other device sits near 98 %.
+
+use crate::device::{DeviceKind, DeviceModel, EventShape, PeriodicFlow, StreamTail};
+use crate::location::Location;
+use fiat_net::{
+    Direction, SimDuration, SimTime, TcpFlags, TlsVersion, Trace, TrafficClass, Transport,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Configuration for one testbed capture.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// Uplink location (US native, or VPN to JP/DE).
+    pub location: Location,
+    /// Capture length in days (fractional allowed).
+    pub days: f64,
+    /// Mean manual interactions per device per day.
+    pub manual_per_day: f64,
+    /// Routine firings per device per day.
+    pub routines_per_day: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Scale on each device's class-confusion probability (1.0 = natural
+    /// use; ~0.15 = scripted/ADB operations as in the paper's §6 runs).
+    pub confusion_scale: f64,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            location: Location::Us,
+            days: 2.0,
+            manual_per_day: 3.5,
+            routines_per_day: 4.0,
+            seed: 0,
+            confusion_scale: 1.0,
+        }
+    }
+}
+
+/// Ground truth for one generated event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundTruthEvent {
+    /// Device index (position in [`testbed_devices`]).
+    pub device: u16,
+    /// True class.
+    pub class: TrafficClass,
+    /// Event start time.
+    pub start: SimTime,
+    /// Number of packets emitted.
+    pub n_packets: usize,
+}
+
+/// A generated testbed capture: packets plus event ground truth.
+#[derive(Debug, Clone)]
+pub struct TestbedTrace {
+    /// The labeled packet trace (all devices).
+    pub trace: Trace,
+    /// Ground-truth events in generation order.
+    pub events: Vec<GroundTruthEvent>,
+    /// The device models, indexed by device id.
+    pub devices: Vec<DeviceModel>,
+    /// The configuration that produced this capture.
+    pub config: TestbedConfig,
+}
+
+impl TestbedTrace {
+    /// Generate a full capture for `config`.
+    pub fn generate(config: TestbedConfig) -> TestbedTrace {
+        let devices = testbed_devices();
+        let duration = SimDuration::from_secs((config.days * 86_400.0) as u64);
+        let mut trace = Trace::new();
+        let mut events = Vec::new();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        for (idx, dev) in devices.iter().enumerate() {
+            let idx = idx as u16;
+            dev.emit_control(&mut trace, idx, config.location, duration, &mut rng);
+
+            // Build the per-device event schedule with a 30 s minimum gap
+            // so distinct events never merge under the 5 s grouping rule.
+            let mut starts: Vec<(SimTime, TrafficClass)> = Vec::new();
+            let reserve = |rng: &mut StdRng, class: TrafficClass, starts: &mut Vec<(SimTime, TrafficClass)>| {
+                for _ in 0..200 {
+                    let t = SimTime::from_millis(rng.gen_range(0..duration.as_millis().max(1)));
+                    let min_gap = SimDuration::from_secs(30);
+                    if starts
+                        .iter()
+                        .all(|(s, _)| s.since(t).max(t.since(*s)) > min_gap)
+                    {
+                        starts.push((t, class));
+                        return;
+                    }
+                }
+            };
+
+            // Manual interactions (usage-weighted: plugs most, mop least —
+            // §3.1 reports 40 plug vs 8 mop interactions).
+            let usage = dev.usage_factor();
+            let n_manual =
+                (config.days * config.manual_per_day * usage).round() as usize;
+            for _ in 0..n_manual {
+                reserve(&mut rng, TrafficClass::Manual, &mut starts);
+            }
+            // Routines.
+            let n_auto = (config.days * config.routines_per_day).round() as usize;
+            for _ in 0..n_auto {
+                reserve(&mut rng, TrafficClass::Automated, &mut starts);
+            }
+            // Irregular control events.
+            if let Some((_, per_day)) = &dev.control_events {
+                let n_ctl = (config.days * per_day).round() as usize;
+                for _ in 0..n_ctl {
+                    reserve(&mut rng, TrafficClass::Control, &mut starts);
+                }
+            }
+
+            starts.sort_by_key(|(t, _)| *t);
+            for (start, class) in starts {
+                let n = dev.emit_event_with_confusion(
+                    &mut trace,
+                    idx,
+                    config.location,
+                    class,
+                    start,
+                    &mut rng,
+                    config.confusion_scale,
+                );
+                if n > 0 {
+                    events.push(GroundTruthEvent {
+                        device: idx,
+                        class,
+                        start,
+                        n_packets: n,
+                    });
+                }
+            }
+        }
+        trace.finish();
+        TestbedTrace {
+            trace,
+            events,
+            devices,
+            config,
+        }
+    }
+
+    /// Ground-truth events of one device.
+    pub fn device_events(&self, device: u16) -> impl Iterator<Item = &GroundTruthEvent> {
+        self.events.iter().filter(move |e| e.device == device)
+    }
+}
+
+impl DeviceModel {
+    /// Relative manual-usage weight (§3.1: plugs used most, mop least).
+    pub fn usage_factor(&self) -> f64 {
+        match self.kind {
+            DeviceKind::SmartPlug => 2.0,
+            DeviceKind::RobotVacuum => 0.4,
+            _ => 1.0,
+        }
+    }
+}
+
+/// Helper: a periodic TLS keep-alive flow.
+fn flow(
+    domain: &'static str,
+    direction: Direction,
+    size: u16,
+    period_s: u64,
+    churn: u32,
+    replicas: u8,
+) -> PeriodicFlow {
+    PeriodicFlow {
+        domain: domain.to_string(),
+        direction,
+        transport: Transport::Tcp,
+        size,
+        period: SimDuration::from_secs(period_s),
+        jitter_ms: 40,
+        port_churn_every: churn,
+        replica_ips: replicas,
+        tls: TlsVersion::Tls12,
+    }
+}
+
+/// Helper: a periodic UDP flow (NTP/DNS-style).
+fn udp_flow(domain: &'static str, size: u16, period_s: u64) -> PeriodicFlow {
+    PeriodicFlow {
+        domain: domain.to_string(),
+        direction: Direction::FromDevice,
+        transport: Transport::Udp,
+        size,
+        period: SimDuration::from_secs(period_s),
+        jitter_ms: 25,
+        port_churn_every: 8,
+        replica_ips: 1,
+        tls: TlsVersion::None,
+    }
+}
+
+fn burst(
+    domain: &'static str,
+    n: (usize, usize),
+    sizes: Vec<u16>,
+    tls: TlsVersion,
+    iat_ms: (u64, u64),
+    stream: Option<StreamTail>,
+) -> EventShape {
+    EventShape {
+        n_packets: n,
+        first_direction: Direction::ToDevice,
+        transport: Transport::Tcp,
+        tls,
+        sizes,
+        size_jitter: 20,
+        iat_ms,
+        first_flags: TcpFlags::psh_ack(),
+        domain: domain.to_string(),
+        stream,
+    }
+}
+
+/// Device-initiated telemetry burst: irregular control chatter starts
+/// *from* the device (the direction signal §4.3 finds most important).
+fn telemetry_burst(
+    domain: &'static str,
+    n: (usize, usize),
+    sizes: Vec<u16>,
+    tls: TlsVersion,
+    iat_ms: (u64, u64),
+) -> EventShape {
+    EventShape {
+        first_direction: Direction::FromDevice,
+        ..burst(domain, n, sizes, tls, iat_ms, None)
+    }
+}
+
+/// The ten Table 1 devices, in a fixed order (index = device id):
+/// 0 EchoDot4, 1 HomeMini, 2 WyzeCam, 3 SP10, 4 Home, 5 Nest-E,
+/// 6 EchoDot3, 7 E4, 8 Blink, 9 WP3.
+pub fn testbed_devices() -> Vec<DeviceModel> {
+    let mut devices = Vec::new();
+
+    // --- 0: Echo Dot 4 (smart speaker, Amazon) ---
+    devices.push(DeviceModel {
+        name: "EchoDot4".to_string(),
+        kind: DeviceKind::SmartSpeaker,
+        endpoint_base: 0,
+        control_flows: vec![
+            flow("avs.amazon.com", Direction::FromDevice, 66, 30, 0, 2),
+            flow("avs.amazon.com", Direction::ToDevice, 123, 30, 0, 2),
+            flow("device-metrics.amazon.com", Direction::FromDevice, 489, 300, 4, 2),
+            udp_flow("ntp.amazon.com", 76, 480),
+            udp_flow("dns.amazon.com", 70, 150),
+        ],
+        control_events: Some((
+            telemetry_burst(
+                "todo-ta.amazon.com",
+                (3, 8),
+                vec![214, 318, 402],
+                TlsVersion::Tls12,
+                (100, 900),
+            ),
+            8.0,
+        )),
+        automated: Some(burst(
+            "alexa-routines.amazon.com",
+            (3, 5),
+            vec![188, 346, 590],
+            TlsVersion::Tls12,
+            (60, 450),
+            Some(StreamTail {
+                n: (18, 30),
+                size: 640,
+                iat_ms: 120,
+            }),
+        )),
+        manual: Some(burst(
+            "alexa-mobile.amazon.com",
+            (8, 25),
+            vec![151, 412, 803, 1248],
+            TlsVersion::Tls13,
+            (20, 350),
+            None,
+        )),
+        min_packets_to_complete: 5,
+        simple_rule_size: None,
+        confusion: 0.10,
+    });
+
+    // --- 1: Home Mini (smart speaker, Google) ---
+    devices.push(DeviceModel {
+        name: "HomeMini".to_string(),
+        kind: DeviceKind::SmartSpeaker,
+        endpoint_base: 50,
+        control_flows: vec![
+            flow("clients.google.com", Direction::FromDevice, 92, 20, 0, 3),
+            flow("clients.google.com", Direction::ToDevice, 105, 20, 0, 3),
+            flow("cast-edge.google.com", Direction::FromDevice, 311, 180, 6, 2),
+            udp_flow("time.google.com", 76, 600),
+        ],
+        control_events: Some((
+            telemetry_burst(
+                "update-check.google.com",
+                (3, 7),
+                vec![255, 377],
+                TlsVersion::Tls12,
+                (120, 800),
+            ),
+            7.0,
+        )),
+        automated: Some(burst(
+            "assistant-routines.google.com",
+            (3, 6),
+            vec![203, 351, 566],
+            TlsVersion::Tls12,
+            (60, 400),
+            Some(StreamTail {
+                n: (20, 30),
+                size: 702,
+                iat_ms: 100,
+            }),
+        )),
+        manual: Some(burst(
+            "home-app.google.com",
+            (15, 60),
+            vec![167, 423, 889, 1310],
+            TlsVersion::Tls13,
+            (15, 280),
+            None,
+        )),
+        min_packets_to_complete: 5,
+        simple_rule_size: None,
+        confusion: 0.05,
+    });
+
+    // --- 2: WyzeCam (camera, Wyze) ---
+    devices.push(DeviceModel {
+        name: "WyzeCam".to_string(),
+        kind: DeviceKind::Camera,
+        endpoint_base: 100,
+        control_flows: vec![
+            flow("api.wyzecam.com", Direction::FromDevice, 88, 60, 0, 1),
+            flow("api.wyzecam.com", Direction::ToDevice, 97, 60, 0, 1),
+            udp_flow("stun.wyzecam.com", 102, 300),
+        ],
+        control_events: Some((
+            telemetry_burst(
+                "logs.wyzecam.com",
+                (3, 6),
+                vec![276, 388],
+                TlsVersion::Tls12,
+                (150, 900),
+            ),
+            5.0,
+        )),
+        automated: Some(EventShape {
+            n_packets: (3, 6),
+            first_direction: Direction::ToDevice,
+            transport: Transport::Udp,
+            tls: TlsVersion::None,
+            sizes: vec![233, 415],
+            size_jitter: 15,
+            iat_ms: (50, 400),
+            first_flags: TcpFlags::default(),
+            domain: "upload.wyzecam.com".to_string(),
+            stream: Some(StreamTail {
+                n: (25, 45),
+                size: 1228,
+                iat_ms: 40,
+            }),
+        }),
+        manual: Some(EventShape {
+            n_packets: (8, 14),
+            first_direction: Direction::ToDevice,
+            transport: Transport::Tcp,
+            tls: TlsVersion::Tls12,
+            sizes: vec![198, 342, 561],
+            size_jitter: 20,
+            iat_ms: (30, 300),
+            first_flags: TcpFlags::psh_ack(),
+            domain: "relay.wyzecam.com".to_string(),
+            stream: Some(StreamTail {
+                n: (18, 30),
+                size: 1404,
+                iat_ms: 33,
+            }),
+        }),
+        min_packets_to_complete: 41,
+        simple_rule_size: None,
+        confusion: 0.04,
+    });
+
+    // --- 3: SP10 (smart plug, Teckin) ---
+    devices.push(smart_plug("SP10", 150, "teckin.com", 235));
+
+    // --- 4: Home (smart speaker, Google; 2016 firmware era — slightly
+    // slower heartbeats than the Mini) ---
+    devices.push(DeviceModel {
+        name: "Home".to_string(),
+        kind: DeviceKind::SmartSpeaker,
+        endpoint_base: 200,
+        control_flows: vec![
+            flow("clients.google.com", Direction::FromDevice, 92, 25, 0, 3),
+            flow("clients.google.com", Direction::ToDevice, 105, 25, 0, 3),
+            flow("cast-edge.google.com", Direction::FromDevice, 311, 200, 6, 2),
+            udp_flow("time.google.com", 76, 600),
+        ],
+        control_events: Some((
+            telemetry_burst(
+                "update-check.google.com",
+                (4, 10),
+                vec![221, 340, 478],
+                TlsVersion::Tls12,
+                (80, 700),
+            ),
+            9.0,
+        )),
+        automated: Some(burst(
+            "assistant-routines.google.com",
+            (3, 8),
+            vec![203, 351, 566, 910],
+            TlsVersion::Tls12,
+            (40, 380),
+            Some(StreamTail {
+                n: (22, 34),
+                size: 702,
+                iat_ms: 100,
+            }),
+        )),
+        manual: Some(burst(
+            "home-app.google.com",
+            (20, 120),
+            vec![167, 423, 889, 1310],
+            TlsVersion::Tls13,
+            (10, 250),
+            None,
+        )),
+        min_packets_to_complete: 5,
+        simple_rule_size: None,
+        confusion: 0.14,
+    });
+
+    // --- 5: Nest-E (thermostat, Google) ---
+    devices.push(DeviceModel {
+        name: "Nest-E".to_string(),
+        kind: DeviceKind::Thermostat,
+        endpoint_base: 250,
+        control_flows: vec![
+            // Sparser control than speakers: fewer, slower flows.
+            flow("nest-weave.google.com", Direction::FromDevice, 131, 120, 0, 1),
+            flow("nest-weave.google.com", Direction::ToDevice, 144, 120, 0, 1),
+            udp_flow("time.google.com", 76, 540),
+        ],
+        // The hourly quirk: motion sensor / phone-presence chatter with
+        // second-scale irregular intervals (§3.2).
+        control_events: Some((
+            telemetry_burst(
+                "nest-telemetry.google.com",
+                (4, 8),
+                vec![152, 297, 430],
+                TlsVersion::Tls12,
+                (1500, 4500),
+            ),
+            24.0,
+        )),
+        automated: Some(EventShape {
+            size_jitter: 0,
+            ..burst(
+                "nest-schedule.google.com",
+                (2, 4),
+                vec![188],
+                TlsVersion::Tls12,
+                (80, 500),
+                None,
+            )
+        }),
+        manual: Some(EventShape {
+            size_jitter: 0, // the rule keys on the exact 267 B notification
+            ..burst(
+                "nest-app.google.com",
+                (2, 3),
+                vec![267],
+                TlsVersion::Tls12,
+                (50, 300),
+                None,
+            )
+        }),
+        min_packets_to_complete: 1,
+        simple_rule_size: Some(267),
+        confusion: 0.0,
+    });
+
+    // --- 6: Echo Dot 3 (smart speaker, Amazon) ---
+    devices.push(DeviceModel {
+        name: "EchoDot3".to_string(),
+        kind: DeviceKind::SmartSpeaker,
+        endpoint_base: 300,
+        control_flows: vec![
+            flow("avs.amazon.com", Direction::FromDevice, 66, 30, 0, 2),
+            flow("avs.amazon.com", Direction::ToDevice, 123, 30, 0, 2),
+            flow("device-metrics.amazon.com", Direction::FromDevice, 489, 300, 4, 2),
+            udp_flow("ntp.amazon.com", 76, 480),
+        ],
+        control_events: Some((
+            telemetry_burst(
+                "todo-ta.amazon.com",
+                (3, 8),
+                vec![214, 318],
+                TlsVersion::Tls12,
+                (100, 900),
+            ),
+            6.0,
+        )),
+        automated: Some(burst(
+            "alexa-routines.amazon.com",
+            (3, 5),
+            vec![188, 346],
+            TlsVersion::Tls12,
+            (60, 450),
+            Some(StreamTail {
+                n: (18, 30),
+                size: 640,
+                iat_ms: 120,
+            }),
+        )),
+        manual: Some(burst(
+            "alexa-mobile.amazon.com",
+            (8, 22),
+            vec![151, 412, 803, 1248],
+            TlsVersion::Tls13,
+            (20, 350),
+            None,
+        )),
+        min_packets_to_complete: 5,
+        simple_rule_size: None,
+        confusion: 0.05,
+    });
+
+    // --- 7: E4 Mop Robot (robot vacuum, Roborock) ---
+    devices.push(DeviceModel {
+        name: "E4".to_string(),
+        kind: DeviceKind::RobotVacuum,
+        endpoint_base: 350,
+        control_flows: vec![
+            flow("api.roborock.com", Direction::FromDevice, 120, 90, 0, 1),
+            flow("api.roborock.com", Direction::ToDevice, 133, 90, 0, 1),
+        ],
+        control_events: Some((
+            telemetry_burst(
+                "ota.roborock.com",
+                (4, 9),
+                vec![261, 390, 515],
+                TlsVersion::Tls12,
+                (90, 800),
+            ),
+            4.0,
+        )),
+        automated: Some(burst(
+            "sched.roborock.com",
+            (4, 8),
+            vec![284, 462, 671],
+            TlsVersion::Tls12,
+            (50, 500),
+            Some(StreamTail {
+                n: (16, 26),
+                size: 512,
+                iat_ms: 200,
+            }),
+        )),
+        manual: Some(burst(
+            "app.roborock.com",
+            (6, 20),
+            vec![297, 489, 702],
+            TlsVersion::Tls13,
+            (40, 450),
+            None,
+        )),
+        min_packets_to_complete: 4,
+        simple_rule_size: None,
+        confusion: 0.10,
+    });
+
+    // --- 8: Blink Camera (camera, Amazon) ---
+    devices.push(DeviceModel {
+        name: "Blink".to_string(),
+        kind: DeviceKind::Camera,
+        endpoint_base: 400,
+        control_flows: vec![
+            flow("rest-prod.immedia-semi.com", Direction::FromDevice, 95, 45, 0, 1),
+            flow("rest-prod.immedia-semi.com", Direction::ToDevice, 104, 45, 0, 1),
+            udp_flow("stun.immedia-semi.com", 98, 300),
+        ],
+        control_events: Some((
+            telemetry_burst(
+                "logs.immedia-semi.com",
+                (3, 6),
+                vec![244, 361],
+                TlsVersion::Tls12,
+                (150, 900),
+            ),
+            4.0,
+        )),
+        automated: Some(EventShape {
+            n_packets: (3, 5),
+            first_direction: Direction::ToDevice,
+            transport: Transport::Udp,
+            tls: TlsVersion::None,
+            sizes: vec![219, 398],
+            size_jitter: 15,
+            iat_ms: (50, 400),
+            first_flags: TcpFlags::default(),
+            domain: "upload.immedia-semi.com".to_string(),
+            stream: Some(StreamTail {
+                n: (20, 35),
+                size: 1180,
+                iat_ms: 45,
+            }),
+        }),
+        manual: Some(EventShape {
+            n_packets: (7, 12),
+            first_direction: Direction::ToDevice,
+            transport: Transport::Tcp,
+            tls: TlsVersion::Tls12,
+            sizes: vec![205, 334, 528],
+            size_jitter: 20,
+            iat_ms: (30, 300),
+            first_flags: TcpFlags::psh_ack(),
+            domain: "relay.immedia-semi.com".to_string(),
+            stream: Some(StreamTail {
+                n: (15, 26),
+                size: 1352,
+                iat_ms: 35,
+            }),
+        }),
+        min_packets_to_complete: 30,
+        simple_rule_size: None,
+        confusion: 0.02,
+    });
+
+    // --- 9: WP3 (smart plug, Gosund) ---
+    devices.push(smart_plug("WP3", 450, "gosund.com", 235));
+
+    devices
+}
+
+/// Smart plug model: one keep-alive flow; two-packet fixed-size commands
+/// (manual and automated identical on the wire — the simple size rule and
+/// humanness validation tell them apart).
+fn smart_plug(
+    name: &'static str,
+    endpoint_base: u16,
+    domain: &'static str,
+    command_size: u16,
+) -> DeviceModel {
+    // Events leak the vendor domain through the relay.
+    let relay: &'static str = match endpoint_base {
+        150 => "relay.teckin.com",
+        _ => "relay.gosund.com",
+    };
+    let keepalive: &'static str = domain;
+    DeviceModel {
+        name: name.to_string(),
+        kind: DeviceKind::SmartPlug,
+        endpoint_base,
+        control_flows: vec![
+            PeriodicFlow {
+                domain: keepalive.to_string(),
+                direction: Direction::FromDevice,
+                transport: Transport::Tcp,
+                size: 60,
+                period: SimDuration::from_secs(60),
+                jitter_ms: 30,
+                port_churn_every: 0,
+                replica_ips: 1,
+                tls: TlsVersion::Tls10,
+            },
+            PeriodicFlow {
+                domain: keepalive.to_string(),
+                direction: Direction::ToDevice,
+                transport: Transport::Tcp,
+                size: 66,
+                period: SimDuration::from_secs(60),
+                jitter_ms: 30,
+                port_churn_every: 0,
+                replica_ips: 1,
+                tls: TlsVersion::Tls10,
+            },
+        ],
+        control_events: None,
+        automated: Some(EventShape {
+            n_packets: (2, 2),
+            first_direction: Direction::ToDevice,
+            transport: Transport::Tcp,
+            tls: TlsVersion::Tls12,
+            sizes: vec![command_size - 8],
+            size_jitter: 0,
+            iat_ms: (30, 150),
+            first_flags: TcpFlags::psh_ack(),
+            domain: relay.to_string(),
+            stream: None,
+        }),
+        manual: Some(EventShape {
+            n_packets: (2, 2),
+            first_direction: Direction::ToDevice,
+            transport: Transport::Tcp,
+            tls: TlsVersion::Tls12,
+            sizes: vec![command_size],
+            size_jitter: 0,
+            iat_ms: (30, 150),
+            first_flags: TcpFlags::psh_ack(),
+            domain: relay.to_string(),
+            stream: None,
+        }),
+        min_packets_to_complete: 1,
+        simple_rule_size: Some(command_size),
+        confusion: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_devices_in_table_order() {
+        let d = testbed_devices();
+        assert_eq!(d.len(), 10);
+        let names: Vec<&str> = d.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "EchoDot4", "HomeMini", "WyzeCam", "SP10", "Home", "Nest-E", "EchoDot3", "E4",
+                "Blink", "WP3"
+            ]
+        );
+    }
+
+    #[test]
+    fn simple_rule_devices_match_paper() {
+        let d = testbed_devices();
+        let simple: Vec<&str> = d
+            .iter()
+            .filter(|m| m.uses_simple_rule())
+            .map(|m| m.name.as_str())
+            .collect();
+        assert_eq!(simple, vec!["SP10", "Nest-E", "WP3"]);
+    }
+
+    #[test]
+    fn command_completion_thresholds() {
+        let d = testbed_devices();
+        let n: std::collections::HashMap<&str, usize> = d
+            .iter()
+            .map(|m| (m.name.as_str(), m.min_packets_to_complete))
+            .collect();
+        // §3.3: N ranges from 1 (SP10, WP3) to 41 (WyzeCam).
+        assert_eq!(n["SP10"], 1);
+        assert_eq!(n["WP3"], 1);
+        assert_eq!(n["WyzeCam"], 41);
+        assert!(d.iter().all(|m| (1..=41).contains(&m.min_packets_to_complete)));
+    }
+
+    #[test]
+    fn generation_produces_all_classes() {
+        let cfg = TestbedConfig {
+            days: 0.25,
+            seed: 1,
+            ..Default::default()
+        };
+        let tb = TestbedTrace::generate(cfg);
+        assert!(!tb.trace.is_empty());
+        assert_eq!(tb.trace.devices().len(), 10);
+        // Packets are time ordered.
+        assert!(tb
+            .trace
+            .packets
+            .windows(2)
+            .all(|w| w[0].ts <= w[1].ts));
+        // Every device has control traffic; most have manual events.
+        for dev in 0..10 {
+            assert!(
+                tb.trace.count_labeled(dev, TrafficClass::Control) > 0,
+                "device {dev} lacks control traffic"
+            );
+        }
+        let manual_events = tb
+            .events
+            .iter()
+            .filter(|e| e.class == TrafficClass::Manual)
+            .count();
+        assert!(manual_events > 0);
+    }
+
+    #[test]
+    fn events_respect_min_gap_per_device() {
+        let tb = TestbedTrace::generate(TestbedConfig {
+            days: 0.5,
+            seed: 2,
+            ..Default::default()
+        });
+        for dev in 0..10u16 {
+            let mut starts: Vec<SimTime> =
+                tb.device_events(dev).map(|e| e.start).collect();
+            starts.sort();
+            for w in starts.windows(2) {
+                assert!(
+                    (w[1] - w[0]) > SimDuration::from_secs(29),
+                    "device {dev}: events too close: {} vs {}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let cfg = TestbedConfig {
+            days: 0.1,
+            seed: 3,
+            ..Default::default()
+        };
+        let a = TestbedTrace::generate(cfg.clone());
+        let b = TestbedTrace::generate(cfg);
+        assert_eq!(a.trace.len(), b.trace.len());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.trace.packets, b.trace.packets);
+    }
+
+    #[test]
+    fn plug_usage_exceeds_mop_usage() {
+        let tb = TestbedTrace::generate(TestbedConfig {
+            days: 2.0,
+            seed: 4,
+            ..Default::default()
+        });
+        let plug_manual = tb
+            .device_events(3)
+            .filter(|e| e.class == TrafficClass::Manual)
+            .count();
+        let mop_manual = tb
+            .device_events(7)
+            .filter(|e| e.class == TrafficClass::Manual)
+            .count();
+        assert!(
+            plug_manual > 2 * mop_manual,
+            "plug {plug_manual} vs mop {mop_manual}"
+        );
+    }
+
+    #[test]
+    fn locations_shift_endpoints_not_structure() {
+        let mk = |loc| {
+            TestbedTrace::generate(TestbedConfig {
+                days: 0.1,
+                seed: 5,
+                location: loc,
+                ..Default::default()
+            })
+        };
+        let us = mk(Location::Us);
+        let jp = mk(Location::Japan);
+        // Same packet counts (same seeds drive the same schedule)...
+        assert_eq!(us.trace.len(), jp.trace.len());
+        // ...but disjoint cloud IPs.
+        let us_ip = us.trace.packets[0].remote_ip.octets()[0];
+        let jp_ip = jp.trace.packets[0].remote_ip.octets()[0];
+        assert_ne!(us_ip, jp_ip);
+    }
+}

@@ -1,0 +1,91 @@
+//! §7 "Road to Production": a new device joins the home; FIAT identifies
+//! it passively from an hour of traffic and pulls the right classifier
+//! from the model registry — no manual configuration.
+//!
+//! Run: `cargo run --release --example device_identification`
+
+use fiat::core::classifier::event_dataset;
+use fiat::core::identify::{DeviceIdentifier, ModelRegistry};
+use fiat::prelude::*;
+
+fn window(c: &TestbedTrace, device: u16, start_min: u64) -> Vec<PacketRecord> {
+    let lo = SimTime::ZERO + SimDuration::from_mins(start_min);
+    let hi = lo + SimDuration::from_mins(60);
+    c.trace
+        .packets
+        .iter()
+        .filter(|p| p.device == device && p.ts >= lo && p.ts < hi)
+        .cloned()
+        .collect()
+}
+
+fn main() {
+    // The vendor-side lab: captures of known device types, used to train
+    // both the identifier and the per-type event classifiers.
+    let lab = TestbedTrace::generate(TestbedConfig {
+        days: 3.0,
+        seed: 31,
+        manual_per_day: 6.0,
+        ..Default::default()
+    });
+    let mut samples = Vec::new();
+    for (i, dev) in lab.devices.iter().enumerate() {
+        for start in [0u64, 60, 120] {
+            samples.push((dev.name.clone(), window(&lab, i as u16, start)));
+        }
+    }
+    let identifier = DeviceIdentifier::train(&samples, &lab.trace.dns);
+    println!("identifier knows {} device types", identifier.known_devices().len());
+
+    // Publish one classifier model per device type (version 1), with a
+    // version-2 refresh for the plugs.
+    let engine = PredictabilityEngine::new(FlowDef::PortLess);
+    let flags = engine.analyze(&lab.trace.packets, &lab.trace.dns);
+    let events = group_events(&lab.trace.packets, &flags, EVENT_GAP);
+    let mut registry = ModelRegistry::new();
+    for (i, dev) in lab.devices.iter().enumerate() {
+        let model = match dev.simple_rule_size {
+            Some(size) => EventClassifier::simple_rule(size),
+            None => {
+                let evs: Vec<_> = events
+                    .iter()
+                    .filter(|e| e.device == i as u16)
+                    .cloned()
+                    .collect();
+                EventClassifier::train_bernoulli(&event_dataset(&evs, &lab.trace.packets))
+            }
+        };
+        registry.publish(dev.name.clone(), 1, model);
+    }
+    registry.publish("SP10", 2, EventClassifier::simple_rule(235));
+    println!("registry holds {} models", registry.len());
+
+    // A different household, a year later: fresh captures, same device
+    // types. Identify each and resolve its newest model.
+    let home = TestbedTrace::generate(TestbedConfig {
+        days: 1.0,
+        seed: 77,
+        ..Default::default()
+    });
+    println!("\n{:<10} {:<12} {}", "actual", "identified", "model");
+    let mut correct = 0;
+    for (i, dev) in home.devices.iter().enumerate() {
+        let w = window(&home, i as u16, 0);
+        match registry.resolve_for_capture(&identifier, &w, &home.trace.dns) {
+            Some((name, version, _)) => {
+                if name == dev.name {
+                    correct += 1;
+                }
+                println!("{:<10} {:<12} v{version}", dev.name, name);
+            }
+            None => println!("{:<10} {:<12} -", dev.name, "?"),
+        }
+    }
+    println!("\nidentified {correct}/10 devices correctly");
+    println!(
+        "(residual confusions are generation-level twins — Echo Dot 3 vs 4,\n\
+         Home vs Home Mini — which even the Mon(IoT)r dataset does not\n\
+         label apart; Appendix B of the paper notes the same.)"
+    );
+    assert!(correct >= 8, "identification accuracy too low");
+}

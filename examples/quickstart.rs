@@ -1,0 +1,109 @@
+//! Quickstart: the whole FIAT loop in one file.
+//!
+//! 1. Generate a labeled home-IoT capture (10 testbed devices).
+//! 2. Measure traffic predictability (the §2 heuristic).
+//! 3. Train per-device event classifiers.
+//! 4. Pair a phone app with the proxy and authorize a manual command
+//!    with real humanness evidence over 0-RTT.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use fiat::core::classifier::event_dataset;
+use fiat::prelude::*;
+
+fn main() {
+    // --- 1. A day of home traffic -------------------------------------
+    let capture = TestbedTrace::generate(TestbedConfig {
+        days: 1.0,
+        seed: 7,
+        ..Default::default()
+    });
+    println!(
+        "capture: {} packets from {} devices over {:.1} h",
+        capture.trace.len(),
+        capture.trace.devices().len(),
+        capture.trace.duration().as_secs_f64() / 3600.0
+    );
+
+    // --- 2. Predictability --------------------------------------------
+    let engine = PredictabilityEngine::new(FlowDef::PortLess);
+    let report = engine.report(&capture.trace.packets, &capture.trace.dns);
+    println!("\nper-device control-traffic predictability (PortLess):");
+    for (i, dev) in capture.devices.iter().enumerate() {
+        println!(
+            "  {:<10} {:>5.1}%",
+            dev.name,
+            report.fraction(i as u16, TrafficClass::Control) * 100.0
+        );
+    }
+
+    // --- 3. Event classification --------------------------------------
+    let events = group_events(&capture.trace.packets, &report.flags, EVENT_GAP);
+    println!("\n{} unpredictable events grouped (5 s gap rule)", events.len());
+    let dev0_events: Vec<_> = events.iter().filter(|e| e.device == 0).cloned().collect();
+    let data = event_dataset(&dev0_events, &capture.trace.packets);
+    let _classifier = EventClassifier::train_bernoulli(&data);
+    println!(
+        "trained BernoulliNB for {} on {} events / {} features",
+        capture.devices[0].name,
+        data.len(),
+        data.n_features()
+    );
+
+    // --- 4. Frictionless authorization ---------------------------------
+    let ceremony = [0x42u8; 32]; // the QR code scanned at install time
+    // A deterministic validator keeps the demo reproducible.
+    let validator = HumannessValidator::with_operating_point(1.0, 1.0, 1);
+    let mut proxy = fiat::core::FiatProxy::new(ProxyConfig::default(), &ceremony, validator);
+    proxy.set_dns(capture.trace.dns.clone());
+    for (i, dev) in capture.devices.iter().enumerate() {
+        let clf = match dev.simple_rule_size {
+            Some(size) => EventClassifier::simple_rule(size),
+            None => EventClassifier::train_bernoulli(&data),
+        };
+        proxy.register_device(i as u16, clf, dev.min_packets_to_complete);
+    }
+    proxy.start(SimTime::ZERO);
+
+    // Bootstrap on the first 20 minutes of the capture.
+    let bootstrap_end = SimTime::ZERO + SimDuration::from_mins(20);
+    let mut fed = 0;
+    for p in &capture.trace.packets {
+        if p.ts >= bootstrap_end {
+            break;
+        }
+        proxy.on_packet(p);
+        fed += 1;
+    }
+    println!("\nbootstrap: fed {fed} packets");
+
+    // The user opens the smart-plug app and taps "on": the FIAT app ships
+    // signed IMU evidence, then the 235 B command arrives.
+    let mut app = FiatApp::new(&ceremony, 9);
+    let hello = app.handshake_request();
+    let sh = proxy.accept_handshake(&hello);
+    app.complete_handshake(&sh).unwrap();
+
+    let t = bootstrap_end + SimDuration::from_secs(60);
+    let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 3);
+    let evidence = app
+        .authorize_zero_rtt("com.teckin.smartplug", &imu, MotionKind::HumanTouch, t.as_micros())
+        .unwrap();
+    let verified = proxy.on_auth_zero_rtt(&evidence, t).unwrap();
+    println!("humanness evidence verified: {verified}");
+
+    let mut command = capture.trace.packets[0].clone();
+    command.device = 3; // SP10
+    command.size = 235;
+    command.ts = t + SimDuration::from_millis(400);
+    let decision = proxy.on_packet(&command);
+    println!("plug command decision: {decision:?}");
+    assert!(decision.is_allow(), "human-backed command must pass");
+
+    // The same command an hour later, with no human behind it: dropped.
+    command.ts = t + SimDuration::from_mins(60);
+    let decision = proxy.on_packet(&command);
+    println!("attacker command decision: {decision:?}");
+    assert!(!decision.is_allow(), "unverified manual command must drop");
+    println!("\naudit log: {} entries, chain valid: {}", proxy.audit().len(), proxy.audit().verify());
+}

@@ -1,0 +1,189 @@
+//! Cross-crate integration: capture generation → predictability analysis
+//! → classifier training → live proxy enforcement → audit.
+
+use fiat::core::classifier::event_dataset;
+use fiat::core::FiatProxy;
+use fiat::prelude::*;
+
+const CEREMONY: [u8; 32] = [0x10; 32];
+
+fn trained_proxy(train_seed: u64, validator: HumannessValidator) -> (FiatProxy, TestbedTrace) {
+    let train = TestbedTrace::generate(TestbedConfig {
+        days: 2.0,
+        seed: train_seed,
+        manual_per_day: 6.0,
+        ..Default::default()
+    });
+    let engine = PredictabilityEngine::new(FlowDef::PortLess);
+    let flags = engine.analyze(&train.trace.packets, &train.trace.dns);
+    let events = group_events(&train.trace.packets, &flags, EVENT_GAP);
+    let mut proxy = FiatProxy::new(ProxyConfig::default(), &CEREMONY, validator);
+    for (i, dev) in train.devices.iter().enumerate() {
+        let clf = match dev.simple_rule_size {
+            Some(size) => EventClassifier::simple_rule(size),
+            None => {
+                let evs: Vec<_> = events
+                    .iter()
+                    .filter(|e| e.device == i as u16)
+                    .cloned()
+                    .collect();
+                EventClassifier::train_bernoulli(&event_dataset(&evs, &train.trace.packets))
+            }
+        };
+        proxy.register_device(i as u16, clf, dev.min_packets_to_complete);
+    }
+    (proxy, train)
+}
+
+#[test]
+fn full_day_enforcement_allows_control_traffic() {
+    let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+    let (mut proxy, _) = trained_proxy(1, validator);
+    let day = TestbedTrace::generate(TestbedConfig {
+        days: 0.5,
+        seed: 2,
+        ..Default::default()
+    });
+    proxy.set_dns(day.trace.dns.clone());
+    proxy.start(SimTime::ZERO);
+
+    let mut control_total = 0u64;
+    let mut control_dropped = 0u64;
+    for p in &day.trace.packets {
+        let d = proxy.on_packet(p);
+        if p.label == TrafficClass::Control {
+            control_total += 1;
+            if !d.is_allow() {
+                control_dropped += 1;
+            }
+        }
+    }
+    let drop_rate = control_dropped as f64 / control_total as f64;
+    assert!(
+        drop_rate < 0.01,
+        "control traffic drop rate {drop_rate:.4} ({control_dropped}/{control_total})"
+    );
+    assert!(proxy.rule_count() > 10, "rules: {}", proxy.rule_count());
+    assert!(proxy.audit().verify());
+}
+
+#[test]
+fn attacks_without_evidence_are_blocked() {
+    let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+    let (mut proxy, _) = trained_proxy(3, validator);
+    let day = TestbedTrace::generate(TestbedConfig {
+        days: 0.5,
+        seed: 4,
+        confusion_scale: 0.15,
+        ..Default::default()
+    });
+    proxy.set_dns(day.trace.dns.clone());
+    proxy.start(SimTime::ZERO);
+
+    let bootstrap_end = SimTime::ZERO + SimDuration::from_mins(20);
+    let mut manual_events = 0u64;
+    let mut manual_blocked = 0u64;
+    let mut blocked_spans: Vec<(u16, SimTime)> = Vec::new();
+    for p in &day.trace.packets {
+        let d = proxy.on_packet(p);
+        if !d.is_allow() {
+            blocked_spans.push((p.device, p.ts));
+        }
+    }
+    for gt in &day.events {
+        if gt.class != TrafficClass::Manual || gt.start < bootstrap_end {
+            continue;
+        }
+        manual_events += 1;
+        let hit = blocked_spans.iter().any(|(dev, ts)| {
+            *dev == gt.device
+                && *ts >= gt.start
+                && *ts <= gt.start + SimDuration::from_secs(25)
+        });
+        if hit {
+            manual_blocked += 1;
+        }
+    }
+    assert!(manual_events >= 5, "not enough manual events: {manual_events}");
+    let block_rate = manual_blocked as f64 / manual_events as f64;
+    assert!(
+        block_rate > 0.85,
+        "only {manual_blocked}/{manual_events} unauthorized manual events blocked"
+    );
+}
+
+#[test]
+fn portless_beats_classic_on_the_testbed() {
+    let capture = TestbedTrace::generate(TestbedConfig {
+        days: 0.5,
+        seed: 5,
+        ..Default::default()
+    });
+    let frac = |def: FlowDef| {
+        let flags =
+            PredictabilityEngine::new(def).analyze(&capture.trace.packets, &capture.trace.dns);
+        flags.iter().filter(|&&f| f).count() as f64 / flags.len() as f64
+    };
+    let portless = frac(FlowDef::PortLess);
+    let classic = frac(FlowDef::Classic);
+    assert!(
+        portless > classic,
+        "PortLess {portless:.3} <= Classic {classic:.3}"
+    );
+    assert!(portless > 0.8, "PortLess fraction {portless:.3}");
+}
+
+#[test]
+fn trained_humanness_validator_works_end_to_end() {
+    // The fully-trained (not calibrated) validator in the real pipeline.
+    let (validator, report) = HumannessValidator::train(60, 9);
+    assert!(report.recall_human > 0.9);
+    let (mut proxy, _) = trained_proxy(6, validator);
+    proxy.start(SimTime::ZERO);
+
+    let mut app = FiatApp::new(&CEREMONY, 1);
+    let hello = app.handshake_request();
+    let sh = proxy.accept_handshake(&hello);
+    app.complete_handshake(&sh).unwrap();
+
+    let t = SimTime::ZERO + SimDuration::from_mins(25);
+    // Real human motion: verified.
+    let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 700, 100);
+    let z = app
+        .authorize_zero_rtt("app", &imu, MotionKind::HumanTouch, t.as_micros())
+        .unwrap();
+    assert_eq!(proxy.on_auth_zero_rtt(&z, t).unwrap(), true);
+
+    // Synthetic sway injected by an attacker: rejected.
+    let sway = ImuTrace::synthesize(MotionKind::SyntheticSway, 700, 101);
+    let z = app
+        .authorize_zero_rtt("app", &sway, MotionKind::SyntheticSway, t.as_micros() + 1)
+        .unwrap();
+    assert_eq!(
+        proxy
+            .on_auth_zero_rtt(&z, t + SimDuration::from_secs(40))
+            .unwrap(),
+        false
+    );
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    // The same seeds must produce bit-identical audit trails.
+    let run = || {
+        let validator = HumannessValidator::with_operating_point(0.9, 0.9, 7);
+        let (mut proxy, _) = trained_proxy(8, validator);
+        let day = TestbedTrace::generate(TestbedConfig {
+            days: 0.25,
+            seed: 9,
+            ..Default::default()
+        });
+        proxy.set_dns(day.trace.dns.clone());
+        proxy.start(SimTime::ZERO);
+        for p in &day.trace.packets {
+            proxy.on_packet(p);
+        }
+        proxy.audit().head()
+    };
+    assert_eq!(run(), run());
+}

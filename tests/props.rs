@@ -1,0 +1,221 @@
+//! Property-based tests on the core invariants, via proptest.
+
+use fiat::core::analysis::ErrorModel;
+use fiat::core::{group_events, PredictabilityEngine};
+use fiat::crypto::{open, seal};
+use fiat::ml::data::{fold_complement, stratified_kfold};
+use fiat::ml::StandardScaler;
+use fiat::net::{
+    Direction, DnsTable, FlowDef, PacketRecord, SimDuration, SimTime, TcpFlags, TlsVersion,
+    TrafficClass, Transport,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+
+fn pkt(ts_us: u64, size: u16, port: u16) -> PacketRecord {
+    PacketRecord {
+        ts: SimTime::from_micros(ts_us),
+        device: 0,
+        direction: Direction::FromDevice,
+        local_ip: Ipv4Addr::new(192, 168, 1, 2),
+        remote_ip: Ipv4Addr::new(34, 9, 9, 9),
+        local_port: port,
+        remote_port: 443,
+        transport: Transport::Tcp,
+        tcp_flags: TcpFlags::ack(),
+        tls: TlsVersion::None,
+        size,
+        label: TrafficClass::Control,
+    }
+}
+
+proptest! {
+    /// AEAD: whatever the key, nonce, AAD, and payload, open(seal(x)) == x,
+    /// and any single-byte corruption is rejected.
+    #[test]
+    fn aead_roundtrip_and_tamper(
+        key in prop::array::uniform32(any::<u8>()),
+        nonce in prop::array::uniform12(any::<u8>()),
+        aad in prop::collection::vec(any::<u8>(), 0..64),
+        data in prop::collection::vec(any::<u8>(), 0..512),
+        flip in any::<usize>(),
+    ) {
+        let sealed = seal(&key, &nonce, &aad, &data);
+        prop_assert_eq!(open(&key, &nonce, &aad, &sealed).unwrap(), data);
+        let mut bad = sealed.clone();
+        let i = flip % bad.len();
+        bad[i] ^= 0x01;
+        prop_assert!(open(&key, &nonce, &aad, &bad).is_err());
+    }
+
+    /// Any strictly periodic flow with >= 3 packets is fully predictable,
+    /// whatever its period and size.
+    #[test]
+    fn periodic_flows_always_predictable(
+        period_us in 1_000u64..600_000_000,
+        n in 3usize..40,
+        size in 40u16..1500,
+    ) {
+        let packets: Vec<PacketRecord> =
+            (0..n).map(|i| pkt(i as u64 * period_us, size, 40_000)).collect();
+        let engine = PredictabilityEngine::new(FlowDef::PortLess);
+        let flags = engine.analyze(&packets, &DnsTable::new());
+        prop_assert!(flags.iter().all(|&f| f));
+    }
+
+    /// Two-packet buckets are never predictable (there is nothing for the
+    /// single interval to match).
+    #[test]
+    fn two_packet_buckets_never_predictable(
+        gap_us in 1u64..1_000_000_000,
+        size in 40u16..1500,
+    ) {
+        let packets = vec![pkt(0, size, 40_000), pkt(gap_us, size, 40_000)];
+        let engine = PredictabilityEngine::new(FlowDef::PortLess);
+        let flags = engine.analyze(&packets, &DnsTable::new());
+        prop_assert!(flags.iter().all(|&f| !f));
+    }
+
+    /// Event grouping partitions exactly the unpredictable packets: every
+    /// unpredictable index appears in exactly one event, predictable
+    /// indices in none, and intra-event gaps stay below the threshold.
+    #[test]
+    fn event_grouping_is_a_partition(
+        ts in prop::collection::vec(0u64..200_000_000, 1..80),
+        gap_ms in 100u64..20_000,
+    ) {
+        let mut ts = ts;
+        ts.sort_unstable();
+        let packets: Vec<PacketRecord> =
+            ts.iter().map(|&t| pkt(t, 100, 40_000)).collect();
+        // Arbitrary flags: mark every third packet predictable.
+        let flags: Vec<bool> = (0..packets.len()).map(|i| i % 3 == 0).collect();
+        let gap = SimDuration::from_millis(gap_ms);
+        let events = group_events(&packets, &flags, gap);
+
+        let mut seen = vec![0u32; packets.len()];
+        for e in &events {
+            prop_assert!(!e.is_empty());
+            for &i in &e.packets {
+                seen[i] += 1;
+                prop_assert!(!flags[i], "predictable packet grouped");
+            }
+            // Gaps within an event are < gap.
+            for w in e.packets.windows(2) {
+                prop_assert!(packets[w[1]].ts - packets[w[0]].ts < gap);
+            }
+            prop_assert_eq!(e.start, packets[e.packets[0]].ts);
+            prop_assert_eq!(e.end, packets[*e.packets.last().unwrap()].ts);
+        }
+        for (i, &count) in seen.iter().enumerate() {
+            prop_assert_eq!(count, u32::from(!flags[i]), "index {}", i);
+        }
+    }
+
+    /// Stratified k-fold always partitions the sample indices and keeps
+    /// per-fold class counts within 1 of each other.
+    #[test]
+    fn stratified_kfold_partitions(
+        labels in prop::collection::vec(0usize..4, 10..100),
+        k in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let folds = stratified_kfold(&labels, k, seed);
+        prop_assert_eq!(folds.len(), k);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..labels.len()).collect::<Vec<_>>());
+        // Class balance within 1 across folds.
+        for class in 0..4 {
+            let counts: Vec<usize> = folds
+                .iter()
+                .map(|f| f.iter().filter(|&&i| labels[i] == class).count())
+                .collect();
+            let min = counts.iter().min().unwrap();
+            let max = counts.iter().max().unwrap();
+            prop_assert!(max - min <= 1, "class {} counts {:?}", class, counts);
+        }
+        // Complement really is the complement.
+        let comp = fold_complement(&folds[0], labels.len());
+        prop_assert_eq!(comp.len() + folds[0].len(), labels.len());
+    }
+
+    /// StandardScaler output always has ~zero mean and unit (or zero)
+    /// variance per feature.
+    #[test]
+    fn scaler_normalizes(
+        rows in prop::collection::vec(
+            prop::collection::vec(-1e6f64..1e6, 3), 2..50),
+    ) {
+        let (_, t) = StandardScaler::fit_transform(&rows);
+        for j in 0..3 {
+            let n = t.len() as f64;
+            let mean: f64 = t.iter().map(|r| r[j]).sum::<f64>() / n;
+            let var: f64 = t.iter().map(|r| (r[j] - mean).powi(2)).sum::<f64>() / n;
+            prop_assert!(mean.abs() < 1e-6, "mean {}", mean);
+            prop_assert!(var < 1.0 + 1e-6, "var {}", var);
+            // Variance is either ~1 (varying feature) or ~0 (constant).
+            prop_assert!((var - 1.0).abs() < 1e-6 || var < 1e-9, "var {}", var);
+        }
+    }
+
+    /// Appendix A closed forms agree with a Monte-Carlo simulation of the
+    /// two-stage decision process.
+    #[test]
+    fn appendix_a_matches_monte_carlo(
+        r_manual in 0.5f64..1.0,
+        r_non_manual in 0.5f64..1.0,
+        r_human in 0.5f64..1.0,
+        r_non_human in 0.5f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let model = ErrorModel::new(r_manual, r_non_manual, r_human, r_non_human);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 60_000;
+        // FN: attacker manual events with non-human evidence.
+        let mut fn_count = 0u32;
+        for _ in 0..n {
+            let classified_manual = rng.gen_range(0.0..1.0) < r_manual;
+            if !classified_manual {
+                fn_count += 1; // misclassified -> allowed
+            } else {
+                let validated_human = rng.gen_range(0.0..1.0) >= r_non_human;
+                if validated_human {
+                    fn_count += 1; // mis-validated -> allowed
+                }
+            }
+        }
+        let mc_fn = fn_count as f64 / n as f64;
+        prop_assert!((mc_fn - model.false_negative()).abs() < 0.02,
+            "MC {} vs analytic {}", mc_fn, model.false_negative());
+
+        // FP-M: legit manual events with human evidence.
+        let mut fpm = 0u32;
+        for _ in 0..n {
+            let classified_manual = rng.gen_range(0.0..1.0) < r_manual;
+            if classified_manual {
+                let validated_human = rng.gen_range(0.0..1.0) < r_human;
+                if !validated_human {
+                    fpm += 1;
+                }
+            }
+        }
+        let mc_fpm = fpm as f64 / n as f64;
+        prop_assert!((mc_fpm - model.fp_manual()).abs() < 0.02,
+            "MC {} vs analytic {}", mc_fpm, model.fp_manual());
+    }
+
+    /// SimTime arithmetic: associativity-ish and saturating subtraction.
+    #[test]
+    fn simtime_arithmetic(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40, c in 0u64..1u64 << 40) {
+        let t = SimTime::from_micros(a);
+        let d1 = SimDuration::from_micros(b);
+        let d2 = SimDuration::from_micros(c);
+        prop_assert_eq!((t + d1) + d2, t + (d1 + d2));
+        prop_assert_eq!((t + d1) - t, d1);
+        // Saturation: subtracting a later time yields zero.
+        prop_assert_eq!(t - (t + d1 + SimDuration::from_micros(1)), SimDuration::ZERO);
+    }
+}
