@@ -121,9 +121,7 @@ fn ablation_firstn(c: &mut Criterion) {
         let mean_delay_ms: f64 = events
             .iter()
             .filter(|e| e.len() >= n)
-            .map(|e| {
-                (cap.trace.packets[e.packets[n - 1]].ts - e.start).as_millis_f64()
-            })
+            .map(|e| (cap.trace.packets[e.packets[n - 1]].ts - e.start).as_millis_f64())
             .sum::<f64>()
             / classified.max(1) as f64;
         println!(

@@ -9,8 +9,7 @@ use fiat_bench::ml_tables::ModelKind;
 use fiat_bench::table7::table7;
 use fiat_core::classifier::event_dataset;
 use fiat_core::{
-    group_events, EventClassifier, FiatApp, FiatProxy, PredictabilityEngine, ProxyConfig,
-    EVENT_GAP,
+    group_events, EventClassifier, FiatApp, FiatProxy, PredictabilityEngine, ProxyConfig, EVENT_GAP,
 };
 use fiat_ml::permutation::permutation_importance;
 use fiat_ml::{naive_bayes::BernoulliNB, Classifier, StandardScaler};

@@ -15,11 +15,15 @@
 //!
 //! Scale knobs: `--days N` (testbed capture length, default 8),
 //! `--seed N` (default 42). Output is plain text; every row is also
-//! mirrored to `results/<name>.txt` when `--save` is given.
+//! mirrored to `results/<name>.txt` when `--save` is given, along with a
+//! telemetry snapshot in `results/<name>_metrics.json` (harness timings
+//! for every experiment; full proxy decision-path metrics for those that
+//! drive a `FiatProxy`, e.g. table6).
 
 use fiat_bench::ml_tables::ModelKind;
 use fiat_bench::{fig1, fig2, ml_tables, table6, table7, tolerance};
 use fiat_core::ErrorModel;
+use fiat_telemetry::{MetricRegistry, Span, WallClock};
 use std::fmt::Write as _;
 
 struct Args {
@@ -110,7 +114,7 @@ fn appendixa_text() -> String {
     out
 }
 
-fn run_one(name: &str, args: &Args) -> Option<String> {
+fn run_one(name: &str, args: &Args, registry: &MetricRegistry) -> Option<String> {
     let days = args.days;
     let seed = args.seed;
     let text = match name {
@@ -149,7 +153,7 @@ fn run_one(name: &str, args: &Args) -> Option<String> {
         "table3" => ml_tables::table3_text(days, seed),
         "table4" => ml_tables::table4_text(days, seed, 50),
         "table5" => ml_tables::table5_text(days, seed),
-        "table6" => table6::table6_text(days.max(4.0), 2.0, seed),
+        "table6" => table6::table6_text_instrumented(days.max(4.0), 2.0, seed, Some(registry)),
         "table7" => table7::table7_text(200, seed),
         "tolerance" => tolerance::tolerance_text(),
         "appendixa" => appendixa_text(),
@@ -178,7 +182,10 @@ const ALL: [&str; 14] = [
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
-        eprintln!("usage: experiments <all|{}> [--days N] [--seed N] [--fast] [--save]", ALL.join("|"));
+        eprintln!(
+            "usage: experiments <all|{}> [--days N] [--seed N] [--fast] [--save]",
+            ALL.join("|")
+        );
         std::process::exit(2);
     };
     let args = parse_args(rest);
@@ -189,13 +196,37 @@ fn main() {
         vec![cmd.as_str()]
     };
     for name in names {
-        let Some(text) = run_one(name, &args) else {
+        // A fresh registry per experiment: harness timings plus whatever
+        // the experiment itself reports (table6 plumbs it into its
+        // proxies), snapshotted next to the text output.
+        let registry = MetricRegistry::new();
+        registry.describe(
+            "fiat_experiment_duration_us",
+            "Wall time of one experiment run.",
+        );
+        registry.describe(
+            "fiat_experiment_output_bytes",
+            "Size of the experiment's rendered text output.",
+        );
+        let clock = WallClock::new();
+        let duration = registry.histogram("fiat_experiment_duration_us", &[("experiment", name)]);
+        let span = Span::enter(&duration, &clock);
+        let Some(text) = run_one(name, &args, &registry) else {
             die(&format!("unknown experiment {name}"));
         };
+        span.exit();
+        registry
+            .gauge("fiat_experiment_output_bytes", &[("experiment", name)])
+            .set(text.len() as i64);
         println!("{text}");
         if args.save {
             std::fs::create_dir_all("results").expect("create results dir");
             std::fs::write(format!("results/{name}.txt"), &text).expect("write result");
+            std::fs::write(
+                format!("results/{name}_metrics.json"),
+                registry.render_json(),
+            )
+            .expect("write metrics snapshot");
         }
     }
 }

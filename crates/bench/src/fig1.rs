@@ -25,7 +25,11 @@ pub fn fig1a(seed: u64) -> String {
     }
     let mut out = String::new();
     writeln!(out, "# Fig 1(a): Bose SoundTouch 10 flows over 30 minutes").unwrap();
-    writeln!(out, "# flow(size B) | packets | first..last (s) | mean period (s)").unwrap();
+    writeln!(
+        out,
+        "# flow(size B) | packets | first..last (s) | mean period (s)"
+    )
+    .unwrap();
     for (size, ts) in &flows {
         let period = if ts.len() > 1 {
             (ts.last().unwrap() - ts.first().unwrap()) / (ts.len() - 1) as f64
@@ -76,10 +80,7 @@ pub fn fig1b(n_yt: usize, n_mon: usize, hours: u64, seed: u64) -> Fig1b {
     let mon = moniotr_like(n_mon, seed.wrapping_add(1));
     let mut series = Vec::new();
     for def in FlowDef::ALL {
-        let traces: Vec<(String, &Trace)> = yt
-            .iter()
-            .map(|d| (d.name.clone(), &d.trace))
-            .collect();
+        let traces: Vec<(String, &Trace)> = yt.iter().map(|d| (d.name.clone(), &d.trace)).collect();
         let mut fr = device_fractions(&traces, def);
         series.push((format!("YourThings-{def}"), cdf(&mut fr, 20)));
 
@@ -106,10 +107,22 @@ pub fn fig1b(n_yt: usize, n_mon: usize, hours: u64, seed: u64) -> Fig1b {
 pub fn fig1b_text(n_yt: usize, n_mon: usize, hours: u64, seed: u64) -> String {
     let f = fig1b(n_yt, n_mon, hours, seed);
     let mut out = String::new();
-    writeln!(out, "# Fig 1(b): CDF of predictable-traffic fraction across devices").unwrap();
+    writeln!(
+        out,
+        "# Fig 1(b): CDF of predictable-traffic fraction across devices"
+    )
+    .unwrap();
     for (name, pts) in &f.series {
-        let med = pts.iter().find(|(_, q)| *q >= 0.5).map(|(x, _)| *x).unwrap_or(0.0);
-        let p20 = pts.iter().find(|(_, q)| *q >= 0.2).map(|(x, _)| *x).unwrap_or(0.0);
+        let med = pts
+            .iter()
+            .find(|(_, q)| *q >= 0.5)
+            .map(|(x, _)| *x)
+            .unwrap_or(0.0);
+        let p20 = pts
+            .iter()
+            .find(|(_, q)| *q >= 0.2)
+            .map(|(x, _)| *x)
+            .unwrap_or(0.0);
         writeln!(
             out,
             "{name:<28} p20={p20:.3} median={med:.3} series={}",
@@ -140,7 +153,11 @@ pub fn fig1c(n_yt: usize, hours: u64, seed: u64) -> Vec<(f64, f64)> {
 pub fn fig1c_text(n_yt: usize, hours: u64, seed: u64) -> String {
     let c = fig1c(n_yt, hours, seed);
     let mut out = String::new();
-    writeln!(out, "# Fig 1(c): CDF of max interval of predictable flows (s)").unwrap();
+    writeln!(
+        out,
+        "# Fig 1(c): CDF of max interval of predictable flows (s)"
+    )
+    .unwrap();
     for q in [0.5, 0.8, 0.9, 0.95, 1.0] {
         if let Some((x, _)) = c.iter().find(|(_, cq)| *cq >= q) {
             writeln!(out, "p{:<3.0} = {x:>7.1} s", q * 100.0).unwrap();
@@ -246,7 +263,7 @@ mod tests {
             .iter()
             .filter(|(x, _)| *x <= 300.0)
             .map(|(_, q)| *q)
-            .last()
+            .next_back()
             .unwrap_or(0.0);
         assert!(within_5min >= 0.6, "within 5 min: {within_5min}");
     }

@@ -51,7 +51,12 @@ pub fn fig2_text(days: f64, seed: u64) -> String {
         "# Fig 2: per-device predictability by class (PortLess)"
     )
     .unwrap();
-    writeln!(out, "{:<10} {:>9} {:>10} {:>8}", "device", "control", "automated", "manual").unwrap();
+    writeln!(
+        out,
+        "{:<10} {:>9} {:>10} {:>8}",
+        "device", "control", "automated", "manual"
+    )
+    .unwrap();
     for r in &rows {
         writeln!(
             out,

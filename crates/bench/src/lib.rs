@@ -14,7 +14,7 @@ pub mod tolerance;
 
 /// Render a CDF over raw values as (x, cumulative fraction) pairs at the
 /// given percentile grid (e.g. every 5 %).
-pub fn cdf(values: &mut Vec<f64>, points: usize) -> Vec<(f64, f64)> {
+pub fn cdf(values: &mut [f64], points: usize) -> Vec<(f64, f64)> {
     values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     if values.is_empty() {
         return Vec::new();
@@ -30,7 +30,7 @@ pub fn cdf(values: &mut Vec<f64>, points: usize) -> Vec<(f64, f64)> {
 
 /// Weighted CDF: values with weights; returns (x, cumulative weight
 /// fraction) at each distinct value.
-pub fn weighted_cdf(pairs: &mut Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+pub fn weighted_cdf(pairs: &mut [(f64, f64)]) -> Vec<(f64, f64)> {
     pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
     let total: f64 = pairs.iter().map(|(_, w)| w).sum();
     if total == 0.0 {

@@ -99,9 +99,9 @@ impl ModelKind {
             ModelKind::RandomForest => {
                 cross_validate(data, k, seed, || RandomForest::new(50, 8, seed))
             }
-            ModelKind::KNearestNeighbors => {
-                cross_validate(data, k, seed, || KNearestNeighbors::new(5, Distance::Euclidean))
-            }
+            ModelKind::KNearestNeighbors => cross_validate(data, k, seed, || {
+                KNearestNeighbors::new(5, Distance::Euclidean)
+            }),
         }
     }
 }
@@ -114,7 +114,7 @@ pub fn table3_corpora(days: f64, seed: u64) -> Vec<DeviceEventCorpus> {
     for loc in Location::ALL {
         let all = build_event_corpus(loc, days, seed ^ (loc.ip_base() as u64), true);
         for c in all {
-            let nj = matches!(c.device, 0 | 1 | 2);
+            let nj = matches!(c.device, 0..=2);
             let il = matches!(c.device, 4 | 6 | 7 | 8);
             if nj || (il && loc == Location::Us) {
                 out.push(c);
@@ -126,7 +126,7 @@ pub fn table3_corpora(days: f64, seed: u64) -> Vec<DeviceEventCorpus> {
 
 /// Display name "Device-LOC" for NJ devices, bare name for IL ones.
 pub fn corpus_label(c: &DeviceEventCorpus) -> String {
-    if matches!(c.device, 0 | 1 | 2) {
+    if matches!(c.device, 0..=2) {
         format!("{}-{}", c.name, c.location.suffix())
     } else {
         c.name.clone()
@@ -134,20 +134,21 @@ pub fn corpus_label(c: &DeviceEventCorpus) -> String {
 }
 
 /// Table 2: mean balanced accuracy per model across all corpora. The
-/// (model × corpus) grid is embarrassingly parallel; crossbeam's scoped
-/// threads fan it out across cores (the MLP rows dominate otherwise).
+/// (model × corpus) grid is embarrassingly parallel; std scoped threads
+/// fan it out across cores (the MLP rows dominate otherwise).
 pub fn table2(days: f64, seed: u64, models: &[ModelKind]) -> Vec<(ModelKind, f64)> {
     let corpora = table3_corpora(days, seed);
-    let mut rows: Vec<(ModelKind, f64)> = crossbeam::thread::scope(|scope| {
+    let mut rows: Vec<(ModelKind, f64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = models
             .iter()
             .map(|&m| {
                 let corpora = &corpora;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mean: f64 = corpora
                         .iter()
                         .map(|c| {
-                            m.cross_validate(&c.dataset, 5, seed).mean_balanced_accuracy()
+                            m.cross_validate(&c.dataset, 5, seed)
+                                .mean_balanced_accuracy()
                         })
                         .sum::<f64>()
                         / corpora.len() as f64;
@@ -156,8 +157,7 @@ pub fn table2(days: f64, seed: u64, models: &[ModelKind]) -> Vec<(ModelKind, f64
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("table2 sweep threads");
+    });
     rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     rows
 }
@@ -274,7 +274,11 @@ pub fn table4(days: f64, seed: u64, n_repeats: usize) -> Vec<FeatureImportance> 
 pub fn table4_text(days: f64, seed: u64, n_repeats: usize) -> String {
     let imp = table4(days, seed, n_repeats);
     let mut out = String::new();
-    writeln!(out, "# Table 4: permutation importance (margin score), WyzeCam-DE, BernoulliNB").unwrap();
+    writeln!(
+        out,
+        "# Table 4: permutation importance (margin score), WyzeCam-DE, BernoulliNB"
+    )
+    .unwrap();
     for fi in imp.iter().take(5) {
         writeln!(out, "{:<18} {:.4}", fi.name, fi.importance).unwrap();
     }
@@ -331,7 +335,12 @@ fn train_test_f1<C: Classifier>(mut model: C, train: &Dataset, test: &Dataset) -
 pub fn table5(days: f64, seed: u64) -> Vec<Table5Row> {
     let mut corpora_by_loc = Vec::new();
     for loc in Location::ALL {
-        corpora_by_loc.push(build_event_corpus(loc, days, seed ^ (loc.ip_base() as u64), true));
+        corpora_by_loc.push(build_event_corpus(
+            loc,
+            days,
+            seed ^ (loc.ip_base() as u64),
+            true,
+        ));
     }
     let pairs = [
         (Location::Us, Location::Japan, "US-JP"),
@@ -369,8 +378,17 @@ pub fn table5(days: f64, seed: u64) -> Vec<Table5Row> {
 pub fn table5_text(days: f64, seed: u64) -> String {
     let rows = table5(days, seed);
     let mut out = String::new();
-    writeln!(out, "# Table 5: F1 score of cross-location transfer (manual class)").unwrap();
-    writeln!(out, "{:<10} {:<8} {:>7} {:>7}", "device", "transfer", "NCC", "BNB").unwrap();
+    writeln!(
+        out,
+        "# Table 5: F1 score of cross-location transfer (manual class)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<10} {:<8} {:>7} {:>7}",
+        "device", "transfer", "NCC", "BNB"
+    )
+    .unwrap();
     for r in rows {
         writeln!(
             out,
@@ -397,22 +415,34 @@ pub fn hyperparams_text(days: f64, seed: u64, include_mlp: bool) -> String {
         .expect("EchoDot4 corpus")
         .dataset;
     let mut out = String::new();
-    writeln!(out, "# §4.1 hyper-parameter exploration (balanced accuracy, 5-fold CV)").unwrap();
+    writeln!(
+        out,
+        "# §4.1 hyper-parameter exploration (balanced accuracy, 5-fold CV)"
+    )
+    .unwrap();
 
-    writeln!(out, "
-## Nearest Centroid distance").unwrap();
+    writeln!(
+        out,
+        "
+## Nearest Centroid distance"
+    )
+    .unwrap();
     for (name, d) in [
         ("euclidean", Distance::Euclidean),
         ("manhattan", Distance::Manhattan),
         ("chebyshev", Distance::Chebyshev),
     ] {
-        let acc = cross_validate(data, 5, seed, || NearestCentroid::new(d))
-            .mean_balanced_accuracy();
+        let acc =
+            cross_validate(data, 5, seed, || NearestCentroid::new(d)).mean_balanced_accuracy();
         writeln!(out, "NCC-{name:<10} {acc:.3}").unwrap();
     }
 
-    writeln!(out, "
-## k-NN (Euclidean)").unwrap();
+    writeln!(
+        out,
+        "
+## k-NN (Euclidean)"
+    )
+    .unwrap();
     for k in [3usize, 5, 7, 9, 11, 15] {
         let acc = cross_validate(data, 5, seed, || {
             KNearestNeighbors::new(k, Distance::Euclidean)
@@ -421,22 +451,28 @@ pub fn hyperparams_text(days: f64, seed: u64, include_mlp: bool) -> String {
         writeln!(out, "kNN k={k:<3} {acc:.3}").unwrap();
     }
 
-    writeln!(out, "
-## Decision tree depth").unwrap();
+    writeln!(
+        out,
+        "
+## Decision tree depth"
+    )
+    .unwrap();
     for depth in [2usize, 3, 4, 6, 8, 12] {
-        let acc = cross_validate(data, 5, seed, || DecisionTree::new(depth))
-            .mean_balanced_accuracy();
+        let acc =
+            cross_validate(data, 5, seed, || DecisionTree::new(depth)).mean_balanced_accuracy();
         writeln!(out, "tree depth={depth:<3} {acc:.3}").unwrap();
     }
 
     if include_mlp {
-        writeln!(out, "
-## MLP hidden layers (width 128)").unwrap();
+        writeln!(
+            out,
+            "
+## MLP hidden layers (width 128)"
+        )
+        .unwrap();
         for layers in [1usize, 2, 4, 8] {
-            let acc = cross_validate(data, 5, seed, || {
-                Mlp::new(vec![128; layers], 30, seed)
-            })
-            .mean_balanced_accuracy();
+            let acc = cross_validate(data, 5, seed, || Mlp::new(vec![128; layers], 30, seed))
+                .mean_balanced_accuracy();
             writeln!(out, "mlp layers={layers:<3} {acc:.3}").unwrap();
         }
     }
@@ -479,12 +515,7 @@ mod tests {
     fn table3_manual_f1_reasonable() {
         let rows = table3(DAYS, 11);
         for r in &rows {
-            assert!(
-                r.bnb.2 > 0.45,
-                "{}: BNB manual F1 {:.2}",
-                r.label,
-                r.bnb.2
-            );
+            assert!(r.bnb.2 > 0.45, "{}: BNB manual F1 {:.2}", r.label, r.bnb.2);
         }
         // Mean F1 across devices in the paper's ballpark (0.76-0.99).
         let mean: f64 = rows.iter().map(|r| r.bnb.2).sum::<f64>() / rows.len() as f64;
@@ -501,9 +532,7 @@ mod tests {
         // event *length*, which is excluded here.
         let ip_max = imp
             .iter()
-            .filter(|f| {
-                f.name.starts_with("pkt1-dst-ip") || f.name.starts_with("pkt2-dst-ip")
-            })
+            .filter(|f| f.name.starts_with("pkt1-dst-ip") || f.name.starts_with("pkt2-dst-ip"))
             .map(|f| f.importance.abs())
             .fold(0.0, f64::max);
         assert!(
@@ -513,7 +542,11 @@ mod tests {
         );
         // The top feature is a protocol/TLS/size-ish signal, not an IP.
         assert!(!imp[0].name.contains("dst-ip"), "top: {}", imp[0].name);
-        assert!(imp[0].importance > 0.05, "top importance {}", imp[0].importance);
+        assert!(
+            imp[0].importance > 0.05,
+            "top importance {}",
+            imp[0].importance
+        );
     }
 
     #[test]

@@ -16,13 +16,15 @@
 //! comparable with Table 6 and the Appendix A closed forms.
 
 use fiat_core::{
-    ErrorModel, EventClass, EventClassifier, FiatApp, FiatProxy, ProxyConfig,
+    ErrorModel, EventClass, EventClassifier, FiatApp, FiatProxy, ProxyConfig, ProxyTelemetry,
 };
 use fiat_net::{SimDuration, SimTime, TrafficClass};
 use fiat_sensors::{HumannessValidator, ImuTrace, MotionKind};
+use fiat_telemetry::{MetricRegistry, WallClock};
 use fiat_trace::{Location, TestbedConfig, TestbedTrace};
 use std::collections::HashMap;
 use std::fmt::Write;
+use std::sync::Arc;
 
 const SECRET: [u8; 32] = [0xAB; 32];
 
@@ -83,6 +85,7 @@ fn run_phase(
     classifiers: impl Fn(u16) -> EventClassifier,
     human_evidence: bool,
     seed: u64,
+    registry: Option<&MetricRegistry>,
 ) -> PhaseOutcome {
     let validator = HumannessValidator::with_operating_point(0.934, 0.982, seed);
     let config = ProxyConfig {
@@ -90,7 +93,18 @@ fn run_phase(
         ..ProxyConfig::default()
     };
     let bootstrap_end = SimTime::ZERO + config.bootstrap;
-    let mut proxy = FiatProxy::new(config, &SECRET, validator);
+    // With a shared registry, the proxy's decision-path metrics (stage
+    // latency under real wall time, decision counters, QUIC counters)
+    // accumulate across phases and ship in the experiment's snapshot.
+    let mut proxy = match registry {
+        Some(r) => FiatProxy::with_telemetry(
+            config,
+            &SECRET,
+            validator,
+            ProxyTelemetry::new(r.clone(), Arc::new(WallClock::new())),
+        ),
+        None => FiatProxy::new(config, &SECRET, validator),
+    };
     proxy.set_dns(capture.trace.dns.clone());
     for (i, dev) in capture.devices.iter().enumerate() {
         proxy.register_device(i as u16, classifiers(i as u16), dev.min_packets_to_complete);
@@ -175,11 +189,7 @@ fn run_phase(
         let entry = audit
             .entries()
             .iter()
-            .filter(|e| {
-                e.device == gt.device
-                    && e.ts >= gt.start
-                    && e.ts - gt.start <= window
-            })
+            .filter(|e| e.device == gt.device && e.ts >= gt.start && e.ts - gt.start <= window)
             .min_by_key(|e| (e.ts - gt.start).as_micros());
         let predicted_manual = entry.is_some_and(|e| e.class == EventClass::Manual);
         // Blocked packets are attributed within the event's own span
@@ -207,6 +217,17 @@ fn run_phase(
 
 /// Run Table 6. `train_days`/`eval_days` control corpus sizes.
 pub fn table6(train_days: f64, eval_days: f64, seed: u64) -> Table6 {
+    table6_instrumented(train_days, eval_days, seed, None)
+}
+
+/// [`table6`], with the proxies of both phases reporting into `registry`
+/// (when given) for a metrics snapshot alongside the table.
+pub fn table6_instrumented(
+    train_days: f64,
+    eval_days: f64,
+    seed: u64,
+    registry: Option<&MetricRegistry>,
+) -> Table6 {
     // Train classifiers on an independent capture with events grouped the
     // way the deployed proxy groups them (bootstrap rule table + 5 s gap),
     // dense enough for the paper's ~50-manual-event training regime. The
@@ -243,8 +264,8 @@ pub fn table6(train_days: f64, eval_days: f64, seed: u64) -> Table6 {
     });
 
     let mk = |device: u16| -> EventClassifier { trained[&device].clone() };
-    let legit = run_phase(&legit_capture, &mk, true, seed.wrapping_add(10));
-    let attack = run_phase(&attack_capture, &mk, false, seed.wrapping_add(20));
+    let legit = run_phase(&legit_capture, mk, true, seed.wrapping_add(10), registry);
+    let attack = run_phase(&attack_capture, mk, false, seed.wrapping_add(20), registry);
 
     let human = HumanValidationStats {
         recall_human: ratio(legit.human_accepts, legit.human_total),
@@ -317,7 +338,17 @@ fn safe_div(a: f64, b: f64) -> f64 {
 
 /// Render Table 6.
 pub fn table6_text(train_days: f64, eval_days: f64, seed: u64) -> String {
-    let t = table6(train_days, eval_days, seed);
+    table6_text_instrumented(train_days, eval_days, seed, None)
+}
+
+/// [`table6_text`], reporting proxy metrics into `registry` when given.
+pub fn table6_text_instrumented(
+    train_days: f64,
+    eval_days: f64,
+    seed: u64,
+    registry: Option<&MetricRegistry>,
+) -> String {
+    let t = table6_instrumented(train_days, eval_days, seed, registry);
     let mut out = String::new();
     writeln!(out, "# Table 6: FIAT end-to-end accuracy").unwrap();
     writeln!(
@@ -411,6 +442,32 @@ mod tests {
                 r.analytic_fn
             );
         }
+    }
+
+    #[test]
+    fn instrumented_run_fills_the_registry() {
+        let registry = MetricRegistry::new();
+        let t = table6_instrumented(4.0, 1.0, 3, Some(&registry));
+        assert!(!t.rows.is_empty());
+        // Both phases reported: decisions were counted, stages timed, and
+        // the QUIC path saw the evidence traffic.
+        assert!(
+            registry
+                .counter(
+                    "fiat_proxy_decisions_total",
+                    &[("decision", "allow"), ("reason", "rule_hit")],
+                )
+                .get()
+                > 0
+        );
+        assert!(
+            registry
+                .histogram("fiat_proxy_stage_us", &[("stage", "decide")])
+                .count()
+                > 0
+        );
+        assert_eq!(registry.counter("fiat_quic_handshakes_total", &[]).get(), 2);
+        assert!(registry.render_json().contains("fiat_proxy_stage_us"));
     }
 
     #[test]

@@ -72,14 +72,13 @@ pub fn table7(reps: usize, seed: u64) -> Vec<Table7Row> {
                 let mut rng = StdRng::seed_from_u64(seed ^ 0xc0ffee ^ (oi as u64));
                 for _ in 0..reps {
                     let comp = LatencyBreakdown::sample(&mut rng);
-                    let first_packet = net.command_first_packet(loc)
-                        + SimDuration::from_millis(extra_cloud_ms);
+                    let first_packet =
+                        net.command_first_packet(loc) + SimDuration::from_millis(extra_cloud_ms);
                     let one_way = net.phone_to_proxy(loc);
                     let quic_0rtt = one_way + ZERO_RTT_PROC;
                     let rtt_plus = net.phone_proxy_rtt(loc) + net.phone_to_proxy(loc);
                     let quic_1rtt = rtt_plus + ONE_RTT_PROC;
-                    let validation =
-                        comp.critical_path() + quic_0rtt + ML_VALIDATION;
+                    let validation = comp.critical_path() + quic_0rtt + ML_VALIDATION;
                     let vals = [
                         first_packet,
                         validation,
@@ -116,7 +115,11 @@ pub fn table7(reps: usize, seed: u64) -> Vec<Table7Row> {
 pub fn table7_text(reps: usize, seed: u64) -> String {
     let rows = table7(reps, seed);
     let mut out = String::new();
-    writeln!(out, "# Table 7: latency (LAN/Mobile, ms, mean of {reps} reps)").unwrap();
+    writeln!(
+        out,
+        "# Table 7: latency (LAN/Mobile, ms, mean of {reps} reps)"
+    )
+    .unwrap();
     let fmt = |p: (SimDuration, SimDuration)| {
         format!("{:.0}/{:.0}", p.0.as_millis_f64(), p.1.as_millis_f64())
     };
@@ -130,7 +133,8 @@ pub fn table7_text(reps: usize, seed: u64) -> String {
         write!(out, "{:>16}", r.operation).unwrap();
     }
     writeln!(out).unwrap();
-    let metrics: [(&str, fn(&Table7Row) -> (SimDuration, SimDuration)); 8] = [
+    type MetricFn = fn(&Table7Row) -> (SimDuration, SimDuration);
+    let metrics: [(&str, MetricFn); 8] = [
         ("time to first packet", |r| r.first_packet),
         ("time to validation 0RTT", |r| r.validation_0rtt),
         ("app detection", |r| r.app_detection),

@@ -50,7 +50,11 @@ pub fn tolerance_text() -> String {
     let delays = [0u64, 500, 1000, 2000, 3000, 5000, 8000, 12000];
     let rows = sweep(&delays);
     let mut out = String::new();
-    writeln!(out, "# Tolerance: added validation delay vs device function").unwrap();
+    writeln!(
+        out,
+        "# Tolerance: added validation delay vs device function"
+    )
+    .unwrap();
     write!(out, "{:<10}", "delay").unwrap();
     for (name, _) in device_models() {
         write!(out, "{name:>9}").unwrap();

@@ -283,7 +283,11 @@ mod tests {
 
     #[test]
     fn class_conversions_roundtrip() {
-        for c in [EventClass::Control, EventClass::Automated, EventClass::Manual] {
+        for c in [
+            EventClass::Control,
+            EventClass::Automated,
+            EventClass::Manual,
+        ] {
             assert_eq!(EventClass::from_label(c.label()), c);
         }
         assert!(EventClass::Manual.is_manual());

@@ -202,8 +202,9 @@ mod tests {
 
     #[test]
     fn all_predictable_yields_no_events() {
-        let packets: Vec<PacketRecord> =
-            (0..10).map(|i| pkt(i * 100, 0, TrafficClass::Control)).collect();
+        let packets: Vec<PacketRecord> = (0..10)
+            .map(|i| pkt(i * 100, 0, TrafficClass::Control))
+            .collect();
         let flags = vec![true; 10];
         assert!(group_events(&packets, &flags, EVENT_GAP).is_empty());
     }

@@ -88,7 +88,7 @@ pub fn event_features(event: &UnpredictableEvent, packets: &[PacketRecord]) -> V
                 out.push(p.dst_port() as f64);
                 out.extend(dst.iter().map(|&o| o as f64));
             }
-            None => out.extend(std::iter::repeat(0.0).take(PER_PACKET)),
+            None => out.extend(std::iter::repeat_n(0.0, PER_PACKET)),
         }
     }
 
@@ -177,8 +177,7 @@ mod tests {
 
     #[test]
     fn full_event_features() {
-        let packets: Vec<PacketRecord> =
-            (0..5).map(|i| pkt(i * 100, 200 + i as u16)).collect();
+        let packets: Vec<PacketRecord> = (0..5).map(|i| pkt(i * 100, 200 + i as u16)).collect();
         let ev = event_of(&packets);
         let f = event_features(&ev, &packets);
         let names = event_feature_names();
@@ -215,8 +214,7 @@ mod tests {
 
     #[test]
     fn long_event_uses_first_five_only() {
-        let packets: Vec<PacketRecord> =
-            (0..50).map(|i| pkt(i * 10, 100 + i as u16)).collect();
+        let packets: Vec<PacketRecord> = (0..50).map(|i| pkt(i * 10, 100 + i as u16)).collect();
         let ev = event_of(&packets);
         let f = event_features(&ev, &packets);
         let names = event_feature_names();

@@ -48,15 +48,22 @@ pub fn traffic_fingerprint(packets: &[PacketRecord], dns: &DnsTable) -> Vec<f64>
     sizes.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |q: f64| sizes[((sizes.len() - 1) as f64 * q) as usize];
     let mean_size = sizes.iter().sum::<f64>() / n;
-    let std_size =
-        (sizes.iter().map(|s| (s - mean_size).powi(2)).sum::<f64>() / n).sqrt();
+    let std_size = (sizes.iter().map(|s| (s - mean_size).powi(2)).sum::<f64>() / n).sqrt();
     let tcp = packets
         .iter()
         .filter(|p| p.transport == Transport::Tcp)
         .count() as f64
         / n;
-    let tls12 = packets.iter().filter(|p| p.tls == TlsVersion::Tls12).count() as f64 / n;
-    let tls13 = packets.iter().filter(|p| p.tls == TlsVersion::Tls13).count() as f64 / n;
+    let tls12 = packets
+        .iter()
+        .filter(|p| p.tls == TlsVersion::Tls12)
+        .count() as f64
+        / n;
+    let tls13 = packets
+        .iter()
+        .filter(|p| p.tls == TlsVersion::Tls13)
+        .count() as f64
+        / n;
     let no_tls = packets.iter().filter(|p| p.tls == TlsVersion::None).count() as f64 / n;
     let from_dev = packets
         .iter()
@@ -182,7 +189,12 @@ impl ModelRegistry {
 
     /// Publish a model for a device type and version (later publishes of
     /// the same version overwrite).
-    pub fn publish(&mut self, device_type: impl Into<String>, version: u32, model: EventClassifier) {
+    pub fn publish(
+        &mut self,
+        device_type: impl Into<String>,
+        version: u32,
+        model: EventClassifier,
+    ) {
         self.entries
             .entry(device_type.into())
             .or_default()

@@ -54,5 +54,7 @@ pub use identify::{DeviceIdentifier, ModelRegistry};
 pub use interactions::InteractionGraph;
 pub use notify::{Notification, NotificationCenter, Severity};
 pub use pairing::pair;
-pub use pipeline::{FiatProxy, ProxyConfig, ProxyDecision, ProxyStats};
-pub use predict::{PredictabilityEngine, PredictabilityReport, RuleTable};
+pub use pipeline::{
+    DecisionRecord, FiatProxy, ProxyConfig, ProxyDecision, ProxyStats, ProxyTelemetry,
+};
+pub use predict::{PredictabilityEngine, PredictabilityReport, RuleTable, RuleTelemetry};

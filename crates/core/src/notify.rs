@@ -75,7 +75,7 @@ impl NotificationCenter {
                 let due = self
                     .last_warn
                     .get(&entry.device)
-                    .map_or(true, |&t| entry.ts.since(t) >= self.warn_cooldown);
+                    .is_none_or(|&t| entry.ts.since(t) >= self.warn_cooldown);
                 if due {
                     let extra = self.suppressed.remove(&entry.device).unwrap_or(0);
                     let suffix = if extra > 0 {
@@ -191,7 +191,10 @@ mod tests {
         let alerts = nc.drain();
         assert_eq!(alerts.len(), 3);
         assert_eq!(
-            alerts.iter().filter(|a| a.severity == Severity::Critical).count(),
+            alerts
+                .iter()
+                .filter(|a| a.severity == Severity::Critical)
+                .count(),
             2
         );
     }

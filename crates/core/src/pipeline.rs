@@ -25,12 +25,14 @@ use crate::client::{AuthMessage, FiatApp};
 use crate::events::UnpredictableEvent;
 use crate::interactions::InteractionGraph;
 use crate::pairing::{pair, Paired};
-use crate::predict::{PredictabilityEngine, RuleTable, DEFAULT_TOLERANCE};
+use crate::predict::{PredictabilityEngine, RuleTable, RuleTelemetry, DEFAULT_TOLERANCE};
 use fiat_crypto::TeeKeystore;
 use fiat_net::{DnsTable, FlowDef, PacketRecord, SimDuration, SimTime};
 use fiat_quic::{ClientHello, Server as QuicServer, ServerHello, ZeroRttPacket};
 use fiat_sensors::HumannessValidator;
+use fiat_telemetry::{Clock, Counter, Gauge, Histogram, Journal, MetricRegistry, Span, WallClock};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Proxy configuration (paper defaults).
 #[derive(Debug, Clone)]
@@ -86,6 +88,30 @@ pub enum AllowReason {
     Cascade,
 }
 
+impl AllowReason {
+    /// All variants, in [`ProxyStats`] field order.
+    pub const ALL: [AllowReason; 6] = [
+        AllowReason::Bootstrap,
+        AllowReason::RuleHit,
+        AllowReason::FirstN,
+        AllowReason::NonManual,
+        AllowReason::ManualVerified,
+        AllowReason::Cascade,
+    ];
+
+    /// Stable snake_case name used as the telemetry `reason` label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AllowReason::Bootstrap => "bootstrap",
+            AllowReason::RuleHit => "rule_hit",
+            AllowReason::FirstN => "first_n",
+            AllowReason::NonManual => "non_manual",
+            AllowReason::ManualVerified => "manual_verified",
+            AllowReason::Cascade => "cascade",
+        }
+    }
+}
+
 /// Why a packet was dropped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DropReason {
@@ -93,6 +119,19 @@ pub enum DropReason {
     ManualUnverified,
     /// Device is locked out.
     LockedOut,
+}
+
+impl DropReason {
+    /// All variants, in [`ProxyStats`] field order.
+    pub const ALL: [DropReason; 2] = [DropReason::ManualUnverified, DropReason::LockedOut];
+
+    /// Stable snake_case name used as the telemetry `reason` label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::ManualUnverified => "manual_unverified",
+            DropReason::LockedOut => "locked_out",
+        }
+    }
 }
 
 /// Packet counters per decision reason (operator dashboard material).
@@ -162,6 +201,164 @@ impl ProxyDecision {
     }
 }
 
+/// One recent verdict, kept in the proxy's bounded decision [`Journal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecisionRecord {
+    /// Packet timestamp.
+    pub ts: SimTime,
+    /// Device the packet belonged to.
+    pub device: u16,
+    /// The verdict.
+    pub decision: ProxyDecision,
+}
+
+/// Pre-resolved telemetry handles for the proxy decision path.
+///
+/// Every handle is looked up in the [`MetricRegistry`] once, at
+/// construction, so the per-packet hot path never touches the registry
+/// lock — each update is a single relaxed atomic operation. The clock is
+/// pluggable so real deployments time stages with the OS monotonic clock
+/// while deterministic experiments drive a [`fiat_telemetry::ManualClock`].
+pub struct ProxyTelemetry {
+    registry: MetricRegistry,
+    clock: Arc<dyn Clock>,
+    journal: Journal<DecisionRecord>,
+    stage_rule_learn: Histogram,
+    stage_rule_match: Histogram,
+    stage_event_grouping: Histogram,
+    stage_classification: Histogram,
+    stage_humanness: Histogram,
+    stage_decide: Histogram,
+    allow_total: [Counter; AllowReason::ALL.len()],
+    drop_total: [Counter; DropReason::ALL.len()],
+    rules_gauge: Gauge,
+    open_events_gauge: Gauge,
+    locked_devices_gauge: Gauge,
+    devices_gauge: Gauge,
+    auth_verified: Counter,
+    auth_rejected: Counter,
+    auth_errors: Counter,
+}
+
+impl ProxyTelemetry {
+    /// Capacity of the recent-decision journal.
+    pub const JOURNAL_CAPACITY: usize = 256;
+
+    /// Register the proxy's metrics in `registry` and time spans with
+    /// `clock`.
+    pub fn new(registry: MetricRegistry, clock: Arc<dyn Clock>) -> Self {
+        registry.describe(
+            "fiat_proxy_stage_us",
+            "Decision-path stage latency in microseconds.",
+        );
+        registry.describe(
+            "fiat_proxy_decisions_total",
+            "Packets decided, by decision and reason.",
+        );
+        registry.describe("fiat_proxy_rules", "Learned predictability rules.");
+        registry.describe(
+            "fiat_proxy_open_events",
+            "Unpredictable events currently open.",
+        );
+        registry.describe("fiat_proxy_locked_devices", "Devices currently locked out.");
+        registry.describe("fiat_proxy_devices", "Registered devices.");
+        registry.describe(
+            "fiat_proxy_auth_total",
+            "Humanness auth messages processed, by result.",
+        );
+        let stage = |s: &str| registry.histogram("fiat_proxy_stage_us", &[("stage", s)]);
+        let allow_total = AllowReason::ALL.map(|r| {
+            registry.counter(
+                "fiat_proxy_decisions_total",
+                &[("decision", "allow"), ("reason", r.as_str())],
+            )
+        });
+        let drop_total = DropReason::ALL.map(|r| {
+            registry.counter(
+                "fiat_proxy_decisions_total",
+                &[("decision", "drop"), ("reason", r.as_str())],
+            )
+        });
+        ProxyTelemetry {
+            journal: Journal::new(Self::JOURNAL_CAPACITY),
+            stage_rule_learn: stage("rule_learn"),
+            stage_rule_match: stage("rule_match"),
+            stage_event_grouping: stage("event_grouping"),
+            stage_classification: stage("classification"),
+            stage_humanness: stage("humanness"),
+            stage_decide: stage("decide"),
+            allow_total,
+            drop_total,
+            rules_gauge: registry.gauge("fiat_proxy_rules", &[]),
+            open_events_gauge: registry.gauge("fiat_proxy_open_events", &[]),
+            locked_devices_gauge: registry.gauge("fiat_proxy_locked_devices", &[]),
+            devices_gauge: registry.gauge("fiat_proxy_devices", &[]),
+            auth_verified: registry.counter("fiat_proxy_auth_total", &[("result", "verified")]),
+            auth_rejected: registry.counter("fiat_proxy_auth_total", &[("result", "rejected")]),
+            auth_errors: registry.counter("fiat_proxy_auth_total", &[("result", "error")]),
+            registry,
+            clock,
+        }
+    }
+
+    /// The registry backing these handles (for exposition).
+    pub fn registry(&self) -> &MetricRegistry {
+        &self.registry
+    }
+
+    /// The span clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Recent decisions, oldest first.
+    pub fn journal(&self) -> &Journal<DecisionRecord> {
+        &self.journal
+    }
+
+    /// Current value of the decision counter matching `d`.
+    pub fn decision_count(&self, d: ProxyDecision) -> u64 {
+        match d {
+            ProxyDecision::Allow(r) => self.allow_total[r as usize].get(),
+            ProxyDecision::Drop(r) => self.drop_total[r as usize].get(),
+        }
+    }
+
+    /// Stage-latency histogram for a decision-path stage name (as used in
+    /// the `stage` label), if it is one of the proxy's stages.
+    pub fn stage(&self, name: &str) -> Option<&Histogram> {
+        match name {
+            "rule_learn" => Some(&self.stage_rule_learn),
+            "rule_match" => Some(&self.stage_rule_match),
+            "event_grouping" => Some(&self.stage_event_grouping),
+            "classification" => Some(&self.stage_classification),
+            "humanness" => Some(&self.stage_humanness),
+            "decide" => Some(&self.stage_decide),
+            _ => None,
+        }
+    }
+
+    fn note_decision(&self, ts: SimTime, device: u16, decision: ProxyDecision) {
+        match decision {
+            ProxyDecision::Allow(r) => self.allow_total[r as usize].inc(),
+            ProxyDecision::Drop(r) => self.drop_total[r as usize].inc(),
+        }
+        self.journal.push(DecisionRecord {
+            ts,
+            device,
+            decision,
+        });
+    }
+}
+
+impl Default for ProxyTelemetry {
+    /// A private registry timed by a [`WallClock`] — the configuration a
+    /// real deployment wants when nothing else is specified.
+    fn default() -> Self {
+        Self::new(MetricRegistry::new(), Arc::new(WallClock::new()))
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventFate {
     AllowRest,
@@ -199,23 +396,44 @@ pub struct FiatProxy {
     server_random_counter: u64,
     interactions: Option<InteractionGraph>,
     stats: ProxyStats,
+    telemetry: ProxyTelemetry,
 }
 
 impl FiatProxy {
     /// Build a proxy paired via `ceremony_secret`, using `validator` for
-    /// humanness decisions.
+    /// humanness decisions. Telemetry goes to a private wall-clock
+    /// registry; use [`FiatProxy::with_telemetry`] to share one.
     pub fn new(
         config: ProxyConfig,
         ceremony_secret: &[u8; 32],
         validator: HumannessValidator,
     ) -> Self {
+        Self::with_telemetry(
+            config,
+            ceremony_secret,
+            validator,
+            ProxyTelemetry::default(),
+        )
+    }
+
+    /// Build a proxy reporting into externally supplied telemetry — a
+    /// shared [`MetricRegistry`] for exposition alongside other
+    /// subsystems, or a simulated clock for deterministic experiments.
+    pub fn with_telemetry(
+        config: ProxyConfig,
+        ceremony_secret: &[u8; 32],
+        validator: HumannessValidator,
+        telemetry: ProxyTelemetry,
+    ) -> Self {
         let store = TeeKeystore::new();
         let (keys, psk) = pair(&store, ceremony_secret);
+        let mut quic = QuicServer::new(psk);
+        quic.set_telemetry(fiat_quic::ServerTelemetry::registered(&telemetry.registry));
         FiatProxy {
             config,
             store,
             keys,
-            quic: QuicServer::new(psk),
+            quic,
             validator,
             devices: HashMap::new(),
             dns: DnsTable::new(),
@@ -227,12 +445,19 @@ impl FiatProxy {
             server_random_counter: 0,
             interactions: None,
             stats: ProxyStats::default(),
+            telemetry,
         }
     }
 
     /// Decision counters accumulated since start.
     pub fn stats(&self) -> ProxyStats {
         self.stats
+    }
+
+    /// The proxy's telemetry handles (registry, stage histograms, decision
+    /// journal).
+    pub fn telemetry(&self) -> &ProxyTelemetry {
+        &self.telemetry
     }
 
     /// Install a device-interaction DAG (§7 "Complex Scenarios"): manual
@@ -259,7 +484,7 @@ impl FiatProxy {
         let classify_at = min_packets_to_complete
             .min(self.config.classify_at_cap)
             .max(1);
-        self.devices.insert(
+        let prev = self.devices.insert(
             device,
             DeviceState {
                 classifier,
@@ -269,6 +494,13 @@ impl FiatProxy {
                 locked: false,
             },
         );
+        if prev.as_ref().is_some_and(|d| d.locked) {
+            self.telemetry.locked_devices_gauge.dec();
+        }
+        if prev.as_ref().is_some_and(|d| d.open.is_some()) {
+            self.telemetry.open_events_gauge.dec();
+        }
+        self.telemetry.devices_gauge.set(self.devices.len() as i64);
     }
 
     /// Provide DNS knowledge (the proxy observes DNS responses on-path).
@@ -299,6 +531,9 @@ impl FiatProxy {
     /// Manually clear a lockout (the §5.4 user verification).
     pub fn clear_lockout(&mut self, device: u16) {
         if let Some(d) = self.devices.get_mut(&device) {
+            if d.locked {
+                self.telemetry.locked_devices_gauge.dec();
+            }
             d.locked = false;
             d.drops.clear();
         }
@@ -319,10 +554,13 @@ impl FiatProxy {
         pkt: &ZeroRttPacket,
         now: SimTime,
     ) -> Result<bool, AuthError> {
-        let payload = self
-            .quic
-            .accept_zero_rtt(pkt)
-            .map_err(AuthError::Transport)?;
+        let payload = match self.quic.accept_zero_rtt(pkt) {
+            Ok(p) => p,
+            Err(e) => {
+                self.telemetry.auth_errors.inc();
+                return Err(AuthError::Transport(e));
+            }
+        };
         self.verify_and_validate(&payload, now)
     }
 
@@ -332,23 +570,41 @@ impl FiatProxy {
         pkt: &fiat_quic::Packet,
         now: SimTime,
     ) -> Result<bool, AuthError> {
-        let payload = self.quic.open(pkt).map_err(AuthError::Transport)?;
+        let payload = match self.quic.open(pkt) {
+            Ok(p) => p,
+            Err(e) => {
+                self.telemetry.auth_errors.inc();
+                return Err(AuthError::Transport(e));
+            }
+        };
         self.verify_and_validate(&payload, now)
     }
 
     fn verify_and_validate(&mut self, payload: &[u8], now: SimTime) -> Result<bool, AuthError> {
-        let (msg_bytes, tag) = FiatApp::split_payload(payload).ok_or(AuthError::Malformed)?;
+        let Some((msg_bytes, tag)) = FiatApp::split_payload(payload) else {
+            self.telemetry.auth_errors.inc();
+            return Err(AuthError::Malformed);
+        };
         if !self
             .store
             .verify(self.keys.sign_key, msg_bytes, tag)
             .expect("sealed sign key")
         {
+            self.telemetry.auth_errors.inc();
             return Err(AuthError::BadSignature);
         }
-        let msg = AuthMessage::decode(msg_bytes).ok_or(AuthError::Malformed)?;
+        let Some(msg) = AuthMessage::decode(msg_bytes) else {
+            self.telemetry.auth_errors.inc();
+            return Err(AuthError::Malformed);
+        };
+        let span = Span::enter(&self.telemetry.stage_humanness, &self.telemetry.clock);
         let human = self.validator.validate_features(&msg.features, msg.truth);
+        span.exit();
         if human {
             self.human_valid_until = now + self.config.human_valid_window;
+            self.telemetry.auth_verified.inc();
+        } else {
+            self.telemetry.auth_rejected.inc();
         }
         Ok(human)
     }
@@ -360,19 +616,19 @@ impl FiatProxy {
 
     /// Decide one intercepted packet (timestamped by its `ts`).
     pub fn on_packet(&mut self, pkt: &PacketRecord) -> ProxyDecision {
+        let clock = Arc::clone(&self.telemetry.clock);
+        let span = Span::enter(&self.telemetry.stage_decide, &clock);
         let d = self.decide(pkt);
+        span.exit();
+        self.telemetry.note_decision(pkt.ts, pkt.device, d);
         match d {
             ProxyDecision::Allow(AllowReason::Bootstrap) => self.stats.bootstrap += 1,
             ProxyDecision::Allow(AllowReason::RuleHit) => self.stats.rule_hit += 1,
             ProxyDecision::Allow(AllowReason::FirstN) => self.stats.first_n += 1,
             ProxyDecision::Allow(AllowReason::NonManual) => self.stats.non_manual += 1,
-            ProxyDecision::Allow(AllowReason::ManualVerified) => {
-                self.stats.manual_verified += 1
-            }
+            ProxyDecision::Allow(AllowReason::ManualVerified) => self.stats.manual_verified += 1,
             ProxyDecision::Allow(AllowReason::Cascade) => self.stats.cascade += 1,
-            ProxyDecision::Drop(DropReason::ManualUnverified) => {
-                self.stats.dropped_unverified += 1
-            }
+            ProxyDecision::Drop(DropReason::ManualUnverified) => self.stats.dropped_unverified += 1,
             ProxyDecision::Drop(DropReason::LockedOut) => self.stats.dropped_lockout += 1,
         }
         d
@@ -392,20 +648,31 @@ impl FiatProxy {
             return ProxyDecision::Allow(AllowReason::Bootstrap);
         }
         if self.rules.is_none() {
+            let span = Span::enter(&self.telemetry.stage_rule_learn, &self.telemetry.clock);
             let engine = PredictabilityEngine::new(self.config.flow_def)
                 .with_tolerance(self.config.tolerance);
-            self.rules = Some(RuleTable::learn(&engine, &self.bootstrap_buffer, &self.dns));
+            let rules = RuleTable::learn_instrumented(
+                &engine,
+                &self.bootstrap_buffer,
+                &self.dns,
+                RuleTelemetry::registered(&self.telemetry.registry),
+            );
+            span.exit();
+            self.telemetry.rules_gauge.set(rules.len() as i64);
+            self.rules = Some(rules);
             self.bootstrap_buffer.clear();
             self.bootstrap_buffer.shrink_to_fit();
         }
 
         // Rule hit: predictable.
-        if self
-            .rules
-            .as_ref()
-            .expect("rules learned")
-            .matches(self.config.flow_def, pkt, &self.dns)
-        {
+        let span = Span::enter(&self.telemetry.stage_rule_match, &self.telemetry.clock);
+        let hit = self.rules.as_ref().expect("rules learned").matches(
+            self.config.flow_def,
+            pkt,
+            &self.dns,
+        );
+        span.exit();
+        if hit {
             return ProxyDecision::Allow(AllowReason::RuleHit);
         }
 
@@ -419,12 +686,13 @@ impl FiatProxy {
         };
 
         // Close a stale event.
-        if dev
-            .open
-            .as_ref()
-            .is_some_and(|e| now - e.last >= gap)
-        {
+        let span = Span::enter(&self.telemetry.stage_event_grouping, &self.telemetry.clock);
+        if dev.open.as_ref().is_some_and(|e| now - e.last >= gap) {
             dev.open = None;
+            self.telemetry.open_events_gauge.dec();
+        }
+        if dev.open.is_none() {
+            self.telemetry.open_events_gauge.inc();
         }
         let open = dev.open.get_or_insert_with(|| OpenEvent {
             packets: Vec::new(),
@@ -433,6 +701,7 @@ impl FiatProxy {
         });
         open.packets.push(pkt.clone());
         open.last = now;
+        span.exit();
 
         if let Some(fate) = open.fate {
             return match fate {
@@ -452,7 +721,9 @@ impl FiatProxy {
             start: open.packets[0].ts,
             end: open.last,
         };
+        let span = Span::enter(&self.telemetry.stage_classification, &self.telemetry.clock);
         let class = dev.classifier.classify_event(&ev, &open.packets);
+        span.exit();
         if !class.is_manual() {
             open.fate = Some(EventFate::AllowRest);
             self.audit.append(AuditEntry {
@@ -511,6 +782,7 @@ impl FiatProxy {
         let locked = dev.drops.len() as u32 >= self.config.lockout_threshold;
         if locked {
             dev.locked = true;
+            self.telemetry.locked_devices_gauge.inc();
         }
         self.audit.append(AuditEntry {
             ts: now,
@@ -741,7 +1013,10 @@ mod tests {
         let z = app
             .authorize_zero_rtt("app", &imu, MotionKind::HumanTouch, t)
             .unwrap();
-        assert_eq!(proxy.on_auth_zero_rtt(&z, SimTime::from_millis(t)), Ok(true));
+        assert_eq!(
+            proxy.on_auth_zero_rtt(&z, SimTime::from_millis(t)),
+            Ok(true)
+        );
         // A LAN attacker who captured the packet replays it later.
         assert!(matches!(
             proxy.on_auth_zero_rtt(&z, SimTime::from_millis(t + 60_000)),
@@ -823,7 +1098,11 @@ mod tests {
             let start = packets.len();
             for j in 0..5 {
                 let mut p = pkt(t + j * 100, if manual { 900 } else { 150 });
-                p.tls = if manual { TlsVersion::Tls12 } else { TlsVersion::None };
+                p.tls = if manual {
+                    TlsVersion::Tls12
+                } else {
+                    TlsVersion::None
+                };
                 p.label = if manual {
                     TrafficClass::Manual
                 } else {
@@ -871,8 +1150,7 @@ mod tests {
         let mut proxy = FiatProxy::new(config, &SECRET, validator);
         proxy.register_device(0, EventClassifier::simple_rule(235), 1);
         proxy.register_device(1, EventClassifier::simple_rule(235), 1);
-        let mut graph =
-            crate::interactions::InteractionGraph::new(SimDuration::from_secs(10));
+        let mut graph = crate::interactions::InteractionGraph::new(SimDuration::from_secs(10));
         graph.add_edge(1, 0).unwrap();
         proxy.set_interactions(graph);
         proxy.start(SimTime::ZERO);
@@ -915,9 +1193,7 @@ mod tests {
         let mut proxy = FiatProxy::new(config, &SECRET, validator);
         proxy.register_device(0, EventClassifier::simple_rule(235), 1);
         proxy.register_device(1, EventClassifier::simple_rule(235), 1);
-        let mut graph = crate::interactions::InteractionGraph::new(
-            SimDuration::from_secs(60),
-        );
+        let mut graph = crate::interactions::InteractionGraph::new(SimDuration::from_secs(60));
         graph.add_edge(1, 0).unwrap();
         proxy.set_interactions(graph);
         proxy.start(SimTime::ZERO);
@@ -975,6 +1251,172 @@ mod tests {
         assert_eq!(s.total(), s.bootstrap + 2);
         assert_eq!(s.dropped(), 1);
         assert!((s.rule_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_invariant_sum_of_reasons_equals_total() {
+        // Drive every decision path, then check the counters partition
+        // the packet count exactly.
+        let mut proxy = proxy_with_plug();
+        let t = bootstrap(&mut proxy);
+        let mut sent = proxy.stats().bootstrap;
+
+        proxy.on_packet(&pkt(t, 100)); // rule hit
+        proxy.on_packet(&pkt(t + 6_000, 999)); // non-manual
+        sent += 2;
+        for k in 0..3u64 {
+            proxy.on_packet(&pkt(t + 20_000 + k * 10_000, 235)); // drops -> lockout
+            sent += 1;
+        }
+        proxy.on_packet(&pkt(t + 55_000, 100)); // locked out
+        sent += 1;
+
+        let s = proxy.stats();
+        assert_eq!(
+            s.total(),
+            s.bootstrap
+                + s.rule_hit
+                + s.first_n
+                + s.non_manual
+                + s.manual_verified
+                + s.cascade
+                + s.dropped_unverified
+                + s.dropped_lockout
+        );
+        assert_eq!(s.total(), sent);
+        assert_eq!(s.dropped(), s.dropped_unverified + s.dropped_lockout);
+    }
+
+    #[test]
+    fn telemetry_counters_agree_with_stats() {
+        use fiat_telemetry::{ManualClock, MetricRegistry};
+
+        // A proxy on a shared registry and simulated clock, driven through
+        // predictable, manual-verified, unverified, and lockout traffic.
+        let registry = MetricRegistry::new();
+        let telemetry = ProxyTelemetry::new(registry.clone(), Arc::new(ManualClock::new()));
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let mut proxy =
+            FiatProxy::with_telemetry(ProxyConfig::default(), &SECRET, validator, telemetry);
+        proxy.register_device(0, EventClassifier::simple_rule(235), 1);
+        proxy.start(SimTime::ZERO);
+        let t = bootstrap(&mut proxy);
+
+        proxy.on_packet(&pkt(t, 100)); // rule hit
+
+        // Verified manual command.
+        let mut app = FiatApp::new(&SECRET, 1);
+        let ch = app.handshake_request();
+        let sh = proxy.accept_handshake(&ch);
+        app.complete_handshake(&sh).unwrap();
+        let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 3);
+        let z = app
+            .authorize_zero_rtt("app", &imu, MotionKind::HumanTouch, t)
+            .unwrap();
+        proxy.on_auth_zero_rtt(&z, SimTime::from_millis(t)).unwrap();
+        proxy.on_packet(&pkt(t + 500, 235));
+
+        // Three unverified manual events (well past the human window)
+        // lock the device; one more packet drops as locked out.
+        for k in 0..3u64 {
+            proxy.on_packet(&pkt(t + 60_000 + k * 10_000, 235));
+        }
+        proxy.on_packet(&pkt(t + 95_000, 100));
+
+        // Every per-reason counter matches the ProxyStats field.
+        let s = proxy.stats();
+        let tel = proxy.telemetry();
+        let by_reason = [
+            (ProxyDecision::Allow(AllowReason::Bootstrap), s.bootstrap),
+            (ProxyDecision::Allow(AllowReason::RuleHit), s.rule_hit),
+            (ProxyDecision::Allow(AllowReason::FirstN), s.first_n),
+            (ProxyDecision::Allow(AllowReason::NonManual), s.non_manual),
+            (
+                ProxyDecision::Allow(AllowReason::ManualVerified),
+                s.manual_verified,
+            ),
+            (ProxyDecision::Allow(AllowReason::Cascade), s.cascade),
+            (
+                ProxyDecision::Drop(DropReason::ManualUnverified),
+                s.dropped_unverified,
+            ),
+            (
+                ProxyDecision::Drop(DropReason::LockedOut),
+                s.dropped_lockout,
+            ),
+        ];
+        for (d, expected) in by_reason {
+            assert_eq!(tel.decision_count(d), expected, "{d:?}");
+        }
+        assert!(s.manual_verified > 0);
+        assert!(s.dropped_unverified > 0);
+        assert!(s.dropped_lockout > 0);
+
+        // The decide histogram saw every packet; per-stage histograms
+        // recorded the stages that ran.
+        assert_eq!(tel.stage("decide").unwrap().count(), s.total());
+        assert_eq!(tel.stage("rule_learn").unwrap().count(), 1);
+        assert!(tel.stage("rule_match").unwrap().count() > 0);
+        assert!(tel.stage("event_grouping").unwrap().count() > 0);
+        assert!(tel.stage("classification").unwrap().count() > 0);
+        assert_eq!(tel.stage("humanness").unwrap().count(), 1);
+
+        // Gauges reflect the end state: one device, locked, stale event
+        // still open, rules learned.
+        assert_eq!(registry.gauge("fiat_proxy_devices", &[]).get(), 1);
+        assert_eq!(registry.gauge("fiat_proxy_locked_devices", &[]).get(), 1);
+        assert_eq!(
+            registry.gauge("fiat_proxy_rules", &[]).get(),
+            proxy.rule_count() as i64
+        );
+        // The journal tail matches the last decisions.
+        let last = tel.journal().last().unwrap();
+        assert_eq!(last.device, 0);
+        assert_eq!(last.decision, ProxyDecision::Drop(DropReason::LockedOut));
+        assert_eq!(tel.journal().total_pushed(), s.total());
+
+        proxy.clear_lockout(0);
+        assert_eq!(registry.gauge("fiat_proxy_locked_devices", &[]).get(), 0);
+
+        // QUIC counters flowed into the same registry.
+        assert_eq!(registry.counter("fiat_quic_handshakes_total", &[]).get(), 1);
+        assert_eq!(
+            registry
+                .counter("fiat_quic_zero_rtt_total", &[("result", "accepted")])
+                .get(),
+            1
+        );
+        assert_eq!(
+            registry
+                .counter("fiat_proxy_auth_total", &[("result", "verified")])
+                .get(),
+            1
+        );
+
+        // Exposition carries the whole picture.
+        let text = registry.render_prometheus();
+        assert!(text.contains("fiat_proxy_stage_us_bucket"));
+        assert!(
+            text.contains("fiat_proxy_decisions_total{decision=\"drop\",reason=\"locked_out\"}")
+        );
+        let json = registry.render_json();
+        assert!(json.contains("\"fiat_proxy_decisions_total\""));
+    }
+
+    #[test]
+    fn decision_journal_is_bounded() {
+        let mut proxy = proxy_with_plug();
+        let t = bootstrap(&mut proxy);
+        for k in 0..(ProxyTelemetry::JOURNAL_CAPACITY as u64 + 50) {
+            proxy.on_packet(&pkt(t + k * 10_000, 100));
+        }
+        let j = proxy.telemetry().journal();
+        assert_eq!(j.len(), ProxyTelemetry::JOURNAL_CAPACITY);
+        assert!(j.total_pushed() > ProxyTelemetry::JOURNAL_CAPACITY as u64);
+        assert!(j
+            .recent()
+            .iter()
+            .all(|r| r.decision == ProxyDecision::Allow(AllowReason::RuleHit)));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! intervals are quantized into tolerance bins before matching.
 
 use fiat_net::{DnsTable, FlowDef, FlowKey, PacketRecord, SimDuration, SimTime, TrafficClass};
+use fiat_telemetry::{Counter, MetricRegistry};
 use std::collections::{HashMap, HashSet};
 
 /// Default interval quantization bin: one microsecond, i.e. exact
@@ -220,12 +221,51 @@ impl PredictabilityReport {
 /// in the offline analysis, as in Fig 2).
 pub const MIN_RULE_INTERVAL: SimDuration = SimDuration::from_secs(1);
 
+/// Telemetry handles for rule learning and enforcement lookups. The
+/// default is a set of detached counters (not owned by any registry), so
+/// uninstrumented callers pay one relaxed atomic op and nothing else.
+#[derive(Debug, Clone, Default)]
+pub struct RuleTelemetry {
+    /// Bootstrap flow buckets admitted as rules.
+    pub buckets_learned: Counter,
+    /// Bootstrap flow buckets examined but rejected (no qualifying
+    /// repeating interval).
+    pub buckets_rejected: Counter,
+    /// Enforcement-time lookups that hit a rule.
+    pub match_hits: Counter,
+    /// Enforcement-time lookups that missed.
+    pub match_misses: Counter,
+}
+
+impl RuleTelemetry {
+    /// Handles registered in `registry` under the `fiat_rules_*` names.
+    pub fn registered(registry: &MetricRegistry) -> Self {
+        registry.describe(
+            "fiat_rules_buckets_total",
+            "Bootstrap flow buckets examined for rules, by outcome.",
+        );
+        registry.describe(
+            "fiat_rules_match_total",
+            "Rule-table lookups at enforcement time, by outcome.",
+        );
+        RuleTelemetry {
+            buckets_learned: registry
+                .counter("fiat_rules_buckets_total", &[("outcome", "learned")]),
+            buckets_rejected: registry
+                .counter("fiat_rules_buckets_total", &[("outcome", "rejected")]),
+            match_hits: registry.counter("fiat_rules_match_total", &[("outcome", "hit")]),
+            match_misses: registry.counter("fiat_rules_match_total", &[("outcome", "miss")]),
+        }
+    }
+}
+
 /// The enforcement-time rule table (§5.4 "Rules Creation"): flows observed
 /// as predictable during the bootstrap window become allow rules; a rule
 /// hit at enforcement time means "predictable, allow".
 #[derive(Debug, Clone, Default)]
 pub struct RuleTable {
     rules: HashSet<(u16, FlowKey)>,
+    telemetry: RuleTelemetry,
 }
 
 impl RuleTable {
@@ -240,6 +280,17 @@ impl RuleTable {
         engine: &PredictabilityEngine,
         packets: &[PacketRecord],
         dns: &DnsTable,
+    ) -> RuleTable {
+        Self::learn_instrumented(engine, packets, dns, RuleTelemetry::default())
+    }
+
+    /// [`RuleTable::learn`], reporting bucket outcomes and subsequent
+    /// lookup hits/misses through `telemetry`.
+    pub fn learn_instrumented(
+        engine: &PredictabilityEngine,
+        packets: &[PacketRecord],
+        dns: &DnsTable,
+        telemetry: RuleTelemetry,
     ) -> RuleTable {
         let mut buckets: HashMap<(u16, FlowKey), Vec<SimTime>> = HashMap::new();
         for p in packets {
@@ -260,15 +311,26 @@ impl RuleTable {
                 .values()
                 .any(|(iv, n)| *n >= 2 && *iv >= MIN_RULE_INTERVAL)
             {
+                telemetry.buckets_learned.inc();
                 rules.insert(key);
+            } else {
+                telemetry.buckets_rejected.inc();
             }
         }
-        RuleTable { rules }
+        RuleTable { rules, telemetry }
     }
 
     /// Whether a packet hits a learned rule.
     pub fn matches(&self, def: FlowDef, pkt: &PacketRecord, dns: &DnsTable) -> bool {
-        self.rules.contains(&(pkt.device, FlowKey::of(def, pkt, dns)))
+        let hit = self
+            .rules
+            .contains(&(pkt.device, FlowKey::of(def, pkt, dns)));
+        if hit {
+            self.telemetry.match_hits.inc();
+        } else {
+            self.telemetry.match_misses.inc();
+        }
+        hit
     }
 
     /// Number of rules.
@@ -444,7 +506,32 @@ mod tests {
     #[test]
     #[should_panic(expected = "tolerance must be positive")]
     fn zero_tolerance_rejected() {
-        let _ = PredictabilityEngine::new(FlowDef::PortLess)
-            .with_tolerance(SimDuration::ZERO);
+        let _ = PredictabilityEngine::new(FlowDef::PortLess).with_tolerance(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn instrumented_learning_counts_buckets_and_lookups() {
+        // One periodic bucket (becomes a rule) plus one two-packet bucket
+        // (rejected).
+        let mut packets: Vec<PacketRecord> = (0..10).map(|i| pkt(i * 1000, 100, 5000)).collect();
+        packets.push(pkt(300, 999, 5000));
+        packets.push(pkt(700, 999, 5000));
+        packets.sort_by_key(|p| p.ts);
+        let dns = DnsTable::new();
+        let eng = PredictabilityEngine::new(FlowDef::PortLess);
+        let registry = MetricRegistry::new();
+        let telemetry = RuleTelemetry::registered(&registry);
+        let rules = RuleTable::learn_instrumented(&eng, &packets, &dns, telemetry.clone());
+        assert_eq!(telemetry.buckets_learned.get(), 1);
+        assert_eq!(telemetry.buckets_rejected.get(), 1);
+
+        assert!(rules.matches(FlowDef::PortLess, &pkt(99_000, 100, 60_000), &dns));
+        assert!(!rules.matches(FlowDef::PortLess, &pkt(99_000, 101, 60_000), &dns));
+        assert_eq!(telemetry.match_hits.get(), 1);
+        assert_eq!(telemetry.match_misses.get(), 1);
+        // The registry sees the same counts (handles are shared).
+        assert!(registry
+            .render_prometheus()
+            .contains("fiat_rules_match_total{outcome=\"hit\"} 1"));
     }
 }

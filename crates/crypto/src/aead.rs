@@ -38,11 +38,7 @@ fn poly_key(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
     pk
 }
 
-fn compute_tag(
-    pkey: &[u8; 32],
-    aad: &[u8],
-    ciphertext: &[u8],
-) -> [u8; TAG_LEN] {
+fn compute_tag(pkey: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
     let mut mac = Poly1305::new(pkey);
     mac.update(aad);
     mac.update(&[0u8; 16][..(16 - aad.len() % 16) % 16]);
@@ -100,17 +96,16 @@ mod tests {
             }
             k
         };
-        let nonce: [u8; 12] = [0x07, 0, 0, 0, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47];
+        let nonce: [u8; 12] = [
+            0x07, 0, 0, 0, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46, 0x47,
+        ];
         let aad: [u8; 12] = [
             0x50, 0x51, 0x52, 0x53, 0xc0, 0xc1, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7,
         ];
         let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
         let sealed = seal(&key, &nonce, &aad, plaintext);
         assert_eq!(sealed.len(), plaintext.len() + TAG_LEN);
-        assert_eq!(
-            hex(&sealed[..16]),
-            "d31a8d34648e60db7b86afbc53ef7ec2"
-        );
+        assert_eq!(hex(&sealed[..16]), "d31a8d34648e60db7b86afbc53ef7ec2");
         assert_eq!(
             hex(&sealed[sealed.len() - TAG_LEN..]),
             "1ae10b594f09e26a7e902ecbd0600691"
@@ -144,7 +139,10 @@ mod tests {
 
     #[test]
     fn truncated_input() {
-        assert_eq!(open(&[0; 32], &[0; 12], b"", &[0u8; 15]), Err(AeadError::Truncated));
+        assert_eq!(
+            open(&[0; 32], &[0; 12], b"", &[0u8; 15]),
+            Err(AeadError::Truncated)
+        );
     }
 
     #[test]

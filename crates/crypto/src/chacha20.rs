@@ -109,10 +109,7 @@ mod tests {
             hex(&data[..32]),
             "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
         );
-        assert_eq!(
-            hex(&data[96..114]),
-            "5af90bbf74a35be6b40b8eedf2785e42874d"
-        );
+        assert_eq!(hex(&data[96..114]), "5af90bbf74a35be6b40b8eedf2785e42874d");
     }
 
     #[test]

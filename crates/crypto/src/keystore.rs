@@ -93,7 +93,10 @@ impl TeeKeystore {
     ) -> Result<KeyHandle, KeystoreError> {
         let derived: [u8; 32] = {
             let inner = self.inner.lock();
-            let key = inner.keys.get(&parent.0).ok_or(KeystoreError::UnknownHandle)?;
+            let key = inner
+                .keys
+                .get(&parent.0)
+                .ok_or(KeystoreError::UnknownHandle)?;
             Hkdf::derive(b"fiat-keystore", &key.material, info)
         };
         Ok(self.import(derived, purpose))
@@ -102,7 +105,10 @@ impl TeeKeystore {
     /// HMAC-SHA256 over `data` with a Sign-purpose key.
     pub fn sign(&self, handle: KeyHandle, data: &[u8]) -> Result<[u8; 32], KeystoreError> {
         let inner = self.inner.lock();
-        let key = inner.keys.get(&handle.0).ok_or(KeystoreError::UnknownHandle)?;
+        let key = inner
+            .keys
+            .get(&handle.0)
+            .ok_or(KeystoreError::UnknownHandle)?;
         if key.purpose != KeyPurpose::Sign {
             return Err(KeystoreError::WrongPurpose);
         }
@@ -117,7 +123,10 @@ impl TeeKeystore {
         tag: &[u8],
     ) -> Result<bool, KeystoreError> {
         let inner = self.inner.lock();
-        let key = inner.keys.get(&handle.0).ok_or(KeystoreError::UnknownHandle)?;
+        let key = inner
+            .keys
+            .get(&handle.0)
+            .ok_or(KeystoreError::UnknownHandle)?;
         if key.purpose != KeyPurpose::Sign {
             return Err(KeystoreError::WrongPurpose);
         }
@@ -133,7 +142,10 @@ impl TeeKeystore {
         plaintext: &[u8],
     ) -> Result<Vec<u8>, KeystoreError> {
         let inner = self.inner.lock();
-        let key = inner.keys.get(&handle.0).ok_or(KeystoreError::UnknownHandle)?;
+        let key = inner
+            .keys
+            .get(&handle.0)
+            .ok_or(KeystoreError::UnknownHandle)?;
         if key.purpose != KeyPurpose::Encrypt {
             return Err(KeystoreError::WrongPurpose);
         }
@@ -149,7 +161,10 @@ impl TeeKeystore {
         sealed: &[u8],
     ) -> Result<Vec<u8>, KeystoreError> {
         let inner = self.inner.lock();
-        let key = inner.keys.get(&handle.0).ok_or(KeystoreError::UnknownHandle)?;
+        let key = inner
+            .keys
+            .get(&handle.0)
+            .ok_or(KeystoreError::UnknownHandle)?;
         if key.purpose != KeyPurpose::Encrypt {
             return Err(KeystoreError::WrongPurpose);
         }

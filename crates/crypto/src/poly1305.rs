@@ -92,7 +92,13 @@ impl Poly1305 {
         let s2 = r[2] * 5;
         let s3 = r[3] * 5;
         let s4 = r[4] * 5;
-        let h64: [u64; 5] = [h[0] as u64, h[1] as u64, h[2] as u64, h[3] as u64, h[4] as u64];
+        let h64: [u64; 5] = [
+            h[0] as u64,
+            h[1] as u64,
+            h[2] as u64,
+            h[3] as u64,
+            h[4] as u64,
+        ];
         let d0 = h64[0] * r[0] as u64
             + h64[1] * s4 as u64
             + h64[2] * s3 as u64
@@ -141,7 +147,13 @@ impl Poly1305 {
         d[0] &= 0x3ffffff;
         d[1] += c;
 
-        self.acc = [d[0] as u32, d[1] as u32, d[2] as u32, d[3] as u32, d[4] as u32];
+        self.acc = [
+            d[0] as u32,
+            d[1] as u32,
+            d[2] as u32,
+            d[3] as u32,
+            d[4] as u32,
+        ];
     }
 
     /// Produce the 16-byte tag.

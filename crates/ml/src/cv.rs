@@ -116,7 +116,7 @@ mod tests {
     #[test]
     fn folds_cover_all_samples_once() {
         let d = blobs(10);
-        let r = cross_validate(&d, 5, 1, || NearestCentroid::default());
+        let r = cross_validate(&d, 5, 1, NearestCentroid::default);
         let total: usize = r.folds.iter().map(|f| f.total()).sum();
         assert_eq!(total, d.len());
     }
@@ -124,12 +124,9 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let d = blobs(20);
-        let a = cross_validate(&d, 5, 3, || NearestCentroid::default());
-        let b = cross_validate(&d, 5, 3, || NearestCentroid::default());
-        assert_eq!(
-            a.mean_balanced_accuracy(),
-            b.mean_balanced_accuracy()
-        );
+        let a = cross_validate(&d, 5, 3, NearestCentroid::default);
+        let b = cross_validate(&d, 5, 3, NearestCentroid::default);
+        assert_eq!(a.mean_balanced_accuracy(), b.mean_balanced_accuracy());
     }
 
     #[test]
@@ -142,7 +139,7 @@ mod tests {
             y.push((i / 3 + i / 7) % 2);
         }
         let d = Dataset::new(x, y);
-        let r = cross_validate(&d, 5, 0, || NearestCentroid::default());
+        let r = cross_validate(&d, 5, 0, NearestCentroid::default);
         let ba = r.mean_balanced_accuracy();
         assert!((0.3..0.7).contains(&ba), "balanced accuracy {ba}");
     }

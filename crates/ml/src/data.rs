@@ -43,7 +43,11 @@ impl Dataset {
     /// # Panics
     /// Panics if the number of names differs from the number of features.
     pub fn with_feature_names(mut self, names: Vec<String>) -> Self {
-        assert_eq!(names.len(), self.n_features(), "feature name count mismatch");
+        assert_eq!(
+            names.len(),
+            self.n_features(),
+            "feature name count mismatch"
+        );
         self.feature_names = names;
         self
     }

@@ -118,10 +118,7 @@ mod tests {
 
     #[test]
     fn k_larger_than_training_set_degrades_to_majority() {
-        let d = Dataset::new(
-            vec![vec![0.0], vec![0.1], vec![10.0]],
-            vec![0, 0, 1],
-        );
+        let d = Dataset::new(vec![vec![0.0], vec![0.1], vec![10.0]], vec![0, 0, 1]);
         let mut m = KNearestNeighbors::new(100, Distance::Euclidean);
         m.fit(&d);
         // Majority of all 3 points is class 0 regardless of query.

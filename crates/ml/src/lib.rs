@@ -107,7 +107,11 @@ mod tests {
     #[test]
     fn distance_to_self_is_zero() {
         let v = [1.5, -2.5, 3.5];
-        for d in [Distance::Euclidean, Distance::Manhattan, Distance::Chebyshev] {
+        for d in [
+            Distance::Euclidean,
+            Distance::Manhattan,
+            Distance::Chebyshev,
+        ] {
             assert_eq!(d.compute(&v, &v), 0.0);
         }
     }

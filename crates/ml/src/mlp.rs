@@ -96,7 +96,11 @@ impl Classifier for Mlp {
             let scale = (2.0 / sizes[l] as f64).sqrt();
             self.weights.push(
                 (0..sizes[l + 1])
-                    .map(|_| (0..sizes[l]).map(|_| rng.gen_range(-scale..scale)).collect())
+                    .map(|_| {
+                        (0..sizes[l])
+                            .map(|_| rng.gen_range(-scale..scale))
+                            .collect()
+                    })
                     .collect(),
             );
             self.biases.push(vec![0.0; sizes[l + 1]]);

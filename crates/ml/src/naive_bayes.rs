@@ -190,7 +190,12 @@ impl Classifier for GaussianNB {
         }
         let mut gvar_max = 0.0f64;
         for j in 0..d {
-            let v: f64 = data.x.iter().map(|r| (r[j] - gmean[j]).powi(2)).sum::<f64>() / n.max(1.0);
+            let v: f64 = data
+                .x
+                .iter()
+                .map(|r| (r[j] - gmean[j]).powi(2))
+                .sum::<f64>()
+                / n.max(1.0);
             gvar_max = gvar_max.max(v);
         }
         let eps = self.var_smoothing * gvar_max.max(1e-12);
@@ -336,7 +341,12 @@ mod tests {
     fn gaussian_handles_zero_variance_feature() {
         // Second feature constant: var floor prevents division by zero.
         let d = Dataset::new(
-            vec![vec![0.0, 7.0], vec![0.1, 7.0], vec![5.0, 7.0], vec![5.1, 7.0]],
+            vec![
+                vec![0.0, 7.0],
+                vec![0.1, 7.0],
+                vec![5.0, 7.0],
+                vec![5.1, 7.0],
+            ],
             vec![0, 0, 1, 1],
         );
         let mut m = GaussianNB::new();

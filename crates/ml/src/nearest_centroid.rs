@@ -99,7 +99,11 @@ mod tests {
 
     #[test]
     fn separable_blobs_classified_perfectly() {
-        for dist in [Distance::Euclidean, Distance::Manhattan, Distance::Chebyshev] {
+        for dist in [
+            Distance::Euclidean,
+            Distance::Manhattan,
+            Distance::Chebyshev,
+        ] {
             let mut m = NearestCentroid::new(dist);
             let d = blobs();
             m.fit(&d);

@@ -119,7 +119,11 @@ mod tests {
         m.fit(&d);
         let imp = permutation_importance(&m, &d, 20, 0);
         assert_eq!(imp[0].name, "signal");
-        assert!(imp[0].importance > 0.3, "signal importance {}", imp[0].importance);
+        assert!(
+            imp[0].importance > 0.3,
+            "signal importance {}",
+            imp[0].importance
+        );
     }
 
     #[test]

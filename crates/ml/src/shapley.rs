@@ -36,7 +36,9 @@ pub fn shapley_values(
 
     for _ in 0..n_permutations {
         // Background: every feature column independently shuffled.
+        // (`f` indexes a column across rows, not an element of `x`.)
         let mut x = data.x.clone();
+        #[allow(clippy::needless_range_loop)]
         for f in 0..d {
             let mut perm: Vec<usize> = (0..n).collect();
             perm.shuffle(&mut rng);

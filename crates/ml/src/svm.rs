@@ -71,7 +71,11 @@ impl Classifier for LinearSvc {
                     let eta = 1.0 / (self.lambda * t as f64);
                     let yi = if data.y[i] == class { 1.0 } else { -1.0 };
                     let margin = yi
-                        * (w.iter().zip(&data.x[i]).map(|(wj, xj)| wj * xj).sum::<f64>() + *b);
+                        * (w.iter()
+                            .zip(&data.x[i])
+                            .map(|(wj, xj)| wj * xj)
+                            .sum::<f64>()
+                            + *b);
                     // L2 shrink.
                     let shrink = 1.0 - eta * self.lambda;
                     for wj in w.iter_mut() {

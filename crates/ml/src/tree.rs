@@ -66,9 +66,7 @@ impl DecisionTree {
     pub fn fit_weighted(&mut self, data: &Dataset, weights: &[f64]) {
         assert_eq!(weights.len(), data.len(), "weight length mismatch");
         let idx: Vec<usize> = (0..data.len()).collect();
-        let mut rng = self
-            .feature_subsample_seed
-            .map(StdRng::seed_from_u64);
+        let mut rng = self.feature_subsample_seed.map(StdRng::seed_from_u64);
         self.depth_reached = 0;
         let depth_reached = &mut self.depth_reached;
         self.root = Some(Self::build(
@@ -177,8 +175,26 @@ impl DecisionTree {
                 if li.is_empty() || ri.is_empty() {
                     return Node::Leaf { class: majority };
                 }
-                let left = Self::build(data, w, &li, depth + 1, max_depth, min_split, rng, depth_reached);
-                let right = Self::build(data, w, &ri, depth + 1, max_depth, min_split, rng, depth_reached);
+                let left = Self::build(
+                    data,
+                    w,
+                    &li,
+                    depth + 1,
+                    max_depth,
+                    min_split,
+                    rng,
+                    depth_reached,
+                );
+                let right = Self::build(
+                    data,
+                    w,
+                    &ri,
+                    depth + 1,
+                    max_depth,
+                    min_split,
+                    rng,
+                    depth_reached,
+                );
                 Node::Split {
                     feature,
                     threshold,
@@ -221,7 +237,10 @@ impl DecisionTree {
         if total <= 0.0 {
             return 0.0;
         }
-        1.0 - counts.iter().map(|c| (c / total) * (c / total)).sum::<f64>()
+        1.0 - counts
+            .iter()
+            .map(|c| (c / total) * (c / total))
+            .sum::<f64>()
     }
 }
 
@@ -242,7 +261,11 @@ impl Classifier for DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -309,10 +332,7 @@ mod tests {
 
     #[test]
     fn zero_depth_is_majority_vote() {
-        let d = Dataset::new(
-            vec![vec![0.0], vec![1.0], vec![2.0]],
-            vec![1, 1, 0],
-        );
+        let d = Dataset::new(vec![vec![0.0], vec![1.0], vec![2.0]], vec![1, 1, 0]);
         let mut t = DecisionTree::new(0);
         t.fit(&d);
         assert_eq!(t.predict_one(&[0.0]), 1);
@@ -322,10 +342,7 @@ mod tests {
     #[test]
     fn weighted_fit_shifts_majority() {
         // Same data, but the single class-0 sample carries all the weight.
-        let d = Dataset::new(
-            vec![vec![0.0], vec![0.0], vec![0.0]],
-            vec![1, 1, 0],
-        );
+        let d = Dataset::new(vec![vec![0.0], vec![0.0], vec![0.0]], vec![1, 1, 0]);
         let mut t = DecisionTree::new(2);
         t.fit_weighted(&d, &[0.1, 0.1, 10.0]);
         assert_eq!(t.predict_one(&[0.0]), 0);

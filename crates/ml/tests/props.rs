@@ -19,24 +19,19 @@ use proptest::prelude::*;
 /// least one sample.
 fn arb_dataset() -> impl Strategy<Value = Dataset> {
     (2usize..4, 8usize..40, 2usize..6).prop_flat_map(|(classes, n, d)| {
-        prop::collection::vec(
-            (
-                prop::collection::vec(-100.0f64..100.0, d),
-                0..classes,
-            ),
-            n,
-        )
-        .prop_map(move |mut rows| {
-            // Guarantee every class appears.
-            for c in 0..classes {
-                if !rows.iter().any(|(_, y)| *y == c) {
-                    let proto = rows[0].0.clone();
-                    rows.push((proto, c));
+        prop::collection::vec((prop::collection::vec(-100.0f64..100.0, d), 0..classes), n).prop_map(
+            move |mut rows| {
+                // Guarantee every class appears.
+                for c in 0..classes {
+                    if !rows.iter().any(|(_, y)| *y == c) {
+                        let proto = rows[0].0.clone();
+                        rows.push((proto, c));
+                    }
                 }
-            }
-            let (x, y): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
-            Dataset::new(x, y).with_n_classes(classes)
-        })
+                let (x, y): (Vec<_>, Vec<_>) = rows.into_iter().unzip();
+                Dataset::new(x, y).with_n_classes(classes)
+            },
+        )
     })
 }
 

@@ -118,16 +118,32 @@ mod tests {
     #[test]
     fn classic_distinguishes_ports() {
         let dns = DnsTable::new();
-        let a = FlowKey::of(FlowDef::Classic, &pkt(443, 100, Direction::FromDevice), &dns);
-        let b = FlowKey::of(FlowDef::Classic, &pkt(8443, 100, Direction::FromDevice), &dns);
+        let a = FlowKey::of(
+            FlowDef::Classic,
+            &pkt(443, 100, Direction::FromDevice),
+            &dns,
+        );
+        let b = FlowKey::of(
+            FlowDef::Classic,
+            &pkt(8443, 100, Direction::FromDevice),
+            &dns,
+        );
         assert_ne!(a, b);
     }
 
     #[test]
     fn portless_ignores_ports() {
         let dns = DnsTable::new();
-        let a = FlowKey::of(FlowDef::PortLess, &pkt(443, 100, Direction::FromDevice), &dns);
-        let b = FlowKey::of(FlowDef::PortLess, &pkt(8443, 100, Direction::FromDevice), &dns);
+        let a = FlowKey::of(
+            FlowDef::PortLess,
+            &pkt(443, 100, Direction::FromDevice),
+            &dns,
+        );
+        let b = FlowKey::of(
+            FlowDef::PortLess,
+            &pkt(8443, 100, Direction::FromDevice),
+            &dns,
+        );
         assert_eq!(a, b);
     }
 
@@ -135,7 +151,11 @@ mod tests {
     fn portless_uses_domain_name() {
         let mut dns = DnsTable::new();
         dns.observe_forward(Ipv4Addr::new(52, 84, 1, 1), "iot.vendor.example");
-        let k = FlowKey::of(FlowDef::PortLess, &pkt(443, 100, Direction::FromDevice), &dns);
+        let k = FlowKey::of(
+            FlowDef::PortLess,
+            &pkt(443, 100, Direction::FromDevice),
+            &dns,
+        );
         match k {
             FlowKey::PortLess { remote, .. } => assert_eq!(remote, "iot.vendor.example"),
             _ => panic!("wrong variant"),
@@ -151,11 +171,19 @@ mod tests {
         dns.observe_forward(Ipv4Addr::new(99, 9, 9, 9), "iot.vendor.example");
         let mut p2 = pkt(443, 100, Direction::FromDevice);
         p2.remote_ip = Ipv4Addr::new(99, 9, 9, 9);
-        let a = FlowKey::of(FlowDef::PortLess, &pkt(443, 100, Direction::FromDevice), &dns);
+        let a = FlowKey::of(
+            FlowDef::PortLess,
+            &pkt(443, 100, Direction::FromDevice),
+            &dns,
+        );
         let b = FlowKey::of(FlowDef::PortLess, &p2, &dns);
         assert_eq!(a, b);
         // Classic keeps them apart.
-        let ca = FlowKey::of(FlowDef::Classic, &pkt(443, 100, Direction::FromDevice), &dns);
+        let ca = FlowKey::of(
+            FlowDef::Classic,
+            &pkt(443, 100, Direction::FromDevice),
+            &dns,
+        );
         let cb = FlowKey::of(FlowDef::Classic, &p2, &dns);
         assert_ne!(ca, cb);
     }
@@ -173,7 +201,11 @@ mod tests {
     #[test]
     fn direction_distinguishes_portless() {
         let dns = DnsTable::new();
-        let a = FlowKey::of(FlowDef::PortLess, &pkt(443, 100, Direction::FromDevice), &dns);
+        let a = FlowKey::of(
+            FlowDef::PortLess,
+            &pkt(443, 100, Direction::FromDevice),
+            &dns,
+        );
         let b = FlowKey::of(FlowDef::PortLess, &pkt(443, 100, Direction::ToDevice), &dns);
         assert_ne!(a, b);
     }

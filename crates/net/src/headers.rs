@@ -288,7 +288,10 @@ pub fn parse_frame(frame: &[u8]) -> Result<ParsedFrame, ParseError> {
             }
             let stored = u16::from_be_bytes([transport_bytes[6], transport_bytes[7]]);
             if stored != 0
-                && checksum(transport_bytes, pseudo_header_sum(src_ip, dst_ip, 17, t_len)) != 0
+                && checksum(
+                    transport_bytes,
+                    pseudo_header_sum(src_ip, dst_ip, 17, t_len),
+                ) != 0
             {
                 return Err(ParseError::BadTransportChecksum);
             }

@@ -40,9 +40,7 @@ impl fmt::Display for Transport {
 }
 
 /// TCP header flags, stored as the low 8 bits of the flags field.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct TcpFlags(pub u8);
 
 impl TcpFlags {

@@ -143,8 +143,7 @@ pub fn decode(bytes: &[u8]) -> Result<Trace, PcapError> {
         let ip = Ipv4Addr::from(r.u32()?);
         let source = r.u8()?;
         let name_len = r.u16()? as usize;
-        let name =
-            String::from_utf8(r.take(name_len)?.to_vec()).map_err(|_| PcapError::BadName)?;
+        let name = String::from_utf8(r.take(name_len)?.to_vec()).map_err(|_| PcapError::BadName)?;
         match source {
             0 => dns.observe_forward(ip, name),
             1 => dns.observe_reverse(ip, name),

@@ -217,7 +217,10 @@ mod tests {
         assert_eq!(t.as_millis(), 10_500);
         assert_eq!((t - SimTime::from_secs(10)).as_millis(), 500);
         // Saturating: earlier - later = 0.
-        assert_eq!(SimTime::from_secs(1) - SimTime::from_secs(5), SimDuration::ZERO);
+        assert_eq!(
+            SimTime::from_secs(1) - SimTime::from_secs(5),
+            SimDuration::ZERO
+        );
         assert_eq!(
             SimDuration::from_secs(3).abs_diff(SimDuration::from_secs(5)),
             SimDuration::from_secs(2)

@@ -43,7 +43,7 @@ pub fn build_client_hello(version: TlsVersion) -> Vec<u8> {
     body.push(0); // session_id length
     body.extend_from_slice(&[0x00, 0x02, 0x13, 0x01]); // one cipher suite
     body.extend_from_slice(&[0x01, 0x00]); // null compression
-    // Extensions.
+                                           // Extensions.
     let mut exts = Vec::new();
     if version == TlsVersion::Tls13 {
         exts.extend_from_slice(&EXT_SUPPORTED_VERSIONS.to_be_bytes());
@@ -162,7 +162,10 @@ mod tests {
         let hello = build_client_hello(TlsVersion::Tls13);
         assert_eq!(&hello[1..3], &[0x03, 0x01]); // record version
         let body_version_off = 5 + 4;
-        assert_eq!(&hello[body_version_off..body_version_off + 2], &[0x03, 0x03]);
+        assert_eq!(
+            &hello[body_version_off..body_version_off + 2],
+            &[0x03, 0x03]
+        );
         assert_eq!(sniff_version(&hello), TlsVersion::Tls13);
     }
 
@@ -170,7 +173,10 @@ mod tests {
     fn non_tls_bytes_yield_none() {
         assert_eq!(sniff_version(b""), TlsVersion::None);
         assert_eq!(sniff_version(&[0u8; 100]), TlsVersion::None);
-        assert_eq!(sniff_version(b"GET / HTTP/1.1\r\nHost: example.com\r\n\r\npadpadpad"), TlsVersion::None);
+        assert_eq!(
+            sniff_version(b"GET / HTTP/1.1\r\nHost: example.com\r\n\r\npadpadpad"),
+            TlsVersion::None
+        );
         // Application-data record type is not a hello.
         let mut app = build_client_hello(TlsVersion::Tls12);
         app[0] = 23;

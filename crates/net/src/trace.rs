@@ -168,7 +168,8 @@ mod tests {
         a.push(pkt(10, 0, TrafficClass::Control));
         let mut b = Trace::new();
         b.push(pkt(5, 1, TrafficClass::Control));
-        b.dns.observe_forward(Ipv4Addr::new(1, 2, 3, 4), "x.example");
+        b.dns
+            .observe_forward(Ipv4Addr::new(1, 2, 3, 4), "x.example");
         a.merge(b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.packets[0].device, 1);
@@ -179,7 +180,8 @@ mod tests {
     fn serde_roundtrip() {
         let mut t = Trace::new();
         t.push(pkt(1, 0, TrafficClass::Automated));
-        t.dns.observe_forward(Ipv4Addr::new(1, 2, 3, 4), "a.example");
+        t.dns
+            .observe_forward(Ipv4Addr::new(1, 2, 3, 4), "a.example");
         let json = serde_json::to_string(&t).unwrap();
         let back: Trace = serde_json::from_str(&json).unwrap();
         assert_eq!(back.len(), 1);

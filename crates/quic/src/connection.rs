@@ -17,6 +17,7 @@
 
 use crate::replay::ReplayStore;
 use fiat_crypto::{aead, Hkdf};
+use fiat_telemetry::{Counter, MetricRegistry};
 
 /// Errors surfaced by the channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -229,6 +230,57 @@ fn ticket_secret(psk: &[u8; 32], id: u64) -> [u8; 32] {
     out
 }
 
+/// Counters for the server (proxy) side of the channel. Defaults to
+/// detached counters so an uninstrumented [`Server`] costs one relaxed
+/// atomic op per packet; [`ServerTelemetry::registered`] exposes the same
+/// handles through a registry.
+#[derive(Debug, Clone, Default)]
+pub struct ServerTelemetry {
+    /// 1-RTT handshakes accepted (each issues a ticket).
+    pub handshakes: Counter,
+    /// 1-RTT packets opened successfully.
+    pub one_rtt_accepted: Counter,
+    /// 1-RTT packets rejected (bad state, stale number, decrypt failure).
+    pub one_rtt_rejected: Counter,
+    /// 0-RTT packets accepted.
+    pub zero_rtt_accepted: Counter,
+    /// 0-RTT packets rejected by the anti-replay store (§5.3 attack).
+    pub zero_rtt_replayed: Counter,
+    /// Other 0-RTT rejections (unknown ticket, decrypt failure).
+    pub zero_rtt_rejected: Counter,
+}
+
+impl ServerTelemetry {
+    /// Handles registered in `registry` under the `fiat_quic_*` names.
+    pub fn registered(registry: &MetricRegistry) -> Self {
+        registry.describe(
+            "fiat_quic_handshakes_total",
+            "1-RTT handshakes accepted by the proxy.",
+        );
+        registry.describe(
+            "fiat_quic_one_rtt_total",
+            "1-RTT packets processed by the proxy, by result.",
+        );
+        registry.describe(
+            "fiat_quic_zero_rtt_total",
+            "0-RTT packets processed by the proxy, by result.",
+        );
+        ServerTelemetry {
+            handshakes: registry.counter("fiat_quic_handshakes_total", &[]),
+            one_rtt_accepted: registry
+                .counter("fiat_quic_one_rtt_total", &[("result", "accepted")]),
+            one_rtt_rejected: registry
+                .counter("fiat_quic_one_rtt_total", &[("result", "rejected")]),
+            zero_rtt_accepted: registry
+                .counter("fiat_quic_zero_rtt_total", &[("result", "accepted")]),
+            zero_rtt_replayed: registry
+                .counter("fiat_quic_zero_rtt_total", &[("result", "replayed")]),
+            zero_rtt_rejected: registry
+                .counter("fiat_quic_zero_rtt_total", &[("result", "rejected")]),
+        }
+    }
+}
+
 /// Server (IoT proxy) side of the channel.
 pub struct Server {
     psk: [u8; 32],
@@ -237,6 +289,7 @@ pub struct Server {
     replay: ReplayStore,
     send_pn: u64,
     recv_pn: u64,
+    telemetry: ServerTelemetry,
 }
 
 impl Server {
@@ -249,7 +302,19 @@ impl Server {
             replay: ReplayStore::new(),
             send_pn: 0,
             recv_pn: 0,
+            telemetry: ServerTelemetry::default(),
         }
+    }
+
+    /// Report through externally supplied counters (typically
+    /// [`ServerTelemetry::registered`] in a shared registry).
+    pub fn set_telemetry(&mut self, telemetry: ServerTelemetry) {
+        self.telemetry = telemetry;
+    }
+
+    /// The server's counters.
+    pub fn telemetry(&self) -> &ServerTelemetry {
+        &self.telemetry
     }
 
     /// Accept a ClientHello; returns the ServerHello carrying a fresh
@@ -260,6 +325,7 @@ impl Server {
         self.next_ticket_id += 1;
         self.send_pn = 0;
         self.recv_pn = 0;
+        self.telemetry.handshakes.inc();
         ServerHello {
             server_random,
             ticket: SessionTicket { id },
@@ -268,6 +334,15 @@ impl Server {
 
     /// Open a client-to-server 1-RTT packet.
     pub fn open(&mut self, pkt: &Packet) -> Result<Vec<u8>, QuicError> {
+        let out = self.open_inner(pkt);
+        match out {
+            Ok(_) => self.telemetry.one_rtt_accepted.inc(),
+            Err(_) => self.telemetry.one_rtt_rejected.inc(),
+        }
+        out
+    }
+
+    fn open_inner(&mut self, pkt: &Packet) -> Result<Vec<u8>, QuicError> {
         let key = self.key.ok_or(QuicError::BadState)?;
         if pkt.number <= self.recv_pn {
             return Err(QuicError::StalePacketNumber);
@@ -297,6 +372,16 @@ impl Server {
     /// Accept a 0-RTT packet: ticket must have been issued by this server
     /// and the (ticket, nonce) pair never seen before.
     pub fn accept_zero_rtt(&mut self, pkt: &ZeroRttPacket) -> Result<Vec<u8>, QuicError> {
+        let out = self.accept_zero_rtt_inner(pkt);
+        match out {
+            Ok(_) => self.telemetry.zero_rtt_accepted.inc(),
+            Err(QuicError::Replayed) => self.telemetry.zero_rtt_replayed.inc(),
+            Err(_) => self.telemetry.zero_rtt_rejected.inc(),
+        }
+        out
+    }
+
+    fn accept_zero_rtt_inner(&mut self, pkt: &ZeroRttPacket) -> Result<Vec<u8>, QuicError> {
         if pkt.ticket.id == 0 || pkt.ticket.id >= self.next_ticket_id {
             return Err(QuicError::UnknownTicket);
         }
@@ -422,10 +507,55 @@ mod tests {
     }
 
     #[test]
+    fn server_telemetry_counts_every_path() {
+        let registry = MetricRegistry::new();
+        let mut c = Client::new(PSK);
+        let mut s = Server::new(PSK);
+        s.set_telemetry(ServerTelemetry::registered(&registry));
+        handshake(&mut c, &mut s);
+        assert_eq!(s.telemetry().handshakes.get(), 1);
+
+        let p = c.seal(b"data").unwrap();
+        assert!(s.open(&p).is_ok());
+        assert_eq!(s.open(&p), Err(QuicError::StalePacketNumber));
+        assert_eq!(s.telemetry().one_rtt_accepted.get(), 1);
+        assert_eq!(s.telemetry().one_rtt_rejected.get(), 1);
+
+        let z = c.seal_zero_rtt(b"early").unwrap();
+        assert!(s.accept_zero_rtt(&z).is_ok());
+        assert_eq!(s.accept_zero_rtt(&z), Err(QuicError::Replayed));
+        let mut bad = c.seal_zero_rtt(b"x").unwrap();
+        bad.ticket.id = 999;
+        assert_eq!(s.accept_zero_rtt(&bad), Err(QuicError::UnknownTicket));
+        assert_eq!(s.telemetry().zero_rtt_accepted.get(), 1);
+        assert_eq!(s.telemetry().zero_rtt_replayed.get(), 1);
+        assert_eq!(s.telemetry().zero_rtt_rejected.get(), 1);
+
+        // The registry exposes the same counts.
+        let text = registry.render_prometheus();
+        assert!(text.contains("fiat_quic_handshakes_total 1"));
+        assert!(text.contains("fiat_quic_zero_rtt_total{result=\"replayed\"} 1"));
+    }
+
+    #[test]
     fn tickets_are_per_connection_and_increasing() {
         let mut s = Server::new(PSK);
-        let t1 = s.accept(&ClientHello { client_random: [0; 32] }, [1; 32]).ticket;
-        let t2 = s.accept(&ClientHello { client_random: [0; 32] }, [1; 32]).ticket;
+        let t1 = s
+            .accept(
+                &ClientHello {
+                    client_random: [0; 32],
+                },
+                [1; 32],
+            )
+            .ticket;
+        let t2 = s
+            .accept(
+                &ClientHello {
+                    client_random: [0; 32],
+                },
+                [1; 32],
+            )
+            .ticket;
         assert!(t2.id > t1.id);
     }
 }

@@ -20,7 +20,8 @@ pub mod connection;
 pub mod replay;
 
 pub use connection::{
-    Client, ClientHello, Packet, QuicError, Server, ServerHello, SessionTicket, ZeroRttPacket,
+    Client, ClientHello, Packet, QuicError, Server, ServerHello, ServerTelemetry, SessionTicket,
+    ZeroRttPacket,
 };
 pub use replay::ReplayStore;
 

@@ -10,9 +10,7 @@ use crate::imu::ImuTrace;
 /// Number of extracted features.
 pub const FEATURE_COUNT: usize = 48;
 
-const STATS: [&str; 8] = [
-    "mean", "std", "min", "max", "range", "rms", "skew", "kurt",
-];
+const STATS: [&str; 8] = ["mean", "std", "min", "max", "range", "rms", "skew", "kurt"];
 
 /// Names of the 48 features, aligned with [`extract_features`] output.
 pub fn feature_names() -> Vec<String> {

@@ -191,7 +191,11 @@ mod tests {
     #[test]
     fn trained_validator_separates_classes_well() {
         let (_, report) = HumannessValidator::train(60, 42);
-        assert!(report.recall_human > 0.9, "human recall {}", report.recall_human);
+        assert!(
+            report.recall_human > 0.9,
+            "human recall {}",
+            report.recall_human
+        );
         assert!(
             report.recall_non_human > 0.9,
             "non-human recall {}",

@@ -89,10 +89,10 @@ impl LazyImuBuffer {
         while t < t_ms {
             t += 1;
             let deliver = match self.mode {
-                BufferMode::Low => t % low_step_ms == 0,
+                BufferMode::Low => t.is_multiple_of(low_step_ms),
                 BufferMode::High => match self.high_effective_from {
                     Some(eff) if t >= eff => t * full_rate % 1000 < full_rate,
-                    _ => t % low_step_ms == 0,
+                    _ => t.is_multiple_of(low_step_ms),
                 },
             };
             if deliver {

@@ -113,9 +113,7 @@ impl SpoofedLan {
 
     /// Next-hop MAC a device uses for WAN-bound traffic.
     pub fn device_next_hop(&self, device: u16) -> Option<MacAddr> {
-        self.device_tables
-            .get(&device)?
-            .resolve(self.gateway_ip)
+        self.device_tables.get(&device)?.resolve(self.gateway_ip)
     }
 
     /// Next-hop MAC the gateway uses toward a device.

@@ -53,7 +53,8 @@ impl TcpRetransmitModel {
     /// Returns `Some(delivery_time)` if the command completes before both
     /// the TCP abort and the application deadline, else `None`.
     pub fn delivery_with_hold(&self, hold: SimDuration) -> Option<SimDuration> {
-        let abort_time = self.attempt_time(self.max_retries) + self.initial_rto * (1 << self.max_retries);
+        let abort_time =
+            self.attempt_time(self.max_retries) + self.initial_rto * (1 << self.max_retries);
         if hold >= abort_time {
             return None; // sender gave up before the release
         }
@@ -74,7 +75,8 @@ impl TcpRetransmitModel {
     /// that the connection tolerates.
     pub fn max_tolerated_delay(&self) -> SimDuration {
         let mut lo = 0u64;
-        let mut hi = self.app_deadline.as_millis() + self.attempt_time(self.max_retries).as_millis();
+        let mut hi =
+            self.app_deadline.as_millis() + self.attempt_time(self.max_retries).as_millis();
         while lo < hi {
             let mid = (lo + hi).div_ceil(2);
             if self.tolerates(SimDuration::from_millis(mid)) {

@@ -1,0 +1,149 @@
+//! Bounded ring-buffer journal of recent events.
+//!
+//! Counters tell the operator *how often*; the journal tells them *what,
+//! most recently*. It keeps the last `capacity` entries, evicting the
+//! oldest, and counts what it has evicted so a reader can tell whether
+//! the window is complete.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug)]
+struct JournalState<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    total: u64,
+}
+
+/// A thread-safe, bounded, most-recent-first-evicting event buffer.
+/// Clones share the same underlying buffer.
+#[derive(Debug, Clone)]
+pub struct Journal<T> {
+    state: Arc<Mutex<JournalState<T>>>,
+}
+
+impl<T> Journal<T> {
+    /// A journal holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Journal {
+            state: Arc::new(Mutex::new(JournalState {
+                buf: VecDeque::with_capacity(capacity),
+                capacity,
+                total: 0,
+            })),
+        }
+    }
+
+    /// Append an entry, evicting the oldest when full.
+    pub fn push(&self, item: T) {
+        let mut s = self.state.lock().unwrap();
+        if s.buf.len() == s.capacity {
+            s.buf.pop_front();
+        }
+        s.buf.push_back(item);
+        s.total += 1;
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().buf.len()
+    }
+
+    /// Whether the journal holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum entries held.
+    pub fn capacity(&self) -> usize {
+        self.state.lock().unwrap().capacity
+    }
+
+    /// Entries ever pushed (including evicted ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.state.lock().unwrap().total
+    }
+
+    /// Entries evicted to make room.
+    pub fn evicted(&self) -> u64 {
+        let s = self.state.lock().unwrap();
+        s.total - s.buf.len() as u64
+    }
+}
+
+impl<T: Clone> Journal<T> {
+    /// The retained entries, oldest first.
+    pub fn recent(&self) -> Vec<T> {
+        self.state.lock().unwrap().buf.iter().cloned().collect()
+    }
+
+    /// The most recent entry, if any.
+    pub fn last(&self) -> Option<T> {
+        self.state.lock().unwrap().buf.back().cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_most_recent_up_to_capacity() {
+        let j = Journal::new(3);
+        for i in 0..5 {
+            j.push(i);
+        }
+        assert_eq!(j.recent(), vec![2, 3, 4]);
+        assert_eq!(j.last(), Some(4));
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.capacity(), 3);
+        assert_eq!(j.total_pushed(), 5);
+        assert_eq!(j.evicted(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let j = Journal::new(0);
+        j.push("a");
+        j.push("b");
+        assert_eq!(j.recent(), vec!["b"]);
+        assert_eq!(j.capacity(), 1);
+    }
+
+    #[test]
+    fn empty_journal() {
+        let j: Journal<u8> = Journal::new(4);
+        assert!(j.is_empty());
+        assert_eq!(j.recent(), Vec::<u8>::new());
+        assert_eq!(j.last(), None);
+        assert_eq!(j.evicted(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let j = Journal::new(2);
+        let j2 = j.clone();
+        j.push(1);
+        j2.push(2);
+        assert_eq!(j.recent(), vec![1, 2]);
+    }
+
+    #[test]
+    fn concurrent_pushes_account_for_everything() {
+        let j = Journal::new(64);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let j = j.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        j.push(t * 100 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(j.total_pushed(), 400);
+        assert_eq!(j.len(), 64);
+        assert_eq!(j.evicted(), 336);
+    }
+}

@@ -1,0 +1,44 @@
+//! # fiat-telemetry — observability for the FIAT proxy decision path
+//!
+//! A zero-dependency measurement layer sized for a line-rate packet
+//! decider on small hardware:
+//!
+//! - [`MetricRegistry`] — thread-safe, named [`Counter`]s, [`Gauge`]s and
+//!   log-linear-bucket [`Histogram`]s (p50/p90/p99/max queries, one
+//!   relaxed atomic op per update on the hot path).
+//! - [`Span`] — stage-latency timing driven by a pluggable [`Clock`], so
+//!   real deployments use the OS monotonic clock ([`WallClock`]) while
+//!   deterministic experiments drive simulated time ([`ManualClock`]).
+//! - [`Journal`] — a bounded ring buffer of recent decisions for "what
+//!   just happened" debugging.
+//! - [`Snapshot`] exposition — Prometheus text format and a
+//!   `serde_json`-compatible JSON document, both rendered without any
+//!   serialization dependency.
+//!
+//! ```
+//! use fiat_telemetry::{ManualClock, MetricRegistry, Span};
+//!
+//! let reg = MetricRegistry::new();
+//! let clock = ManualClock::new();
+//! reg.describe("fiat_proxy_decisions_total", "Packets decided, by reason.");
+//! reg.counter("fiat_proxy_decisions_total", &[("reason", "rule_hit")]).inc();
+//! let stage = reg.histogram("fiat_proxy_stage_us", &[("stage", "rule_match")]);
+//! {
+//!     let _span = Span::enter(&stage, &clock);
+//!     clock.advance_micros(12);
+//! }
+//! assert!(reg.render_prometheus().contains("fiat_proxy_decisions_total"));
+//! assert!(reg.render_json().starts_with("{\"counters\":["));
+//! ```
+
+pub mod clock;
+pub mod expose;
+pub mod journal;
+pub mod metrics;
+pub mod span;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use expose::{CounterSample, GaugeSample, HistogramSample, Snapshot};
+pub use journal::Journal;
+pub use metrics::{Counter, Gauge, Histogram, MetricRegistry, NUM_BUCKETS};
+pub use span::Span;

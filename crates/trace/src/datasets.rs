@@ -238,7 +238,13 @@ pub fn soundtouch_flows(seed: u64) -> Trace {
         confusion: 0.0,
     };
     let mut trace = Trace::new();
-    model.emit_control(&mut trace, 0, Location::Us, SimDuration::from_mins(30), &mut rng);
+    model.emit_control(
+        &mut trace,
+        0,
+        Location::Us,
+        SimDuration::from_mins(30),
+        &mut rng,
+    );
     trace.finish();
     trace
 }
@@ -370,7 +376,12 @@ mod tests {
         t.finish();
         let agg = aggregate_5s(&t);
         assert!(!agg.is_empty());
-        assert!(agg.len() * 3 < t.len(), "agg {} vs raw {}", agg.len(), t.len());
+        assert!(
+            agg.len() * 3 < t.len(),
+            "agg {} vs raw {}",
+            agg.len(),
+            t.len()
+        );
         // Sums of ~5 packets of 100 B each.
         assert!(agg.packets.iter().all(|p| p.size >= 100 && p.size <= 700));
         // Windows aligned to 5 s.

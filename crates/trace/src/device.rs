@@ -158,12 +158,16 @@ impl DeviceModel {
                     .dns
                     .observe_forward(location.cloud_ip(endpoint, r), domain.clone());
             }
-            let mut t = SimTime::ZERO + SimDuration::from_millis(rng.gen_range(0..flow.period.as_millis().max(1)));
+            let mut t = SimTime::ZERO
+                + SimDuration::from_millis(rng.gen_range(0..flow.period.as_millis().max(1)));
             let mut port = ephemeral_port(rng);
             let mut count = 0u32;
             let mut replica = 0u8;
             while t < SimTime::ZERO + duration {
-                if flow.port_churn_every > 0 && count > 0 && count % flow.port_churn_every == 0 {
+                if flow.port_churn_every > 0
+                    && count > 0
+                    && count.is_multiple_of(flow.port_churn_every)
+                {
                     port = ephemeral_port(rng);
                 }
                 trace.push(PacketRecord {
@@ -287,14 +291,14 @@ impl DeviceModel {
             emitted += 1;
             // Command-burst gaps are continuous (human/network timing):
             // microsecond resolution ensures intervals never repeat.
-            t = t + SimDuration::from_micros(
+            t += SimDuration::from_micros(
                 rng.gen_range(shape.iat_ms.0 * 1000..=shape.iat_ms.1 * 1000),
             );
         }
         if let Some(stream) = shape.stream {
             let sn = rng.gen_range(stream.n.0..=stream.n.1);
             for _ in 0..sn {
-                t = t + SimDuration::from_millis(stream.iat_ms);
+                t += SimDuration::from_millis(stream.iat_ms);
                 trace.push(PacketRecord {
                     ts: t,
                     device: device_idx,
@@ -471,8 +475,7 @@ mod tests {
         );
         trace.finish();
         assert_eq!(n, 12);
-        let tail: Vec<&PacketRecord> =
-            trace.packets.iter().filter(|p| p.size == 1400).collect();
+        let tail: Vec<&PacketRecord> = trace.packets.iter().filter(|p| p.size == 1400).collect();
         assert_eq!(tail.len(), 10);
         // Constant inter-arrival.
         for w in tail.windows(2) {
@@ -486,9 +489,21 @@ mod tests {
         let mut us = Trace::new();
         let mut de = Trace::new();
         let mut rng = StdRng::seed_from_u64(3);
-        m.emit_control(&mut us, 0, Location::Us, SimDuration::from_mins(5), &mut rng);
+        m.emit_control(
+            &mut us,
+            0,
+            Location::Us,
+            SimDuration::from_mins(5),
+            &mut rng,
+        );
         let mut rng = StdRng::seed_from_u64(3);
-        m.emit_control(&mut de, 0, Location::Germany, SimDuration::from_mins(5), &mut rng);
+        m.emit_control(
+            &mut de,
+            0,
+            Location::Germany,
+            SimDuration::from_mins(5),
+            &mut rng,
+        );
         assert_ne!(us.packets[0].remote_ip, de.packets[0].remote_ip);
         assert_eq!(
             de.dns.name_of(Location::Germany.cloud_ip(100, 0)),
@@ -503,7 +518,13 @@ mod tests {
         m.control_flows[0].port_churn_every = 2;
         let mut trace = Trace::new();
         let mut rng = StdRng::seed_from_u64(4);
-        m.emit_control(&mut trace, 0, Location::Us, SimDuration::from_mins(10), &mut rng);
+        m.emit_control(
+            &mut trace,
+            0,
+            Location::Us,
+            SimDuration::from_mins(10),
+            &mut rng,
+        );
         let ports: Vec<u16> = trace.packets.iter().map(|p| p.local_port).collect();
         let distinct: std::collections::HashSet<u16> = ports.iter().copied().collect();
         assert!(distinct.len() > 1, "expected port churn, got {distinct:?}");
@@ -529,7 +550,10 @@ mod tests {
             SimTime::ZERO,
             &mut rng,
         );
-        assert!(trace.packets.iter().all(|p| p.label == TrafficClass::Manual));
+        assert!(trace
+            .packets
+            .iter()
+            .all(|p| p.label == TrafficClass::Manual));
         assert_eq!(trace.packets[0].size, 999);
     }
 

@@ -83,10 +83,7 @@ mod tests {
 
     #[test]
     fn ip_spaces_disjoint() {
-        let ips: Vec<Ipv4Addr> = Location::ALL
-            .iter()
-            .map(|l| l.cloud_ip(7, 1))
-            .collect();
+        let ips: Vec<Ipv4Addr> = Location::ALL.iter().map(|l| l.cloud_ip(7, 1)).collect();
         assert_ne!(ips[0].octets()[0], ips[1].octets()[0]);
         assert_ne!(ips[1].octets()[0], ips[2].octets()[0]);
     }

@@ -89,7 +89,9 @@ impl TestbedTrace {
             // Build the per-device event schedule with a 30 s minimum gap
             // so distinct events never merge under the 5 s grouping rule.
             let mut starts: Vec<(SimTime, TrafficClass)> = Vec::new();
-            let reserve = |rng: &mut StdRng, class: TrafficClass, starts: &mut Vec<(SimTime, TrafficClass)>| {
+            let reserve = |rng: &mut StdRng,
+                           class: TrafficClass,
+                           starts: &mut Vec<(SimTime, TrafficClass)>| {
                 for _ in 0..200 {
                     let t = SimTime::from_millis(rng.gen_range(0..duration.as_millis().max(1)));
                     let min_gap = SimDuration::from_secs(30);
@@ -106,8 +108,7 @@ impl TestbedTrace {
             // Manual interactions (usage-weighted: plugs most, mop least —
             // §3.1 reports 40 plug vs 8 mop interactions).
             let usage = dev.usage_factor();
-            let n_manual =
-                (config.days * config.manual_per_day * usage).round() as usize;
+            let n_manual = (config.days * config.manual_per_day * usage).round() as usize;
             for _ in 0..n_manual {
                 reserve(&mut rng, TrafficClass::Manual, &mut starts);
             }
@@ -248,6 +249,7 @@ fn telemetry_burst(
 /// The ten Table 1 devices, in a fixed order (index = device id):
 /// 0 EchoDot4, 1 HomeMini, 2 WyzeCam, 3 SP10, 4 Home, 5 Nest-E,
 /// 6 EchoDot3, 7 E4, 8 Blink, 9 WP3.
+#[allow(clippy::vec_init_then_push)] // one commented push block per device
 pub fn testbed_devices() -> Vec<DeviceModel> {
     let mut devices = Vec::new();
 
@@ -259,7 +261,14 @@ pub fn testbed_devices() -> Vec<DeviceModel> {
         control_flows: vec![
             flow("avs.amazon.com", Direction::FromDevice, 66, 30, 0, 2),
             flow("avs.amazon.com", Direction::ToDevice, 123, 30, 0, 2),
-            flow("device-metrics.amazon.com", Direction::FromDevice, 489, 300, 4, 2),
+            flow(
+                "device-metrics.amazon.com",
+                Direction::FromDevice,
+                489,
+                300,
+                4,
+                2,
+            ),
             udp_flow("ntp.amazon.com", 76, 480),
             udp_flow("dns.amazon.com", 70, 150),
         ],
@@ -306,7 +315,14 @@ pub fn testbed_devices() -> Vec<DeviceModel> {
         control_flows: vec![
             flow("clients.google.com", Direction::FromDevice, 92, 20, 0, 3),
             flow("clients.google.com", Direction::ToDevice, 105, 20, 0, 3),
-            flow("cast-edge.google.com", Direction::FromDevice, 311, 180, 6, 2),
+            flow(
+                "cast-edge.google.com",
+                Direction::FromDevice,
+                311,
+                180,
+                6,
+                2,
+            ),
             udp_flow("time.google.com", 76, 600),
         ],
         control_events: Some((
@@ -413,7 +429,14 @@ pub fn testbed_devices() -> Vec<DeviceModel> {
         control_flows: vec![
             flow("clients.google.com", Direction::FromDevice, 92, 25, 0, 3),
             flow("clients.google.com", Direction::ToDevice, 105, 25, 0, 3),
-            flow("cast-edge.google.com", Direction::FromDevice, 311, 200, 6, 2),
+            flow(
+                "cast-edge.google.com",
+                Direction::FromDevice,
+                311,
+                200,
+                6,
+                2,
+            ),
             udp_flow("time.google.com", 76, 600),
         ],
         control_events: Some((
@@ -458,7 +481,14 @@ pub fn testbed_devices() -> Vec<DeviceModel> {
         endpoint_base: 250,
         control_flows: vec![
             // Sparser control than speakers: fewer, slower flows.
-            flow("nest-weave.google.com", Direction::FromDevice, 131, 120, 0, 1),
+            flow(
+                "nest-weave.google.com",
+                Direction::FromDevice,
+                131,
+                120,
+                0,
+                1,
+            ),
             flow("nest-weave.google.com", Direction::ToDevice, 144, 120, 0, 1),
             udp_flow("time.google.com", 76, 540),
         ],
@@ -509,7 +539,14 @@ pub fn testbed_devices() -> Vec<DeviceModel> {
         control_flows: vec![
             flow("avs.amazon.com", Direction::FromDevice, 66, 30, 0, 2),
             flow("avs.amazon.com", Direction::ToDevice, 123, 30, 0, 2),
-            flow("device-metrics.amazon.com", Direction::FromDevice, 489, 300, 4, 2),
+            flow(
+                "device-metrics.amazon.com",
+                Direction::FromDevice,
+                489,
+                300,
+                4,
+                2,
+            ),
             udp_flow("ntp.amazon.com", 76, 480),
         ],
         control_events: Some((
@@ -597,8 +634,22 @@ pub fn testbed_devices() -> Vec<DeviceModel> {
         kind: DeviceKind::Camera,
         endpoint_base: 400,
         control_flows: vec![
-            flow("rest-prod.immedia-semi.com", Direction::FromDevice, 95, 45, 0, 1),
-            flow("rest-prod.immedia-semi.com", Direction::ToDevice, 104, 45, 0, 1),
+            flow(
+                "rest-prod.immedia-semi.com",
+                Direction::FromDevice,
+                95,
+                45,
+                0,
+                1,
+            ),
+            flow(
+                "rest-prod.immedia-semi.com",
+                Direction::ToDevice,
+                104,
+                45,
+                0,
+                1,
+            ),
             udp_flow("stun.immedia-semi.com", 98, 300),
         ],
         control_events: Some((
@@ -768,7 +819,9 @@ mod tests {
         assert_eq!(n["SP10"], 1);
         assert_eq!(n["WP3"], 1);
         assert_eq!(n["WyzeCam"], 41);
-        assert!(d.iter().all(|m| (1..=41).contains(&m.min_packets_to_complete)));
+        assert!(d
+            .iter()
+            .all(|m| (1..=41).contains(&m.min_packets_to_complete)));
     }
 
     #[test]
@@ -782,11 +835,7 @@ mod tests {
         assert!(!tb.trace.is_empty());
         assert_eq!(tb.trace.devices().len(), 10);
         // Packets are time ordered.
-        assert!(tb
-            .trace
-            .packets
-            .windows(2)
-            .all(|w| w[0].ts <= w[1].ts));
+        assert!(tb.trace.packets.windows(2).all(|w| w[0].ts <= w[1].ts));
         // Every device has control traffic; most have manual events.
         for dev in 0..10 {
             assert!(
@@ -810,8 +859,7 @@ mod tests {
             ..Default::default()
         });
         for dev in 0..10u16 {
-            let mut starts: Vec<SimTime> =
-                tb.device_events(dev).map(|e| e.start).collect();
+            let mut starts: Vec<SimTime> = tb.device_events(dev).map(|e| e.start).collect();
             starts.sort();
             for w in starts.windows(2) {
                 assert!(

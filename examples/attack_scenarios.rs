@@ -82,7 +82,7 @@ fn main() {
     let z = app
         .authorize_zero_rtt("plug.app", &imu, MotionKind::HumanTouch, t.as_micros())
         .unwrap();
-    assert_eq!(proxy.on_auth_zero_rtt(&z, t).unwrap(), true);
+    assert!(proxy.on_auth_zero_rtt(&z, t).unwrap());
     let replay_at = t + SimDuration::from_mins(10);
     let replayed = proxy.on_auth_zero_rtt(&z, replay_at);
     println!("replayed evidence: {replayed:?}");
@@ -95,7 +95,12 @@ fn main() {
     rogue.complete_handshake(&sh).unwrap();
     let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 3);
     let z = rogue
-        .authorize_zero_rtt("plug.app", &imu, MotionKind::HumanTouch, replay_at.as_micros())
+        .authorize_zero_rtt(
+            "plug.app",
+            &imu,
+            MotionKind::HumanTouch,
+            replay_at.as_micros(),
+        )
         .unwrap();
     let forged = proxy.on_auth_zero_rtt(&z, replay_at + SimDuration::from_secs(1));
     println!("forged evidence: {forged:?}");
@@ -106,7 +111,7 @@ fn main() {
     for _ in 0..3 {
         let d = proxy.on_packet(&plug_command(t));
         println!("injection verdict: {d:?}");
-        t = t + SimDuration::from_secs(10);
+        t += SimDuration::from_secs(10);
     }
     println!("plug locked out: {}", proxy.is_locked(PLUG));
     assert!(proxy.is_locked(PLUG));

@@ -35,7 +35,10 @@ fn main() {
         }
     }
     let identifier = DeviceIdentifier::train(&samples, &lab.trace.dns);
-    println!("identifier knows {} device types", identifier.known_devices().len());
+    println!(
+        "identifier knows {} device types",
+        identifier.known_devices().len()
+    );
 
     // Publish one classifier model per device type (version 1), with a
     // version-2 refresh for the plugs.
@@ -67,7 +70,7 @@ fn main() {
         seed: 77,
         ..Default::default()
     });
-    println!("\n{:<10} {:<12} {}", "actual", "identified", "model");
+    println!("\n{:<10} {:<12} model", "actual", "identified");
     let mut correct = 0;
     for (i, dev) in home.devices.iter().enumerate() {
         let w = window(&home, i as u16, 0);

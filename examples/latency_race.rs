@@ -20,7 +20,8 @@ fn main() {
         let mut worst_margin_ms = f64::INFINITY;
         for _ in 0..reps {
             let comp = LatencyBreakdown::sample(&mut rng);
-            let auth = comp.critical_path() + net.phone_to_proxy(loc) + ZERO_RTT_PROC + ML_VALIDATION;
+            let auth =
+                comp.critical_path() + net.phone_to_proxy(loc) + ZERO_RTT_PROC + ML_VALIDATION;
             let command = net.command_first_packet(loc);
             let margin = command.as_millis_f64() - auth.as_millis_f64();
             if margin > 0.0 {

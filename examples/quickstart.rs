@@ -39,7 +39,10 @@ fn main() {
 
     // --- 3. Event classification --------------------------------------
     let events = group_events(&capture.trace.packets, &report.flags, EVENT_GAP);
-    println!("\n{} unpredictable events grouped (5 s gap rule)", events.len());
+    println!(
+        "\n{} unpredictable events grouped (5 s gap rule)",
+        events.len()
+    );
     let dev0_events: Vec<_> = events.iter().filter(|e| e.device == 0).cloned().collect();
     let data = event_dataset(&dev0_events, &capture.trace.packets);
     let _classifier = EventClassifier::train_bernoulli(&data);
@@ -52,7 +55,7 @@ fn main() {
 
     // --- 4. Frictionless authorization ---------------------------------
     let ceremony = [0x42u8; 32]; // the QR code scanned at install time
-    // A deterministic validator keeps the demo reproducible.
+                                 // A deterministic validator keeps the demo reproducible.
     let validator = HumannessValidator::with_operating_point(1.0, 1.0, 1);
     let mut proxy = fiat::core::FiatProxy::new(ProxyConfig::default(), &ceremony, validator);
     proxy.set_dns(capture.trace.dns.clone());
@@ -87,7 +90,12 @@ fn main() {
     let t = bootstrap_end + SimDuration::from_secs(60);
     let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 3);
     let evidence = app
-        .authorize_zero_rtt("com.teckin.smartplug", &imu, MotionKind::HumanTouch, t.as_micros())
+        .authorize_zero_rtt(
+            "com.teckin.smartplug",
+            &imu,
+            MotionKind::HumanTouch,
+            t.as_micros(),
+        )
         .unwrap();
     let verified = proxy.on_auth_zero_rtt(&evidence, t).unwrap();
     println!("humanness evidence verified: {verified}");
@@ -105,5 +113,9 @@ fn main() {
     let decision = proxy.on_packet(&command);
     println!("attacker command decision: {decision:?}");
     assert!(!decision.is_allow(), "unverified manual command must drop");
-    println!("\naudit log: {} entries, chain valid: {}", proxy.audit().len(), proxy.audit().verify());
+    println!(
+        "\naudit log: {} entries, chain valid: {}",
+        proxy.audit().len(),
+        proxy.audit().verify()
+    );
 }

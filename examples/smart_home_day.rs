@@ -62,7 +62,11 @@ fn main() {
         .events
         .iter()
         .filter(|e| e.class == TrafficClass::Manual)
-        .map(|e| e.start.checked_sub(SimDuration::from_millis(300)).unwrap_or(SimTime::ZERO))
+        .map(|e| {
+            e.start
+                .checked_sub(SimDuration::from_millis(300))
+                .unwrap_or(SimTime::ZERO)
+        })
         .collect();
     evidence.sort();
     let mut next = 0usize;
@@ -75,7 +79,12 @@ fn main() {
             next += 1;
             let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 1000 + k as u64);
             let z = app
-                .authorize_zero_rtt("iot.companion", &imu, MotionKind::HumanTouch, at.as_micros())
+                .authorize_zero_rtt(
+                    "iot.companion",
+                    &imu,
+                    MotionKind::HumanTouch,
+                    at.as_micros(),
+                )
                 .unwrap();
             let _ = proxy.on_auth_zero_rtt(&z, at);
         }
@@ -85,7 +94,10 @@ fn main() {
         }
     }
 
-    println!("{:<10} {:>9} {:>9} {:>8}", "device", "allowed", "dropped", "drop %");
+    println!(
+        "{:<10} {:>9} {:>9} {:>8}",
+        "device", "allowed", "dropped", "drop %"
+    );
     for (i, dev) in day.devices.iter().enumerate() {
         let a = allowed.get(&(i as u16)).copied().unwrap_or(0);
         let d = dropped.get(&(i as u16)).copied().unwrap_or(0);

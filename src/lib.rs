@@ -22,6 +22,8 @@
 //!   simulator.
 //! - [`trace`] (`fiat-trace`) — testbed device models and dataset
 //!   synthesis.
+//! - [`telemetry`] (`fiat-telemetry`) — metrics, stage-latency spans,
+//!   decision journal, and Prometheus/JSON exposition.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +48,7 @@ pub use fiat_net as net;
 pub use fiat_quic as quic;
 pub use fiat_sensors as sensors;
 pub use fiat_simnet as simnet;
+pub use fiat_telemetry as telemetry;
 pub use fiat_trace as trace;
 
 /// The most commonly used types, in one import.
@@ -60,5 +63,6 @@ pub mod prelude {
     };
     pub use fiat_sensors::{HumannessValidator, ImuTrace, MotionKind};
     pub use fiat_simnet::{HomeNetwork, PhoneLocation};
+    pub use fiat_telemetry::{MetricRegistry, Span};
     pub use fiat_trace::{testbed_devices, Location, TestbedConfig, TestbedTrace};
 }

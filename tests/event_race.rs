@@ -121,7 +121,10 @@ fn without_evidence_the_same_commands_drop() {
     let bootstrap_end = SimTime::ZERO + SimDuration::from_mins(20);
     for k in 0..10 {
         let tap = bootstrap_end + SimDuration::from_secs(60 * (k + 1));
-        sched.schedule(tap + net.command_first_packet(PhoneLocation::Lan), Event::Command);
+        sched.schedule(
+            tap + net.command_first_packet(PhoneLocation::Lan),
+            Event::Command,
+        );
     }
     let mut dropped = 0;
     sched.run(|_, now, event| {
