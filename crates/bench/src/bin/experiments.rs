@@ -11,17 +11,20 @@
 //! experiments table7
 //! experiments tolerance
 //! experiments appendixa
+//! experiments fleet [--homes H] [--shards T]  # sharded multi-home throughput sweep
 //! ```
 //!
 //! Scale knobs: `--days N` (testbed capture length, default 8),
-//! `--seed N` (default 42). Output is plain text; every row is also
+//! `--seed N` (default 42). The fleet sweep adds `--homes H` (default 8)
+//! and `--shards T` (max worker threads, default 8); it is not part of
+//! `all` — it measures this implementation, not a paper artifact. Output is plain text; every row is also
 //! mirrored to `results/<name>.txt` when `--save` is given, along with a
 //! telemetry snapshot in `results/<name>_metrics.json` (harness timings
 //! for every experiment; full proxy decision-path metrics for those that
 //! drive a `FiatProxy`, e.g. table6).
 
 use fiat_bench::ml_tables::ModelKind;
-use fiat_bench::{fig1, fig2, ml_tables, table6, table7, tolerance};
+use fiat_bench::{fig1, fig2, fleet_exp, ml_tables, table6, table7, tolerance};
 use fiat_core::ErrorModel;
 use fiat_telemetry::{MetricRegistry, Span, WallClock};
 use std::fmt::Write as _;
@@ -31,6 +34,8 @@ struct Args {
     seed: u64,
     fast: bool,
     save: bool,
+    homes: usize,
+    shards: usize,
 }
 
 fn parse_args(rest: &[String]) -> Args {
@@ -39,6 +44,8 @@ fn parse_args(rest: &[String]) -> Args {
         seed: 42,
         fast: false,
         save: false,
+        homes: 8,
+        shards: 8,
     };
     let mut i = 0;
     while i < rest.len() {
@@ -55,6 +62,20 @@ fn parse_args(rest: &[String]) -> Args {
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--seed needs a number"));
+                i += 1;
+            }
+            "--homes" => {
+                a.homes = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--homes needs a number"));
+                i += 1;
+            }
+            "--shards" => {
+                a.shards = rest
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--shards needs a number"));
                 i += 1;
             }
             "--fast" => a.fast = true,
@@ -155,6 +176,9 @@ fn run_one(name: &str, args: &Args, registry: &MetricRegistry) -> Option<String>
         "table5" => ml_tables::table5_text(days, seed),
         "table6" => table6::table6_text_instrumented(days.max(4.0), 2.0, seed, Some(registry)),
         "table7" => table7::table7_text(200, seed),
+        "fleet" => {
+            fleet_exp::fleet_text_instrumented(args.homes, args.shards, days, seed, Some(registry))
+        }
         "tolerance" => tolerance::tolerance_text(),
         "appendixa" => appendixa_text(),
         _ => return None,
@@ -183,7 +207,8 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
         eprintln!(
-            "usage: experiments <all|{}> [--days N] [--seed N] [--fast] [--save]",
+            "usage: experiments <all|fleet|{}> [--days N] [--seed N] [--fast] [--save] \
+             [--homes H] [--shards T]",
             ALL.join("|")
         );
         std::process::exit(2);

@@ -7,6 +7,7 @@
 pub mod corpus;
 pub mod fig1;
 pub mod fig2;
+pub mod fleet_exp;
 pub mod ml_tables;
 pub mod table6;
 pub mod table7;

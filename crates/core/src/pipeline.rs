@@ -185,6 +185,32 @@ impl ProxyStats {
     }
 }
 
+impl std::ops::AddAssign for ProxyStats {
+    /// Field-wise addition, for folding per-proxy (or per-shard) stats
+    /// into one fleet-wide view. Commutative and associative, so the
+    /// merged result does not depend on shard order.
+    fn add_assign(&mut self, rhs: ProxyStats) {
+        self.bootstrap += rhs.bootstrap;
+        self.rule_hit += rhs.rule_hit;
+        self.first_n += rhs.first_n;
+        self.non_manual += rhs.non_manual;
+        self.manual_verified += rhs.manual_verified;
+        self.cascade += rhs.cascade;
+        self.dropped_unverified += rhs.dropped_unverified;
+        self.dropped_lockout += rhs.dropped_lockout;
+    }
+}
+
+impl std::iter::Sum for ProxyStats {
+    fn sum<I: Iterator<Item = ProxyStats>>(iter: I) -> ProxyStats {
+        let mut acc = ProxyStats::default();
+        for s in iter {
+            acc += s;
+        }
+        acc
+    }
+}
+
 /// Per-packet verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProxyDecision {
@@ -361,7 +387,10 @@ impl Default for ProxyTelemetry {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventFate {
-    AllowRest,
+    // Carries the original verdict's reason so every later packet of the
+    // event is attributed to it (NonManual / ManualVerified / Cascade),
+    // not lumped under a single label.
+    AllowRest(AllowReason),
     DropRest,
 }
 
@@ -528,7 +557,10 @@ impl FiatProxy {
         self.devices.get(&device).is_some_and(|d| d.locked)
     }
 
-    /// Manually clear a lockout (the §5.4 user verification).
+    /// Manually clear a lockout (the §5.4 user verification). Also closes
+    /// the device's open event: its fate was `DropRest`, and leaving it
+    /// open would keep dropping traffic as `ManualUnverified` until the
+    /// event gap expires — the user just vouched for the device.
     pub fn clear_lockout(&mut self, device: u16) {
         if let Some(d) = self.devices.get_mut(&device) {
             if d.locked {
@@ -536,6 +568,9 @@ impl FiatProxy {
             }
             d.locked = false;
             d.drops.clear();
+            if d.open.take().is_some() {
+                self.telemetry.open_events_gauge.dec();
+            }
         }
     }
 
@@ -705,7 +740,7 @@ impl FiatProxy {
 
         if let Some(fate) = open.fate {
             return match fate {
-                EventFate::AllowRest => ProxyDecision::Allow(AllowReason::NonManual),
+                EventFate::AllowRest(reason) => ProxyDecision::Allow(reason),
                 EventFate::DropRest => ProxyDecision::Drop(DropReason::ManualUnverified),
             };
         }
@@ -725,7 +760,7 @@ impl FiatProxy {
         let class = dev.classifier.classify_event(&ev, &open.packets);
         span.exit();
         if !class.is_manual() {
-            open.fate = Some(EventFate::AllowRest);
+            open.fate = Some(EventFate::AllowRest(AllowReason::NonManual));
             self.audit.append(AuditEntry {
                 ts: now,
                 device: pkt.device,
@@ -736,7 +771,7 @@ impl FiatProxy {
         }
 
         if human_fresh {
-            open.fate = Some(EventFate::AllowRest);
+            open.fate = Some(EventFate::AllowRest(AllowReason::ManualVerified));
             if let Some(g) = &mut self.interactions {
                 g.record_authorized(pkt.device, now);
             }
@@ -756,7 +791,7 @@ impl FiatProxy {
             .as_ref()
             .is_some_and(|g| g.cascade_covers(pkt.device, now))
         {
-            open.fate = Some(EventFate::AllowRest);
+            open.fate = Some(EventFate::AllowRest(AllowReason::Cascade));
             if let Some(g) = &mut self.interactions {
                 g.record_authorized(pkt.device, now);
             }
@@ -1417,6 +1452,89 @@ mod tests {
             .recent()
             .iter()
             .all(|r| r.decision == ProxyDecision::Allow(AllowReason::RuleHit)));
+    }
+
+    #[test]
+    fn post_verdict_packets_keep_manual_verified_reason() {
+        // Regression: the open event's fate used to discard *why* it was
+        // allowed, so every post-verdict packet of a verified manual event
+        // was counted as NonManual in stats and the decision journal.
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let mut proxy = FiatProxy::new(ProxyConfig::default(), &SECRET, validator);
+        // N = 5: packets 1-4 ride the first-N allowance, packet 5 is the
+        // verdict, packets 6+ are post-verdict.
+        proxy.register_device(0, EventClassifier::simple_rule(235), 5);
+        proxy.start(SimTime::ZERO);
+        let t = bootstrap(&mut proxy);
+
+        let mut app = FiatApp::new(&SECRET, 1);
+        let ch = app.handshake_request();
+        let sh = proxy.accept_handshake(&ch);
+        app.complete_handshake(&sh).unwrap();
+        let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 3);
+        let z = app
+            .authorize_zero_rtt("app", &imu, MotionKind::HumanTouch, t)
+            .unwrap();
+        assert_eq!(
+            proxy.on_auth_zero_rtt(&z, SimTime::from_millis(t)),
+            Ok(true)
+        );
+
+        for k in 0..4u64 {
+            assert_eq!(
+                proxy.on_packet(&pkt(t + k * 100, 235)),
+                ProxyDecision::Allow(AllowReason::FirstN),
+                "packet {k}"
+            );
+        }
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 400, 235)),
+            ProxyDecision::Allow(AllowReason::ManualVerified)
+        );
+        // Packets 6 and 7 of the same event keep the verdict's reason.
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 500, 235)),
+            ProxyDecision::Allow(AllowReason::ManualVerified)
+        );
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 600, 235)),
+            ProxyDecision::Allow(AllowReason::ManualVerified)
+        );
+        assert_eq!(proxy.stats().manual_verified, 3);
+        assert_eq!(proxy.stats().non_manual, 0);
+    }
+
+    #[test]
+    fn clear_lockout_closes_open_event() {
+        use fiat_telemetry::{ManualClock, MetricRegistry};
+
+        // Regression: clearing a lockout left the device's open event
+        // with fate DropRest, so traffic inside the 5 s event gap kept
+        // dropping as ManualUnverified right after the user unlocked.
+        let registry = MetricRegistry::new();
+        let telemetry = ProxyTelemetry::new(registry.clone(), Arc::new(ManualClock::new()));
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let mut proxy =
+            FiatProxy::with_telemetry(ProxyConfig::default(), &SECRET, validator, telemetry);
+        proxy.register_device(0, EventClassifier::simple_rule(235), 1);
+        proxy.start(SimTime::ZERO);
+        let t = bootstrap(&mut proxy);
+
+        for k in 0..3u64 {
+            assert_eq!(
+                proxy.on_packet(&pkt(t + k * 10_000, 235)),
+                ProxyDecision::Drop(DropReason::ManualUnverified)
+            );
+        }
+        assert!(proxy.is_locked(0));
+
+        proxy.clear_lockout(0);
+        assert!(!proxy.is_locked(0));
+        assert_eq!(registry.gauge("fiat_proxy_open_events", &[]).get(), 0);
+        // 1 s after the last drop — still inside the 5 s event gap, so
+        // pre-fix this packet rejoined the DropRest event and dropped.
+        let d = proxy.on_packet(&pkt(t + 21_000, 999));
+        assert!(d.is_allow(), "{d:?}");
     }
 
     #[test]

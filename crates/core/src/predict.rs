@@ -8,7 +8,9 @@
 //! predictable*. Real traffic jitters by tens of milliseconds, so
 //! intervals are quantized into tolerance bins before matching.
 
-use fiat_net::{DnsTable, FlowDef, FlowKey, PacketRecord, SimDuration, SimTime, TrafficClass};
+use fiat_net::{
+    DnsTable, FlowDef, InternedFlowKey, PacketRecord, SimDuration, SimTime, TrafficClass,
+};
 use fiat_telemetry::{Counter, MetricRegistry};
 use std::collections::{HashMap, HashSet};
 
@@ -54,9 +56,11 @@ impl PredictabilityEngine {
     /// per packet: `true` = predictable.
     pub fn analyze(&self, packets: &[PacketRecord], dns: &DnsTable) -> Vec<bool> {
         // Bucket id -> list of (packet index, timestamp), in trace order.
-        let mut buckets: HashMap<(u16, FlowKey), Vec<(usize, SimTime)>> = HashMap::new();
+        // Keys are interned ([`InternedFlowKey`]), so bucketing allocates
+        // only for the bucket vectors, never per packet for the key.
+        let mut buckets: HashMap<(u16, InternedFlowKey), Vec<(usize, SimTime)>> = HashMap::new();
         for (i, p) in packets.iter().enumerate() {
-            let key = (p.device, FlowKey::of(self.def, p, dns));
+            let key = (p.device, InternedFlowKey::of(self.def, p, dns));
             buckets.entry(key).or_default().push((i, p.ts));
         }
 
@@ -103,10 +107,10 @@ impl PredictabilityEngine {
         packets: &[PacketRecord],
         dns: &DnsTable,
     ) -> Vec<(SimDuration, usize)> {
-        let mut buckets: HashMap<(u16, FlowKey), Vec<SimTime>> = HashMap::new();
+        let mut buckets: HashMap<(u16, InternedFlowKey), Vec<SimTime>> = HashMap::new();
         for p in packets {
             buckets
-                .entry((p.device, FlowKey::of(self.def, p, dns)))
+                .entry((p.device, InternedFlowKey::of(self.def, p, dns)))
                 .or_default()
                 .push(p.ts);
         }
@@ -264,7 +268,7 @@ impl RuleTelemetry {
 /// hit at enforcement time means "predictable, allow".
 #[derive(Debug, Clone, Default)]
 pub struct RuleTable {
-    rules: HashSet<(u16, FlowKey)>,
+    rules: HashSet<(u16, InternedFlowKey)>,
     telemetry: RuleTelemetry,
 }
 
@@ -292,10 +296,10 @@ impl RuleTable {
         dns: &DnsTable,
         telemetry: RuleTelemetry,
     ) -> RuleTable {
-        let mut buckets: HashMap<(u16, FlowKey), Vec<SimTime>> = HashMap::new();
+        let mut buckets: HashMap<(u16, InternedFlowKey), Vec<SimTime>> = HashMap::new();
         for p in packets {
             buckets
-                .entry((p.device, FlowKey::of(engine.def, p, dns)))
+                .entry((p.device, InternedFlowKey::of(engine.def, p, dns)))
                 .or_default()
                 .push(p.ts);
         }
@@ -320,11 +324,14 @@ impl RuleTable {
         RuleTable { rules, telemetry }
     }
 
-    /// Whether a packet hits a learned rule.
+    /// Whether a packet hits a learned rule. This is the per-packet hot
+    /// path: the lookup key is interned ([`InternedFlowKey`]) and never
+    /// touches the heap. Rules only match against the same `DnsTable`
+    /// (interner) they were learned with.
     pub fn matches(&self, def: FlowDef, pkt: &PacketRecord, dns: &DnsTable) -> bool {
         let hit = self
             .rules
-            .contains(&(pkt.device, FlowKey::of(def, pkt, dns)));
+            .contains(&(pkt.device, InternedFlowKey::of(def, pkt, dns)));
         if hit {
             self.telemetry.match_hits.inc();
         } else {
@@ -344,8 +351,9 @@ impl RuleTable {
     }
 
     /// Insert a rule directly (used for the §7 DAG-style allow rules,
-    /// e.g. "always allow Alexa → smart light").
-    pub fn insert(&mut self, device: u16, key: FlowKey) {
+    /// e.g. "always allow Alexa → smart light"). Intern the key (via
+    /// `FlowKey::intern`) against the same `DnsTable` later lookups use.
+    pub fn insert(&mut self, device: u16, key: InternedFlowKey) {
         self.rules.insert((device, key));
     }
 }

@@ -1,0 +1,110 @@
+//! Allocation proof for the per-packet rule-match path.
+//!
+//! `RuleTable::matches` keys lookups on [`InternedFlowKey`] (remote
+//! domains interned to dense ids in the `DnsTable`), so deciding a
+//! packet must never touch the heap — for rule hits, misses, known
+//! domains, and unknown IPs alike. A counting `#[global_allocator]`
+//! makes that claim checkable: this file holds exactly one test so no
+//! concurrent test thread can perturb the counter.
+
+use fiat_core::{PredictabilityEngine, RuleTable};
+use fiat_net::{
+    Direction, DnsTable, FlowDef, PacketRecord, SimTime, TcpFlags, TlsVersion, TrafficClass,
+    Transport,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn pkt(ts_us: u64, remote_ip: Ipv4Addr, size: u16) -> PacketRecord {
+    PacketRecord {
+        ts: SimTime::from_micros(ts_us),
+        device: 0,
+        direction: Direction::FromDevice,
+        local_ip: Ipv4Addr::new(192, 168, 1, 2),
+        remote_ip,
+        local_port: 40_000,
+        remote_port: 443,
+        transport: Transport::Tcp,
+        tcp_flags: TcpFlags::ack(),
+        tls: TlsVersion::None,
+        size,
+        label: TrafficClass::Control,
+    }
+}
+
+#[test]
+fn rule_match_path_does_not_allocate() {
+    let known = Ipv4Addr::new(34, 9, 9, 9);
+    let unknown = Ipv4Addr::new(203, 0, 113, 7);
+    let mut dns = DnsTable::new();
+    dns.observe_forward(known, "cloud.example.com");
+
+    // Learn a table with a real rule: one flow repeating a 60 s period.
+    let bootstrap: Vec<PacketRecord> = (0..10).map(|i| pkt(i * 60_000_000, known, 235)).collect();
+    let engine = PredictabilityEngine::new(FlowDef::PortLess);
+    let rules = RuleTable::learn(&engine, &bootstrap, &dns);
+    assert!(!rules.is_empty(), "bootstrap must learn at least one rule");
+
+    // Probe packets built outside the measured region: a rule hit on a
+    // known domain, a size miss on the same domain, and an unknown
+    // remote IP (the dotted-quad fallback flow).
+    let probes = [
+        pkt(601_000_000, known, 235),
+        pkt(602_000_000, known, 900),
+        pkt(603_000_000, unknown, 235),
+    ];
+
+    // Warm up once (first lookups may lazily touch nothing, but keep the
+    // measured region free of any one-time effects regardless).
+    for p in &probes {
+        rules.matches(FlowDef::PortLess, p, &dns);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut hits = 0u32;
+    for _ in 0..10_000 {
+        for p in &probes {
+            if rules.matches(FlowDef::PortLess, p, &dns) {
+                hits += 1;
+            }
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(hits, 10_000, "exactly the known periodic probe should hit");
+    assert_eq!(
+        after - before,
+        0,
+        "rule-match path allocated on the heap ({} allocations over 30000 lookups)",
+        after - before
+    );
+}

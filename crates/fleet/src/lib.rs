@@ -1,0 +1,314 @@
+//! Sharded multi-home proxy runtime.
+//!
+//! The paper deploys one FIAT proxy per home; the ROADMAP north star is a
+//! provider-scale service running millions of them. This crate takes the
+//! first step: partition H simulated homes across T worker threads
+//! ("shards"), each shard owning the [`FiatProxy`] instances for its
+//! homes, then fold the per-home [`MetricRegistry`] snapshots and
+//! [`ProxyStats`] into one fleet-wide view.
+//!
+//! Determinism is the design constraint: a sharded run must produce a
+//! fleet view *identical* to a sequential reference run, or every
+//! throughput/accuracy table built on it is suspect. Three choices make
+//! that hold:
+//!
+//! - every home gets its **own** registry (gauges are `set()` last-writer
+//!   -wins, so sharing one across homes would race); per-home registries
+//!   are folded by *addition*, which is commutative and associative;
+//! - each home's proxy is timed by a [`ManualClock`] that never advances,
+//!   so stage-latency histograms record deterministic zero-length spans
+//!   instead of wall-clock noise;
+//! - work is distributed home-by-home over bounded [`mpsc`] channels
+//!   (`std` only, consistent with dropping crossbeam in PR 1), and shard
+//!   outcomes are folded in shard order — though order cannot matter, by
+//!   the first point.
+
+use fiat_core::{EventClassifier, FiatProxy, ProxyConfig, ProxyStats, ProxyTelemetry};
+use fiat_net::SimTime;
+use fiat_sensors::HumannessValidator;
+use fiat_telemetry::{ManualClock, MetricRegistry};
+use fiat_trace::{Location, TestbedConfig, TestbedTrace};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+/// Pairing secret shared by every simulated home (the per-home ceremony
+/// is out of scope for throughput runs).
+const SECRET: [u8; 32] = [0xF1; 32];
+
+/// Per-shard work-queue depth: small enough to bound memory, deep enough
+/// that the feeder never stalls a shard that is draining.
+const SHARD_QUEUE_DEPTH: usize = 4;
+
+/// One simulated home: an id plus its generated capture.
+pub struct HomeWorkload {
+    /// Home id (dense, `0..homes`).
+    pub home: u32,
+    /// The home's labeled capture (trace, DNS, ground truth, devices).
+    pub capture: TestbedTrace,
+}
+
+/// What one home's proxy produced.
+pub struct HomeRun {
+    /// Decision counters.
+    pub stats: ProxyStats,
+    /// The home's private metric registry.
+    pub registry: MetricRegistry,
+    /// Packets pushed through `on_packet`.
+    pub packets: u64,
+}
+
+/// A shard's folded view of the homes it ran.
+pub struct ShardOutcome {
+    /// Shard index.
+    pub shard: usize,
+    /// Homes this shard processed.
+    pub homes: usize,
+    /// Packets this shard decided.
+    pub packets: u64,
+    /// Folded decision counters.
+    pub stats: ProxyStats,
+    /// Folded metric registry.
+    pub registry: MetricRegistry,
+}
+
+/// The fleet-wide merged view of a run.
+pub struct FleetOutcome {
+    /// Homes processed.
+    pub homes: usize,
+    /// Shards used (1 for the sequential reference).
+    pub shards: usize,
+    /// Total packets decided.
+    pub packets: u64,
+    /// Fleet-wide decision counters.
+    pub stats: ProxyStats,
+    /// Fleet-wide metric registry (per-home registries folded by
+    /// addition).
+    pub registry: MetricRegistry,
+    /// Per-shard breakdown, in shard order.
+    pub per_shard: Vec<ShardOutcome>,
+}
+
+/// Build `homes` independent home workloads. Each home gets its own
+/// deterministic capture seeded from `seed` and its id, so workloads are
+/// reproducible and distinct.
+pub fn build_workloads(homes: usize, days: f64, seed: u64) -> Vec<HomeWorkload> {
+    (0..homes)
+        .map(|h| HomeWorkload {
+            home: h as u32,
+            capture: TestbedTrace::generate(TestbedConfig {
+                location: Location::Us,
+                days,
+                seed: seed.wrapping_add((h as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                manual_per_day: 12.0,
+                routines_per_day: 10.0,
+                confusion_scale: 0.15,
+            }),
+        })
+        .collect()
+}
+
+/// Run one home's capture through a fresh proxy and return its stats and
+/// private registry. Deterministic: the proxy is timed by a never-ticking
+/// [`ManualClock`], devices use their scripted simple-rule classifiers,
+/// and no humanness evidence is injected (unverified manual events drop,
+/// exactly as an unattended home would behave).
+pub fn run_home(capture: &TestbedTrace) -> HomeRun {
+    let registry = MetricRegistry::new();
+    let telemetry = ProxyTelemetry::new(registry.clone(), Arc::new(ManualClock::new()));
+    let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+    let mut proxy =
+        FiatProxy::with_telemetry(ProxyConfig::default(), &SECRET, validator, telemetry);
+    proxy.set_dns(capture.trace.dns.clone());
+    for (i, dev) in capture.devices.iter().enumerate() {
+        // Simple-rule devices classify by their command size; ML devices
+        // fall back to a size no packet carries (0), i.e. everything is
+        // non-manual — cheap and deterministic, which is what a
+        // throughput fleet needs.
+        let classifier = EventClassifier::simple_rule(dev.simple_rule_size.unwrap_or(0));
+        proxy.register_device(i as u16, classifier, dev.min_packets_to_complete);
+    }
+    proxy.start(SimTime::ZERO);
+    for pkt in &capture.trace.packets {
+        proxy.on_packet(pkt);
+    }
+    HomeRun {
+        stats: proxy.stats(),
+        registry,
+        packets: capture.trace.packets.len() as u64,
+    }
+}
+
+fn fold(outcomes: Vec<ShardOutcome>, shards: usize) -> FleetOutcome {
+    let registry = MetricRegistry::new();
+    let mut stats = ProxyStats::default();
+    let mut packets = 0u64;
+    let mut homes = 0usize;
+    for o in &outcomes {
+        registry.merge_from(&o.registry);
+        stats += o.stats;
+        packets += o.packets;
+        homes += o.homes;
+    }
+    FleetOutcome {
+        homes,
+        shards,
+        packets,
+        stats,
+        registry,
+        per_shard: outcomes,
+    }
+}
+
+/// Run the fleet across `shards` worker threads. Home `i` goes to shard
+/// `i % shards` over a bounded channel; each worker folds its homes into
+/// a [`ShardOutcome`], and shard outcomes fold into the fleet view.
+pub fn run_sharded(workloads: &[HomeWorkload], shards: usize) -> FleetOutcome {
+    let shards = shards.clamp(1, workloads.len().max(1));
+    let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(shards);
+    std::thread::scope(|s| {
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (tx, rx) = mpsc::sync_channel::<&HomeWorkload>(SHARD_QUEUE_DEPTH);
+            senders.push(tx);
+            handles.push(s.spawn(move || {
+                let registry = MetricRegistry::new();
+                let mut stats = ProxyStats::default();
+                let mut packets = 0u64;
+                let mut homes = 0usize;
+                while let Ok(w) = rx.recv() {
+                    let run = run_home(&w.capture);
+                    registry.merge_from(&run.registry);
+                    stats += run.stats;
+                    packets += run.packets;
+                    homes += 1;
+                }
+                ShardOutcome {
+                    shard,
+                    homes,
+                    packets,
+                    stats,
+                    registry,
+                }
+            }));
+        }
+        for (i, w) in workloads.iter().enumerate() {
+            senders[i % shards].send(w).expect("shard worker alive");
+        }
+        drop(senders);
+        outcomes = handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect();
+    });
+    fold(outcomes, shards)
+}
+
+/// The sequential reference: every home in order on the calling thread,
+/// no channels, no worker threads. [`run_sharded`] must merge to exactly
+/// this outcome (stats equality and byte-identical registry exposition).
+pub fn run_sequential(workloads: &[HomeWorkload]) -> FleetOutcome {
+    let registry = MetricRegistry::new();
+    let mut stats = ProxyStats::default();
+    let mut packets = 0u64;
+    for w in workloads {
+        let run = run_home(&w.capture);
+        registry.merge_from(&run.registry);
+        stats += run.stats;
+        packets += run.packets;
+    }
+    let outcome = ShardOutcome {
+        shard: 0,
+        homes: workloads.len(),
+        packets,
+        stats,
+        registry,
+    };
+    fold(vec![outcome], 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_workloads() -> Vec<HomeWorkload> {
+        build_workloads(4, 0.05, 42)
+    }
+
+    #[test]
+    fn workloads_are_distinct_and_reproducible() {
+        let a = small_workloads();
+        let b = small_workloads();
+        assert_eq!(a.len(), 4);
+        for (wa, wb) in a.iter().zip(&b) {
+            assert_eq!(wa.capture.trace.len(), wb.capture.trace.len());
+        }
+        // Different homes see different traffic (different seeds).
+        assert_ne!(
+            a[0].capture.trace.packets.len(),
+            0,
+            "home 0 generated no traffic"
+        );
+        let ts0: Vec<_> = a[0].capture.trace.packets.iter().map(|p| p.ts).collect();
+        let ts1: Vec<_> = a[1].capture.trace.packets.iter().map(|p| p.ts).collect();
+        assert_ne!(ts0, ts1);
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential_reference() {
+        let workloads = small_workloads();
+        let reference = run_sequential(&workloads);
+        for shards in [1, 2, 3, 4] {
+            let fleet = run_sharded(&workloads, shards);
+            assert_eq!(fleet.stats, reference.stats, "{shards} shards");
+            assert_eq!(fleet.packets, reference.packets, "{shards} shards");
+            assert_eq!(fleet.homes, reference.homes, "{shards} shards");
+            // Byte-identical fleet-wide exposition: counters, gauges, and
+            // histograms all merged to exactly the same values.
+            assert_eq!(
+                fleet.registry.render_prometheus(),
+                reference.registry.render_prometheus(),
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_homes() {
+        let workloads = small_workloads();
+        let fleet = run_sharded(&workloads, 2);
+        assert_eq!(fleet.per_shard.len(), 2);
+        assert_eq!(fleet.per_shard.iter().map(|s| s.homes).sum::<usize>(), 4);
+        assert_eq!(
+            fleet.per_shard.iter().map(|s| s.packets).sum::<u64>(),
+            fleet.packets
+        );
+        // Round-robin: 4 homes over 2 shards is 2 + 2.
+        assert_eq!(fleet.per_shard[0].homes, 2);
+        assert_eq!(fleet.per_shard[1].homes, 2);
+    }
+
+    #[test]
+    fn oversized_shard_count_is_clamped() {
+        let workloads = build_workloads(2, 0.05, 7);
+        let fleet = run_sharded(&workloads, 16);
+        assert_eq!(fleet.shards, 2);
+        assert_eq!(fleet.homes, 2);
+    }
+
+    #[test]
+    fn fleet_registry_aggregates_per_home_counts() {
+        let workloads = small_workloads();
+        let fleet = run_sequential(&workloads);
+        // Every packet decision landed in the merged registry.
+        let decide = fleet
+            .registry
+            .histogram("fiat_proxy_stage_us", &[("stage", "decide")]);
+        assert_eq!(decide.count(), fleet.packets);
+        assert_eq!(fleet.stats.total(), fleet.packets);
+        // Device gauges sum across homes.
+        let devices = fleet.registry.gauge("fiat_proxy_devices", &[]).get();
+        let per_home = workloads[0].capture.devices.len() as i64;
+        assert_eq!(devices, per_home * workloads.len() as i64);
+    }
+}

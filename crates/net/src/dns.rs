@@ -6,6 +6,12 @@
 //! forward mappings are authoritative; reverse lookups may return a
 //! canonical alias (e.g. CDN PTR names), which the paper notes can reduce
 //! accuracy versus in-trace DNS.
+//!
+//! Every distinct domain string is interned to a dense `u32` id at
+//! observation time, so the per-packet rule-match path can bucket flows by
+//! [`RemoteId`](crate::flow::RemoteId) without ever materializing a
+//! `String`. Ids are local to one table (and preserved by [`DnsTable::merge`]
+//! only for domains already interned on the receiving side).
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -20,16 +26,51 @@ pub enum DnsSource {
     Reverse,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Entry {
-    domain: String,
+    domain: u32,
     source: DnsSource,
 }
 
-/// IP → domain-name table.
+/// IP → domain-name table with a built-in domain interner.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "DnsTableRepr", into = "DnsTableRepr")]
 pub struct DnsTable {
     entries: HashMap<Ipv4Addr, Entry>,
+    domains: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+/// Serialized form: the flat entry list (ids are rebuilt on load, so the
+/// wire format is independent of interner state).
+#[derive(Serialize, Deserialize)]
+struct DnsTableRepr {
+    entries: Vec<(Ipv4Addr, String, DnsSource)>,
+}
+
+impl From<DnsTableRepr> for DnsTable {
+    fn from(repr: DnsTableRepr) -> Self {
+        let mut t = DnsTable::new();
+        for (ip, domain, source) in repr.entries {
+            match source {
+                DnsSource::Forward => t.observe_forward(ip, domain),
+                DnsSource::Reverse => t.observe_reverse(ip, domain),
+            }
+        }
+        t
+    }
+}
+
+impl From<DnsTable> for DnsTableRepr {
+    fn from(t: DnsTable) -> Self {
+        DnsTableRepr {
+            entries: t
+                .entries_sorted()
+                .into_iter()
+                .map(|(ip, name, source)| (ip, name.to_string(), source))
+                .collect(),
+        }
+    }
 }
 
 impl DnsTable {
@@ -38,13 +79,36 @@ impl DnsTable {
         Self::default()
     }
 
+    /// Intern a domain string, returning its dense id (stable for the
+    /// lifetime of this table).
+    pub fn intern_domain(&mut self, domain: &str) -> u32 {
+        if let Some(&id) = self.index.get(domain) {
+            return id;
+        }
+        let id = self.domains.len() as u32;
+        self.domains.push(domain.to_string());
+        self.index.insert(domain.to_string(), id);
+        id
+    }
+
+    /// Id of an already-interned domain.
+    pub fn domain_id(&self, domain: &str) -> Option<u32> {
+        self.index.get(domain).copied()
+    }
+
+    /// The domain string behind an interned id.
+    pub fn domain_str(&self, id: u32) -> &str {
+        &self.domains[id as usize]
+    }
+
     /// Record a mapping observed from an in-trace DNS response. Forward
     /// mappings always overwrite reverse ones.
     pub fn observe_forward(&mut self, ip: Ipv4Addr, domain: impl Into<String>) {
+        let domain = self.intern_domain(&domain.into());
         self.entries.insert(
             ip,
             Entry {
-                domain: domain.into(),
+                domain,
                 source: DnsSource::Forward,
             },
         );
@@ -53,12 +117,13 @@ impl DnsTable {
     /// Record a mapping obtained via reverse lookup. Does not overwrite an
     /// existing forward mapping.
     pub fn observe_reverse(&mut self, ip: Ipv4Addr, domain: impl Into<String>) {
+        let domain = self.intern_domain(&domain.into());
         let e = self.entries.entry(ip).or_insert(Entry {
-            domain: String::new(),
+            domain,
             source: DnsSource::Reverse,
         });
         if e.source == DnsSource::Reverse {
-            e.domain = domain.into();
+            e.domain = domain;
         }
     }
 
@@ -68,8 +133,18 @@ impl DnsTable {
     pub fn name_of(&self, ip: Ipv4Addr) -> String {
         self.entries
             .get(&ip)
-            .map(|e| e.domain.clone())
+            .map(|e| self.domains[e.domain as usize].clone())
             .unwrap_or_else(|| ip.to_string())
+    }
+
+    /// Resolve an IP to its interned remote id without allocating: known
+    /// IPs yield their domain id, unknown IPs carry the address itself.
+    /// This is the per-packet hot-path counterpart of [`DnsTable::name_of`].
+    pub fn remote_id(&self, ip: Ipv4Addr) -> crate::flow::RemoteId {
+        match self.entries.get(&ip) {
+            Some(e) => crate::flow::RemoteId::Domain(e.domain),
+            None => crate::flow::RemoteId::Ip(ip),
+        }
     }
 
     /// Whether the table knows this IP.
@@ -98,7 +173,7 @@ impl DnsTable {
         let mut out: Vec<(Ipv4Addr, &str, DnsSource)> = self
             .entries
             .iter()
-            .map(|(ip, e)| (*ip, e.domain.as_str(), e.source))
+            .map(|(ip, e)| (*ip, self.domains[e.domain as usize].as_str(), e.source))
             .collect();
         out.sort_by_key(|(ip, _, _)| u32::from(*ip));
         out
@@ -107,9 +182,10 @@ impl DnsTable {
     /// Merge another table into this one, respecting forward-beats-reverse.
     pub fn merge(&mut self, other: &DnsTable) {
         for (ip, e) in &other.entries {
+            let domain = other.domains[e.domain as usize].clone();
             match e.source {
-                DnsSource::Forward => self.observe_forward(*ip, e.domain.clone()),
-                DnsSource::Reverse => self.observe_reverse(*ip, e.domain.clone()),
+                DnsSource::Forward => self.observe_forward(*ip, domain),
+                DnsSource::Reverse => self.observe_reverse(*ip, domain),
             }
         }
     }
@@ -118,6 +194,7 @@ impl DnsTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flow::RemoteId;
 
     const IP: Ipv4Addr = Ipv4Addr::new(142, 250, 80, 46);
 
@@ -126,6 +203,7 @@ mod tests {
         let t = DnsTable::new();
         assert_eq!(t.name_of(IP), "142.250.80.46");
         assert!(!t.contains(IP));
+        assert_eq!(t.remote_id(IP), RemoteId::Ip(IP));
     }
 
     #[test]
@@ -163,5 +241,30 @@ mod tests {
         a.merge(&c);
         assert_eq!(a.name_of(IP), "forward.example");
         assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn interning_is_stable_and_shared() {
+        let mut t = DnsTable::new();
+        let a = t.intern_domain("iot.vendor.example");
+        let b = t.intern_domain("iot.vendor.example");
+        assert_eq!(a, b);
+        assert_eq!(t.domain_str(a), "iot.vendor.example");
+        t.observe_forward(IP, "iot.vendor.example");
+        assert_eq!(t.remote_id(IP), RemoteId::Domain(a));
+        assert_eq!(t.domain_id("iot.vendor.example"), Some(a));
+        assert_eq!(t.domain_id("missing.example"), None);
+    }
+
+    #[test]
+    fn two_ips_same_domain_share_remote_id() {
+        let mut t = DnsTable::new();
+        let other = Ipv4Addr::new(99, 9, 9, 9);
+        t.observe_forward(IP, "cdn.example");
+        t.observe_forward(other, "cdn.example");
+        assert_eq!(t.remote_id(IP), t.remote_id(other));
+        let unknown_a = Ipv4Addr::new(10, 0, 0, 1);
+        let unknown_b = Ipv4Addr::new(10, 0, 0, 2);
+        assert_ne!(t.remote_id(unknown_a), t.remote_id(unknown_b));
     }
 }

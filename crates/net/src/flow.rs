@@ -72,6 +72,10 @@ pub enum FlowKey {
 
 impl FlowKey {
     /// Bucket a packet under the given flow definition.
+    ///
+    /// Allocates a `String` for the PortLess remote name; per-packet code
+    /// (rule matching, predictability bucketing) should use
+    /// [`InternedFlowKey::of`] instead, which is allocation-free.
     pub fn of(def: FlowDef, pkt: &PacketRecord, dns: &DnsTable) -> FlowKey {
         match def {
             FlowDef::Classic => FlowKey::Classic {
@@ -87,6 +91,155 @@ impl FlowKey {
                 proto: pkt.transport.proto_number(),
                 size: pkt.size,
                 dir: pkt.direction.feature_code() as u8,
+            },
+        }
+    }
+
+    /// Convert to the interned form, registering the PortLess remote name
+    /// in `dns`'s interner. A remote string that parses as a dotted quad
+    /// and is not a known domain is treated as the IP fallback, matching
+    /// [`DnsTable::name_of`]'s unknown-IP behavior.
+    pub fn intern(&self, dns: &mut DnsTable) -> InternedFlowKey {
+        match self {
+            FlowKey::Classic {
+                src_ip,
+                dst_ip,
+                src_port,
+                dst_port,
+                proto,
+                size,
+            } => InternedFlowKey::Classic {
+                src_ip: *src_ip,
+                dst_ip: *dst_ip,
+                src_port: *src_port,
+                dst_port: *dst_port,
+                proto: *proto,
+                size: *size,
+            },
+            FlowKey::PortLess {
+                remote,
+                proto,
+                size,
+                dir,
+            } => {
+                let remote = match (dns.domain_id(remote), remote.parse::<Ipv4Addr>()) {
+                    (Some(id), _) => RemoteId::Domain(id),
+                    (None, Ok(ip)) => RemoteId::Ip(ip),
+                    (None, Err(_)) => RemoteId::Domain(dns.intern_domain(remote)),
+                };
+                InternedFlowKey::PortLess {
+                    remote,
+                    proto: *proto,
+                    size: *size,
+                    dir: *dir,
+                }
+            }
+        }
+    }
+}
+
+/// An interned remote endpoint: the dense id of a known domain (from the
+/// [`DnsTable`] interner), or the raw address for IPs the table has never
+/// resolved. `Copy`, so flow keys built from it never touch the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RemoteId {
+    /// Interned domain id (resolve with [`DnsTable::domain_str`]).
+    Domain(u32),
+    /// Unresolved IP fallback (distinct IPs stay distinct, exactly like
+    /// the dotted-quad fallback of [`DnsTable::name_of`]).
+    Ip(Ipv4Addr),
+}
+
+/// The allocation-free (interned) form of [`FlowKey`], used on the
+/// per-packet hot path: rule-table lookups and predictability bucketing.
+/// Ids are only meaningful relative to the [`DnsTable`] that produced
+/// them; [`FlowKey`] remains the stable stringly-keyed form for
+/// serialization, audit encoding, and cross-table comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InternedFlowKey {
+    /// Classic 6-tuple (identical to [`FlowKey::Classic`]).
+    Classic {
+        /// Source IP as on the wire.
+        src_ip: Ipv4Addr,
+        /// Destination IP as on the wire.
+        dst_ip: Ipv4Addr,
+        /// Source port.
+        src_port: u16,
+        /// Destination port.
+        dst_port: u16,
+        /// IANA protocol number.
+        proto: u8,
+        /// Packet size.
+        size: u16,
+    },
+    /// PortLess 4-tuple with the remote interned.
+    PortLess {
+        /// Interned remote endpoint.
+        remote: RemoteId,
+        /// IANA protocol number.
+        proto: u8,
+        /// Packet size.
+        size: u16,
+        /// Direction code (0 = from device, 1 = to device).
+        dir: u8,
+    },
+}
+
+impl InternedFlowKey {
+    /// Bucket a packet under the given flow definition without heap
+    /// allocation (the interned counterpart of [`FlowKey::of`]).
+    #[inline]
+    pub fn of(def: FlowDef, pkt: &PacketRecord, dns: &DnsTable) -> InternedFlowKey {
+        match def {
+            FlowDef::Classic => InternedFlowKey::Classic {
+                src_ip: pkt.src_ip(),
+                dst_ip: pkt.dst_ip(),
+                src_port: pkt.src_port(),
+                dst_port: pkt.dst_port(),
+                proto: pkt.transport.proto_number(),
+                size: pkt.size,
+            },
+            FlowDef::PortLess => InternedFlowKey::PortLess {
+                remote: dns.remote_id(pkt.remote_ip),
+                proto: pkt.transport.proto_number(),
+                size: pkt.size,
+                dir: pkt.direction.feature_code() as u8,
+            },
+        }
+    }
+
+    /// Resolve back to the stringly-keyed [`FlowKey`] (allocates; for
+    /// display and audit paths only).
+    pub fn resolve(&self, dns: &DnsTable) -> FlowKey {
+        match self {
+            InternedFlowKey::Classic {
+                src_ip,
+                dst_ip,
+                src_port,
+                dst_port,
+                proto,
+                size,
+            } => FlowKey::Classic {
+                src_ip: *src_ip,
+                dst_ip: *dst_ip,
+                src_port: *src_port,
+                dst_port: *dst_port,
+                proto: *proto,
+                size: *size,
+            },
+            InternedFlowKey::PortLess {
+                remote,
+                proto,
+                size,
+                dir,
+            } => FlowKey::PortLess {
+                remote: match remote {
+                    RemoteId::Domain(id) => dns.domain_str(*id).to_string(),
+                    RemoteId::Ip(ip) => ip.to_string(),
+                },
+                proto: *proto,
+                size: *size,
+                dir: *dir,
             },
         }
     }

@@ -32,7 +32,7 @@ pub mod tls;
 pub mod trace;
 
 pub use dns::DnsTable;
-pub use flow::{FlowDef, FlowKey};
+pub use flow::{FlowDef, FlowKey, InternedFlowKey, RemoteId};
 pub use packet::{Direction, PacketRecord, TcpFlags, TlsVersion, TrafficClass, Transport};
 pub use time::{SimDuration, SimTime};
 pub use trace::Trace;

@@ -33,16 +33,26 @@ impl ReplayStore {
     }
 
     /// Record (ticket, nonce); returns `true` if it was fresh, `false` if
-    /// already seen (a replay).
+    /// already seen (a replay). A detected replay leaves the store
+    /// untouched, and capacity eviction never removes the ticket just
+    /// touched — evicting it would discard the nonce set recorded a moment
+    /// ago and accept the next identical replay as fresh.
     pub fn check_and_insert(&mut self, ticket: u64, nonce: u64) -> bool {
-        let fresh = self.seen.entry(ticket).or_default().insert(nonce);
+        if self.contains(ticket, nonce) {
+            return false;
+        }
+        self.seen.entry(ticket).or_default().insert(nonce);
         if let Some(cap) = self.max_tickets {
             while self.seen.len() > cap {
-                let oldest = *self.seen.keys().next().expect("non-empty");
+                let oldest = *self
+                    .seen
+                    .keys()
+                    .find(|&&t| t != ticket)
+                    .expect("len > cap >= 1 implies another ticket exists");
                 self.seen.remove(&oldest);
             }
         }
-        fresh
+        true
     }
 
     /// Whether a pair has been recorded.
@@ -88,6 +98,32 @@ mod tests {
         let mut r = ReplayStore::with_capacity(0);
         assert!(r.check_and_insert(1, 1));
         assert!(!r.check_and_insert(1, 1));
+    }
+
+    #[test]
+    fn replayed_low_id_ticket_at_capacity_stays_rejected() {
+        // Regression: at capacity, inserting a ticket id lower than every
+        // tracked id used to evict the just-touched ticket itself, so the
+        // identical 0-RTT packet replayed again was accepted as fresh.
+        let mut r = ReplayStore::with_capacity(2);
+        r.check_and_insert(5, 1);
+        r.check_and_insert(6, 1);
+        assert!(r.check_and_insert(1, 42), "first presentation is fresh");
+        assert!(!r.check_and_insert(1, 42), "first replay rejected");
+        assert!(!r.check_and_insert(1, 42), "second replay rejected");
+        assert!(r.contains(1, 42));
+        assert_eq!(r.tickets(), 2);
+    }
+
+    #[test]
+    fn detected_replay_does_not_mutate_store() {
+        let mut r = ReplayStore::with_capacity(2);
+        r.check_and_insert(5, 1);
+        r.check_and_insert(6, 1);
+        assert!(!r.check_and_insert(5, 1));
+        assert_eq!(r.tickets(), 2);
+        assert!(r.contains(5, 1));
+        assert!(r.contains(6, 1));
     }
 
     #[test]

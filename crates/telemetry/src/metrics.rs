@@ -246,6 +246,35 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// Fold another histogram's samples into this one (bucket-wise adds;
+    /// min/max tighten). Used to aggregate per-shard histograms into a
+    /// fleet-wide view; merging is commutative, so the merged result does
+    /// not depend on shard order.
+    pub fn merge_from(&self, other: &Histogram) {
+        if Arc::ptr_eq(&self.core, &other.core) {
+            return; // same underlying histogram: nothing to fold in
+        }
+        let c = &self.core;
+        let o = &other.core;
+        for (dst, src) in c.buckets.iter().zip(o.buckets.iter()) {
+            let n = src.load(Ordering::Relaxed);
+            if n > 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        let n = o.count.load(Ordering::Relaxed);
+        if n == 0 {
+            return;
+        }
+        c.count.fetch_add(n, Ordering::Relaxed);
+        c.sum
+            .fetch_add(o.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        c.min
+            .fetch_min(o.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        c.max
+            .fetch_max(o.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// Non-empty buckets as `(inclusive_upper_bound, cumulative_count)`
     /// pairs, in increasing bound order — the Prometheus `le` series.
     pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
@@ -378,6 +407,47 @@ impl MetricRegistry {
     /// Whether no metrics are registered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Fold every metric of `other` into this registry: counters and
+    /// gauges add, histograms merge bucket-wise, help text carries over.
+    /// Addition is commutative, so merging per-shard registries yields
+    /// the same fleet-wide registry regardless of shard order or count.
+    pub fn merge_from(&self, other: &MetricRegistry) {
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return; // same underlying store: nothing to fold in
+        }
+        // Clone the other side's map first so the two locks are never
+        // held at once (no lock-order deadlock between registries).
+        let other_metrics: BTreeMap<MetricId, Metric> = other.inner.metrics.lock().unwrap().clone();
+        let other_help: BTreeMap<String, String> = other.inner.help.lock().unwrap().clone();
+        {
+            let mut metrics = self.inner.metrics.lock().unwrap();
+            for (id, metric) in other_metrics {
+                match metrics.entry(id.clone()).or_insert_with(|| match &metric {
+                    Metric::Counter(_) => Metric::Counter(Counter::new()),
+                    Metric::Gauge(_) => Metric::Gauge(Gauge::new()),
+                    Metric::Histogram(_) => Metric::Histogram(Histogram::new()),
+                }) {
+                    Metric::Counter(c) => match &metric {
+                        Metric::Counter(o) => c.add(o.get()),
+                        _ => panic!("metric {:?} merged with a different kind", id.name),
+                    },
+                    Metric::Gauge(g) => match &metric {
+                        Metric::Gauge(o) => g.add(o.get()),
+                        _ => panic!("metric {:?} merged with a different kind", id.name),
+                    },
+                    Metric::Histogram(h) => match &metric {
+                        Metric::Histogram(o) => h.merge_from(o),
+                        _ => panic!("metric {:?} merged with a different kind", id.name),
+                    },
+                }
+            }
+        }
+        let mut help = self.inner.help.lock().unwrap();
+        for (name, text) in other_help {
+            help.entry(name).or_insert(text);
+        }
     }
 
     /// A point-in-time copy of every metric, ordered by name then labels.
@@ -565,6 +635,76 @@ mod tests {
             assert!(w[0].0 < w[1].0);
             assert!(w[0].1 <= w[1].1);
         }
+    }
+
+    #[test]
+    fn histogram_merge_folds_samples() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1u64, 5, 100] {
+            a.record(v);
+        }
+        for v in [3u64, 500, 1_000_000] {
+            b.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.sum(), 1 + 5 + 100 + 3 + 500 + 1_000_000);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 1_000_000);
+        assert_eq!(a.cumulative_buckets().last().unwrap().1, 6);
+        // Merging an empty histogram is a no-op; merging a histogram with
+        // itself is too (no self-doubling).
+        a.merge_from(&Histogram::new());
+        assert_eq!(a.count(), 6);
+        let before = a.count();
+        a.merge_from(&a.clone());
+        assert_eq!(a.count(), before);
+    }
+
+    #[test]
+    fn registry_merge_is_commutative() {
+        let mk = |c1: u64, g1: i64, samples: &[u64]| {
+            let r = MetricRegistry::new();
+            r.counter("hits_total", &[("shard", "x")]).add(c1);
+            r.counter("hits_total", &[]).add(c1 * 2);
+            r.gauge("open", &[]).add(g1);
+            let h = r.histogram("lat_us", &[]);
+            for &s in samples {
+                h.record(s);
+            }
+            r.describe("hits_total", "hits");
+            r
+        };
+        let a = mk(3, 5, &[10, 20]);
+        let b = mk(7, -2, &[1, 1000]);
+
+        let ab = MetricRegistry::new();
+        ab.merge_from(&a);
+        ab.merge_from(&b);
+        let ba = MetricRegistry::new();
+        ba.merge_from(&b);
+        ba.merge_from(&a);
+
+        assert_eq!(ab.render_prometheus(), ba.render_prometheus());
+        assert_eq!(ab.counter("hits_total", &[("shard", "x")]).get(), 10);
+        assert_eq!(ab.counter("hits_total", &[]).get(), 20);
+        assert_eq!(ab.gauge("open", &[]).get(), 3);
+        assert_eq!(ab.histogram("lat_us", &[]).count(), 4);
+        // Sources are untouched, and merging did not alias their handles.
+        ab.counter("hits_total", &[]).inc();
+        assert_eq!(a.counter("hits_total", &[]).get(), 6);
+        assert_eq!(b.counter("hits_total", &[]).get(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "merged with a different kind")]
+    fn registry_merge_kind_mismatch_panics() {
+        let a = MetricRegistry::new();
+        a.counter("x", &[]);
+        let b = MetricRegistry::new();
+        b.gauge("x", &[]);
+        a.merge_from(&b);
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //!   synthesis.
 //! - [`telemetry`] (`fiat-telemetry`) — metrics, stage-latency spans,
 //!   decision journal, and Prometheus/JSON exposition.
+//! - [`fleet`] (`fiat-fleet`) — the sharded multi-home proxy runtime
+//!   with deterministic fleet-wide telemetry merging.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +45,7 @@
 
 pub use fiat_core as core;
 pub use fiat_crypto as crypto;
+pub use fiat_fleet as fleet;
 pub use fiat_ml as ml;
 pub use fiat_net as net;
 pub use fiat_quic as quic;
@@ -57,9 +60,10 @@ pub mod prelude {
         group_events, EventClass, EventClassifier, FiatApp, FiatProxy, PredictabilityEngine,
         ProxyConfig, ProxyDecision, RuleTable, EVENT_GAP,
     };
+    pub use fiat_fleet::{build_workloads, run_sequential, run_sharded, FleetOutcome};
     pub use fiat_net::{
-        Direction, FlowDef, FlowKey, PacketRecord, SimDuration, SimTime, Trace, TrafficClass,
-        Transport,
+        Direction, FlowDef, FlowKey, InternedFlowKey, PacketRecord, RemoteId, SimDuration, SimTime,
+        Trace, TrafficClass, Transport,
     };
     pub use fiat_sensors::{HumannessValidator, ImuTrace, MotionKind};
     pub use fiat_simnet::{HomeNetwork, PhoneLocation};

@@ -1,14 +1,16 @@
 //! Property-based tests on the core invariants, via proptest.
 
 use fiat::core::analysis::ErrorModel;
-use fiat::core::{group_events, PredictabilityEngine};
+use fiat::core::{group_events, EventClassifier, FiatProxy, PredictabilityEngine, ProxyConfig};
 use fiat::crypto::{open, seal};
+use fiat::fleet::{build_workloads, run_sequential, run_sharded};
 use fiat::ml::data::{fold_complement, stratified_kfold};
 use fiat::ml::StandardScaler;
 use fiat::net::{
     Direction, DnsTable, FlowDef, PacketRecord, SimDuration, SimTime, TcpFlags, TlsVersion,
     TrafficClass, Transport,
 };
+use fiat::sensors::HumannessValidator;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,6 +31,22 @@ fn pkt(ts_us: u64, size: u16, port: u16) -> PacketRecord {
         size,
         label: TrafficClass::Control,
     }
+}
+
+/// A proxy with three registered devices (varying first-N allowances)
+/// started at time zero; device 3 stays unregistered to cover the
+/// incremental-deployment fail-open path.
+fn fuzz_proxy() -> FiatProxy {
+    let mut proxy = FiatProxy::new(
+        ProxyConfig::default(),
+        &[0x42; 32],
+        HumannessValidator::with_operating_point(1.0, 1.0, 0),
+    );
+    for dev in 0..3u16 {
+        proxy.register_device(dev, EventClassifier::simple_rule(235), 1 + dev as usize * 3);
+    }
+    proxy.start(SimTime::ZERO);
+    proxy
 }
 
 proptest! {
@@ -217,5 +235,90 @@ proptest! {
         prop_assert_eq!((t + d1) - t, d1);
         // Saturation: subtracting a later time yields zero.
         prop_assert_eq!(t - (t + d1 + SimDuration::from_micros(1)), SimDuration::ZERO);
+    }
+
+    /// The decision pipeline never panics and its stats exactly
+    /// partition the packets fed to it, even when timestamps arrive out
+    /// of order, duplicated, or straddling the bootstrap boundary
+    /// (SimTime subtraction saturates rather than underflowing).
+    #[test]
+    fn proxy_stats_partition_under_timestamp_chaos(
+        pkts in prop::collection::vec(
+            (0u64..2_000_000_000, 40u16..1400, 0u16..4, 30_000u16..30_004),
+            1..120),
+    ) {
+        let mut proxy = fuzz_proxy();
+        let mut allowed = 0u64;
+        let mut dropped = 0u64;
+        for &(ts, size, dev, port) in &pkts {
+            let mut p = pkt(ts, size, port);
+            p.device = dev;
+            if proxy.on_packet(&p).is_allow() {
+                allowed += 1;
+            } else {
+                dropped += 1;
+            }
+        }
+        let s = proxy.stats();
+        prop_assert_eq!(s.total(), pkts.len() as u64);
+        prop_assert_eq!(s.dropped(), dropped);
+        prop_assert_eq!(s.total() - s.dropped(), allowed);
+        prop_assert!((0.0..=1.0).contains(&s.rule_fraction()));
+    }
+}
+
+/// Seeded-rng fuzz of the same pipeline invariants as
+/// `proxy_stats_partition_under_timestamp_chaos`, with longer runs that
+/// repeatedly cross the bootstrap/rule-learning boundary. Runs in
+/// environments where the proptest cases cannot.
+#[test]
+fn proxy_fuzz_seeded_timestamp_chaos() {
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut proxy = fuzz_proxy();
+        let mut allowed = 0u64;
+        let mut dropped = 0u64;
+        let n = 4_000u64;
+        let mut last = 0u64;
+        for i in 0..n {
+            // Mostly advancing, sometimes jumping backwards in time or
+            // repeating the previous timestamp exactly.
+            last = match i % 7 {
+                0 => last.saturating_sub(rng.gen_range(0..5_000_000)),
+                1 => last,
+                _ => last + rng.gen_range(0..2_000_000),
+            };
+            let mut p = pkt(last, rng.gen_range(40..1400), 30_000 + rng.gen_range(0..4));
+            p.device = rng.gen_range(0..4);
+            if proxy.on_packet(&p).is_allow() {
+                allowed += 1;
+            } else {
+                dropped += 1;
+            }
+        }
+        let s = proxy.stats();
+        assert_eq!(s.total(), n, "seed {seed}");
+        assert_eq!(s.dropped(), dropped, "seed {seed}");
+        assert_eq!(s.total() - s.dropped(), allowed, "seed {seed}");
+    }
+}
+
+/// Sharding the fleet never changes the answer: merged stats, packet
+/// counts, and the rendered metric exposition are identical for every
+/// worker-thread count.
+#[test]
+fn fleet_sharding_is_deterministic() {
+    let workloads = build_workloads(3, 0.05, 7);
+    let reference = run_sequential(&workloads);
+    assert!(reference.packets > 0);
+    for shards in 1..=4 {
+        let fleet = run_sharded(&workloads, shards);
+        assert_eq!(fleet.stats, reference.stats, "{shards} shards");
+        assert_eq!(fleet.packets, reference.packets, "{shards} shards");
+        assert_eq!(
+            fleet.registry.render_prometheus(),
+            reference.registry.render_prometheus(),
+            "{shards} shards"
+        );
     }
 }
