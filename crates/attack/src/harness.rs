@@ -1,0 +1,352 @@
+//! The red-team harness: one strategy, one live proxy, one scored run.
+//!
+//! A run rebuilds the whole stack from scratch — a fresh [`FiatProxy`]
+//! with default (production) settings, the target device's real traffic
+//! model from the Table 1 testbed, and an NFQUEUE-style
+//! [`InterceptQueue`] every packet passes through. The timeline is:
+//!
+//! 1. **Bootstrap** (20 min): the device's periodic control flows run;
+//!    the proxy learns its allow rules. Strategies may inject here
+//!    (rule poisoning).
+//! 2. **Legitimate use**: the paired app performs a 0-RTT authorization
+//!    (the attacker sniffs and keeps the ciphertext) and issues one real
+//!    command inside the humanness window.
+//! 3. **Attack window**: the strategy's plan plays out, interleaved with
+//!    the continuing background flows, all through the intercept queue.
+//!
+//! Scoring: the attacker's command *completes* iff at least
+//! `min_packets_to_complete` attack packets are delivered in one
+//! contiguous run (inter-packet gaps below the event gap) starting at or
+//! after the attack window opens — fragments separated by silence do not
+//! assemble, and bootstrap-phase groundwork does not count as a command.
+//! A [`AttackVerdict::Detected`] verdict means the attack left tamper
+//! evidence that [`verify_chain`] caught on the exported audit log.
+//!
+//! Determinism: every randomness source is seeded from the run seed, no
+//! wall-clock time is read, and background, auth, and attack packets
+//! merge via a stable sort — the same `(strategy, device, seed)` triple
+//! always yields the identical [`AttackOutcome`].
+
+use crate::scorecard::{AttackOutcome, AttackVerdict};
+use crate::strategies::{AttackAction, AttackStrategy, Recon};
+use fiat_core::audit::{verify_chain, AuditEntry, AuditVerdict};
+use fiat_core::{AllowReason, EventClassifier, FiatApp, FiatProxy, ProxyConfig, ProxyDecision};
+use fiat_net::{PacketRecord, SimDuration, SimTime, Trace};
+use fiat_quic::ZeroRttPacket;
+use fiat_sensors::{HumannessValidator, ImuTrace, MotionKind};
+use fiat_simnet::{InterceptQueue, Verdict};
+use fiat_telemetry::AttackMetrics;
+use fiat_trace::{testbed_devices, DeviceModel, Location};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Pairing secret shared by the harness's proxy and app (any value; the
+/// attacker never learns it).
+const SECRET: [u8; 32] = [0x5A; 32];
+
+/// Attack window length after the legitimate command.
+const ATTACK_WINDOW: SimDuration = SimDuration::from_secs(480);
+
+/// Delay from bootstrap end to the legitimate authorization.
+const LEGIT_DELAY: SimDuration = SimDuration::from_secs(60);
+
+/// Delay from the legitimate command to the attack window opening (the
+/// humanness window is long closed by then).
+const ATTACK_DELAY: SimDuration = SimDuration::from_secs(120);
+
+/// Configuration of one harness run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Target device index in [`testbed_devices`] order.
+    pub device: u16,
+    /// Run seed; drives background jitter, auth randomness, and the
+    /// strategy's plan.
+    pub seed: u64,
+}
+
+/// Execute one strategy against one device; returns the scored outcome.
+/// When `metrics` is given, the run is also recorded into
+/// `fiat_attack_runs_total{strategy=,outcome=}` and the time-to-block
+/// histogram.
+pub fn run_attack(
+    strategy: &dyn AttackStrategy,
+    config: &RunConfig,
+    metrics: Option<&AttackMetrics>,
+) -> AttackOutcome {
+    let devices = testbed_devices();
+    let dev = &devices[config.device as usize];
+    let proxy_config = ProxyConfig::default();
+    let location = Location::Us;
+
+    // --- Background: the device's periodic control flows for the whole
+    // run. Events are deliberately absent: every event-path action in
+    // the run is attributable to either the one legitimate command or
+    // the attacker.
+    let bootstrap_end = SimTime::ZERO + proxy_config.bootstrap;
+    let legit_at = bootstrap_end + LEGIT_DELAY;
+    let attack_start = legit_at + ATTACK_DELAY;
+    let attack_end = attack_start + ATTACK_WINDOW;
+    let duration = attack_end - SimTime::ZERO;
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut trace = Trace::new();
+    dev.emit_control(&mut trace, config.device, location, duration, &mut rng);
+    trace.finish();
+
+    // --- The proxy under attack, in production configuration. The
+    // classifier is the ideal size rule for the device's command
+    // signature: this isolates the decision path's defenses from
+    // classifier accuracy, which the table6 experiment measures.
+    let command_size = command_size_of(dev);
+    let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+    let mut proxy = FiatProxy::new(proxy_config.clone(), &SECRET, validator);
+    proxy.register_device(
+        config.device,
+        EventClassifier::simple_rule(command_size),
+        dev.min_packets_to_complete,
+    );
+    proxy.set_dns(trace.dns.clone());
+    proxy.start(SimTime::ZERO);
+
+    // --- The paired app: handshake during bootstrap, one 0-RTT
+    // authorization + command after it. The attacker sniffs the auth
+    // ciphertext off the air.
+    let mut app = FiatApp::new(&SECRET, config.seed);
+    let ch = app.handshake_request();
+    let sh = proxy.accept_handshake(&ch);
+    app.complete_handshake(&sh).expect("handshake");
+    let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, config.seed);
+    let sniffed: ZeroRttPacket = app
+        .authorize_zero_rtt(
+            "iot.app",
+            &imu,
+            MotionKind::HumanTouch,
+            legit_at.as_micros(),
+        )
+        .expect("0-RTT authorization");
+
+    // The recon the strategy plans from.
+    let relay_ip = location.cloud_ip(dev.endpoint_base + 40, 0);
+    let rule_flow = dev
+        .control_flows
+        .iter()
+        .enumerate()
+        .find(|(_, f)| f.period >= SimDuration::from_secs(1))
+        .or_else(|| dev.control_flows.iter().enumerate().next())
+        .expect("testbed devices have control flows");
+    let recon = Recon {
+        device: config.device,
+        device_name: dev.name.clone(),
+        lan_ip: DeviceModel::lan_ip(config.device),
+        relay_ip,
+        command_size,
+        min_packets: dev.min_packets_to_complete,
+        classify_at: dev
+            .min_packets_to_complete
+            .min(proxy_config.classify_at_cap)
+            .max(1),
+        rule_size: rule_flow.1.size,
+        rule_ip: location.cloud_ip(dev.endpoint_base + rule_flow.0 as u16, 0),
+        rule_direction: rule_flow.1.direction,
+        rule_transport: rule_flow.1.transport,
+        rule_tls: rule_flow.1.tls,
+        bootstrap_start: SimTime::ZERO,
+        bootstrap_end,
+        attack_start,
+        attack_end,
+        event_gap: proxy_config.event_gap,
+        lockout_threshold: proxy_config.lockout_threshold,
+        lockout_window: proxy_config.lockout_window,
+    };
+
+    let mut plan_rng = StdRng::seed_from_u64(config.seed ^ 0x4154_5441_434b);
+    let plan = strategy.plan(&recon, &mut plan_rng);
+
+    // --- Split the plan into wire packets and scheduled control events.
+    let mut attack_packets: Vec<PacketRecord> = Vec::new();
+    let mut replays: Vec<SimTime> = Vec::new();
+    let mut clears: Vec<SimTime> = Vec::new();
+    let mut tamper = false;
+    for action in plan {
+        match action {
+            AttackAction::Inject(p) => attack_packets.push(p),
+            AttackAction::ReplayAuth { at } => replays.push(at),
+            AttackAction::ClearLockout { at } => clears.push(at),
+            AttackAction::TamperAudit => tamper = true,
+        }
+    }
+
+    // --- Merge the timeline: background, the legitimate command, and
+    // attack packets, each tagged. Stable sort keeps insertion order on
+    // timestamp ties, so the merge is deterministic.
+    let mut timeline: Vec<(PacketRecord, bool)> = Vec::new();
+    for p in &trace.packets {
+        timeline.push((p.clone(), false));
+    }
+    let mut t = legit_at + SimDuration::from_millis(500);
+    for _ in 0..dev.min_packets_to_complete {
+        let mut p = recon.command_packet(t);
+        p.local_port = 49_800; // the real app's flow, not the attacker's
+        timeline.push((p, false));
+        t += SimDuration::from_millis(100);
+    }
+    for p in &attack_packets {
+        timeline.push((p.clone(), true));
+    }
+    timeline.sort_by_key(|(p, _)| p.ts);
+    replays.sort();
+    clears.sort();
+
+    // --- Drive the proxy through the intercept queue.
+    let mut queue = InterceptQueue::new();
+    let mut injected = 0u64;
+    let mut delivered = 0u64;
+    let mut dropped = 0u64;
+    let mut rule_hits = 0u64;
+    let mut replays_rejected = 0u64;
+    let mut replay_opened_window = false;
+    let mut time_to_block_ms: Option<u64> = None;
+    let mut run_len = 0usize;
+    let mut last_delivered: Option<SimTime> = None;
+    let mut completed = false;
+    let mut replay_i = 0usize;
+    let mut clear_i = 0usize;
+
+    // The legitimate authorization, observed in order with the timeline.
+    let mut legit_auth_done = false;
+
+    for (pkt, is_attack) in timeline {
+        let now = pkt.ts;
+        if !legit_auth_done && legit_at <= now {
+            let ok = proxy
+                .on_auth_zero_rtt(&sniffed, legit_at)
+                .expect("legitimate authorization accepted");
+            debug_assert!(ok, "perfect validator verifies the human");
+            legit_auth_done = true;
+        }
+        while replay_i < replays.len() && replays[replay_i] <= now {
+            match proxy.on_auth_zero_rtt(&sniffed, replays[replay_i]) {
+                Err(_) => replays_rejected += 1,
+                Ok(verified) => replay_opened_window |= verified,
+            }
+            replay_i += 1;
+        }
+        while clear_i < clears.len() && clears[clear_i] <= now {
+            proxy.clear_lockout(config.device);
+            clear_i += 1;
+        }
+
+        queue.enqueue(pkt, now);
+        let mut decision: Option<ProxyDecision> = None;
+        let (decided, verdict) = queue
+            .decide_next(now, |p| {
+                let d = proxy.on_packet(p);
+                decision = Some(d);
+                if d.is_allow() {
+                    Verdict::Allow
+                } else {
+                    Verdict::Drop
+                }
+            })
+            .expect("one packet was just enqueued");
+        if !is_attack {
+            continue;
+        }
+        injected += 1;
+        match verdict {
+            Verdict::Allow => {
+                delivered += 1;
+                if decision == Some(ProxyDecision::Allow(AllowReason::RuleHit)) {
+                    rule_hits += 1;
+                }
+                if decided.ts >= attack_start {
+                    let contiguous = last_delivered
+                        .is_some_and(|prev| decided.ts - prev < proxy_config.event_gap);
+                    run_len = if contiguous { run_len + 1 } else { 1 };
+                    last_delivered = Some(decided.ts);
+                    completed |= run_len >= dev.min_packets_to_complete;
+                }
+            }
+            Verdict::Drop => {
+                dropped += 1;
+                if time_to_block_ms.is_none() && decided.ts >= attack_start {
+                    time_to_block_ms = Some((decided.ts - attack_start).as_millis());
+                }
+            }
+        }
+    }
+    // Trailing control events (the attacker's last fragment, probes with
+    // no follow-up traffic) are closed like a live proxy's idle sweep
+    // would.
+    while clear_i < clears.len() {
+        proxy.clear_lockout(config.device);
+        clear_i += 1;
+    }
+    proxy.flush(attack_end);
+
+    // --- Audit tampering: export (entries, hashes), rewrite the first
+    // incriminating drop into an allow, and re-verify like the companion
+    // app would.
+    let mut detected = false;
+    if tamper {
+        let mut entries: Vec<AuditEntry> = proxy.audit().entries().to_vec();
+        let hashes: Vec<[u8; 32]> = proxy.audit().hashes().to_vec();
+        let target = entries.iter().position(|e| {
+            e.device == config.device && e.verdict == AuditVerdict::DroppedUnverified
+        });
+        if let Some(i) = target {
+            entries[i].verdict = AuditVerdict::AllowedManualVerified;
+        } else if !entries.is_empty() {
+            // Nothing incriminating to rewrite: hide the newest record.
+            entries.pop();
+        }
+        detected = !verify_chain(&entries, &hashes);
+    }
+
+    let stats = proxy.stats();
+    let verdict = if tamper {
+        if detected {
+            AttackVerdict::Detected
+        } else {
+            AttackVerdict::Allowed
+        }
+    } else if completed || replay_opened_window {
+        AttackVerdict::Allowed
+    } else {
+        AttackVerdict::Blocked
+    };
+
+    let outcome = AttackOutcome {
+        strategy: strategy.name().to_string(),
+        defense: strategy.defense().to_string(),
+        device: config.device,
+        device_name: dev.name.clone(),
+        verdict,
+        injected,
+        delivered,
+        dropped,
+        rule_hits,
+        replays_rejected,
+        lockout_episodes: proxy.telemetry().lockout_count(),
+        retro_episodes: stats.retro_unverified,
+        time_to_block_ms,
+        completed,
+    };
+    if let Some(m) = metrics {
+        m.record(
+            strategy.name(),
+            outcome.verdict.as_str(),
+            outcome.time_to_block_ms,
+        );
+    }
+    outcome
+}
+
+/// The distinctive command size the proxy's size rule (and the attacker)
+/// keys on: the declared simple-rule size, else the first size of the
+/// device's manual event palette.
+fn command_size_of(dev: &DeviceModel) -> u16 {
+    dev.simple_rule_size
+        .or_else(|| dev.manual.as_ref().map(|m| m.sizes[0]))
+        .expect("testbed devices model manual commands")
+}

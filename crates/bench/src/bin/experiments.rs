@@ -12,6 +12,7 @@
 //! experiments tolerance
 //! experiments appendixa
 //! experiments fleet [--homes H] [--shards T]  # sharded multi-home throughput sweep
+//! experiments attack [--quick]    # adversarial red-team scorecard
 //! ```
 //!
 //! Scale knobs: `--days N` (testbed capture length, default 8),
@@ -24,7 +25,7 @@
 //! drive a `FiatProxy`, e.g. table6).
 
 use fiat_bench::ml_tables::ModelKind;
-use fiat_bench::{fig1, fig2, fleet_exp, ml_tables, table6, table7, tolerance};
+use fiat_bench::{attack_exp, fig1, fig2, fleet_exp, ml_tables, table6, table7, tolerance};
 use fiat_core::ErrorModel;
 use fiat_telemetry::{MetricRegistry, Span, WallClock};
 use std::fmt::Write as _;
@@ -34,6 +35,7 @@ struct Args {
     seed: u64,
     fast: bool,
     save: bool,
+    quick: bool,
     homes: usize,
     shards: usize,
 }
@@ -44,6 +46,7 @@ fn parse_args(rest: &[String]) -> Args {
         seed: 42,
         fast: false,
         save: false,
+        quick: false,
         homes: 8,
         shards: 8,
     };
@@ -80,6 +83,7 @@ fn parse_args(rest: &[String]) -> Args {
             }
             "--fast" => a.fast = true,
             "--save" => a.save = true,
+            "--quick" => a.quick = true,
             other => die(&format!("unknown flag {other}")),
         }
         i += 1;
@@ -179,6 +183,7 @@ fn run_one(name: &str, args: &Args, registry: &MetricRegistry) -> Option<String>
         "fleet" => {
             fleet_exp::fleet_text_instrumented(args.homes, args.shards, days, seed, Some(registry))
         }
+        "attack" => attack_exp::attack_text(seed, args.quick, Some(registry)),
         "tolerance" => tolerance::tolerance_text(),
         "appendixa" => appendixa_text(),
         _ => return None,
@@ -186,7 +191,7 @@ fn run_one(name: &str, args: &Args, registry: &MetricRegistry) -> Option<String>
     Some(text)
 }
 
-const ALL: [&str; 14] = [
+const ALL: [&str; 15] = [
     "fig1a",
     "fig1b",
     "fig1c",
@@ -201,6 +206,7 @@ const ALL: [&str; 14] = [
     "table7",
     "tolerance",
     "appendixa",
+    "attack",
 ];
 
 fn main() {
@@ -208,7 +214,7 @@ fn main() {
     let Some((cmd, rest)) = argv.split_first() else {
         eprintln!(
             "usage: experiments <all|fleet|{}> [--days N] [--seed N] [--fast] [--save] \
-             [--homes H] [--shards T]",
+             [--quick] [--homes H] [--shards T]",
             ALL.join("|")
         );
         std::process::exit(2);
@@ -233,6 +239,13 @@ fn main() {
             "fiat_experiment_output_bytes",
             "Size of the experiment's rendered text output.",
         );
+        registry.describe(
+            "fiat_experiment_seed",
+            "The --seed value this run used (for reproducing saved output).",
+        );
+        registry
+            .gauge("fiat_experiment_seed", &[("experiment", name)])
+            .set(args.seed as i64);
         let clock = WallClock::new();
         let duration = registry.histogram("fiat_experiment_duration_us", &[("experiment", name)]);
         let span = Span::enter(&duration, &clock);

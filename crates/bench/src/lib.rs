@@ -4,6 +4,7 @@
 //! same rows/series the paper reports. Criterion benches in `benches/`
 //! time the hot paths behind each artifact.
 
+pub mod attack_exp;
 pub mod corpus;
 pub mod fig1;
 pub mod fig2;

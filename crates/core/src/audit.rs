@@ -66,6 +66,32 @@ impl AuditEntry {
     }
 }
 
+/// Verify an exported (entries, hashes) pair against the chain rules,
+/// independent of any [`AuditLog`] instance.
+///
+/// This is what an external verifier (the companion app, or the
+/// red-team scorecard in `fiat-attack`) runs over a log it received:
+/// `true` iff every stored hash equals `SHA-256(prev || record)` walking
+/// from the genesis tag, and the two slices have equal length. Any
+/// rewritten entry, flipped hash byte, deletion, or reordering breaks at
+/// least one link.
+pub fn verify_chain(entries: &[AuditEntry], hashes: &[[u8; 32]]) -> bool {
+    if entries.len() != hashes.len() {
+        return false;
+    }
+    let mut prev: Vec<u8> = b"fiat-audit-genesis".to_vec();
+    for (e, stored) in entries.iter().zip(hashes) {
+        let mut h = Sha256::new();
+        h.update(&prev);
+        h.update(&e.encode());
+        if &h.finalize() != stored {
+            return false;
+        }
+        prev = stored.to_vec();
+    }
+    true
+}
+
 /// Hash-chained audit log.
 #[derive(Debug, Default)]
 pub struct AuditLog {
@@ -112,21 +138,17 @@ impl AuditLog {
         self.hashes.last().copied()
     }
 
+    /// Per-entry chain hashes, parallel to [`entries`](Self::entries).
+    /// Export both and an external party can re-verify the chain with
+    /// [`verify_chain`] without trusting this process.
+    pub fn hashes(&self) -> &[[u8; 32]] {
+        &self.hashes
+    }
+
     /// Verify the chain against the stored entries; `false` if any entry
     /// or hash was altered.
     pub fn verify(&self) -> bool {
-        let mut prev: Vec<u8> = b"fiat-audit-genesis".to_vec();
-        for (e, stored) in self.entries.iter().zip(&self.hashes) {
-            let mut h = Sha256::new();
-            h.update(&prev);
-            h.update(&e.encode());
-            let computed = h.finalize();
-            if &computed != stored {
-                return false;
-            }
-            prev = stored.to_vec();
-        }
-        self.entries.len() == self.hashes.len()
+        verify_chain(&self.entries, &self.hashes)
     }
 
     /// Entries for a device with a given verdict (e.g. to show the user
@@ -190,6 +212,51 @@ mod tests {
         // count invariant; deleting both breaks the successor's link.
         log.entries.remove(0);
         assert!(!log.verify());
+    }
+
+    #[test]
+    fn verify_chain_on_exported_copy() {
+        // An external verifier works from (entries, hashes) snapshots,
+        // not the log object. Tampering with either side of the export
+        // must fail verification.
+        let mut log = AuditLog::new();
+        for i in 0..6 {
+            let verdict = if i == 3 {
+                AuditVerdict::DroppedUnverified
+            } else {
+                AuditVerdict::AllowedManualVerified
+            };
+            log.append(entry(i, 2, verdict));
+        }
+        let entries: Vec<AuditEntry> = log.entries().to_vec();
+        let hashes: Vec<[u8; 32]> = log.hashes().to_vec();
+        assert_eq!(hashes.len(), entries.len());
+        assert!(verify_chain(&entries, &hashes));
+
+        // Rewriting the incriminating drop into an allow.
+        let mut tampered = entries.clone();
+        tampered[3].verdict = AuditVerdict::AllowedManualVerified;
+        assert!(!verify_chain(&tampered, &hashes));
+
+        // Truncating the tail (hiding the most recent records).
+        assert!(!verify_chain(&entries[..4], &hashes));
+        assert!(!verify_chain(&entries, &hashes[..4]));
+    }
+
+    #[test]
+    fn verify_chain_detects_reordering() {
+        // Swapping two records *and* their hashes keeps each pairwise
+        // (entry, hash) association intact, but breaks the prev-links on
+        // both sides of the swap.
+        let mut log = AuditLog::new();
+        for i in 0..5 {
+            log.append(entry(i, 1, AuditVerdict::DroppedUnverified));
+        }
+        let mut entries: Vec<AuditEntry> = log.entries().to_vec();
+        let mut hashes: Vec<[u8; 32]> = log.hashes().to_vec();
+        entries.swap(1, 3);
+        hashes.swap(1, 3);
+        assert!(!verify_chain(&entries, &hashes));
     }
 
     #[test]

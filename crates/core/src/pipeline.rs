@@ -17,7 +17,16 @@
 //!    remaining packets drop and the user is alerted.
 //! 5. **Lockout** — repeated unverified manual events within a short
 //!    window disconnect the device until manually cleared (brute-force
-//!    protection).
+//!    protection). The threshold is a tolerance: up to
+//!    `lockout_threshold` unverified events are absorbed, the next one
+//!    locks.
+//!
+//! Events that end *below* the first-N window (an attacker feeding
+//! fragments and pausing past the event gap) are classified
+//! retrospectively when they close: their packets already left, but an
+//! unverified manual episode still reaches the audit log and counts
+//! toward the lockout, so gap evasion trips the brute-force protection
+//! instead of flying under the classifier.
 
 use crate::audit::{AuditEntry, AuditLog, AuditVerdict};
 use crate::classifier::EventClassifier;
@@ -49,11 +58,16 @@ pub struct ProxyConfig {
     pub classify_at_cap: usize,
     /// How long a humanness proof stays fresh.
     pub human_valid_window: SimDuration,
-    /// Unverified manual events within [`ProxyConfig::lockout_window`]
-    /// that trigger a lockout.
+    /// Unverified manual events *tolerated* within
+    /// [`ProxyConfig::lockout_window`]: exactly this many do not lock
+    /// the device, one more does.
     pub lockout_threshold: u32,
     /// Sliding window for the lockout counter.
     pub lockout_window: SimDuration,
+    /// Classify events that close below the first-N window
+    /// retrospectively (see the module docs). Disable to reproduce the
+    /// inline-only verdict path.
+    pub retro_classify: bool,
 }
 
 impl Default for ProxyConfig {
@@ -67,6 +81,7 @@ impl Default for ProxyConfig {
             human_valid_window: SimDuration::from_secs(30),
             lockout_threshold: 3,
             lockout_window: SimDuration::from_secs(60),
+            retro_classify: true,
         }
     }
 }
@@ -153,6 +168,11 @@ pub struct ProxyStats {
     pub dropped_unverified: u64,
     /// Packets dropped because the device is locked out.
     pub dropped_lockout: u64,
+    /// Unverified manual *episodes* detected retrospectively at event
+    /// closure (their packets had already been forwarded under the
+    /// first-N allowance; counts events, not packets, so it is not part
+    /// of [`ProxyStats::total`]).
+    pub retro_unverified: u64,
 }
 
 impl ProxyStats {
@@ -198,6 +218,7 @@ impl std::ops::AddAssign for ProxyStats {
         self.cascade += rhs.cascade;
         self.dropped_unverified += rhs.dropped_unverified;
         self.dropped_lockout += rhs.dropped_lockout;
+        self.retro_unverified += rhs.retro_unverified;
     }
 }
 
@@ -264,6 +285,8 @@ pub struct ProxyTelemetry {
     auth_verified: Counter,
     auth_rejected: Counter,
     auth_errors: Counter,
+    lockouts: Counter,
+    retro_unverified: Counter,
 }
 
 impl ProxyTelemetry {
@@ -291,6 +314,14 @@ impl ProxyTelemetry {
         registry.describe(
             "fiat_proxy_auth_total",
             "Humanness auth messages processed, by result.",
+        );
+        registry.describe(
+            "fiat_proxy_lockouts_total",
+            "Lockout episodes entered (once per episode, not per dropped packet).",
+        );
+        registry.describe(
+            "fiat_proxy_retro_unverified_total",
+            "Unverified manual episodes detected retrospectively at event closure.",
         );
         let stage = |s: &str| registry.histogram("fiat_proxy_stage_us", &[("stage", s)]);
         let allow_total = AllowReason::ALL.map(|r| {
@@ -322,9 +353,16 @@ impl ProxyTelemetry {
             auth_verified: registry.counter("fiat_proxy_auth_total", &[("result", "verified")]),
             auth_rejected: registry.counter("fiat_proxy_auth_total", &[("result", "rejected")]),
             auth_errors: registry.counter("fiat_proxy_auth_total", &[("result", "error")]),
+            lockouts: registry.counter("fiat_proxy_lockouts_total", &[]),
+            retro_unverified: registry.counter("fiat_proxy_retro_unverified_total", &[]),
             registry,
             clock,
         }
+    }
+
+    /// Lockout episodes entered so far (one per episode).
+    pub fn lockout_count(&self) -> u64 {
+        self.lockouts.get()
     }
 
     /// The registry backing these handles (for exposition).
@@ -720,11 +758,32 @@ impl FiatProxy {
             return ProxyDecision::Allow(AllowReason::FirstN);
         };
 
-        // Close a stale event.
+        // Close a stale event. If it ended below the first-N window it
+        // never met the classifier; give it its retrospective verdict.
         let span = Span::enter(&self.telemetry.stage_event_grouping, &self.telemetry.clock);
         if dev.open.as_ref().is_some_and(|e| now - e.last >= gap) {
-            dev.open = None;
+            let stale = dev.open.take().expect("presence checked above");
             self.telemetry.open_events_gauge.dec();
+            if stale.fate.is_none() && self.config.retro_classify {
+                Self::retro_close(
+                    pkt.device,
+                    dev,
+                    stale,
+                    &self.config,
+                    self.human_valid_until,
+                    self.interactions.as_ref(),
+                    &mut self.audit,
+                    &self.telemetry,
+                    &mut self.stats,
+                );
+                // The retrospective episode may have been the one that
+                // locked the device; the packet that exposed it must not
+                // open a fresh event.
+                if dev.locked {
+                    span.exit();
+                    return ProxyDecision::Drop(DropReason::LockedOut);
+                }
+            }
         }
         if dev.open.is_none() {
             self.telemetry.open_events_gauge.inc();
@@ -814,10 +873,11 @@ impl FiatProxy {
         {
             dev.drops.pop_front();
         }
-        let locked = dev.drops.len() as u32 >= self.config.lockout_threshold;
+        let locked = dev.drops.len() as u32 > self.config.lockout_threshold;
         if locked {
             dev.locked = true;
             self.telemetry.locked_devices_gauge.inc();
+            self.telemetry.lockouts.inc();
         }
         self.audit.append(AuditEntry {
             ts: now,
@@ -830,6 +890,111 @@ impl FiatProxy {
             },
         });
         ProxyDecision::Drop(DropReason::ManualUnverified)
+    }
+
+    /// Close every open event whose gap has expired by `now`, applying
+    /// the same retrospective classification as the packet path. Call at
+    /// the end of a capture so trailing sub-window events still reach
+    /// the audit log and the lockout counter.
+    pub fn flush(&mut self, now: SimTime) {
+        let gap = self.config.event_gap;
+        let mut ids: Vec<u16> = self.devices.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let dev = self.devices.get_mut(&id).expect("id from keys()");
+            if dev.open.as_ref().is_some_and(|e| now - e.last >= gap) {
+                let stale = dev.open.take().expect("presence checked above");
+                self.telemetry.open_events_gauge.dec();
+                if stale.fate.is_none() && self.config.retro_classify {
+                    Self::retro_close(
+                        id,
+                        dev,
+                        stale,
+                        &self.config,
+                        self.human_valid_until,
+                        self.interactions.as_ref(),
+                        &mut self.audit,
+                        &self.telemetry,
+                        &mut self.stats,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Retrospective verdict for an event that closed before reaching
+    /// its classification point. The packets already left the proxy, so
+    /// an unverified manual outcome cannot drop anything — but it is
+    /// audited at the event's end time and counts toward the brute-force
+    /// lockout, which is what defeats fragment-and-pause evasion.
+    /// (Verified/cascade outcomes deliberately do not refresh the
+    /// interaction graph: the event is already over.)
+    #[allow(clippy::too_many_arguments)]
+    fn retro_close(
+        device: u16,
+        dev: &mut DeviceState,
+        event: OpenEvent,
+        config: &ProxyConfig,
+        human_valid_until: SimTime,
+        interactions: Option<&InteractionGraph>,
+        audit: &mut AuditLog,
+        telemetry: &ProxyTelemetry,
+        stats: &mut ProxyStats,
+    ) {
+        let end = event.last;
+        let ev = UnpredictableEvent {
+            device,
+            packets: (0..event.packets.len()).collect(),
+            start: event.packets[0].ts,
+            end,
+        };
+        let class = dev.classifier.classify_event(&ev, &event.packets);
+        if !class.is_manual() {
+            audit.append(AuditEntry {
+                ts: end,
+                device,
+                class,
+                verdict: AuditVerdict::AllowedNonManual,
+            });
+            return;
+        }
+        let vouched =
+            end <= human_valid_until || interactions.is_some_and(|g| g.cascade_covers(device, end));
+        if vouched {
+            audit.append(AuditEntry {
+                ts: end,
+                device,
+                class,
+                verdict: AuditVerdict::AllowedManualVerified,
+            });
+            return;
+        }
+        telemetry.retro_unverified.inc();
+        stats.retro_unverified += 1;
+        dev.drops.push_back(end);
+        while dev
+            .drops
+            .front()
+            .is_some_and(|&t| end - t > config.lockout_window)
+        {
+            dev.drops.pop_front();
+        }
+        let locked = dev.drops.len() as u32 > config.lockout_threshold;
+        if locked && !dev.locked {
+            dev.locked = true;
+            telemetry.locked_devices_gauge.inc();
+            telemetry.lockouts.inc();
+        }
+        audit.append(AuditEntry {
+            ts: end,
+            device,
+            class,
+            verdict: if locked {
+                AuditVerdict::LockedOut
+            } else {
+                AuditVerdict::DroppedUnverified
+            },
+        });
     }
 }
 
@@ -1063,8 +1228,9 @@ mod tests {
     fn brute_force_triggers_lockout() {
         let mut proxy = proxy_with_plug();
         let t = bootstrap(&mut proxy);
-        // Three unverified manual events within 60 s -> lockout.
-        for k in 0..3u64 {
+        // Threshold 3 tolerates three unverified manual events within
+        // 60 s; the fourth locks the device.
+        for k in 0..4u64 {
             let d = proxy.on_packet(&pkt(t + k * 10_000, 235));
             assert_eq!(d, ProxyDecision::Drop(DropReason::ManualUnverified));
         }
@@ -1092,6 +1258,151 @@ mod tests {
             proxy.on_packet(&pkt(t + k * 120_000, 235));
         }
         assert!(!proxy.is_locked(0));
+    }
+
+    #[test]
+    fn lockout_boundary_exactly_at_threshold_tolerated() {
+        // Regression for the tolerance semantics: with threshold 3,
+        // exactly three unverified episodes within the window must NOT
+        // lock; the fourth must. The episode counter increments once
+        // per lockout, not once per dropped packet.
+        let mut proxy = proxy_with_plug();
+        let t = bootstrap(&mut proxy);
+        for k in 0..3u64 {
+            assert_eq!(
+                proxy.on_packet(&pkt(t + k * 10_000, 235)),
+                ProxyDecision::Drop(DropReason::ManualUnverified)
+            );
+        }
+        assert!(!proxy.is_locked(0), "exactly-at-threshold must not lock");
+        assert_eq!(proxy.telemetry().lockout_count(), 0);
+
+        // One more unverified event crosses the tolerance.
+        proxy.on_packet(&pkt(t + 30_000, 235));
+        assert!(proxy.is_locked(0));
+        assert_eq!(proxy.telemetry().lockout_count(), 1);
+
+        // Packets dropped while locked do not start new episodes.
+        for k in 0..5u64 {
+            assert_eq!(
+                proxy.on_packet(&pkt(t + 31_000 + k * 100, 100)),
+                ProxyDecision::Drop(DropReason::LockedOut)
+            );
+        }
+        assert_eq!(proxy.telemetry().lockout_count(), 1);
+
+        // After an operator clears it, a fresh run of four unverified
+        // events is a second episode — the counter reaches exactly 2.
+        proxy.clear_lockout(0);
+        for k in 0..4u64 {
+            proxy.on_packet(&pkt(t + 40_000 + k * 10_000, 235));
+        }
+        assert!(proxy.is_locked(0));
+        assert_eq!(proxy.telemetry().lockout_count(), 2);
+        assert!(proxy.audit().verify());
+    }
+
+    #[test]
+    fn gap_fragments_are_classified_retrospectively() {
+        // Gap evasion: a command split into fragments shorter than the
+        // classify point, separated by > 5 s of silence, rides the
+        // first-N allowance packet by packet. Retrospective
+        // classification audits each fragment when it closes and counts
+        // it toward the lockout, so the fourth closure locks the device
+        // and the fifth fragment is dead on arrival.
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let mut proxy = FiatProxy::new(ProxyConfig::default(), &SECRET, validator);
+        proxy.register_device(0, EventClassifier::simple_rule(235), 5);
+        proxy.start(SimTime::ZERO);
+        let t = bootstrap(&mut proxy);
+
+        let frag_spacing = 6_000u64; // > 5 s event gap -> new event
+        for frag in 0..4u64 {
+            for j in 0..4u64 {
+                // 4 packets per fragment: below classify_at = 5.
+                let d = proxy.on_packet(&pkt(t + frag * frag_spacing + j * 50, 235));
+                assert_eq!(
+                    d,
+                    ProxyDecision::Allow(AllowReason::FirstN),
+                    "frag {frag} pkt {j}"
+                );
+            }
+        }
+        // Fragments 0..2 closed retrospectively (3 episodes: tolerated).
+        assert!(!proxy.is_locked(0));
+        // The next packet closes fragment 3 -> 4th unverified episode
+        // -> lockout; the packet itself must not open a fresh event.
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 4 * frag_spacing, 235)),
+            ProxyDecision::Drop(DropReason::LockedOut)
+        );
+        assert!(proxy.is_locked(0));
+        assert_eq!(proxy.stats().retro_unverified, 4);
+        assert_eq!(proxy.telemetry().lockout_count(), 1);
+        // Every retro episode reached the audit log, chain intact.
+        assert_eq!(proxy.audit().len(), 4);
+        assert!(proxy.audit().verify());
+    }
+
+    #[test]
+    fn flush_closes_trailing_events_retrospectively() {
+        // A trailing fragment with no follow-up traffic is only seen by
+        // `flush`, which must classify it like a stale-close would.
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let mut proxy = FiatProxy::new(ProxyConfig::default(), &SECRET, validator);
+        proxy.register_device(0, EventClassifier::simple_rule(235), 5);
+        proxy.start(SimTime::ZERO);
+        let t = bootstrap(&mut proxy);
+
+        for j in 0..3u64 {
+            proxy.on_packet(&pkt(t + j * 50, 235));
+        }
+        assert_eq!(proxy.audit().len(), 0);
+        proxy.flush(SimTime::from_millis(t + 60_000));
+        assert_eq!(proxy.stats().retro_unverified, 1);
+        assert_eq!(proxy.audit().len(), 1);
+        assert_eq!(
+            proxy.audit().entries()[0].verdict,
+            AuditVerdict::DroppedUnverified
+        );
+        // Non-manual trailing events are audited as allowed, not drops.
+        proxy.clear_lockout(0);
+        for j in 0..3u64 {
+            proxy.on_packet(&pkt(t + 120_000 + j * 50, 999));
+        }
+        proxy.flush(SimTime::from_millis(t + 180_000));
+        assert_eq!(proxy.stats().retro_unverified, 1);
+        assert_eq!(
+            proxy.audit().entries()[1].verdict,
+            AuditVerdict::AllowedNonManual
+        );
+        assert!(proxy.audit().verify());
+    }
+
+    #[test]
+    fn retro_classification_can_be_disabled() {
+        // With `retro_classify` off, sub-classify-point fragments close
+        // silently — the pre-existing (vulnerable) behavior, kept for
+        // measurement harnesses that pin inline-only numbers.
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let config = ProxyConfig {
+            retro_classify: false,
+            ..ProxyConfig::default()
+        };
+        let mut proxy = FiatProxy::new(config, &SECRET, validator);
+        proxy.register_device(0, EventClassifier::simple_rule(235), 5);
+        proxy.start(SimTime::ZERO);
+        let t = bootstrap(&mut proxy);
+
+        for frag in 0..6u64 {
+            for j in 0..4u64 {
+                let d = proxy.on_packet(&pkt(t + frag * 6_000 + j * 50, 235));
+                assert_eq!(d, ProxyDecision::Allow(AllowReason::FirstN));
+            }
+        }
+        assert!(!proxy.is_locked(0));
+        assert_eq!(proxy.stats().retro_unverified, 0);
+        assert_eq!(proxy.audit().len(), 0);
     }
 
     #[test]
@@ -1299,7 +1610,7 @@ mod tests {
         proxy.on_packet(&pkt(t, 100)); // rule hit
         proxy.on_packet(&pkt(t + 6_000, 999)); // non-manual
         sent += 2;
-        for k in 0..3u64 {
+        for k in 0..4u64 {
             proxy.on_packet(&pkt(t + 20_000 + k * 10_000, 235)); // drops -> lockout
             sent += 1;
         }
@@ -1351,9 +1662,10 @@ mod tests {
         proxy.on_auth_zero_rtt(&z, SimTime::from_millis(t)).unwrap();
         proxy.on_packet(&pkt(t + 500, 235));
 
-        // Three unverified manual events (well past the human window)
-        // lock the device; one more packet drops as locked out.
-        for k in 0..3u64 {
+        // Four unverified manual events (well past the human window)
+        // exceed the tolerance of three and lock the device; one more
+        // packet drops as locked out.
+        for k in 0..4u64 {
             proxy.on_packet(&pkt(t + 60_000 + k * 10_000, 235));
         }
         proxy.on_packet(&pkt(t + 95_000, 100));
@@ -1520,7 +1832,7 @@ mod tests {
         proxy.start(SimTime::ZERO);
         let t = bootstrap(&mut proxy);
 
-        for k in 0..3u64 {
+        for k in 0..4u64 {
             assert_eq!(
                 proxy.on_packet(&pkt(t + k * 10_000, 235)),
                 ProxyDecision::Drop(DropReason::ManualUnverified)
@@ -1533,7 +1845,7 @@ mod tests {
         assert_eq!(registry.gauge("fiat_proxy_open_events", &[]).get(), 0);
         // 1 s after the last drop — still inside the 5 s event gap, so
         // pre-fix this packet rejoined the DropRest event and dropped.
-        let d = proxy.on_packet(&pkt(t + 21_000, 999));
+        let d = proxy.on_packet(&pkt(t + 31_000, 999));
         assert!(d.is_allow(), "{d:?}");
     }
 

@@ -156,6 +156,47 @@ proptest! {
         let _ = pcap::decode(&bytes);
     }
 
+    /// Truncating a valid blob at any point either still decodes (the
+    /// cut fell on a record boundary past the header) or fails with a
+    /// PcapError — never a panic.
+    #[test]
+    fn pcap_decode_truncated_total(
+        packets in prop::collection::vec(arb_packet(), 0..20),
+        cut in any::<usize>(),
+    ) {
+        let mut t = Trace::new();
+        for p in packets {
+            t.push(p);
+        }
+        t.finish();
+        let blob = pcap::encode(&t);
+        let cut = cut % (blob.len() + 1);
+        // A PcapError is the only sanctioned failure mode.
+        if let Ok(back) = pcap::decode(&blob[..cut]) {
+            prop_assert!(back.packets.len() <= t.packets.len());
+        }
+    }
+
+    /// Flipping any single bit of a valid blob either still decodes or
+    /// fails with a PcapError — never a panic. (fpcap has no integrity
+    /// check, so some flips decode to a different but well-formed trace.)
+    #[test]
+    fn pcap_decode_bitflip_total(
+        packets in prop::collection::vec(arb_packet(), 1..20),
+        flip_at in any::<usize>(),
+        flip_bit in 0u8..8,
+    ) {
+        let mut t = Trace::new();
+        for p in packets {
+            t.push(p);
+        }
+        t.finish();
+        let mut blob = pcap::encode(&t);
+        let i = flip_at % blob.len();
+        blob[i] ^= 1 << flip_bit;
+        let _ = pcap::decode(&blob);
+    }
+
     /// TLS sniffing never panics on arbitrary bytes and correctly
     /// round-trips synthesized hellos.
     #[test]

@@ -317,6 +317,12 @@ impl Server {
         &self.telemetry
     }
 
+    /// The anti-replay store, for inspection (e.g. the red-team harness
+    /// checking that a replayed (ticket, nonce) pair really was burned).
+    pub fn replay_store(&self) -> &ReplayStore {
+        &self.replay
+    }
+
     /// Accept a ClientHello; returns the ServerHello carrying a fresh
     /// ticket. `server_random` is caller-provided for determinism.
     pub fn accept(&mut self, hello: &ClientHello, server_random: [u8; 32]) -> ServerHello {
@@ -451,6 +457,8 @@ mod tests {
         assert!(s.accept_zero_rtt(&z).is_ok());
         // Verbatim replay (the §5.3 attack) is caught by the store.
         assert_eq!(s.accept_zero_rtt(&z), Err(QuicError::Replayed));
+        // The burned pair is observable through the store accessor.
+        assert!(s.replay_store().contains(z.ticket.id, z.nonce));
         // A fresh 0-RTT packet still works.
         let z2 = c.seal_zero_rtt(b"again").unwrap();
         assert_eq!(s.accept_zero_rtt(&z2).unwrap(), b"again");

@@ -1,0 +1,105 @@
+//! Metrics for the adversarial red-team harness (`fiat-attack`).
+//!
+//! The harness replays attacker strategies against a live proxy and
+//! scores each run; this module gives those runs a first-class metric
+//! family so security regressions show up on the same dashboards as the
+//! decision-path counters:
+//!
+//! - `fiat_attack_runs_total{strategy=,outcome=}` — one increment per
+//!   completed attack run, labelled by strategy name and scored outcome
+//!   (`blocked` / `allowed` / `detected`).
+//! - `fiat_attack_time_to_block_ms` — histogram of time from the first
+//!   attack packet to the proxy's first blocking decision, for runs that
+//!   were blocked.
+//!
+//! Labels are resolved on demand so strategy sets can grow without
+//! touching this crate.
+
+use crate::metrics::{Counter, Histogram, MetricRegistry};
+
+/// Metric name for per-run outcome counters.
+pub const ATTACK_RUNS_TOTAL: &str = "fiat_attack_runs_total";
+/// Metric name for the time-to-block histogram (milliseconds).
+pub const ATTACK_TIME_TO_BLOCK_MS: &str = "fiat_attack_time_to_block_ms";
+
+/// Handle bundle for recording red-team run outcomes into a registry.
+#[derive(Debug, Clone)]
+pub struct AttackMetrics {
+    registry: MetricRegistry,
+    time_to_block: Histogram,
+}
+
+impl AttackMetrics {
+    /// Register descriptions and resolve the shared histogram.
+    pub fn new(registry: &MetricRegistry) -> Self {
+        registry.describe(
+            ATTACK_RUNS_TOTAL,
+            "Red-team attack runs, by strategy and scored outcome.",
+        );
+        registry.describe(
+            ATTACK_TIME_TO_BLOCK_MS,
+            "Time from first attack packet to first blocking decision (ms).",
+        );
+        Self {
+            registry: registry.clone(),
+            time_to_block: registry.histogram(ATTACK_TIME_TO_BLOCK_MS, &[]),
+        }
+    }
+
+    /// Counter for one (strategy, outcome) cell; labels resolve on
+    /// demand so callers can record strategies this crate never heard
+    /// of.
+    pub fn runs(&self, strategy: &str, outcome: &str) -> Counter {
+        self.registry.counter(
+            ATTACK_RUNS_TOTAL,
+            &[("strategy", strategy), ("outcome", outcome)],
+        )
+    }
+
+    /// Record one completed run. `time_to_block_ms` is only meaningful
+    /// (and only recorded) for blocked runs.
+    pub fn record(&self, strategy: &str, outcome: &str, time_to_block_ms: Option<u64>) {
+        self.runs(strategy, outcome).inc();
+        if let Some(ms) = time_to_block_ms {
+            self.time_to_block.record(ms);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_runs_by_strategy_and_outcome() {
+        let registry = MetricRegistry::new();
+        let m = AttackMetrics::new(&registry);
+        m.record("replay", "blocked", Some(40));
+        m.record("replay", "blocked", Some(60));
+        m.record("mimicry", "allowed", None);
+        m.record("audit-tamper", "detected", None);
+
+        assert_eq!(m.runs("replay", "blocked").get(), 2);
+        assert_eq!(m.runs("mimicry", "allowed").get(), 1);
+        assert_eq!(m.runs("audit-tamper", "detected").get(), 1);
+        assert_eq!(m.runs("replay", "allowed").get(), 0);
+
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("fiat_attack_runs_total{outcome=\"blocked\",strategy=\"replay\"} 2")
+                || text
+                    .contains("fiat_attack_runs_total{strategy=\"replay\",outcome=\"blocked\"} 2")
+        );
+        assert!(text.contains("fiat_attack_time_to_block_ms"));
+    }
+
+    #[test]
+    fn time_to_block_only_recorded_when_present() {
+        let registry = MetricRegistry::new();
+        let m = AttackMetrics::new(&registry);
+        m.record("gap-evasion", "blocked", Some(12_000));
+        m.record("mimicry", "allowed", None);
+        let h = registry.histogram(ATTACK_TIME_TO_BLOCK_MS, &[]);
+        assert_eq!(h.count(), 1);
+    }
+}

@@ -14,6 +14,8 @@
 //! - [`Snapshot`] exposition — Prometheus text format and a
 //!   `serde_json`-compatible JSON document, both rendered without any
 //!   serialization dependency.
+//! - [`AttackMetrics`] — outcome counters and a time-to-block histogram
+//!   for the `fiat-attack` red-team harness.
 //!
 //! ```
 //! use fiat_telemetry::{ManualClock, MetricRegistry, Span};
@@ -31,12 +33,14 @@
 //! assert!(reg.render_json().starts_with("{\"counters\":["));
 //! ```
 
+pub mod attack;
 pub mod clock;
 pub mod expose;
 pub mod journal;
 pub mod metrics;
 pub mod span;
 
+pub use attack::AttackMetrics;
 pub use clock::{Clock, ManualClock, WallClock};
 pub use expose::{CounterSample, GaugeSample, HistogramSample, Snapshot};
 pub use journal::Journal;

@@ -26,6 +26,8 @@
 //!   decision journal, and Prometheus/JSON exposition.
 //! - [`fleet`] (`fiat-fleet`) — the sharded multi-home proxy runtime
 //!   with deterministic fleet-wide telemetry merging.
+//! - [`attack`] (`fiat-attack`) — the adversarial red-team harness:
+//!   seeded attacker strategies scored against a live proxy.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +45,7 @@
 //! assert!(frac > 0.5, "control traffic should be mostly predictable");
 //! ```
 
+pub use fiat_attack as attack;
 pub use fiat_core as core;
 pub use fiat_crypto as crypto;
 pub use fiat_fleet as fleet;
