@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc-6002b6a6381dd0a2.d: crates/core/tests/alloc.rs
+
+/root/repo/target/debug/deps/alloc-6002b6a6381dd0a2: crates/core/tests/alloc.rs
+
+crates/core/tests/alloc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alloc-a2aa10a4c8a222a1.d: crates/core/tests/alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballoc-a2aa10a4c8a222a1.rmeta: crates/core/tests/alloc.rs Cargo.toml
+
+crates/core/tests/alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

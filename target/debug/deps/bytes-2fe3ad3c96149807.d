@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-2fe3ad3c96149807.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-2fe3ad3c96149807: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

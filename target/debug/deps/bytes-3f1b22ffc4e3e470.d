@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-3f1b22ffc4e3e470.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-3f1b22ffc4e3e470.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-3f1b22ffc4e3e470.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-dac3c39ede2b2968.d: vendor/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-dac3c39ede2b2968.rmeta: vendor/bytes/src/lib.rs Cargo.toml
+
+vendor/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

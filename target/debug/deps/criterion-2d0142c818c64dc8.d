@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-2d0142c818c64dc8.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-2d0142c818c64dc8: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-74825f1a36aa0139.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-74825f1a36aa0139.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-74825f1a36aa0139.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

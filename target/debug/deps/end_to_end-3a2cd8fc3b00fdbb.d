@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-3a2cd8fc3b00fdbb.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-3a2cd8fc3b00fdbb: tests/end_to_end.rs
+
+tests/end_to_end.rs:

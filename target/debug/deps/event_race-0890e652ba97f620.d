@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/event_race-0890e652ba97f620.d: tests/event_race.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevent_race-0890e652ba97f620.rmeta: tests/event_race.rs Cargo.toml
+
+tests/event_race.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

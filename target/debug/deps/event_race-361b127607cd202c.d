@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/event_race-361b127607cd202c.d: tests/event_race.rs
+
+/root/repo/target/debug/deps/event_race-361b127607cd202c: tests/event_race.rs
+
+tests/event_race.rs:

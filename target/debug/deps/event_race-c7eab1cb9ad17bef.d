@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/event_race-c7eab1cb9ad17bef.d: tests/event_race.rs
+
+/root/repo/target/debug/deps/event_race-c7eab1cb9ad17bef: tests/event_race.rs
+
+tests/event_race.rs:

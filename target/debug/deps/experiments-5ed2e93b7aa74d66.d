@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-5ed2e93b7aa74d66.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-5ed2e93b7aa74d66: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-7fa869dfb178eb53.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-7fa869dfb178eb53: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

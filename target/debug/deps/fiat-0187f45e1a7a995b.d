@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fiat-0187f45e1a7a995b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfiat-0187f45e1a7a995b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fiat-0aa0952700d1a93e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfiat-0aa0952700d1a93e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfiat-0aa0952700d1a93e.rmeta: src/lib.rs
+
+src/lib.rs:

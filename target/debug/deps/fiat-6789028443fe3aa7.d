@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fiat-6789028443fe3aa7.d: src/lib.rs
+
+/root/repo/target/debug/deps/fiat-6789028443fe3aa7: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fiat-aa304eb1b166ee87.d: src/lib.rs
+
+/root/repo/target/debug/deps/fiat-aa304eb1b166ee87: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fiat-de268a4964fb9f32.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfiat-de268a4964fb9f32.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fiat-fe0d2db4d724bf0b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libfiat-fe0d2db4d724bf0b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libfiat-fe0d2db4d724bf0b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fiat_attack-2b699fb9ed86a998.d: crates/attack/src/lib.rs crates/attack/src/harness.rs crates/attack/src/scorecard.rs crates/attack/src/strategies.rs
+
+/root/repo/target/debug/deps/libfiat_attack-2b699fb9ed86a998.rlib: crates/attack/src/lib.rs crates/attack/src/harness.rs crates/attack/src/scorecard.rs crates/attack/src/strategies.rs
+
+/root/repo/target/debug/deps/libfiat_attack-2b699fb9ed86a998.rmeta: crates/attack/src/lib.rs crates/attack/src/harness.rs crates/attack/src/scorecard.rs crates/attack/src/strategies.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/harness.rs:
+crates/attack/src/scorecard.rs:
+crates/attack/src/strategies.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fiat_attack-4c06c14fb065fcce.d: crates/attack/src/lib.rs crates/attack/src/harness.rs crates/attack/src/scorecard.rs crates/attack/src/strategies.rs
+
+/root/repo/target/debug/deps/fiat_attack-4c06c14fb065fcce: crates/attack/src/lib.rs crates/attack/src/harness.rs crates/attack/src/scorecard.rs crates/attack/src/strategies.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/harness.rs:
+crates/attack/src/scorecard.rs:
+crates/attack/src/strategies.rs:

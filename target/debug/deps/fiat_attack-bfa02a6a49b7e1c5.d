@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fiat_attack-bfa02a6a49b7e1c5.d: crates/attack/src/lib.rs crates/attack/src/harness.rs crates/attack/src/scorecard.rs crates/attack/src/strategies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfiat_attack-bfa02a6a49b7e1c5.rmeta: crates/attack/src/lib.rs crates/attack/src/harness.rs crates/attack/src/scorecard.rs crates/attack/src/strategies.rs Cargo.toml
+
+crates/attack/src/lib.rs:
+crates/attack/src/harness.rs:
+crates/attack/src/scorecard.rs:
+crates/attack/src/strategies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fiat_bench-53f16a89af44a2bf.d: crates/bench/src/lib.rs crates/bench/src/attack_exp.rs crates/bench/src/corpus.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fleet_exp.rs crates/bench/src/ml_tables.rs crates/bench/src/table6.rs crates/bench/src/table7.rs crates/bench/src/tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfiat_bench-53f16a89af44a2bf.rmeta: crates/bench/src/lib.rs crates/bench/src/attack_exp.rs crates/bench/src/corpus.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fleet_exp.rs crates/bench/src/ml_tables.rs crates/bench/src/table6.rs crates/bench/src/table7.rs crates/bench/src/tolerance.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/attack_exp.rs:
+crates/bench/src/corpus.rs:
+crates/bench/src/fig1.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/fleet_exp.rs:
+crates/bench/src/ml_tables.rs:
+crates/bench/src/table6.rs:
+crates/bench/src/table7.rs:
+crates/bench/src/tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

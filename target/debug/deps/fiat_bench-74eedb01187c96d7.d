@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fiat_bench-74eedb01187c96d7.d: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fleet_exp.rs crates/bench/src/ml_tables.rs crates/bench/src/table6.rs crates/bench/src/table7.rs crates/bench/src/tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfiat_bench-74eedb01187c96d7.rmeta: crates/bench/src/lib.rs crates/bench/src/corpus.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fleet_exp.rs crates/bench/src/ml_tables.rs crates/bench/src/table6.rs crates/bench/src/table7.rs crates/bench/src/tolerance.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/corpus.rs:
+crates/bench/src/fig1.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/fleet_exp.rs:
+crates/bench/src/ml_tables.rs:
+crates/bench/src/table6.rs:
+crates/bench/src/table7.rs:
+crates/bench/src/tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

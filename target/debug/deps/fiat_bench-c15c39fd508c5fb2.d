@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/fiat_bench-c15c39fd508c5fb2.d: crates/bench/src/lib.rs crates/bench/src/attack_exp.rs crates/bench/src/corpus.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fleet_exp.rs crates/bench/src/ml_tables.rs crates/bench/src/table6.rs crates/bench/src/table7.rs crates/bench/src/tolerance.rs
+
+/root/repo/target/debug/deps/libfiat_bench-c15c39fd508c5fb2.rlib: crates/bench/src/lib.rs crates/bench/src/attack_exp.rs crates/bench/src/corpus.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fleet_exp.rs crates/bench/src/ml_tables.rs crates/bench/src/table6.rs crates/bench/src/table7.rs crates/bench/src/tolerance.rs
+
+/root/repo/target/debug/deps/libfiat_bench-c15c39fd508c5fb2.rmeta: crates/bench/src/lib.rs crates/bench/src/attack_exp.rs crates/bench/src/corpus.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fleet_exp.rs crates/bench/src/ml_tables.rs crates/bench/src/table6.rs crates/bench/src/table7.rs crates/bench/src/tolerance.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/attack_exp.rs:
+crates/bench/src/corpus.rs:
+crates/bench/src/fig1.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/fleet_exp.rs:
+crates/bench/src/ml_tables.rs:
+crates/bench/src/table6.rs:
+crates/bench/src/table7.rs:
+crates/bench/src/tolerance.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fiat_bench-c29f8fca91eb99cc.d: crates/bench/src/lib.rs crates/bench/src/attack_exp.rs crates/bench/src/corpus.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fleet_exp.rs crates/bench/src/ml_tables.rs crates/bench/src/table6.rs crates/bench/src/table7.rs crates/bench/src/tolerance.rs
+
+/root/repo/target/debug/deps/fiat_bench-c29f8fca91eb99cc: crates/bench/src/lib.rs crates/bench/src/attack_exp.rs crates/bench/src/corpus.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fleet_exp.rs crates/bench/src/ml_tables.rs crates/bench/src/table6.rs crates/bench/src/table7.rs crates/bench/src/tolerance.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/attack_exp.rs:
+crates/bench/src/corpus.rs:
+crates/bench/src/fig1.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/fleet_exp.rs:
+crates/bench/src/ml_tables.rs:
+crates/bench/src/table6.rs:
+crates/bench/src/table7.rs:
+crates/bench/src/tolerance.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/fiat_core-9c94a33c263a87ed.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/audit.rs crates/core/src/classifier.rs crates/core/src/client.rs crates/core/src/events.rs crates/core/src/features.rs crates/core/src/identify.rs crates/core/src/interactions.rs crates/core/src/notify.rs crates/core/src/pairing.rs crates/core/src/pipeline.rs crates/core/src/predict.rs
+
+/root/repo/target/debug/deps/libfiat_core-9c94a33c263a87ed.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/audit.rs crates/core/src/classifier.rs crates/core/src/client.rs crates/core/src/events.rs crates/core/src/features.rs crates/core/src/identify.rs crates/core/src/interactions.rs crates/core/src/notify.rs crates/core/src/pairing.rs crates/core/src/pipeline.rs crates/core/src/predict.rs
+
+/root/repo/target/debug/deps/libfiat_core-9c94a33c263a87ed.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/audit.rs crates/core/src/classifier.rs crates/core/src/client.rs crates/core/src/events.rs crates/core/src/features.rs crates/core/src/identify.rs crates/core/src/interactions.rs crates/core/src/notify.rs crates/core/src/pairing.rs crates/core/src/pipeline.rs crates/core/src/predict.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/audit.rs:
+crates/core/src/classifier.rs:
+crates/core/src/client.rs:
+crates/core/src/events.rs:
+crates/core/src/features.rs:
+crates/core/src/identify.rs:
+crates/core/src/interactions.rs:
+crates/core/src/notify.rs:
+crates/core/src/pairing.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predict.rs:

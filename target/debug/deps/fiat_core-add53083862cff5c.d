@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fiat_core-add53083862cff5c.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/audit.rs crates/core/src/classifier.rs crates/core/src/client.rs crates/core/src/events.rs crates/core/src/features.rs crates/core/src/identify.rs crates/core/src/interactions.rs crates/core/src/notify.rs crates/core/src/pairing.rs crates/core/src/pipeline.rs crates/core/src/predict.rs
+
+/root/repo/target/debug/deps/fiat_core-add53083862cff5c: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/audit.rs crates/core/src/classifier.rs crates/core/src/client.rs crates/core/src/events.rs crates/core/src/features.rs crates/core/src/identify.rs crates/core/src/interactions.rs crates/core/src/notify.rs crates/core/src/pairing.rs crates/core/src/pipeline.rs crates/core/src/predict.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/audit.rs:
+crates/core/src/classifier.rs:
+crates/core/src/client.rs:
+crates/core/src/events.rs:
+crates/core/src/features.rs:
+crates/core/src/identify.rs:
+crates/core/src/interactions.rs:
+crates/core/src/notify.rs:
+crates/core/src/pairing.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predict.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/fiat_core-bc7538eef12cc480.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/audit.rs crates/core/src/classifier.rs crates/core/src/client.rs crates/core/src/events.rs crates/core/src/features.rs crates/core/src/identify.rs crates/core/src/interactions.rs crates/core/src/notify.rs crates/core/src/pairing.rs crates/core/src/pipeline.rs crates/core/src/predict.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfiat_core-bc7538eef12cc480.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/audit.rs crates/core/src/classifier.rs crates/core/src/client.rs crates/core/src/events.rs crates/core/src/features.rs crates/core/src/identify.rs crates/core/src/interactions.rs crates/core/src/notify.rs crates/core/src/pairing.rs crates/core/src/pipeline.rs crates/core/src/predict.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/audit.rs:
+crates/core/src/classifier.rs:
+crates/core/src/client.rs:
+crates/core/src/events.rs:
+crates/core/src/features.rs:
+crates/core/src/identify.rs:
+crates/core/src/interactions.rs:
+crates/core/src/notify.rs:
+crates/core/src/pairing.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predict.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fiat_crypto-849804d7d1f4d11f.d: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/chacha20.rs crates/crypto/src/ct.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/keystore.rs crates/crypto/src/poly1305.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/libfiat_crypto-849804d7d1f4d11f.rlib: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/chacha20.rs crates/crypto/src/ct.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/keystore.rs crates/crypto/src/poly1305.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/debug/deps/libfiat_crypto-849804d7d1f4d11f.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/chacha20.rs crates/crypto/src/ct.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/keystore.rs crates/crypto/src/poly1305.rs crates/crypto/src/sha256.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aead.rs:
+crates/crypto/src/chacha20.rs:
+crates/crypto/src/ct.rs:
+crates/crypto/src/hkdf.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/keystore.rs:
+crates/crypto/src/poly1305.rs:
+crates/crypto/src/sha256.rs:

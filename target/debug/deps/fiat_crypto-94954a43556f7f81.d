@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fiat_crypto-94954a43556f7f81.d: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/chacha20.rs crates/crypto/src/ct.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/keystore.rs crates/crypto/src/poly1305.rs crates/crypto/src/sha256.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfiat_crypto-94954a43556f7f81.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/chacha20.rs crates/crypto/src/ct.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/keystore.rs crates/crypto/src/poly1305.rs crates/crypto/src/sha256.rs Cargo.toml
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aead.rs:
+crates/crypto/src/chacha20.rs:
+crates/crypto/src/ct.rs:
+crates/crypto/src/hkdf.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/keystore.rs:
+crates/crypto/src/poly1305.rs:
+crates/crypto/src/sha256.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fiat_fleet-8cc46f6b74739d5a.d: crates/fleet/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfiat_fleet-8cc46f6b74739d5a.rmeta: crates/fleet/src/lib.rs Cargo.toml
+
+crates/fleet/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

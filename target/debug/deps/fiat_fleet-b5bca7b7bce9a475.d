@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fiat_fleet-b5bca7b7bce9a475.d: crates/fleet/src/lib.rs
+
+/root/repo/target/debug/deps/libfiat_fleet-b5bca7b7bce9a475.rlib: crates/fleet/src/lib.rs
+
+/root/repo/target/debug/deps/libfiat_fleet-b5bca7b7bce9a475.rmeta: crates/fleet/src/lib.rs
+
+crates/fleet/src/lib.rs:

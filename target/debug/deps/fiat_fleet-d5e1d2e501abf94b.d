@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fiat_fleet-d5e1d2e501abf94b.d: crates/fleet/src/lib.rs
+
+/root/repo/target/debug/deps/fiat_fleet-d5e1d2e501abf94b: crates/fleet/src/lib.rs
+
+crates/fleet/src/lib.rs:

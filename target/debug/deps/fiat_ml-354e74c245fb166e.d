@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/fiat_ml-354e74c245fb166e.d: crates/ml/src/lib.rs crates/ml/src/adaboost.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/forest.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/mlp.rs crates/ml/src/naive_bayes.rs crates/ml/src/nearest_centroid.rs crates/ml/src/permutation.rs crates/ml/src/scaler.rs crates/ml/src/shapley.rs crates/ml/src/svm.rs crates/ml/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfiat_ml-354e74c245fb166e.rmeta: crates/ml/src/lib.rs crates/ml/src/adaboost.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/forest.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/mlp.rs crates/ml/src/naive_bayes.rs crates/ml/src/nearest_centroid.rs crates/ml/src/permutation.rs crates/ml/src/scaler.rs crates/ml/src/shapley.rs crates/ml/src/svm.rs crates/ml/src/tree.rs Cargo.toml
+
+crates/ml/src/lib.rs:
+crates/ml/src/adaboost.rs:
+crates/ml/src/cv.rs:
+crates/ml/src/data.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/knn.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/mlp.rs:
+crates/ml/src/naive_bayes.rs:
+crates/ml/src/nearest_centroid.rs:
+crates/ml/src/permutation.rs:
+crates/ml/src/scaler.rs:
+crates/ml/src/shapley.rs:
+crates/ml/src/svm.rs:
+crates/ml/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fiat_net-0d17ccd93ff7c06f.d: crates/net/src/lib.rs crates/net/src/dns.rs crates/net/src/flow.rs crates/net/src/headers.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/time.rs crates/net/src/tls.rs crates/net/src/trace.rs
+
+/root/repo/target/debug/deps/libfiat_net-0d17ccd93ff7c06f.rlib: crates/net/src/lib.rs crates/net/src/dns.rs crates/net/src/flow.rs crates/net/src/headers.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/time.rs crates/net/src/tls.rs crates/net/src/trace.rs
+
+/root/repo/target/debug/deps/libfiat_net-0d17ccd93ff7c06f.rmeta: crates/net/src/lib.rs crates/net/src/dns.rs crates/net/src/flow.rs crates/net/src/headers.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/time.rs crates/net/src/tls.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/dns.rs:
+crates/net/src/flow.rs:
+crates/net/src/headers.rs:
+crates/net/src/packet.rs:
+crates/net/src/pcap.rs:
+crates/net/src/time.rs:
+crates/net/src/tls.rs:
+crates/net/src/trace.rs:

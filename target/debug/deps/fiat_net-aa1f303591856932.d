@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fiat_net-aa1f303591856932.d: crates/net/src/lib.rs crates/net/src/dns.rs crates/net/src/flow.rs crates/net/src/headers.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/time.rs crates/net/src/tls.rs crates/net/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfiat_net-aa1f303591856932.rmeta: crates/net/src/lib.rs crates/net/src/dns.rs crates/net/src/flow.rs crates/net/src/headers.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/time.rs crates/net/src/tls.rs crates/net/src/trace.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/dns.rs:
+crates/net/src/flow.rs:
+crates/net/src/headers.rs:
+crates/net/src/packet.rs:
+crates/net/src/pcap.rs:
+crates/net/src/time.rs:
+crates/net/src/tls.rs:
+crates/net/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fiat_quic-499da517ccc2db06.d: crates/quic/src/lib.rs crates/quic/src/connection.rs crates/quic/src/replay.rs
+
+/root/repo/target/debug/deps/fiat_quic-499da517ccc2db06: crates/quic/src/lib.rs crates/quic/src/connection.rs crates/quic/src/replay.rs
+
+crates/quic/src/lib.rs:
+crates/quic/src/connection.rs:
+crates/quic/src/replay.rs:

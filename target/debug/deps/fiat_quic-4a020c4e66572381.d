@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fiat_quic-4a020c4e66572381.d: crates/quic/src/lib.rs crates/quic/src/connection.rs crates/quic/src/replay.rs
+
+/root/repo/target/debug/deps/libfiat_quic-4a020c4e66572381.rlib: crates/quic/src/lib.rs crates/quic/src/connection.rs crates/quic/src/replay.rs
+
+/root/repo/target/debug/deps/libfiat_quic-4a020c4e66572381.rmeta: crates/quic/src/lib.rs crates/quic/src/connection.rs crates/quic/src/replay.rs
+
+crates/quic/src/lib.rs:
+crates/quic/src/connection.rs:
+crates/quic/src/replay.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fiat_quic-cf525aa327f3a3d3.d: crates/quic/src/lib.rs crates/quic/src/connection.rs crates/quic/src/replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfiat_quic-cf525aa327f3a3d3.rmeta: crates/quic/src/lib.rs crates/quic/src/connection.rs crates/quic/src/replay.rs Cargo.toml
+
+crates/quic/src/lib.rs:
+crates/quic/src/connection.rs:
+crates/quic/src/replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

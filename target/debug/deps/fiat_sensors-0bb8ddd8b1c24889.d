@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fiat_sensors-0bb8ddd8b1c24889.d: crates/sensors/src/lib.rs crates/sensors/src/features.rs crates/sensors/src/humanness.rs crates/sensors/src/imu.rs crates/sensors/src/lazy.rs
+
+/root/repo/target/debug/deps/libfiat_sensors-0bb8ddd8b1c24889.rlib: crates/sensors/src/lib.rs crates/sensors/src/features.rs crates/sensors/src/humanness.rs crates/sensors/src/imu.rs crates/sensors/src/lazy.rs
+
+/root/repo/target/debug/deps/libfiat_sensors-0bb8ddd8b1c24889.rmeta: crates/sensors/src/lib.rs crates/sensors/src/features.rs crates/sensors/src/humanness.rs crates/sensors/src/imu.rs crates/sensors/src/lazy.rs
+
+crates/sensors/src/lib.rs:
+crates/sensors/src/features.rs:
+crates/sensors/src/humanness.rs:
+crates/sensors/src/imu.rs:
+crates/sensors/src/lazy.rs:

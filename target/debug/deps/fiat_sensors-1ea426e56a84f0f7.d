@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fiat_sensors-1ea426e56a84f0f7.d: crates/sensors/src/lib.rs crates/sensors/src/features.rs crates/sensors/src/humanness.rs crates/sensors/src/imu.rs crates/sensors/src/lazy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfiat_sensors-1ea426e56a84f0f7.rmeta: crates/sensors/src/lib.rs crates/sensors/src/features.rs crates/sensors/src/humanness.rs crates/sensors/src/imu.rs crates/sensors/src/lazy.rs Cargo.toml
+
+crates/sensors/src/lib.rs:
+crates/sensors/src/features.rs:
+crates/sensors/src/humanness.rs:
+crates/sensors/src/imu.rs:
+crates/sensors/src/lazy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fiat_sensors-8ab8caf3928d2c15.d: crates/sensors/src/lib.rs crates/sensors/src/features.rs crates/sensors/src/humanness.rs crates/sensors/src/imu.rs crates/sensors/src/lazy.rs
+
+/root/repo/target/debug/deps/fiat_sensors-8ab8caf3928d2c15: crates/sensors/src/lib.rs crates/sensors/src/features.rs crates/sensors/src/humanness.rs crates/sensors/src/imu.rs crates/sensors/src/lazy.rs
+
+crates/sensors/src/lib.rs:
+crates/sensors/src/features.rs:
+crates/sensors/src/humanness.rs:
+crates/sensors/src/imu.rs:
+crates/sensors/src/lazy.rs:

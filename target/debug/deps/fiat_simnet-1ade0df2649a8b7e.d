@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fiat_simnet-1ade0df2649a8b7e.d: crates/simnet/src/lib.rs crates/simnet/src/arp.rs crates/simnet/src/event.rs crates/simnet/src/home.rs crates/simnet/src/intercept.rs crates/simnet/src/link.rs crates/simnet/src/tcp.rs
+
+/root/repo/target/debug/deps/fiat_simnet-1ade0df2649a8b7e: crates/simnet/src/lib.rs crates/simnet/src/arp.rs crates/simnet/src/event.rs crates/simnet/src/home.rs crates/simnet/src/intercept.rs crates/simnet/src/link.rs crates/simnet/src/tcp.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/arp.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/home.rs:
+crates/simnet/src/intercept.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/tcp.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fiat_simnet-448747193f1bb407.d: crates/simnet/src/lib.rs crates/simnet/src/arp.rs crates/simnet/src/event.rs crates/simnet/src/home.rs crates/simnet/src/intercept.rs crates/simnet/src/link.rs crates/simnet/src/tcp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfiat_simnet-448747193f1bb407.rmeta: crates/simnet/src/lib.rs crates/simnet/src/arp.rs crates/simnet/src/event.rs crates/simnet/src/home.rs crates/simnet/src/intercept.rs crates/simnet/src/link.rs crates/simnet/src/tcp.rs Cargo.toml
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/arp.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/home.rs:
+crates/simnet/src/intercept.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/tcp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fiat_simnet-8d828a292b815356.d: crates/simnet/src/lib.rs crates/simnet/src/arp.rs crates/simnet/src/event.rs crates/simnet/src/home.rs crates/simnet/src/intercept.rs crates/simnet/src/link.rs crates/simnet/src/tcp.rs
+
+/root/repo/target/debug/deps/libfiat_simnet-8d828a292b815356.rlib: crates/simnet/src/lib.rs crates/simnet/src/arp.rs crates/simnet/src/event.rs crates/simnet/src/home.rs crates/simnet/src/intercept.rs crates/simnet/src/link.rs crates/simnet/src/tcp.rs
+
+/root/repo/target/debug/deps/libfiat_simnet-8d828a292b815356.rmeta: crates/simnet/src/lib.rs crates/simnet/src/arp.rs crates/simnet/src/event.rs crates/simnet/src/home.rs crates/simnet/src/intercept.rs crates/simnet/src/link.rs crates/simnet/src/tcp.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/arp.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/home.rs:
+crates/simnet/src/intercept.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/tcp.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fiat_telemetry-246c088fdb9390a7.d: crates/telemetry/src/lib.rs crates/telemetry/src/attack.rs crates/telemetry/src/clock.rs crates/telemetry/src/expose.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/fiat_telemetry-246c088fdb9390a7: crates/telemetry/src/lib.rs crates/telemetry/src/attack.rs crates/telemetry/src/clock.rs crates/telemetry/src/expose.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/attack.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/expose.rs:
+crates/telemetry/src/journal.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/span.rs:

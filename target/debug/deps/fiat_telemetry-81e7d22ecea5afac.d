@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fiat_telemetry-81e7d22ecea5afac.d: crates/telemetry/src/lib.rs crates/telemetry/src/attack.rs crates/telemetry/src/clock.rs crates/telemetry/src/expose.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfiat_telemetry-81e7d22ecea5afac.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/attack.rs crates/telemetry/src/clock.rs crates/telemetry/src/expose.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/attack.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/expose.rs:
+crates/telemetry/src/journal.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fiat_telemetry-e1e57d40adf3713e.d: crates/telemetry/src/lib.rs crates/telemetry/src/attack.rs crates/telemetry/src/clock.rs crates/telemetry/src/expose.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libfiat_telemetry-e1e57d40adf3713e.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/attack.rs crates/telemetry/src/clock.rs crates/telemetry/src/expose.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libfiat_telemetry-e1e57d40adf3713e.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/attack.rs crates/telemetry/src/clock.rs crates/telemetry/src/expose.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/attack.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/expose.rs:
+crates/telemetry/src/journal.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fiat_trace-9364ef5c4f7945e2.d: crates/trace/src/lib.rs crates/trace/src/datasets.rs crates/trace/src/device.rs crates/trace/src/location.rs crates/trace/src/testbed.rs
+
+/root/repo/target/debug/deps/fiat_trace-9364ef5c4f7945e2: crates/trace/src/lib.rs crates/trace/src/datasets.rs crates/trace/src/device.rs crates/trace/src/location.rs crates/trace/src/testbed.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/datasets.rs:
+crates/trace/src/device.rs:
+crates/trace/src/location.rs:
+crates/trace/src/testbed.rs:

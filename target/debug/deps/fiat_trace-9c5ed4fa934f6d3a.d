@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fiat_trace-9c5ed4fa934f6d3a.d: crates/trace/src/lib.rs crates/trace/src/datasets.rs crates/trace/src/device.rs crates/trace/src/location.rs crates/trace/src/testbed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfiat_trace-9c5ed4fa934f6d3a.rmeta: crates/trace/src/lib.rs crates/trace/src/datasets.rs crates/trace/src/device.rs crates/trace/src/location.rs crates/trace/src/testbed.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/datasets.rs:
+crates/trace/src/device.rs:
+crates/trace/src/location.rs:
+crates/trace/src/testbed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

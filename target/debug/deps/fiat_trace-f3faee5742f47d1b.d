@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fiat_trace-f3faee5742f47d1b.d: crates/trace/src/lib.rs crates/trace/src/datasets.rs crates/trace/src/device.rs crates/trace/src/location.rs crates/trace/src/testbed.rs
+
+/root/repo/target/debug/deps/libfiat_trace-f3faee5742f47d1b.rlib: crates/trace/src/lib.rs crates/trace/src/datasets.rs crates/trace/src/device.rs crates/trace/src/location.rs crates/trace/src/testbed.rs
+
+/root/repo/target/debug/deps/libfiat_trace-f3faee5742f47d1b.rmeta: crates/trace/src/lib.rs crates/trace/src/datasets.rs crates/trace/src/device.rs crates/trace/src/location.rs crates/trace/src/testbed.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/datasets.rs:
+crates/trace/src/device.rs:
+crates/trace/src/location.rs:
+crates/trace/src/testbed.rs:

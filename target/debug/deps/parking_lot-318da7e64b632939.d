@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-318da7e64b632939.d: vendor/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-318da7e64b632939.rmeta: vendor/parking_lot/src/lib.rs Cargo.toml
+
+vendor/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

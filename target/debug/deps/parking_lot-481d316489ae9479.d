@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-481d316489ae9479.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-481d316489ae9479.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-481d316489ae9479.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

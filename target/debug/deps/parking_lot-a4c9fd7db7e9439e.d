@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-a4c9fd7db7e9439e.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-a4c9fd7db7e9439e: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

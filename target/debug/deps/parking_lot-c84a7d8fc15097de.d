@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-c84a7d8fc15097de.d: vendor/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-c84a7d8fc15097de.rmeta: vendor/parking_lot/src/lib.rs Cargo.toml
+
+vendor/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

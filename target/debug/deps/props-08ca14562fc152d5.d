@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-08ca14562fc152d5.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-08ca14562fc152d5: tests/props.rs
+
+tests/props.rs:

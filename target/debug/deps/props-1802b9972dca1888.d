@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-1802b9972dca1888.d: tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-1802b9972dca1888.rmeta: tests/props.rs Cargo.toml
+
+tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

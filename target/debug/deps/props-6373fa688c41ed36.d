@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-6373fa688c41ed36.d: tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-6373fa688c41ed36.rmeta: tests/props.rs Cargo.toml
+
+tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-774d5c683ef7d391.d: crates/ml/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-774d5c683ef7d391.rmeta: crates/ml/tests/props.rs Cargo.toml
+
+crates/ml/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

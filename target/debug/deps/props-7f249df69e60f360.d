@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-7f249df69e60f360.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-7f249df69e60f360: tests/props.rs
+
+tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-87215e8eabfdb494.d: crates/net/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-87215e8eabfdb494.rmeta: crates/net/tests/props.rs Cargo.toml
+
+crates/net/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-98a8b733cfa0b796.d: crates/quic/tests/props.rs
+
+/root/repo/target/debug/deps/props-98a8b733cfa0b796: crates/quic/tests/props.rs
+
+crates/quic/tests/props.rs:

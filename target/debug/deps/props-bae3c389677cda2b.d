@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-bae3c389677cda2b.d: crates/quic/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-bae3c389677cda2b.rmeta: crates/quic/tests/props.rs Cargo.toml
+
+crates/quic/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

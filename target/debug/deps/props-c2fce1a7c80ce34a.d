@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-c2fce1a7c80ce34a.d: crates/telemetry/tests/props.rs
+
+/root/repo/target/debug/deps/props-c2fce1a7c80ce34a: crates/telemetry/tests/props.rs
+
+crates/telemetry/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-d10aed2ae6753c53.d: crates/crypto/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-d10aed2ae6753c53.rmeta: crates/crypto/tests/props.rs Cargo.toml
+
+crates/crypto/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-da38d7e709c45988.d: crates/net/tests/props.rs
+
+/root/repo/target/debug/deps/props-da38d7e709c45988: crates/net/tests/props.rs
+
+crates/net/tests/props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/props-e09ffcf9a74f89de.d: crates/telemetry/tests/props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprops-e09ffcf9a74f89de.rmeta: crates/telemetry/tests/props.rs Cargo.toml
+
+crates/telemetry/tests/props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-e12635ceaef00db7.d: crates/crypto/tests/props.rs
+
+/root/repo/target/debug/deps/props-e12635ceaef00db7: crates/crypto/tests/props.rs
+
+crates/crypto/tests/props.rs:

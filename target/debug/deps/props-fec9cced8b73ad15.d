@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-fec9cced8b73ad15.d: crates/ml/tests/props.rs
+
+/root/repo/target/debug/deps/props-fec9cced8b73ad15: crates/ml/tests/props.rs
+
+crates/ml/tests/props.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/proptest-8206011d1cf38103.d: vendor/proptest/src/lib.rs vendor/proptest/src/array.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-8206011d1cf38103.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/array.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/array.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/test_runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-945051aa75d9db02.d: vendor/proptest/src/lib.rs vendor/proptest/src/array.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/proptest-945051aa75d9db02: vendor/proptest/src/lib.rs vendor/proptest/src/array.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/array.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/test_runner.rs:

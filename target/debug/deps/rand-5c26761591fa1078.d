@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rand-5c26761591fa1078.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs vendor/rand/src/chacha.rs
+
+/root/repo/target/debug/deps/rand-5c26761591fa1078: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs vendor/rand/src/chacha.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/seq.rs:
+vendor/rand/src/chacha.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rand-b405ff824c3aa940.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs vendor/rand/src/chacha.rs
+
+/root/repo/target/debug/deps/librand-b405ff824c3aa940.rlib: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs vendor/rand/src/chacha.rs
+
+/root/repo/target/debug/deps/librand-b405ff824c3aa940.rmeta: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs vendor/rand/src/chacha.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/seq.rs:
+vendor/rand/src/chacha.rs:

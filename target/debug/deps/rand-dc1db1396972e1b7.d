@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rand-dc1db1396972e1b7.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs vendor/rand/src/chacha.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-dc1db1396972e1b7.rmeta: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs vendor/rand/src/chacha.rs Cargo.toml
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/seq.rs:
+vendor/rand/src/chacha.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

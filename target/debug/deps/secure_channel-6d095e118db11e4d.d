@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/secure_channel-6d095e118db11e4d.d: tests/secure_channel.rs
+
+/root/repo/target/debug/deps/secure_channel-6d095e118db11e4d: tests/secure_channel.rs
+
+tests/secure_channel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/secure_channel-9a1d295274ccdb1f.d: tests/secure_channel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsecure_channel-9a1d295274ccdb1f.rmeta: tests/secure_channel.rs Cargo.toml
+
+tests/secure_channel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

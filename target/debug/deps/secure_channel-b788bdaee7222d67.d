@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/secure_channel-b788bdaee7222d67.d: tests/secure_channel.rs
+
+/root/repo/target/debug/deps/secure_channel-b788bdaee7222d67: tests/secure_channel.rs
+
+tests/secure_channel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-125555bc1dc0f19b.d: vendor/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-125555bc1dc0f19b.rmeta: vendor/serde/src/lib.rs Cargo.toml
+
+vendor/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

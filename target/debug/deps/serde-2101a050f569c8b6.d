@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-2101a050f569c8b6.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2101a050f569c8b6.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-2101a050f569c8b6.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-b80b6575cc21b80b.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-b80b6575cc21b80b: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

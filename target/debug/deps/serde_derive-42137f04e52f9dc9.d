@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_derive-42137f04e52f9dc9.d: vendor/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_derive-42137f04e52f9dc9.rmeta: vendor/serde_derive/src/lib.rs Cargo.toml
+
+vendor/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

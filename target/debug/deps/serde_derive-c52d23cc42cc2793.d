@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-c52d23cc42cc2793.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-c52d23cc42cc2793.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

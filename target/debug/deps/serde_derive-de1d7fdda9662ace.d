@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-de1d7fdda9662ace.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-de1d7fdda9662ace: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

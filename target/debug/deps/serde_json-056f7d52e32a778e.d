@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-056f7d52e32a778e.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-056f7d52e32a778e.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-056f7d52e32a778e.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-7490f8e2bdf28000.d: vendor/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-7490f8e2bdf28000.rmeta: vendor/serde_json/src/lib.rs Cargo.toml
+
+vendor/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

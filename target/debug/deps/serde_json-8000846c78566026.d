@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-8000846c78566026.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-8000846c78566026: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

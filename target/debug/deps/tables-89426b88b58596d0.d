@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tables-89426b88b58596d0.d: crates/bench/benches/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtables-89426b88b58596d0.rmeta: crates/bench/benches/tables.rs Cargo.toml
+
+crates/bench/benches/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

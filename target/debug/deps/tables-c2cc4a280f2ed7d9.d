@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tables-c2cc4a280f2ed7d9.d: crates/bench/benches/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtables-c2cc4a280f2ed7d9.rmeta: crates/bench/benches/tables.rs Cargo.toml
+
+crates/bench/benches/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

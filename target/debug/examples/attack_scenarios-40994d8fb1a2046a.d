@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_scenarios-40994d8fb1a2046a.d: examples/attack_scenarios.rs
+
+/root/repo/target/debug/examples/attack_scenarios-40994d8fb1a2046a: examples/attack_scenarios.rs
+
+examples/attack_scenarios.rs:

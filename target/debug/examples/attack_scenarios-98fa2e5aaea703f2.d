@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/attack_scenarios-98fa2e5aaea703f2.d: examples/attack_scenarios.rs Cargo.toml
+
+/root/repo/target/debug/examples/libattack_scenarios-98fa2e5aaea703f2.rmeta: examples/attack_scenarios.rs Cargo.toml
+
+examples/attack_scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

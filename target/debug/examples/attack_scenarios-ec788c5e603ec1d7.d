@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/attack_scenarios-ec788c5e603ec1d7.d: examples/attack_scenarios.rs
+
+/root/repo/target/debug/examples/attack_scenarios-ec788c5e603ec1d7: examples/attack_scenarios.rs
+
+examples/attack_scenarios.rs:

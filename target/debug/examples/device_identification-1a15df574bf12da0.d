@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/device_identification-1a15df574bf12da0.d: examples/device_identification.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdevice_identification-1a15df574bf12da0.rmeta: examples/device_identification.rs Cargo.toml
+
+examples/device_identification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

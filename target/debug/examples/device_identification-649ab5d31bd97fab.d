@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/device_identification-649ab5d31bd97fab.d: examples/device_identification.rs
+
+/root/repo/target/debug/examples/device_identification-649ab5d31bd97fab: examples/device_identification.rs
+
+examples/device_identification.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/device_identification-a727d50b52dc263c.d: examples/device_identification.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdevice_identification-a727d50b52dc263c.rmeta: examples/device_identification.rs Cargo.toml
+
+examples/device_identification.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/device_identification-e4d6e6fbae0ba048.d: examples/device_identification.rs
+
+/root/repo/target/debug/examples/device_identification-e4d6e6fbae0ba048: examples/device_identification.rs
+
+examples/device_identification.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/latency_race-11efe3bb5427966c.d: examples/latency_race.rs
+
+/root/repo/target/debug/examples/latency_race-11efe3bb5427966c: examples/latency_race.rs
+
+examples/latency_race.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/latency_race-53fbc3d3b7b9dac9.d: examples/latency_race.rs
+
+/root/repo/target/debug/examples/latency_race-53fbc3d3b7b9dac9: examples/latency_race.rs
+
+examples/latency_race.rs:

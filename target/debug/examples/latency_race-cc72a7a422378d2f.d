@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/latency_race-cc72a7a422378d2f.d: examples/latency_race.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblatency_race-cc72a7a422378d2f.rmeta: examples/latency_race.rs Cargo.toml
+
+examples/latency_race.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-242c32356c246f0c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-242c32356c246f0c: examples/quickstart.rs
+
+examples/quickstart.rs:

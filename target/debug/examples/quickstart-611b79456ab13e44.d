@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-611b79456ab13e44.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-611b79456ab13e44: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-651c9e38c1809f18.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-651c9e38c1809f18.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-7c0b52a539fca3d8.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-7c0b52a539fca3d8.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_home_day-05134e8dbf77e534.d: examples/smart_home_day.rs
+
+/root/repo/target/debug/examples/smart_home_day-05134e8dbf77e534: examples/smart_home_day.rs
+
+examples/smart_home_day.rs:

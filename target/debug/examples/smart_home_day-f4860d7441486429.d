@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_home_day-f4860d7441486429.d: examples/smart_home_day.rs
+
+/root/repo/target/debug/examples/smart_home_day-f4860d7441486429: examples/smart_home_day.rs
+
+examples/smart_home_day.rs:

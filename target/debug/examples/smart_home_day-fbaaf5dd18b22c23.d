@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/smart_home_day-fbaaf5dd18b22c23.d: examples/smart_home_day.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmart_home_day-fbaaf5dd18b22c23.rmeta: examples/smart_home_day.rs Cargo.toml
+
+examples/smart_home_day.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

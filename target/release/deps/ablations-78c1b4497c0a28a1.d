@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-78c1b4497c0a28a1.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-78c1b4497c0a28a1: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

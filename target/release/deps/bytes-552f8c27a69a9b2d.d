@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-552f8c27a69a9b2d.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-552f8c27a69a9b2d.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-552f8c27a69a9b2d.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

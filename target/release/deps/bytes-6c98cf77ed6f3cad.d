@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-6c98cf77ed6f3cad.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/release/deps/bytes-6c98cf77ed6f3cad: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-3086513925962bb8.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3086513925962bb8.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-3086513925962bb8.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-da64c51dc409ea2a.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-da64c51dc409ea2a: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-098389c6800523fd.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-098389c6800523fd: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-d2bac334141d8f9d.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-d2bac334141d8f9d: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fiat-3a39f9d77df5d0b8.d: src/lib.rs
+
+/root/repo/target/release/deps/libfiat-3a39f9d77df5d0b8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfiat-3a39f9d77df5d0b8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fiat-4c4760de6150af0c.d: src/lib.rs
+
+/root/repo/target/release/deps/fiat-4c4760de6150af0c: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fiat-e5404a5cb16f4ad5.d: src/lib.rs
+
+/root/repo/target/release/deps/libfiat-e5404a5cb16f4ad5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libfiat-e5404a5cb16f4ad5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fiat-edede84a003b453d.d: src/lib.rs
+
+/root/repo/target/release/deps/fiat-edede84a003b453d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/fiat_attack-78c86f8f3129343d.d: crates/attack/src/lib.rs crates/attack/src/harness.rs crates/attack/src/scorecard.rs crates/attack/src/strategies.rs
+
+/root/repo/target/release/deps/fiat_attack-78c86f8f3129343d: crates/attack/src/lib.rs crates/attack/src/harness.rs crates/attack/src/scorecard.rs crates/attack/src/strategies.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/harness.rs:
+crates/attack/src/scorecard.rs:
+crates/attack/src/strategies.rs:

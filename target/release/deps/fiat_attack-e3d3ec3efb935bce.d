@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fiat_attack-e3d3ec3efb935bce.d: crates/attack/src/lib.rs crates/attack/src/harness.rs crates/attack/src/scorecard.rs crates/attack/src/strategies.rs
+
+/root/repo/target/release/deps/libfiat_attack-e3d3ec3efb935bce.rlib: crates/attack/src/lib.rs crates/attack/src/harness.rs crates/attack/src/scorecard.rs crates/attack/src/strategies.rs
+
+/root/repo/target/release/deps/libfiat_attack-e3d3ec3efb935bce.rmeta: crates/attack/src/lib.rs crates/attack/src/harness.rs crates/attack/src/scorecard.rs crates/attack/src/strategies.rs
+
+crates/attack/src/lib.rs:
+crates/attack/src/harness.rs:
+crates/attack/src/scorecard.rs:
+crates/attack/src/strategies.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/fiat_bench-9e2bc7513540cdff.d: crates/bench/src/lib.rs crates/bench/src/attack_exp.rs crates/bench/src/corpus.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fleet_exp.rs crates/bench/src/ml_tables.rs crates/bench/src/table6.rs crates/bench/src/table7.rs crates/bench/src/tolerance.rs
+
+/root/repo/target/release/deps/libfiat_bench-9e2bc7513540cdff.rlib: crates/bench/src/lib.rs crates/bench/src/attack_exp.rs crates/bench/src/corpus.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fleet_exp.rs crates/bench/src/ml_tables.rs crates/bench/src/table6.rs crates/bench/src/table7.rs crates/bench/src/tolerance.rs
+
+/root/repo/target/release/deps/libfiat_bench-9e2bc7513540cdff.rmeta: crates/bench/src/lib.rs crates/bench/src/attack_exp.rs crates/bench/src/corpus.rs crates/bench/src/fig1.rs crates/bench/src/fig2.rs crates/bench/src/fleet_exp.rs crates/bench/src/ml_tables.rs crates/bench/src/table6.rs crates/bench/src/table7.rs crates/bench/src/tolerance.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/attack_exp.rs:
+crates/bench/src/corpus.rs:
+crates/bench/src/fig1.rs:
+crates/bench/src/fig2.rs:
+crates/bench/src/fleet_exp.rs:
+crates/bench/src/ml_tables.rs:
+crates/bench/src/table6.rs:
+crates/bench/src/table7.rs:
+crates/bench/src/tolerance.rs:

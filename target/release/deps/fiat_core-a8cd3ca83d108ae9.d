@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/fiat_core-a8cd3ca83d108ae9.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/audit.rs crates/core/src/classifier.rs crates/core/src/client.rs crates/core/src/events.rs crates/core/src/features.rs crates/core/src/identify.rs crates/core/src/interactions.rs crates/core/src/notify.rs crates/core/src/pairing.rs crates/core/src/pipeline.rs crates/core/src/predict.rs
+
+/root/repo/target/release/deps/libfiat_core-a8cd3ca83d108ae9.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/audit.rs crates/core/src/classifier.rs crates/core/src/client.rs crates/core/src/events.rs crates/core/src/features.rs crates/core/src/identify.rs crates/core/src/interactions.rs crates/core/src/notify.rs crates/core/src/pairing.rs crates/core/src/pipeline.rs crates/core/src/predict.rs
+
+/root/repo/target/release/deps/libfiat_core-a8cd3ca83d108ae9.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/audit.rs crates/core/src/classifier.rs crates/core/src/client.rs crates/core/src/events.rs crates/core/src/features.rs crates/core/src/identify.rs crates/core/src/interactions.rs crates/core/src/notify.rs crates/core/src/pairing.rs crates/core/src/pipeline.rs crates/core/src/predict.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/audit.rs:
+crates/core/src/classifier.rs:
+crates/core/src/client.rs:
+crates/core/src/events.rs:
+crates/core/src/features.rs:
+crates/core/src/identify.rs:
+crates/core/src/interactions.rs:
+crates/core/src/notify.rs:
+crates/core/src/pairing.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/predict.rs:

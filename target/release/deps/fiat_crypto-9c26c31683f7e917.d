@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fiat_crypto-9c26c31683f7e917.d: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/chacha20.rs crates/crypto/src/ct.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/keystore.rs crates/crypto/src/poly1305.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/release/deps/libfiat_crypto-9c26c31683f7e917.rlib: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/chacha20.rs crates/crypto/src/ct.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/keystore.rs crates/crypto/src/poly1305.rs crates/crypto/src/sha256.rs
+
+/root/repo/target/release/deps/libfiat_crypto-9c26c31683f7e917.rmeta: crates/crypto/src/lib.rs crates/crypto/src/aead.rs crates/crypto/src/chacha20.rs crates/crypto/src/ct.rs crates/crypto/src/hkdf.rs crates/crypto/src/hmac.rs crates/crypto/src/keystore.rs crates/crypto/src/poly1305.rs crates/crypto/src/sha256.rs
+
+crates/crypto/src/lib.rs:
+crates/crypto/src/aead.rs:
+crates/crypto/src/chacha20.rs:
+crates/crypto/src/ct.rs:
+crates/crypto/src/hkdf.rs:
+crates/crypto/src/hmac.rs:
+crates/crypto/src/keystore.rs:
+crates/crypto/src/poly1305.rs:
+crates/crypto/src/sha256.rs:

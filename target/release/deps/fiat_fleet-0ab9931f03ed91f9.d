@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fiat_fleet-0ab9931f03ed91f9.d: crates/fleet/src/lib.rs
+
+/root/repo/target/release/deps/libfiat_fleet-0ab9931f03ed91f9.rlib: crates/fleet/src/lib.rs
+
+/root/repo/target/release/deps/libfiat_fleet-0ab9931f03ed91f9.rmeta: crates/fleet/src/lib.rs
+
+crates/fleet/src/lib.rs:

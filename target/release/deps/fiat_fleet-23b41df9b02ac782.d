@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fiat_fleet-23b41df9b02ac782.d: crates/fleet/src/lib.rs
+
+/root/repo/target/release/deps/fiat_fleet-23b41df9b02ac782: crates/fleet/src/lib.rs
+
+crates/fleet/src/lib.rs:

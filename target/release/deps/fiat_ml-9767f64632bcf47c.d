@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/fiat_ml-9767f64632bcf47c.d: crates/ml/src/lib.rs crates/ml/src/adaboost.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/forest.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/mlp.rs crates/ml/src/naive_bayes.rs crates/ml/src/nearest_centroid.rs crates/ml/src/permutation.rs crates/ml/src/scaler.rs crates/ml/src/shapley.rs crates/ml/src/svm.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libfiat_ml-9767f64632bcf47c.rlib: crates/ml/src/lib.rs crates/ml/src/adaboost.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/forest.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/mlp.rs crates/ml/src/naive_bayes.rs crates/ml/src/nearest_centroid.rs crates/ml/src/permutation.rs crates/ml/src/scaler.rs crates/ml/src/shapley.rs crates/ml/src/svm.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libfiat_ml-9767f64632bcf47c.rmeta: crates/ml/src/lib.rs crates/ml/src/adaboost.rs crates/ml/src/cv.rs crates/ml/src/data.rs crates/ml/src/forest.rs crates/ml/src/knn.rs crates/ml/src/metrics.rs crates/ml/src/mlp.rs crates/ml/src/naive_bayes.rs crates/ml/src/nearest_centroid.rs crates/ml/src/permutation.rs crates/ml/src/scaler.rs crates/ml/src/shapley.rs crates/ml/src/svm.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/adaboost.rs:
+crates/ml/src/cv.rs:
+crates/ml/src/data.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/knn.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/mlp.rs:
+crates/ml/src/naive_bayes.rs:
+crates/ml/src/nearest_centroid.rs:
+crates/ml/src/permutation.rs:
+crates/ml/src/scaler.rs:
+crates/ml/src/shapley.rs:
+crates/ml/src/svm.rs:
+crates/ml/src/tree.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fiat_net-754912bf20bd5c3f.d: crates/net/src/lib.rs crates/net/src/dns.rs crates/net/src/flow.rs crates/net/src/headers.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/time.rs crates/net/src/tls.rs crates/net/src/trace.rs
+
+/root/repo/target/release/deps/fiat_net-754912bf20bd5c3f: crates/net/src/lib.rs crates/net/src/dns.rs crates/net/src/flow.rs crates/net/src/headers.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/time.rs crates/net/src/tls.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/dns.rs:
+crates/net/src/flow.rs:
+crates/net/src/headers.rs:
+crates/net/src/packet.rs:
+crates/net/src/pcap.rs:
+crates/net/src/time.rs:
+crates/net/src/tls.rs:
+crates/net/src/trace.rs:

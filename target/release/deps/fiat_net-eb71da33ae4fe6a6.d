@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/fiat_net-eb71da33ae4fe6a6.d: crates/net/src/lib.rs crates/net/src/dns.rs crates/net/src/flow.rs crates/net/src/headers.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/time.rs crates/net/src/tls.rs crates/net/src/trace.rs
+
+/root/repo/target/release/deps/libfiat_net-eb71da33ae4fe6a6.rlib: crates/net/src/lib.rs crates/net/src/dns.rs crates/net/src/flow.rs crates/net/src/headers.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/time.rs crates/net/src/tls.rs crates/net/src/trace.rs
+
+/root/repo/target/release/deps/libfiat_net-eb71da33ae4fe6a6.rmeta: crates/net/src/lib.rs crates/net/src/dns.rs crates/net/src/flow.rs crates/net/src/headers.rs crates/net/src/packet.rs crates/net/src/pcap.rs crates/net/src/time.rs crates/net/src/tls.rs crates/net/src/trace.rs
+
+crates/net/src/lib.rs:
+crates/net/src/dns.rs:
+crates/net/src/flow.rs:
+crates/net/src/headers.rs:
+crates/net/src/packet.rs:
+crates/net/src/pcap.rs:
+crates/net/src/time.rs:
+crates/net/src/tls.rs:
+crates/net/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fiat_quic-42efd3f0921377ae.d: crates/quic/src/lib.rs crates/quic/src/connection.rs crates/quic/src/replay.rs
+
+/root/repo/target/release/deps/libfiat_quic-42efd3f0921377ae.rlib: crates/quic/src/lib.rs crates/quic/src/connection.rs crates/quic/src/replay.rs
+
+/root/repo/target/release/deps/libfiat_quic-42efd3f0921377ae.rmeta: crates/quic/src/lib.rs crates/quic/src/connection.rs crates/quic/src/replay.rs
+
+crates/quic/src/lib.rs:
+crates/quic/src/connection.rs:
+crates/quic/src/replay.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fiat_quic-958633ba80381436.d: crates/quic/src/lib.rs crates/quic/src/connection.rs crates/quic/src/replay.rs
+
+/root/repo/target/release/deps/fiat_quic-958633ba80381436: crates/quic/src/lib.rs crates/quic/src/connection.rs crates/quic/src/replay.rs
+
+crates/quic/src/lib.rs:
+crates/quic/src/connection.rs:
+crates/quic/src/replay.rs:

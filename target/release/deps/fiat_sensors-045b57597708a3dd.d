@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fiat_sensors-045b57597708a3dd.d: crates/sensors/src/lib.rs crates/sensors/src/features.rs crates/sensors/src/humanness.rs crates/sensors/src/imu.rs crates/sensors/src/lazy.rs
+
+/root/repo/target/release/deps/libfiat_sensors-045b57597708a3dd.rlib: crates/sensors/src/lib.rs crates/sensors/src/features.rs crates/sensors/src/humanness.rs crates/sensors/src/imu.rs crates/sensors/src/lazy.rs
+
+/root/repo/target/release/deps/libfiat_sensors-045b57597708a3dd.rmeta: crates/sensors/src/lib.rs crates/sensors/src/features.rs crates/sensors/src/humanness.rs crates/sensors/src/imu.rs crates/sensors/src/lazy.rs
+
+crates/sensors/src/lib.rs:
+crates/sensors/src/features.rs:
+crates/sensors/src/humanness.rs:
+crates/sensors/src/imu.rs:
+crates/sensors/src/lazy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fiat_sensors-5955332b6da07d8b.d: crates/sensors/src/lib.rs crates/sensors/src/features.rs crates/sensors/src/humanness.rs crates/sensors/src/imu.rs crates/sensors/src/lazy.rs
+
+/root/repo/target/release/deps/fiat_sensors-5955332b6da07d8b: crates/sensors/src/lib.rs crates/sensors/src/features.rs crates/sensors/src/humanness.rs crates/sensors/src/imu.rs crates/sensors/src/lazy.rs
+
+crates/sensors/src/lib.rs:
+crates/sensors/src/features.rs:
+crates/sensors/src/humanness.rs:
+crates/sensors/src/imu.rs:
+crates/sensors/src/lazy.rs:

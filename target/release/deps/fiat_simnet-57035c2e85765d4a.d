@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fiat_simnet-57035c2e85765d4a.d: crates/simnet/src/lib.rs crates/simnet/src/arp.rs crates/simnet/src/event.rs crates/simnet/src/home.rs crates/simnet/src/intercept.rs crates/simnet/src/link.rs crates/simnet/src/tcp.rs
+
+/root/repo/target/release/deps/fiat_simnet-57035c2e85765d4a: crates/simnet/src/lib.rs crates/simnet/src/arp.rs crates/simnet/src/event.rs crates/simnet/src/home.rs crates/simnet/src/intercept.rs crates/simnet/src/link.rs crates/simnet/src/tcp.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/arp.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/home.rs:
+crates/simnet/src/intercept.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/tcp.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fiat_simnet-c2905dfac90876bd.d: crates/simnet/src/lib.rs crates/simnet/src/arp.rs crates/simnet/src/event.rs crates/simnet/src/home.rs crates/simnet/src/intercept.rs crates/simnet/src/link.rs crates/simnet/src/tcp.rs
+
+/root/repo/target/release/deps/libfiat_simnet-c2905dfac90876bd.rlib: crates/simnet/src/lib.rs crates/simnet/src/arp.rs crates/simnet/src/event.rs crates/simnet/src/home.rs crates/simnet/src/intercept.rs crates/simnet/src/link.rs crates/simnet/src/tcp.rs
+
+/root/repo/target/release/deps/libfiat_simnet-c2905dfac90876bd.rmeta: crates/simnet/src/lib.rs crates/simnet/src/arp.rs crates/simnet/src/event.rs crates/simnet/src/home.rs crates/simnet/src/intercept.rs crates/simnet/src/link.rs crates/simnet/src/tcp.rs
+
+crates/simnet/src/lib.rs:
+crates/simnet/src/arp.rs:
+crates/simnet/src/event.rs:
+crates/simnet/src/home.rs:
+crates/simnet/src/intercept.rs:
+crates/simnet/src/link.rs:
+crates/simnet/src/tcp.rs:

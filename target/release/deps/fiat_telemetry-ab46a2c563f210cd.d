@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fiat_telemetry-ab46a2c563f210cd.d: crates/telemetry/src/lib.rs crates/telemetry/src/attack.rs crates/telemetry/src/clock.rs crates/telemetry/src/expose.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libfiat_telemetry-ab46a2c563f210cd.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/attack.rs crates/telemetry/src/clock.rs crates/telemetry/src/expose.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libfiat_telemetry-ab46a2c563f210cd.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/attack.rs crates/telemetry/src/clock.rs crates/telemetry/src/expose.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/attack.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/expose.rs:
+crates/telemetry/src/journal.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fiat_telemetry-f1b027aa57aab0c7.d: crates/telemetry/src/lib.rs crates/telemetry/src/attack.rs crates/telemetry/src/clock.rs crates/telemetry/src/expose.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/fiat_telemetry-f1b027aa57aab0c7: crates/telemetry/src/lib.rs crates/telemetry/src/attack.rs crates/telemetry/src/clock.rs crates/telemetry/src/expose.rs crates/telemetry/src/journal.rs crates/telemetry/src/metrics.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/attack.rs:
+crates/telemetry/src/clock.rs:
+crates/telemetry/src/expose.rs:
+crates/telemetry/src/journal.rs:
+crates/telemetry/src/metrics.rs:
+crates/telemetry/src/span.rs:

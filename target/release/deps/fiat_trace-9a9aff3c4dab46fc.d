@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fiat_trace-9a9aff3c4dab46fc.d: crates/trace/src/lib.rs crates/trace/src/datasets.rs crates/trace/src/device.rs crates/trace/src/location.rs crates/trace/src/testbed.rs
+
+/root/repo/target/release/deps/fiat_trace-9a9aff3c4dab46fc: crates/trace/src/lib.rs crates/trace/src/datasets.rs crates/trace/src/device.rs crates/trace/src/location.rs crates/trace/src/testbed.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/datasets.rs:
+crates/trace/src/device.rs:
+crates/trace/src/location.rs:
+crates/trace/src/testbed.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fiat_trace-ef8c4dfcfdc2d904.d: crates/trace/src/lib.rs crates/trace/src/datasets.rs crates/trace/src/device.rs crates/trace/src/location.rs crates/trace/src/testbed.rs
+
+/root/repo/target/release/deps/libfiat_trace-ef8c4dfcfdc2d904.rlib: crates/trace/src/lib.rs crates/trace/src/datasets.rs crates/trace/src/device.rs crates/trace/src/location.rs crates/trace/src/testbed.rs
+
+/root/repo/target/release/deps/libfiat_trace-ef8c4dfcfdc2d904.rmeta: crates/trace/src/lib.rs crates/trace/src/datasets.rs crates/trace/src/device.rs crates/trace/src/location.rs crates/trace/src/testbed.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/datasets.rs:
+crates/trace/src/device.rs:
+crates/trace/src/location.rs:
+crates/trace/src/testbed.rs:

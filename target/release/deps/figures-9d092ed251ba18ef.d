@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/figures-9d092ed251ba18ef.d: crates/bench/benches/figures.rs
+
+/root/repo/target/release/deps/figures-9d092ed251ba18ef: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-78fee40c0caeed35.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-78fee40c0caeed35: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-bc1d5a2ed3070e1f.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-bc1d5a2ed3070e1f.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-bc1d5a2ed3070e1f.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

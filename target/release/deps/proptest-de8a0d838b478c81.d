@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/proptest-de8a0d838b478c81.d: vendor/proptest/src/lib.rs vendor/proptest/src/array.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-de8a0d838b478c81.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/array.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+/root/repo/target/release/deps/libproptest-de8a0d838b478c81.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/array.rs vendor/proptest/src/collection.rs vendor/proptest/src/strategy.rs vendor/proptest/src/test_runner.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/array.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/strategy.rs:
+vendor/proptest/src/test_runner.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rand-ec0255a27bcc28ff.d: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs vendor/rand/src/chacha.rs
+
+/root/repo/target/release/deps/rand-ec0255a27bcc28ff: vendor/rand/src/lib.rs vendor/rand/src/rngs.rs vendor/rand/src/seq.rs vendor/rand/src/chacha.rs
+
+vendor/rand/src/lib.rs:
+vendor/rand/src/rngs.rs:
+vendor/rand/src/seq.rs:
+vendor/rand/src/chacha.rs:

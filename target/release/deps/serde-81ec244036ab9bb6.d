@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-81ec244036ab9bb6.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-81ec244036ab9bb6: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-ae732261c20a5432.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-ae732261c20a5432.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-ae732261c20a5432.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-beca64910350d234.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-beca64910350d234.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

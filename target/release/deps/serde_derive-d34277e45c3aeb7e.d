@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-d34277e45c3aeb7e.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-d34277e45c3aeb7e: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

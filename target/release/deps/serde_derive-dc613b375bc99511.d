@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-dc613b375bc99511.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-dc613b375bc99511.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

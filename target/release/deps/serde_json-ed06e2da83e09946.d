@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-ed06e2da83e09946.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-ed06e2da83e09946: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-fcc14673a21b0222.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-fcc14673a21b0222.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-fcc14673a21b0222.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

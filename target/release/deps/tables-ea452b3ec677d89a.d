@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-ea452b3ec677d89a.d: crates/bench/benches/tables.rs
+
+/root/repo/target/release/deps/tables-ea452b3ec677d89a: crates/bench/benches/tables.rs
+
+crates/bench/benches/tables.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libbytes.rlib: /root/repo/vendor/bytes/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libcriterion.rlib: /root/repo/vendor/criterion/src/lib.rs

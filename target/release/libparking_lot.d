@@ -1,0 +1,1 @@
+/root/repo/target/release/libparking_lot.rlib: /root/repo/vendor/parking_lot/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/librand.rlib: /root/repo/vendor/rand/src/chacha.rs /root/repo/vendor/rand/src/lib.rs /root/repo/vendor/rand/src/rngs.rs /root/repo/vendor/rand/src/seq.rs

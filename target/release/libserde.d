@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde.rlib: /root/repo/vendor/serde/src/lib.rs /root/repo/vendor/serde_derive/src/lib.rs

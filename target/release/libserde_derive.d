@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde_derive.so: /root/repo/vendor/serde_derive/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libserde_json.rlib: /root/repo/vendor/serde/src/lib.rs /root/repo/vendor/serde_derive/src/lib.rs /root/repo/vendor/serde_json/src/lib.rs

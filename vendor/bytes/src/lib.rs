@@ -1,0 +1,129 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! `BytesMut` is a thin wrapper over `Vec<u8>` exposing the growable
+//! buffer API this workspace uses (`BufMut` put methods, slice indexing
+//! via `Deref`, `freeze`). No refcounted views — `Bytes` is an owned
+//! boxed slice.
+
+/// Growable byte buffer.
+#[derive(Default, Debug, Clone, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self(Vec::with_capacity(cap))
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0.into_boxed_slice())
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.0.reserve(additional);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Self {
+        b.0
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> Self {
+        Self(s.to_vec())
+    }
+}
+
+/// Immutable byte container.
+#[derive(Default, Debug, Clone, PartialEq, Eq)]
+pub struct Bytes(Box<[u8]>);
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Write-side buffer methods (big-endian puts, as upstream `BufMut`).
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn puts_are_big_endian() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(1);
+        b.put_u16(0x0203);
+        b.put_u32(0x04050607);
+        assert_eq!(&b[..], &[1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(b.to_vec(), vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn index_and_freeze() {
+        let mut b = BytesMut::new();
+        b.put_slice(&[9, 8, 7]);
+        b[0] = 1;
+        let frozen = b.freeze();
+        assert_eq!(&frozen[..], &[1, 8, 7]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the `Criterion`/`BenchmarkGroup`/`Bencher` API surface the
+//! workspace's benches use, with a deliberately small measurement loop
+//! (a few timed iterations, one summary line per benchmark) so that
+//! `cargo bench` completes quickly. CI only compiles benches
+//! (`--no-run`); the numbers here are indicative, not statistical.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 2;
+const MEASURE_ITERS: u64 = 10;
+
+/// Benchmark driver handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<N, F>(&mut self, name: N, f: F) -> &mut Self
+    where
+        N: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name.as_ref(), f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Recorded for interface compatibility; the stand-in reports plain
+    /// per-iteration times only.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<N, F>(&mut self, name: N, f: F) -> &mut Self
+    where
+        N: AsRef<str>,
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, name.as_ref()), f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declared throughput of a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How per-iteration inputs are batched in `iter_batched`.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+        self.iters = MEASURE_ITERS;
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine(setup()));
+        }
+        let mut elapsed = 0u128;
+        for _ in 0..MEASURE_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed().as_nanos();
+        }
+        self.elapsed_ns = elapsed;
+        self.iters = MEASURE_ITERS;
+    }
+}
+
+fn run_benchmark<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        elapsed_ns: 0,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters > 0 {
+        let per_iter = b.elapsed_ns / b.iters as u128;
+        println!("bench {name:<50} {per_iter:>12} ns/iter");
+    } else {
+        println!("bench {name:<50} (no measurement)");
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

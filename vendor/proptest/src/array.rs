@@ -1,0 +1,26 @@
+//! Fixed-size array strategies.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+
+pub struct ArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+
+    fn sample(&self, rng: &mut StdRng) -> [S::Value; N] {
+        std::array::from_fn(|_| self.element.sample(rng))
+    }
+}
+
+/// `[T; 32]` with every element from `element`.
+pub fn uniform32<S: Strategy>(element: S) -> ArrayStrategy<S, 32> {
+    ArrayStrategy { element }
+}
+
+/// `[T; 12]` with every element from `element`.
+pub fn uniform12<S: Strategy>(element: S) -> ArrayStrategy<S, 12> {
+    ArrayStrategy { element }
+}

@@ -1,0 +1,433 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! external RNG dependency is replaced by this vendored implementation.
+//! It is written to be *stream-compatible* with `rand` 0.8 + `rand_chacha`
+//! for every method the workspace uses: `StdRng` is ChaCha12 with the
+//! `rand_core` block-buffer semantics, `seed_from_u64` uses the same PCG32
+//! seed expansion, and `gen_range` / `gen_bool` / `shuffle` reproduce the
+//! exact sampling algorithms (widening-multiply rejection, 64-bit
+//! Bernoulli, Fisher–Yates over 32-bit indices). Seeded experiments and
+//! tolerance-tuned statistical tests therefore see the same streams they
+//! were written against.
+
+pub mod rngs;
+pub mod seq;
+
+mod chacha;
+
+/// Core RNG interface (mirrors `rand_core::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable RNG construction (mirrors `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Build from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Build from a `u64`, expanding it with the same PCG32-based scheme
+    /// as `rand_core` so streams match the real crate.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types samplable uniformly over their whole domain (the `Standard`
+/// distribution of real `rand`).
+pub trait Standard0: Sized {
+    /// Draw one value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard0 for u8 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+impl Standard0 for u16 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u16
+    }
+}
+impl Standard0 for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Standard0 for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Standard0 for usize {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+impl Standard0 for i8 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i8
+    }
+}
+impl Standard0 for i16 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i16
+    }
+}
+impl Standard0 for i32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+impl Standard0 for i64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+impl Standard0 for isize {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as isize
+    }
+}
+impl Standard0 for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() < (1 << 31)
+    }
+}
+impl Standard0 for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random bits scaled into [0, 1), as real rand's Standard.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard0 for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types uniformly samplable between two bounds (rand's `SampleUniform`).
+pub trait SampleUniform: Sized {
+    /// Sample from `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Sample from `[low, high]`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Ranges samplable by [`Rng::gen_range`]. A single generic impl per
+/// range shape (as in real rand) so the element type unifies during
+/// inference instead of requiring per-type trait selection.
+pub trait SampleRange<T> {
+    /// Sample one value from the range. Panics on empty ranges.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_single(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "gen_range: empty range");
+        T::sample_single_inclusive(start, end, rng)
+    }
+}
+
+// 128-bit (or 64-bit) widening multiply, as rand's `wmul`.
+#[inline]
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let p = (a as u128) * (b as u128);
+    ((p >> 64) as u64, p as u64)
+}
+
+#[inline]
+fn wmul32(a: u32, b: u32) -> (u32, u32) {
+    let p = (a as u64) * (b as u64);
+    ((p >> 32) as u32, p as u32)
+}
+
+// Zone selection matches rand 0.8's `UniformInt::sample_single`: the
+// modulo form for 8/16-bit types, the leading-zeros approximation for
+// wider ones. The distinction matters for stream compatibility.
+macro_rules! int_range_impl {
+    ($ty:ty, $uty:ty, $lty:ty, $wmul:ident, $next:ident, $zone:ident) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                let range = high.wrapping_sub(low) as $uty as $lty;
+                let zone = $zone(range);
+                loop {
+                    let (hi, lo) = $wmul(rng.$next(), range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                let range = (high.wrapping_sub(low) as $uty as $lty).wrapping_add(1);
+                if range == 0 {
+                    // Range spans the whole type: draw directly.
+                    return <$ty as Standard0>::draw(rng);
+                }
+                let zone = $zone(range);
+                loop {
+                    let (hi, lo) = $wmul(rng.$next(), range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+#[inline]
+fn zone_mod32(range: u32) -> u32 {
+    u32::MAX - ((u32::MAX - range + 1) % range)
+}
+
+#[inline]
+fn zone_lz32(range: u32) -> u32 {
+    (range << range.leading_zeros()).wrapping_sub(1)
+}
+
+#[inline]
+fn zone_lz64(range: u64) -> u64 {
+    (range << range.leading_zeros()).wrapping_sub(1)
+}
+
+int_range_impl!(u8, u8, u32, wmul32, next_u32, zone_mod32);
+int_range_impl!(u16, u16, u32, wmul32, next_u32, zone_mod32);
+int_range_impl!(u32, u32, u32, wmul32, next_u32, zone_lz32);
+int_range_impl!(i8, u8, u32, wmul32, next_u32, zone_mod32);
+int_range_impl!(i16, u16, u32, wmul32, next_u32, zone_mod32);
+int_range_impl!(i32, u32, u32, wmul32, next_u32, zone_lz32);
+int_range_impl!(u64, u64, u64, wmul64, next_u64, zone_lz64);
+int_range_impl!(i64, u64, u64, wmul64, next_u64, zone_lz64);
+int_range_impl!(usize, usize, u64, wmul64, next_u64, zone_lz64);
+int_range_impl!(isize, usize, u64, wmul64, next_u64, zone_lz64);
+
+impl SampleUniform for f64 {
+    // rand 0.8 sample_single: value1_2 in [1, 2) from 52 bits, then
+    // (value1_2 - 1) * scale + low, rejecting the rare res == high.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        let scale = high - low;
+        loop {
+            let fraction = rng.next_u64() >> 12;
+            let value1_2 = f64::from_bits((1023u64 << 52) | fraction);
+            let res = (value1_2 - 1.0) * scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        (low + (high - low) * u).clamp(low, high)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        let scale = high - low;
+        loop {
+            let fraction = rng.next_u32() >> 9;
+            let value1_2 = f32::from_bits((127u32 << 23) | fraction);
+            let res = (value1_2 - 1.0) * scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+        let u = (rng.next_u32() >> 8) as f32 * (1.0 / ((1u32 << 24) - 1) as f32);
+        (low + (high - low) * u).clamp(low, high)
+    }
+}
+
+/// Destinations for [`Rng::fill`].
+pub trait Fill {
+    /// Fill `self` with random data.
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+/// User-facing random-value methods (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform value over the whole domain of `T`.
+    fn gen<T: Standard0>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// Uniform value in `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with probability `p` (panics unless 0 ≤ p ≤ 1).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        // rand 0.8 Bernoulli: p == 1.0 short-circuits without a draw.
+        let p_int = if p == 1.0 {
+            u64::MAX
+        } else {
+            (p * (2.0f64).powi(64)) as u64
+        };
+        if p_int == u64::MAX {
+            return true;
+        }
+        self.next_u64() < p_int
+    }
+
+    /// Fill a byte buffer.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    /// Pins the StdRng output stream so it can never drift between
+    /// releases: seeded experiment results across the workspace depend
+    /// on these exact values. The ChaCha core underneath is validated
+    /// against the RFC 7539 ChaCha20 block-function test vector (see
+    /// `chacha::tests`); the values here additionally pin the
+    /// seed-expansion (rand_core PCG32) and block-buffer layout.
+    #[test]
+    fn stdrng_stream_is_stable() {
+        let mut r = StdRng::seed_from_u64(42);
+        assert_eq!(r.next_u64(), 9713269763989775522);
+        assert_eq!(r.next_u64(), 10011513049433592189);
+        assert_eq!(r.next_u64(), 11740708795755607249);
+        let mut r = StdRng::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 13486662071293341567);
+        assert_eq!(r.next_u64(), 14267822071968393595);
+    }
+
+    #[test]
+    fn seed_from_u64_expansion_matches_rand_core() {
+        // from_seed path must agree with seed_from_u64's PCG expansion.
+        let a = StdRng::seed_from_u64(7);
+        let mut b = a.clone();
+        let mut a = a;
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds_and_deterministic() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let f = r.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let i = r.gen_range(0u16..4);
+            assert!(i < 4);
+        }
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let va: Vec<u32> = (0..50).map(|_| a.gen_range(0u32..1000)).collect();
+        let vb: Vec<u32> = (0..50).map(|_| b.gen_range(0u32..1000)).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn gen_bool_rates_are_sane() {
+        let mut r = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "{hits}");
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(0.0));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut r = StdRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fill_bytes_consumes_whole_words() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let mut buf = [0u8; 32];
+        a.fill(&mut buf);
+        // 8 words consumed; next u32 must equal the 9th word of b.
+        for _ in 0..8 {
+            b.next_u32();
+        }
+        assert_eq!(a.next_u32(), b.next_u32());
+    }
+}

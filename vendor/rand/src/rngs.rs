@@ -1,0 +1,92 @@
+//! RNG types. `StdRng` is ChaCha12 behind `rand_core`'s `BlockRng`
+//! buffering semantics, so word consumption (and therefore every seeded
+//! stream) matches `rand` 0.8.
+
+use crate::chacha::{ChaCha12Core, BUFFER_WORDS};
+use crate::{RngCore, SeedableRng};
+
+/// The standard seeded RNG (ChaCha12, as `rand` 0.8's `StdRng`).
+#[derive(Clone)]
+pub struct StdRng {
+    core: ChaCha12Core,
+    results: [u32; BUFFER_WORDS],
+    index: usize,
+}
+
+impl std::fmt::Debug for StdRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StdRng").finish_non_exhaustive()
+    }
+}
+
+impl StdRng {
+    fn generate_and_set(&mut self, index: usize) {
+        self.core.generate(&mut self.results);
+        self.index = index;
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self {
+            core: ChaCha12Core::new(&seed),
+            results: [0; BUFFER_WORDS],
+            // Empty buffer: first use triggers a refill, as BlockRng.
+            index: BUFFER_WORDS,
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUFFER_WORDS {
+            self.generate_and_set(0);
+        }
+        let value = self.results[self.index];
+        self.index += 1;
+        value
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // BlockRng::next_u64: pair of words little-end first, with the
+        // straddle case keeping the last word of the old buffer as the
+        // low half.
+        let read = |results: &[u32; BUFFER_WORDS], i: usize| {
+            (results[i + 1] as u64) << 32 | results[i] as u64
+        };
+        let index = self.index;
+        if index < BUFFER_WORDS - 1 {
+            self.index += 2;
+            read(&self.results, index)
+        } else if index >= BUFFER_WORDS {
+            self.generate_and_set(2);
+            read(&self.results, 0)
+        } else {
+            let low = self.results[BUFFER_WORDS - 1] as u64;
+            self.generate_and_set(1);
+            low | (self.results[0] as u64) << 32
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut written = 0;
+        while written < dest.len() {
+            if self.index >= BUFFER_WORDS {
+                self.generate_and_set(0);
+            }
+            // fill_via_u32_chunks: whole words are consumed even when
+            // only part of the final word is used.
+            let src = &self.results[self.index..];
+            let out = &mut dest[written..];
+            let byte_len = (src.len() * 4).min(out.len());
+            let words = byte_len.div_ceil(4);
+            for (i, chunk) in out[..byte_len].chunks_mut(4).enumerate() {
+                chunk.copy_from_slice(&src[i].to_le_bytes()[..chunk.len()]);
+            }
+            self.index += words;
+            written += byte_len;
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Upstream serde's visitor-based serializer machinery is replaced with a
+//! simple tree data model: `Serialize` lowers a value into a [`Value`],
+//! `Deserialize` lifts it back. The vendored `serde_json` renders and
+//! parses `Value` trees, and the vendored `serde_derive` generates the
+//! trait impls, so `#[derive(Serialize, Deserialize)]` + `serde_json`
+//! round-trips work exactly as the workspace expects.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::net::Ipv4Addr;
+
+/// The serialization data model: what any self-describing format
+/// (JSON in this workspace) can represent.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up a field in an object's entry list.
+    pub fn field<'a>(obj: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
+        obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        Self {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lower a value into the [`Value`] data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Lift a value back out of the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ------------------------------------------------------------ primitives
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    _ => return Err(Error::custom(concat!("expected ", stringify!($ty)))),
+                };
+                <$ty>::try_from(n)
+                    .map_err(|_| Error::custom(concat!(stringify!($ty), " out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => {
+                        i64::try_from(*n).map_err(|_| Error::custom("integer out of range"))?
+                    }
+                    _ => return Err(Error::custom(concat!("expected ", stringify!($ty)))),
+                };
+                <$ty>::try_from(n)
+                    .map_err(|_| Error::custom(concat!(stringify!($ty), " out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            _ => Err(Error::custom("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for Ipv4Addr {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Ipv4Addr {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .ok_or_else(|| Error::custom("expected IPv4 string"))?
+            .parse()
+            .map_err(|_| Error::custom("invalid IPv4 address"))
+    }
+}
+
+// ------------------------------------------------------------ containers
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_arr()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(Deserialize::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let arr = v.as_arr().ok_or_else(|| Error::custom("expected tuple array"))?;
+                Ok(($(
+                    $name::from_value(
+                        arr.get($idx).ok_or_else(|| Error::custom("tuple too short"))?,
+                    )?,
+                )+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u16::from_value(&42u16.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let ip = Ipv4Addr::new(10, 1, 2, 3);
+        assert_eq!(Ipv4Addr::from_value(&ip.to_value()).unwrap(), ip);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u32, String::from("a")), (2, String::from("b"))];
+        let back: Vec<(u32, String)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+        let opt: Option<u8> = None;
+        assert_eq!(Option::<u8>::from_value(&opt.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn range_errors_reported() {
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(String::from_value(&Value::U64(1)).is_err());
+    }
+}

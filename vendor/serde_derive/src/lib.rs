@@ -1,0 +1,473 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the vendored `serde`'s `Serialize`/`Deserialize` traits (a
+//! tree-`Value` data model rather than upstream's visitor machinery) for
+//! the shapes this workspace uses: named structs, tuple/newtype structs,
+//! enums with unit/named/tuple variants, and the
+//! `#[serde(from = "T", into = "T")]` container attribute. No generics.
+//!
+//! The parser walks raw `proc_macro` token trees (this crate cannot
+//! depend on `syn`/`quote` offline) and the generated impls are emitted
+//! as source strings.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    kind: Kind,
+    from: Option<String>,
+    into: Option<String>,
+}
+
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated impl failed to parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut from = None;
+    let mut into = None;
+
+    // Leading attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    parse_serde_attr(g.stream(), &mut from, &mut into);
+                }
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde_derive: expected `struct` or `enum`, got {t:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde_derive: expected type name, got {t:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported");
+        }
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            _ => Kind::Struct(Fields::Unit),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            t => panic!("serde_derive: expected enum body, got {t:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        kind,
+        from,
+        into,
+    }
+}
+
+fn parse_serde_attr(attr: TokenStream, from: &mut Option<String>, into: &mut Option<String>) {
+    let tokens: Vec<TokenTree> = attr.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < args.len() {
+        let key = match &args[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        if matches!(args.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            if let Some(TokenTree::Literal(lit)) = args.get(i + 2) {
+                let value = lit.to_string().trim_matches('"').to_string();
+                match key.as_str() {
+                    "from" => *from = Some(value),
+                    "into" => *into = Some(value),
+                    other => panic!("serde_derive (vendored): unsupported attribute `{other}`"),
+                }
+            }
+            i += 3;
+        } else {
+            panic!("serde_derive (vendored): unsupported attribute `{key}`");
+        }
+        if matches!(args.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Field attributes (doc comments arrive as `#[doc = ...]`).
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(name.to_string());
+        i += 2; // name + ':'
+
+        // Skip the type: everything up to a comma at angle-bracket depth 0
+        // (commas inside parens/brackets are already hidden inside groups).
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut count = 0;
+    let mut depth = 0i32;
+    let mut segment_has_tokens = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if segment_has_tokens {
+                    count += 1;
+                }
+                segment_has_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        segment_has_tokens = true;
+    }
+    if segment_has_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, Fields)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            break;
+        };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// --------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into) = &item.into {
+        format!(
+            "let repr: {into} = ::std::convert::Into::into(::std::clone::Clone::clone(self)); \
+             ::serde::Serialize::to_value(&repr)"
+        )
+    } else {
+        match &item.kind {
+            Kind::Struct(fields) => serialize_fields(fields, &FieldAccess::SelfDot),
+            Kind::Enum(variants) => {
+                let arms: String = variants
+                    .iter()
+                    .map(|(variant, fields)| match fields {
+                        Fields::Unit => format!(
+                            "{name}::{variant} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{variant}\")),"
+                        ),
+                        Fields::Named(fs) => {
+                            let binds = fs.join(", ");
+                            let payload =
+                                serialize_fields(fields, &FieldAccess::Bound);
+                            format!(
+                                "{name}::{variant} {{ {binds} }} => ::serde::Value::Obj(\
+                                 ::std::vec![(::std::string::String::from(\"{variant}\"), {payload})]),"
+                            )
+                        }
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|k| format!("__f{k}")).collect();
+                            let payload = serialize_fields(fields, &FieldAccess::Bound);
+                            format!(
+                                "{name}::{variant}({}) => ::serde::Value::Obj(\
+                                 ::std::vec![(::std::string::String::from(\"{variant}\"), {payload})]),",
+                                binds.join(", ")
+                            )
+                        }
+                    })
+                    .collect();
+                format!("match self {{ {arms} }}")
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+enum FieldAccess {
+    SelfDot,
+    Bound,
+}
+
+fn serialize_fields(fields: &Fields, access: &FieldAccess) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Named(fs) => {
+            let entries: Vec<String> = fs
+                .iter()
+                .map(|f| {
+                    let expr = match access {
+                        FieldAccess::SelfDot => format!("&self.{f}"),
+                        FieldAccess::Bound => f.clone(),
+                    };
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({expr}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Obj(::std::vec![{}])", entries.join(", "))
+        }
+        Fields::Tuple(1) => match access {
+            FieldAccess::SelfDot => "::serde::Serialize::to_value(&self.0)".to_string(),
+            FieldAccess::Bound => "::serde::Serialize::to_value(__f0)".to_string(),
+        },
+        Fields::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|k| match access {
+                    FieldAccess::SelfDot => {
+                        format!("::serde::Serialize::to_value(&self.{k})")
+                    }
+                    FieldAccess::Bound => format!("::serde::Serialize::to_value(__f{k})"),
+                })
+                .collect();
+            format!("::serde::Value::Arr(::std::vec![{}])", entries.join(", "))
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(from) = &item.from {
+        format!(
+            "let repr: {from} = ::serde::Deserialize::from_value(v)?; \
+             ::std::result::Result::Ok(::std::convert::From::from(repr))"
+        )
+    } else {
+        match &item.kind {
+            Kind::Struct(Fields::Named(fs)) => {
+                let inits: Vec<String> = fs.iter().map(|f| named_field_init(name, f)).collect();
+                format!(
+                    "let obj = v.as_obj().ok_or_else(|| \
+                     ::serde::Error::custom(\"{name}: expected object\"))?; \
+                     ::std::result::Result::Ok({name} {{ {} }})",
+                    inits.join(", ")
+                )
+            }
+            Kind::Struct(Fields::Tuple(1)) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+            }
+            Kind::Struct(Fields::Tuple(n)) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|k| {
+                        format!(
+                            "::serde::Deserialize::from_value(arr.get({k}).ok_or_else(|| \
+                             ::serde::Error::custom(\"{name}: missing tuple field {k}\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "let arr = v.as_arr().ok_or_else(|| \
+                     ::serde::Error::custom(\"{name}: expected array\"))?; \
+                     ::std::result::Result::Ok({name}({}))",
+                    inits.join(", ")
+                )
+            }
+            Kind::Struct(Fields::Unit) => {
+                format!("::std::result::Result::Ok({name})")
+            }
+            Kind::Enum(variants) => gen_deserialize_enum(name, variants),
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ \
+         {body} }} }}"
+    )
+}
+
+fn named_field_init(type_name: &str, field: &str) -> String {
+    format!(
+        "{field}: ::serde::Deserialize::from_value(::serde::Value::field(obj, \"{field}\")\
+         .ok_or_else(|| ::serde::Error::custom(\"{type_name}: missing field {field}\"))?)?"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[(String, Fields)]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|(_, f)| matches!(f, Fields::Unit))
+        .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+        .collect();
+    let payload_arms: String = variants
+        .iter()
+        .filter(|(_, f)| !matches!(f, Fields::Unit))
+        .map(|(variant, fields)| match fields {
+            Fields::Named(fs) => {
+                let inits: Vec<String> = fs
+                    .iter()
+                    .map(|f| named_field_init(&format!("{name}::{variant}"), f))
+                    .collect();
+                format!(
+                    "\"{variant}\" => {{ let obj = payload.as_obj().ok_or_else(|| \
+                     ::serde::Error::custom(\"{name}::{variant}: expected object\"))?; \
+                     ::std::result::Result::Ok({name}::{variant} {{ {} }}) }}",
+                    inits.join(", ")
+                )
+            }
+            Fields::Tuple(1) => format!(
+                "\"{variant}\" => ::std::result::Result::Ok(\
+                 {name}::{variant}(::serde::Deserialize::from_value(payload)?)),"
+            ),
+            Fields::Tuple(n) => {
+                let inits: Vec<String> = (0..*n)
+                    .map(|k| {
+                        format!(
+                            "::serde::Deserialize::from_value(arr.get({k}).ok_or_else(|| \
+                             ::serde::Error::custom(\"{name}::{variant}: missing field {k}\"))?)?"
+                        )
+                    })
+                    .collect();
+                format!(
+                    "\"{variant}\" => {{ let arr = payload.as_arr().ok_or_else(|| \
+                     ::serde::Error::custom(\"{name}::{variant}: expected array\"))?; \
+                     ::std::result::Result::Ok({name}::{variant}({})) }}",
+                    inits.join(", ")
+                )
+            }
+            Fields::Unit => unreachable!(),
+        })
+        .collect();
+
+    let mut arms = String::new();
+    if !unit_arms.is_empty() {
+        arms.push_str(&format!(
+            "::serde::Value::Str(s) => match s.as_str() {{ {unit_arms} _ => \
+             ::std::result::Result::Err(::serde::Error::custom(\"{name}: unknown variant\")) }},"
+        ));
+    }
+    if !payload_arms.is_empty() {
+        arms.push_str(&format!(
+            "::serde::Value::Obj(entries) if entries.len() == 1 => {{ \
+             let (tag, payload) = &entries[0]; match tag.as_str() {{ {payload_arms} _ => \
+             ::std::result::Result::Err(::serde::Error::custom(\"{name}: unknown variant\")) }} }},"
+        ));
+    }
+    format!(
+        "match v {{ {arms} _ => ::std::result::Result::Err(\
+         ::serde::Error::custom(\"{name}: expected enum representation\")) }}"
+    )
+}
