@@ -13,6 +13,7 @@
 //! experiments appendixa
 //! experiments fleet [--homes H] [--shards T]  # sharded multi-home throughput sweep
 //! experiments attack [--quick]    # adversarial red-team scorecard
+//! experiments oracle [--quick]    # differential decision oracle vs naive reference
 //! ```
 //!
 //! Scale knobs: `--days N` (testbed capture length, default 8),
@@ -25,7 +26,9 @@
 //! drive a `FiatProxy`, e.g. table6).
 
 use fiat_bench::ml_tables::ModelKind;
-use fiat_bench::{attack_exp, fig1, fig2, fleet_exp, ml_tables, table6, table7, tolerance};
+use fiat_bench::{
+    attack_exp, fig1, fig2, fleet_exp, ml_tables, oracle_exp, table6, table7, tolerance,
+};
 use fiat_core::ErrorModel;
 use fiat_telemetry::{MetricRegistry, Span, WallClock};
 use std::fmt::Write as _;
@@ -184,6 +187,7 @@ fn run_one(name: &str, args: &Args, registry: &MetricRegistry) -> Option<String>
             fleet_exp::fleet_text_instrumented(args.homes, args.shards, days, seed, Some(registry))
         }
         "attack" => attack_exp::attack_text(seed, args.quick, Some(registry)),
+        "oracle" => oracle_exp::oracle_text(seed, args.quick, Some(registry)),
         "tolerance" => tolerance::tolerance_text(),
         "appendixa" => appendixa_text(),
         _ => return None,
@@ -191,7 +195,7 @@ fn run_one(name: &str, args: &Args, registry: &MetricRegistry) -> Option<String>
     Some(text)
 }
 
-const ALL: [&str; 15] = [
+const ALL: [&str; 16] = [
     "fig1a",
     "fig1b",
     "fig1c",
@@ -207,6 +211,7 @@ const ALL: [&str; 15] = [
     "tolerance",
     "appendixa",
     "attack",
+    "oracle",
 ];
 
 fn main() {

@@ -10,6 +10,7 @@ pub mod fig1;
 pub mod fig2;
 pub mod fleet_exp;
 pub mod ml_tables;
+pub mod oracle_exp;
 pub mod table6;
 pub mod table7;
 pub mod tolerance;

@@ -22,6 +22,9 @@ pub enum AuditVerdict {
     DroppedUnverified,
     /// Device locked out (brute-force protection).
     LockedOut,
+    /// Traffic of an unregistered device allowed fail-open (incremental
+    /// deployment). Recorded once per device, at first sighting.
+    AllowedUnknownDevice,
 }
 
 /// One audit record.
@@ -55,6 +58,7 @@ impl AuditEntry {
             AuditVerdict::DroppedUnverified => 2,
             AuditVerdict::LockedOut => 3,
             AuditVerdict::AllowedCascade => 4,
+            AuditVerdict::AllowedUnknownDevice => 5,
         };
         let mut fnv: u32 = 0x811c_9dc5;
         for &b in &out[..12] {

@@ -5,6 +5,13 @@
 //! five seconds or more closes the event. The threshold "was chosen
 //! empirically and has very limited impact on the results" — the
 //! `ablation_gap` bench sweeps it.
+//!
+//! Real captures are not perfectly ordered (WiFinger observes reordering
+//! at exactly this packet-sequence level), so the grouper defines explicit
+//! semantics for a backwards-in-time packet: `SimTime` subtraction
+//! saturates to zero, which is `< gap`, so the packet **joins the open
+//! event**; the event's `end` is a high-water mark (`max`) and never moves
+//! backwards. `start` stays the first *observed* packet's timestamp.
 
 use fiat_net::{PacketRecord, SimDuration, SimTime, TrafficClass};
 use std::collections::HashMap;
@@ -19,9 +26,10 @@ pub struct UnpredictableEvent {
     pub device: u16,
     /// Packet indices (into the original slice), in time order.
     pub packets: Vec<usize>,
-    /// Timestamp of the first packet.
+    /// Timestamp of the first observed packet.
     pub start: SimTime,
-    /// Timestamp of the last packet.
+    /// High-water-mark timestamp over the event's packets (equals the
+    /// last packet's timestamp when the input is time-ordered).
     pub end: SimTime,
 }
 
@@ -75,7 +83,11 @@ pub fn group_events(
         match open.get_mut(&p.device) {
             Some(ev) if p.ts - ev.end < gap => {
                 ev.packets.push(i);
-                ev.end = p.ts;
+                // High-water mark: a backwards (reordered) packet joins
+                // the event but must not rewind `end`, or the next
+                // in-order packet measures its gap against an
+                // artificially old `end` and spuriously splits.
+                ev.end = ev.end.max(p.ts);
             }
             Some(ev) => {
                 done.push(std::mem::replace(
@@ -207,6 +219,40 @@ mod tests {
             .collect();
         let flags = vec![true; 10];
         assert!(group_events(&packets, &flags, EVENT_GAP).is_empty());
+    }
+
+    #[test]
+    fn backwards_packet_joins_without_rewinding_end() {
+        // Reordered capture: 10 s, then a late-arriving 2 s packet, then
+        // 8 s. The 2 s packet joins the open event (its gap saturates to
+        // zero) but must not pull `end` back to 2 s — pre-fix, the 8 s
+        // packet then measured a 6 s gap and spuriously split the event.
+        let packets = vec![
+            pkt(10_000, 0, TrafficClass::Manual),
+            pkt(2_000, 0, TrafficClass::Manual),
+            pkt(8_000, 0, TrafficClass::Manual),
+        ];
+        let flags = vec![false; 3];
+        let evs = group_events(&packets, &flags, EVENT_GAP);
+        assert_eq!(evs.len(), 1, "{evs:?}");
+        assert_eq!(evs[0].packets, vec![0, 1, 2]);
+        assert_eq!(evs[0].start, SimTime::from_millis(10_000));
+        assert_eq!(evs[0].end, SimTime::from_millis(10_000));
+    }
+
+    #[test]
+    fn backwards_packet_beyond_gap_still_joins() {
+        // Explicit semantics: however old the reordered packet is, the
+        // saturating difference is zero < gap, so it joins rather than
+        // opening a phantom event in the past.
+        let packets = vec![
+            pkt(60_000, 0, TrafficClass::Manual),
+            pkt(1_000, 0, TrafficClass::Manual), // 59 s in the past
+        ];
+        let flags = vec![false; 2];
+        let evs = group_events(&packets, &flags, EVENT_GAP);
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].end, SimTime::from_millis(60_000));
     }
 
     #[test]

@@ -112,6 +112,19 @@ impl NotificationCenter {
             AuditVerdict::AllowedManualVerified | AuditVerdict::AllowedCascade => {
                 *self.allowed_manual.entry(entry.device).or_default() += 1;
             }
+            AuditVerdict::AllowedUnknownDevice => {
+                // Audited once per device, so this cannot spam: surface
+                // the enforcement gap where the user can see it.
+                self.pending.push(Notification {
+                    at: entry.ts,
+                    device: entry.device,
+                    severity: Severity::Warning,
+                    message: format!(
+                        "Device {} is not enrolled — its traffic bypasses FIAT enforcement",
+                        entry.device
+                    ),
+                });
+            }
             AuditVerdict::AllowedNonManual => {}
         }
     }
@@ -212,6 +225,16 @@ mod tests {
         assert_eq!(d[1].device, 4);
         // Digest resets the counters.
         assert!(nc.digest(SimTime::from_secs(200)).is_empty());
+    }
+
+    #[test]
+    fn unknown_device_raises_warning() {
+        let mut nc = NotificationCenter::default();
+        nc.ingest(&entry(0, 9, AuditVerdict::AllowedUnknownDevice));
+        let alerts = nc.drain();
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].severity, Severity::Warning);
+        assert!(alerts[0].message.contains("not enrolled"));
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! instead of flying under the classifier.
 
 use crate::audit::{AuditEntry, AuditLog, AuditVerdict};
-use crate::classifier::EventClassifier;
+use crate::classifier::{EventClass, EventClassifier};
 use crate::client::{AuthMessage, FiatApp};
 use crate::events::UnpredictableEvent;
 use crate::interactions::InteractionGraph;
@@ -40,7 +40,7 @@ use fiat_net::{DnsTable, FlowDef, PacketRecord, SimDuration, SimTime};
 use fiat_quic::{ClientHello, Server as QuicServer, ServerHello, ZeroRttPacket};
 use fiat_sensors::HumannessValidator;
 use fiat_telemetry::{Clock, Counter, Gauge, Histogram, Journal, MetricRegistry, Span, WallClock};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// Proxy configuration (paper defaults).
@@ -101,17 +101,20 @@ pub enum AllowReason {
     ManualVerified,
     /// Manual event covered by a device-interaction cascade (§7).
     Cascade,
+    /// Unregistered device: fail open during incremental deployment.
+    UnknownDevice,
 }
 
 impl AllowReason {
     /// All variants, in [`ProxyStats`] field order.
-    pub const ALL: [AllowReason; 6] = [
+    pub const ALL: [AllowReason; 7] = [
         AllowReason::Bootstrap,
         AllowReason::RuleHit,
         AllowReason::FirstN,
         AllowReason::NonManual,
         AllowReason::ManualVerified,
         AllowReason::Cascade,
+        AllowReason::UnknownDevice,
     ];
 
     /// Stable snake_case name used as the telemetry `reason` label.
@@ -123,6 +126,7 @@ impl AllowReason {
             AllowReason::NonManual => "non_manual",
             AllowReason::ManualVerified => "manual_verified",
             AllowReason::Cascade => "cascade",
+            AllowReason::UnknownDevice => "unknown_device",
         }
     }
 }
@@ -164,6 +168,8 @@ pub struct ProxyStats {
     pub manual_verified: u64,
     /// Packets allowed via an interaction cascade.
     pub cascade: u64,
+    /// Packets of unregistered devices allowed fail-open.
+    pub unknown_device: u64,
     /// Packets dropped as unverified manual.
     pub dropped_unverified: u64,
     /// Packets dropped because the device is locked out.
@@ -184,6 +190,7 @@ impl ProxyStats {
             + self.non_manual
             + self.manual_verified
             + self.cascade
+            + self.unknown_device
             + self.dropped_unverified
             + self.dropped_lockout
     }
@@ -216,6 +223,7 @@ impl std::ops::AddAssign for ProxyStats {
         self.non_manual += rhs.non_manual;
         self.manual_verified += rhs.manual_verified;
         self.cascade += rhs.cascade;
+        self.unknown_device += rhs.unknown_device;
         self.dropped_unverified += rhs.dropped_unverified;
         self.dropped_lockout += rhs.dropped_lockout;
         self.retro_unverified += rhs.retro_unverified;
@@ -462,6 +470,7 @@ pub struct FiatProxy {
     audit: AuditLog,
     server_random_counter: u64,
     interactions: Option<InteractionGraph>,
+    unknown_seen: HashSet<u16>,
     stats: ProxyStats,
     telemetry: ProxyTelemetry,
 }
@@ -511,6 +520,7 @@ impl FiatProxy {
             audit: AuditLog::new(),
             server_random_counter: 0,
             interactions: None,
+            unknown_seen: HashSet::new(),
             stats: ProxyStats::default(),
             telemetry,
         }
@@ -701,6 +711,7 @@ impl FiatProxy {
             ProxyDecision::Allow(AllowReason::NonManual) => self.stats.non_manual += 1,
             ProxyDecision::Allow(AllowReason::ManualVerified) => self.stats.manual_verified += 1,
             ProxyDecision::Allow(AllowReason::Cascade) => self.stats.cascade += 1,
+            ProxyDecision::Allow(AllowReason::UnknownDevice) => self.stats.unknown_device += 1,
             ProxyDecision::Drop(DropReason::ManualUnverified) => self.stats.dropped_unverified += 1,
             ProxyDecision::Drop(DropReason::LockedOut) => self.stats.dropped_lockout += 1,
         }
@@ -754,8 +765,22 @@ impl FiatProxy {
         let gap = self.config.event_gap;
         let Some(dev) = self.devices.get_mut(&pkt.device) else {
             // Unknown device: fail open during incremental deployment,
-            // but audit nothing (no classifier to consult).
-            return ProxyDecision::Allow(AllowReason::FirstN);
+            // attributed to its own reason (not FirstN) so the stat and
+            // per-reason counter stay honest. Audited once per device at
+            // first sighting so the operator can see which devices
+            // bypass enforcement entirely; per-packet entries would let
+            // an unenrolled chatty device flood the hash chain.
+            if self.unknown_seen.insert(pkt.device) {
+                self.audit.append(AuditEntry {
+                    ts: now,
+                    device: pkt.device,
+                    // No classifier to consult; Control is the neutral
+                    // placeholder class for unclassified traffic.
+                    class: EventClass::Control,
+                    verdict: AuditVerdict::AllowedUnknownDevice,
+                });
+            }
+            return ProxyDecision::Allow(AllowReason::UnknownDevice);
         };
 
         // Close a stale event. If it ended below the first-N window it
@@ -794,7 +819,11 @@ impl FiatProxy {
             fate: None,
         });
         open.packets.push(pkt.clone());
-        open.last = now;
+        // High-water mark, mirroring `events::group_events`: a backwards
+        // (reordered) packet joins the open event — its saturating gap is
+        // zero — but must not rewind `last`, or the next in-order packet
+        // measures an inflated gap and spuriously closes the event.
+        open.last = open.last.max(now);
         span.exit();
 
         if let Some(fate) = open.fate {
@@ -865,15 +894,7 @@ impl FiatProxy {
 
         // Unverified manual event: drop and count toward lockout.
         open.fate = Some(EventFate::DropRest);
-        dev.drops.push_back(now);
-        while dev
-            .drops
-            .front()
-            .is_some_and(|&t| now - t > self.config.lockout_window)
-        {
-            dev.drops.pop_front();
-        }
-        let locked = dev.drops.len() as u32 > self.config.lockout_threshold;
+        let locked = Self::record_unverified_drop(&mut dev.drops, now, &self.config);
         if locked {
             dev.locked = true;
             self.telemetry.locked_devices_gauge.inc();
@@ -890,6 +911,32 @@ impl FiatProxy {
             },
         });
         ProxyDecision::Drop(DropReason::ManualUnverified)
+    }
+
+    /// Record an unverified-manual episode at `at` into the sliding
+    /// lockout window and prune expired entries; returns whether the
+    /// window now exceeds the tolerance. Episode times are clamped to a
+    /// monotone high-water mark — with reordered packets (or a retro
+    /// closure of an old event) `at` can precede the newest recorded
+    /// episode, and a non-monotone deque would break the front-pruning:
+    /// `SimTime` subtraction saturates, so an old `at` reads every gap
+    /// as zero and stale episodes would never expire. The same clamp
+    /// semantics apply in `decide()`, `retro_close` (and through it
+    /// `flush`).
+    fn record_unverified_drop(
+        drops: &mut VecDeque<SimTime>,
+        at: SimTime,
+        config: &ProxyConfig,
+    ) -> bool {
+        let at = drops.back().map_or(at, |&newest| newest.max(at));
+        drops.push_back(at);
+        while drops
+            .front()
+            .is_some_and(|&t| at - t > config.lockout_window)
+        {
+            drops.pop_front();
+        }
+        drops.len() as u32 > config.lockout_threshold
     }
 
     /// Close every open event whose gap has expired by `now`, applying
@@ -971,15 +1018,7 @@ impl FiatProxy {
         }
         telemetry.retro_unverified.inc();
         stats.retro_unverified += 1;
-        dev.drops.push_back(end);
-        while dev
-            .drops
-            .front()
-            .is_some_and(|&t| end - t > config.lockout_window)
-        {
-            dev.drops.pop_front();
-        }
-        let locked = dev.drops.len() as u32 > config.lockout_threshold;
+        let locked = Self::record_unverified_drop(&mut dev.drops, end, config);
         if locked && !dev.locked {
             dev.locked = true;
             telemetry.locked_devices_gauge.inc();
@@ -1473,7 +1512,108 @@ mod tests {
         let t = bootstrap(&mut proxy);
         let mut p = pkt(t, 999);
         p.device = 42; // never registered
-        assert!(proxy.on_packet(&p).is_allow());
+                       // Fail-open, but attributed to its own reason — not FirstN.
+        assert_eq!(
+            proxy.on_packet(&p),
+            ProxyDecision::Allow(AllowReason::UnknownDevice)
+        );
+        let mut p2 = pkt(t + 100, 999);
+        p2.device = 42;
+        proxy.on_packet(&p2);
+        let s = proxy.stats();
+        assert_eq!(s.unknown_device, 2);
+        assert_eq!(s.first_n, 0);
+        assert_eq!(s.total(), s.bootstrap + 2);
+        // Audited once per device (first sighting), not per packet.
+        assert_eq!(proxy.audit().len(), 1);
+        let e = &proxy.audit().entries()[0];
+        assert_eq!(e.device, 42);
+        assert_eq!(e.verdict, AuditVerdict::AllowedUnknownDevice);
+        // A second unknown device gets its own entry.
+        let mut p3 = pkt(t + 200, 999);
+        p3.device = 43;
+        proxy.on_packet(&p3);
+        assert_eq!(proxy.audit().len(), 2);
+        assert!(proxy.audit().verify());
+    }
+
+    #[test]
+    fn backwards_packet_joins_event_without_rewinding_high_water_mark() {
+        // Reordered trace through `decide()`: an in-order rule-miss
+        // packet, a reordered packet 3 s in its past, then one 4 s after
+        // the first. All three are one event — pre-fix, the backwards
+        // packet rewound `last`, the third packet read a 7 s gap, closed
+        // the event early and recorded a phantom retro episode.
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let mut proxy = FiatProxy::new(ProxyConfig::default(), &SECRET, validator);
+        proxy.register_device(0, EventClassifier::simple_rule(235), 5);
+        proxy.start(SimTime::ZERO);
+        let t = bootstrap(&mut proxy);
+        let base = t + 60_000; // clear of the bootstrap boundary
+
+        proxy.on_packet(&pkt(base, 235));
+        proxy.on_packet(&pkt(base - 3_000, 235)); // reordered: joins
+        proxy.on_packet(&pkt(base + 4_000, 235)); // 4 s < gap: still joins
+        assert_eq!(proxy.stats().retro_unverified, 0, "no spurious closure");
+        assert_eq!(proxy.stats().first_n, 3);
+
+        // Closing the (single) event yields exactly one retro episode.
+        proxy.flush(SimTime::from_millis(base + 60_000));
+        assert_eq!(proxy.stats().retro_unverified, 1);
+        assert_eq!(proxy.audit().len(), 1);
+    }
+
+    #[test]
+    fn flush_then_older_packet_starts_fresh_event() {
+        // Interplay: flush at `now`, then feed a packet older than the
+        // flush time (but newer than the closed event). It must open a
+        // fresh event rather than resurrect the flushed one's state.
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let mut proxy = FiatProxy::new(ProxyConfig::default(), &SECRET, validator);
+        proxy.register_device(0, EventClassifier::simple_rule(235), 5);
+        proxy.start(SimTime::ZERO);
+        let t = bootstrap(&mut proxy);
+        let base = t + 60_000;
+
+        for j in 0..3u64 {
+            proxy.on_packet(&pkt(base + j * 50, 235));
+        }
+        proxy.flush(SimTime::from_millis(base + 60_000));
+        assert_eq!(proxy.stats().retro_unverified, 1);
+
+        // 30 s before the flush time, 30 s after the closed event.
+        assert_eq!(
+            proxy.on_packet(&pkt(base + 30_000, 235)),
+            ProxyDecision::Allow(AllowReason::FirstN)
+        );
+        proxy.flush(SimTime::from_millis(base + 120_000));
+        assert_eq!(proxy.stats().retro_unverified, 2);
+        assert!(proxy.audit().verify());
+    }
+
+    #[test]
+    fn flush_is_idempotent() {
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let mut proxy = FiatProxy::new(ProxyConfig::default(), &SECRET, validator);
+        proxy.register_device(0, EventClassifier::simple_rule(235), 5);
+        proxy.start(SimTime::ZERO);
+        let t = bootstrap(&mut proxy);
+
+        for j in 0..3u64 {
+            proxy.on_packet(&pkt(t + j * 50, 235));
+        }
+        let flush_at = SimTime::from_millis(t + 60_000);
+        proxy.flush(flush_at);
+        let stats = proxy.stats();
+        let audit_len = proxy.audit().len();
+        let head = proxy.audit().head();
+        // Double flush (same time and later) changes nothing: the event
+        // is gone and no state regenerates it.
+        proxy.flush(flush_at);
+        proxy.flush(SimTime::from_millis(t + 120_000));
+        assert_eq!(proxy.stats(), stats);
+        assert_eq!(proxy.audit().len(), audit_len);
+        assert_eq!(proxy.audit().head(), head);
     }
 
     #[test]
@@ -1617,6 +1757,11 @@ mod tests {
         proxy.on_packet(&pkt(t + 55_000, 100)); // locked out
         sent += 1;
 
+        let mut unknown = pkt(t + 56_000, 999);
+        unknown.device = 9; // never registered
+        proxy.on_packet(&unknown);
+        sent += 1;
+
         let s = proxy.stats();
         assert_eq!(
             s.total(),
@@ -1626,9 +1771,11 @@ mod tests {
                 + s.non_manual
                 + s.manual_verified
                 + s.cascade
+                + s.unknown_device
                 + s.dropped_unverified
                 + s.dropped_lockout
         );
+        assert_eq!(s.unknown_device, 1);
         assert_eq!(s.total(), sent);
         assert_eq!(s.dropped(), s.dropped_unverified + s.dropped_lockout);
     }
@@ -1670,6 +1817,11 @@ mod tests {
         }
         proxy.on_packet(&pkt(t + 95_000, 100));
 
+        // One packet from a device the proxy never registered.
+        let mut stranger = pkt(t + 96_000, 100);
+        stranger.device = 7;
+        proxy.on_packet(&stranger);
+
         // Every per-reason counter matches the ProxyStats field.
         let s = proxy.stats();
         let tel = proxy.telemetry();
@@ -1683,6 +1835,10 @@ mod tests {
                 s.manual_verified,
             ),
             (ProxyDecision::Allow(AllowReason::Cascade), s.cascade),
+            (
+                ProxyDecision::Allow(AllowReason::UnknownDevice),
+                s.unknown_device,
+            ),
             (
                 ProxyDecision::Drop(DropReason::ManualUnverified),
                 s.dropped_unverified,
@@ -1716,10 +1872,13 @@ mod tests {
             registry.gauge("fiat_proxy_rules", &[]).get(),
             proxy.rule_count() as i64
         );
-        // The journal tail matches the last decisions.
+        // The journal tail matches the last decision (the stranger).
         let last = tel.journal().last().unwrap();
-        assert_eq!(last.device, 0);
-        assert_eq!(last.decision, ProxyDecision::Drop(DropReason::LockedOut));
+        assert_eq!(last.device, 7);
+        assert_eq!(
+            last.decision,
+            ProxyDecision::Allow(AllowReason::UnknownDevice)
+        );
         assert_eq!(tel.journal().total_pushed(), s.total());
 
         proxy.clear_lockout(0);

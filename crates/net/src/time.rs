@@ -141,6 +141,14 @@ impl AddAssign<SimDuration> for SimTime {
 
 impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
+    /// Saturating difference: `earlier - later` is zero, never a panic or
+    /// a wrap. Consumers comparing against a gap/window threshold thus
+    /// read any backwards-in-time instant as "gap zero" — which means
+    /// state that tracks a *latest-seen* instant (an event's `end`, the
+    /// lockout episode times) must be maintained as a high-water mark
+    /// (`max`), or a reordered packet silently rewinds it. Use
+    /// [`SimTime::checked_sub`] where "in the past" must be distinguished
+    /// from "now".
     fn sub(self, other: SimTime) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }

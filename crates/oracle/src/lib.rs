@@ -1,0 +1,152 @@
+//! Differential decision oracle for the FIAT proxy.
+//!
+//! Two halves:
+//!
+//! - [`ReferenceProxy`] (`reference`): a deliberately naive,
+//!   allocation-heavy, obviously-correct rewrite of the full decision
+//!   path — bootstrap, rule learning/matching, event grouping,
+//!   classify-at-N, humanness gating, cascades, lockout, retrospective
+//!   closure, `flush` — written straight from the paper and DESIGN.md,
+//!   sharing no machinery with `fiat_core::FiatProxy` beyond input
+//!   types and the event classifier.
+//! - the fuzzer (`fuzzer`): seeded timestamp-chaos scenarios over the
+//!   paper's 10-device testbed matrix, driven op-by-op through both
+//!   implementations, comparing every decision, the final counters,
+//!   and the audit trail, with a greedy shrinker for any divergence.
+//!
+//! The oracle's contract: **any** disagreement is a bug until either
+//! `fiat-core` is fixed or the behaviour is argued for and recorded in
+//! DESIGN.md's known-divergence ledger. `experiments oracle --seed N`
+//! runs it at scale; CI runs a fixed-seed quick pass.
+//!
+//! What the oracle deliberately does *not* cover: the QUIC/crypto
+//! transport (the fuzzer feeds both sides genuine evidence through a
+//! perfect validator, so humanness is purely a timing question) and
+//! classifier quality (both sides consult the identical classifier).
+
+#![deny(missing_docs)]
+
+pub mod fuzzer;
+pub mod reference;
+
+pub use fuzzer::{
+    build_scenario, render_report, run_differential, run_scenario, run_scenario_with_real_config,
+    shrink, ChaosStats, Divergence, DivergenceKind, DivergenceReport, Op, OracleReport, Scenario,
+};
+pub use reference::ReferenceProxy;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiat_core::{AllowReason, ProxyConfig, ProxyDecision};
+    use fiat_net::{SimDuration, SimTime};
+
+    #[test]
+    fn reference_walks_the_documented_pipeline() {
+        // A miniature hand trace against the reference alone: bootstrap
+        // allows, the first post-bootstrap packets fall under first-N,
+        // and a manual-size event without a humanness proof is dropped.
+        let (sc, _) = build_scenario(11, true);
+        let mut reference = ReferenceProxy::new(sc.config.clone());
+        reference.register_device(0, fiat_core::EventClassifier::simple_rule(235), 1);
+        reference.start(SimTime::ZERO);
+        let mut pkt = match sc.ops.iter().find_map(|o| match o {
+            Op::Packet(p) if p.device == 3 => Some(p.clone()),
+            _ => None,
+        }) {
+            Some(p) => p,
+            None => return,
+        };
+        pkt.device = 0;
+        pkt.size = 235;
+        pkt.ts = SimTime::from_secs(1);
+        assert_eq!(
+            reference.on_packet(&pkt),
+            ProxyDecision::Allow(AllowReason::Bootstrap)
+        );
+        pkt.ts = SimTime::ZERO + sc.config.bootstrap + SimDuration::from_secs(60);
+        let d = reference.on_packet(&pkt);
+        // N = 1 and size 235 classifies manual with no proof: dropped.
+        assert_eq!(
+            d,
+            ProxyDecision::Drop(fiat_core::DropReason::ManualUnverified)
+        );
+        assert_eq!(reference.stats().dropped_unverified, 1);
+        assert_eq!(reference.audit_entries().len(), 1);
+    }
+
+    #[test]
+    fn quick_differential_runs_clean() {
+        // The contract the CI smoke job enforces: on chaos-mutated
+        // testbed traffic, the naive reference and the real proxy agree
+        // on every decision, stat, and audit entry.
+        for seed in [1u64, 2, 42] {
+            let report = run_differential(seed, true, 800);
+            assert!(report.packets >= 800);
+            assert!(
+                report.passed(),
+                "divergence at seed {seed}: {:?}",
+                report.divergences
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_detects_semantic_drift() {
+        // Self-test: perturb the real proxy's event gap and the oracle
+        // must notice. If this fails, a real regression in fiat-core
+        // could slide through unreported.
+        let (sc, _) = build_scenario(5, true);
+        let drifted = ProxyConfig {
+            event_gap: SimDuration::from_secs(2),
+            ..sc.config.clone()
+        };
+        assert!(
+            run_scenario_with_real_config(&sc, &drifted).is_some(),
+            "oracle failed to flag a 2.5x event-gap change"
+        );
+        let drifted = ProxyConfig {
+            lockout_threshold: 0,
+            ..sc.config.clone()
+        };
+        assert!(
+            run_scenario_with_real_config(&sc, &drifted).is_some(),
+            "oracle failed to flag a zeroed lockout threshold"
+        );
+    }
+
+    #[test]
+    fn shrinker_minimizes_a_divergent_scenario() {
+        // Induce a divergence (drifted event gap on the real side) and
+        // shrink it: the result must be strictly smaller and still
+        // diverge under the same mismatch.
+        let (sc, _) = build_scenario(9, true);
+        let drifted = ProxyConfig {
+            event_gap: SimDuration::from_secs(2),
+            ..sc.config.clone()
+        };
+        assert!(run_scenario_with_real_config(&sc, &drifted).is_some());
+        let shrunk = shrink(&sc, &drifted, 80);
+        assert!(
+            shrunk.ops.len() < sc.ops.len(),
+            "shrinker removed nothing ({} ops)",
+            sc.ops.len()
+        );
+        assert!(
+            run_scenario_with_real_config(&shrunk, &drifted).is_some(),
+            "shrinking lost the divergence"
+        );
+    }
+
+    #[test]
+    fn empty_scenario_is_clean() {
+        // Subsetting must never manufacture a divergence: with no ops,
+        // both sides hold their initial state.
+        let (sc, _) = build_scenario(3, true);
+        let empty = Scenario {
+            ops: Vec::new(),
+            ..sc
+        };
+        assert!(run_scenario(&empty).is_none());
+    }
+}

@@ -1,0 +1,519 @@
+//! A deliberately naive reference implementation of the FIAT decision
+//! path, written straight from the paper and DESIGN.md.
+//!
+//! [`ReferenceProxy`] mirrors every *documented* behaviour of
+//! `fiat_core::FiatProxy` — bootstrap, rule learning, rule matching,
+//! event grouping, classify-at-N, humanness gating, interaction
+//! cascades, brute-force lockout, retrospective closure, `flush` — but
+//! shares none of its machinery:
+//!
+//! - no interned flow keys: every packet allocates a stringly
+//!   [`FlowKey`], and the rule "table" is a linear `Vec` scan;
+//! - no rule-table type: learning is an O(n²) bucket-and-scan rewrite
+//!   of the §2.1 heuristic, with its own hard-coded 1 s minimum rule
+//!   interval (deliberately *not* imported from `fiat_core::predict`,
+//!   so a silent change to the constant shows up as a divergence);
+//! - no `VecDeque` lockout window: a plain `Vec` re-filtered on every
+//!   drop;
+//! - no hash chain: the audit trail is a bare `Vec<AuditEntry>` the
+//!   fuzzer compares entry-by-entry against the real log;
+//! - no interaction-graph type: cascades recurse over a flat edge list.
+//!
+//! The only components shared with the real proxy are *inputs and
+//! vocabulary*: `PacketRecord`, `DnsTable`, `ProxyConfig`,
+//! `ProxyDecision`/`ProxyStats`, `AuditEntry`, and the
+//! [`EventClassifier`] itself — the oracle checks the decision *path*,
+//! not the classifier's ML, so both sides must consult the identical
+//! classifier or every comparison would drown in model noise.
+//!
+//! Keep this file boring. When it disagrees with `FiatProxy`, the bug is
+//! decided by reading DESIGN.md, not by making this file cleverer.
+
+use fiat_core::audit::{AuditEntry, AuditVerdict};
+use fiat_core::classifier::EventClass;
+use fiat_core::{
+    AllowReason, DropReason, EventClassifier, ProxyConfig, ProxyDecision, ProxyStats,
+    UnpredictableEvent,
+};
+use fiat_net::{DnsTable, FlowKey, PacketRecord, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// §2.1: a repeating interval must be at least this long to be a rule
+/// (shorter repeats are bursts, not schedules). Redeclared here on
+/// purpose — see the module docs.
+const MIN_RULE_INTERVAL: SimDuration = SimDuration::from_secs(1);
+
+/// What the rest of an open event's packets get once it is decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    AllowRest(AllowReason),
+    DropRest,
+}
+
+#[derive(Debug, Clone)]
+struct RefEvent {
+    packets: Vec<PacketRecord>,
+    /// High-water mark of observed timestamps, never rewound: a
+    /// backwards (reordered) packet joins the event — its saturating
+    /// gap reads as zero — but must not shrink the gap the next
+    /// in-order packet measures.
+    last: SimTime,
+    fate: Option<Fate>,
+}
+
+struct RefDevice {
+    classifier: EventClassifier,
+    classify_at: usize,
+    open: Option<RefEvent>,
+    /// Unverified-manual episode times inside the sliding lockout
+    /// window, clamped to a monotone high-water mark exactly like the
+    /// real proxy's deque (`SimTime` subtraction saturates, so a
+    /// non-monotone history would never expire).
+    drops: Vec<SimTime>,
+    locked: bool,
+}
+
+/// Naive reference decision pipeline. See the module docs.
+pub struct ReferenceProxy {
+    config: ProxyConfig,
+    dns: DnsTable,
+    started_at: Option<SimTime>,
+    bootstrap_buffer: Vec<PacketRecord>,
+    /// `None` until the first post-bootstrap packet triggers learning.
+    rules: Option<Vec<(u16, FlowKey)>>,
+    devices: BTreeMap<u16, RefDevice>,
+    unknown_seen: Vec<u16>,
+    human_valid_until: SimTime,
+    /// Interaction DAG as a flat `trigger → target` edge list, plus the
+    /// last authorized time per device. `None` means no graph installed
+    /// (the real proxy distinguishes "no graph" from "empty graph").
+    interactions: Option<RefGraph>,
+    stats: ProxyStats,
+    audit: Vec<AuditEntry>,
+}
+
+#[derive(Debug, Default)]
+struct RefGraph {
+    cascade_window: SimDuration,
+    edges: Vec<(u16, u16)>,
+    authorized_at: BTreeMap<u16, SimTime>,
+}
+
+impl RefGraph {
+    /// §7 cascade: an edge `trigger → target` covers `target` while the
+    /// trigger was authorized within the window, or is itself covered.
+    /// Plain recursion over the edge list; callers keep the graph
+    /// acyclic (the real `InteractionGraph::add_edge` enforces it).
+    fn cascade_covers(&self, target: u16, now: SimTime) -> bool {
+        self.edges
+            .iter()
+            .filter(|&&(_, t)| t == target)
+            .any(|&(trigger, _)| {
+                let fresh = self
+                    .authorized_at
+                    .get(&trigger)
+                    .is_some_and(|&t| now.since(t) <= self.cascade_window && now >= t);
+                fresh || self.cascade_covers(trigger, now)
+            })
+    }
+}
+
+impl ReferenceProxy {
+    /// Reference proxy with the same configuration the real proxy runs.
+    pub fn new(config: ProxyConfig) -> Self {
+        ReferenceProxy {
+            config,
+            dns: DnsTable::new(),
+            started_at: None,
+            bootstrap_buffer: Vec::new(),
+            rules: None,
+            devices: BTreeMap::new(),
+            unknown_seen: Vec::new(),
+            human_valid_until: SimTime::ZERO,
+            interactions: None,
+            stats: ProxyStats::default(),
+            audit: Vec::new(),
+        }
+    }
+
+    /// Register a device, mirroring `FiatProxy::register_device`'s
+    /// first-N clamp: `min(N, classify_at_cap).max(1)`.
+    pub fn register_device(
+        &mut self,
+        device: u16,
+        classifier: EventClassifier,
+        min_packets_to_complete: usize,
+    ) {
+        let classify_at = min_packets_to_complete
+            .min(self.config.classify_at_cap)
+            .max(1);
+        self.devices.insert(
+            device,
+            RefDevice {
+                classifier,
+                classify_at,
+                open: None,
+                drops: Vec::new(),
+                locked: false,
+            },
+        );
+    }
+
+    /// Provide the capture's DNS knowledge.
+    pub fn set_dns(&mut self, dns: DnsTable) {
+        self.dns = dns;
+    }
+
+    /// Begin operation; bootstrap runs until `now + config.bootstrap`.
+    pub fn start(&mut self, now: SimTime) {
+        self.started_at = Some(now);
+    }
+
+    /// Install an interaction DAG with the given cascade window.
+    pub fn set_interactions(&mut self, cascade_window: SimDuration, edges: &[(u16, u16)]) {
+        self.interactions = Some(RefGraph {
+            cascade_window,
+            edges: edges.to_vec(),
+            authorized_at: BTreeMap::new(),
+        });
+    }
+
+    /// A successful humanness proof at `now` refreshes the validity
+    /// window (the transport/crypto half of `on_auth_zero_rtt` is out of
+    /// the oracle's scope; the fuzzer drives the real side with genuine
+    /// evidence and a perfect validator so both sides land here).
+    pub fn verify_human(&mut self, now: SimTime) {
+        self.human_valid_until = now + self.config.human_valid_window;
+    }
+
+    /// §5.4 manual verification: unlock, forget the episode history, and
+    /// discard the open (fate `DropRest`) event.
+    pub fn clear_lockout(&mut self, device: u16) {
+        if let Some(d) = self.devices.get_mut(&device) {
+            d.locked = false;
+            d.drops.clear();
+            d.open = None;
+        }
+    }
+
+    /// Decision counters so far.
+    pub fn stats(&self) -> ProxyStats {
+        self.stats
+    }
+
+    /// The audit trail, in append order (no hash chain — the fuzzer
+    /// checks the real proxy's chain separately).
+    pub fn audit_entries(&self) -> &[AuditEntry] {
+        &self.audit
+    }
+
+    /// Whether a device is locked out.
+    pub fn is_locked(&self, device: u16) -> bool {
+        self.devices.get(&device).is_some_and(|d| d.locked)
+    }
+
+    /// Decide one packet and count the verdict.
+    pub fn on_packet(&mut self, pkt: &PacketRecord) -> ProxyDecision {
+        let d = self.decide(pkt);
+        match d {
+            ProxyDecision::Allow(AllowReason::Bootstrap) => self.stats.bootstrap += 1,
+            ProxyDecision::Allow(AllowReason::RuleHit) => self.stats.rule_hit += 1,
+            ProxyDecision::Allow(AllowReason::FirstN) => self.stats.first_n += 1,
+            ProxyDecision::Allow(AllowReason::NonManual) => self.stats.non_manual += 1,
+            ProxyDecision::Allow(AllowReason::ManualVerified) => self.stats.manual_verified += 1,
+            ProxyDecision::Allow(AllowReason::Cascade) => self.stats.cascade += 1,
+            ProxyDecision::Allow(AllowReason::UnknownDevice) => self.stats.unknown_device += 1,
+            ProxyDecision::Drop(DropReason::ManualUnverified) => self.stats.dropped_unverified += 1,
+            ProxyDecision::Drop(DropReason::LockedOut) => self.stats.dropped_lockout += 1,
+        }
+        d
+    }
+
+    /// Figure 4, step by step, in the documented order: lockout check,
+    /// bootstrap, lazy rule learning, rule match, unknown-device
+    /// fail-open, stale-event closure (with retrospective verdict),
+    /// first-N allowance, classification, humanness/cascade gating,
+    /// lockout accounting.
+    fn decide(&mut self, pkt: &PacketRecord) -> ProxyDecision {
+        let now = pkt.ts;
+        let started = self.started_at.expect("reference proxy not started");
+
+        if self.devices.get(&pkt.device).is_some_and(|d| d.locked) {
+            return ProxyDecision::Drop(DropReason::LockedOut);
+        }
+
+        if now - started < self.config.bootstrap {
+            self.bootstrap_buffer.push(pkt.clone());
+            return ProxyDecision::Allow(AllowReason::Bootstrap);
+        }
+        if self.rules.is_none() {
+            let rules = self.learn_rules();
+            self.rules = Some(rules);
+        }
+
+        let key = (
+            pkt.device,
+            FlowKey::of(self.config.flow_def, pkt, &self.dns),
+        );
+        if self.rules.as_ref().expect("rules learned").contains(&key) {
+            return ProxyDecision::Allow(AllowReason::RuleHit);
+        }
+
+        // Captured before the device borrow, exactly like the real
+        // proxy: the window is global state, not per-device.
+        let human_fresh = now <= self.human_valid_until;
+        let gap = self.config.event_gap;
+
+        if !self.devices.contains_key(&pkt.device) {
+            // Fail open for unenrolled devices, audited once per device.
+            if !self.unknown_seen.contains(&pkt.device) {
+                self.unknown_seen.push(pkt.device);
+                self.audit.push(AuditEntry {
+                    ts: now,
+                    device: pkt.device,
+                    class: EventClass::Control,
+                    verdict: AuditVerdict::AllowedUnknownDevice,
+                });
+            }
+            return ProxyDecision::Allow(AllowReason::UnknownDevice);
+        }
+
+        // Close a stale event; sub-first-N closures get a retrospective
+        // verdict, and if that verdict locked the device this packet is
+        // dropped without opening a fresh event.
+        let retro = self.config.retro_classify;
+        let human_valid_until = self.human_valid_until;
+        let stale = {
+            let dev = self.devices.get_mut(&pkt.device).expect("checked above");
+            if dev.open.as_ref().is_some_and(|e| now - e.last >= gap) {
+                dev.open.take()
+            } else {
+                None
+            }
+        };
+        if let Some(ev) = stale {
+            if ev.fate.is_none() && retro {
+                self.retro_close(pkt.device, ev, human_valid_until);
+                if self.devices[&pkt.device].locked {
+                    return ProxyDecision::Drop(DropReason::LockedOut);
+                }
+            }
+        }
+
+        let dev = self.devices.get_mut(&pkt.device).expect("checked above");
+        let open = dev.open.get_or_insert_with(|| RefEvent {
+            packets: Vec::new(),
+            last: now,
+            fate: None,
+        });
+        open.packets.push(pkt.clone());
+        open.last = open.last.max(now);
+
+        if let Some(fate) = open.fate {
+            return match fate {
+                Fate::AllowRest(reason) => ProxyDecision::Allow(reason),
+                Fate::DropRest => ProxyDecision::Drop(DropReason::ManualUnverified),
+            };
+        }
+
+        if open.packets.len() < dev.classify_at {
+            return ProxyDecision::Allow(AllowReason::FirstN);
+        }
+
+        // Classification point: the event so far, first packets as
+        // features.
+        let ev = UnpredictableEvent {
+            device: pkt.device,
+            packets: (0..open.packets.len()).collect(),
+            start: open.packets[0].ts,
+            end: open.last,
+        };
+        let class = dev.classifier.classify_event(&ev, &open.packets);
+        if !class.is_manual() {
+            open.fate = Some(Fate::AllowRest(AllowReason::NonManual));
+            self.audit.push(AuditEntry {
+                ts: now,
+                device: pkt.device,
+                class,
+                verdict: AuditVerdict::AllowedNonManual,
+            });
+            return ProxyDecision::Allow(AllowReason::NonManual);
+        }
+
+        if human_fresh {
+            open.fate = Some(Fate::AllowRest(AllowReason::ManualVerified));
+            if let Some(g) = &mut self.interactions {
+                g.authorized_at.insert(pkt.device, now);
+            }
+            self.audit.push(AuditEntry {
+                ts: now,
+                device: pkt.device,
+                class,
+                verdict: AuditVerdict::AllowedManualVerified,
+            });
+            return ProxyDecision::Allow(AllowReason::ManualVerified);
+        }
+
+        if self
+            .interactions
+            .as_ref()
+            .is_some_and(|g| g.cascade_covers(pkt.device, now))
+        {
+            open.fate = Some(Fate::AllowRest(AllowReason::Cascade));
+            if let Some(g) = &mut self.interactions {
+                g.authorized_at.insert(pkt.device, now);
+            }
+            self.audit.push(AuditEntry {
+                ts: now,
+                device: pkt.device,
+                class,
+                verdict: AuditVerdict::AllowedCascade,
+            });
+            return ProxyDecision::Allow(AllowReason::Cascade);
+        }
+
+        open.fate = Some(Fate::DropRest);
+        let locked = record_unverified_drop(&mut dev.drops, now, &self.config);
+        if locked {
+            dev.locked = true;
+        }
+        self.audit.push(AuditEntry {
+            ts: now,
+            device: pkt.device,
+            class,
+            verdict: if locked {
+                AuditVerdict::LockedOut
+            } else {
+                AuditVerdict::DroppedUnverified
+            },
+        });
+        ProxyDecision::Drop(DropReason::ManualUnverified)
+    }
+
+    /// Close every open event whose gap expired by `now`, in ascending
+    /// device order (matching the real proxy's sorted flush).
+    pub fn flush(&mut self, now: SimTime) {
+        let gap = self.config.event_gap;
+        let retro = self.config.retro_classify;
+        let human_valid_until = self.human_valid_until;
+        let ids: Vec<u16> = self.devices.keys().copied().collect();
+        for id in ids {
+            let dev = self.devices.get_mut(&id).expect("id from keys()");
+            let stale = if dev.open.as_ref().is_some_and(|e| now - e.last >= gap) {
+                dev.open.take()
+            } else {
+                None
+            };
+            if let Some(ev) = stale {
+                if ev.fate.is_none() && retro {
+                    self.retro_close(id, ev, human_valid_until);
+                }
+            }
+        }
+    }
+
+    /// Retrospective verdict for an event that closed before reaching
+    /// its classification point: audited at the event's end time, and an
+    /// unverified manual outcome counts toward the lockout (the packets
+    /// already left, so nothing is dropped). Verified/cascade outcomes
+    /// do not refresh the interaction graph — the event is over.
+    fn retro_close(&mut self, device: u16, event: RefEvent, human_valid_until: SimTime) {
+        let end = event.last;
+        let ev = UnpredictableEvent {
+            device,
+            packets: (0..event.packets.len()).collect(),
+            start: event.packets[0].ts,
+            end,
+        };
+        let dev = self.devices.get_mut(&device).expect("caller checked");
+        let class = dev.classifier.classify_event(&ev, &event.packets);
+        if !class.is_manual() {
+            self.audit.push(AuditEntry {
+                ts: end,
+                device,
+                class,
+                verdict: AuditVerdict::AllowedNonManual,
+            });
+            return;
+        }
+        let vouched = end <= human_valid_until
+            || self
+                .interactions
+                .as_ref()
+                .is_some_and(|g| g.cascade_covers(device, end));
+        if vouched {
+            self.audit.push(AuditEntry {
+                ts: end,
+                device,
+                class,
+                verdict: AuditVerdict::AllowedManualVerified,
+            });
+            return;
+        }
+        self.stats.retro_unverified += 1;
+        let locked = record_unverified_drop(&mut dev.drops, end, &self.config);
+        if locked && !dev.locked {
+            dev.locked = true;
+        }
+        self.audit.push(AuditEntry {
+            ts: end,
+            device,
+            class,
+            verdict: if locked {
+                AuditVerdict::LockedOut
+            } else {
+                AuditVerdict::DroppedUnverified
+            },
+        });
+    }
+
+    /// §2.1 rule learning, rewritten naively: bucket the bootstrap
+    /// capture by `(device, FlowKey)` in arrival order, bin consecutive
+    /// inter-arrivals by the tolerance (the first interval seen in a bin
+    /// is its representative), and keep buckets where some bin repeats
+    /// (≥ 2 pairs) with a representative of at least
+    /// [`MIN_RULE_INTERVAL`]. Out-of-order arrivals saturate to a zero
+    /// interval, which can never found a rule.
+    fn learn_rules(&self) -> Vec<(u16, FlowKey)> {
+        let mut buckets: Vec<((u16, FlowKey), Vec<SimTime>)> = Vec::new();
+        for p in &self.bootstrap_buffer {
+            let key = (p.device, FlowKey::of(self.config.flow_def, p, &self.dns));
+            match buckets.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, times)) => times.push(p.ts),
+                None => buckets.push((key, vec![p.ts])),
+            }
+        }
+        let tol = self.config.tolerance.as_micros().max(1);
+        let mut rules = Vec::new();
+        for (key, times) in buckets {
+            // (bin, representative interval, pair count)
+            let mut bins: Vec<(u64, SimDuration, u32)> = Vec::new();
+            for w in times.windows(2) {
+                let iv = w[1] - w[0];
+                let b = iv.as_micros() / tol;
+                match bins.iter_mut().find(|(bin, _, _)| *bin == b) {
+                    Some((_, _, n)) => *n += 1,
+                    None => bins.push((b, iv, 1)),
+                }
+            }
+            if bins
+                .iter()
+                .any(|&(_, iv, n)| n >= 2 && iv >= MIN_RULE_INTERVAL)
+            {
+                rules.push(key);
+            }
+        }
+        rules
+    }
+}
+
+/// Sliding lockout window over a monotone-clamped episode list: clamp
+/// `at` to the newest recorded episode, record it, forget episodes older
+/// than the window, and report whether the count now exceeds the
+/// tolerance.
+fn record_unverified_drop(drops: &mut Vec<SimTime>, at: SimTime, config: &ProxyConfig) -> bool {
+    let at = drops.last().map_or(at, |&newest| newest.max(at));
+    drops.push(at);
+    drops.retain(|&t| at - t <= config.lockout_window);
+    drops.len() as u32 > config.lockout_threshold
+}

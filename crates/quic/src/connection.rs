@@ -32,6 +32,10 @@ pub enum QuicError {
     BadState,
     /// Packet number not strictly greater than the last accepted one.
     StalePacketNumber,
+    /// The session ticket was evicted from the anti-replay store; its
+    /// nonce history is gone, so early data under it is refused and the
+    /// client must redo a 1-RTT handshake.
+    StaleTicket,
 }
 
 impl std::fmt::Display for QuicError {
@@ -42,6 +46,7 @@ impl std::fmt::Display for QuicError {
             QuicError::Replayed => write!(f, "0-RTT replay detected"),
             QuicError::BadState => write!(f, "handshake message in wrong state"),
             QuicError::StalePacketNumber => write!(f, "stale packet number"),
+            QuicError::StaleTicket => write!(f, "session ticket evicted (stale)"),
         }
     }
 }
@@ -312,6 +317,13 @@ impl Server {
         self.telemetry = telemetry;
     }
 
+    /// Bound the anti-replay store to `max_tickets` tickets. Replaces the
+    /// store, so call before any 0-RTT traffic — nonces already recorded
+    /// are forgotten.
+    pub fn set_replay_capacity(&mut self, max_tickets: usize) {
+        self.replay = ReplayStore::with_capacity(max_tickets);
+    }
+
     /// The server's counters.
     pub fn telemetry(&self) -> &ServerTelemetry {
         &self.telemetry
@@ -390,6 +402,12 @@ impl Server {
     fn accept_zero_rtt_inner(&mut self, pkt: &ZeroRttPacket) -> Result<Vec<u8>, QuicError> {
         if pkt.ticket.id == 0 || pkt.ticket.id >= self.next_ticket_id {
             return Err(QuicError::UnknownTicket);
+        }
+        // An evicted ticket's nonce history is gone: `check_and_insert`
+        // would accept a verbatim replay as fresh. Refuse the ticket
+        // wholesale and force a new handshake.
+        if self.replay.is_stale(pkt.ticket.id) {
+            return Err(QuicError::StaleTicket);
         }
         if !self.replay.check_and_insert(pkt.ticket.id, pkt.nonce) {
             return Err(QuicError::Replayed);
@@ -543,6 +561,43 @@ mod tests {
         let text = registry.render_prometheus();
         assert!(text.contains("fiat_quic_handshakes_total 1"));
         assert!(text.contains("fiat_quic_zero_rtt_total{result=\"replayed\"} 1"));
+    }
+
+    #[test]
+    fn replay_after_eviction_is_rejected() {
+        // End-to-end eviction contract: at capacity 1, accepting early
+        // data under ticket 2 evicts ticket 1's nonce set. A replayed
+        // ticket-1 packet must NOT look fresh — pre-fix it passed
+        // `check_and_insert` and decrypted fine, silently reopening the
+        // §5.3 replay window.
+        let mut s = Server::new(PSK);
+        s.set_replay_capacity(1);
+        let mut c1 = Client::new(PSK);
+        handshake(&mut c1, &mut s); // ticket 1
+        let mut c2 = Client::new(PSK);
+        handshake(&mut c2, &mut s); // ticket 2
+
+        let z1 = c1.seal_zero_rtt(b"first").unwrap();
+        assert!(s.accept_zero_rtt(&z1).is_ok());
+        let z2 = c2.seal_zero_rtt(b"second").unwrap();
+        assert!(s.accept_zero_rtt(&z2).is_ok()); // evicts ticket 1
+
+        // The replayed packet is refused — and so is *fresh* early data
+        // under the evicted ticket: without its nonce history the server
+        // cannot tell the two apart, so the whole ticket is dead.
+        assert_eq!(s.accept_zero_rtt(&z1), Err(QuicError::StaleTicket));
+        let z1b = c1.seal_zero_rtt(b"fresh but stale ticket").unwrap();
+        assert_eq!(s.accept_zero_rtt(&z1b), Err(QuicError::StaleTicket));
+
+        // The still-tracked ticket keeps working, with replay protection.
+        let z2b = c2.seal_zero_rtt(b"more").unwrap();
+        assert!(s.accept_zero_rtt(&z2b).is_ok());
+        assert_eq!(s.accept_zero_rtt(&z2b), Err(QuicError::Replayed));
+
+        // Recovery path: a fresh handshake issues a post-watermark ticket.
+        handshake(&mut c1, &mut s); // ticket 3
+        let z3 = c1.seal_zero_rtt(b"back").unwrap();
+        assert_eq!(s.accept_zero_rtt(&z3).unwrap(), b"back");
     }
 
     #[test]

@@ -14,6 +14,12 @@ use std::collections::{BTreeMap, HashSet};
 pub struct ReplayStore {
     seen: BTreeMap<u64, HashSet<u64>>,
     max_tickets: Option<usize>,
+    /// Highest ticket id ever evicted. Tickets at or below this watermark
+    /// have lost their nonce sets, so their early data can no longer be
+    /// replay-checked and must be rejected wholesale via [`is_stale`].
+    ///
+    /// [`is_stale`]: ReplayStore::is_stale
+    evicted_watermark: Option<u64>,
 }
 
 impl ReplayStore {
@@ -23,12 +29,16 @@ impl ReplayStore {
     }
 
     /// Store that retains at most `max_tickets` tickets, evicting oldest
-    /// ticket ids first. Early data for evicted tickets is rejected
-    /// outright by the caller re-checking ticket freshness.
+    /// ticket ids first. Eviction discards a ticket's whole nonce set, so
+    /// the caller MUST consult [`is_stale`](ReplayStore::is_stale) before
+    /// `check_and_insert` and reject early data for evicted tickets
+    /// outright — otherwise a replayed packet for an evicted ticket would
+    /// look fresh.
     pub fn with_capacity(max_tickets: usize) -> Self {
         ReplayStore {
             seen: BTreeMap::new(),
             max_tickets: Some(max_tickets.max(1)),
+            evicted_watermark: None,
         }
     }
 
@@ -50,6 +60,8 @@ impl ReplayStore {
                     .find(|&&t| t != ticket)
                     .expect("len > cap >= 1 implies another ticket exists");
                 self.seen.remove(&oldest);
+                self.evicted_watermark =
+                    Some(self.evicted_watermark.map_or(oldest, |w| w.max(oldest)));
             }
         }
         true
@@ -63,6 +75,14 @@ impl ReplayStore {
     /// Number of tickets tracked.
     pub fn tickets(&self) -> usize {
         self.seen.len()
+    }
+
+    /// Whether a ticket id falls at or below the eviction watermark:
+    /// its nonce history is gone (or would sort below ids already
+    /// discarded), so early data under it cannot be replay-checked.
+    /// Tickets still tracked are never stale, whatever their id.
+    pub fn is_stale(&self, ticket: u64) -> bool {
+        !self.seen.contains_key(&ticket) && self.evicted_watermark.is_some_and(|w| ticket <= w)
     }
 }
 
@@ -124,6 +144,33 @@ mod tests {
         assert_eq!(r.tickets(), 2);
         assert!(r.contains(5, 1));
         assert!(r.contains(6, 1));
+    }
+
+    #[test]
+    fn eviction_marks_ticket_stale() {
+        let mut r = ReplayStore::with_capacity(2);
+        r.check_and_insert(1, 1);
+        r.check_and_insert(2, 1);
+        assert!(!r.is_stale(1), "tracked tickets are not stale");
+        r.check_and_insert(3, 1); // evicts ticket 1
+        assert!(r.is_stale(1));
+        assert!(!r.is_stale(2));
+        assert!(!r.is_stale(3));
+        // An id below the watermark that was never tracked is stale too:
+        // it sorts below ids already discarded.
+        assert!(r.is_stale(0));
+        // Untracked ids above the watermark are merely unknown, not stale.
+        assert!(!r.is_stale(9));
+    }
+
+    #[test]
+    fn unbounded_store_never_goes_stale() {
+        let mut r = ReplayStore::new();
+        for t in 0..100 {
+            r.check_and_insert(t, 0);
+        }
+        assert!(!r.is_stale(0));
+        assert!(!r.is_stale(999));
     }
 
     #[test]

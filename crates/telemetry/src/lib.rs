@@ -16,6 +16,8 @@
 //!   serialization dependency.
 //! - [`AttackMetrics`] — outcome counters and a time-to-block histogram
 //!   for the `fiat-attack` red-team harness.
+//! - [`OracleMetrics`] — replay volume and divergence counters for the
+//!   `fiat-oracle` differential decision oracle.
 //!
 //! ```
 //! use fiat_telemetry::{ManualClock, MetricRegistry, Span};
@@ -38,6 +40,7 @@ pub mod clock;
 pub mod expose;
 pub mod journal;
 pub mod metrics;
+pub mod oracle;
 pub mod span;
 
 pub use attack::AttackMetrics;
@@ -45,4 +48,5 @@ pub use clock::{Clock, ManualClock, WallClock};
 pub use expose::{CounterSample, GaugeSample, HistogramSample, Snapshot};
 pub use journal::Journal;
 pub use metrics::{Counter, Gauge, Histogram, MetricRegistry, NUM_BUCKETS};
+pub use oracle::OracleMetrics;
 pub use span::Span;

@@ -1,0 +1,92 @@
+//! Metrics for the differential decision oracle (`fiat-oracle`).
+//!
+//! The oracle drives a naive reference pipeline and the real proxy over
+//! the same chaos-mutated traffic and compares every decision; this
+//! module gives those runs a metric family so a diverging build is
+//! visible on the same dashboards as the decision-path counters:
+//!
+//! - `fiat_oracle_packets_total` — packets replayed through both sides.
+//! - `fiat_oracle_scenarios_total` — complete fuzz scenarios executed.
+//! - `fiat_oracle_divergences_total{kind=}` — disagreements found,
+//!   labelled by what diverged (`decision` / `stats` / `audit`). Any
+//!   nonzero value here is a release blocker unless the divergence is
+//!   ledgered in DESIGN.md.
+
+use crate::metrics::{Counter, MetricRegistry};
+
+/// Metric name for packets replayed through both implementations.
+pub const ORACLE_PACKETS_TOTAL: &str = "fiat_oracle_packets_total";
+/// Metric name for completed fuzz scenarios.
+pub const ORACLE_SCENARIOS_TOTAL: &str = "fiat_oracle_scenarios_total";
+/// Metric name for divergence counters, labelled by kind.
+pub const ORACLE_DIVERGENCES_TOTAL: &str = "fiat_oracle_divergences_total";
+
+/// Handle bundle for recording oracle runs into a registry.
+#[derive(Debug, Clone)]
+pub struct OracleMetrics {
+    registry: MetricRegistry,
+    packets: Counter,
+    scenarios: Counter,
+}
+
+impl OracleMetrics {
+    /// Register descriptions and resolve the unlabelled counters.
+    pub fn new(registry: &MetricRegistry) -> Self {
+        registry.describe(
+            ORACLE_PACKETS_TOTAL,
+            "Packets replayed through both the reference and real proxy.",
+        );
+        registry.describe(
+            ORACLE_SCENARIOS_TOTAL,
+            "Differential fuzz scenarios executed.",
+        );
+        registry.describe(
+            ORACLE_DIVERGENCES_TOTAL,
+            "Reference/real disagreements found, by kind.",
+        );
+        Self {
+            registry: registry.clone(),
+            packets: registry.counter(ORACLE_PACKETS_TOTAL, &[]),
+            scenarios: registry.counter(ORACLE_SCENARIOS_TOTAL, &[]),
+        }
+    }
+
+    /// Counter for one divergence kind; labels resolve on demand so the
+    /// oracle can grow comparison dimensions without touching this
+    /// crate.
+    pub fn divergences(&self, kind: &str) -> Counter {
+        self.registry
+            .counter(ORACLE_DIVERGENCES_TOTAL, &[("kind", kind)])
+    }
+
+    /// Record one completed differential run.
+    pub fn record_run(&self, packets: u64, scenarios: u64) {
+        self.packets.add(packets);
+        self.scenarios.add(scenarios);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_runs_and_divergences() {
+        let registry = MetricRegistry::new();
+        let m = OracleMetrics::new(&registry);
+        m.record_run(12_000, 3);
+        m.record_run(800, 1);
+        m.divergences("decision").inc();
+        m.divergences("audit").inc();
+        m.divergences("decision").inc();
+
+        assert_eq!(registry.counter(ORACLE_PACKETS_TOTAL, &[]).get(), 12_800);
+        assert_eq!(registry.counter(ORACLE_SCENARIOS_TOTAL, &[]).get(), 4);
+        assert_eq!(m.divergences("decision").get(), 2);
+        assert_eq!(m.divergences("stats").get(), 0);
+
+        let text = registry.render_prometheus();
+        assert!(text.contains("fiat_oracle_packets_total 12800"));
+        assert!(text.contains("fiat_oracle_divergences_total{kind=\"decision\"} 2"));
+    }
+}

@@ -28,6 +28,9 @@
 //!   with deterministic fleet-wide telemetry merging.
 //! - [`attack`] (`fiat-attack`) — the adversarial red-team harness:
 //!   seeded attacker strategies scored against a live proxy.
+//! - [`oracle`] (`fiat-oracle`) — the differential decision oracle: a
+//!   naive reference pipeline plus a seeded timestamp-chaos fuzzer that
+//!   checks the real proxy against it op by op.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +54,7 @@ pub use fiat_crypto as crypto;
 pub use fiat_fleet as fleet;
 pub use fiat_ml as ml;
 pub use fiat_net as net;
+pub use fiat_oracle as oracle;
 pub use fiat_quic as quic;
 pub use fiat_sensors as sensors;
 pub use fiat_simnet as simnet;

@@ -1,0 +1,44 @@
+//! Workspace-level smoke of the differential decision oracle: the naive
+//! reference in `fiat-oracle` and the real `FiatProxy` must agree on
+//! chaos-mutated testbed traffic, and the oracle must actually be able
+//! to tell them apart when they differ.
+
+use fiat::core::ProxyConfig;
+use fiat::net::SimDuration;
+use fiat::oracle::{build_scenario, run_differential, run_scenario_with_real_config};
+
+#[test]
+fn differential_oracle_agrees_across_seeds() {
+    for seed in [42u64, 7, 1234] {
+        let report = run_differential(seed, true, 800);
+        assert!(report.packets >= 800);
+        assert!(
+            report.passed(),
+            "seed {seed} diverged: {:?}",
+            report.divergences
+        );
+    }
+}
+
+#[test]
+fn oracle_is_sensitive_to_decision_path_drift() {
+    // The oracle is only worth its CI minutes if it actually trips when
+    // the real proxy's semantics move. Shrink the event gap and widen
+    // the humanness window: both must be flagged.
+    let (sc, _) = build_scenario(42, true);
+    for drifted in [
+        ProxyConfig {
+            event_gap: SimDuration::from_secs(2),
+            ..sc.config.clone()
+        },
+        ProxyConfig {
+            human_valid_window: SimDuration::from_secs(300),
+            ..sc.config.clone()
+        },
+    ] {
+        assert!(
+            run_scenario_with_real_config(&sc, &drifted).is_some(),
+            "oracle missed a config drift: {drifted:?}"
+        );
+    }
+}
