@@ -75,7 +75,7 @@ pub fn run_attack(
 ) -> AttackOutcome {
     let devices = testbed_devices();
     let dev = &devices[config.device as usize];
-    let proxy_config = ProxyConfig::default();
+    let proxy_config = strategy.config(ProxyConfig::default());
     let location = Location::Us;
 
     // --- Background: the device's periodic control flows for the whole

@@ -21,6 +21,7 @@
 //! | `lockout-probe`| unverified-manual drop + lockout      | blocked  |
 //! | `gap-evasion`  | retrospective classification          | blocked  |
 //! | `audit-tamper` | hash-chained audit log                | detected |
+//! | `quarantine-probe` | pending-verdict quarantine        | blocked  |
 //!
 //! \* `allowed` rows are *documented residual risks*, not bugs: an
 //! on-LAN attacker who can spoof the device's address can ride any
@@ -42,7 +43,7 @@ pub use harness::{run_attack, RunConfig};
 pub use scorecard::{AttackOutcome, AttackVerdict, Scorecard};
 pub use strategies::{
     standard_strategies, AttackAction, AttackStrategy, AuditTamper, BucketMimicry, GapEvasion,
-    LockoutProbe, Recon, ReplayAttack, RulePoisonFast, RulePoisonSlow,
+    LockoutProbe, QuarantineProbe, Recon, ReplayAttack, RulePoisonFast, RulePoisonSlow,
 };
 
 #[cfg(test)]
@@ -131,6 +132,30 @@ mod tests {
         );
         assert!(o.lockout_episodes >= 1, "fragment episodes must lock");
         assert!(!o.completed);
+    }
+
+    #[test]
+    fn quarantine_does_not_ease_gap_evasion() {
+        // The probe runs with the quarantine enabled (its config
+        // override): full bursts must be held — never delivered — and
+        // expire into lockout credit, while sub-classify fragments are
+        // still caught retrospectively. Any completion here means the
+        // degradation path opened a hole.
+        for device in [PLUG, CAMERA] {
+            let o = run(&QuarantineProbe, device);
+            assert_eq!(o.verdict, AttackVerdict::Blocked, "device {device}");
+            assert!(!o.completed, "device {device}");
+            assert!(o.dropped > 0, "held bursts must not deliver");
+            assert!(
+                o.lockout_episodes >= 1,
+                "expired quarantines must feed the lockout (device {device})"
+            );
+        }
+        // Same fragments, quarantine off: the baseline gap-evasion run
+        // must not be *harder* than the probe's fragment phase — i.e.
+        // the retro path is unchanged either way.
+        let base = run(&GapEvasion, CAMERA);
+        assert_eq!(base.verdict, AttackVerdict::Blocked);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! background traffic and drives the proxy; strategies never touch the
 //! proxy directly, so they cannot cheat.
 
+use fiat_core::ProxyConfig;
 use fiat_net::{
     Direction, PacketRecord, SimDuration, SimTime, TcpFlags, TlsVersion, TrafficClass, Transport,
 };
@@ -137,6 +138,14 @@ pub trait AttackStrategy {
     fn name(&self) -> &'static str;
     /// The defense layer this strategy probes (scorecard annotation).
     fn defense(&self) -> &'static str;
+    /// The proxy configuration the run should use. Defaults to the
+    /// production configuration untouched; strategies probing an opt-in
+    /// feature (e.g. the pending-verdict quarantine) override this to
+    /// switch it on — the harness builds the proxy from this, so the
+    /// scorecard covers the feature's attack surface too.
+    fn config(&self, base: ProxyConfig) -> ProxyConfig {
+        base
+    }
     /// Produce the full action plan for one run.
     fn plan(&self, recon: &Recon, rng: &mut StdRng) -> Vec<AttackAction>;
 }
@@ -355,6 +364,62 @@ impl AttackStrategy for AuditTamper {
     }
 }
 
+/// Quarantine probing: the run enables the pending-verdict quarantine
+/// (10 s proof deadline) and checks the degradation path opens no new
+/// hole. Full command bursts reach their classification point unproven,
+/// so they are *held* — never delivered — and expire into lockout
+/// credit; sub-classify-point fragments must still hit the retrospective
+/// path exactly as hard as without quarantine. Blocked, or the
+/// quarantine made gap evasion easier.
+pub struct QuarantineProbe;
+
+/// Proof deadline the quarantine probe runs under.
+const PROBE_PROOF_DEADLINE: SimDuration = SimDuration::from_secs(10);
+
+impl AttackStrategy for QuarantineProbe {
+    fn name(&self) -> &'static str {
+        "quarantine-probe"
+    }
+    fn defense(&self) -> &'static str {
+        "pending-verdict quarantine (hold, expiry, lockout credit)"
+    }
+    fn config(&self, base: ProxyConfig) -> ProxyConfig {
+        ProxyConfig {
+            proof_deadline: Some(PROBE_PROOF_DEADLINE),
+            ..base
+        }
+    }
+    fn plan(&self, recon: &Recon, rng: &mut StdRng) -> Vec<AttackAction> {
+        let mut actions = Vec::new();
+        // Phase A: gap-evasion fragments, same shape as [`GapEvasion`] —
+        // quarantine must not blunt the retrospective path.
+        let frag_len = recon.classify_at.saturating_sub(1).max(1);
+        let frag_spacing = recon.event_gap + SimDuration::from_secs(1);
+        for f in 0..4u64 {
+            let mut t = recon.attack_start + frag_spacing * f;
+            for _ in 0..frag_len {
+                actions.push(AttackAction::Inject(recon.command_packet(t)));
+                t += SimDuration::from_micros(rng.gen_range(40_000..60_000));
+            }
+        }
+        // Phase B: full command bursts that reach classification and are
+        // held, paced past the proof deadline so each new burst first
+        // expires the previous record (feeding the lockout window) and
+        // then re-quarantines.
+        let burst_len = recon.min_packets.max(recon.classify_at).max(1);
+        let mut t0 = recon.attack_start + frag_spacing * 5;
+        for _ in 0..3 {
+            let mut t = t0;
+            for _ in 0..burst_len {
+                actions.push(AttackAction::Inject(recon.command_packet(t)));
+                t += burst_iat(rng);
+            }
+            t0 = t0 + PROBE_PROOF_DEADLINE + SimDuration::from_secs(5);
+        }
+        actions
+    }
+}
+
 /// The standard red-team panel, in scorecard order.
 pub fn standard_strategies() -> Vec<Box<dyn AttackStrategy>> {
     vec![
@@ -365,6 +430,7 @@ pub fn standard_strategies() -> Vec<Box<dyn AttackStrategy>> {
         Box::new(LockoutProbe),
         Box::new(GapEvasion),
         Box::new(AuditTamper),
+        Box::new(QuarantineProbe),
     ]
 }
 

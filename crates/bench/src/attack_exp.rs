@@ -54,7 +54,13 @@ pub fn attack_scorecard(seed: u64, quick: bool, registry: Option<&MetricRegistry
 pub fn attack_text(seed: u64, quick: bool, registry: Option<&MetricRegistry>) -> String {
     let card = attack_scorecard(seed, quick, registry);
     let mut out = card.render(seed);
-    let must_block = ["replay", "poison-fast", "lockout-probe", "gap-evasion"];
+    let must_block = [
+        "replay",
+        "poison-fast",
+        "lockout-probe",
+        "gap-evasion",
+        "quarantine-probe",
+    ];
     let mut ok = true;
     for s in must_block {
         if !card.all_scored(s, AttackVerdict::Blocked) {
@@ -68,8 +74,8 @@ pub fn attack_text(seed: u64, quick: bool, registry: Option<&MetricRegistry>) ->
     }
     if ok {
         out.push_str(
-            "posture: PASS (replay, poison-fast, lockout-probe, gap-evasion blocked; \
-             audit-tamper detected)\n",
+            "posture: PASS (replay, poison-fast, lockout-probe, gap-evasion, \
+             quarantine-probe blocked; audit-tamper detected)\n",
         );
     }
     out
@@ -82,12 +88,13 @@ mod tests {
     #[test]
     fn quick_scorecard_holds_the_security_posture() {
         let card = attack_scorecard(42, true, None);
-        // 7 strategies x 2 devices.
-        assert_eq!(card.outcomes().len(), 14);
+        // 8 strategies x 2 devices.
+        assert_eq!(card.outcomes().len(), 16);
         assert!(card.all_scored("replay", AttackVerdict::Blocked));
         assert!(card.all_scored("poison-fast", AttackVerdict::Blocked));
         assert!(card.all_scored("lockout-probe", AttackVerdict::Blocked));
         assert!(card.all_scored("gap-evasion", AttackVerdict::Blocked));
+        assert!(card.all_scored("quarantine-probe", AttackVerdict::Blocked));
         assert!(card.all_scored("audit-tamper", AttackVerdict::Detected));
     }
 

@@ -14,6 +14,7 @@
 //! experiments fleet [--homes H] [--shards T]  # sharded multi-home throughput sweep
 //! experiments attack [--quick]    # adversarial red-team scorecard
 //! experiments oracle [--quick]    # differential decision oracle vs naive reference
+//! experiments chaos [--quick]     # chaos soak: fault injection vs graceful degradation
 //! ```
 //!
 //! Scale knobs: `--days N` (testbed capture length, default 8),
@@ -27,7 +28,7 @@
 
 use fiat_bench::ml_tables::ModelKind;
 use fiat_bench::{
-    attack_exp, fig1, fig2, fleet_exp, ml_tables, oracle_exp, table6, table7, tolerance,
+    attack_exp, chaos_exp, fig1, fig2, fleet_exp, ml_tables, oracle_exp, table6, table7, tolerance,
 };
 use fiat_core::ErrorModel;
 use fiat_telemetry::{MetricRegistry, Span, WallClock};
@@ -188,6 +189,7 @@ fn run_one(name: &str, args: &Args, registry: &MetricRegistry) -> Option<String>
         }
         "attack" => attack_exp::attack_text(seed, args.quick, Some(registry)),
         "oracle" => oracle_exp::oracle_text(seed, args.quick, Some(registry)),
+        "chaos" => chaos_exp::chaos_text(seed, args.quick, Some(registry)),
         "tolerance" => tolerance::tolerance_text(),
         "appendixa" => appendixa_text(),
         _ => return None,
@@ -195,7 +197,7 @@ fn run_one(name: &str, args: &Args, registry: &MetricRegistry) -> Option<String>
     Some(text)
 }
 
-const ALL: [&str; 16] = [
+const ALL: [&str; 17] = [
     "fig1a",
     "fig1b",
     "fig1c",
@@ -212,6 +214,7 @@ const ALL: [&str; 16] = [
     "appendixa",
     "attack",
     "oracle",
+    "chaos",
 ];
 
 fn main() {

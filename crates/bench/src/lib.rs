@@ -5,6 +5,7 @@
 //! time the hot paths behind each artifact.
 
 pub mod attack_exp;
+pub mod chaos_exp;
 pub mod corpus;
 pub mod fig1;
 pub mod fig2;

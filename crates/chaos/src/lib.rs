@@ -1,0 +1,39 @@
+//! # fiat-chaos — seeded fault injection and graceful degradation
+//!
+//! FIAT's decision path assumes the humanness proof *arrives*: the phone
+//! seals evidence, the proxy verifies it, and manual traffic flows. This
+//! crate breaks that assumption on purpose. A seeded [`FaultPlan`]
+//! drops, duplicates, reorders, delays, and corrupts frames on the
+//! phone → proxy channel, models phone-offline windows and
+//! sensor-unavailable intervals, and plugs into both the NFQUEUE-style
+//! intercept queue ([`fiat_simnet::InterceptQueue::enqueue_with`]) and
+//! the QUIC proof channel ([`ProofChannel`]). The zero-fault plan is
+//! byte-identical to no injection at all — chaos is strictly opt-in.
+//!
+//! Against that, the graceful-degradation story:
+//!
+//! - the client retries with capped exponential backoff + jitter,
+//!   re-signing every attempt and falling back to 1-RTT when 0-RTT is
+//!   rejected ([`ResilientClient`] over
+//!   [`fiat_core::FiatApp::authorize_with_retry`]);
+//! - the proxy holds unproven manual packets in a bounded
+//!   pending-verdict quarantine until a proof deadline instead of
+//!   dropping them outright (`ProxyConfig::proof_deadline`).
+//!
+//! The [`soak`] harness measures the composition on the paper's
+//! 10-device testbed: **false drops** — genuine manual events that lost
+//! packets despite an eventually-delivered proof — must be zero with
+//! retries at the default deadline, and disabling retries must show
+//! measurable degradation (otherwise the harness proves nothing).
+//! `experiments chaos` sweeps fault rates × latency profiles and writes
+//! the scorecard with a PASS/REGRESSION trailer.
+
+pub mod channel;
+pub mod fault;
+pub mod resilient;
+pub mod soak;
+
+pub use channel::{corrupt_attempt, ChannelVerdict, ProofChannel};
+pub use fault::{FaultKind, FaultPlan, FAULT_KINDS};
+pub use resilient::{ProofFrame, ProofPlan, ResilientClient};
+pub use soak::{run_soak, SoakConfig, SoakReport};

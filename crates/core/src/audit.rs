@@ -25,6 +25,13 @@ pub enum AuditVerdict {
     /// Traffic of an unregistered device allowed fail-open (incremental
     /// deployment). Recorded once per device, at first sighting.
     AllowedUnknownDevice,
+    /// A quarantined manual event released retroactively: its humanness
+    /// proof arrived (late but) before the proof deadline.
+    QuarantineReleased,
+    /// A quarantined manual event demoted at its proof deadline: no proof
+    /// arrived in time, so the held packets were discarded and the
+    /// episode counted toward the lockout.
+    QuarantineExpired,
 }
 
 /// One audit record.
@@ -59,6 +66,10 @@ impl AuditEntry {
             AuditVerdict::LockedOut => 3,
             AuditVerdict::AllowedCascade => 4,
             AuditVerdict::AllowedUnknownDevice => 5,
+            // Later additions take the next free code so the pinned
+            // golden vectors for 0..=5 stay valid.
+            AuditVerdict::QuarantineReleased => 6,
+            AuditVerdict::QuarantineExpired => 7,
         };
         let mut fnv: u32 = 0x811c_9dc5;
         for &b in &out[..12] {

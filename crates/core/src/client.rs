@@ -14,9 +14,10 @@
 //! paper's 21.8 ms (0-RTT) / 27.5 ms (1-RTT) LAN figures.
 
 use crate::pairing::{pair, Paired};
+use crate::pipeline::AuthError;
 use fiat_crypto::TeeKeystore;
 use fiat_net::SimDuration;
-use fiat_quic::{Client as QuicClient, ClientHello, ServerHello, ZeroRttPacket};
+use fiat_quic::{Client as QuicClient, ClientHello, Packet, QuicError, ServerHello, ZeroRttPacket};
 use fiat_sensors::{extract_features, ImuTrace, MotionKind};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -226,6 +227,162 @@ impl FiatApp {
     pub fn sample_latency(&mut self) -> LatencyBreakdown {
         LatencyBreakdown::sample(&mut self.rng)
     }
+
+    /// Drop the cached session ticket. Called when the proxy answers
+    /// `StaleTicket`/`UnknownTicket`: the ticket was evicted from the
+    /// anti-replay store, so 0-RTT is dead until a fresh handshake.
+    pub fn forget_ticket(&mut self) {
+        self.quic.forget_ticket();
+    }
+
+    /// Authorize with retries: re-sign and re-seal the evidence each
+    /// attempt (a byte-identical resend would be rejected as a replay),
+    /// back off with capped exponential delay + jitter on loss, and fall
+    /// back to 1-RTT when the proxy rejects 0-RTT. `deliver` models the
+    /// channel: it carries each attempt to the proxy and reports what
+    /// came back (or that nothing did).
+    pub fn authorize_with_retry(
+        &mut self,
+        app_package: &str,
+        imu: &ImuTrace,
+        truth: MotionKind,
+        ts_micros: u64,
+        policy: &RetryPolicy,
+        mut deliver: impl FnMut(AuthAttempt, u32) -> DeliveryResult,
+    ) -> RetryOutcome {
+        let mut outcome = RetryOutcome {
+            verified: false,
+            attempts: 0,
+            fell_back: false,
+            total_backoff: SimDuration::ZERO,
+        };
+        for attempt in 0..policy.max_attempts {
+            outcome.attempts = attempt + 1;
+            let use_zero_rtt = self.can_zero_rtt() && !outcome.fell_back;
+            let sealed = if use_zero_rtt {
+                self.authorize_zero_rtt(app_package, imu, truth, ts_micros)
+                    .map(AuthAttempt::ZeroRtt)
+            } else {
+                self.authorize_one_rtt(app_package, imu, truth, ts_micros)
+                    .map(AuthAttempt::OneRtt)
+            };
+            let Ok(att) = sealed else {
+                // No usable session at all (never handshaken): nothing a
+                // retry can fix from here.
+                return outcome;
+            };
+            match deliver(att, attempt) {
+                DeliveryResult::Verified(v) => {
+                    outcome.verified = v;
+                    return outcome;
+                }
+                DeliveryResult::Lost => {
+                    // The frame (or its ack) vanished; wait and resend.
+                    if attempt + 1 < policy.max_attempts {
+                        outcome.total_backoff += policy.delay(attempt, &mut self.rng);
+                    }
+                }
+                DeliveryResult::Rejected(e) => match e {
+                    // The ticket fell out of the proxy's replay store:
+                    // only a fresh handshake (and a proof re-signed
+                    // under the new ticket) restores 0-RTT; meanwhile
+                    // the established 1-RTT keys still work.
+                    AuthError::Transport(QuicError::StaleTicket | QuicError::UnknownTicket) => {
+                        self.forget_ticket();
+                        outcome.fell_back = true;
+                    }
+                    // Early data rejected (corrupted in flight, or the
+                    // replay filter ate a duplicate): same evidence,
+                    // re-signed, over 1-RTT.
+                    AuthError::Transport(_) if use_zero_rtt => {
+                        outcome.fell_back = true;
+                    }
+                    // 1-RTT rejection or an authentication failure is
+                    // terminal — retrying the same evidence cannot
+                    // change the verdict.
+                    _ => return outcome,
+                },
+            }
+        }
+        outcome
+    }
+}
+
+/// Capped exponential backoff with jitter for proof (re)delivery.
+///
+/// Defaults: 150 ms initial, 2 s cap, 6 attempts — worst-case cumulative
+/// backoff ≈ 5.3 s, comfortably inside a 10 s quarantine deadline, and
+/// six independent 5%-loss trials leave ~1.6e-8 residual failure mass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Delay after the first lost attempt.
+    pub initial: SimDuration,
+    /// Upper bound on any single delay (before jitter).
+    pub cap: SimDuration,
+    /// Total attempts (the first transmission counts as one).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            initial: SimDuration::from_millis(150),
+            cap: SimDuration::from_secs(2),
+            max_attempts: 6,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay before retry number `attempt + 1`: `min(initial · 2^attempt,
+    /// cap)` plus uniform jitter in `[0, base/4]` so a fleet of phones
+    /// that lost the same frame does not resend in lockstep.
+    pub fn delay(&self, attempt: u32, rng: &mut StdRng) -> SimDuration {
+        let base = self
+            .initial
+            .as_micros()
+            .saturating_mul(1u64 << attempt.min(32))
+            .min(self.cap.as_micros());
+        let jitter = if base == 0 {
+            0
+        } else {
+            rng.gen_range(0..=base / 4)
+        };
+        SimDuration::from_micros(base + jitter)
+    }
+}
+
+/// One sealed delivery attempt, 0-RTT or fallback 1-RTT.
+#[derive(Debug, Clone)]
+pub enum AuthAttempt {
+    /// Early data under a cached session ticket.
+    ZeroRtt(ZeroRttPacket),
+    /// Over the established 1-RTT connection.
+    OneRtt(Packet),
+}
+
+/// What the channel reported back for one delivery attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryResult {
+    /// The proxy processed the proof; the bool is its humanness verdict.
+    Verified(bool),
+    /// The frame (or its acknowledgement) never arrived.
+    Lost,
+    /// The proxy received but rejected the frame.
+    Rejected(AuthError),
+}
+
+/// Summary of an [`FiatApp::authorize_with_retry`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryOutcome {
+    /// Whether the proxy verified humanness.
+    pub verified: bool,
+    /// Attempts spent (including the successful one).
+    pub attempts: u32,
+    /// Whether the client abandoned 0-RTT for the 1-RTT fallback.
+    pub fell_back: bool,
+    /// Total backoff the policy imposed across lost attempts.
+    pub total_backoff: SimDuration,
 }
 
 #[cfg(test)]
@@ -320,5 +477,168 @@ mod tests {
         assert!(app
             .authorize_zero_rtt("app", &imu, MotionKind::HumanTouch, 0)
             .is_err());
+    }
+
+    // ---- retry / fallback resilience -----------------------------------
+
+    use crate::pipeline::{FiatProxy, ProxyConfig};
+    use fiat_net::SimTime;
+    use fiat_sensors::HumannessValidator;
+
+    const SECRET: [u8; 32] = [0x42; 32];
+
+    fn paired_app_and_proxy(seed: u64) -> (FiatApp, FiatProxy) {
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let mut proxy = FiatProxy::new(ProxyConfig::default(), &SECRET, validator);
+        let mut app = FiatApp::new(&SECRET, seed);
+        let ch = app.handshake_request();
+        let sh = proxy.accept_handshake(&ch);
+        app.complete_handshake(&sh).unwrap();
+        (app, proxy)
+    }
+
+    #[test]
+    fn retry_policy_delay_is_capped_exponential_with_bounded_jitter() {
+        let policy = RetryPolicy::default();
+        let mut rng = StdRng::seed_from_u64(0);
+        for attempt in 0..12u32 {
+            let base = (150_000u64 << attempt.min(32)).min(2_000_000);
+            for _ in 0..50 {
+                let d = policy.delay(attempt, &mut rng).as_micros();
+                assert!(d >= base, "attempt {attempt}: {d} < {base}");
+                assert!(d <= base + base / 4, "attempt {attempt}: {d} too jittery");
+            }
+        }
+        // Same seed, same delays: the backoff schedule is deterministic.
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for attempt in 0..6 {
+            assert_eq!(policy.delay(attempt, &mut a), policy.delay(attempt, &mut b));
+        }
+    }
+
+    #[test]
+    fn retry_resends_fresh_frames_until_delivered() {
+        let (mut app, mut proxy) = paired_app_and_proxy(3);
+        let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 5);
+        let mut tries = 0u32;
+        let policy = RetryPolicy::default();
+        let outcome = app.authorize_with_retry(
+            "app",
+            &imu,
+            MotionKind::HumanTouch,
+            1_000,
+            &policy,
+            |att, _| {
+                tries += 1;
+                let AuthAttempt::ZeroRtt(z) = att else {
+                    panic!("ticket cached: all attempts should ride 0-RTT");
+                };
+                match tries {
+                    // Frame lost outright.
+                    1 => DeliveryResult::Lost,
+                    // Delivered, but the acknowledgement is lost — the
+                    // proxy has verified once already; the client must
+                    // NOT resend those bytes (replay) but a re-signed
+                    // fresh frame.
+                    2 => {
+                        proxy.on_auth_zero_rtt(&z, SimTime::from_secs(1)).unwrap();
+                        DeliveryResult::Lost
+                    }
+                    _ => match proxy.on_auth_zero_rtt(&z, SimTime::from_secs(2)) {
+                        Ok(v) => DeliveryResult::Verified(v),
+                        Err(e) => DeliveryResult::Rejected(e),
+                    },
+                }
+            },
+        );
+        assert!(outcome.verified);
+        assert_eq!(outcome.attempts, 3);
+        assert!(!outcome.fell_back);
+        // Two lost attempts: backoff covers at least 150 + 300 ms.
+        assert!(outcome.total_backoff >= SimDuration::from_millis(450));
+        assert!(outcome.total_backoff <= SimDuration::from_micros(562_500));
+    }
+
+    #[test]
+    fn stale_ticket_rejection_falls_back_to_one_rtt() {
+        let (mut app, mut proxy) = paired_app_and_proxy(4);
+        let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 6);
+        let policy = RetryPolicy::default();
+        let outcome = app.authorize_with_retry(
+            "app",
+            &imu,
+            MotionKind::HumanTouch,
+            2_000,
+            &policy,
+            |att, attempt| match (attempt, att) {
+                // The proxy evicted our ticket from its replay store.
+                (0, AuthAttempt::ZeroRtt(_)) => {
+                    DeliveryResult::Rejected(AuthError::Transport(QuicError::StaleTicket))
+                }
+                // The fallback must arrive re-signed over 1-RTT.
+                (_, AuthAttempt::OneRtt(p)) => {
+                    match proxy.on_auth_one_rtt(&p, SimTime::from_secs(3)) {
+                        Ok(v) => DeliveryResult::Verified(v),
+                        Err(e) => DeliveryResult::Rejected(e),
+                    }
+                }
+                (n, AuthAttempt::ZeroRtt(_)) => panic!("attempt {n} still used 0-RTT"),
+            },
+        );
+        assert!(outcome.verified);
+        assert_eq!(outcome.attempts, 2);
+        assert!(outcome.fell_back);
+        // The dead ticket is gone until the next handshake.
+        assert!(!app.can_zero_rtt());
+        assert_eq!(outcome.total_backoff, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn terminal_rejection_stops_retrying() {
+        let (mut app, _proxy) = paired_app_and_proxy(5);
+        let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 7);
+        let policy = RetryPolicy::default();
+        let mut tries = 0u32;
+        let outcome =
+            app.authorize_with_retry("app", &imu, MotionKind::HumanTouch, 0, &policy, |_, _| {
+                tries += 1;
+                DeliveryResult::Rejected(AuthError::BadSignature)
+            });
+        assert!(!outcome.verified);
+        assert_eq!(tries, 1);
+        assert_eq!(outcome.attempts, 1);
+    }
+
+    #[test]
+    fn retry_without_any_session_gives_up_without_delivering() {
+        let mut app = FiatApp::new(&SECRET, 6);
+        let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 8);
+        let policy = RetryPolicy::default();
+        let outcome =
+            app.authorize_with_retry("app", &imu, MotionKind::HumanTouch, 0, &policy, |_, _| {
+                panic!("nothing sealable: deliver must never run")
+            });
+        assert!(!outcome.verified);
+        assert_eq!(outcome.attempts, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_report_failure() {
+        let (mut app, _proxy) = paired_app_and_proxy(7);
+        let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 9);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let outcome =
+            app.authorize_with_retry("app", &imu, MotionKind::HumanTouch, 0, &policy, |_, _| {
+                DeliveryResult::Lost
+            });
+        assert!(!outcome.verified);
+        assert_eq!(outcome.attempts, 3);
+        // No backoff after the final attempt — only between attempts.
+        assert!(outcome.total_backoff >= SimDuration::from_millis(450));
+        assert!(outcome.total_backoff <= SimDuration::from_micros(562_500));
     }
 }

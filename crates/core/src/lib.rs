@@ -47,7 +47,9 @@ pub mod predict;
 
 pub use analysis::ErrorModel;
 pub use classifier::{EventClass, EventClassifier};
-pub use client::{AuthMessage, FiatApp, LatencyBreakdown};
+pub use client::{
+    AuthAttempt, AuthMessage, DeliveryResult, FiatApp, LatencyBreakdown, RetryOutcome, RetryPolicy,
+};
 pub use events::{group_events, UnpredictableEvent, EVENT_GAP};
 pub use features::{event_feature_names, event_features, EVENT_FEATURE_COUNT};
 pub use identify::{DeviceIdentifier, ModelRegistry};

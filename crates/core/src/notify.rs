@@ -109,8 +109,33 @@ impl NotificationCenter {
                     ),
                 });
             }
-            AuditVerdict::AllowedManualVerified | AuditVerdict::AllowedCascade => {
+            AuditVerdict::AllowedManualVerified
+            | AuditVerdict::AllowedCascade
+            | AuditVerdict::QuarantineReleased => {
                 *self.allowed_manual.entry(entry.device).or_default() += 1;
+            }
+            AuditVerdict::QuarantineExpired => {
+                // A held command timed out waiting for its proof: the
+                // user's action (or an attacker's) went undelivered —
+                // tell them, with the same cooldown as unverified drops.
+                let due = self
+                    .last_warn
+                    .get(&entry.device)
+                    .is_none_or(|&t| entry.ts.since(t) >= self.warn_cooldown);
+                if due {
+                    self.pending.push(Notification {
+                        at: entry.ts,
+                        device: entry.device,
+                        severity: Severity::Warning,
+                        message: format!(
+                            "Held command to device {} expired without a humanness proof",
+                            entry.device
+                        ),
+                    });
+                    self.last_warn.insert(entry.device, entry.ts);
+                } else {
+                    *self.suppressed.entry(entry.device).or_default() += 1;
+                }
             }
             AuditVerdict::AllowedUnknownDevice => {
                 // Audited once per device, so this cannot spam: surface

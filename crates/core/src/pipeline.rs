@@ -68,6 +68,18 @@ pub struct ProxyConfig {
     /// retrospectively (see the module docs). Disable to reproduce the
     /// inline-only verdict path.
     pub retro_classify: bool,
+    /// Pending-verdict quarantine: how long a manual-classified event
+    /// whose humanness proof has not arrived is *held* (not dropped)
+    /// awaiting the proof. `None` (the default) disables quarantine and
+    /// reproduces the immediate-demotion path bit for bit — a lost proof
+    /// then means a dropped event, the false-drop friction the chaos
+    /// harness measures.
+    pub proof_deadline: Option<SimDuration>,
+    /// Maximum packets held per quarantine record. Packets past the cap
+    /// are dropped as `ManualUnverified` (no audit entry, no lockout
+    /// credit — the episode is already pending a verdict) so a chatty
+    /// event cannot grow proxy memory without bound.
+    pub quarantine_capacity: usize,
 }
 
 impl Default for ProxyConfig {
@@ -82,6 +94,8 @@ impl Default for ProxyConfig {
             lockout_threshold: 3,
             lockout_window: SimDuration::from_secs(60),
             retro_classify: true,
+            proof_deadline: None,
+            quarantine_capacity: 64,
         }
     }
 }
@@ -103,11 +117,14 @@ pub enum AllowReason {
     Cascade,
     /// Unregistered device: fail open during incremental deployment.
     UnknownDevice,
+    /// Remainder of a quarantined manual event whose humanness proof
+    /// arrived (late) before the proof deadline.
+    QuarantineReleased,
 }
 
 impl AllowReason {
     /// All variants, in [`ProxyStats`] field order.
-    pub const ALL: [AllowReason; 7] = [
+    pub const ALL: [AllowReason; 8] = [
         AllowReason::Bootstrap,
         AllowReason::RuleHit,
         AllowReason::FirstN,
@@ -115,6 +132,7 @@ impl AllowReason {
         AllowReason::ManualVerified,
         AllowReason::Cascade,
         AllowReason::UnknownDevice,
+        AllowReason::QuarantineReleased,
     ];
 
     /// Stable snake_case name used as the telemetry `reason` label.
@@ -127,6 +145,7 @@ impl AllowReason {
             AllowReason::ManualVerified => "manual_verified",
             AllowReason::Cascade => "cascade",
             AllowReason::UnknownDevice => "unknown_device",
+            AllowReason::QuarantineReleased => "quarantine_released",
         }
     }
 }
@@ -138,17 +157,25 @@ pub enum DropReason {
     ManualUnverified,
     /// Device is locked out.
     LockedOut,
+    /// Remainder of a quarantined manual event whose proof deadline
+    /// passed without a humanness proof.
+    QuarantineExpired,
 }
 
 impl DropReason {
     /// All variants, in [`ProxyStats`] field order.
-    pub const ALL: [DropReason; 2] = [DropReason::ManualUnverified, DropReason::LockedOut];
+    pub const ALL: [DropReason; 3] = [
+        DropReason::ManualUnverified,
+        DropReason::LockedOut,
+        DropReason::QuarantineExpired,
+    ];
 
     /// Stable snake_case name used as the telemetry `reason` label.
     pub fn as_str(self) -> &'static str {
         match self {
             DropReason::ManualUnverified => "manual_unverified",
             DropReason::LockedOut => "locked_out",
+            DropReason::QuarantineExpired => "quarantine_expired",
         }
     }
 }
@@ -179,6 +206,19 @@ pub struct ProxyStats {
     /// first-N allowance; counts events, not packets, so it is not part
     /// of [`ProxyStats::total`]).
     pub retro_unverified: u64,
+    /// Packets held in pending-verdict quarantine at decision time
+    /// (each held packet is decided exactly once, as `Quarantine`).
+    pub quarantined: u64,
+    /// Live packets allowed because their event's quarantine was
+    /// released by a late-arriving proof.
+    pub quarantine_released: u64,
+    /// Live packets dropped because their event's quarantine expired.
+    pub dropped_quarantine: u64,
+    /// Held packets demoted when a quarantine expired. Those packets
+    /// were already decided (and counted) as `quarantined`, so this is a
+    /// secondary count like `retro_unverified` and not part of
+    /// [`ProxyStats::total`].
+    pub quarantine_expired: u64,
 }
 
 impl ProxyStats {
@@ -193,11 +233,14 @@ impl ProxyStats {
             + self.unknown_device
             + self.dropped_unverified
             + self.dropped_lockout
+            + self.quarantined
+            + self.quarantine_released
+            + self.dropped_quarantine
     }
 
     /// Total packets dropped.
     pub fn dropped(&self) -> u64 {
-        self.dropped_unverified + self.dropped_lockout
+        self.dropped_unverified + self.dropped_lockout + self.dropped_quarantine
     }
 
     /// Fraction of (post-bootstrap) traffic handled by rules alone — the
@@ -227,6 +270,10 @@ impl std::ops::AddAssign for ProxyStats {
         self.dropped_unverified += rhs.dropped_unverified;
         self.dropped_lockout += rhs.dropped_lockout;
         self.retro_unverified += rhs.retro_unverified;
+        self.quarantined += rhs.quarantined;
+        self.quarantine_released += rhs.quarantine_released;
+        self.dropped_quarantine += rhs.dropped_quarantine;
+        self.quarantine_expired += rhs.quarantine_expired;
     }
 }
 
@@ -247,12 +294,25 @@ pub enum ProxyDecision {
     Allow(AllowReason),
     /// Drop it.
     Drop(DropReason),
+    /// Hold the packet in pending-verdict quarantine: it is neither
+    /// forwarded nor discarded until the event's proof deadline resolves
+    /// it. Held packets surface through
+    /// [`FiatProxy::take_quarantine_releases`] when released.
+    Quarantine,
 }
 
 impl ProxyDecision {
-    /// Whether the packet is forwarded.
+    /// Whether the packet is forwarded *now*. Quarantined packets are
+    /// not — a held command must not reach the device before its
+    /// verdict, which is what keeps quarantine from weakening the
+    /// first-N completion bound.
     pub fn is_allow(self) -> bool {
         matches!(self, ProxyDecision::Allow(_))
+    }
+
+    /// Whether the packet was held pending a verdict.
+    pub fn is_quarantine(self) -> bool {
+        matches!(self, ProxyDecision::Quarantine)
     }
 }
 
@@ -286,6 +346,11 @@ pub struct ProxyTelemetry {
     stage_decide: Histogram,
     allow_total: [Counter; AllowReason::ALL.len()],
     drop_total: [Counter; DropReason::ALL.len()],
+    quarantine_total: Counter,
+    quarantine_held: Counter,
+    quarantine_released_ctr: Counter,
+    quarantine_expired_ctr: Counter,
+    quarantine_depth: Gauge,
     rules_gauge: Gauge,
     open_events_gauge: Gauge,
     locked_devices_gauge: Gauge,
@@ -331,6 +396,22 @@ impl ProxyTelemetry {
             "fiat_proxy_retro_unverified_total",
             "Unverified manual episodes detected retrospectively at event closure.",
         );
+        registry.describe(
+            "fiat_quarantine_held_total",
+            "Packets held in pending-verdict quarantine.",
+        );
+        registry.describe(
+            "fiat_quarantine_released_total",
+            "Held packets released by a late-arriving humanness proof.",
+        );
+        registry.describe(
+            "fiat_quarantine_expired_total",
+            "Held packets demoted at their proof deadline.",
+        );
+        registry.describe(
+            "fiat_quarantine_depth",
+            "Packets currently held in quarantine.",
+        );
         let stage = |s: &str| registry.histogram("fiat_proxy_stage_us", &[("stage", s)]);
         let allow_total = AllowReason::ALL.map(|r| {
             registry.counter(
@@ -354,6 +435,14 @@ impl ProxyTelemetry {
             stage_decide: stage("decide"),
             allow_total,
             drop_total,
+            quarantine_total: registry.counter(
+                "fiat_proxy_decisions_total",
+                &[("decision", "quarantine"), ("reason", "pending_proof")],
+            ),
+            quarantine_held: registry.counter("fiat_quarantine_held_total", &[]),
+            quarantine_released_ctr: registry.counter("fiat_quarantine_released_total", &[]),
+            quarantine_expired_ctr: registry.counter("fiat_quarantine_expired_total", &[]),
+            quarantine_depth: registry.gauge("fiat_quarantine_depth", &[]),
             rules_gauge: registry.gauge("fiat_proxy_rules", &[]),
             open_events_gauge: registry.gauge("fiat_proxy_open_events", &[]),
             locked_devices_gauge: registry.gauge("fiat_proxy_locked_devices", &[]),
@@ -393,6 +482,7 @@ impl ProxyTelemetry {
         match d {
             ProxyDecision::Allow(r) => self.allow_total[r as usize].get(),
             ProxyDecision::Drop(r) => self.drop_total[r as usize].get(),
+            ProxyDecision::Quarantine => self.quarantine_total.get(),
         }
     }
 
@@ -414,6 +504,7 @@ impl ProxyTelemetry {
         match decision {
             ProxyDecision::Allow(r) => self.allow_total[r as usize].inc(),
             ProxyDecision::Drop(r) => self.drop_total[r as usize].inc(),
+            ProxyDecision::Quarantine => self.quarantine_total.inc(),
         }
         self.journal.push(DecisionRecord {
             ts,
@@ -434,10 +525,13 @@ impl Default for ProxyTelemetry {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventFate {
     // Carries the original verdict's reason so every later packet of the
-    // event is attributed to it (NonManual / ManualVerified / Cascade),
-    // not lumped under a single label.
+    // event is attributed to it (NonManual / ManualVerified / Cascade /
+    // QuarantineReleased) or to the demotion that sealed it, not lumped
+    // under a single label.
     AllowRest(AllowReason),
-    DropRest,
+    DropRest(DropReason),
+    // Verdict pending: hold further packets with the quarantine record.
+    Quarantine,
 }
 
 struct OpenEvent {
@@ -446,12 +540,26 @@ struct OpenEvent {
     fate: Option<EventFate>,
 }
 
+/// A manual-classified event held pending its humanness proof. At most
+/// one per device: the proxy quarantines the first unproven manual
+/// event and demotes concurrent ones immediately, bounding held memory
+/// to `quarantine_capacity` packets per device. The record outlives its
+/// open event (the proof may arrive after the event-gap closes it) and
+/// resolves lazily — released when a proof lands before `deadline`,
+/// expired by the first operation that observes `now > deadline`.
+struct QuarantineRecord {
+    packets: Vec<PacketRecord>,
+    class: EventClass,
+    deadline: SimTime,
+}
+
 struct DeviceState {
     classifier: EventClassifier,
     classify_at: usize,
     open: Option<OpenEvent>,
     drops: VecDeque<SimTime>,
     locked: bool,
+    quarantine: Option<QuarantineRecord>,
 }
 
 /// The FIAT proxy.
@@ -473,6 +581,7 @@ pub struct FiatProxy {
     unknown_seen: HashSet<u16>,
     stats: ProxyStats,
     telemetry: ProxyTelemetry,
+    released_packets: Vec<PacketRecord>,
 }
 
 impl FiatProxy {
@@ -523,6 +632,7 @@ impl FiatProxy {
             unknown_seen: HashSet::new(),
             stats: ProxyStats::default(),
             telemetry,
+            released_packets: Vec::new(),
         }
     }
 
@@ -569,6 +679,7 @@ impl FiatProxy {
                 open: None,
                 drops: VecDeque::new(),
                 locked: false,
+                quarantine: None,
             },
         );
         if prev.as_ref().is_some_and(|d| d.locked) {
@@ -576,6 +687,13 @@ impl FiatProxy {
         }
         if prev.as_ref().is_some_and(|d| d.open.is_some()) {
             self.telemetry.open_events_gauge.dec();
+        }
+        if let Some(q) = prev.as_ref().and_then(|d| d.quarantine.as_ref()) {
+            // Re-registration discards any pending quarantine with the
+            // rest of the device state; keep the depth gauge honest.
+            self.telemetry
+                .quarantine_depth
+                .add(-(q.packets.len() as i64));
         }
         self.telemetry.devices_gauge.set(self.devices.len() as i64);
     }
@@ -609,6 +727,11 @@ impl FiatProxy {
     /// the device's open event: its fate was `DropRest`, and leaving it
     /// open would keep dropping traffic as `ManualUnverified` until the
     /// event gap expires — the user just vouched for the device.
+    ///
+    /// A pending quarantine record is deliberately *not* touched: the
+    /// user vouched for the device being safe to re-enable, not for the
+    /// specific held command, which still needs its proof (or expires at
+    /// its deadline as usual).
     pub fn clear_lockout(&mut self, device: u16) {
         if let Some(d) = self.devices.get_mut(&device) {
             if d.locked {
@@ -686,10 +809,107 @@ impl FiatProxy {
         if human {
             self.human_valid_until = now + self.config.human_valid_window;
             self.telemetry.auth_verified.inc();
+            if self.config.proof_deadline.is_some() {
+                self.resolve_quarantines(now);
+            }
         } else {
             self.telemetry.auth_rejected.inc();
         }
         Ok(human)
+    }
+
+    /// A fresh humanness proof just landed: resolve every pending
+    /// quarantine — release records still within their deadline, expire
+    /// the ones the proof missed. Devices are visited in sorted id order
+    /// so the audit trail is deterministic.
+    fn resolve_quarantines(&mut self, now: SimTime) {
+        let mut ids: Vec<u16> = self
+            .devices
+            .iter()
+            .filter(|(_, d)| d.quarantine.is_some())
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort_unstable();
+        for id in ids {
+            let dev = self.devices.get_mut(&id).expect("id from keys()");
+            let deadline = dev.quarantine.as_ref().expect("filtered above").deadline;
+            if now > deadline {
+                Self::expire_quarantine(
+                    id,
+                    dev,
+                    &self.config,
+                    &mut self.audit,
+                    &self.telemetry,
+                    &mut self.stats,
+                );
+                continue;
+            }
+            let q = dev.quarantine.take().expect("filtered above");
+            self.telemetry
+                .quarantine_released_ctr
+                .add(q.packets.len() as u64);
+            self.telemetry
+                .quarantine_depth
+                .add(-(q.packets.len() as i64));
+            self.released_packets.extend(q.packets);
+            self.audit.append(AuditEntry {
+                ts: now,
+                device: id,
+                class: q.class,
+                verdict: AuditVerdict::QuarantineReleased,
+            });
+            if let Some(g) = &mut self.interactions {
+                g.record_authorized(id, now);
+            }
+            if let Some(open) = &mut dev.open {
+                if open.fate == Some(EventFate::Quarantine) {
+                    open.fate = Some(EventFate::AllowRest(AllowReason::QuarantineReleased));
+                }
+            }
+        }
+    }
+
+    /// Demote an expired quarantine record: the held packets are
+    /// discarded, the episode counts toward the lockout window *at the
+    /// deadline* (not at the observing operation's time — resolution is
+    /// lazy, the outcome must not depend on when it is observed), and
+    /// the open event (if still this one) seals as `QuarantineExpired`.
+    fn expire_quarantine(
+        device: u16,
+        dev: &mut DeviceState,
+        config: &ProxyConfig,
+        audit: &mut AuditLog,
+        telemetry: &ProxyTelemetry,
+        stats: &mut ProxyStats,
+    ) {
+        let q = dev.quarantine.take().expect("caller checked presence");
+        stats.quarantine_expired += q.packets.len() as u64;
+        telemetry.quarantine_expired_ctr.add(q.packets.len() as u64);
+        telemetry.quarantine_depth.add(-(q.packets.len() as i64));
+        let locked = Self::record_unverified_drop(&mut dev.drops, q.deadline, config);
+        if locked && !dev.locked {
+            dev.locked = true;
+            telemetry.locked_devices_gauge.inc();
+            telemetry.lockouts.inc();
+        }
+        audit.append(AuditEntry {
+            ts: q.deadline,
+            device,
+            class: q.class,
+            verdict: AuditVerdict::QuarantineExpired,
+        });
+        if let Some(open) = &mut dev.open {
+            if open.fate == Some(EventFate::Quarantine) {
+                open.fate = Some(EventFate::DropRest(DropReason::QuarantineExpired));
+            }
+        }
+    }
+
+    /// Drain packets released from quarantine since the last call, in
+    /// release order. The caller (the interception layer) forwards them:
+    /// a released command reaches the device late, but reaches it.
+    pub fn take_quarantine_releases(&mut self) -> Vec<PacketRecord> {
+        std::mem::take(&mut self.released_packets)
     }
 
     /// Whether a humanness proof is currently fresh.
@@ -712,8 +932,15 @@ impl FiatProxy {
             ProxyDecision::Allow(AllowReason::ManualVerified) => self.stats.manual_verified += 1,
             ProxyDecision::Allow(AllowReason::Cascade) => self.stats.cascade += 1,
             ProxyDecision::Allow(AllowReason::UnknownDevice) => self.stats.unknown_device += 1,
+            ProxyDecision::Allow(AllowReason::QuarantineReleased) => {
+                self.stats.quarantine_released += 1
+            }
             ProxyDecision::Drop(DropReason::ManualUnverified) => self.stats.dropped_unverified += 1,
             ProxyDecision::Drop(DropReason::LockedOut) => self.stats.dropped_lockout += 1,
+            ProxyDecision::Drop(DropReason::QuarantineExpired) => {
+                self.stats.dropped_quarantine += 1
+            }
+            ProxyDecision::Quarantine => self.stats.quarantined += 1,
         }
         d
     }
@@ -783,6 +1010,24 @@ impl FiatProxy {
             return ProxyDecision::Allow(AllowReason::UnknownDevice);
         };
 
+        // Lazily expire this device's quarantine before anything else
+        // observes `now`: the packet that reveals the deadline has passed
+        // must see the post-expiry world (sealed fate, lockout credit),
+        // exactly as if a timer had fired at the deadline.
+        if dev.quarantine.as_ref().is_some_and(|q| now > q.deadline) {
+            Self::expire_quarantine(
+                pkt.device,
+                dev,
+                &self.config,
+                &mut self.audit,
+                &self.telemetry,
+                &mut self.stats,
+            );
+            if dev.locked {
+                return ProxyDecision::Drop(DropReason::LockedOut);
+            }
+        }
+
         // Close a stale event. If it ended below the first-N window it
         // never met the classifier; give it its retrospective verdict.
         let span = Span::enter(&self.telemetry.stage_event_grouping, &self.telemetry.clock);
@@ -829,7 +1074,24 @@ impl FiatProxy {
         if let Some(fate) = open.fate {
             return match fate {
                 EventFate::AllowRest(reason) => ProxyDecision::Allow(reason),
-                EventFate::DropRest => ProxyDecision::Drop(DropReason::ManualUnverified),
+                EventFate::DropRest(reason) => ProxyDecision::Drop(reason),
+                EventFate::Quarantine => {
+                    let q = dev
+                        .quarantine
+                        .as_mut()
+                        .expect("quarantine fate implies a live record");
+                    if q.packets.len() < self.config.quarantine_capacity {
+                        q.packets.push(pkt.clone());
+                        self.telemetry.quarantine_held.inc();
+                        self.telemetry.quarantine_depth.inc();
+                        ProxyDecision::Quarantine
+                    } else {
+                        // Capacity overflow: shed the packet. No audit
+                        // entry and no lockout credit — the episode is
+                        // already pending exactly one verdict.
+                        ProxyDecision::Drop(DropReason::ManualUnverified)
+                    }
+                }
             };
         }
 
@@ -892,8 +1154,28 @@ impl FiatProxy {
             return ProxyDecision::Allow(AllowReason::Cascade);
         }
 
-        // Unverified manual event: drop and count toward lockout.
-        open.fate = Some(EventFate::DropRest);
+        // Unverified manual event. With quarantine enabled the proof may
+        // merely be late (lost frame, retry in flight): hold the event
+        // pending its deadline instead of demoting it — unless this
+        // device already has a verdict pending, which bounds held state
+        // to one record per device and keeps a concurrent second event
+        // on today's immediate-demotion path.
+        if let Some(deadline) = self.config.proof_deadline {
+            if dev.quarantine.is_none() {
+                dev.quarantine = Some(QuarantineRecord {
+                    packets: vec![pkt.clone()],
+                    class,
+                    deadline: now + deadline,
+                });
+                open.fate = Some(EventFate::Quarantine);
+                self.telemetry.quarantine_held.inc();
+                self.telemetry.quarantine_depth.inc();
+                return ProxyDecision::Quarantine;
+            }
+        }
+
+        // Drop and count toward lockout.
+        open.fate = Some(EventFate::DropRest(DropReason::ManualUnverified));
         let locked = Self::record_unverified_drop(&mut dev.drops, now, &self.config);
         if locked {
             dev.locked = true;
@@ -949,6 +1231,19 @@ impl FiatProxy {
         ids.sort_unstable();
         for id in ids {
             let dev = self.devices.get_mut(&id).expect("id from keys()");
+            // Expire overdue quarantines first, for the same reason the
+            // packet path does: the expiry (and any lockout it causes)
+            // happened at the deadline, before this flush.
+            if dev.quarantine.as_ref().is_some_and(|q| now > q.deadline) {
+                Self::expire_quarantine(
+                    id,
+                    dev,
+                    &self.config,
+                    &mut self.audit,
+                    &self.telemetry,
+                    &mut self.stats,
+                );
+            }
             if dev.open.as_ref().is_some_and(|e| now - e.last >= gap) {
                 let stale = dev.open.take().expect("presence checked above");
                 self.telemetry.open_events_gauge.dec();
@@ -1774,10 +2069,21 @@ mod tests {
                 + s.unknown_device
                 + s.dropped_unverified
                 + s.dropped_lockout
+                + s.quarantined
+                + s.quarantine_released
+                + s.dropped_quarantine
         );
         assert_eq!(s.unknown_device, 1);
         assert_eq!(s.total(), sent);
-        assert_eq!(s.dropped(), s.dropped_unverified + s.dropped_lockout);
+        assert_eq!(
+            s.dropped(),
+            s.dropped_unverified + s.dropped_lockout + s.dropped_quarantine
+        );
+        // Quarantine is off by default: every quarantine counter is zero.
+        assert_eq!(s.quarantined, 0);
+        assert_eq!(s.quarantine_released, 0);
+        assert_eq!(s.dropped_quarantine, 0);
+        assert_eq!(s.quarantine_expired, 0);
     }
 
     #[test]
@@ -1847,6 +2153,15 @@ mod tests {
                 ProxyDecision::Drop(DropReason::LockedOut),
                 s.dropped_lockout,
             ),
+            (
+                ProxyDecision::Allow(AllowReason::QuarantineReleased),
+                s.quarantine_released,
+            ),
+            (
+                ProxyDecision::Drop(DropReason::QuarantineExpired),
+                s.dropped_quarantine,
+            ),
+            (ProxyDecision::Quarantine, s.quarantined),
         ];
         for (d, expected) in by_reason {
             assert_eq!(tel.decision_count(d), expected, "{d:?}");
@@ -2017,5 +2332,298 @@ mod tests {
         }
         assert!(proxy.audit().verify());
         assert!(proxy.audit().len() >= 3);
+    }
+
+    // ---- pending-verdict quarantine ------------------------------------
+
+    /// A proxy with quarantine enabled: manual-unproven events are held
+    /// for `deadline_ms` instead of dropped.
+    fn quarantine_proxy(deadline_ms: u64) -> FiatProxy {
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let config = ProxyConfig {
+            proof_deadline: Some(SimDuration::from_millis(deadline_ms)),
+            ..ProxyConfig::default()
+        };
+        let mut proxy = FiatProxy::new(config, &SECRET, validator);
+        proxy.register_device(0, EventClassifier::simple_rule(235), 1);
+        proxy.start(SimTime::ZERO);
+        proxy
+    }
+
+    /// Deliver a genuine 0-RTT humanness proof at `t_ms`.
+    fn prove_human(proxy: &mut FiatProxy, seed: u64, t_ms: u64) {
+        let mut app = FiatApp::new(&SECRET, seed);
+        let ch = app.handshake_request();
+        let sh = proxy.accept_handshake(&ch);
+        app.complete_handshake(&sh).unwrap();
+        let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 3);
+        let z = app
+            .authorize_zero_rtt("app", &imu, MotionKind::HumanTouch, t_ms)
+            .unwrap();
+        assert_eq!(
+            proxy.on_auth_zero_rtt(&z, SimTime::from_millis(t_ms)),
+            Ok(true)
+        );
+    }
+
+    #[test]
+    fn quarantine_holds_then_releases_on_late_proof() {
+        let mut proxy = quarantine_proxy(10_000);
+        let t = bootstrap(&mut proxy);
+
+        // The command's first two packets are held, not dropped.
+        assert_eq!(proxy.on_packet(&pkt(t, 235)), ProxyDecision::Quarantine);
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 100, 235)),
+            ProxyDecision::Quarantine
+        );
+        assert!(proxy.take_quarantine_releases().is_empty());
+        let depth = proxy
+            .telemetry()
+            .registry()
+            .gauge("fiat_quarantine_depth", &[]);
+        assert_eq!(depth.get(), 2);
+
+        // The proof lands 2 s late (well inside the 10 s deadline): the
+        // held packets are released and the live remainder is allowed.
+        prove_human(&mut proxy, 1, t + 2_000);
+        let released = proxy.take_quarantine_releases();
+        assert_eq!(released.len(), 2);
+        assert_eq!(released[0].ts, SimTime::from_millis(t));
+        assert_eq!(depth.get(), 0);
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 2_500, 235)),
+            ProxyDecision::Allow(AllowReason::QuarantineReleased)
+        );
+
+        let s = proxy.stats();
+        assert_eq!(s.quarantined, 2);
+        assert_eq!(s.quarantine_released, 1);
+        assert_eq!(s.dropped(), 0);
+        assert_eq!(s.quarantine_expired, 0);
+        assert!(!proxy.is_locked(0));
+        let last = proxy.audit().entries().last().unwrap();
+        assert_eq!(last.verdict, AuditVerdict::QuarantineReleased);
+        assert_eq!(last.ts, SimTime::from_millis(t + 2_000));
+        assert!(proxy.audit().verify());
+    }
+
+    #[test]
+    fn quarantine_expires_at_deadline_and_audits_at_deadline() {
+        let mut proxy = quarantine_proxy(10_000);
+        let t = bootstrap(&mut proxy);
+
+        assert_eq!(proxy.on_packet(&pkt(t, 235)), ProxyDecision::Quarantine);
+        // A packet past the deadline reveals the expiry: the held packet
+        // is demoted (audited at the *deadline*, not at observation
+        // time) and the live packet drops as QuarantineExpired. It is
+        // still within the event gap of nothing — 11 s > 5 s gap closes
+        // the event — but the expiry seals the fate first, so the
+        // sealed DropRest travels with the closed event, and the new
+        // event re-quarantines.
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 10_500, 235)),
+            ProxyDecision::Quarantine,
+            "expiry closed the old event; the new event opens a fresh quarantine"
+        );
+        let s = proxy.stats();
+        assert_eq!(s.quarantine_expired, 1);
+        assert_eq!(s.quarantined, 2);
+        let expired = proxy
+            .audit()
+            .entries()
+            .iter()
+            .find(|e| e.verdict == AuditVerdict::QuarantineExpired)
+            .unwrap();
+        assert_eq!(expired.ts, SimTime::from_millis(t + 10_000));
+
+        // Within the gap, the sealed fate governs the live remainder.
+        let mut proxy = quarantine_proxy(2_000);
+        let t = bootstrap(&mut proxy);
+        assert_eq!(proxy.on_packet(&pkt(t, 235)), ProxyDecision::Quarantine);
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 3_000, 235)),
+            ProxyDecision::Drop(DropReason::QuarantineExpired),
+            "3 s is past the 2 s deadline but inside the 5 s event gap"
+        );
+        assert_eq!(proxy.stats().dropped_quarantine, 1);
+    }
+
+    #[test]
+    fn quarantine_release_at_exact_deadline_still_releases() {
+        let mut proxy = quarantine_proxy(10_000);
+        let t = bootstrap(&mut proxy);
+        assert_eq!(proxy.on_packet(&pkt(t, 235)), ProxyDecision::Quarantine);
+        // `now > deadline` expires; at exactly the deadline the proof
+        // still counts (boundary mirrors the humanness window's `<=`).
+        prove_human(&mut proxy, 1, t + 10_000);
+        assert_eq!(proxy.take_quarantine_releases().len(), 1);
+        assert_eq!(proxy.stats().quarantine_expired, 0);
+    }
+
+    #[test]
+    fn proof_after_deadline_expires_instead_of_releasing() {
+        let mut proxy = quarantine_proxy(10_000);
+        let t = bootstrap(&mut proxy);
+        assert_eq!(proxy.on_packet(&pkt(t, 235)), ProxyDecision::Quarantine);
+        prove_human(&mut proxy, 1, t + 10_001);
+        assert!(proxy.take_quarantine_releases().is_empty());
+        let s = proxy.stats();
+        assert_eq!(s.quarantine_expired, 1);
+        let last = proxy.audit().entries().last().unwrap();
+        assert_eq!(last.verdict, AuditVerdict::QuarantineExpired);
+        assert_eq!(last.ts, SimTime::from_millis(t + 10_000));
+    }
+
+    #[test]
+    fn second_concurrent_manual_event_demotes_immediately() {
+        let mut proxy = quarantine_proxy(60_000);
+        let t = bootstrap(&mut proxy);
+
+        // Event A quarantines, then closes via the event gap (its record
+        // survives: the proof may still arrive).
+        assert_eq!(proxy.on_packet(&pkt(t, 235)), ProxyDecision::Quarantine);
+        // Event B (6 s later, past the 5 s gap) finds the device's one
+        // quarantine slot taken: immediate demotion, today's path.
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 6_000, 235)),
+            ProxyDecision::Drop(DropReason::ManualUnverified)
+        );
+        // The late proof still releases event A's held packet.
+        prove_human(&mut proxy, 1, t + 8_000);
+        assert_eq!(proxy.take_quarantine_releases().len(), 1);
+        let s = proxy.stats();
+        assert_eq!(s.quarantined, 1);
+        assert_eq!(s.dropped_unverified, 1);
+    }
+
+    #[test]
+    fn quarantine_capacity_overflow_sheds_packets() {
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let config = ProxyConfig {
+            proof_deadline: Some(SimDuration::from_secs(10)),
+            quarantine_capacity: 2,
+            ..ProxyConfig::default()
+        };
+        let mut proxy = FiatProxy::new(config, &SECRET, validator);
+        proxy.register_device(0, EventClassifier::simple_rule(235), 1);
+        proxy.start(SimTime::ZERO);
+        let t = bootstrap(&mut proxy);
+
+        assert_eq!(proxy.on_packet(&pkt(t, 235)), ProxyDecision::Quarantine);
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 100, 235)),
+            ProxyDecision::Quarantine
+        );
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 200, 235)),
+            ProxyDecision::Drop(DropReason::ManualUnverified),
+            "past the capacity the event sheds packets"
+        );
+        let s = proxy.stats();
+        assert_eq!(s.quarantined, 2);
+        assert_eq!(s.dropped_unverified, 1);
+        // Release hands back exactly the capped record.
+        prove_human(&mut proxy, 1, t + 1_000);
+        assert_eq!(proxy.take_quarantine_releases().len(), 2);
+    }
+
+    #[test]
+    fn repeated_quarantine_expiries_feed_lockout() {
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let config = ProxyConfig {
+            proof_deadline: Some(SimDuration::from_secs(2)),
+            // Episodes must land inside one 60 s lockout window.
+            ..ProxyConfig::default()
+        };
+        let mut proxy = FiatProxy::new(config, &SECRET, validator);
+        proxy.register_device(0, EventClassifier::simple_rule(235), 1);
+        proxy.start(SimTime::ZERO);
+        let t = bootstrap(&mut proxy);
+
+        // Four expiring quarantines within the window exceed the
+        // tolerance of three, exactly like four immediate demotions:
+        // episodes land at t+2 s, +12 s, +22 s, +32 s, and the fourth
+        // expiry (seen by the last flush) locks the device.
+        for k in 0..4u64 {
+            assert_eq!(
+                proxy.on_packet(&pkt(t + k * 10_000, 235)),
+                ProxyDecision::Quarantine,
+                "k={k}"
+            );
+            // Let each quarantine expire before the next event opens.
+            proxy.flush(SimTime::from_millis(t + k * 10_000 + 9_000));
+        }
+        assert!(proxy.is_locked(0));
+        assert_eq!(proxy.stats().quarantine_expired, 4);
+        assert_eq!(proxy.telemetry().lockout_count(), 1);
+        // And the revealing packet drops.
+        assert_eq!(
+            proxy.on_packet(&pkt(t + 40_000, 235)),
+            ProxyDecision::Drop(DropReason::LockedOut)
+        );
+    }
+
+    #[test]
+    fn flush_expires_overdue_quarantine() {
+        let mut proxy = quarantine_proxy(2_000);
+        let t = bootstrap(&mut proxy);
+        assert_eq!(proxy.on_packet(&pkt(t, 235)), ProxyDecision::Quarantine);
+        proxy.flush(SimTime::from_millis(t + 30_000));
+        let s = proxy.stats();
+        assert_eq!(s.quarantine_expired, 1);
+        let last = proxy.audit().entries().last().unwrap();
+        assert_eq!(last.verdict, AuditVerdict::QuarantineExpired);
+        assert_eq!(last.ts, SimTime::from_millis(t + 2_000));
+        // Idempotent: the record resolved once.
+        proxy.flush(SimTime::from_millis(t + 31_000));
+        assert_eq!(proxy.stats().quarantine_expired, 1);
+    }
+
+    #[test]
+    fn clear_lockout_preserves_pending_quarantine() {
+        let mut proxy = quarantine_proxy(60_000);
+        let t = bootstrap(&mut proxy);
+
+        // Event A holds; four concurrent demotions lock the device.
+        assert_eq!(proxy.on_packet(&pkt(t, 235)), ProxyDecision::Quarantine);
+        for k in 1..5u64 {
+            proxy.on_packet(&pkt(t + k * 6_000, 235));
+        }
+        assert!(proxy.is_locked(0));
+
+        // The user clears the lockout; the held command still needs its
+        // proof — and gets it, within the deadline.
+        proxy.clear_lockout(0);
+        prove_human(&mut proxy, 1, t + 40_000);
+        assert_eq!(proxy.take_quarantine_releases().len(), 1);
+        assert_eq!(proxy.stats().quarantined, 1);
+    }
+
+    #[test]
+    fn quarantine_disabled_keeps_decisions_and_audit_identical() {
+        // Belt-and-braces for the zero-cost default: a run with the
+        // default config and one with quarantine explicitly disabled
+        // produce identical decisions, stats, and audit chains.
+        let drive = |mut proxy: FiatProxy| {
+            let t = bootstrap(&mut proxy);
+            let mut decisions = Vec::new();
+            for k in 0..6u64 {
+                decisions.push(proxy.on_packet(&pkt(t + k * 7_000, 235)));
+            }
+            proxy.flush(SimTime::from_millis(t + 120_000));
+            (decisions, proxy.stats(), proxy.audit().head())
+        };
+        let a = drive(proxy_with_plug());
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let config = ProxyConfig {
+            proof_deadline: None,
+            ..ProxyConfig::default()
+        };
+        let mut proxy = FiatProxy::new(config, &SECRET, validator);
+        proxy.register_device(0, EventClassifier::simple_rule(235), 1);
+        proxy.start(SimTime::ZERO);
+        let b = drive(proxy);
+        assert_eq!(a, b);
     }
 }

@@ -82,6 +82,9 @@ pub struct ChaosStats {
     pub skewed: u64,
     /// Injected boundary-exact probes (event gap, bootstrap edge).
     pub boundary_probes: u64,
+    /// Injected quarantine probes (held-then-released and
+    /// held-then-expired manual bursts).
+    pub quarantine_probes: u64,
     /// Interleaved humanness proofs.
     pub verify_ops: u64,
     /// Interleaved flush calls.
@@ -97,6 +100,7 @@ impl std::ops::AddAssign for ChaosStats {
         self.dups += rhs.dups;
         self.skewed += rhs.skewed;
         self.boundary_probes += rhs.boundary_probes;
+        self.quarantine_probes += rhs.quarantine_probes;
         self.verify_ops += rhs.verify_ops;
         self.flush_ops += rhs.flush_ops;
         self.clear_ops += rhs.clear_ops;
@@ -368,10 +372,13 @@ pub fn build_scenario(seed: u64, quick: bool) -> (Scenario, ChaosStats) {
     // window) makes the lockout/clear/retro-lock interplay actually
     // fire on a short capture; both sides share the knob, so the oracle
     // still compares like with like.
+    // Quarantine is on (3 s proof deadline) so every scenario also
+    // exercises the hold/release/expire state machine differentially.
     let config = ProxyConfig {
         bootstrap: SimDuration::from_mins(10),
         lockout_threshold: 1,
         lockout_window: SimDuration::from_mins(30),
+        proof_deadline: Some(SimDuration::from_secs(3)),
         ..Default::default()
     };
     let devices: Vec<(u16, u16, usize)> = tb
@@ -397,6 +404,13 @@ pub fn build_scenario(seed: u64, quick: bool) -> (Scenario, ChaosStats) {
     mutate_packets(&mut packets, &mut rng, &config, &mut stats);
     inject_manual_fragments(&mut packets, &devices, &mut rng, &config, &mut stats);
     let mut forced_proofs = inject_cascade_probes(&mut packets, &devices, &mut rng, &config);
+    forced_proofs.extend(inject_quarantine_probes(
+        &mut packets,
+        &devices,
+        &mut rng,
+        &config,
+        &mut stats,
+    ));
     forced_proofs.sort_unstable();
     let mut next_forced = 0usize;
 
@@ -469,6 +483,15 @@ pub fn build_scenario(seed: u64, quick: bool) -> (Scenario, ChaosStats) {
             ops.push(Op::Packet(stranger));
         }
         ops.push(Op::Packet(p));
+    }
+
+    // Forced proofs landing after the last packet still matter: a
+    // quarantine-release probe near the end of the capture depends on
+    // its proof arriving before the trailing flushes expire the record.
+    while next_forced < forced_proofs.len() {
+        ops.push(Op::VerifyHuman(forced_proofs[next_forced]));
+        stats.verify_ops += 1;
+        next_forced += 1;
     }
 
     // Trailing probes: double flush (idempotence), then an older packet
@@ -635,6 +658,54 @@ fn inject_cascade_probes(
         p.size = tg_size;
         p.ts = t0 + SimDuration::from_secs(40);
         insert_sorted(packets, p);
+    }
+    proofs
+}
+
+/// Inject quarantine probes: manual bursts long enough to reach their
+/// classification point in quiet time (so they classify unproven and the
+/// proxy must *hold* them), one followed by a humanness proof 1 s after
+/// the burst — inside the 3 s deadline, so the record must release —
+/// and one left alone, so the next packet or flush past the deadline
+/// must expire it. Returns the proof times the op builder emits
+/// unconditionally.
+fn inject_quarantine_probes(
+    packets: &mut Vec<PacketRecord>,
+    devices: &[(u16, u16, usize)],
+    rng: &mut StdRng,
+    config: &ProxyConfig,
+    stats: &mut ChaosStats,
+) -> Vec<SimTime> {
+    let mut proofs = Vec::new();
+    if config.proof_deadline.is_none() || packets.len() < 64 {
+        return proofs;
+    }
+    let candidates: Vec<(u16, u16, usize)> = devices
+        .iter()
+        .filter(|&&(_, size, n)| size > 0 && n.min(config.classify_at_cap) >= 2)
+        .copied()
+        .collect();
+    for (k, release) in [(0usize, true), (1, false)] {
+        let Some(&(id, size, n)) = candidates.get(k * 2 % candidates.len().max(1)) else {
+            continue;
+        };
+        let Some(tpl) = packets.iter().find(|p| p.device == id).cloned() else {
+            continue;
+        };
+        let anchor = packets[rng.gen_range(packets.len() / 3..packets.len())].ts;
+        let t0 = anchor + config.event_gap * 5;
+        let burst = n.min(config.classify_at_cap).max(1) as u64 + 2;
+        for j in 0..burst {
+            let mut p = tpl.clone();
+            p.size = size;
+            p.ts = t0 + SimDuration::from_micros(j * 150_000);
+            insert_sorted(packets, p);
+            stats.quarantine_probes += 1;
+        }
+        if release {
+            let last = t0 + SimDuration::from_micros((burst - 1) * 150_000);
+            proofs.push(last + SimDuration::from_secs(1));
+        }
     }
     proofs
 }
@@ -817,8 +888,8 @@ pub fn render_report(report: &OracleReport) -> String {
     let c = &report.chaos;
     writeln!(
         out,
-        "chaos: {} swaps, {} moves, {} dups, {} skewed, {} boundary probes",
-        c.swaps, c.moves, c.dups, c.skewed, c.boundary_probes
+        "chaos: {} swaps, {} moves, {} dups, {} skewed, {} boundary probes, {} quarantine probes",
+        c.swaps, c.moves, c.dups, c.skewed, c.boundary_probes, c.quarantine_probes
     )
     .unwrap();
     writeln!(

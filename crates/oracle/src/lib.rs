@@ -66,13 +66,19 @@ mod tests {
         );
         pkt.ts = SimTime::ZERO + sc.config.bootstrap + SimDuration::from_secs(60);
         let d = reference.on_packet(&pkt);
-        // N = 1 and size 235 classifies manual with no proof: dropped.
-        assert_eq!(
-            d,
-            ProxyDecision::Drop(fiat_core::DropReason::ManualUnverified)
-        );
-        assert_eq!(reference.stats().dropped_unverified, 1);
+        // N = 1 and size 235 classifies manual with no proof: held in
+        // quarantine (scenario configs run a 3 s proof deadline), then
+        // expired by a flush past the deadline.
+        assert_eq!(d, ProxyDecision::Quarantine);
+        assert_eq!(reference.stats().quarantined, 1);
+        assert_eq!(reference.audit_entries().len(), 0);
+        reference.flush(pkt.ts + SimDuration::from_secs(4));
+        assert_eq!(reference.stats().quarantine_expired, 1);
         assert_eq!(reference.audit_entries().len(), 1);
+        assert_eq!(
+            reference.audit_entries()[0].verdict,
+            fiat_core::audit::AuditVerdict::QuarantineExpired
+        );
     }
 
     #[test]
@@ -112,6 +118,37 @@ mod tests {
         assert!(
             run_scenario_with_real_config(&sc, &drifted).is_some(),
             "oracle failed to flag a zeroed lockout threshold"
+        );
+    }
+
+    #[test]
+    fn oracle_detects_quarantine_deadline_drift() {
+        // Self-test for the quarantine half of the oracle: scenarios
+        // run with a 3 s proof deadline and deterministic hold/release/
+        // expire probes, so a real-side deviation in either direction
+        // must surface. If this fails, a regression in the quarantine
+        // state machine could slide through unreported.
+        let (sc, chaos) = build_scenario(7, true);
+        assert!(
+            chaos.quarantine_probes > 0,
+            "scenario builder stopped injecting quarantine probes"
+        );
+        assert_eq!(sc.config.proof_deadline, Some(SimDuration::from_secs(3)));
+        let disabled = ProxyConfig {
+            proof_deadline: None,
+            ..sc.config.clone()
+        };
+        assert!(
+            run_scenario_with_real_config(&sc, &disabled).is_some(),
+            "oracle failed to flag quarantine being disabled"
+        );
+        let hair_trigger = ProxyConfig {
+            proof_deadline: Some(SimDuration::from_millis(1)),
+            ..sc.config.clone()
+        };
+        assert!(
+            run_scenario_with_real_config(&sc, &hair_trigger).is_some(),
+            "oracle failed to flag a 1 ms proof deadline"
         );
     }
 

@@ -47,7 +47,22 @@ const MIN_RULE_INTERVAL: SimDuration = SimDuration::from_secs(1);
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Fate {
     AllowRest(AllowReason),
-    DropRest,
+    DropRest(DropReason),
+    /// Verdict pending: further packets join the quarantine record.
+    Quarantine,
+}
+
+/// A manual event held pending its humanness proof (DESIGN §14): at most
+/// one per device, resolved lazily — released by a proof arriving at or
+/// before `deadline`, expired by the first operation observing
+/// `now > deadline` (with the episode backdated to the deadline).
+#[derive(Debug, Clone)]
+struct RefQuarantine {
+    /// Held-packet count (the reference never forwards, so the packets
+    /// themselves are not needed — only their accounting).
+    held: u64,
+    class: EventClass,
+    deadline: SimTime,
 }
 
 #[derive(Debug, Clone)]
@@ -71,6 +86,7 @@ struct RefDevice {
     /// non-monotone history would never expire).
     drops: Vec<SimTime>,
     locked: bool,
+    quarantine: Option<RefQuarantine>,
 }
 
 /// Naive reference decision pipeline. See the module docs.
@@ -155,6 +171,7 @@ impl ReferenceProxy {
                 open: None,
                 drops: Vec::new(),
                 locked: false,
+                quarantine: None,
             },
         );
     }
@@ -181,19 +198,85 @@ impl ReferenceProxy {
     /// A successful humanness proof at `now` refreshes the validity
     /// window (the transport/crypto half of `on_auth_zero_rtt` is out of
     /// the oracle's scope; the fuzzer drives the real side with genuine
-    /// evidence and a perfect validator so both sides land here).
+    /// evidence and a perfect validator so both sides land here). With
+    /// quarantine enabled the proof also resolves every pending record,
+    /// in ascending device order: releases within the deadline, expiries
+    /// past it.
     pub fn verify_human(&mut self, now: SimTime) {
         self.human_valid_until = now + self.config.human_valid_window;
+        if self.config.proof_deadline.is_none() {
+            return;
+        }
+        let ids: Vec<u16> = self
+            .devices
+            .iter()
+            .filter(|(_, d)| d.quarantine.is_some())
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            let deadline = self.devices[&id]
+                .quarantine
+                .as_ref()
+                .expect("filtered above")
+                .deadline;
+            if now > deadline {
+                self.expire_quarantine(id);
+                continue;
+            }
+            let dev = self.devices.get_mut(&id).expect("filtered above");
+            let q = dev.quarantine.take().expect("filtered above");
+            if let Some(open) = &mut dev.open {
+                if open.fate == Some(Fate::Quarantine) {
+                    open.fate = Some(Fate::AllowRest(AllowReason::QuarantineReleased));
+                }
+            }
+            if let Some(g) = &mut self.interactions {
+                g.authorized_at.insert(id, now);
+            }
+            self.audit.push(AuditEntry {
+                ts: now,
+                device: id,
+                class: q.class,
+                verdict: AuditVerdict::QuarantineReleased,
+            });
+        }
     }
 
     /// §5.4 manual verification: unlock, forget the episode history, and
-    /// discard the open (fate `DropRest`) event.
+    /// discard the open (fate `DropRest`) event. A pending quarantine is
+    /// deliberately untouched — the user vouched for the device, not for
+    /// the held command, which still awaits its proof.
     pub fn clear_lockout(&mut self, device: u16) {
         if let Some(d) = self.devices.get_mut(&device) {
             d.locked = false;
             d.drops.clear();
             d.open = None;
         }
+    }
+
+    /// Demote an expired quarantine: held packets discarded, episode
+    /// credited to the lockout window at the *deadline*, audit entry
+    /// backdated likewise, and the open event (if still the quarantined
+    /// one) sealed as `QuarantineExpired`.
+    fn expire_quarantine(&mut self, device: u16) {
+        let dev = self.devices.get_mut(&device).expect("caller checked");
+        let q = dev.quarantine.take().expect("caller checked");
+        self.stats.quarantine_expired += q.held;
+        let locked = record_unverified_drop(&mut dev.drops, q.deadline, &self.config);
+        if locked && !dev.locked {
+            dev.locked = true;
+        }
+        if let Some(open) = &mut dev.open {
+            if open.fate == Some(Fate::Quarantine) {
+                open.fate = Some(Fate::DropRest(DropReason::QuarantineExpired));
+            }
+        }
+        self.audit.push(AuditEntry {
+            ts: q.deadline,
+            device,
+            class: q.class,
+            verdict: AuditVerdict::QuarantineExpired,
+        });
     }
 
     /// Decision counters so far.
@@ -223,8 +306,15 @@ impl ReferenceProxy {
             ProxyDecision::Allow(AllowReason::ManualVerified) => self.stats.manual_verified += 1,
             ProxyDecision::Allow(AllowReason::Cascade) => self.stats.cascade += 1,
             ProxyDecision::Allow(AllowReason::UnknownDevice) => self.stats.unknown_device += 1,
+            ProxyDecision::Allow(AllowReason::QuarantineReleased) => {
+                self.stats.quarantine_released += 1
+            }
             ProxyDecision::Drop(DropReason::ManualUnverified) => self.stats.dropped_unverified += 1,
             ProxyDecision::Drop(DropReason::LockedOut) => self.stats.dropped_lockout += 1,
+            ProxyDecision::Drop(DropReason::QuarantineExpired) => {
+                self.stats.dropped_quarantine += 1
+            }
+            ProxyDecision::Quarantine => self.stats.quarantined += 1,
         }
         d
     }
@@ -278,6 +368,21 @@ impl ReferenceProxy {
             return ProxyDecision::Allow(AllowReason::UnknownDevice);
         }
 
+        // Lazy quarantine expiry: the first packet observed past the
+        // deadline demotes the pending record before anything else
+        // touches the device, and if the demotion locked the device this
+        // packet drops right here.
+        if self
+            .devices
+            .get(&pkt.device)
+            .is_some_and(|d| d.quarantine.as_ref().is_some_and(|q| now > q.deadline))
+        {
+            self.expire_quarantine(pkt.device);
+            if self.devices[&pkt.device].locked {
+                return ProxyDecision::Drop(DropReason::LockedOut);
+            }
+        }
+
         // Close a stale event; sub-first-N closures get a retrospective
         // verdict, and if that verdict locked the device this packet is
         // dropped without opening a fresh event.
@@ -301,6 +406,7 @@ impl ReferenceProxy {
         }
 
         let dev = self.devices.get_mut(&pkt.device).expect("checked above");
+        let quarantine_pending = dev.quarantine.is_some();
         let open = dev.open.get_or_insert_with(|| RefEvent {
             packets: Vec::new(),
             last: now,
@@ -312,7 +418,19 @@ impl ReferenceProxy {
         if let Some(fate) = open.fate {
             return match fate {
                 Fate::AllowRest(reason) => ProxyDecision::Allow(reason),
-                Fate::DropRest => ProxyDecision::Drop(DropReason::ManualUnverified),
+                Fate::DropRest(reason) => ProxyDecision::Drop(reason),
+                Fate::Quarantine => {
+                    // Join the pending record while it has room; past
+                    // capacity the overflow sheds as a plain unverified
+                    // drop (no audit entry, no lockout credit).
+                    let q = dev.quarantine.as_mut().expect("fate implies record");
+                    if (q.held as usize) < self.config.quarantine_capacity {
+                        q.held += 1;
+                        ProxyDecision::Quarantine
+                    } else {
+                        ProxyDecision::Drop(DropReason::ManualUnverified)
+                    }
+                }
             };
         }
 
@@ -372,7 +490,23 @@ impl ReferenceProxy {
             return ProxyDecision::Allow(AllowReason::Cascade);
         }
 
-        open.fate = Some(Fate::DropRest);
+        // Unverified manual verdict. With a proof deadline configured
+        // and no record already pending, hold the event instead of
+        // demoting it (DESIGN §14); a second concurrent manual event on
+        // the same device demotes immediately — one record per device.
+        if let Some(dl) = self.config.proof_deadline {
+            if !quarantine_pending {
+                open.fate = Some(Fate::Quarantine);
+                dev.quarantine = Some(RefQuarantine {
+                    held: 1,
+                    class,
+                    deadline: now + dl,
+                });
+                return ProxyDecision::Quarantine;
+            }
+        }
+
+        open.fate = Some(Fate::DropRest(DropReason::ManualUnverified));
         let locked = record_unverified_drop(&mut dev.drops, now, &self.config);
         if locked {
             dev.locked = true;
@@ -398,6 +532,13 @@ impl ReferenceProxy {
         let human_valid_until = self.human_valid_until;
         let ids: Vec<u16> = self.devices.keys().copied().collect();
         for id in ids {
+            if self.devices[&id]
+                .quarantine
+                .as_ref()
+                .is_some_and(|q| now > q.deadline)
+            {
+                self.expire_quarantine(id);
+            }
             let dev = self.devices.get_mut(&id).expect("id from keys()");
             let stale = if dev.open.as_ref().is_some_and(|e| now - e.last >= gap) {
                 dev.open.take()

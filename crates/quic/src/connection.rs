@@ -185,6 +185,15 @@ impl Client {
         self.ticket.is_some()
     }
 
+    /// Drop the cached ticket (and its early key). The resilience path
+    /// calls this after the server answers [`QuicError::StaleTicket`] —
+    /// the ticket was evicted from the anti-replay store, so the only way
+    /// back to 0-RTT is a fresh handshake and a re-signed proof under the
+    /// new ticket.
+    pub fn forget_ticket(&mut self) {
+        self.ticket = None;
+    }
+
     /// Seal application data on the established 1-RTT connection.
     pub fn seal(&mut self, data: &[u8]) -> Result<Packet, QuicError> {
         let key = self.key.ok_or(QuicError::BadState)?;
@@ -598,6 +607,162 @@ mod tests {
         handshake(&mut c1, &mut s); // ticket 3
         let z3 = c1.seal_zero_rtt(b"back").unwrap();
         assert_eq!(s.accept_zero_rtt(&z3).unwrap(), b"back");
+    }
+
+    #[test]
+    fn forget_ticket_disables_zero_rtt_until_rehandshake() {
+        let mut c = Client::new(PSK);
+        let mut s = Server::new(PSK);
+        handshake(&mut c, &mut s);
+        assert!(c.can_zero_rtt());
+        c.forget_ticket();
+        assert!(!c.can_zero_rtt());
+        assert_eq!(c.seal_zero_rtt(b"x").unwrap_err(), QuicError::BadState);
+        // The 1-RTT session key survives: evidence can still flow.
+        let p = c.seal(b"fallback").unwrap();
+        assert_eq!(s.open(&p).unwrap(), b"fallback");
+        // A new handshake restores 0-RTT under a fresh ticket.
+        handshake(&mut c, &mut s);
+        let z = c.seal_zero_rtt(b"again").unwrap();
+        assert_eq!(s.accept_zero_rtt(&z).unwrap(), b"again");
+    }
+
+    #[test]
+    fn wrong_psk_handshake_yields_mismatched_keys_everywhere() {
+        // Negative path: a handshake "succeeds" structurally with a wrong
+        // PSK, but every sealed artifact fails authentication — 1-RTT in
+        // both directions and 0-RTT early data alike.
+        let mut c = Client::new([0x33; 32]);
+        let mut s = Server::new(PSK);
+        handshake(&mut c, &mut s);
+        let p = c.seal(b"data").unwrap();
+        assert_eq!(s.open(&p), Err(QuicError::DecryptFailed));
+        let r = s.seal(b"reply").unwrap();
+        assert_eq!(c.open(&r), Err(QuicError::DecryptFailed));
+        let z = c.seal_zero_rtt(b"early").unwrap();
+        assert_eq!(s.accept_zero_rtt(&z), Err(QuicError::DecryptFailed));
+    }
+
+    #[test]
+    fn open_on_corrupted_or_truncated_packet_fails_cleanly() {
+        let mut c = Client::new(PSK);
+        let mut s = Server::new(PSK);
+        handshake(&mut c, &mut s);
+        // Corrupted: flip one ciphertext bit.
+        let mut corrupt = c.seal(b"payload bytes").unwrap();
+        corrupt.ciphertext[0] ^= 0x80;
+        assert_eq!(s.open(&corrupt), Err(QuicError::DecryptFailed));
+        // Truncated below the AEAD tag length.
+        let mut truncated = c.seal(b"payload bytes").unwrap();
+        truncated.ciphertext.truncate(4);
+        assert_eq!(s.open(&truncated), Err(QuicError::DecryptFailed));
+        // Empty ciphertext is the degenerate truncation.
+        let mut empty = c.seal(b"payload bytes").unwrap();
+        empty.ciphertext.clear();
+        assert_eq!(s.open(&empty), Err(QuicError::DecryptFailed));
+        // A failed open must not advance recv_pn: the next intact packet
+        // still decrypts.
+        let p = c.seal(b"intact").unwrap();
+        assert_eq!(s.open(&p).unwrap(), b"intact");
+    }
+
+    #[test]
+    fn zero_rtt_after_capacity_zero_store_swap() {
+        // `set_replay_capacity(0)` clamps to one tracked ticket AND
+        // replaces the store wholesale. Early data accepted before the
+        // swap is forgotten, so the exact variant matters: a verbatim
+        // replay after the swap is accepted as fresh (the documented
+        // reason the capacity must be set before any 0-RTT traffic), and
+        // capacity pressure then surfaces as StaleTicket, not Replayed.
+        let mut s = Server::new(PSK);
+        let mut c1 = Client::new(PSK);
+        handshake(&mut c1, &mut s); // ticket 1
+        let z1 = c1.seal_zero_rtt(b"pre-swap").unwrap();
+        assert!(s.accept_zero_rtt(&z1).is_ok());
+
+        s.set_replay_capacity(0); // clamped to 1 ticket
+        assert!(
+            s.accept_zero_rtt(&z1).is_ok(),
+            "nonce history was discarded by the swap"
+        );
+        assert_eq!(s.accept_zero_rtt(&z1), Err(QuicError::Replayed));
+
+        // A second ticket evicts the first at capacity 1.
+        let mut c2 = Client::new(PSK);
+        handshake(&mut c2, &mut s); // ticket 2
+        let z2 = c2.seal_zero_rtt(b"evictor").unwrap();
+        assert!(s.accept_zero_rtt(&z2).is_ok());
+        assert_eq!(s.accept_zero_rtt(&z1), Err(QuicError::StaleTicket));
+    }
+
+    #[test]
+    fn zero_rtt_nonce_reuse_is_replay_not_decrypt_failure() {
+        // Sequence-number reuse on the 0-RTT path: a forged packet that
+        // reuses an accepted (ticket, nonce) pair is rejected by the
+        // replay store *before* any AEAD work, whatever its ciphertext.
+        let mut c = Client::new(PSK);
+        let mut s = Server::new(PSK);
+        handshake(&mut c, &mut s);
+        let z = c.seal_zero_rtt(b"original").unwrap();
+        assert!(s.accept_zero_rtt(&z).is_ok());
+        let forged = ZeroRttPacket {
+            ticket: z.ticket,
+            nonce: z.nonce,
+            ciphertext: vec![0xAA; 48],
+        };
+        assert_eq!(s.accept_zero_rtt(&forged), Err(QuicError::Replayed));
+        // 1-RTT sequence reuse is the analogous exact variant.
+        let p1 = c.seal(b"one").unwrap();
+        assert!(s.open(&p1).is_ok());
+        let reused = Packet {
+            number: p1.number,
+            ciphertext: c.seal(b"two").unwrap().ciphertext,
+        };
+        assert_eq!(s.open(&reused), Err(QuicError::StalePacketNumber));
+    }
+
+    #[test]
+    fn resign_after_eviction_keeps_just_touched_ticket() {
+        // PR 2 invariant extended to the re-sign path: the client learns
+        // its ticket went stale, forgets it, re-handshakes, and re-sends
+        // under the new ticket. That new ticket is the just-touched one at
+        // exactly max_tickets capacity — eviction must never remove it,
+        // or the re-signed packet's replay would be accepted as fresh.
+        let mut s = Server::new(PSK);
+        s.set_replay_capacity(1);
+        let mut victim = Client::new(PSK);
+        handshake(&mut victim, &mut s); // ticket 1
+        assert!(s
+            .accept_zero_rtt(&victim.seal_zero_rtt(b"v1").unwrap())
+            .is_ok());
+
+        // Another client's traffic evicts ticket 1.
+        let mut other = Client::new(PSK);
+        handshake(&mut other, &mut s); // ticket 2
+        assert!(s
+            .accept_zero_rtt(&other.seal_zero_rtt(b"o1").unwrap())
+            .is_ok());
+
+        // The victim's next proof is refused; the resilience path reacts.
+        let stale = victim.seal_zero_rtt(b"v2").unwrap();
+        assert_eq!(s.accept_zero_rtt(&stale), Err(QuicError::StaleTicket));
+        victim.forget_ticket();
+        assert!(!victim.can_zero_rtt());
+        handshake(&mut victim, &mut s); // ticket 3
+
+        // The re-signed proof lands; its ticket was just touched at
+        // capacity, so the store kept it (capacity-boundary audit) and
+        // the verbatim replay stays rejected.
+        let resigned = victim.seal_zero_rtt(b"v2 re-signed").unwrap();
+        assert_eq!(s.accept_zero_rtt(&resigned).unwrap(), b"v2 re-signed");
+        assert_eq!(s.replay_store().tickets(), 1);
+        assert!(s
+            .replay_store()
+            .contains(resigned.ticket.id, resigned.nonce));
+        assert_eq!(s.accept_zero_rtt(&resigned), Err(QuicError::Replayed));
+        // And a fresh nonce under the kept ticket still works.
+        let next = victim.seal_zero_rtt(b"v3").unwrap();
+        assert_eq!(s.accept_zero_rtt(&next).unwrap(), b"v3");
     }
 
     #[test]

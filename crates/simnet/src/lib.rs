@@ -31,5 +31,5 @@ pub mod tcp;
 pub use arp::SpoofedLan;
 pub use event::Scheduler;
 pub use home::{HomeNetwork, PhoneLocation};
-pub use intercept::{InterceptQueue, Verdict};
+pub use intercept::{FaultInjector, InterceptQueue, Verdict};
 pub use link::LatencyProfile;

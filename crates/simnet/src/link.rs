@@ -146,4 +146,59 @@ mod tests {
         let ana = p.mean().as_micros() as f64;
         assert!((emp - ana).abs() / ana < 0.02, "emp {emp} vs {ana}");
     }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Every sample of every profile lands in `[base, base+jitter]`.
+            #[test]
+            fn sample_always_within_base_plus_jitter(
+                base_ms in 0u64..10_000,
+                jitter_ms in 0u64..10_000,
+                seed in any::<u64>(),
+                n in 1usize..64,
+            ) {
+                let p = LatencyProfile::from_millis(base_ms, jitter_ms);
+                let mut rng = StdRng::seed_from_u64(seed);
+                for _ in 0..n {
+                    let s = p.sample(&mut rng);
+                    prop_assert!(s >= p.base);
+                    prop_assert!(s <= p.base + p.jitter);
+                }
+            }
+
+            /// Two RNGs from the same seed yield identical sample streams.
+            #[test]
+            fn same_seed_same_stream(
+                base_ms in 0u64..10_000,
+                jitter_ms in 0u64..10_000,
+                seed in any::<u64>(),
+            ) {
+                let p = LatencyProfile::from_millis(base_ms, jitter_ms);
+                let mut a = StdRng::seed_from_u64(seed);
+                let mut b = StdRng::seed_from_u64(seed);
+                for _ in 0..32 {
+                    prop_assert_eq!(p.sample(&mut a), p.sample(&mut b));
+                }
+            }
+
+            /// `from_millis` round-trips through the stored durations
+            /// (millisecond inputs stay exact at microsecond resolution).
+            #[test]
+            fn from_millis_round_trips(
+                base_ms in 0u64..1_000_000,
+                jitter_ms in 0u64..1_000_000,
+            ) {
+                let p = LatencyProfile::from_millis(base_ms, jitter_ms);
+                prop_assert_eq!(p.base.as_millis(), base_ms);
+                prop_assert_eq!(p.jitter.as_millis(), jitter_ms);
+                prop_assert_eq!(
+                    p,
+                    LatencyProfile::from_millis(p.base.as_millis(), p.jitter.as_millis())
+                );
+            }
+        }
+    }
 }

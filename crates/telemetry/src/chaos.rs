@@ -1,0 +1,119 @@
+//! Metrics for the fault-injection harness (`fiat-chaos`).
+//!
+//! The chaos harness perturbs the phone→proxy proof channel and measures
+//! how gracefully the decision path degrades; this module gives those
+//! runs a first-class metric family so robustness regressions show up on
+//! the same dashboards as the decision-path counters:
+//!
+//! - `fiat_chaos_faults_total{kind=}` — one increment per injected
+//!   fault, labelled by fault kind (`drop` / `duplicate` / `reorder` /
+//!   `delay` / `corrupt` / `offline` / `sensor_unavailable`).
+//! - `fiat_proof_retries_total` — proof delivery attempts beyond the
+//!   first (the client's resilience budget being spent).
+//! - `fiat_chaos_false_drops_total` — genuine manual events that lost
+//!   packets despite an eventually-delivered proof: the harness's
+//!   headline failure count, which must stay at zero with quarantine
+//!   enabled at the default deadline.
+//!
+//! Labels are resolved on demand so fault taxonomies can grow without
+//! touching this crate.
+
+use crate::metrics::{Counter, MetricRegistry};
+
+/// Metric name for per-kind injected-fault counters.
+pub const CHAOS_FAULTS_TOTAL: &str = "fiat_chaos_faults_total";
+/// Metric name for the proof-retry counter.
+pub const PROOF_RETRIES_TOTAL: &str = "fiat_proof_retries_total";
+/// Metric name for the false-drop counter.
+pub const CHAOS_FALSE_DROPS_TOTAL: &str = "fiat_chaos_false_drops_total";
+
+/// Handle bundle for recording chaos-run outcomes into a registry.
+#[derive(Debug, Clone)]
+pub struct ChaosMetrics {
+    registry: MetricRegistry,
+    retries: Counter,
+    false_drops: Counter,
+}
+
+impl ChaosMetrics {
+    /// Register descriptions and resolve the shared counters.
+    pub fn new(registry: &MetricRegistry) -> Self {
+        registry.describe(
+            CHAOS_FAULTS_TOTAL,
+            "Faults injected into the proof channel, by kind.",
+        );
+        registry.describe(
+            PROOF_RETRIES_TOTAL,
+            "Humanness-proof delivery attempts beyond the first.",
+        );
+        registry.describe(
+            CHAOS_FALSE_DROPS_TOTAL,
+            "Genuine manual events that lost packets despite an eventually-delivered proof.",
+        );
+        Self {
+            registry: registry.clone(),
+            retries: registry.counter(PROOF_RETRIES_TOTAL, &[]),
+            false_drops: registry.counter(CHAOS_FALSE_DROPS_TOTAL, &[]),
+        }
+    }
+
+    /// Counter for one fault kind; labels resolve on demand so callers
+    /// can record kinds this crate never heard of.
+    pub fn faults(&self, kind: &str) -> Counter {
+        self.registry.counter(CHAOS_FAULTS_TOTAL, &[("kind", kind)])
+    }
+
+    /// Record `n` injected faults of `kind`.
+    pub fn record_faults(&self, kind: &str, n: u64) {
+        if n > 0 {
+            self.faults(kind).add(n);
+        }
+    }
+
+    /// Record proof delivery attempts beyond the first.
+    pub fn record_retries(&self, n: u64) {
+        self.retries.add(n);
+    }
+
+    /// Record genuine manual events falsely dropped.
+    pub fn record_false_drops(&self, n: u64) {
+        self.false_drops.add(n);
+    }
+
+    /// Retries recorded so far.
+    pub fn retry_count(&self) -> u64 {
+        self.retries.get()
+    }
+
+    /// False drops recorded so far.
+    pub fn false_drop_count(&self) -> u64 {
+        self.false_drops.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_faults_by_kind_and_retries() {
+        let registry = MetricRegistry::new();
+        let m = ChaosMetrics::new(&registry);
+        m.record_faults("drop", 3);
+        m.record_faults("corrupt", 1);
+        m.record_faults("delay", 0); // no-op: zero is not a sample
+        m.record_retries(5);
+        m.record_false_drops(2);
+
+        assert_eq!(m.faults("drop").get(), 3);
+        assert_eq!(m.faults("corrupt").get(), 1);
+        assert_eq!(m.faults("delay").get(), 0);
+        assert_eq!(m.retry_count(), 5);
+        assert_eq!(m.false_drop_count(), 2);
+
+        let text = registry.render_prometheus();
+        assert!(text.contains("fiat_chaos_faults_total{kind=\"drop\"} 3"));
+        assert!(text.contains("fiat_proof_retries_total 5"));
+        assert!(text.contains("fiat_chaos_false_drops_total 2"));
+    }
+}

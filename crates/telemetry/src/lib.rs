@@ -18,6 +18,8 @@
 //!   for the `fiat-attack` red-team harness.
 //! - [`OracleMetrics`] — replay volume and divergence counters for the
 //!   `fiat-oracle` differential decision oracle.
+//! - [`ChaosMetrics`] — injected-fault, proof-retry, and false-drop
+//!   counters for the `fiat-chaos` fault-injection harness.
 //!
 //! ```
 //! use fiat_telemetry::{ManualClock, MetricRegistry, Span};
@@ -36,6 +38,7 @@
 //! ```
 
 pub mod attack;
+pub mod chaos;
 pub mod clock;
 pub mod expose;
 pub mod journal;
@@ -44,6 +47,7 @@ pub mod oracle;
 pub mod span;
 
 pub use attack::AttackMetrics;
+pub use chaos::ChaosMetrics;
 pub use clock::{Clock, ManualClock, WallClock};
 pub use expose::{CounterSample, GaugeSample, HistogramSample, Snapshot};
 pub use journal::Journal;

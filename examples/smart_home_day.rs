@@ -91,6 +91,8 @@ fn main() {
         match proxy.on_packet(p) {
             ProxyDecision::Allow(_) => *allowed.entry(p.device).or_default() += 1,
             ProxyDecision::Drop(_) => *dropped.entry(p.device).or_default() += 1,
+            // No proof_deadline configured, so nothing is ever quarantined.
+            ProxyDecision::Quarantine => {}
         }
     }
 
