@@ -12,6 +12,7 @@
 //! experiments tolerance
 //! experiments appendixa
 //! experiments fleet [--homes H] [--shards T]  # sharded multi-home throughput sweep
+//! experiments profile [--quick]   # shard-scaling profile: per-stage breakdown + bottleneck
 //! experiments attack [--quick]    # adversarial red-team scorecard
 //! experiments oracle [--quick]    # differential decision oracle vs naive reference
 //! experiments chaos [--quick]     # chaos soak: fault injection vs graceful degradation
@@ -20,48 +21,64 @@
 //! Scale knobs: `--days N` (testbed capture length, default 8),
 //! `--seed N` (default 42). The fleet sweep adds `--homes H` (default 8)
 //! and `--shards T` (max worker threads, default 8); it is not part of
-//! `all` — it measures this implementation, not a paper artifact. Output is plain text; every row is also
+//! `all` — it measures this implementation, not a paper artifact. The
+//! profile sweep defaults to the 1k-home corpus at 0.05 days (--quick:
+//! 32 homes) unless `--homes`/`--days` override it. Output is plain
+//! text; every row is also
 //! mirrored to `results/<name>.txt` when `--save` is given, along with a
 //! telemetry snapshot in `results/<name>_metrics.json` (harness timings
 //! for every experiment; full proxy decision-path metrics for those that
-//! drive a `FiatProxy`, e.g. table6).
+//! drive a `FiatProxy`, e.g. table6). With `--save`, `fleet` and
+//! `profile` also append a trajectory record to `BENCH_fleet.json`, and
+//! `profile` dumps its flight-recorder timeline to
+//! `results/trace_profile.jsonl`.
 
 use fiat_bench::ml_tables::ModelKind;
 use fiat_bench::{
-    attack_exp, chaos_exp, fig1, fig2, fleet_exp, ml_tables, oracle_exp, table6, table7, tolerance,
+    attack_exp, bench_log, chaos_exp, fig1, fig2, fleet_exp, ml_tables, oracle_exp, profile_exp,
+    table6, table7, tolerance,
 };
 use fiat_core::ErrorModel;
 use fiat_telemetry::{MetricRegistry, Span, WallClock};
 use std::fmt::Write as _;
+use std::path::Path;
+
+// Count heap allocations (process-wide and per shard thread) so
+// `experiments profile` can attribute them to shard stages. Two relaxed
+// atomic bumps per allocation; every other experiment is unaffected
+// beyond that.
+#[global_allocator]
+static ALLOC: fiat_probe::CountingAllocator = fiat_probe::CountingAllocator;
 
 struct Args {
-    days: f64,
+    days: Option<f64>,
     seed: u64,
     fast: bool,
     save: bool,
     quick: bool,
-    homes: usize,
+    homes: Option<usize>,
     shards: usize,
 }
 
 fn parse_args(rest: &[String]) -> Args {
     let mut a = Args {
-        days: 8.0,
+        days: None,
         seed: 42,
         fast: false,
         save: false,
         quick: false,
-        homes: 8,
+        homes: None,
         shards: 8,
     };
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
             "--days" => {
-                a.days = rest
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--days needs a number"));
+                a.days = Some(
+                    rest.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--days needs a number")),
+                );
                 i += 1;
             }
             "--seed" => {
@@ -72,10 +89,11 @@ fn parse_args(rest: &[String]) -> Args {
                 i += 1;
             }
             "--homes" => {
-                a.homes = rest
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--homes needs a number"));
+                a.homes = Some(
+                    rest.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--homes needs a number")),
+                );
                 i += 1;
             }
             "--shards" => {
@@ -144,7 +162,7 @@ fn appendixa_text() -> String {
 }
 
 fn run_one(name: &str, args: &Args, registry: &MetricRegistry) -> Option<String> {
-    let days = args.days;
+    let days = args.days.unwrap_or(8.0);
     let seed = args.seed;
     let text = match name {
         "fig1a" => fig1::fig1a(seed),
@@ -185,7 +203,38 @@ fn run_one(name: &str, args: &Args, registry: &MetricRegistry) -> Option<String>
         "table6" => table6::table6_text_instrumented(days.max(4.0), 2.0, seed, Some(registry)),
         "table7" => table7::table7_text(200, seed),
         "fleet" => {
-            fleet_exp::fleet_text_instrumented(args.homes, args.shards, days, seed, Some(registry))
+            let homes = args.homes.unwrap_or(8);
+            let report = fleet_exp::fleet_benchmark(homes, args.shards, days, seed, Some(registry));
+            if args.save {
+                let record = fleet_exp::fleet_bench_record(&report, days, seed);
+                if let Err(e) =
+                    bench_log::append_fleet_record(Path::new(bench_log::BENCH_FLEET_PATH), &record)
+                {
+                    eprintln!("warning: {} not updated: {e}", bench_log::BENCH_FLEET_PATH);
+                }
+            }
+            fleet_exp::fleet_report_text(&report, days, seed)
+        }
+        "profile" => {
+            // The profiling sweep defaults to the 1k-home corpus at a
+            // short capture; --quick shrinks the corpus for CI smokes.
+            let homes = args.homes.unwrap_or(if args.quick { 32 } else { 1000 });
+            let days = args.days.unwrap_or(0.05);
+            let report = profile_exp::profile_run(homes, args.shards, days, seed, Some(registry));
+            if args.save {
+                std::fs::create_dir_all("results").expect("create results dir");
+                if let Some(trace) = &report.trace_jsonl {
+                    std::fs::write("results/trace_profile.jsonl", trace)
+                        .expect("write flight-recorder trace");
+                }
+                if let Err(e) = bench_log::append_fleet_record(
+                    Path::new(bench_log::BENCH_FLEET_PATH),
+                    &report.record,
+                ) {
+                    eprintln!("warning: {} not updated: {e}", bench_log::BENCH_FLEET_PATH);
+                }
+            }
+            report.text
         }
         "attack" => attack_exp::attack_text(seed, args.quick, Some(registry)),
         "oracle" => oracle_exp::oracle_text(seed, args.quick, Some(registry)),
@@ -221,7 +270,7 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
         eprintln!(
-            "usage: experiments <all|fleet|{}> [--days N] [--seed N] [--fast] [--save] \
+            "usage: experiments <all|fleet|profile|{}> [--days N] [--seed N] [--fast] [--save] \
              [--quick] [--homes H] [--shards T]",
             ALL.join("|")
         );

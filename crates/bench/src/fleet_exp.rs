@@ -6,6 +6,7 @@
 //! rather than a paper artifact: the paper runs one proxy per home; the
 //! ROADMAP target is a provider-scale fleet.
 
+use crate::bench_log::{self, BenchRecord, BenchRow};
 use fiat_fleet::{build_workloads, run_sequential, run_sharded, FleetOutcome};
 use fiat_telemetry::MetricRegistry;
 use std::fmt::Write as _;
@@ -106,6 +107,30 @@ pub fn fleet_benchmark(
     }
 }
 
+/// Lower a sweep into a `BENCH_fleet.json` trajectory record.
+pub fn fleet_bench_record(report: &FleetReport, days: f64, seed: u64) -> BenchRecord {
+    BenchRecord {
+        date: bench_log::today_utc(),
+        source: "fleet",
+        note: None,
+        seed,
+        homes: report.homes,
+        days,
+        rows: report
+            .rows
+            .iter()
+            .map(|r| BenchRow {
+                shards: r.shards,
+                packets: r.packets,
+                wall_ms: r.micros as f64 / 1e3,
+                pps: r.pps,
+            })
+            .collect(),
+        stages: Vec::new(),
+        bottleneck: None,
+    }
+}
+
 /// Render the sweep as text (the `experiments fleet` output).
 pub fn fleet_text_instrumented(
     homes: usize,
@@ -115,6 +140,11 @@ pub fn fleet_text_instrumented(
     registry: Option<&MetricRegistry>,
 ) -> String {
     let report = fleet_benchmark(homes, shards_max, days, seed, registry);
+    fleet_report_text(&report, days, seed)
+}
+
+/// Render an already-run sweep as text.
+pub fn fleet_report_text(report: &FleetReport, days: f64, seed: u64) -> String {
     let s = &report.reference.stats;
     let mut out = String::new();
     writeln!(

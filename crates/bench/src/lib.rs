@@ -5,6 +5,7 @@
 //! time the hot paths behind each artifact.
 
 pub mod attack_exp;
+pub mod bench_log;
 pub mod chaos_exp;
 pub mod corpus;
 pub mod fig1;
@@ -12,6 +13,7 @@ pub mod fig2;
 pub mod fleet_exp;
 pub mod ml_tables;
 pub mod oracle_exp;
+pub mod profile_exp;
 pub mod table6;
 pub mod table7;
 pub mod tolerance;

@@ -1,0 +1,187 @@
+//! `experiments profile`: the shard-scaling profiling sweep.
+//!
+//! ROADMAP item 1 in experiment form: run the 1k-home corpus through
+//! [`run_sharded_probed`] at each swept shard count, print the per-shard
+//! / per-stage breakdown with the ranked "top suspected bottleneck"
+//! line, and emit a schema-versioned [`BenchRecord`] for the
+//! `BENCH_fleet.json` trajectory. Every sweep point is still checked
+//! against the sequential reference — a profiler that changes the
+//! answers would be measuring a different program.
+
+use crate::bench_log::{self, BenchRecord, BenchRow};
+use crate::fleet_exp::shard_counts;
+use fiat_fleet::{build_workloads, run_sequential, run_sharded_probed, ProbedOutcome};
+use fiat_probe::{ProbeConfig, Stage};
+use fiat_telemetry::MetricRegistry;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Everything one profiling sweep produced.
+pub struct ProfileReport {
+    /// The rendered report (`results/profile.txt`).
+    pub text: String,
+    /// The trajectory record to append to `BENCH_fleet.json`.
+    pub record: BenchRecord,
+    /// The max-shard run's merged flight-recorder timeline
+    /// (`results/trace_profile.jsonl`).
+    pub trace_jsonl: Option<String>,
+    /// Whether every sweep point merged identically to the sequential
+    /// reference.
+    pub deterministic: bool,
+}
+
+/// Run the profiling sweep. Corpus generation and the sequential
+/// reference run are untimed; each sweep point times one probed fleet
+/// run. With a registry, the max-shard run's profile is published as
+/// probe metrics (`fiat_fleet_shard_busy_ms` et al.) next to
+/// per-shard-count `fiat_fleet_packets_per_sec` gauges.
+pub fn profile_run(
+    homes: usize,
+    shards_max: usize,
+    days: f64,
+    seed: u64,
+    registry: Option<&MetricRegistry>,
+) -> ProfileReport {
+    let probes = ProbeConfig::profiling();
+    let workloads = build_workloads(homes, days, seed);
+    let reference = run_sequential(&workloads);
+
+    let mut text = String::new();
+    writeln!(
+        text,
+        "# Fleet shard-scaling profile: {homes} homes x {days} days (seed {seed})"
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "corpus: {} packets; probes: stage accounting + flight recorder ({} events/ring)",
+        reference.packets, probes.recorder_capacity
+    )
+    .unwrap();
+
+    let mut rows = Vec::new();
+    let mut deterministic = true;
+    let mut last: Option<ProbedOutcome> = None;
+    let mut base_pps = 0.0;
+    for shards in shard_counts(shards_max) {
+        let t0 = Instant::now();
+        let probed = run_sharded_probed(&workloads, shards, &probes);
+        let micros = (t0.elapsed().as_micros() as u64).max(1);
+        let ok = probed.fleet.stats == reference.stats
+            && probed.fleet.packets == reference.packets
+            && probed.fleet.registry.render_prometheus() == reference.registry.render_prometheus();
+        deterministic &= ok;
+        let pps = probed.fleet.packets as f64 * 1e6 / micros as f64;
+        if base_pps == 0.0 {
+            base_pps = pps;
+        }
+        writeln!(
+            text,
+            "\n## shards={shards}: wall-ms {:.1}  packets/s {:.0} ({:.2}x)  \
+             deterministic {}  coverage {:.1}%",
+            micros as f64 / 1e3,
+            pps,
+            if base_pps > 0.0 { pps / base_pps } else { 0.0 },
+            if ok { "yes" } else { "NO" },
+            probed.profile.coverage() * 100.0,
+        )
+        .unwrap();
+        text.push_str(&probed.profile.breakdown_table());
+        writeln!(text, "{}", probed.profile.top_bottleneck()).unwrap();
+        if let Some(r) = registry {
+            r.gauge(
+                "fiat_fleet_packets_per_sec",
+                &[("shards", shards.to_string().as_str())],
+            )
+            .set(pps as i64);
+        }
+        rows.push(BenchRow {
+            shards,
+            packets: probed.fleet.packets,
+            wall_ms: micros as f64 / 1e3,
+            pps,
+        });
+        last = Some(probed);
+    }
+
+    let last = last.expect("shard_counts is never empty");
+    if let Some((total, dropped)) = last.profile.recorder_events {
+        writeln!(
+            text,
+            "\nflight recorder (max-shard run): {total} events recorded, {dropped} evicted"
+        )
+        .unwrap();
+    }
+    writeln!(
+        text,
+        "{}",
+        if deterministic {
+            "every probed run merged to the sequential reference exactly"
+        } else {
+            "WARNING: a probed run diverged from the reference"
+        }
+    )
+    .unwrap();
+    if let Some(r) = registry {
+        r.describe(
+            "fiat_fleet_packets_per_sec",
+            "Fleet decision throughput at each swept shard count.",
+        );
+        last.profile.publish(r);
+    }
+
+    let stages = Stage::ALL
+        .iter()
+        .map(|&s| (s.as_str().to_string(), last.profile.stage_share(s)))
+        .collect();
+    let record = BenchRecord {
+        date: bench_log::today_utc(),
+        source: "profile",
+        note: None,
+        seed,
+        homes,
+        days,
+        rows,
+        stages,
+        bottleneck: Some(last.profile.top_bottleneck()),
+    };
+    ProfileReport {
+        text,
+        record,
+        trace_jsonl: last.recorder.as_ref().map(|r| r.to_jsonl()),
+        deterministic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_sweep_reports_breakdown_and_record() {
+        let registry = MetricRegistry::new();
+        let report = profile_run(3, 2, 0.05, 11, Some(&registry));
+        assert!(report.deterministic);
+        // The breakdown accounts for the wall time (acceptance: >= 95%)
+        // and names a bottleneck.
+        assert!(report.text.contains("coverage 100.0%"), "{}", report.text);
+        assert!(report.text.contains("top suspected bottleneck:"));
+        assert!(report.text.contains("flight recorder"));
+        // The trajectory record mirrors the sweep.
+        assert_eq!(report.record.source, "profile");
+        assert_eq!(report.record.rows.len(), 2);
+        assert!(report.record.rows.iter().all(|r| r.packets > 0));
+        assert!(report.record.bottleneck.is_some());
+        assert_eq!(report.record.stages.len(), Stage::ALL.len());
+        // The probe metrics landed in the registry.
+        assert!(
+            registry
+                .gauge("fiat_fleet_packets_per_sec", &[("shards", "2")])
+                .get()
+                > 0
+        );
+        // The recorder produced a merged JSONL timeline.
+        let trace = report.trace_jsonl.expect("recorder was on");
+        assert!(trace.contains("\"kind\":\"packet_decided\""));
+    }
+}

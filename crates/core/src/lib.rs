@@ -57,7 +57,7 @@ pub use interactions::InteractionGraph;
 pub use notify::{Notification, NotificationCenter, Severity};
 pub use pairing::pair;
 pub use pipeline::{
-    AllowReason, DecisionRecord, DropReason, FiatProxy, ProxyConfig, ProxyDecision, ProxyStats,
-    ProxyTelemetry,
+    AllowReason, DecisionRecord, DropReason, FiatProxy, ProxyConfig, ProxyDecision, ProxyHook,
+    ProxyStats, ProxyTelemetry,
 };
 pub use predict::{PredictabilityEngine, PredictabilityReport, RuleTable, RuleTelemetry};

@@ -314,6 +314,53 @@ impl ProxyDecision {
     pub fn is_quarantine(self) -> bool {
         matches!(self, ProxyDecision::Quarantine)
     }
+
+    /// Stable snake_case reason label (`"rule_hit"`, `"locked_out"`,
+    /// `"pending_proof"`) — the same strings the telemetry `reason`
+    /// label uses.
+    pub fn reason_str(self) -> &'static str {
+        match self {
+            ProxyDecision::Allow(r) => r.as_str(),
+            ProxyDecision::Drop(r) => r.as_str(),
+            ProxyDecision::Quarantine => "pending_proof",
+        }
+    }
+}
+
+/// Observer for decision-path transitions, installed with
+/// [`FiatProxy::set_hook`]. Every method has an empty default body, so
+/// an implementor subscribes only to the transitions it cares about.
+///
+/// Hooks exist for the flight recorder (`fiat-probe`): they fire at the
+/// state transitions a post-mortem needs a causal timeline for — packet
+/// verdicts, proof arrivals, lockout and quarantine changes. The proxy
+/// calls them with the *simulated* packet clock, so a recorded timeline
+/// is deterministic across runs of the same trace.
+///
+/// With no hook installed (the default), each site costs one branch on
+/// an `Option` — the allocation-regression test in `fiat-probe`
+/// (`tests/overhead.rs`) pins the hook-free decide path at zero
+/// allocations.
+pub trait ProxyHook: Send {
+    /// A packet was decided (fires once per [`FiatProxy::on_packet`]).
+    fn on_decision(&self, _ts: SimTime, _device: u16, _decision: ProxyDecision) {}
+    /// A humanness proof arrived and was validated (`verified` is the
+    /// outcome).
+    fn on_proof(&self, _ts: SimTime, _verified: bool) {}
+    /// A device entered brute-force lockout at `ts` (packet time, retro
+    /// event end, or quarantine deadline — whichever triggered it).
+    fn on_lockout(&self, _ts: SimTime, _device: u16) {}
+    /// A lockout was manually cleared (no simulated timestamp: the §5.4
+    /// user action happens outside packet time).
+    fn on_lockout_cleared(&self, _device: u16) {}
+    /// A packet was held in pending-verdict quarantine.
+    fn on_quarantine_held(&self, _ts: SimTime, _device: u16) {}
+    /// A quarantine record was released by a late proof; `packets` held
+    /// packets were forwarded.
+    fn on_quarantine_released(&self, _ts: SimTime, _device: u16, _packets: u64) {}
+    /// A quarantine record expired at its deadline; `packets` held
+    /// packets were discarded.
+    fn on_quarantine_expired(&self, _ts: SimTime, _device: u16, _packets: u64) {}
 }
 
 /// One recent verdict, kept in the proxy's bounded decision [`Journal`].
@@ -582,6 +629,7 @@ pub struct FiatProxy {
     stats: ProxyStats,
     telemetry: ProxyTelemetry,
     released_packets: Vec<PacketRecord>,
+    hook: Option<Box<dyn ProxyHook>>,
 }
 
 impl FiatProxy {
@@ -633,7 +681,15 @@ impl FiatProxy {
             stats: ProxyStats::default(),
             telemetry,
             released_packets: Vec::new(),
+            hook: None,
         }
+    }
+
+    /// Install a decision-path observer (see [`ProxyHook`]). Probing is
+    /// opt-in: without this call every hook site is a single branch on
+    /// `None`.
+    pub fn set_hook(&mut self, hook: Box<dyn ProxyHook>) {
+        self.hook = Some(hook);
     }
 
     /// Decision counters accumulated since start.
@@ -736,6 +792,9 @@ impl FiatProxy {
         if let Some(d) = self.devices.get_mut(&device) {
             if d.locked {
                 self.telemetry.locked_devices_gauge.dec();
+                if let Some(h) = &self.hook {
+                    h.on_lockout_cleared(device);
+                }
             }
             d.locked = false;
             d.drops.clear();
@@ -815,6 +874,9 @@ impl FiatProxy {
         } else {
             self.telemetry.auth_rejected.inc();
         }
+        if let Some(h) = &self.hook {
+            h.on_proof(now, human);
+        }
         Ok(human)
     }
 
@@ -841,6 +903,7 @@ impl FiatProxy {
                     &mut self.audit,
                     &self.telemetry,
                     &mut self.stats,
+                    self.hook.as_deref(),
                 );
                 continue;
             }
@@ -851,6 +914,9 @@ impl FiatProxy {
             self.telemetry
                 .quarantine_depth
                 .add(-(q.packets.len() as i64));
+            if let Some(h) = &self.hook {
+                h.on_quarantine_released(now, id, q.packets.len() as u64);
+            }
             self.released_packets.extend(q.packets);
             self.audit.append(AuditEntry {
                 ts: now,
@@ -874,6 +940,7 @@ impl FiatProxy {
     /// deadline* (not at the observing operation's time — resolution is
     /// lazy, the outcome must not depend on when it is observed), and
     /// the open event (if still this one) seals as `QuarantineExpired`.
+    #[allow(clippy::too_many_arguments)]
     fn expire_quarantine(
         device: u16,
         dev: &mut DeviceState,
@@ -881,16 +948,23 @@ impl FiatProxy {
         audit: &mut AuditLog,
         telemetry: &ProxyTelemetry,
         stats: &mut ProxyStats,
+        hook: Option<&dyn ProxyHook>,
     ) {
         let q = dev.quarantine.take().expect("caller checked presence");
         stats.quarantine_expired += q.packets.len() as u64;
         telemetry.quarantine_expired_ctr.add(q.packets.len() as u64);
         telemetry.quarantine_depth.add(-(q.packets.len() as i64));
+        if let Some(h) = hook {
+            h.on_quarantine_expired(q.deadline, device, q.packets.len() as u64);
+        }
         let locked = Self::record_unverified_drop(&mut dev.drops, q.deadline, config);
         if locked && !dev.locked {
             dev.locked = true;
             telemetry.locked_devices_gauge.inc();
             telemetry.lockouts.inc();
+            if let Some(h) = hook {
+                h.on_lockout(q.deadline, device);
+            }
         }
         audit.append(AuditEntry {
             ts: q.deadline,
@@ -924,6 +998,9 @@ impl FiatProxy {
         let d = self.decide(pkt);
         span.exit();
         self.telemetry.note_decision(pkt.ts, pkt.device, d);
+        if let Some(h) = &self.hook {
+            h.on_decision(pkt.ts, pkt.device, d);
+        }
         match d {
             ProxyDecision::Allow(AllowReason::Bootstrap) => self.stats.bootstrap += 1,
             ProxyDecision::Allow(AllowReason::RuleHit) => self.stats.rule_hit += 1,
@@ -1022,6 +1099,7 @@ impl FiatProxy {
                 &mut self.audit,
                 &self.telemetry,
                 &mut self.stats,
+                self.hook.as_deref(),
             );
             if dev.locked {
                 return ProxyDecision::Drop(DropReason::LockedOut);
@@ -1045,6 +1123,7 @@ impl FiatProxy {
                     &mut self.audit,
                     &self.telemetry,
                     &mut self.stats,
+                    self.hook.as_deref(),
                 );
                 // The retrospective episode may have been the one that
                 // locked the device; the packet that exposed it must not
@@ -1084,6 +1163,9 @@ impl FiatProxy {
                         q.packets.push(pkt.clone());
                         self.telemetry.quarantine_held.inc();
                         self.telemetry.quarantine_depth.inc();
+                        if let Some(h) = &self.hook {
+                            h.on_quarantine_held(now, pkt.device);
+                        }
                         ProxyDecision::Quarantine
                     } else {
                         // Capacity overflow: shed the packet. No audit
@@ -1170,6 +1252,9 @@ impl FiatProxy {
                 open.fate = Some(EventFate::Quarantine);
                 self.telemetry.quarantine_held.inc();
                 self.telemetry.quarantine_depth.inc();
+                if let Some(h) = &self.hook {
+                    h.on_quarantine_held(now, pkt.device);
+                }
                 return ProxyDecision::Quarantine;
             }
         }
@@ -1181,6 +1266,9 @@ impl FiatProxy {
             dev.locked = true;
             self.telemetry.locked_devices_gauge.inc();
             self.telemetry.lockouts.inc();
+            if let Some(h) = &self.hook {
+                h.on_lockout(now, pkt.device);
+            }
         }
         self.audit.append(AuditEntry {
             ts: now,
@@ -1242,6 +1330,7 @@ impl FiatProxy {
                     &mut self.audit,
                     &self.telemetry,
                     &mut self.stats,
+                    self.hook.as_deref(),
                 );
             }
             if dev.open.as_ref().is_some_and(|e| now - e.last >= gap) {
@@ -1258,6 +1347,7 @@ impl FiatProxy {
                         &mut self.audit,
                         &self.telemetry,
                         &mut self.stats,
+                        self.hook.as_deref(),
                     );
                 }
             }
@@ -1282,6 +1372,7 @@ impl FiatProxy {
         audit: &mut AuditLog,
         telemetry: &ProxyTelemetry,
         stats: &mut ProxyStats,
+        hook: Option<&dyn ProxyHook>,
     ) {
         let end = event.last;
         let ev = UnpredictableEvent {
@@ -1318,6 +1409,9 @@ impl FiatProxy {
             dev.locked = true;
             telemetry.locked_devices_gauge.inc();
             telemetry.lockouts.inc();
+            if let Some(h) = hook {
+                h.on_lockout(end, device);
+            }
         }
         audit.append(AuditEntry {
             ts: end,

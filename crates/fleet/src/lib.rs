@@ -23,13 +23,28 @@
 //!   outcomes are folded in shard order — though order cannot matter, by
 //!   the first point.
 
-use fiat_core::{EventClassifier, FiatProxy, ProxyConfig, ProxyStats, ProxyTelemetry};
+//!
+//! [`run_sharded_probed`] is the *observed* twin of [`run_sharded`]: the
+//! same dispatch/decide/merge structure, plus per-stage time accounting,
+//! queue-depth and backpressure probes, and an optional flight recorder
+//! wired into the proxies through [`ProxyHook`]. It lives in separate
+//! code so the unprobed runtime pays nothing — not even a branch in its
+//! shard loop — when nobody is profiling.
+
+use fiat_core::{
+    EventClassifier, FiatProxy, ProxyConfig, ProxyDecision, ProxyHook, ProxyStats, ProxyTelemetry,
+};
 use fiat_net::SimTime;
+use fiat_probe::{
+    AllocScope, FleetProfile, FlightRecorder, ProbeConfig, QueueDepthProbe, ShardProfile,
+    ShardRecorder, Stage, TraceEvent, TraceKind,
+};
 use fiat_sensors::HumannessValidator;
 use fiat_telemetry::{ManualClock, MetricRegistry};
 use fiat_trace::{Location, TestbedConfig, TestbedTrace};
-use std::sync::mpsc;
+use std::sync::mpsc::{self, TrySendError};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Pairing secret shared by every simulated home (the per-home ceremony
 /// is out of scope for throughput runs).
@@ -113,11 +128,22 @@ pub fn build_workloads(homes: usize, days: f64, seed: u64) -> Vec<HomeWorkload> 
 /// and no humanness evidence is injected (unverified manual events drop,
 /// exactly as an unattended home would behave).
 pub fn run_home(capture: &TestbedTrace) -> HomeRun {
+    run_home_with_hook(capture, None)
+}
+
+/// [`run_home`] with an optional decision-path observer installed on the
+/// proxy (the flight recorder). The hook sees transitions; it never
+/// touches the home's registry, so a hooked run produces the same
+/// [`HomeRun`] as an unhooked one.
+pub fn run_home_with_hook(capture: &TestbedTrace, hook: Option<Box<dyn ProxyHook>>) -> HomeRun {
     let registry = MetricRegistry::new();
     let telemetry = ProxyTelemetry::new(registry.clone(), Arc::new(ManualClock::new()));
     let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
     let mut proxy =
         FiatProxy::with_telemetry(ProxyConfig::default(), &SECRET, validator, telemetry);
+    if let Some(h) = hook {
+        proxy.set_hook(h);
+    }
     proxy.set_dns(capture.trace.dns.clone());
     for (i, dev) in capture.devices.iter().enumerate() {
         // Simple-rule devices classify by their command size; ML devices
@@ -202,6 +228,270 @@ pub fn run_sharded(workloads: &[HomeWorkload], shards: usize) -> FleetOutcome {
             .collect();
     });
     fold(outcomes, shards)
+}
+
+/// Bridges the proxy's [`ProxyHook`] transitions into a shard's flight
+/// recorder ring. One per home (events carry the home id); homes on the
+/// same shard share the ring through an [`Arc`].
+struct RecorderHook {
+    home: u32,
+    ring: Arc<ShardRecorder>,
+}
+
+impl RecorderHook {
+    fn record(&self, ts_us: u64, device: u16, kind: TraceKind, detail: &'static str, arg: u64) {
+        self.ring.record(TraceEvent {
+            ts_us,
+            home: self.home,
+            device,
+            kind,
+            detail,
+            arg,
+        });
+    }
+}
+
+impl ProxyHook for RecorderHook {
+    fn on_decision(&self, ts: SimTime, device: u16, decision: ProxyDecision) {
+        self.record(
+            ts.as_micros(),
+            device,
+            TraceKind::PacketDecided,
+            decision.reason_str(),
+            0,
+        );
+    }
+
+    fn on_proof(&self, ts: SimTime, verified: bool) {
+        let detail = if verified { "verified" } else { "rejected" };
+        self.record(ts.as_micros(), 0, TraceKind::ProofArrival, detail, 0);
+    }
+
+    fn on_lockout(&self, ts: SimTime, device: u16) {
+        self.record(ts.as_micros(), device, TraceKind::LockoutEntered, "", 0);
+    }
+
+    fn on_lockout_cleared(&self, device: u16) {
+        // No simulated timestamp (a user action, not a packet): recorded
+        // at the sim origin, ordered among its shard's events by seq.
+        self.record(0, device, TraceKind::LockoutCleared, "", 0);
+    }
+
+    fn on_quarantine_held(&self, ts: SimTime, device: u16) {
+        self.record(ts.as_micros(), device, TraceKind::QuarantineHeld, "", 0);
+    }
+
+    fn on_quarantine_released(&self, ts: SimTime, device: u16, packets: u64) {
+        self.record(
+            ts.as_micros(),
+            device,
+            TraceKind::QuarantineReleased,
+            "",
+            packets,
+        );
+    }
+
+    fn on_quarantine_expired(&self, ts: SimTime, device: u16, packets: u64) {
+        self.record(
+            ts.as_micros(),
+            device,
+            TraceKind::QuarantineExpired,
+            "",
+            packets,
+        );
+    }
+}
+
+/// First and last simulated packet timestamps of a capture, for home
+/// lifecycle trace events.
+fn sim_span(capture: &TestbedTrace) -> (u64, u64) {
+    let first = capture
+        .trace
+        .packets
+        .first()
+        .map_or(0, |p| p.ts.as_micros());
+    let last = capture
+        .trace
+        .packets
+        .last()
+        .map_or(first, |p| p.ts.as_micros());
+    (first, last)
+}
+
+/// What a probed fleet run produced: the (unchanged) fleet view, the
+/// per-shard stage accounting, and the flight recorder if one was on.
+pub struct ProbedOutcome {
+    /// The merged fleet view — identical to what [`run_sharded`] (and
+    /// the sequential reference) produce for the same workloads.
+    pub fleet: FleetOutcome,
+    /// Per-shard / per-stage wall-time accounting.
+    pub profile: FleetProfile,
+    /// The flight recorder, when `probes.recorder_capacity > 0`.
+    pub recorder: Option<FlightRecorder>,
+}
+
+/// [`run_sharded`] with observability: per-shard stage accounting
+/// (recv / decide / merge, plus feeder-side dispatch and collector-side
+/// merge-barrier wait), queue-depth high-water and send-block probes,
+/// per-stage allocation attribution (when the binary installs
+/// [`fiat_probe::CountingAllocator`]), and an optional flight recorder
+/// hooked into every proxy's decision path.
+///
+/// The probes only *observe*: per-home proxies still run on the manual
+/// clock and their registries still fold by addition, so the merged
+/// `fleet` view stays byte-identical to [`run_sequential`].
+pub fn run_sharded_probed(
+    workloads: &[HomeWorkload],
+    shards: usize,
+    probes: &ProbeConfig,
+) -> ProbedOutcome {
+    let shards = shards.clamp(1, workloads.len().max(1));
+    let run_start = Instant::now();
+    let recorder = (probes.recorder_capacity > 0)
+        .then(|| FlightRecorder::new(shards, probes.recorder_capacity));
+    let queue_probes: Vec<Arc<QueueDepthProbe>> = (0..shards)
+        .map(|_| Arc::new(QueueDepthProbe::new()))
+        .collect();
+    let mut results: Vec<(ShardOutcome, ShardProfile)> = Vec::with_capacity(shards);
+    let mut dispatch_nanos = vec![0u64; shards];
+    let mut send_blocks = vec![0u64; shards];
+    let mut merge_wait_nanos = vec![0u64; shards];
+    std::thread::scope(|s| {
+        let mut senders = Vec::with_capacity(shards);
+        let mut handles = Vec::with_capacity(shards);
+        for (shard, queue_probe) in queue_probes.iter().enumerate() {
+            let (tx, rx) = mpsc::sync_channel::<&HomeWorkload>(SHARD_QUEUE_DEPTH);
+            senders.push(tx);
+            let qprobe = Arc::clone(queue_probe);
+            let ring = recorder.as_ref().map(|r| r.shard(shard));
+            handles.push(s.spawn(move || {
+                let shard_start = Instant::now();
+                let mut profile = ShardProfile::new(shard);
+                let registry = MetricRegistry::new();
+                let mut stats = ProxyStats::default();
+                let mut packets = 0u64;
+                let mut homes = 0usize;
+                loop {
+                    let t = Instant::now();
+                    let Ok(w) = rx.recv() else {
+                        profile.add(Stage::Recv, t.elapsed());
+                        break;
+                    };
+                    profile.add(Stage::Recv, t.elapsed());
+                    qprobe.on_recv();
+                    let (first_ts, last_ts) = sim_span(&w.capture);
+                    if let Some(ring) = &ring {
+                        ring.record(TraceEvent {
+                            ts_us: first_ts,
+                            home: w.home,
+                            device: 0,
+                            kind: TraceKind::HomeDequeued,
+                            detail: "",
+                            arg: 0,
+                        });
+                    }
+                    let hook = ring.as_ref().map(|r| {
+                        Box::new(RecorderHook {
+                            home: w.home,
+                            ring: Arc::clone(r),
+                        }) as Box<dyn ProxyHook>
+                    });
+                    let alloc = AllocScope::enter();
+                    let t = Instant::now();
+                    let run = run_home_with_hook(&w.capture, hook);
+                    profile.add(Stage::Decide, t.elapsed());
+                    profile.add_allocs(Stage::Decide, alloc.delta());
+                    if let Some(ring) = &ring {
+                        ring.record(TraceEvent {
+                            ts_us: last_ts,
+                            home: w.home,
+                            device: 0,
+                            kind: TraceKind::HomeFinished,
+                            detail: "",
+                            arg: run.packets,
+                        });
+                    }
+                    let alloc = AllocScope::enter();
+                    let t = Instant::now();
+                    registry.merge_from(&run.registry);
+                    stats += run.stats;
+                    packets += run.packets;
+                    homes += 1;
+                    profile.add(Stage::Merge, t.elapsed());
+                    profile.add_allocs(Stage::Merge, alloc.delta());
+                }
+                profile.wall_nanos = shard_start.elapsed().as_nanos() as u64;
+                profile.homes = homes as u64;
+                profile.packets = packets;
+                (
+                    ShardOutcome {
+                        shard,
+                        homes,
+                        packets,
+                        stats,
+                        registry,
+                    },
+                    profile,
+                )
+            }));
+        }
+        let feeder_ring = recorder.as_ref().map(|r| r.shard(r.feeder_index()));
+        for (i, w) in workloads.iter().enumerate() {
+            let shard = i % shards;
+            if let Some(ring) = &feeder_ring {
+                ring.record(TraceEvent {
+                    ts_us: sim_span(&w.capture).0,
+                    home: w.home,
+                    device: 0,
+                    kind: TraceKind::HomeEnqueued,
+                    detail: "",
+                    arg: w.capture.trace.packets.len() as u64,
+                });
+            }
+            queue_probes[shard].on_send();
+            let t = Instant::now();
+            match senders[shard].try_send(w) {
+                Ok(()) => {}
+                Err(TrySendError::Full(back)) => {
+                    send_blocks[shard] += 1;
+                    senders[shard].send(back).expect("shard worker alive");
+                }
+                Err(TrySendError::Disconnected(_)) => panic!("shard worker exited early"),
+            }
+            dispatch_nanos[shard] += t.elapsed().as_nanos() as u64;
+        }
+        drop(senders);
+        for (shard, h) in handles.into_iter().enumerate() {
+            let t = Instant::now();
+            let r = h.join().expect("shard worker panicked");
+            merge_wait_nanos[shard] = t.elapsed().as_nanos() as u64;
+            results.push(r);
+        }
+    });
+    let mut outcomes = Vec::with_capacity(shards);
+    let mut profiles = Vec::with_capacity(shards);
+    for (i, (outcome, mut profile)) in results.into_iter().enumerate() {
+        profile.add(Stage::Dispatch, Duration::from_nanos(dispatch_nanos[i]));
+        profile.add(Stage::MergeWait, Duration::from_nanos(merge_wait_nanos[i]));
+        profile.send_blocks = send_blocks[i];
+        profile.queue_highwater = queue_probes[i].highwater();
+        outcomes.push(outcome);
+        profiles.push(profile);
+    }
+    let t = Instant::now();
+    let fleet = fold(outcomes, shards);
+    let fold_nanos = t.elapsed().as_nanos() as u64;
+    let profile = FleetProfile {
+        shards: profiles,
+        wall_nanos: run_start.elapsed().as_nanos() as u64,
+        fold_nanos,
+        recorder_events: recorder.as_ref().map(|r| (r.total(), r.dropped())),
+    };
+    ProbedOutcome {
+        fleet,
+        profile,
+        recorder,
+    }
 }
 
 /// The sequential reference: every home in order on the calling thread,
@@ -294,6 +584,69 @@ mod tests {
         let fleet = run_sharded(&workloads, 16);
         assert_eq!(fleet.shards, 2);
         assert_eq!(fleet.homes, 2);
+    }
+
+    #[test]
+    fn probed_run_preserves_determinism() {
+        // The whole point of the probe layer: observing the fleet must
+        // not change what it computes. Probed runs (recorder on and off)
+        // merge byte-identically to the sequential reference.
+        let workloads = small_workloads();
+        let reference = run_sequential(&workloads);
+        for probes in [ProbeConfig::default(), ProbeConfig::profiling()] {
+            for shards in [1, 2, 4] {
+                let probed = run_sharded_probed(&workloads, shards, &probes);
+                assert_eq!(probed.fleet.stats, reference.stats, "{shards} shards");
+                assert_eq!(
+                    probed.fleet.registry.render_prometheus(),
+                    reference.registry.render_prometheus(),
+                    "{shards} shards, recorder_capacity {}",
+                    probes.recorder_capacity
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn probed_run_accounts_its_wall_time() {
+        let workloads = small_workloads();
+        let probed = run_sharded_probed(&workloads, 2, &ProbeConfig::default());
+        // The acceptance bar: the per-shard breakdown explains >= 95% of
+        // each shard's measured wall time (100% by construction).
+        assert!(probed.profile.coverage() >= 0.95);
+        assert_eq!(probed.profile.shards.len(), 2);
+        assert_eq!(
+            probed.profile.shards.iter().map(|s| s.homes).sum::<u64>(),
+            4
+        );
+        assert_eq!(
+            probed.profile.shards.iter().map(|s| s.packets).sum::<u64>(),
+            probed.fleet.packets
+        );
+        // Every shard decided something, so decide time is non-zero.
+        for sp in &probed.profile.shards {
+            assert!(sp.stage_nanos(Stage::Decide) > 0, "shard {}", sp.shard);
+        }
+        assert!(!probed.profile.top_bottleneck().is_empty());
+        // Probes off: no recorder was built.
+        assert!(probed.recorder.is_none());
+        assert!(probed.profile.recorder_events.is_none());
+    }
+
+    #[test]
+    fn flight_recorder_timeline_is_reproducible() {
+        let workloads = small_workloads();
+        let run = || {
+            let probed = run_sharded_probed(&workloads, 2, &ProbeConfig::profiling());
+            probed.recorder.expect("recorder on").to_jsonl()
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "merged trace must not depend on scheduling");
+        // The timeline carries packet decisions from both shards' homes.
+        assert!(a.contains("\"kind\":\"packet_decided\""));
+        assert!(a.contains("\"kind\":\"home_finished\""));
     }
 
     #[test]

@@ -1,0 +1,504 @@
+//! Per-shard wall-time accounting for the fleet runtime.
+//!
+//! The shard loop is a four-state machine — wait for work, decide a
+//! home, merge its registry, repeat — and the feeder adds two more
+//! costs from the outside: time blocked pushing into a full shard
+//! channel (backpressure) and time the collector waits at the merge
+//! barrier for the shard to finish. A [`ShardProfile`] buckets all of
+//! it into named [`Stage`]s whose sum, with the residual reported as
+//! [`Stage::Idle`], equals the shard's measured wall time by
+//! construction — so the breakdown always accounts for 100% of where
+//! the time went, and a flat scaling curve decomposes into named,
+//! rankable costs.
+
+use fiat_telemetry::MetricRegistry;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A named time bucket in the shard/fleet breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Shard blocked on its work channel waiting for a home.
+    Recv,
+    /// Shard running a home's capture through its proxy (useful work).
+    Decide,
+    /// Shard folding a finished home's registry and stats into its own.
+    Merge,
+    /// Feeder blocked sending a home into this shard's full channel.
+    Dispatch,
+    /// Collector waiting at the merge barrier for this shard to exit.
+    MergeWait,
+    /// Residual: shard wall time not attributed to recv/decide/merge
+    /// (loop bookkeeping, probe overhead itself).
+    Idle,
+}
+
+impl Stage {
+    /// All stages, in breakdown-table column order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Recv,
+        Stage::Decide,
+        Stage::Merge,
+        Stage::Dispatch,
+        Stage::MergeWait,
+        Stage::Idle,
+    ];
+
+    /// Stages accumulated inside the shard loop itself (their sum plus
+    /// idle equals the shard's wall time).
+    pub const IN_SHARD: [Stage; 3] = [Stage::Recv, Stage::Decide, Stage::Merge];
+
+    /// Stable snake_case name used as the telemetry `stage` label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Recv => "recv",
+            Stage::Decide => "decide",
+            Stage::Merge => "merge",
+            Stage::Dispatch => "dispatch",
+            Stage::MergeWait => "merge_wait",
+            Stage::Idle => "idle",
+        }
+    }
+
+    /// What to suspect when this stage dominates non-decide time.
+    fn suspicion(self) -> &'static str {
+        match self {
+            Stage::Recv => "shard starvation: the feeder cannot keep shards supplied",
+            Stage::Decide => "serial per-home decide cost (allocation or locks in the shard loop)",
+            Stage::Merge => "per-home registry merge cost inside the shard loop",
+            Stage::Dispatch => {
+                "channel backpressure: shard queues too shallow for the arrival rate"
+            }
+            Stage::MergeWait => "merge-barrier skew: uneven home cost leaves shards waiting",
+            Stage::Idle => "unattributed shard time (probe or loop overhead)",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Recv => 0,
+            Stage::Decide => 1,
+            Stage::Merge => 2,
+            Stage::Dispatch => 3,
+            Stage::MergeWait => 4,
+            Stage::Idle => 5,
+        }
+    }
+}
+
+/// One shard's accounted run.
+#[derive(Debug, Clone, Default)]
+pub struct ShardProfile {
+    /// Shard index.
+    pub shard: usize,
+    /// Nanoseconds per stage ([`Stage::index`] order). `Idle` is not
+    /// written directly; it is derived as the wall residual.
+    nanos: [u64; 6],
+    /// Heap allocations per stage (from [`crate::alloc`]'s per-thread
+    /// counter; all zero unless the binary installs the counting
+    /// allocator).
+    allocs: [u64; 6],
+    /// The shard's total wall time, from first spawn to loop exit.
+    pub wall_nanos: u64,
+    /// Homes this shard decided.
+    pub homes: u64,
+    /// Packets this shard decided.
+    pub packets: u64,
+    /// Channel queue-depth high-water mark observed for this shard.
+    pub queue_highwater: u64,
+    /// Sends into this shard's channel that found it full.
+    pub send_blocks: u64,
+}
+
+impl ShardProfile {
+    /// An empty profile for `shard`.
+    pub fn new(shard: usize) -> Self {
+        ShardProfile {
+            shard,
+            ..Default::default()
+        }
+    }
+
+    /// Add measured time to a stage.
+    pub fn add(&mut self, stage: Stage, d: Duration) {
+        self.nanos[stage.index()] += d.as_nanos() as u64;
+    }
+
+    /// Add an allocation count to a stage.
+    pub fn add_allocs(&mut self, stage: Stage, n: u64) {
+        self.allocs[stage.index()] += n;
+    }
+
+    /// Nanoseconds attributed to a stage. [`Stage::Idle`] is the wall
+    /// residual after the in-shard stages (zero if over-accounted).
+    pub fn stage_nanos(&self, stage: Stage) -> u64 {
+        if stage == Stage::Idle {
+            let accounted: u64 = Stage::IN_SHARD.iter().map(|s| self.nanos[s.index()]).sum();
+            self.wall_nanos.saturating_sub(accounted)
+        } else {
+            self.nanos[stage.index()]
+        }
+    }
+
+    /// Allocations attributed to a stage.
+    pub fn stage_allocs(&self, stage: Stage) -> u64 {
+        self.allocs[stage.index()]
+    }
+
+    /// Fraction of this shard's wall time accounted by in-shard stages
+    /// plus the idle residual (1.0 by construction unless stages
+    /// over-accounted past the wall, which caps at 1.0 too).
+    pub fn coverage(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 1.0;
+        }
+        let total: u64 = Stage::IN_SHARD
+            .iter()
+            .map(|s| self.stage_nanos(*s))
+            .sum::<u64>()
+            + self.stage_nanos(Stage::Idle);
+        (total as f64 / self.wall_nanos as f64).min(1.0)
+    }
+}
+
+/// Channel-depth probe: the feeder bumps on send, the shard drops on
+/// recv, and the high-water mark survives for the profile. `std::mpsc`
+/// exposes no queue length, so the probe keeps its own.
+#[derive(Debug, Default)]
+pub struct QueueDepthProbe {
+    depth: AtomicI64,
+    high: AtomicU64,
+}
+
+impl QueueDepthProbe {
+    /// A probe starting at depth zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Note one item entering the queue.
+    pub fn on_send(&self) {
+        let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        if d > 0 {
+            self.high.fetch_max(d as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Note one item leaving the queue.
+    pub fn on_recv(&self) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Deepest the queue has been.
+    pub fn highwater(&self) -> u64 {
+        self.high.load(Ordering::Relaxed)
+    }
+}
+
+/// The whole fleet run, accounted.
+#[derive(Debug, Clone, Default)]
+pub struct FleetProfile {
+    /// Per-shard profiles, in shard order.
+    pub shards: Vec<ShardProfile>,
+    /// Wall time of the whole sharded run (spawn to fold complete).
+    pub wall_nanos: u64,
+    /// Time the collector spent folding shard outcomes after the
+    /// barrier.
+    pub fold_nanos: u64,
+    /// Flight-recorder volume, if one ran: (recorded, evicted).
+    pub recorder_events: Option<(u64, u64)>,
+}
+
+impl FleetProfile {
+    /// Total nanoseconds across shards for one stage.
+    pub fn stage_total(&self, stage: Stage) -> u64 {
+        self.shards.iter().map(|s| s.stage_nanos(stage)).sum()
+    }
+
+    /// A stage's share of total shard wall time (0.0 when nothing ran).
+    pub fn stage_share(&self, stage: Stage) -> f64 {
+        let wall: u64 = self.shards.iter().map(|s| s.wall_nanos).sum();
+        if wall == 0 {
+            0.0
+        } else {
+            self.stage_total(stage) as f64 / wall as f64
+        }
+    }
+
+    /// Minimum per-shard coverage: how much of each shard's measured
+    /// wall time the breakdown explains. The acceptance bar is ≥ 0.95;
+    /// by construction (idle = residual) this is 1.0.
+    pub fn coverage(&self) -> f64 {
+        self.shards.iter().map(|s| s.coverage()).fold(1.0, f64::min)
+    }
+
+    /// Non-decide stages ranked by share of shard wall time, largest
+    /// first — the suspected parallelism eaters.
+    pub fn ranked_suspects(&self) -> Vec<(Stage, f64)> {
+        let mut v: Vec<(Stage, f64)> = [Stage::Recv, Stage::Merge, Stage::MergeWait, Stage::Idle]
+            .iter()
+            .map(|&s| (s, self.stage_share(s)))
+            .collect();
+        // Dispatch and merge-wait are measured on the feeder/collector
+        // side; normalize them against total shard wall too.
+        let wall: u64 = self.shards.iter().map(|s| s.wall_nanos).sum();
+        if wall > 0 {
+            v.push((
+                Stage::Dispatch,
+                self.stage_total(Stage::Dispatch) as f64 / wall as f64,
+            ));
+        }
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// The ranked "top suspected bottleneck" line for the profile
+    /// report. Always non-empty.
+    pub fn top_bottleneck(&self) -> String {
+        match self.ranked_suspects().into_iter().next() {
+            Some((stage, share)) => format!(
+                "top suspected bottleneck: {} {:.1}% — {}",
+                stage.as_str(),
+                share * 100.0,
+                stage.suspicion()
+            ),
+            None => "top suspected bottleneck: none (no shards profiled)".to_string(),
+        }
+    }
+
+    /// Render the per-shard / per-stage breakdown table (milliseconds),
+    /// with a fleet totals row.
+    pub fn breakdown_table(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{:>6} {:>9}", "shard", "wall-ms");
+        for s in Stage::ALL {
+            let _ = write!(out, " {:>10}", s.as_str());
+        }
+        let _ = writeln!(out, " {:>8} {:>7} {:>12}", "homes", "q-high", "allocs");
+        let ms = |n: u64| n as f64 / 1e6;
+        for sp in &self.shards {
+            let _ = write!(out, "{:>6} {:>9.1}", sp.shard, ms(sp.wall_nanos));
+            for s in Stage::ALL {
+                let _ = write!(out, " {:>10.1}", ms(sp.stage_nanos(s)));
+            }
+            let allocs: u64 = Stage::ALL.iter().map(|s| sp.stage_allocs(*s)).sum();
+            let _ = writeln!(
+                out,
+                " {:>8} {:>7} {:>12}",
+                sp.homes, sp.queue_highwater, allocs
+            );
+        }
+        let wall: u64 = self.shards.iter().map(|s| s.wall_nanos).sum();
+        let _ = write!(out, "{:>6} {:>9.1}", "total", ms(wall));
+        for s in Stage::ALL {
+            let _ = write!(out, " {:>10.1}", ms(self.stage_total(s)));
+        }
+        let homes: u64 = self.shards.iter().map(|s| s.homes).sum();
+        let allocs: u64 = self
+            .shards
+            .iter()
+            .flat_map(|sp| Stage::ALL.iter().map(move |s| sp.stage_allocs(*s)))
+            .sum();
+        let high = self
+            .shards
+            .iter()
+            .map(|s| s.queue_highwater)
+            .max()
+            .unwrap_or(0);
+        let _ = writeln!(out, " {:>8} {:>7} {:>12}", homes, high, allocs);
+        out
+    }
+
+    /// Publish the profile into a registry (the probe registry, *not*
+    /// the deterministic merged fleet registry):
+    /// `fiat_fleet_shard_busy_ms{shard,stage}`,
+    /// `fiat_fleet_queue_highwater{shard}`,
+    /// `fiat_fleet_send_blocks_total{shard}`,
+    /// `fiat_fleet_shard_allocs{shard,stage}`, and the
+    /// `fiat_fleet_merge_wait_us` barrier histogram.
+    pub fn publish(&self, registry: &MetricRegistry) {
+        registry.describe(
+            "fiat_fleet_shard_busy_ms",
+            "Wall time a shard spent in each accounted stage.",
+        );
+        registry.describe(
+            "fiat_fleet_queue_highwater",
+            "Deepest observed work-queue depth per shard.",
+        );
+        registry.describe(
+            "fiat_fleet_send_blocks_total",
+            "Dispatches that found a shard's queue full (backpressure).",
+        );
+        registry.describe(
+            "fiat_fleet_shard_allocs",
+            "Heap allocations attributed to a shard stage (0 unless the counting allocator is installed).",
+        );
+        registry.describe(
+            "fiat_fleet_merge_wait_us",
+            "Merge-barrier wait per shard: collector time blocked on each shard's exit.",
+        );
+        let merge_wait = registry.histogram("fiat_fleet_merge_wait_us", &[]);
+        for sp in &self.shards {
+            let shard = sp.shard.to_string();
+            for s in Stage::ALL {
+                registry
+                    .gauge(
+                        "fiat_fleet_shard_busy_ms",
+                        &[("shard", shard.as_str()), ("stage", s.as_str())],
+                    )
+                    .set((sp.stage_nanos(s) / 1_000_000) as i64);
+            }
+            registry
+                .gauge("fiat_fleet_queue_highwater", &[("shard", shard.as_str())])
+                .set(sp.queue_highwater as i64);
+            registry
+                .counter("fiat_fleet_send_blocks_total", &[("shard", shard.as_str())])
+                .add(sp.send_blocks);
+            for s in Stage::ALL {
+                let n = sp.stage_allocs(s);
+                if n > 0 {
+                    registry
+                        .gauge(
+                            "fiat_fleet_shard_allocs",
+                            &[("shard", shard.as_str()), ("stage", s.as_str())],
+                        )
+                        .set(n as i64);
+                }
+            }
+            merge_wait.record(sp.stage_nanos(Stage::MergeWait) / 1_000);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_with(shard: usize, wall_ms: u64, decide_ms: u64, recv_ms: u64) -> ShardProfile {
+        let mut p = ShardProfile::new(shard);
+        p.wall_nanos = wall_ms * 1_000_000;
+        p.add(Stage::Decide, Duration::from_millis(decide_ms));
+        p.add(Stage::Recv, Duration::from_millis(recv_ms));
+        p
+    }
+
+    #[test]
+    fn idle_is_the_wall_residual_and_coverage_is_total() {
+        let p = profile_with(0, 100, 60, 25);
+        assert_eq!(p.stage_nanos(Stage::Decide), 60_000_000);
+        assert_eq!(p.stage_nanos(Stage::Idle), 15_000_000);
+        assert!((p.coverage() - 1.0).abs() < 1e-9);
+        // Over-accounting (stages > wall) caps coverage at 1.0.
+        let p = profile_with(1, 10, 20, 0);
+        assert_eq!(p.stage_nanos(Stage::Idle), 0);
+        assert!(p.coverage() <= 1.0);
+    }
+
+    #[test]
+    fn fleet_coverage_meets_the_acceptance_bar() {
+        let fp = FleetProfile {
+            shards: vec![profile_with(0, 100, 70, 20), profile_with(1, 100, 40, 55)],
+            wall_nanos: 110_000_000,
+            fold_nanos: 1_000_000,
+            recorder_events: None,
+        };
+        assert!(fp.coverage() >= 0.95);
+        assert!((fp.stage_share(Stage::Decide) - 0.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bottleneck_ranking_names_the_dominant_non_decide_stage() {
+        let mut a = profile_with(0, 100, 30, 65);
+        a.queue_highwater = 1;
+        let fp = FleetProfile {
+            shards: vec![a],
+            wall_nanos: 100_000_000,
+            fold_nanos: 0,
+            recorder_events: None,
+        };
+        let top = fp.top_bottleneck();
+        assert!(top.starts_with("top suspected bottleneck: recv"), "{top}");
+        assert!(top.contains("starvation"), "{top}");
+        let ranked = fp.ranked_suspects();
+        assert_eq!(ranked[0].0, Stage::Recv);
+        assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+
+    #[test]
+    fn breakdown_table_has_all_stages_and_a_total_row() {
+        let fp = FleetProfile {
+            shards: vec![profile_with(0, 50, 40, 5), profile_with(1, 50, 35, 10)],
+            wall_nanos: 55_000_000,
+            fold_nanos: 0,
+            recorder_events: None,
+        };
+        let t = fp.breakdown_table();
+        for s in Stage::ALL {
+            assert!(t.contains(s.as_str()), "missing {}", s.as_str());
+        }
+        assert!(t.contains("total"));
+        assert_eq!(t.lines().count(), 4); // header + 2 shards + total
+    }
+
+    #[test]
+    fn publish_writes_probe_metrics() {
+        let mut p = profile_with(0, 100, 60, 25);
+        p.add(Stage::MergeWait, Duration::from_millis(7));
+        p.queue_highwater = 3;
+        p.send_blocks = 2;
+        p.add_allocs(Stage::Decide, 11);
+        let fp = FleetProfile {
+            shards: vec![p],
+            wall_nanos: 100_000_000,
+            fold_nanos: 0,
+            recorder_events: None,
+        };
+        let r = MetricRegistry::new();
+        fp.publish(&r);
+        assert_eq!(
+            r.gauge(
+                "fiat_fleet_shard_busy_ms",
+                &[("shard", "0"), ("stage", "decide")]
+            )
+            .get(),
+            60
+        );
+        assert_eq!(
+            r.gauge("fiat_fleet_queue_highwater", &[("shard", "0")])
+                .get(),
+            3
+        );
+        assert_eq!(
+            r.counter("fiat_fleet_send_blocks_total", &[("shard", "0")])
+                .get(),
+            2
+        );
+        assert_eq!(
+            r.gauge(
+                "fiat_fleet_shard_allocs",
+                &[("shard", "0"), ("stage", "decide")]
+            )
+            .get(),
+            11
+        );
+        let h = r.histogram("fiat_fleet_merge_wait_us", &[]);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 7_000);
+    }
+
+    #[test]
+    fn queue_depth_probe_tracks_highwater() {
+        let q = QueueDepthProbe::new();
+        q.on_send();
+        q.on_send();
+        q.on_recv();
+        q.on_send();
+        q.on_send();
+        assert_eq!(q.highwater(), 3);
+        q.on_recv();
+        q.on_recv();
+        q.on_recv();
+        assert_eq!(q.highwater(), 3);
+    }
+}

@@ -1,0 +1,348 @@
+//! The flight recorder: bounded per-shard rings of structured trace
+//! events, merged deterministically on the simulated clock.
+//!
+//! Counters compress history; a regression (a false drop, a posture
+//! flip) needs the *sequence* that led to it. Each shard owns a ring of
+//! the most recent [`TraceEvent`]s — event timestamps come from the
+//! simulated packet clock, so two runs of the same seed record the same
+//! timeline — and [`FlightRecorder::merged`] interleaves shards by
+//! `(ts, shard, seq)`, a total order that does not depend on thread
+//! scheduling. Rings are bounded and evict oldest-first: memory is
+//! `O(shards × capacity)` no matter how long the run, and the eviction
+//! count tells a reader whether the window is complete.
+//!
+//! Lock cost: one uncontended `Mutex` per shard (only that shard's
+//! thread records into it), taken once per event. The unprobed runtime
+//! never constructs a recorder at all.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// What happened. Packet-level kinds come from the proxy's transition
+/// hooks; home-level kinds from the fleet dispatch loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A home workload was queued to a shard channel (feeder side).
+    HomeEnqueued,
+    /// A shard pulled a home workload off its channel.
+    HomeDequeued,
+    /// A shard finished deciding a home's capture.
+    HomeFinished,
+    /// The proxy decided one packet (`detail` carries the reason label).
+    PacketDecided,
+    /// A humanness proof arrived (`detail`: verified / rejected).
+    ProofArrival,
+    /// A device entered brute-force lockout.
+    LockoutEntered,
+    /// A lockout was manually cleared.
+    LockoutCleared,
+    /// A packet was held in pending-verdict quarantine.
+    QuarantineHeld,
+    /// A quarantine record was released by a late proof (`arg`: packets).
+    QuarantineReleased,
+    /// A quarantine record expired at its deadline (`arg`: packets).
+    QuarantineExpired,
+}
+
+impl TraceKind {
+    /// Stable snake_case name used in the JSONL dump.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceKind::HomeEnqueued => "home_enqueued",
+            TraceKind::HomeDequeued => "home_dequeued",
+            TraceKind::HomeFinished => "home_finished",
+            TraceKind::PacketDecided => "packet_decided",
+            TraceKind::ProofArrival => "proof_arrival",
+            TraceKind::LockoutEntered => "lockout_entered",
+            TraceKind::LockoutCleared => "lockout_cleared",
+            TraceKind::QuarantineHeld => "quarantine_held",
+            TraceKind::QuarantineReleased => "quarantine_released",
+            TraceKind::QuarantineExpired => "quarantine_expired",
+        }
+    }
+}
+
+/// One recorded event. `Copy`, no heap: recording into a warm ring
+/// allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated-clock timestamp (microseconds) — the deterministic
+    /// merge key, not wall time.
+    pub ts_us: u64,
+    /// Home the event belongs to.
+    pub home: u32,
+    /// Device within the home (0 for home-level events).
+    pub device: u16,
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Kind-specific label (decision reason, proof result); `""` when
+    /// the kind needs none.
+    pub detail: &'static str,
+    /// Kind-specific magnitude (packet counts for quarantine resolution
+    /// and home lifecycle events).
+    pub arg: u64,
+}
+
+/// A recorded event plus its ring-assigned per-shard sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqEvent {
+    /// Shard that recorded the event.
+    pub shard: u32,
+    /// Position in that shard's record stream (monotone, gap-free even
+    /// across eviction).
+    pub seq: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: VecDeque<SeqEvent>,
+    capacity: usize,
+    seq: u64,
+    dropped: u64,
+}
+
+/// One shard's bounded event ring. Thread-safe (the owning shard records
+/// while the collector later reads), evicts oldest-first.
+#[derive(Debug)]
+pub struct ShardRecorder {
+    shard: u32,
+    ring: Mutex<Ring>,
+}
+
+impl ShardRecorder {
+    /// A ring for `shard` holding at most `capacity` events (min 1).
+    pub fn new(shard: u32, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        ShardRecorder {
+            shard,
+            ring: Mutex::new(Ring {
+                buf: VecDeque::with_capacity(capacity),
+                capacity,
+                seq: 0,
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Record an event, evicting the oldest when full. Allocation-free
+    /// once the ring has filled (the `VecDeque` is pre-sized and
+    /// `SeqEvent` is `Copy`).
+    pub fn record(&self, event: TraceEvent) {
+        let mut r = self.ring.lock().unwrap();
+        if r.buf.len() == r.capacity {
+            r.buf.pop_front();
+            r.dropped += 1;
+        }
+        let seq = r.seq;
+        r.seq += 1;
+        let shard = self.shard;
+        r.buf.push_back(SeqEvent { shard, seq, event });
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> Vec<SeqEvent> {
+        self.ring.lock().unwrap().buf.iter().copied().collect()
+    }
+
+    /// Events evicted to make room.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().unwrap().dropped
+    }
+
+    /// Events ever recorded (retained + evicted).
+    pub fn total(&self) -> u64 {
+        self.ring.lock().unwrap().seq
+    }
+}
+
+/// The fleet-wide recorder: one ring per shard plus one for the feeder
+/// thread (index `shards`).
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    shards: Vec<Arc<ShardRecorder>>,
+}
+
+impl FlightRecorder {
+    /// Ring index used by the dispatch/feeder thread.
+    pub fn feeder_index(&self) -> usize {
+        self.shards.len() - 1
+    }
+
+    /// A recorder with `shards` worker rings plus the feeder ring, each
+    /// holding `capacity` events.
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        FlightRecorder {
+            shards: (0..shards + 1)
+                .map(|s| Arc::new(ShardRecorder::new(s as u32, capacity)))
+                .collect(),
+        }
+    }
+
+    /// Handle to one shard's ring (the feeder ring is the last index).
+    pub fn shard(&self, shard: usize) -> Arc<ShardRecorder> {
+        Arc::clone(&self.shards[shard])
+    }
+
+    /// Total events evicted across all rings.
+    pub fn dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.dropped()).sum()
+    }
+
+    /// Total events ever recorded across all rings.
+    pub fn total(&self) -> u64 {
+        self.shards.iter().map(|s| s.total()).sum()
+    }
+
+    /// All retained events, merged into one deterministic timeline:
+    /// ordered by simulated timestamp, ties broken by shard then by
+    /// per-shard sequence. Two runs of the same seed produce the same
+    /// merged timeline regardless of thread scheduling.
+    pub fn merged(&self) -> Vec<SeqEvent> {
+        let mut all: Vec<SeqEvent> = self.shards.iter().flat_map(|s| s.events()).collect();
+        all.sort_by_key(|e| (e.event.ts_us, e.shard, e.seq));
+        all
+    }
+
+    /// Render the merged timeline as JSON Lines (one event object per
+    /// line), ready for `results/trace_*.jsonl`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.merged() {
+            let _ = writeln!(
+                out,
+                "{{\"ts_us\":{},\"shard\":{},\"seq\":{},\"home\":{},\"device\":{},\
+                 \"kind\":\"{}\",\"detail\":\"{}\",\"arg\":{}}}",
+                e.event.ts_us,
+                e.shard,
+                e.seq,
+                e.event.home,
+                e.event.device,
+                e.event.kind.as_str(),
+                e.event.detail,
+                e.event.arg,
+            );
+        }
+        out
+    }
+
+    /// Write the merged timeline to `path` as JSONL.
+    pub fn dump_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts_us: u64, home: u32) -> TraceEvent {
+        TraceEvent {
+            ts_us,
+            home,
+            device: 0,
+            kind: TraceKind::PacketDecided,
+            detail: "rule_hit",
+            arg: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_evictions() {
+        let r = ShardRecorder::new(0, 3);
+        for i in 0..5 {
+            r.record(ev(i, 0));
+        }
+        let kept = r.events();
+        assert_eq!(kept.len(), 3);
+        assert_eq!(
+            kept.iter().map(|e| e.event.ts_us).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(
+            kept.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.total(), 5);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let r = ShardRecorder::new(0, 0);
+        r.record(ev(1, 0));
+        r.record(ev(2, 0));
+        assert_eq!(r.events().len(), 1);
+        assert_eq!(r.events()[0].event.ts_us, 2);
+    }
+
+    #[test]
+    fn merge_orders_by_ts_then_shard_then_seq() {
+        let fr = FlightRecorder::new(2, 16);
+        // Shard 1 records first in wall time, but its events carry later
+        // simulated timestamps: the merge must follow the sim clock.
+        fr.shard(1).record(ev(50, 1));
+        fr.shard(1).record(ev(10, 1));
+        fr.shard(0).record(ev(10, 0));
+        fr.shard(0).record(ev(20, 0));
+        let merged = fr.merged();
+        let order: Vec<(u64, u32, u64)> = merged
+            .iter()
+            .map(|e| (e.event.ts_us, e.shard, e.seq))
+            .collect();
+        assert_eq!(order, vec![(10, 0, 0), (10, 1, 1), (20, 0, 1), (50, 1, 0)]);
+    }
+
+    #[test]
+    fn merged_timeline_is_schedule_independent() {
+        // Record the same per-shard streams in two different interleaved
+        // orders; the merged timelines must be identical.
+        let mk = |order_flip: bool| {
+            let fr = FlightRecorder::new(2, 8);
+            let a = fr.shard(0);
+            let b = fr.shard(1);
+            if order_flip {
+                b.record(ev(5, 1));
+                a.record(ev(1, 0));
+                b.record(ev(7, 1));
+                a.record(ev(3, 0));
+            } else {
+                a.record(ev(1, 0));
+                a.record(ev(3, 0));
+                b.record(ev(5, 1));
+                b.record(ev(7, 1));
+            }
+            fr.merged()
+        };
+        assert_eq!(mk(false), mk(true));
+    }
+
+    #[test]
+    fn jsonl_shape() {
+        let fr = FlightRecorder::new(1, 8);
+        fr.shard(0).record(TraceEvent {
+            ts_us: 42,
+            home: 7,
+            device: 3,
+            kind: TraceKind::QuarantineReleased,
+            detail: "",
+            arg: 9,
+        });
+        let jsonl = fr.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 1);
+        assert!(jsonl.contains("\"ts_us\":42"));
+        assert!(jsonl.contains("\"kind\":\"quarantine_released\""));
+        assert!(jsonl.contains("\"arg\":9"));
+        assert!(jsonl.ends_with('\n'));
+    }
+
+    #[test]
+    fn feeder_ring_is_extra() {
+        let fr = FlightRecorder::new(4, 8);
+        assert_eq!(fr.feeder_index(), 4);
+        fr.shard(fr.feeder_index()).record(ev(1, 0));
+        assert_eq!(fr.total(), 1);
+    }
+}

@@ -102,11 +102,20 @@ fn json_labels(labels: &[(String, String)]) -> String {
     out
 }
 
-/// Escape a label value for the Prometheus text format.
+/// Escape a label value for the Prometheus text format: backslash,
+/// double-quote, and line feed, in that order (escaping `\` first keeps
+/// the later passes from re-escaping their own output).
 fn prom_escape(s: &str) -> String {
     s.replace('\\', "\\\\")
         .replace('"', "\\\"")
         .replace('\n', "\\n")
+}
+
+/// Escape `# HELP` text for the Prometheus text format. HELP lines use a
+/// smaller alphabet than label values: only backslash and line feed are
+/// escaped (quotes stay literal).
+fn prom_help_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 fn prom_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
@@ -138,7 +147,7 @@ impl Snapshot {
                     return;
                 }
                 if let Some(h) = help.get(name) {
-                    let _ = writeln!(out, "# HELP {name} {}", h.replace('\n', " "));
+                    let _ = writeln!(out, "# HELP {name} {}", prom_help_escape(h));
                 }
                 let _ = writeln!(out, "# TYPE {name} {kind}");
                 last_header = Some((name.to_string(), kind));
@@ -319,6 +328,46 @@ mod tests {
         assert!(a.contains("\"p50\":"));
         assert!(a.starts_with("{\"counters\":["));
         assert!(a.ends_with("]}"));
+    }
+
+    #[test]
+    fn prometheus_label_value_escaping_golden_vectors() {
+        // Golden vectors from the Prometheus exposition-format spec:
+        // label values escape backslash, double-quote, and line feed.
+        for (raw, escaped) in [
+            ("plain", "plain"),
+            ("back\\slash", "back\\\\slash"),
+            ("quo\"te", "quo\\\"te"),
+            ("line\nfeed", "line\\nfeed"),
+            ("\\n", "\\\\n"),                 // literal backslash-n, not a newline
+            ("\\\"\n", "\\\\\\\"\\n"),        // all three, adjacent
+            ("tab\tand\rcr", "tab\tand\rcr"), // only \ " \n are special
+        ] {
+            assert_eq!(prom_escape(raw), escaped, "raw = {raw:?}");
+        }
+        // End to end: the escaped value appears inside the series line.
+        let r = MetricRegistry::new();
+        r.counter("c", &[("k", "a\\b\"c\nd")]).inc();
+        let text = r.render_prometheus();
+        assert!(text.contains("c{k=\"a\\\\b\\\"c\\nd\"} 1"), "{text}");
+        // The rendered document stays one-series-per-line.
+        assert_eq!(text.lines().count(), 2); // TYPE header + series
+    }
+
+    #[test]
+    fn prometheus_help_escaping() {
+        // HELP text escapes backslash and line feed only; quotes are
+        // literal. A multi-line help string must still render as a
+        // single HELP line.
+        let r = MetricRegistry::new();
+        r.describe("m", "line one\nline \"two\" with \\ backslash");
+        r.gauge("m", &[]).set(1);
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("# HELP m line one\\nline \"two\" with \\\\ backslash\n"),
+            "{text}"
+        );
+        assert_eq!(text.lines().count(), 3); // HELP + TYPE + series
     }
 
     #[test]

@@ -708,6 +708,86 @@ mod tests {
     }
 
     #[test]
+    fn registry_merge_concurrent_stress() {
+        // Shard threads folding into one registry concurrently — the
+        // fleet collector pattern, but with every merge racing instead
+        // of arriving in join order. Totals must come out exact.
+        const THREADS: u64 = 8;
+        const ROUNDS: u64 = 50;
+        let target = MetricRegistry::new();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let target = &target;
+                s.spawn(move || {
+                    for round in 0..ROUNDS {
+                        let src = MetricRegistry::new();
+                        src.counter("decisions_total", &[]).add(3);
+                        src.counter("decisions_total", &[("shard", "x")]).add(t);
+                        src.gauge("open", &[]).add(1);
+                        let h = src.histogram("lat_us", &[]);
+                        h.record(t * 1000 + round + 1);
+                        h.record(1);
+                        target.merge_from(&src);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            target.counter("decisions_total", &[]).get(),
+            3 * THREADS * ROUNDS
+        );
+        assert_eq!(
+            target.counter("decisions_total", &[("shard", "x")]).get(),
+            ROUNDS * (0..THREADS).sum::<u64>()
+        );
+        assert_eq!(target.gauge("open", &[]).get() as u64, THREADS * ROUNDS);
+        let h = target.histogram("lat_us", &[]);
+        assert_eq!(h.count(), 2 * THREADS * ROUNDS);
+        let expected_sum: u64 = (0..THREADS)
+            .flat_map(|t| (0..ROUNDS).map(move |r| t * 1000 + r + 2))
+            .sum();
+        assert_eq!(h.sum(), expected_sum);
+        assert_eq!(h.max(), (THREADS - 1) * 1000 + ROUNDS);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.cumulative_buckets().last().unwrap().1, h.count());
+    }
+
+    #[test]
+    fn histogram_merge_concurrent_stress() {
+        // Many threads merging into the same histogram while it also
+        // takes direct records; count/sum/min/max stay exact (buckets
+        // are sharded atomics, merge adds per bucket).
+        const THREADS: u64 = 8;
+        const MERGES: u64 = 25;
+        let target = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let target = target.clone();
+                s.spawn(move || {
+                    for m in 0..MERGES {
+                        let src = Histogram::new();
+                        src.record(t + 1);
+                        src.record(10_000 + t * MERGES + m);
+                        target.merge_from(&src);
+                        target.record(5);
+                    }
+                });
+            }
+        });
+        assert_eq!(target.count(), 3 * THREADS * MERGES);
+        let merged_sum: u64 = (0..THREADS)
+            .flat_map(|t| (0..MERGES).map(move |m| (t + 1) + 10_000 + t * MERGES + m))
+            .sum();
+        assert_eq!(target.sum(), merged_sum + 5 * THREADS * MERGES);
+        assert_eq!(target.min(), 1);
+        assert_eq!(target.max(), 10_000 + (THREADS - 1) * MERGES + MERGES - 1);
+        assert_eq!(
+            target.cumulative_buckets().last().unwrap().1,
+            target.count()
+        );
+    }
+
+    #[test]
     fn histogram_concurrent_records() {
         let h = Histogram::new();
         std::thread::scope(|s| {

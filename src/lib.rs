@@ -55,6 +55,7 @@ pub use fiat_fleet as fleet;
 pub use fiat_ml as ml;
 pub use fiat_net as net;
 pub use fiat_oracle as oracle;
+pub use fiat_probe as probe;
 pub use fiat_quic as quic;
 pub use fiat_sensors as sensors;
 pub use fiat_simnet as simnet;
