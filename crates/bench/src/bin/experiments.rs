@@ -11,8 +11,8 @@
 //! experiments table7
 //! experiments tolerance
 //! experiments appendixa
-//! experiments fleet [--homes H] [--shards T]  # sharded multi-home throughput sweep
-//! experiments profile [--quick]   # shard-scaling profile: per-stage breakdown + bottleneck
+//! experiments fleet [--homes H] [--shards T] [--full]  # sharded multi-home throughput sweep
+//! experiments profile [--quick|--full]  # shard-scaling profile: per-stage breakdown + bottleneck
 //! experiments attack [--quick]    # adversarial red-team scorecard
 //! experiments oracle [--quick]    # differential decision oracle vs naive reference
 //! experiments chaos [--quick]     # chaos soak: fault injection vs graceful degradation
@@ -22,8 +22,10 @@
 //! `--seed N` (default 42). The fleet sweep adds `--homes H` (default 8)
 //! and `--shards T` (max worker threads, default 8); it is not part of
 //! `all` — it measures this implementation, not a paper artifact. The
-//! profile sweep defaults to the 1k-home corpus at 0.05 days (--quick:
-//! 32 homes) unless `--homes`/`--days` override it. Output is plain
+//! profile sweep defaults to the 1k-home corpus at 0.05 days; `--quick`
+//! shrinks it to 32 homes for CI smokes and `--full` grows it to the
+//! 10k-home corpus (the provider-scale trajectory point — also accepted
+//! by `fleet`), unless `--homes`/`--days` override. Output is plain
 //! text; every row is also
 //! mirrored to `results/<name>.txt` when `--save` is given, along with a
 //! telemetry snapshot in `results/<name>_metrics.json` (harness timings
@@ -56,6 +58,7 @@ struct Args {
     fast: bool,
     save: bool,
     quick: bool,
+    full: bool,
     homes: Option<usize>,
     shards: usize,
 }
@@ -67,6 +70,7 @@ fn parse_args(rest: &[String]) -> Args {
         fast: false,
         save: false,
         quick: false,
+        full: false,
         homes: None,
         shards: 8,
     };
@@ -106,6 +110,7 @@ fn parse_args(rest: &[String]) -> Args {
             "--fast" => a.fast = true,
             "--save" => a.save = true,
             "--quick" => a.quick = true,
+            "--full" => a.full = true,
             other => die(&format!("unknown flag {other}")),
         }
         i += 1;
@@ -203,7 +208,11 @@ fn run_one(name: &str, args: &Args, registry: &MetricRegistry) -> Option<String>
         "table6" => table6::table6_text_instrumented(days.max(4.0), 2.0, seed, Some(registry)),
         "table7" => table7::table7_text(200, seed),
         "fleet" => {
-            let homes = args.homes.unwrap_or(8);
+            let homes = args.homes.unwrap_or(if args.full { 10_000 } else { 8 });
+            // The 10k-home corpus pairs with a short capture (same as the
+            // profile sweep) — provider scale comes from home count, not
+            // per-home trace length.
+            let days = args.days.unwrap_or(if args.full { 0.05 } else { 8.0 });
             let report = fleet_exp::fleet_benchmark(homes, args.shards, days, seed, Some(registry));
             if args.save {
                 let record = fleet_exp::fleet_bench_record(&report, days, seed);
@@ -217,8 +226,13 @@ fn run_one(name: &str, args: &Args, registry: &MetricRegistry) -> Option<String>
         }
         "profile" => {
             // The profiling sweep defaults to the 1k-home corpus at a
-            // short capture; --quick shrinks the corpus for CI smokes.
-            let homes = args.homes.unwrap_or(if args.quick { 32 } else { 1000 });
+            // short capture; --quick shrinks the corpus for CI smokes,
+            // --full grows it to the 10k-home trajectory point.
+            let homes = args.homes.unwrap_or(match (args.quick, args.full) {
+                (true, _) => 32,
+                (_, true) => 10_000,
+                _ => 1000,
+            });
             let days = args.days.unwrap_or(0.05);
             let report = profile_exp::profile_run(homes, args.shards, days, seed, Some(registry));
             if args.save {
@@ -271,7 +285,7 @@ fn main() {
     let Some((cmd, rest)) = argv.split_first() else {
         eprintln!(
             "usage: experiments <all|fleet|profile|{}> [--days N] [--seed N] [--fast] [--save] \
-             [--quick] [--homes H] [--shards T]",
+             [--quick] [--full] [--homes H] [--shards T]",
             ALL.join("|")
         );
         std::process::exit(2);

@@ -1,11 +1,11 @@
 //! Sharded multi-home proxy runtime.
 //!
 //! The paper deploys one FIAT proxy per home; the ROADMAP north star is a
-//! provider-scale service running millions of them. This crate takes the
-//! first step: partition H simulated homes across T worker threads
-//! ("shards"), each shard owning the [`FiatProxy`] instances for its
-//! homes, then fold the per-home [`MetricRegistry`] snapshots and
-//! [`ProxyStats`] into one fleet-wide view.
+//! provider-scale service running millions of them. This crate
+//! partitions H simulated homes across T worker threads ("shards"), each
+//! shard owning the [`FiatProxy`] instances for the homes it runs, then
+//! folds the per-home [`MetricRegistry`] snapshots and [`ProxyStats`]
+//! into one fleet-wide view.
 //!
 //! Determinism is the design constraint: a sharded run must produce a
 //! fleet view *identical* to a sequential reference run, or every
@@ -18,41 +18,49 @@
 //! - each home's proxy is timed by a [`ManualClock`] that never advances,
 //!   so stage-latency histograms record deterministic zero-length spans
 //!   instead of wall-clock noise;
-//! - work is distributed home-by-home over bounded [`mpsc`] channels
-//!   (`std` only, consistent with dropping crossbeam in PR 1), and shard
-//!   outcomes are folded in shard order — though order cannot matter, by
-//!   the first point.
-
+//! - work distribution never touches a home's *content*: the
+//!   [`partition`] module plans a static cost-aware assignment and lets
+//!   shards claim (and steal) homes through atomic cursors, so *which*
+//!   shard runs a home is scheduling-dependent, but — because folding is
+//!   additive — the merged view cannot be.
+//!
+//! PR 6's profiler showed the previous dispatch design (a feeder thread
+//! round-robining homes into depth-4 `sync_channel`s) was the scaling
+//! bug: one full queue stalled dispatch to **every** shard
+//! (head-of-line blocking), leaving shards starved in `recv` while the
+//! feeder sat blocked in `send`. Workloads are already materialized in
+//! a slice, so the channels were pure overhead; the partition plan
+//! replaces them with zero hand-off claims.
 //!
 //! [`run_sharded_probed`] is the *observed* twin of [`run_sharded`]: the
-//! same dispatch/decide/merge structure, plus per-stage time accounting,
-//! queue-depth and backpressure probes, and an optional flight recorder
-//! wired into the proxies through [`ProxyHook`]. It lives in separate
-//! code so the unprobed runtime pays nothing — not even a branch in its
-//! shard loop — when nobody is profiling.
+//! same plan/claim/decide/merge structure, plus per-stage time
+//! accounting, steal counters, and an optional flight recorder wired
+//! into the proxies through [`ProxyHook`]. It lives in separate code so
+//! the unprobed runtime pays nothing — not even a branch in its claim
+//! loop — when nobody is profiling.
 
 use fiat_core::{
     EventClassifier, FiatProxy, ProxyConfig, ProxyDecision, ProxyHook, ProxyStats, ProxyTelemetry,
 };
 use fiat_net::SimTime;
 use fiat_probe::{
-    AllocScope, FleetProfile, FlightRecorder, ProbeConfig, QueueDepthProbe, ShardProfile,
-    ShardRecorder, Stage, TraceEvent, TraceKind,
+    AllocScope, FleetProfile, FlightRecorder, ProbeConfig, ShardProfile, ShardRecorder, Stage,
+    TraceEvent, TraceKind, SEQ_ASSIGNED, SEQ_CLAIMED, SEQ_FINISHED, SEQ_FIRST_HOOK,
 };
 use fiat_sensors::HumannessValidator;
 use fiat_telemetry::{ManualClock, MetricRegistry};
 use fiat_trace::{Location, TestbedConfig, TestbedTrace};
-use std::sync::mpsc::{self, TrySendError};
+use std::cell::Cell;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+pub mod partition;
+
+pub use partition::{Claim, PartitionPlan};
 
 /// Pairing secret shared by every simulated home (the per-home ceremony
 /// is out of scope for throughput runs).
 const SECRET: [u8; 32] = [0xF1; 32];
-
-/// Per-shard work-queue depth: small enough to bound memory, deep enough
-/// that the feeder never stalls a shard that is draining.
-const SHARD_QUEUE_DEPTH: usize = 4;
 
 /// One simulated home: an id plus its generated capture.
 pub struct HomeWorkload {
@@ -60,6 +68,13 @@ pub struct HomeWorkload {
     pub home: u32,
     /// The home's labeled capture (trace, DNS, ground truth, devices).
     pub capture: TestbedTrace,
+}
+
+/// Estimated decide cost of one home, for the partition plan: packet
+/// count is what the shard loop's work is linear in. Clamped to ≥ 1 so
+/// degenerate empty homes stay claimable and countable.
+pub fn home_cost(w: &HomeWorkload) -> u64 {
+    (w.capture.trace.packets.len() as u64).max(1)
 }
 
 /// What one home's proxy produced.
@@ -76,7 +91,9 @@ pub struct HomeRun {
 pub struct ShardOutcome {
     /// Shard index.
     pub shard: usize,
-    /// Homes this shard processed.
+    /// Homes this shard processed (its static assignment plus steals —
+    /// under load this split is scheduling-dependent; the fleet totals
+    /// are not).
     pub homes: usize,
     /// Packets this shard decided.
     pub packets: u64,
@@ -185,43 +202,46 @@ fn fold(outcomes: Vec<ShardOutcome>, shards: usize) -> FleetOutcome {
     }
 }
 
-/// Run the fleet across `shards` worker threads. Home `i` goes to shard
-/// `i % shards` over a bounded channel; each worker folds its homes into
-/// a [`ShardOutcome`], and shard outcomes fold into the fleet view.
+/// Run the fleet across `shards` worker threads. The workload slice is
+/// partitioned up front by estimated cost ([`PartitionPlan::build`],
+/// greedy LPT on packet counts); each worker drains its own queue
+/// through an atomic claim cursor and then steals from the queue with
+/// the most remaining cost, so one pathologically expensive home cannot
+/// serialize the fleet and no hand-off channel exists to block on.
+/// Shard outcomes fold into the fleet view by addition, which is what
+/// keeps the merged result byte-identical to [`run_sequential`] no
+/// matter which shard ends up running which home.
 pub fn run_sharded(workloads: &[HomeWorkload], shards: usize) -> FleetOutcome {
     let shards = shards.clamp(1, workloads.len().max(1));
+    let costs: Vec<u64> = workloads.iter().map(home_cost).collect();
+    let plan = PartitionPlan::build(&costs, shards);
     let mut outcomes: Vec<ShardOutcome> = Vec::with_capacity(shards);
     std::thread::scope(|s| {
-        let mut senders = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
-        for shard in 0..shards {
-            let (tx, rx) = mpsc::sync_channel::<&HomeWorkload>(SHARD_QUEUE_DEPTH);
-            senders.push(tx);
-            handles.push(s.spawn(move || {
-                let registry = MetricRegistry::new();
-                let mut stats = ProxyStats::default();
-                let mut packets = 0u64;
-                let mut homes = 0usize;
-                while let Ok(w) = rx.recv() {
-                    let run = run_home(&w.capture);
-                    registry.merge_from(&run.registry);
-                    stats += run.stats;
-                    packets += run.packets;
-                    homes += 1;
-                }
-                ShardOutcome {
-                    shard,
-                    homes,
-                    packets,
-                    stats,
-                    registry,
-                }
-            }));
-        }
-        for (i, w) in workloads.iter().enumerate() {
-            senders[i % shards].send(w).expect("shard worker alive");
-        }
-        drop(senders);
+        let plan = &plan;
+        let handles: Vec<_> = (0..shards)
+            .map(|shard| {
+                s.spawn(move || {
+                    let registry = MetricRegistry::new();
+                    let mut stats = ProxyStats::default();
+                    let mut packets = 0u64;
+                    let mut homes = 0usize;
+                    while let Some(c) = plan.claim(shard) {
+                        let run = run_home(&workloads[c.home].capture);
+                        registry.merge_from(&run.registry);
+                        stats += run.stats;
+                        packets += run.packets;
+                        homes += 1;
+                    }
+                    ShardOutcome {
+                        shard,
+                        homes,
+                        packets,
+                        stats,
+                        registry,
+                    }
+                })
+            })
+            .collect();
         outcomes = handles
             .into_iter()
             .map(|h| h.join().expect("shard worker panicked"))
@@ -231,18 +251,32 @@ pub fn run_sharded(workloads: &[HomeWorkload], shards: usize) -> FleetOutcome {
 }
 
 /// Bridges the proxy's [`ProxyHook`] transitions into a shard's flight
-/// recorder ring. One per home (events carry the home id); homes on the
-/// same shard share the ring through an [`Arc`].
+/// recorder ring. One per home run; it stamps every event with the
+/// home id and the home's own sequence counter, which is what lets the
+/// recorder merge deterministically even though work stealing makes the
+/// recording shard scheduling-dependent.
 struct RecorderHook {
     home: u32,
+    seq: Cell<u64>,
     ring: Arc<ShardRecorder>,
 }
 
 impl RecorderHook {
+    fn new(home: u32, ring: Arc<ShardRecorder>) -> Self {
+        RecorderHook {
+            home,
+            seq: Cell::new(SEQ_FIRST_HOOK),
+            ring,
+        }
+    }
+
     fn record(&self, ts_us: u64, device: u16, kind: TraceKind, detail: &'static str, arg: u64) {
+        let seq = self.seq.get();
+        self.seq.set(seq + 1);
         self.ring.record(TraceEvent {
             ts_us,
             home: self.home,
+            seq,
             device,
             kind,
             detail,
@@ -273,7 +307,7 @@ impl ProxyHook for RecorderHook {
 
     fn on_lockout_cleared(&self, device: u16) {
         // No simulated timestamp (a user action, not a packet): recorded
-        // at the sim origin, ordered among its shard's events by seq.
+        // at the sim origin, ordered among its home's events by seq.
         self.record(0, device, TraceKind::LockoutCleared, "", 0);
     }
 
@@ -324,16 +358,17 @@ pub struct ProbedOutcome {
     /// The merged fleet view — identical to what [`run_sharded`] (and
     /// the sequential reference) produce for the same workloads.
     pub fleet: FleetOutcome,
-    /// Per-shard / per-stage wall-time accounting.
+    /// Per-shard / per-stage wall-time accounting, with the
+    /// coordinator's plan and barrier-skew costs on their own row.
     pub profile: FleetProfile,
     /// The flight recorder, when `probes.recorder_capacity > 0`.
     pub recorder: Option<FlightRecorder>,
 }
 
 /// [`run_sharded`] with observability: per-shard stage accounting
-/// (recv / decide / merge, plus feeder-side dispatch and collector-side
-/// merge-barrier wait), queue-depth high-water and send-block probes,
-/// per-stage allocation attribution (when the binary installs
+/// (claim / decide / merge on the shard rows, partition planning and
+/// join-barrier skew on the coordinator row), steal counters, per-stage
+/// allocation attribution (when the binary installs
 /// [`fiat_probe::CountingAllocator`]), and an optional flight recorder
 /// hooked into every proxy's decision path.
 ///
@@ -349,140 +384,138 @@ pub fn run_sharded_probed(
     let run_start = Instant::now();
     let recorder = (probes.recorder_capacity > 0)
         .then(|| FlightRecorder::new(shards, probes.recorder_capacity));
-    let queue_probes: Vec<Arc<QueueDepthProbe>> = (0..shards)
-        .map(|_| Arc::new(QueueDepthProbe::new()))
-        .collect();
+
+    // Coordinator: build the plan, timed and alloc-attributed onto its
+    // own row (never a shard's).
+    let mut coordinator = ShardProfile::new(0);
+    let plan_alloc = AllocScope::enter();
+    let t = Instant::now();
+    let costs: Vec<u64> = workloads.iter().map(home_cost).collect();
+    let plan = PartitionPlan::build(&costs, shards);
+    coordinator.add(Stage::Dispatch, t.elapsed());
+    coordinator.add_allocs(Stage::Dispatch, plan_alloc.delta());
+
+    if let Some(r) = &recorder {
+        let ring = r.shard(r.coordinator_index());
+        for w in workloads {
+            ring.record(TraceEvent {
+                ts_us: sim_span(&w.capture).0,
+                home: w.home,
+                seq: SEQ_ASSIGNED,
+                device: 0,
+                kind: TraceKind::HomeEnqueued,
+                detail: "",
+                arg: w.capture.trace.packets.len() as u64,
+            });
+        }
+    }
+
     let mut results: Vec<(ShardOutcome, ShardProfile)> = Vec::with_capacity(shards);
-    let mut dispatch_nanos = vec![0u64; shards];
-    let mut send_blocks = vec![0u64; shards];
-    let mut merge_wait_nanos = vec![0u64; shards];
     std::thread::scope(|s| {
-        let mut senders = Vec::with_capacity(shards);
-        let mut handles = Vec::with_capacity(shards);
-        for (shard, queue_probe) in queue_probes.iter().enumerate() {
-            let (tx, rx) = mpsc::sync_channel::<&HomeWorkload>(SHARD_QUEUE_DEPTH);
-            senders.push(tx);
-            let qprobe = Arc::clone(queue_probe);
-            let ring = recorder.as_ref().map(|r| r.shard(shard));
-            handles.push(s.spawn(move || {
-                let shard_start = Instant::now();
-                let mut profile = ShardProfile::new(shard);
-                let registry = MetricRegistry::new();
-                let mut stats = ProxyStats::default();
-                let mut packets = 0u64;
-                let mut homes = 0usize;
-                loop {
-                    let t = Instant::now();
-                    let Ok(w) = rx.recv() else {
+        let plan = &plan;
+        let handles: Vec<_> = (0..shards)
+            .map(|shard| {
+                let ring = recorder.as_ref().map(|r| r.shard(shard));
+                s.spawn(move || {
+                    let shard_start = Instant::now();
+                    let mut profile = ShardProfile::new(shard);
+                    profile.assigned = plan.assigned(shard) as u64;
+                    let registry = MetricRegistry::new();
+                    let mut stats = ProxyStats::default();
+                    let mut packets = 0u64;
+                    let mut homes = 0usize;
+                    loop {
+                        let t = Instant::now();
+                        let claim = plan.claim(shard);
                         profile.add(Stage::Recv, t.elapsed());
-                        break;
-                    };
-                    profile.add(Stage::Recv, t.elapsed());
-                    qprobe.on_recv();
-                    let (first_ts, last_ts) = sim_span(&w.capture);
-                    if let Some(ring) = &ring {
-                        ring.record(TraceEvent {
-                            ts_us: first_ts,
-                            home: w.home,
-                            device: 0,
-                            kind: TraceKind::HomeDequeued,
-                            detail: "",
-                            arg: 0,
+                        let Some(c) = claim else { break };
+                        if c.stolen {
+                            profile.steals += 1;
+                        }
+                        let w = &workloads[c.home];
+                        let (first_ts, last_ts) = sim_span(&w.capture);
+                        if let Some(ring) = &ring {
+                            ring.record(TraceEvent {
+                                ts_us: first_ts,
+                                home: w.home,
+                                seq: SEQ_CLAIMED,
+                                device: 0,
+                                kind: TraceKind::HomeDequeued,
+                                detail: "",
+                                arg: 0,
+                            });
+                        }
+                        let hook = ring.as_ref().map(|r| {
+                            Box::new(RecorderHook::new(w.home, Arc::clone(r))) as Box<dyn ProxyHook>
                         });
+                        let alloc = AllocScope::enter();
+                        let t = Instant::now();
+                        let run = run_home_with_hook(&w.capture, hook);
+                        profile.add(Stage::Decide, t.elapsed());
+                        profile.add_allocs(Stage::Decide, alloc.delta());
+                        if let Some(ring) = &ring {
+                            ring.record(TraceEvent {
+                                ts_us: last_ts,
+                                home: w.home,
+                                seq: SEQ_FINISHED,
+                                device: 0,
+                                kind: TraceKind::HomeFinished,
+                                detail: "",
+                                arg: run.packets,
+                            });
+                        }
+                        let alloc = AllocScope::enter();
+                        let t = Instant::now();
+                        registry.merge_from(&run.registry);
+                        stats += run.stats;
+                        packets += run.packets;
+                        homes += 1;
+                        profile.add(Stage::Merge, t.elapsed());
+                        profile.add_allocs(Stage::Merge, alloc.delta());
                     }
-                    let hook = ring.as_ref().map(|r| {
-                        Box::new(RecorderHook {
-                            home: w.home,
-                            ring: Arc::clone(r),
-                        }) as Box<dyn ProxyHook>
-                    });
-                    let alloc = AllocScope::enter();
-                    let t = Instant::now();
-                    let run = run_home_with_hook(&w.capture, hook);
-                    profile.add(Stage::Decide, t.elapsed());
-                    profile.add_allocs(Stage::Decide, alloc.delta());
-                    if let Some(ring) = &ring {
-                        ring.record(TraceEvent {
-                            ts_us: last_ts,
-                            home: w.home,
-                            device: 0,
-                            kind: TraceKind::HomeFinished,
-                            detail: "",
-                            arg: run.packets,
-                        });
-                    }
-                    let alloc = AllocScope::enter();
-                    let t = Instant::now();
-                    registry.merge_from(&run.registry);
-                    stats += run.stats;
-                    packets += run.packets;
-                    homes += 1;
-                    profile.add(Stage::Merge, t.elapsed());
-                    profile.add_allocs(Stage::Merge, alloc.delta());
-                }
-                profile.wall_nanos = shard_start.elapsed().as_nanos() as u64;
-                profile.homes = homes as u64;
-                profile.packets = packets;
-                (
-                    ShardOutcome {
-                        shard,
-                        homes,
-                        packets,
-                        stats,
-                        registry,
-                    },
-                    profile,
-                )
-            }));
-        }
-        let feeder_ring = recorder.as_ref().map(|r| r.shard(r.feeder_index()));
-        for (i, w) in workloads.iter().enumerate() {
-            let shard = i % shards;
-            if let Some(ring) = &feeder_ring {
-                ring.record(TraceEvent {
-                    ts_us: sim_span(&w.capture).0,
-                    home: w.home,
-                    device: 0,
-                    kind: TraceKind::HomeEnqueued,
-                    detail: "",
-                    arg: w.capture.trace.packets.len() as u64,
-                });
-            }
-            queue_probes[shard].on_send();
-            let t = Instant::now();
-            match senders[shard].try_send(w) {
-                Ok(()) => {}
-                Err(TrySendError::Full(back)) => {
-                    send_blocks[shard] += 1;
-                    senders[shard].send(back).expect("shard worker alive");
-                }
-                Err(TrySendError::Disconnected(_)) => panic!("shard worker exited early"),
-            }
-            dispatch_nanos[shard] += t.elapsed().as_nanos() as u64;
-        }
-        drop(senders);
-        for (shard, h) in handles.into_iter().enumerate() {
-            let t = Instant::now();
-            let r = h.join().expect("shard worker panicked");
-            merge_wait_nanos[shard] = t.elapsed().as_nanos() as u64;
-            results.push(r);
-        }
+                    profile.wall_nanos = shard_start.elapsed().as_nanos() as u64;
+                    profile.homes = homes as u64;
+                    profile.packets = packets;
+                    (
+                        ShardOutcome {
+                            shard,
+                            homes,
+                            packets,
+                            stats,
+                            registry,
+                        },
+                        profile,
+                    )
+                })
+            })
+            .collect();
+        results = handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect();
     });
     let mut outcomes = Vec::with_capacity(shards);
     let mut profiles = Vec::with_capacity(shards);
-    for (i, (outcome, mut profile)) in results.into_iter().enumerate() {
-        profile.add(Stage::Dispatch, Duration::from_nanos(dispatch_nanos[i]));
-        profile.add(Stage::MergeWait, Duration::from_nanos(merge_wait_nanos[i]));
-        profile.send_blocks = send_blocks[i];
-        profile.queue_highwater = queue_probes[i].highwater();
+    for (outcome, profile) in results {
         outcomes.push(outcome);
         profiles.push(profile);
     }
+    // Join-barrier skew: how much longer the slowest shard ran than the
+    // fastest. With cost-aware partitioning plus stealing this should
+    // be a sliver; a large value means the tail is not being stolen.
+    let max_wall = profiles.iter().map(|p| p.wall_nanos).max().unwrap_or(0);
+    let min_wall = profiles.iter().map(|p| p.wall_nanos).min().unwrap_or(0);
+    coordinator.add(Stage::MergeWait, Duration::from_nanos(max_wall - min_wall));
+    // The coordinator row covers exactly its own accounted work, so its
+    // idle residual is zero and it can never read as a fleet-sized cost.
+    coordinator.wall_nanos =
+        coordinator.stage_nanos(Stage::Dispatch) + coordinator.stage_nanos(Stage::MergeWait);
     let t = Instant::now();
     let fleet = fold(outcomes, shards);
     let fold_nanos = t.elapsed().as_nanos() as u64;
     let profile = FleetProfile {
         shards: profiles,
+        coordinator,
         wall_nanos: run_start.elapsed().as_nanos() as u64,
         fold_nanos,
         recorder_events: recorder.as_ref().map(|r| (r.total(), r.dropped())),
@@ -495,8 +528,9 @@ pub fn run_sharded_probed(
 }
 
 /// The sequential reference: every home in order on the calling thread,
-/// no channels, no worker threads. [`run_sharded`] must merge to exactly
-/// this outcome (stats equality and byte-identical registry exposition).
+/// no claim queues, no worker threads. [`run_sharded`] must merge to
+/// exactly this outcome (stats equality and byte-identical registry
+/// exposition).
 pub fn run_sequential(workloads: &[HomeWorkload]) -> FleetOutcome {
     let registry = MetricRegistry::new();
     let mut stats = ProxyStats::default();
@@ -523,6 +557,33 @@ mod tests {
 
     fn small_workloads() -> Vec<HomeWorkload> {
         build_workloads(4, 0.05, 42)
+    }
+
+    /// One pathologically expensive home (10x the capture length) among
+    /// seven cheap ones — the dispatch-skew scenario from the old
+    /// round-robin design's worst case.
+    fn skewed_workloads() -> Vec<HomeWorkload> {
+        let capture = |days: f64, seed: u64| {
+            TestbedTrace::generate(TestbedConfig {
+                location: Location::Us,
+                days,
+                seed,
+                manual_per_day: 12.0,
+                routines_per_day: 10.0,
+                confusion_scale: 0.15,
+            })
+        };
+        let mut v = vec![HomeWorkload {
+            home: 0,
+            capture: capture(0.5, 1999),
+        }];
+        for h in 1..8u32 {
+            v.push(HomeWorkload {
+                home: h,
+                capture: capture(0.05, 1999 + h as u64),
+            });
+        }
+        v
     }
 
     #[test]
@@ -566,6 +627,14 @@ mod tests {
     #[test]
     fn shards_partition_the_homes() {
         let workloads = small_workloads();
+        // The static plan balances cost: 4 similar homes over 2 shards
+        // is 2 + 2 before any stealing.
+        let costs: Vec<u64> = workloads.iter().map(home_cost).collect();
+        let plan = PartitionPlan::build(&costs, 2);
+        assert_eq!(plan.assigned(0), 2);
+        assert_eq!(plan.assigned(1), 2);
+        // The run covers every home and packet exactly once, whatever
+        // stealing did to the per-shard split.
         let fleet = run_sharded(&workloads, 2);
         assert_eq!(fleet.per_shard.len(), 2);
         assert_eq!(fleet.per_shard.iter().map(|s| s.homes).sum::<usize>(), 4);
@@ -573,9 +642,6 @@ mod tests {
             fleet.per_shard.iter().map(|s| s.packets).sum::<u64>(),
             fleet.packets
         );
-        // Round-robin: 4 homes over 2 shards is 2 + 2.
-        assert_eq!(fleet.per_shard[0].homes, 2);
-        assert_eq!(fleet.per_shard[1].homes, 2);
     }
 
     #[test]
@@ -584,6 +650,110 @@ mod tests {
         let fleet = run_sharded(&workloads, 16);
         assert_eq!(fleet.shards, 2);
         assert_eq!(fleet.homes, 2);
+    }
+
+    #[test]
+    fn empty_and_clamped_runs_agree_between_entry_points() {
+        // Empty workload: both entry points clamp to one shard, decide
+        // nothing, and merge to the same (empty) view.
+        let empty: Vec<HomeWorkload> = Vec::new();
+        let plain = run_sharded(&empty, 4);
+        let probed = run_sharded_probed(&empty, 4, &ProbeConfig::default());
+        assert_eq!(plain.shards, 1);
+        assert_eq!(probed.fleet.shards, 1);
+        assert_eq!(plain.homes, 0);
+        assert_eq!(probed.fleet.homes, 0);
+        assert_eq!(plain.packets, 0);
+        assert_eq!(probed.fleet.packets, 0);
+        assert_eq!(plain.stats, probed.fleet.stats);
+        assert_eq!(
+            plain.registry.render_prometheus(),
+            probed.fleet.registry.render_prometheus()
+        );
+        // shards > homes clamps identically in both entry points.
+        let two = build_workloads(2, 0.05, 7);
+        let plain = run_sharded(&two, 16);
+        let probed = run_sharded_probed(&two, 16, &ProbeConfig::profiling());
+        assert_eq!(plain.shards, 2);
+        assert_eq!(probed.fleet.shards, 2);
+        assert_eq!(probed.profile.shards.len(), 2);
+        assert_eq!(plain.stats, probed.fleet.stats);
+        assert_eq!(
+            plain.registry.render_prometheus(),
+            probed.fleet.registry.render_prometheus()
+        );
+    }
+
+    #[test]
+    fn skewed_corpus_is_deterministic_and_isolates_the_expensive_home() {
+        let workloads = skewed_workloads();
+        let costs: Vec<u64> = workloads.iter().map(home_cost).collect();
+        assert!(
+            costs[0] > 3 * costs[1..].iter().copied().max().unwrap(),
+            "corpus is not skewed enough to test anything: {costs:?}"
+        );
+        // The plan gives the expensive home a shard to itself, so the
+        // cheap homes can proceed on the other shards from t=0 instead
+        // of queueing behind it (the old design serialized here).
+        let plan = PartitionPlan::build(&costs, 4);
+        assert_eq!(plan.assigned_homes(0), &[0]);
+        // Determinism holds under skew for both entry points at every
+        // shard count.
+        let reference = run_sequential(&workloads);
+        for shards in [2, 4, 8] {
+            let fleet = run_sharded(&workloads, shards);
+            assert_eq!(fleet.stats, reference.stats, "{shards} shards");
+            assert_eq!(
+                fleet.registry.render_prometheus(),
+                reference.registry.render_prometheus(),
+                "{shards} shards"
+            );
+            let probed = run_sharded_probed(&workloads, shards, &ProbeConfig::profiling());
+            assert_eq!(
+                probed.fleet.stats, reference.stats,
+                "{shards} shards probed"
+            );
+            assert_eq!(
+                probed.fleet.registry.render_prometheus(),
+                reference.registry.render_prometheus(),
+                "{shards} shards probed"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_corpus_speeds_up_when_cores_allow() {
+        // The serialization regression proper: with one expensive home
+        // among cheap ones, 4 shards must beat 1 shard. Wall-clock
+        // speedup needs real cores, so the assertion only arms on hosts
+        // with ≥ 4 (CI runners qualify; the structural guarantees are
+        // covered above either way).
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores < 4 {
+            eprintln!("skipping wall-clock speedup assertion: host has {cores} core(s)");
+            return;
+        }
+        let workloads = skewed_workloads();
+        let best_of = |shards: usize| {
+            (0..2)
+                .map(|_| {
+                    let t = Instant::now();
+                    let fleet = run_sharded(&workloads, shards);
+                    assert!(fleet.packets > 0);
+                    t.elapsed()
+                })
+                .min()
+                .unwrap()
+        };
+        let t1 = best_of(1);
+        let t4 = best_of(4);
+        let speedup = t1.as_secs_f64() / t4.as_secs_f64().max(1e-9);
+        assert!(
+            speedup >= 1.2,
+            "skewed 4-shard run must not serialize: speedup {speedup:.2}x (1 shard {t1:?}, 4 shards {t4:?})"
+        );
     }
 
     #[test]
@@ -620,12 +790,26 @@ mod tests {
             4
         );
         assert_eq!(
+            probed
+                .profile
+                .shards
+                .iter()
+                .map(|s| s.assigned)
+                .sum::<u64>(),
+            4
+        );
+        assert_eq!(
             probed.profile.shards.iter().map(|s| s.packets).sum::<u64>(),
             probed.fleet.packets
         );
-        // Every shard decided something, so decide time is non-zero.
+        // The fleet decided something, so decide time is non-zero (a
+        // single shard may have had its whole queue stolen under a
+        // hostile scheduler, so assert the total, not each row).
+        assert!(probed.profile.stage_total(Stage::Decide) > 0);
+        // Plan cost lives on the coordinator row, not a shard's.
         for sp in &probed.profile.shards {
-            assert!(sp.stage_nanos(Stage::Decide) > 0, "shard {}", sp.shard);
+            assert_eq!(sp.stage_nanos(Stage::Dispatch), 0, "shard {}", sp.shard);
+            assert_eq!(sp.stage_nanos(Stage::MergeWait), 0, "shard {}", sp.shard);
         }
         assert!(!probed.profile.top_bottleneck().is_empty());
         // Probes off: no recorder was built.
@@ -637,15 +821,25 @@ mod tests {
     fn flight_recorder_timeline_is_reproducible() {
         let workloads = small_workloads();
         let run = || {
-            let probed = run_sharded_probed(&workloads, 2, &ProbeConfig::profiling());
-            probed.recorder.expect("recorder on").to_jsonl()
+            // Rings sized to retain the whole run: a complete timeline
+            // must be byte-identical across runs even though stealing
+            // makes the recording shard scheduling-dependent.
+            let probes = ProbeConfig {
+                recorder_capacity: 1 << 15,
+            };
+            let probed = run_sharded_probed(&workloads, 2, &probes);
+            let recorder = probed.recorder.expect("recorder on");
+            assert_eq!(recorder.evicted_ratio(), 0.0, "ring too small for corpus");
+            recorder.to_jsonl()
         };
         let a = run();
         let b = run();
         assert!(!a.is_empty());
         assert_eq!(a, b, "merged trace must not depend on scheduling");
-        // The timeline carries packet decisions from both shards' homes.
+        // The timeline carries packet decisions and the full home
+        // lifecycle.
         assert!(a.contains("\"kind\":\"packet_decided\""));
+        assert!(a.contains("\"kind\":\"home_enqueued\""));
         assert!(a.contains("\"kind\":\"home_finished\""));
     }
 

@@ -1,0 +1,259 @@
+//! Cost-aware static partitioning with a work-stealing tail.
+//!
+//! The PR-6 profile proved the old feeder+channel dispatch was the
+//! scaling bug: one thread round-robining homes into depth-4
+//! `sync_channel`s stalls *every* shard the moment *one* queue fills
+//! (head-of-line blocking — ~880 ms of feeder "dispatch" and shards
+//! idling in `recv` on the 1000-home corpus). Workloads are already
+//! materialized in a slice, so no hand-off is needed at all: this module
+//! plans the whole run up front and lets shards pull work themselves.
+//!
+//! Two layers:
+//!
+//! - **Static cost-aware partition** ([`PartitionPlan::build`]): homes
+//!   are assigned to shards by greedy LPT (longest-processing-time)
+//!   scheduling on an estimated cost (packet count) — sort homes by
+//!   descending cost, give each to the currently lightest shard. Ties
+//!   break on index and shard id, so the plan is a pure function of the
+//!   cost vector: deterministic, and testable without running anything.
+//! - **Work-stealing tail** ([`PartitionPlan::claim`]): each shard's
+//!   queue is an immutable `Vec` of home indices plus an atomic claim
+//!   cursor. The owning shard claims its own queue front-to-back; a
+//!   shard that drains its queue steals from the victim with the most
+//!   *remaining estimated cost* (precomputed suffix sums — O(1) per
+//!   probe). Claims are `fetch_add` on the cursor, so every home is
+//!   claimed exactly once no matter how owner and thieves race.
+//!
+//! Determinism of the merged fleet view does not depend on any of this:
+//! per-home registries fold by addition (commutative, associative), so
+//! *which* shard runs a home cannot change the merged outcome. What
+//! stealing does make nondeterministic is the per-shard breakdown
+//! (`ShardOutcome::homes` may differ run to run under load); the
+//! fleet-level oracle is unaffected.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One claimed unit of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Claim {
+    /// Index into the workload slice the plan was built over.
+    pub home: usize,
+    /// Whether the claim came from another shard's queue.
+    pub stolen: bool,
+}
+
+/// One shard's statically assigned queue: immutable items plus an
+/// atomic claim cursor shared by the owner and any thieves.
+#[derive(Debug)]
+struct ShardQueue {
+    /// Home indices in claim order (costliest first, from LPT).
+    items: Vec<u32>,
+    /// `suffix_cost[i]` = total estimated cost of `items[i..]`
+    /// (`len + 1` entries, last is 0), so remaining cost is O(1).
+    suffix_cost: Vec<u64>,
+    /// Next unclaimed position. May run past `items.len()` when racing
+    /// claimants overshoot a drained queue; that is harmless.
+    next: AtomicUsize,
+}
+
+impl ShardQueue {
+    fn new(items: Vec<u32>, costs: &[u64]) -> Self {
+        let mut suffix_cost = vec![0u64; items.len() + 1];
+        for i in (0..items.len()).rev() {
+            suffix_cost[i] = suffix_cost[i + 1] + costs[items[i] as usize];
+        }
+        ShardQueue {
+            items,
+            suffix_cost,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Claim the next unclaimed home, if any.
+    fn claim(&self) -> Option<usize> {
+        // The load is only an optimization: it keeps drained queues from
+        // accumulating unbounded cursor overshoot under repeated probes.
+        if self.next.load(Ordering::Relaxed) >= self.items.len() {
+            return None;
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        self.items.get(i).map(|&h| h as usize)
+    }
+
+    /// Estimated cost still unclaimed in this queue.
+    fn remaining_cost(&self) -> u64 {
+        let i = self.next.load(Ordering::Relaxed).min(self.items.len());
+        self.suffix_cost[i]
+    }
+}
+
+/// The full fleet plan: one claim queue per shard.
+#[derive(Debug)]
+pub struct PartitionPlan {
+    queues: Vec<ShardQueue>,
+}
+
+impl PartitionPlan {
+    /// Greedy LPT partition of `costs` (one entry per home, by index)
+    /// into `shards` queues. Deterministic: a pure function of the cost
+    /// vector — same costs, same plan.
+    pub fn build(costs: &[u64], shards: usize) -> PartitionPlan {
+        let shards = shards.max(1);
+        let mut order: Vec<usize> = (0..costs.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(costs[i]), i));
+        let mut loads = vec![0u64; shards];
+        let mut items: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        for i in order {
+            let lightest = loads
+                .iter()
+                .enumerate()
+                .min_by_key(|&(s, &l)| (l, s))
+                .map(|(s, _)| s)
+                .expect("shards >= 1");
+            loads[lightest] += costs[i];
+            items[lightest].push(i as u32);
+        }
+        PartitionPlan {
+            queues: items
+                .into_iter()
+                .map(|v| ShardQueue::new(v, costs))
+                .collect(),
+        }
+    }
+
+    /// Shards the plan was built for.
+    pub fn shards(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Homes statically assigned to `shard` (before any stealing).
+    pub fn assigned(&self, shard: usize) -> usize {
+        self.queues[shard].items.len()
+    }
+
+    /// The home indices statically assigned to `shard`, in claim order.
+    pub fn assigned_homes(&self, shard: usize) -> &[u32] {
+        &self.queues[shard].items
+    }
+
+    /// Estimated cost statically assigned to `shard`.
+    pub fn assigned_cost(&self, shard: usize) -> u64 {
+        self.queues[shard].suffix_cost[0]
+    }
+
+    /// Claim the next home for `shard`: its own queue first, then steal
+    /// from the victim with the most remaining estimated cost. Returns
+    /// `None` only when every queue is drained.
+    pub fn claim(&self, shard: usize) -> Option<Claim> {
+        if let Some(home) = self.queues[shard].claim() {
+            return Some(Claim {
+                home,
+                stolen: false,
+            });
+        }
+        loop {
+            let victim = (0..self.queues.len())
+                .filter(|&v| v != shard)
+                .map(|v| (self.queues[v].remaining_cost(), v))
+                .filter(|&(rem, _)| rem > 0)
+                .max_by_key(|&(rem, v)| (rem, std::cmp::Reverse(v)))
+                .map(|(_, v)| v);
+            let v = victim?;
+            // The victim may drain between the probe and the claim
+            // (another thief won the race); re-scan until a claim lands
+            // or no victim has work left.
+            if let Some(home) = self.queues[v].claim() {
+                return Some(Claim { home, stolen: true });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic_and_covers_every_home() {
+        let costs = vec![7, 3, 9, 1, 4, 4, 2, 8];
+        let a = PartitionPlan::build(&costs, 3);
+        let b = PartitionPlan::build(&costs, 3);
+        let mut seen: Vec<u32> = Vec::new();
+        for s in 0..3 {
+            assert_eq!(a.assigned_homes(s), b.assigned_homes(s), "shard {s}");
+            seen.extend_from_slice(a.assigned_homes(s));
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..8).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn lpt_balances_cost_not_count() {
+        // One heavy home and six light ones over two shards: the heavy
+        // home gets a shard to itself; the light ones share the other.
+        let costs = vec![100, 5, 5, 5, 5, 5, 5];
+        let plan = PartitionPlan::build(&costs, 2);
+        assert_eq!(plan.assigned_homes(0), &[0]);
+        assert_eq!(plan.assigned(1), 6);
+        assert_eq!(plan.assigned_cost(0), 100);
+        assert_eq!(plan.assigned_cost(1), 30);
+    }
+
+    #[test]
+    fn near_equal_costs_split_evenly() {
+        let costs = vec![10, 11, 9, 10];
+        let plan = PartitionPlan::build(&costs, 2);
+        assert_eq!(plan.assigned(0), 2);
+        assert_eq!(plan.assigned(1), 2);
+    }
+
+    #[test]
+    fn owner_claims_before_stealing_and_steals_from_the_heaviest_victim() {
+        let costs = vec![50, 40, 1, 1];
+        let plan = PartitionPlan::build(&costs, 3);
+        // LPT: shard0={0}, shard1={1}, shard2={2,3}.
+        let first = plan.claim(2).unwrap();
+        assert!(!first.stolen);
+        assert_eq!(plan.assigned_homes(2)[0] as usize, first.home);
+        // Drain shard 2, then its next claim must steal from shard 0
+        // (remaining cost 50 > 40).
+        assert!(!plan.claim(2).unwrap().stolen);
+        let stolen = plan.claim(2).unwrap();
+        assert!(stolen.stolen);
+        assert_eq!(stolen.home, 0);
+    }
+
+    #[test]
+    fn empty_plan_claims_nothing() {
+        let plan = PartitionPlan::build(&[], 4);
+        for s in 0..4 {
+            assert_eq!(plan.claim(s), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_claims_take_every_home_exactly_once() {
+        use std::sync::Mutex;
+        let costs: Vec<u64> = (0..200).map(|i| 1 + (i % 13)).collect();
+        for shards in [1usize, 2, 4, 7] {
+            let plan = PartitionPlan::build(&costs, shards);
+            let claimed = Mutex::new(Vec::new());
+            std::thread::scope(|s| {
+                for shard in 0..shards {
+                    let plan = &plan;
+                    let claimed = &claimed;
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(c) = plan.claim(shard) {
+                            mine.push(c.home);
+                        }
+                        claimed.lock().unwrap().extend(mine);
+                    });
+                }
+            });
+            let mut all = claimed.into_inner().unwrap();
+            all.sort_unstable();
+            assert_eq!(all, (0..costs.len()).collect::<Vec<_>>(), "{shards} shards");
+        }
+    }
+}

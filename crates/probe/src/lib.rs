@@ -10,19 +10,23 @@
 //!
 //! Three probes:
 //!
-//! - [`profile`] — per-shard wall-time accounting. A [`ShardProfile`]
-//!   buckets a shard's run into named stages (recv / decide / merge /
-//!   dispatch / merge-wait / idle) so a flat scaling curve decomposes
-//!   into costs with names; [`FleetProfile`] folds shards, ranks
-//!   suspected bottlenecks, and publishes
-//!   `fiat_fleet_shard_busy_ms{shard,stage}`, queue-depth high-water
-//!   gauges, send-block counters, and a merge-barrier wait histogram.
+//! - [`profile`] — per-thread wall-time accounting. A [`ShardProfile`]
+//!   buckets a shard's claim loop into named stages (recv / decide /
+//!   merge / idle) and the coordinator's plan + join-barrier costs into
+//!   a separate `coord` row, so a flat scaling curve decomposes into
+//!   costs with names; [`FleetProfile`] folds rows, ranks suspected
+//!   bottlenecks (each stage normalized against the wall time of the
+//!   thread that measured it — no cross-thread over-accounting), and
+//!   publishes `fiat_fleet_shard_busy_ms{shard,stage}`, assigned-homes
+//!   gauges, steal counters, a barrier-skew histogram, and the
+//!   flight-recorder eviction-ratio gauge.
 //! - [`recorder`] — a flight recorder: bounded per-shard ring buffers of
 //!   structured [`TraceEvent`]s (packet decided, proof arrival, lockout
 //!   and quarantine transitions, home lifecycle), merged
-//!   deterministically on the simulated clock and dumpable as JSONL, so
-//!   an anomaly comes with a causal packet-level timeline instead of
-//!   just counters.
+//!   deterministically on the simulated clock keyed by
+//!   `(ts, home, per-home seq)` — stable under work stealing — and
+//!   dumpable as JSONL, so an anomaly comes with a causal packet-level
+//!   timeline instead of just counters.
 //! - [`alloc`] — the counting `#[global_allocator]` from PR 2's
 //!   one-off proof test, promoted to a reusable probe with per-thread
 //!   counters so a shard can attribute allocations to the stage that
@@ -38,7 +42,10 @@ pub mod recorder;
 
 pub use alloc::{global_allocations, thread_allocations, AllocScope, CountingAllocator};
 pub use profile::{FleetProfile, QueueDepthProbe, ShardProfile, Stage};
-pub use recorder::{FlightRecorder, ShardRecorder, TraceEvent, TraceKind};
+pub use recorder::{
+    FlightRecorder, ShardRecorder, TraceEvent, TraceKind, SEQ_ASSIGNED, SEQ_CLAIMED, SEQ_FINISHED,
+    SEQ_FIRST_HOOK,
+};
 
 /// What a probed fleet run should measure. The default is everything
 /// off: [`ProbeConfig::default`] records nothing and times nothing, and

@@ -1,15 +1,23 @@
 //! Per-shard wall-time accounting for the fleet runtime.
 //!
-//! The shard loop is a four-state machine — wait for work, decide a
-//! home, merge its registry, repeat — and the feeder adds two more
-//! costs from the outside: time blocked pushing into a full shard
-//! channel (backpressure) and time the collector waits at the merge
-//! barrier for the shard to finish. A [`ShardProfile`] buckets all of
-//! it into named [`Stage`]s whose sum, with the residual reported as
-//! [`Stage::Idle`], equals the shard's measured wall time by
+//! The shard loop is a state machine — claim a home (own queue or a
+//! steal), decide it, merge its registry, repeat — and the coordinator
+//! thread adds two costs of its own: building the partition plan and
+//! waiting at the join barrier. A [`ShardProfile`] buckets one thread's
+//! run into named [`Stage`]s whose sum, with the residual reported as
+//! [`Stage::Idle`], equals that thread's measured wall time by
 //! construction — so the breakdown always accounts for 100% of where
 //! the time went, and a flat scaling curve decomposes into named,
 //! rankable costs.
+//!
+//! Every stage in a row is measured *on that row's thread*. Coordinator
+//! stages ([`Stage::Dispatch`] plan time, [`Stage::MergeWait`] barrier
+//! skew) live on their own `coord` row in [`FleetProfile`], never inside
+//! a shard's row — PR 6's profiler folded feeder time into shard rows,
+//! which made stage totals exceed wall time at low shard counts and the
+//! ranker emit a bogus "dispatch 98.6%" verdict. The ranker now
+//! normalizes each stage against the wall time of the thread that
+//! measured it, so cross-thread over-accounting cannot happen.
 
 use fiat_telemetry::MetricRegistry;
 use std::fmt::Write as _;
@@ -19,18 +27,19 @@ use std::time::Duration;
 /// A named time bucket in the shard/fleet breakdown.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Stage {
-    /// Shard blocked on its work channel waiting for a home.
+    /// Shard claiming its next home (own queue or a steal scan).
     Recv,
     /// Shard running a home's capture through its proxy (useful work).
     Decide,
     /// Shard folding a finished home's registry and stats into its own.
     Merge,
-    /// Feeder blocked sending a home into this shard's full channel.
+    /// Coordinator building the cost-aware partition plan.
     Dispatch,
-    /// Collector waiting at the merge barrier for this shard to exit.
+    /// Join-barrier skew: how much later the last shard finished than
+    /// the first (coordinator row).
     MergeWait,
-    /// Residual: shard wall time not attributed to recv/decide/merge
-    /// (loop bookkeeping, probe overhead itself).
+    /// Residual: a thread's wall time not attributed to any measured
+    /// stage (loop bookkeeping, probe overhead itself).
     Idle,
 }
 
@@ -45,9 +54,20 @@ impl Stage {
         Stage::Idle,
     ];
 
-    /// Stages accumulated inside the shard loop itself (their sum plus
-    /// idle equals the shard's wall time).
+    /// Directly measured stages (everything but the derived residual).
+    pub const MEASURED: [Stage; 5] = [
+        Stage::Recv,
+        Stage::Decide,
+        Stage::Merge,
+        Stage::Dispatch,
+        Stage::MergeWait,
+    ];
+
+    /// Stages accumulated inside the shard claim loop.
     pub const IN_SHARD: [Stage; 3] = [Stage::Recv, Stage::Decide, Stage::Merge];
+
+    /// Stages measured on the coordinator thread.
+    pub const COORDINATOR: [Stage; 2] = [Stage::Dispatch, Stage::MergeWait];
 
     /// Stable snake_case name used as the telemetry `stage` label.
     pub fn as_str(self) -> &'static str {
@@ -64,13 +84,13 @@ impl Stage {
     /// What to suspect when this stage dominates non-decide time.
     fn suspicion(self) -> &'static str {
         match self {
-            Stage::Recv => "shard starvation: the feeder cannot keep shards supplied",
+            Stage::Recv => "work-claim overhead: shards contending on the claim queues",
             Stage::Decide => "serial per-home decide cost (allocation or locks in the shard loop)",
             Stage::Merge => "per-home registry merge cost inside the shard loop",
-            Stage::Dispatch => {
-                "channel backpressure: shard queues too shallow for the arrival rate"
+            Stage::Dispatch => "partition planning cost on the coordinator",
+            Stage::MergeWait => {
+                "join-barrier skew: uneven shard finish times (stealing not keeping up)"
             }
-            Stage::MergeWait => "merge-barrier skew: uneven home cost leaves shards waiting",
             Stage::Idle => "unattributed shard time (probe or loop overhead)",
         }
     }
@@ -87,10 +107,11 @@ impl Stage {
     }
 }
 
-/// One shard's accounted run.
+/// One thread's accounted run (a shard's claim loop, or the
+/// coordinator's plan + barrier row).
 #[derive(Debug, Clone, Default)]
 pub struct ShardProfile {
-    /// Shard index.
+    /// Shard index (unused on the coordinator row).
     pub shard: usize,
     /// Nanoseconds per stage ([`Stage::index`] order). `Idle` is not
     /// written directly; it is derived as the wall residual.
@@ -99,16 +120,16 @@ pub struct ShardProfile {
     /// counter; all zero unless the binary installs the counting
     /// allocator).
     allocs: [u64; 6],
-    /// The shard's total wall time, from first spawn to loop exit.
+    /// The thread's total accounted wall time.
     pub wall_nanos: u64,
-    /// Homes this shard decided.
+    /// Homes this shard decided (assigned claims plus steals).
     pub homes: u64,
     /// Packets this shard decided.
     pub packets: u64,
-    /// Channel queue-depth high-water mark observed for this shard.
-    pub queue_highwater: u64,
-    /// Sends into this shard's channel that found it full.
-    pub send_blocks: u64,
+    /// Homes the partition plan statically assigned to this shard.
+    pub assigned: u64,
+    /// Homes this shard claimed from *other* shards' queues.
+    pub steals: u64,
 }
 
 impl ShardProfile {
@@ -131,10 +152,10 @@ impl ShardProfile {
     }
 
     /// Nanoseconds attributed to a stage. [`Stage::Idle`] is the wall
-    /// residual after the in-shard stages (zero if over-accounted).
+    /// residual after every measured stage (zero if over-accounted).
     pub fn stage_nanos(&self, stage: Stage) -> u64 {
         if stage == Stage::Idle {
-            let accounted: u64 = Stage::IN_SHARD.iter().map(|s| self.nanos[s.index()]).sum();
+            let accounted: u64 = Stage::MEASURED.iter().map(|s| self.nanos[s.index()]).sum();
             self.wall_nanos.saturating_sub(accounted)
         } else {
             self.nanos[stage.index()]
@@ -146,14 +167,14 @@ impl ShardProfile {
         self.allocs[stage.index()]
     }
 
-    /// Fraction of this shard's wall time accounted by in-shard stages
+    /// Fraction of this thread's wall time accounted by measured stages
     /// plus the idle residual (1.0 by construction unless stages
     /// over-accounted past the wall, which caps at 1.0 too).
     pub fn coverage(&self) -> f64 {
         if self.wall_nanos == 0 {
             return 1.0;
         }
-        let total: u64 = Stage::IN_SHARD
+        let total: u64 = Stage::MEASURED
             .iter()
             .map(|s| self.stage_nanos(*s))
             .sum::<u64>()
@@ -162,26 +183,57 @@ impl ShardProfile {
     }
 }
 
-/// Channel-depth probe: the feeder bumps on send, the shard drops on
-/// recv, and the high-water mark survives for the profile. `std::mpsc`
-/// exposes no queue length, so the probe keeps its own.
-#[derive(Debug, Default)]
+/// Queue-depth probe: the producer bumps *after* an item actually lands
+/// in the queue, the consumer drops on recv, and the high-water mark
+/// survives for the profile.
+///
+/// Two corrections over the PR 6 version (which reported a high-water
+/// of 6 on a capacity-4 channel): the producer must call [`on_send`]
+/// only once the item is enqueued — counting "intent to send" before a
+/// blocking send adds in-flight items the queue never held — and, as
+/// defense in depth, a probe built with [`with_capacity`] clamps the
+/// recorded high-water to the queue's real capacity, so racy
+/// interleavings of the two relaxed counters can never report a depth
+/// the queue cannot physically reach.
+///
+/// [`on_send`]: QueueDepthProbe::on_send
+/// [`with_capacity`]: QueueDepthProbe::with_capacity
+#[derive(Debug)]
 pub struct QueueDepthProbe {
     depth: AtomicI64,
     high: AtomicU64,
+    capacity: u64,
+}
+
+impl Default for QueueDepthProbe {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl QueueDepthProbe {
-    /// A probe starting at depth zero.
+    /// A probe starting at depth zero, with no capacity clamp.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(usize::MAX)
     }
 
-    /// Note one item entering the queue.
+    /// A probe for a queue of known `capacity`: the recorded high-water
+    /// can never exceed it.
+    pub fn with_capacity(capacity: usize) -> Self {
+        QueueDepthProbe {
+            depth: AtomicI64::new(0),
+            high: AtomicU64::new(0),
+            capacity: capacity.max(1) as u64,
+        }
+    }
+
+    /// Note one item having entered the queue. Call *after* the item is
+    /// actually enqueued, never before a send that may block.
     pub fn on_send(&self) {
         let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
         if d > 0 {
-            self.high.fetch_max(d as u64, Ordering::Relaxed);
+            self.high
+                .fetch_max((d as u64).min(self.capacity), Ordering::Relaxed);
         }
     }
 
@@ -190,7 +242,7 @@ impl QueueDepthProbe {
         self.depth.fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// Deepest the queue has been.
+    /// Deepest the queue has been (clamped to capacity when known).
     pub fn highwater(&self) -> u64 {
         self.high.load(Ordering::Relaxed)
     }
@@ -201,7 +253,12 @@ impl QueueDepthProbe {
 pub struct FleetProfile {
     /// Per-shard profiles, in shard order.
     pub shards: Vec<ShardProfile>,
-    /// Wall time of the whole sharded run (spawn to fold complete).
+    /// The coordinator thread's row: [`Stage::Dispatch`] (partition
+    /// planning) and [`Stage::MergeWait`] (join-barrier skew), with
+    /// `wall_nanos` equal to their sum so the row covers itself. Never
+    /// folded into a shard's row.
+    pub coordinator: ShardProfile,
+    /// Wall time of the whole sharded run (plan to fold complete).
     pub wall_nanos: u64,
     /// Time the collector spent folding shard outcomes after the
     /// barrier.
@@ -211,18 +268,38 @@ pub struct FleetProfile {
 }
 
 impl FleetProfile {
-    /// Total nanoseconds across shards for one stage.
+    /// Total nanoseconds for one stage across every row (shards plus
+    /// the coordinator; each stage is only ever non-zero on the thread
+    /// kind that measures it).
     pub fn stage_total(&self, stage: Stage) -> u64 {
-        self.shards.iter().map(|s| s.stage_nanos(stage)).sum()
+        self.shards
+            .iter()
+            .map(|s| s.stage_nanos(stage))
+            .sum::<u64>()
+            + self.coordinator.stage_nanos(stage)
     }
 
-    /// A stage's share of total shard wall time (0.0 when nothing ran).
+    fn shard_wall(&self) -> u64 {
+        self.shards.iter().map(|s| s.wall_nanos).sum()
+    }
+
+    /// A stage's share of the wall time of the thread kind that
+    /// measures it: shard stages against total shard wall time,
+    /// coordinator stages against the fleet run's wall. 0.0 when
+    /// nothing ran; capped at 1.0.
     pub fn stage_share(&self, stage: Stage) -> f64 {
-        let wall: u64 = self.shards.iter().map(|s| s.wall_nanos).sum();
-        if wall == 0 {
+        let (num, den) = if Stage::COORDINATOR.contains(&stage) {
+            (self.coordinator.stage_nanos(stage), self.wall_nanos)
+        } else {
+            (
+                self.shards.iter().map(|s| s.stage_nanos(stage)).sum(),
+                self.shard_wall(),
+            )
+        };
+        if den == 0 {
             0.0
         } else {
-            self.stage_total(stage) as f64 / wall as f64
+            (num as f64 / den as f64).min(1.0)
         }
     }
 
@@ -233,22 +310,22 @@ impl FleetProfile {
         self.shards.iter().map(|s| s.coverage()).fold(1.0, f64::min)
     }
 
-    /// Non-decide stages ranked by share of shard wall time, largest
-    /// first — the suspected parallelism eaters.
+    /// Non-decide stages ranked by share of the wall time of the thread
+    /// that measured them, largest first — the suspected parallelism
+    /// eaters. Shard stages and coordinator stages are each normalized
+    /// on their own thread kind, so a stage can never be blamed for
+    /// more time than its thread had (the PR 6 over-accounting bug).
     pub fn ranked_suspects(&self) -> Vec<(Stage, f64)> {
-        let mut v: Vec<(Stage, f64)> = [Stage::Recv, Stage::Merge, Stage::MergeWait, Stage::Idle]
-            .iter()
-            .map(|&s| (s, self.stage_share(s)))
-            .collect();
-        // Dispatch and merge-wait are measured on the feeder/collector
-        // side; normalize them against total shard wall too.
-        let wall: u64 = self.shards.iter().map(|s| s.wall_nanos).sum();
-        if wall > 0 {
-            v.push((
-                Stage::Dispatch,
-                self.stage_total(Stage::Dispatch) as f64 / wall as f64,
-            ));
-        }
+        let mut v: Vec<(Stage, f64)> = [
+            Stage::Recv,
+            Stage::Merge,
+            Stage::Idle,
+            Stage::Dispatch,
+            Stage::MergeWait,
+        ]
+        .iter()
+        .map(|&s| (s, self.stage_share(s)))
+        .collect();
         v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         v
     }
@@ -267,68 +344,92 @@ impl FleetProfile {
         }
     }
 
-    /// Render the per-shard / per-stage breakdown table (milliseconds),
-    /// with a fleet totals row.
+    /// Render the per-thread / per-stage breakdown table
+    /// (milliseconds): one row per shard, one `coord` row for the
+    /// coordinator's own stages, and a fleet totals row.
     pub fn breakdown_table(&self) -> String {
         let mut out = String::new();
         let _ = write!(out, "{:>6} {:>9}", "shard", "wall-ms");
         for s in Stage::ALL {
             let _ = write!(out, " {:>10}", s.as_str());
         }
-        let _ = writeln!(out, " {:>8} {:>7} {:>12}", "homes", "q-high", "allocs");
+        let _ = writeln!(
+            out,
+            " {:>8} {:>8} {:>7} {:>12}",
+            "homes", "assigned", "steals", "allocs"
+        );
         let ms = |n: u64| n as f64 / 1e6;
+        let row_allocs =
+            |sp: &ShardProfile| -> u64 { Stage::ALL.iter().map(|s| sp.stage_allocs(*s)).sum() };
         for sp in &self.shards {
             let _ = write!(out, "{:>6} {:>9.1}", sp.shard, ms(sp.wall_nanos));
             for s in Stage::ALL {
                 let _ = write!(out, " {:>10.1}", ms(sp.stage_nanos(s)));
             }
-            let allocs: u64 = Stage::ALL.iter().map(|s| sp.stage_allocs(*s)).sum();
             let _ = writeln!(
                 out,
-                " {:>8} {:>7} {:>12}",
-                sp.homes, sp.queue_highwater, allocs
+                " {:>8} {:>8} {:>7} {:>12}",
+                sp.homes,
+                sp.assigned,
+                sp.steals,
+                row_allocs(sp)
             );
         }
-        let wall: u64 = self.shards.iter().map(|s| s.wall_nanos).sum();
-        let _ = write!(out, "{:>6} {:>9.1}", "total", ms(wall));
+        let _ = write!(
+            out,
+            "{:>6} {:>9.1}",
+            "coord",
+            ms(self.coordinator.wall_nanos)
+        );
+        for s in Stage::ALL {
+            let _ = write!(out, " {:>10.1}", ms(self.coordinator.stage_nanos(s)));
+        }
+        let _ = writeln!(
+            out,
+            " {:>8} {:>8} {:>7} {:>12}",
+            0,
+            0,
+            0,
+            row_allocs(&self.coordinator)
+        );
+        let _ = write!(out, "{:>6} {:>9.1}", "total", ms(self.shard_wall()));
         for s in Stage::ALL {
             let _ = write!(out, " {:>10.1}", ms(self.stage_total(s)));
         }
         let homes: u64 = self.shards.iter().map(|s| s.homes).sum();
-        let allocs: u64 = self
-            .shards
-            .iter()
-            .flat_map(|sp| Stage::ALL.iter().map(move |s| sp.stage_allocs(*s)))
-            .sum();
-        let high = self
-            .shards
-            .iter()
-            .map(|s| s.queue_highwater)
-            .max()
-            .unwrap_or(0);
-        let _ = writeln!(out, " {:>8} {:>7} {:>12}", homes, high, allocs);
+        let assigned: u64 = self.shards.iter().map(|s| s.assigned).sum();
+        let steals: u64 = self.shards.iter().map(|s| s.steals).sum();
+        let allocs: u64 =
+            self.shards.iter().map(row_allocs).sum::<u64>() + row_allocs(&self.coordinator);
+        let _ = writeln!(
+            out,
+            " {:>8} {:>8} {:>7} {:>12}",
+            homes, assigned, steals, allocs
+        );
         out
     }
 
     /// Publish the profile into a registry (the probe registry, *not*
     /// the deterministic merged fleet registry):
-    /// `fiat_fleet_shard_busy_ms{shard,stage}`,
-    /// `fiat_fleet_queue_highwater{shard}`,
-    /// `fiat_fleet_send_blocks_total{shard}`,
-    /// `fiat_fleet_shard_allocs{shard,stage}`, and the
-    /// `fiat_fleet_merge_wait_us` barrier histogram.
+    /// `fiat_fleet_shard_busy_ms{shard,stage}` (shard rows plus
+    /// `shard="coord"` for coordinator stages),
+    /// `fiat_fleet_assigned_homes{shard}`,
+    /// `fiat_fleet_steals_total{shard}`,
+    /// `fiat_fleet_shard_allocs{shard,stage}`, the
+    /// `fiat_fleet_merge_wait_us` barrier-skew histogram, and — when a
+    /// flight recorder ran — the `fiat_probe_ring_evicted_ratio` gauge.
     pub fn publish(&self, registry: &MetricRegistry) {
         registry.describe(
             "fiat_fleet_shard_busy_ms",
-            "Wall time a shard spent in each accounted stage.",
+            "Wall time a thread spent in each accounted stage (coordinator stages under shard=\"coord\").",
         );
         registry.describe(
-            "fiat_fleet_queue_highwater",
-            "Deepest observed work-queue depth per shard.",
+            "fiat_fleet_assigned_homes",
+            "Homes the cost-aware partition plan statically assigned to each shard.",
         );
         registry.describe(
-            "fiat_fleet_send_blocks_total",
-            "Dispatches that found a shard's queue full (backpressure).",
+            "fiat_fleet_steals_total",
+            "Homes a shard claimed from other shards' queues (work-stealing tail).",
         );
         registry.describe(
             "fiat_fleet_shard_allocs",
@@ -336,7 +437,7 @@ impl FleetProfile {
         );
         registry.describe(
             "fiat_fleet_merge_wait_us",
-            "Merge-barrier wait per shard: collector time blocked on each shard's exit.",
+            "Join-barrier skew: how much later the last shard finished than the first.",
         );
         let merge_wait = registry.histogram("fiat_fleet_merge_wait_us", &[]);
         for sp in &self.shards {
@@ -350,11 +451,11 @@ impl FleetProfile {
                     .set((sp.stage_nanos(s) / 1_000_000) as i64);
             }
             registry
-                .gauge("fiat_fleet_queue_highwater", &[("shard", shard.as_str())])
-                .set(sp.queue_highwater as i64);
+                .gauge("fiat_fleet_assigned_homes", &[("shard", shard.as_str())])
+                .set(sp.assigned as i64);
             registry
-                .counter("fiat_fleet_send_blocks_total", &[("shard", shard.as_str())])
-                .add(sp.send_blocks);
+                .counter("fiat_fleet_steals_total", &[("shard", shard.as_str())])
+                .add(sp.steals);
             for s in Stage::ALL {
                 let n = sp.stage_allocs(s);
                 if n > 0 {
@@ -366,7 +467,25 @@ impl FleetProfile {
                         .set(n as i64);
                 }
             }
-            merge_wait.record(sp.stage_nanos(Stage::MergeWait) / 1_000);
+        }
+        for s in Stage::COORDINATOR {
+            registry
+                .gauge(
+                    "fiat_fleet_shard_busy_ms",
+                    &[("shard", "coord"), ("stage", s.as_str())],
+                )
+                .set((self.coordinator.stage_nanos(s) / 1_000_000) as i64);
+        }
+        merge_wait.record(self.coordinator.stage_nanos(Stage::MergeWait) / 1_000);
+        if let Some((total, dropped)) = self.recorder_events {
+            registry.describe(
+                "fiat_probe_ring_evicted_ratio",
+                "Per-mille of flight-recorder events evicted from the bounded rings (1000 = nothing retained).",
+            );
+            let permille = dropped.saturating_mul(1000).checked_div(total).unwrap_or(0) as i64;
+            registry
+                .gauge("fiat_probe_ring_evicted_ratio", &[])
+                .set(permille);
         }
     }
 }
@@ -381,6 +500,14 @@ mod tests {
         p.add(Stage::Decide, Duration::from_millis(decide_ms));
         p.add(Stage::Recv, Duration::from_millis(recv_ms));
         p
+    }
+
+    fn coordinator_with(dispatch_ms: u64, skew_ms: u64) -> ShardProfile {
+        let mut c = ShardProfile::new(0);
+        c.add(Stage::Dispatch, Duration::from_millis(dispatch_ms));
+        c.add(Stage::MergeWait, Duration::from_millis(skew_ms));
+        c.wall_nanos = (dispatch_ms + skew_ms) * 1_000_000;
+        c
     }
 
     #[test]
@@ -399,6 +526,7 @@ mod tests {
     fn fleet_coverage_meets_the_acceptance_bar() {
         let fp = FleetProfile {
             shards: vec![profile_with(0, 100, 70, 20), profile_with(1, 100, 40, 55)],
+            coordinator: coordinator_with(1, 2),
             wall_nanos: 110_000_000,
             fold_nanos: 1_000_000,
             recorder_events: None,
@@ -409,26 +537,64 @@ mod tests {
 
     #[test]
     fn bottleneck_ranking_names_the_dominant_non_decide_stage() {
-        let mut a = profile_with(0, 100, 30, 65);
-        a.queue_highwater = 1;
+        let a = profile_with(0, 100, 30, 65);
         let fp = FleetProfile {
             shards: vec![a],
+            coordinator: coordinator_with(0, 1),
             wall_nanos: 100_000_000,
             fold_nanos: 0,
             recorder_events: None,
         };
         let top = fp.top_bottleneck();
         assert!(top.starts_with("top suspected bottleneck: recv"), "{top}");
-        assert!(top.contains("starvation"), "{top}");
+        assert!(top.contains("claim"), "{top}");
         let ranked = fp.ranked_suspects();
         assert_eq!(ranked[0].0, Stage::Recv);
         assert!(ranked.windows(2).all(|w| w[0].1 >= w[1].1));
     }
 
     #[test]
-    fn breakdown_table_has_all_stages_and_a_total_row() {
+    fn coordinator_stages_stay_off_shard_rows_and_rank_against_fleet_wall() {
+        // The PR 6 regression: at shards=1 the feeder's blocked time was
+        // folded into shard 0's row, so stage totals summed to ~2x the
+        // wall and the ranker proclaimed "dispatch 98.6%". With the
+        // coordinator on its own row, shard stage totals can never
+        // exceed shard wall, and coordinator stages normalize against
+        // the fleet wall.
+        let shard = profile_with(0, 893, 837, 23);
+        let fp = FleetProfile {
+            shards: vec![shard],
+            coordinator: coordinator_with(2, 4),
+            wall_nanos: 894_000_000,
+            fold_nanos: 0,
+            recorder_events: None,
+        };
+        // Shard rows account to exactly their own wall.
+        let shard_stage_sum: u64 = Stage::ALL
+            .iter()
+            .map(|&s| fp.shards[0].stage_nanos(s))
+            .sum();
+        assert_eq!(shard_stage_sum, fp.shards[0].wall_nanos);
+        // Dispatch is tiny relative to the fleet wall, so the verdict
+        // cannot be a bogus dispatch blame.
+        assert!(fp.stage_share(Stage::Dispatch) < 0.01);
+        let top = fp.top_bottleneck();
+        assert!(!top.contains("dispatch"), "{top}");
+        // Every ranked share is a sane fraction.
+        for (stage, share) in fp.ranked_suspects() {
+            assert!(
+                (0.0..=1.0).contains(&share),
+                "{} share {share}",
+                stage.as_str()
+            );
+        }
+    }
+
+    #[test]
+    fn breakdown_table_has_all_stages_a_coord_row_and_a_total_row() {
         let fp = FleetProfile {
             shards: vec![profile_with(0, 50, 40, 5), profile_with(1, 50, 35, 10)],
+            coordinator: coordinator_with(1, 3),
             wall_nanos: 55_000_000,
             fold_nanos: 0,
             recorder_events: None,
@@ -437,22 +603,25 @@ mod tests {
         for s in Stage::ALL {
             assert!(t.contains(s.as_str()), "missing {}", s.as_str());
         }
+        assert!(t.contains("coord"));
+        assert!(t.contains("assigned"));
+        assert!(t.contains("steals"));
         assert!(t.contains("total"));
-        assert_eq!(t.lines().count(), 4); // header + 2 shards + total
+        assert_eq!(t.lines().count(), 5); // header + 2 shards + coord + total
     }
 
     #[test]
     fn publish_writes_probe_metrics() {
         let mut p = profile_with(0, 100, 60, 25);
-        p.add(Stage::MergeWait, Duration::from_millis(7));
-        p.queue_highwater = 3;
-        p.send_blocks = 2;
+        p.assigned = 5;
+        p.steals = 2;
         p.add_allocs(Stage::Decide, 11);
         let fp = FleetProfile {
             shards: vec![p],
+            coordinator: coordinator_with(1, 7),
             wall_nanos: 100_000_000,
             fold_nanos: 0,
-            recorder_events: None,
+            recorder_events: Some((1000, 250)),
         };
         let r = MetricRegistry::new();
         fp.publish(&r);
@@ -465,12 +634,20 @@ mod tests {
             60
         );
         assert_eq!(
-            r.gauge("fiat_fleet_queue_highwater", &[("shard", "0")])
-                .get(),
-            3
+            r.gauge(
+                "fiat_fleet_shard_busy_ms",
+                &[("shard", "coord"), ("stage", "merge_wait")]
+            )
+            .get(),
+            7
         );
         assert_eq!(
-            r.counter("fiat_fleet_send_blocks_total", &[("shard", "0")])
+            r.gauge("fiat_fleet_assigned_homes", &[("shard", "0")])
+                .get(),
+            5
+        );
+        assert_eq!(
+            r.counter("fiat_fleet_steals_total", &[("shard", "0")])
                 .get(),
             2
         );
@@ -485,6 +662,7 @@ mod tests {
         let h = r.histogram("fiat_fleet_merge_wait_us", &[]);
         assert_eq!(h.count(), 1);
         assert_eq!(h.sum(), 7_000);
+        assert_eq!(r.gauge("fiat_probe_ring_evicted_ratio", &[]).get(), 250);
     }
 
     #[test]
@@ -500,5 +678,53 @@ mod tests {
         q.on_recv();
         q.on_recv();
         assert_eq!(q.highwater(), 3);
+    }
+
+    #[test]
+    fn queue_depth_probe_clamps_to_capacity() {
+        let q = QueueDepthProbe::with_capacity(4);
+        for _ in 0..6 {
+            q.on_send();
+        }
+        assert_eq!(q.highwater(), 4);
+    }
+
+    #[test]
+    fn highwater_never_exceeds_capacity_on_a_real_channel() {
+        // Regression for the PR 6 bug (high-water 6 on a capacity-4
+        // channel): drive a real bounded channel with the feeder's old
+        // try_send-then-blocking-send pattern — the probe must be bumped
+        // only once the item lands, and the clamp bounds whatever the
+        // racy counters produce.
+        use std::sync::mpsc::{self, TrySendError};
+        const CAP: usize = 4;
+        let q = QueueDepthProbe::with_capacity(CAP);
+        let (tx, rx) = mpsc::sync_channel::<u32>(CAP);
+        std::thread::scope(|s| {
+            let q = &q;
+            s.spawn(move || {
+                for i in 0..256u32 {
+                    match tx.try_send(i) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(v)) => tx.send(v).unwrap(),
+                        Err(TrySendError::Disconnected(_)) => unreachable!(),
+                    }
+                    q.on_send();
+                }
+            });
+            s.spawn(move || {
+                let mut slow = 0u32;
+                while let Ok(v) = rx.recv() {
+                    q.on_recv();
+                    // Vary consumer speed so the queue actually fills.
+                    slow = slow.wrapping_add(v);
+                    if slow.is_multiple_of(7) {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+        assert!(q.highwater() >= 1);
+        assert!(q.highwater() <= CAP as u64, "highwater {}", q.highwater());
     }
 }

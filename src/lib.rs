@@ -68,7 +68,9 @@ pub mod prelude {
         group_events, EventClass, EventClassifier, FiatApp, FiatProxy, PredictabilityEngine,
         ProxyConfig, ProxyDecision, RuleTable, EVENT_GAP,
     };
-    pub use fiat_fleet::{build_workloads, run_sequential, run_sharded, FleetOutcome};
+    pub use fiat_fleet::{
+        build_workloads, run_sequential, run_sharded, FleetOutcome, PartitionPlan,
+    };
     pub use fiat_net::{
         Direction, FlowDef, FlowKey, InternedFlowKey, PacketRecord, RemoteId, SimDuration, SimTime,
         Trace, TrafficClass, Transport,
