@@ -124,6 +124,18 @@ pub fn run_attack(
             legit_at.as_micros(),
         )
         .expect("0-RTT authorization");
+    // A second authorization the on-path attacker intercepts and drops:
+    // its nonce never reaches the proxy, so the capture stays fresh in
+    // the replay store. Only the epoch lifecycle can invalidate it
+    // (the stale-epoch-replay strategy's target).
+    let withheld: ZeroRttPacket = app
+        .authorize_zero_rtt(
+            "iot.app",
+            &imu,
+            MotionKind::HumanTouch,
+            legit_at.as_micros() + 1_000,
+        )
+        .expect("0-RTT authorization");
 
     // The recon the strategy plans from.
     let relay_ip = location.cloud_ip(dev.endpoint_base + 40, 0);
@@ -165,12 +177,16 @@ pub fn run_attack(
     // --- Split the plan into wire packets and scheduled control events.
     let mut attack_packets: Vec<PacketRecord> = Vec::new();
     let mut replays: Vec<SimTime> = Vec::new();
+    let mut stale_replays: Vec<SimTime> = Vec::new();
+    let mut rotations: Vec<SimTime> = Vec::new();
     let mut clears: Vec<SimTime> = Vec::new();
     let mut tamper = false;
     for action in plan {
         match action {
             AttackAction::Inject(p) => attack_packets.push(p),
             AttackAction::ReplayAuth { at } => replays.push(at),
+            AttackAction::ReplayStaleAuth { at } => stale_replays.push(at),
+            AttackAction::RotateEpochs { at } => rotations.push(at),
             AttackAction::ClearLockout { at } => clears.push(at),
             AttackAction::TamperAudit => tamper = true,
         }
@@ -195,6 +211,8 @@ pub fn run_attack(
     }
     timeline.sort_by_key(|(p, _)| p.ts);
     replays.sort();
+    stale_replays.sort();
+    rotations.sort();
     clears.sort();
 
     // --- Drive the proxy through the intercept queue.
@@ -210,6 +228,8 @@ pub fn run_attack(
     let mut last_delivered: Option<SimTime> = None;
     let mut completed = false;
     let mut replay_i = 0usize;
+    let mut stale_i = 0usize;
+    let mut rot_i = 0usize;
     let mut clear_i = 0usize;
 
     // The legitimate authorization, observed in order with the timeline.
@@ -224,12 +244,28 @@ pub fn run_attack(
             debug_assert!(ok, "perfect validator verifies the human");
             legit_auth_done = true;
         }
+        while rot_i < rotations.len() && rotations[rot_i] <= now {
+            // The scheduled key lifecycle: rotate the issuing epoch and
+            // retire everything older, exactly as fiat-control's manager
+            // does between its bounded-window ticks.
+            proxy.rotate_ticket_epoch();
+            let newest = proxy.ticket_epoch();
+            proxy.retire_ticket_epochs_below(newest);
+            rot_i += 1;
+        }
         while replay_i < replays.len() && replays[replay_i] <= now {
             match proxy.on_auth_zero_rtt(&sniffed, replays[replay_i]) {
                 Err(_) => replays_rejected += 1,
                 Ok(verified) => replay_opened_window |= verified,
             }
             replay_i += 1;
+        }
+        while stale_i < stale_replays.len() && stale_replays[stale_i] <= now {
+            match proxy.on_auth_zero_rtt(&withheld, stale_replays[stale_i]) {
+                Err(_) => replays_rejected += 1,
+                Ok(verified) => replay_opened_window |= verified,
+            }
+            stale_i += 1;
         }
         while clear_i < clears.len() && clears[clear_i] <= now {
             proxy.clear_lockout(config.device);
@@ -278,6 +314,19 @@ pub fn run_attack(
     // Trailing control events (the attacker's last fragment, probes with
     // no follow-up traffic) are closed like a live proxy's idle sweep
     // would.
+    while rot_i < rotations.len() {
+        proxy.rotate_ticket_epoch();
+        let newest = proxy.ticket_epoch();
+        proxy.retire_ticket_epochs_below(newest);
+        rot_i += 1;
+    }
+    while stale_i < stale_replays.len() {
+        match proxy.on_auth_zero_rtt(&withheld, stale_replays[stale_i]) {
+            Err(_) => replays_rejected += 1,
+            Ok(verified) => replay_opened_window |= verified,
+        }
+        stale_i += 1;
+    }
     while clear_i < clears.len() {
         proxy.clear_lockout(config.device);
         clear_i += 1;

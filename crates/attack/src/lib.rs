@@ -15,6 +15,7 @@
 //! | strategy       | layer probed                          | expected |
 //! |----------------|---------------------------------------|----------|
 //! | `replay`       | 0-RTT anti-replay store               | blocked  |
+//! | `stale-epoch-replay` | ticket-epoch retirement (key lifecycle) | blocked |
 //! | `mimicry`      | PortLess allow rules (unthrottled)    | allowed* |
 //! | `poison-slow`  | bootstrap rule minting                | allowed* |
 //! | `poison-fast`  | `MIN_RULE_INTERVAL` floor             | blocked  |
@@ -44,6 +45,7 @@ pub use scorecard::{AttackOutcome, AttackVerdict, Scorecard};
 pub use strategies::{
     standard_strategies, AttackAction, AttackStrategy, AuditTamper, BucketMimicry, GapEvasion,
     LockoutProbe, QuarantineProbe, Recon, ReplayAttack, RulePoisonFast, RulePoisonSlow,
+    StaleEpochReplay,
 };
 
 #[cfg(test)]
@@ -79,6 +81,53 @@ mod tests {
         // command.
         assert!(o.delivered < o.injected);
         assert!(!o.completed);
+    }
+
+    #[test]
+    fn stale_epoch_replay_is_blocked_by_epoch_retirement() {
+        // The withheld capture's nonce is fresh, so the replay store
+        // alone would wave it through; the rotation retiring its epoch
+        // is what burns it. Holds on both the N = 1 plug and the
+        // first-N camera.
+        for device in [PLUG, CAMERA] {
+            let o = run(&StaleEpochReplay, device);
+            assert_eq!(o.verdict, AttackVerdict::Blocked, "device {device}");
+            assert!(
+                o.replays_rejected >= 1,
+                "the stale capture must be refused (device {device})"
+            );
+            assert!(!o.completed, "device {device}");
+            assert!(o.dropped > 0, "device {device}");
+            assert!(o.time_to_block_ms.is_some(), "device {device}");
+        }
+    }
+
+    #[test]
+    fn withheld_capture_succeeds_without_rotation() {
+        // Negative control for the stale-epoch run: the same withheld
+        // capture replayed with *no* epoch rotation verifies (its nonce
+        // was never burned), opening the humanness window. This is what
+        // pins the blocked verdict above on epoch retirement rather
+        // than the nonce store.
+        use fiat_net::SimDuration;
+        use rand::rngs::StdRng;
+        struct NoRotationControl;
+        impl AttackStrategy for NoRotationControl {
+            fn name(&self) -> &'static str {
+                "stale-epoch-control"
+            }
+            fn defense(&self) -> &'static str {
+                "negative control (no rotation)"
+            }
+            fn plan(&self, recon: &Recon, _rng: &mut StdRng) -> Vec<AttackAction> {
+                vec![AttackAction::ReplayStaleAuth {
+                    at: recon.attack_start + SimDuration::from_secs(1),
+                }]
+            }
+        }
+        let o = run(&NoRotationControl, PLUG);
+        assert_eq!(o.verdict, AttackVerdict::Allowed);
+        assert_eq!(o.replays_rejected, 0, "fresh nonce must not be refused");
     }
 
     #[test]

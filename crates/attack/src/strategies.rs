@@ -130,6 +130,23 @@ pub enum AttackAction {
     /// After the run, tamper with the exported audit log (rewrite one
     /// incriminating entry) and see whether verification catches it.
     TamperAudit,
+    /// The control plane's key lifecycle rotates the ticket epoch at `at`
+    /// and retires every older epoch. Not an attacker capability — the
+    /// strategy models *waiting through* scheduled rotations so a sniffed
+    /// ticket goes stale.
+    RotateEpochs {
+        /// When the scheduled rotation fires.
+        at: SimTime,
+    },
+    /// Replay a second sniffed 0-RTT authorization whose original the
+    /// on-path attacker dropped before it reached the proxy — its
+    /// (ticket, nonce) pair is fresh in the replay store, so only the
+    /// epoch lifecycle stands between the capture and an open humanness
+    /// window.
+    ReplayStaleAuth {
+        /// When to replay the withheld capture.
+        at: SimTime,
+    },
 }
 
 /// An attacker strategy: a named, seeded plan against one defense layer.
@@ -174,6 +191,43 @@ impl AttackStrategy for ReplayAttack {
             at: recon.attack_start,
         }];
         let mut t = recon.attack_start + SimDuration::from_millis(50);
+        for _ in 0..recon.min_packets.max(1) {
+            actions.push(AttackAction::Inject(recon.command_packet(t)));
+            t += burst_iat(rng);
+        }
+        actions
+    }
+}
+
+/// §5.3 replay, key-lifecycle variant: the attacker intercepts and
+/// *drops* a 0-RTT authorization on-path (so its nonce is never burned
+/// at the proxy), then sits on the capture while the control plane's
+/// scheduled key lifecycle rotates the ticket epoch and retires the old
+/// one; only then replays it and fires the command. The nonce-keyed
+/// anti-replay store alone cannot stop this — the pair is fresh.
+/// Defeated by epoch retirement: the ticket's epoch is no longer live,
+/// the proxy answers `RetiredEpoch` before consulting the replay store,
+/// no humanness window opens, and the command drops as unverified
+/// manual.
+pub struct StaleEpochReplay;
+
+impl AttackStrategy for StaleEpochReplay {
+    fn name(&self) -> &'static str {
+        "stale-epoch-replay"
+    }
+    fn defense(&self) -> &'static str {
+        "ticket-epoch retirement (fiat-control key lifecycle)"
+    }
+    fn plan(&self, recon: &Recon, rng: &mut StdRng) -> Vec<AttackAction> {
+        let mut actions = vec![
+            AttackAction::RotateEpochs {
+                at: recon.attack_start,
+            },
+            AttackAction::ReplayStaleAuth {
+                at: recon.attack_start + SimDuration::from_secs(1),
+            },
+        ];
+        let mut t = recon.attack_start + SimDuration::from_millis(1050);
         for _ in 0..recon.min_packets.max(1) {
             actions.push(AttackAction::Inject(recon.command_packet(t)));
             t += burst_iat(rng);
@@ -424,6 +478,7 @@ impl AttackStrategy for QuarantineProbe {
 pub fn standard_strategies() -> Vec<Box<dyn AttackStrategy>> {
     vec![
         Box::new(ReplayAttack),
+        Box::new(StaleEpochReplay),
         Box::new(BucketMimicry),
         Box::new(RulePoisonSlow),
         Box::new(RulePoisonFast),
@@ -480,6 +535,16 @@ mod tests {
                         AttackAction::ClearLockout { at: q },
                     ) => assert_eq!(p, q),
                     (AttackAction::TamperAudit, AttackAction::TamperAudit) => {}
+                    (
+                        AttackAction::RotateEpochs { at: p },
+                        AttackAction::RotateEpochs { at: q },
+                    ) => {
+                        assert_eq!(p, q)
+                    }
+                    (
+                        AttackAction::ReplayStaleAuth { at: p },
+                        AttackAction::ReplayStaleAuth { at: q },
+                    ) => assert_eq!(p, q),
                     _ => panic!("plan shape diverged for {}", s.name()),
                 }
             }

@@ -56,6 +56,7 @@ pub fn attack_text(seed: u64, quick: bool, registry: Option<&MetricRegistry>) ->
     let mut out = card.render(seed);
     let must_block = [
         "replay",
+        "stale-epoch-replay",
         "poison-fast",
         "lockout-probe",
         "gap-evasion",
@@ -74,8 +75,8 @@ pub fn attack_text(seed: u64, quick: bool, registry: Option<&MetricRegistry>) ->
     }
     if ok {
         out.push_str(
-            "posture: PASS (replay, poison-fast, lockout-probe, gap-evasion, \
-             quarantine-probe blocked; audit-tamper detected)\n",
+            "posture: PASS (replay, stale-epoch-replay, poison-fast, lockout-probe, \
+             gap-evasion, quarantine-probe blocked; audit-tamper detected)\n",
         );
     }
     out
@@ -88,9 +89,10 @@ mod tests {
     #[test]
     fn quick_scorecard_holds_the_security_posture() {
         let card = attack_scorecard(42, true, None);
-        // 8 strategies x 2 devices.
-        assert_eq!(card.outcomes().len(), 16);
+        // 9 strategies x 2 devices.
+        assert_eq!(card.outcomes().len(), 18);
         assert!(card.all_scored("replay", AttackVerdict::Blocked));
+        assert!(card.all_scored("stale-epoch-replay", AttackVerdict::Blocked));
         assert!(card.all_scored("poison-fast", AttackVerdict::Blocked));
         assert!(card.all_scored("lockout-probe", AttackVerdict::Blocked));
         assert!(card.all_scored("gap-evasion", AttackVerdict::Blocked));

@@ -16,6 +16,7 @@
 //! experiments attack [--quick]    # adversarial red-team scorecard
 //! experiments oracle [--quick]    # differential decision oracle vs naive reference
 //! experiments chaos [--quick]     # chaos soak: fault injection vs graceful degradation
+//! experiments control [--quick]   # control plane: enrollment, epoch lifecycle, outage, rebalance
 //! ```
 //!
 //! Scale knobs: `--days N` (testbed capture length, default 8),
@@ -37,8 +38,8 @@
 
 use fiat_bench::ml_tables::ModelKind;
 use fiat_bench::{
-    attack_exp, bench_log, chaos_exp, fig1, fig2, fleet_exp, ml_tables, oracle_exp, profile_exp,
-    table6, table7, tolerance,
+    attack_exp, bench_log, chaos_exp, control_exp, fig1, fig2, fleet_exp, ml_tables, oracle_exp,
+    profile_exp, table6, table7, tolerance,
 };
 use fiat_core::ErrorModel;
 use fiat_telemetry::{MetricRegistry, Span, WallClock};
@@ -253,6 +254,7 @@ fn run_one(name: &str, args: &Args, registry: &MetricRegistry) -> Option<String>
         "attack" => attack_exp::attack_text(seed, args.quick, Some(registry)),
         "oracle" => oracle_exp::oracle_text(seed, args.quick, Some(registry)),
         "chaos" => chaos_exp::chaos_text(seed, args.quick, Some(registry)),
+        "control" => control_exp::control_text(seed, args.quick, Some(registry)),
         "tolerance" => tolerance::tolerance_text(),
         "appendixa" => appendixa_text(),
         _ => return None,
@@ -260,7 +262,7 @@ fn run_one(name: &str, args: &Args, registry: &MetricRegistry) -> Option<String>
     Some(text)
 }
 
-const ALL: [&str; 17] = [
+const ALL: [&str; 18] = [
     "fig1a",
     "fig1b",
     "fig1c",
@@ -278,6 +280,7 @@ const ALL: [&str; 17] = [
     "attack",
     "oracle",
     "chaos",
+    "control",
 ];
 
 fn main() {

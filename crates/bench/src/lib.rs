@@ -7,6 +7,7 @@
 pub mod attack_exp;
 pub mod bench_log;
 pub mod chaos_exp;
+pub mod control_exp;
 pub mod corpus;
 pub mod fig1;
 pub mod fig2;

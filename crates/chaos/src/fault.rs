@@ -35,10 +35,13 @@ pub enum FaultKind {
     Offline,
     /// IMU unavailable: no evidence can be produced at all.
     SensorUnavailable,
+    /// Control plane unreachable: the proxy serves in degraded mode for
+    /// the window (key lifecycle paused, last-known-good epochs only).
+    ControlOutage,
 }
 
 /// All kinds, in stable reporting order.
-pub const FAULT_KINDS: [FaultKind; 7] = [
+pub const FAULT_KINDS: [FaultKind; 8] = [
     FaultKind::Drop,
     FaultKind::Duplicate,
     FaultKind::Reorder,
@@ -46,6 +49,7 @@ pub const FAULT_KINDS: [FaultKind; 7] = [
     FaultKind::Corrupt,
     FaultKind::Offline,
     FaultKind::SensorUnavailable,
+    FaultKind::ControlOutage,
 ];
 
 impl FaultKind {
@@ -59,6 +63,7 @@ impl FaultKind {
             FaultKind::Corrupt => "corrupt",
             FaultKind::Offline => "offline",
             FaultKind::SensorUnavailable => "sensor_unavailable",
+            FaultKind::ControlOutage => "control_outage",
         }
     }
 
@@ -71,6 +76,7 @@ impl FaultKind {
             FaultKind::Corrupt => 4,
             FaultKind::Offline => 5,
             FaultKind::SensorUnavailable => 6,
+            FaultKind::ControlOutage => 7,
         }
     }
 }
@@ -99,8 +105,10 @@ pub struct FaultPlan {
     pub offline: Vec<(SimTime, SimTime)>,
     /// Sensor-unavailable windows (inclusive start, exclusive end).
     pub sensor_unavailable: Vec<(SimTime, SimTime)>,
+    /// Control-plane-outage windows (inclusive start, exclusive end).
+    pub control_outage: Vec<(SimTime, SimTime)>,
     rng: StdRng,
-    counts: [u64; 7],
+    counts: [u64; 8],
 }
 
 impl FaultPlan {
@@ -128,8 +136,9 @@ impl FaultPlan {
             delay: LatencyProfile::from_millis(20, 80),
             offline: Vec::new(),
             sensor_unavailable: Vec::new(),
+            control_outage: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
-            counts: [0; 7],
+            counts: [0; 8],
         }
     }
 
@@ -149,6 +158,11 @@ impl FaultPlan {
         self.sensor_unavailable
             .iter()
             .any(|&(a, b)| a <= t && t < b)
+    }
+
+    /// Whether the control plane is unreachable at `t`.
+    pub fn control_outage_at(&self, t: SimTime) -> bool {
+        self.control_outage.iter().any(|&(a, b)| a <= t && t < b)
     }
 
     /// Count one injected fault.
@@ -360,6 +374,29 @@ mod tests {
         assert_eq!(plan.count(FaultKind::Offline), 1);
         assert!(plan.sensor_unavailable.is_empty());
         assert!(!plan.sensor_unavailable_at(SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn control_outage_windows_are_half_open_and_counted() {
+        let mut plan = FaultPlan::none(4);
+        plan.control_outage = vec![(SimTime::from_secs(30), SimTime::from_secs(60))];
+        assert!(!plan.control_outage_at(SimTime::from_secs(29)));
+        assert!(plan.control_outage_at(SimTime::from_secs(30)));
+        assert!(plan.control_outage_at(SimTime::from_secs(59)));
+        assert!(
+            !plan.control_outage_at(SimTime::from_secs(60)),
+            "end exclusive"
+        );
+        // An outage does not touch the data path: frames still flow.
+        assert_eq!(
+            plan.inject(pkt(SimTime::from_secs(45)), SimTime::from_secs(45))
+                .len(),
+            1
+        );
+        plan.record(FaultKind::ControlOutage);
+        assert_eq!(plan.count(FaultKind::ControlOutage), 1);
+        assert_eq!(plan.counts().len(), FAULT_KINDS.len());
+        assert_eq!(FaultKind::ControlOutage.as_str(), "control_outage");
     }
 
     #[test]

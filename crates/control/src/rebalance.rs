@@ -1,0 +1,200 @@
+//! Snapshot/restore orchestration: the control-plane operations a fleet
+//! uses to rebalance a home between shards or survive a proxy restart.
+//!
+//! [`snapshot_home`] serializes a [`FiatProxy`]'s [`HomeSnapshot`] to
+//! canonical JSON bytes (deterministic: the snapshot sorts every
+//! collection, so the same state always produces the same bytes) and
+//! counts them into `fiat_control_snapshot_bytes_total`.
+//! [`restore_home`] parses, re-verifies (version + audit chain), and
+//! rebuilds a proxy that resumes byte-identically — the determinism
+//! contract proven by the core pipeline tests and the fleet rebalance
+//! oracle.
+
+use fiat_core::pipeline::ProxyTelemetry;
+use fiat_core::{EventClassifier, FiatProxy, HomeSnapshot, ProxyConfig, SnapshotError};
+use fiat_sensors::HumannessValidator;
+use fiat_telemetry::ControlMetrics;
+
+/// Why a serialized snapshot could not be restored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The bytes did not parse as a [`HomeSnapshot`].
+    Corrupt,
+    /// The snapshot parsed but failed validation.
+    Snapshot(SnapshotError),
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::Corrupt => write!(f, "snapshot bytes did not parse"),
+            RestoreError::Snapshot(e) => write!(f, "snapshot rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<SnapshotError> for RestoreError {
+    fn from(e: SnapshotError) -> Self {
+        RestoreError::Snapshot(e)
+    }
+}
+
+/// Serialize `proxy`'s full decision state to canonical JSON bytes.
+pub fn snapshot_home(proxy: &FiatProxy, metrics: Option<&ControlMetrics>) -> Vec<u8> {
+    let snap = proxy.snapshot();
+    let bytes = serde_json::to_vec(&snap).expect("snapshot serializes");
+    if let Some(m) = metrics {
+        m.record_snapshot_save(bytes.len() as u64);
+    }
+    bytes
+}
+
+/// Rebuild a proxy from [`snapshot_home`] bytes. The caller re-supplies
+/// what the snapshot deliberately excludes: the ceremony secret (key
+/// material never leaves a keystore), a validator, a telemetry plug
+/// (typically a fresh registry on the destination shard — restore is
+/// telemetry-silent, so old + new registries fold additively), and the
+/// per-device classifiers.
+pub fn restore_home(
+    bytes: &[u8],
+    config: ProxyConfig,
+    ceremony_secret: &[u8; 32],
+    validator: HumannessValidator,
+    telemetry: ProxyTelemetry,
+    classifiers: impl FnMut(u16) -> EventClassifier,
+    metrics: Option<&ControlMetrics>,
+) -> Result<FiatProxy, RestoreError> {
+    let snap: HomeSnapshot = serde_json::from_slice(bytes).map_err(|_| RestoreError::Corrupt)?;
+    let proxy = FiatProxy::restore(
+        config,
+        ceremony_secret,
+        validator,
+        telemetry,
+        &snap,
+        classifiers,
+    )?;
+    if let Some(m) = metrics {
+        m.record_snapshot_restore();
+    }
+    Ok(proxy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiat_net::SimTime;
+    use fiat_telemetry::{ManualClock, MetricRegistry};
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    const SECRET: [u8; 32] = [0xB4; 32];
+
+    fn plug() -> ProxyTelemetry {
+        ProxyTelemetry::new(MetricRegistry::new(), Arc::new(ManualClock::new()))
+    }
+
+    fn seeded_proxy(devices: u16, rotations: u32, start_secs: u64) -> FiatProxy {
+        let mut p = FiatProxy::with_telemetry(
+            ProxyConfig::default(),
+            &SECRET,
+            HumannessValidator::with_operating_point(1.0, 1.0, 0),
+            plug(),
+        );
+        for d in 0..devices {
+            p.register_device(d, EventClassifier::simple_rule(200 + d * 10), 4);
+        }
+        p.start(SimTime::from_secs(start_secs));
+        for _ in 0..rotations {
+            p.rotate_ticket_epoch();
+        }
+        p
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_and_counts_bytes() {
+        let registry = MetricRegistry::new();
+        let metrics = ControlMetrics::new(&registry);
+        let proxy = seeded_proxy(3, 2, 5);
+        let bytes = snapshot_home(&proxy, Some(&metrics));
+        let restored = restore_home(
+            &bytes,
+            ProxyConfig::default(),
+            &SECRET,
+            HumannessValidator::with_operating_point(1.0, 1.0, 0),
+            plug(),
+            |d| EventClassifier::simple_rule(200 + d * 10),
+            Some(&metrics),
+        )
+        .expect("restore");
+        assert_eq!(restored.ticket_epoch(), 2);
+        assert_eq!(snapshot_home(&restored, None), bytes, "state round-trips");
+        let text = registry.render_prometheus();
+        assert!(text.contains(&format!(
+            "fiat_control_snapshot_bytes_total {}",
+            bytes.len()
+        )));
+        assert!(text.contains("fiat_control_snapshots_total{op=\"save\"} 1"));
+        assert!(text.contains("fiat_control_snapshots_total{op=\"restore\"} 1"));
+    }
+
+    #[test]
+    fn garbage_bytes_are_refused() {
+        let err = match restore_home(
+            b"not a snapshot",
+            ProxyConfig::default(),
+            &SECRET,
+            HumannessValidator::with_operating_point(1.0, 1.0, 0),
+            plug(),
+            |_| EventClassifier::simple_rule(0),
+            None,
+        ) {
+            Ok(_) => panic!("garbage must be refused"),
+            Err(e) => e,
+        };
+        assert_eq!(err, RestoreError::Corrupt);
+    }
+
+    #[test]
+    fn foreign_version_is_refused() {
+        let proxy = seeded_proxy(1, 0, 0);
+        let mut snap = proxy.snapshot();
+        snap.version = 99;
+        let bytes = serde_json::to_vec(&snap).unwrap();
+        let err = match restore_home(
+            &bytes,
+            ProxyConfig::default(),
+            &SECRET,
+            HumannessValidator::with_operating_point(1.0, 1.0, 0),
+            plug(),
+            |_| EventClassifier::simple_rule(0),
+            None,
+        ) {
+            Ok(_) => panic!("foreign version must be refused"),
+            Err(e) => e,
+        };
+        assert_eq!(
+            err,
+            RestoreError::Snapshot(SnapshotError::UnsupportedVersion(99))
+        );
+    }
+
+    proptest! {
+        /// The satellite round-trip property: for arbitrary provisioning
+        /// shapes, serialize → deserialize → serialize is byte-identical
+        /// (the canonical-bytes contract every rebalance leans on).
+        #[test]
+        fn snapshot_serde_round_trips_byte_identically(
+            devices in 0u16..6,
+            rotations in 0u32..4,
+            start_secs in 0u64..1000,
+        ) {
+            let proxy = seeded_proxy(devices, rotations, start_secs);
+            let bytes = snapshot_home(&proxy, None);
+            let snap: HomeSnapshot = serde_json::from_slice(&bytes).expect("parses");
+            let again = serde_json::to_vec(&snap).expect("re-serializes");
+            prop_assert_eq!(bytes, again);
+        }
+    }
+}

@@ -8,9 +8,14 @@
 use crate::classifier::EventClass;
 use fiat_crypto::Sha256;
 use fiat_net::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel device id for proxy-wide audit entries (degraded-mode
+/// transitions) that concern no single device.
+pub const AUDIT_PROXY_DEVICE: u16 = u16::MAX;
 
 /// Verdict recorded for an event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AuditVerdict {
     /// Event allowed as non-manual.
     AllowedNonManual,
@@ -32,10 +37,17 @@ pub enum AuditVerdict {
     /// arrived in time, so the held packets were discarded and the
     /// episode counted toward the lockout.
     QuarantineExpired,
+    /// The proxy lost its control plane and entered degraded mode:
+    /// decisions from here on ran against last-known-good key epochs.
+    /// Recorded with the [`AUDIT_PROXY_DEVICE`] sentinel — the
+    /// transition concerns the proxy, not a device.
+    DegradedModeEntered,
+    /// The control plane came back; the proxy left degraded mode.
+    DegradedModeExited,
 }
 
 /// One audit record.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AuditEntry {
     /// Decision time.
     pub ts: SimTime,
@@ -70,6 +82,8 @@ impl AuditEntry {
             // golden vectors for 0..=5 stay valid.
             AuditVerdict::QuarantineReleased => 6,
             AuditVerdict::QuarantineExpired => 7,
+            AuditVerdict::DegradedModeEntered => 8,
+            AuditVerdict::DegradedModeExited => 9,
         };
         let mut fnv: u32 = 0x811c_9dc5;
         for &b in &out[..12] {
@@ -118,6 +132,17 @@ impl AuditLog {
     /// Empty log.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuild a log from exported `(entries, hashes)` — the restore half
+    /// of a snapshot. Returns `None` when the pair fails
+    /// [`verify_chain`]: a snapshot that does not verify was tampered
+    /// with (or truncated) and must not be resumed from.
+    pub fn from_parts(entries: Vec<AuditEntry>, hashes: Vec<[u8; 32]>) -> Option<Self> {
+        if !verify_chain(&entries, &hashes) {
+            return None;
+        }
+        Some(AuditLog { entries, hashes })
     }
 
     /// Append an entry, extending the hash chain.
@@ -283,6 +308,58 @@ mod tests {
         assert_eq!(log.drops_for(3).count(), 1);
         assert_eq!(log.drops_for(4).count(), 1);
         assert_eq!(log.drops_for(5).count(), 0);
+    }
+
+    #[test]
+    fn from_parts_restores_and_rejects_tampering() {
+        let mut log = AuditLog::new();
+        for i in 0..4 {
+            log.append(entry(i, 1, AuditVerdict::AllowedManualVerified));
+        }
+        let entries = log.entries().to_vec();
+        let hashes = log.hashes().to_vec();
+
+        // A faithful export restores and the chain still extends.
+        let mut restored = AuditLog::from_parts(entries.clone(), hashes.clone()).unwrap();
+        assert_eq!(restored.head(), log.head());
+        restored.append(entry(9, 1, AuditVerdict::DroppedUnverified));
+        log.append(entry(9, 1, AuditVerdict::DroppedUnverified));
+        assert_eq!(restored.head(), log.head());
+        assert!(restored.verify());
+
+        // A tampered export must not produce a log.
+        let mut bad = entries.clone();
+        bad[2].verdict = AuditVerdict::LockedOut;
+        assert!(AuditLog::from_parts(bad, hashes.clone()).is_none());
+        assert!(AuditLog::from_parts(entries[..3].to_vec(), hashes).is_none());
+    }
+
+    #[test]
+    fn degraded_mode_verdicts_take_next_codes() {
+        // Codes 8/9 extend the documented encoding without disturbing
+        // the pinned golden vectors for 0..=7.
+        let enter = AuditEntry {
+            ts: SimTime::from_secs(1),
+            device: AUDIT_PROXY_DEVICE,
+            class: EventClass::Control,
+            verdict: AuditVerdict::DegradedModeEntered,
+        };
+        let exit = AuditEntry {
+            ts: SimTime::from_secs(2),
+            device: AUDIT_PROXY_DEVICE,
+            class: EventClass::Control,
+            verdict: AuditVerdict::DegradedModeExited,
+        };
+        let mut log = AuditLog::new();
+        log.append(enter);
+        log.append(exit);
+        assert!(log.verify());
+        let mut other = AuditLog::new();
+        other.append(AuditEntry {
+            verdict: AuditVerdict::DegradedModeExited,
+            ..log.entries()[0].clone()
+        });
+        assert_ne!(log.hashes()[0], other.hashes()[0]);
     }
 
     #[test]

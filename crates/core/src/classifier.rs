@@ -13,9 +13,10 @@ use fiat_ml::naive_bayes::BernoulliNB;
 use fiat_ml::nearest_centroid::NearestCentroid;
 use fiat_ml::{Classifier, Dataset, Distance, StandardScaler};
 use fiat_net::{PacketRecord, TrafficClass};
+use serde::{Deserialize, Serialize};
 
 /// Event class labels, aligned with [`TrafficClass`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum EventClass {
     /// Unpredictable control chatter.
     Control,

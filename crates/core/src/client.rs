@@ -229,8 +229,9 @@ impl FiatApp {
     }
 
     /// Drop the cached session ticket. Called when the proxy answers
-    /// `StaleTicket`/`UnknownTicket`: the ticket was evicted from the
-    /// anti-replay store, so 0-RTT is dead until a fresh handshake.
+    /// `StaleTicket`/`UnknownTicket`/`RetiredEpoch`: the ticket was
+    /// evicted from the anti-replay store (or its whole epoch retired by
+    /// key rotation), so 0-RTT is dead until a fresh handshake.
     pub fn forget_ticket(&mut self) {
         self.quic.forget_ticket();
     }
@@ -283,11 +284,14 @@ impl FiatApp {
                     }
                 }
                 DeliveryResult::Rejected(e) => match e {
-                    // The ticket fell out of the proxy's replay store:
-                    // only a fresh handshake (and a proof re-signed
-                    // under the new ticket) restores 0-RTT; meanwhile
-                    // the established 1-RTT keys still work.
-                    AuthError::Transport(QuicError::StaleTicket | QuicError::UnknownTicket) => {
+                    // The ticket fell out of the proxy's replay store, or
+                    // its whole epoch was retired by key rotation: only a
+                    // fresh handshake (and a proof re-signed under the
+                    // new ticket) restores 0-RTT; meanwhile the
+                    // established 1-RTT keys still work.
+                    AuthError::Transport(
+                        QuicError::StaleTicket | QuicError::UnknownTicket | QuicError::RetiredEpoch,
+                    ) => {
                         self.forget_ticket();
                         outcome.fell_back = true;
                     }
@@ -592,6 +596,42 @@ mod tests {
         // The dead ticket is gone until the next handshake.
         assert!(!app.can_zero_rtt());
         assert_eq!(outcome.total_backoff, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn retired_epoch_rejection_falls_back_to_one_rtt() {
+        let (mut app, mut proxy) = paired_app_and_proxy(9);
+        let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 6);
+        let policy = RetryPolicy::default();
+        // The control plane rotated the ticket epoch and retired the old
+        // one after the app's handshake: its cached 0-RTT ticket is dead,
+        // but the auth must degrade to 1-RTT, not fail.
+        proxy.rotate_ticket_epoch();
+        proxy.retire_ticket_epochs_below(1);
+        let outcome = app.authorize_with_retry(
+            "app",
+            &imu,
+            MotionKind::HumanTouch,
+            2_000,
+            &policy,
+            |att, _| match att {
+                AuthAttempt::ZeroRtt(z) => {
+                    match proxy.on_auth_zero_rtt(&z, SimTime::from_secs(2)) {
+                        Ok(v) => DeliveryResult::Verified(v),
+                        Err(e) => DeliveryResult::Rejected(e),
+                    }
+                }
+                AuthAttempt::OneRtt(p) => match proxy.on_auth_one_rtt(&p, SimTime::from_secs(3)) {
+                    Ok(v) => DeliveryResult::Verified(v),
+                    Err(e) => DeliveryResult::Rejected(e),
+                },
+            },
+        );
+        assert!(outcome.verified);
+        assert_eq!(outcome.attempts, 2);
+        assert!(outcome.fell_back);
+        // The retired ticket is gone until the next handshake.
+        assert!(!app.can_zero_rtt());
     }
 
     #[test]

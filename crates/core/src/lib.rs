@@ -29,6 +29,9 @@
 //!   (blocked commands, lockouts, the silent-FN digest of §7).
 //! - [`audit`]: hash-chained, tamper-evident log of every unpredictable
 //!   event and decision (§7 "Technology Acceptance").
+//! - [`snapshot`]: versioned, serde-round-trippable export of a proxy's
+//!   full decision state, so a home can move between fleet shards or
+//!   survive a restart without losing rules, events, or its audit chain.
 //! - [`analysis`]: the Appendix A closed-form false-positive/negative
 //!   model.
 
@@ -44,6 +47,7 @@ pub mod notify;
 pub mod pairing;
 pub mod pipeline;
 pub mod predict;
+pub mod snapshot;
 
 pub use analysis::ErrorModel;
 pub use classifier::{EventClass, EventClassifier};
@@ -61,3 +65,4 @@ pub use pipeline::{
     ProxyStats, ProxyTelemetry,
 };
 pub use predict::{PredictabilityEngine, PredictabilityReport, RuleTable, RuleTelemetry};
+pub use snapshot::{HomeSnapshot, SnapshotError, SNAPSHOT_VERSION};

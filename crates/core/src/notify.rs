@@ -150,6 +150,26 @@ impl NotificationCenter {
                     ),
                 });
             }
+            AuditVerdict::DegradedModeEntered => {
+                // Proxy-wide transition (the device field is the
+                // AUDIT_PROXY_DEVICE sentinel); never rate-limited — the
+                // control plane flaps far slower than packet verdicts.
+                self.pending.push(Notification {
+                    at: entry.ts,
+                    device: entry.device,
+                    severity: Severity::Warning,
+                    message: "Proxy lost its control plane — serving last-known-good key epochs"
+                        .to_string(),
+                });
+            }
+            AuditVerdict::DegradedModeExited => {
+                self.pending.push(Notification {
+                    at: entry.ts,
+                    device: entry.device,
+                    severity: Severity::Info,
+                    message: "Proxy control plane restored — key lifecycle resumed".to_string(),
+                });
+            }
             AuditVerdict::AllowedNonManual => {}
         }
     }

@@ -28,18 +28,23 @@
 //! toward the lockout, so gap evasion trips the brute-force protection
 //! instead of flying under the classifier.
 
-use crate::audit::{AuditEntry, AuditLog, AuditVerdict};
+use crate::audit::{AuditEntry, AuditLog, AuditVerdict, AUDIT_PROXY_DEVICE};
 use crate::classifier::{EventClass, EventClassifier};
 use crate::client::{AuthMessage, FiatApp};
 use crate::events::UnpredictableEvent;
 use crate::interactions::InteractionGraph;
 use crate::pairing::{pair, Paired};
 use crate::predict::{PredictabilityEngine, RuleTable, RuleTelemetry, DEFAULT_TOLERANCE};
+use crate::snapshot::{
+    DeviceSnapshot, EventFateSnapshot, HomeSnapshot, OpenEventSnapshot, QuarantineSnapshot,
+    SnapshotError, SNAPSHOT_VERSION,
+};
 use fiat_crypto::TeeKeystore;
-use fiat_net::{DnsTable, FlowDef, PacketRecord, SimDuration, SimTime};
+use fiat_net::{DnsTable, FlowDef, FlowKey, PacketRecord, SimDuration, SimTime};
 use fiat_quic::{ClientHello, Server as QuicServer, ServerHello, ZeroRttPacket};
 use fiat_sensors::HumannessValidator;
 use fiat_telemetry::{Clock, Counter, Gauge, Histogram, Journal, MetricRegistry, Span, WallClock};
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -101,7 +106,7 @@ impl Default for ProxyConfig {
 }
 
 /// Why a packet was allowed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AllowReason {
     /// Still in the bootstrap window.
     Bootstrap,
@@ -151,7 +156,7 @@ impl AllowReason {
 }
 
 /// Why a packet was dropped.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DropReason {
     /// Manual event without humanness proof.
     ManualUnverified,
@@ -181,7 +186,7 @@ impl DropReason {
 }
 
 /// Packet counters per decision reason (operator dashboard material).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProxyStats {
     /// Packets allowed during bootstrap.
     pub bootstrap: u64,
@@ -407,6 +412,8 @@ pub struct ProxyTelemetry {
     auth_errors: Counter,
     lockouts: Counter,
     retro_unverified: Counter,
+    degraded_gauge: Gauge,
+    degraded_decisions: Counter,
 }
 
 impl ProxyTelemetry {
@@ -459,6 +466,14 @@ impl ProxyTelemetry {
             "fiat_quarantine_depth",
             "Packets currently held in quarantine.",
         );
+        registry.describe(
+            "fiat_proxy_degraded",
+            "1 while the proxy runs in control-plane degraded mode.",
+        );
+        registry.describe(
+            "fiat_proxy_degraded_decisions_total",
+            "Packets decided while in control-plane degraded mode.",
+        );
         let stage = |s: &str| registry.histogram("fiat_proxy_stage_us", &[("stage", s)]);
         let allow_total = AllowReason::ALL.map(|r| {
             registry.counter(
@@ -499,9 +514,16 @@ impl ProxyTelemetry {
             auth_errors: registry.counter("fiat_proxy_auth_total", &[("result", "error")]),
             lockouts: registry.counter("fiat_proxy_lockouts_total", &[]),
             retro_unverified: registry.counter("fiat_proxy_retro_unverified_total", &[]),
+            degraded_gauge: registry.gauge("fiat_proxy_degraded", &[]),
+            degraded_decisions: registry.counter("fiat_proxy_degraded_decisions_total", &[]),
             registry,
             clock,
         }
+    }
+
+    /// Packets decided while the proxy was in degraded mode.
+    pub fn degraded_decision_count(&self) -> u64 {
+        self.degraded_decisions.get()
     }
 
     /// Lockout episodes entered so far (one per episode).
@@ -630,6 +652,7 @@ pub struct FiatProxy {
     telemetry: ProxyTelemetry,
     released_packets: Vec<PacketRecord>,
     hook: Option<Box<dyn ProxyHook>>,
+    degraded: bool,
 }
 
 impl FiatProxy {
@@ -682,6 +705,7 @@ impl FiatProxy {
             telemetry,
             released_packets: Vec::new(),
             hook: None,
+            degraded: false,
         }
     }
 
@@ -802,6 +826,230 @@ impl FiatProxy {
                 self.telemetry.open_events_gauge.dec();
             }
         }
+    }
+
+    /// Enter or leave control-plane degraded mode. While degraded the
+    /// proxy keeps deciding against its last-known-good key epochs
+    /// (rotation and retirement are the control plane's job, so the
+    /// epoch window simply freezes), but every decision is flagged in
+    /// telemetry and the transition itself is committed to the audit
+    /// chain under the [`AUDIT_PROXY_DEVICE`] sentinel. Idempotent:
+    /// repeating the current state records nothing.
+    pub fn set_degraded(&mut self, now: SimTime, degraded: bool) {
+        if self.degraded == degraded {
+            return;
+        }
+        self.degraded = degraded;
+        if degraded {
+            self.telemetry.degraded_gauge.inc();
+        } else {
+            self.telemetry.degraded_gauge.dec();
+        }
+        self.audit.append(AuditEntry {
+            ts: now,
+            device: AUDIT_PROXY_DEVICE,
+            // The transition is proxy-wide; Control is the neutral class
+            // for non-event audit entries.
+            class: EventClass::Control,
+            verdict: if degraded {
+                AuditVerdict::DegradedModeEntered
+            } else {
+                AuditVerdict::DegradedModeExited
+            },
+        });
+    }
+
+    /// Whether the proxy is in control-plane degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Epoch new session tickets are issued under.
+    pub fn ticket_epoch(&self) -> u32 {
+        self.quic.current_epoch()
+    }
+
+    /// Oldest ticket epoch still accepted for 0-RTT.
+    pub fn oldest_live_epoch(&self) -> u32 {
+        self.quic.oldest_live_epoch()
+    }
+
+    /// Rotate to a fresh ticket epoch (a control-plane action). Old
+    /// epochs keep working until retired, so rotation alone never
+    /// breaks a client's 0-RTT.
+    pub fn rotate_ticket_epoch(&mut self) -> u32 {
+        self.quic.rotate_epoch()
+    }
+
+    /// Retire ticket epochs below `min_live`, dropping their replay
+    /// state wholesale (bounded memory). A 0-RTT proof under a retired
+    /// epoch is answered `RetiredEpoch`, which the app treats as
+    /// fall-back-to-1-RTT. Returns how many epochs were newly retired.
+    pub fn retire_ticket_epochs_below(&mut self, min_live: u32) -> u32 {
+        self.quic.retire_epochs_below(min_live)
+    }
+
+    /// Export the proxy's full decision state as a versioned
+    /// [`HomeSnapshot`] (see `crate::snapshot` for format guarantees).
+    /// Every collection is emitted sorted, so the same state always
+    /// serializes to the same bytes.
+    pub fn snapshot(&self) -> HomeSnapshot {
+        let mut devices: Vec<DeviceSnapshot> = self
+            .devices
+            .iter()
+            .map(|(&id, d)| DeviceSnapshot {
+                device: id,
+                classify_at: d.classify_at,
+                open: d.open.as_ref().map(|e| OpenEventSnapshot {
+                    packets: e.packets.clone(),
+                    last: e.last,
+                    fate: e.fate.map(|f| match f {
+                        EventFate::AllowRest(r) => EventFateSnapshot::AllowRest(r),
+                        EventFate::DropRest(r) => EventFateSnapshot::DropRest(r),
+                        EventFate::Quarantine => EventFateSnapshot::Quarantine,
+                    }),
+                }),
+                drops: d.drops.iter().copied().collect(),
+                locked: d.locked,
+                quarantine: d.quarantine.as_ref().map(|q| QuarantineSnapshot {
+                    packets: q.packets.clone(),
+                    class: q.class,
+                    deadline: q.deadline,
+                }),
+            })
+            .collect();
+        devices.sort_by_key(|d| d.device);
+        let rules = self.rules.as_ref().map(|table| {
+            let mut rules: Vec<(u16, FlowKey)> = table
+                .iter()
+                .map(|(dev, key)| (*dev, key.resolve(&self.dns)))
+                .collect();
+            rules.sort();
+            rules
+        });
+        let mut unknown_seen: Vec<u16> = self.unknown_seen.iter().copied().collect();
+        unknown_seen.sort_unstable();
+        HomeSnapshot {
+            version: SNAPSHOT_VERSION,
+            started_at: self.started_at,
+            human_valid_until: self.human_valid_until,
+            server_random_counter: self.server_random_counter,
+            degraded: self.degraded,
+            dns: self.dns.clone(),
+            bootstrap_buffer: self.bootstrap_buffer.clone(),
+            rules,
+            unknown_seen,
+            devices,
+            released_packets: self.released_packets.clone(),
+            stats: self.stats,
+            audit_entries: self.audit.entries().to_vec(),
+            audit_hashes: self.audit.hashes().iter().map(|h| h.to_vec()).collect(),
+            quic: (&self.quic.to_image()).into(),
+        }
+    }
+
+    /// Rebuild a proxy from a [`HomeSnapshot`] and resume deciding.
+    ///
+    /// `ceremony_secret` must be the secret the snapshotted proxy was
+    /// paired with: the pairing PSK (and with it the per-epoch ticket
+    /// secrets clients hold) is re-derived, so issued 0-RTT tickets keep
+    /// working across the restore. The 1-RTT session key is deliberately
+    /// not part of a snapshot — clients re-handshake for 1-RTT.
+    /// `classifiers` re-supplies each device's classifier (model weights
+    /// are provisioning data, not state).
+    ///
+    /// Restore is telemetry-silent: gauges and counters in `telemetry`
+    /// are *not* replayed, because the registry that witnessed the
+    /// pre-snapshot traffic already counted it. A fleet that folds the
+    /// old and new registries additively gets totals byte-identical to
+    /// an uninterrupted run — the invariant the fleet rebalance tests
+    /// pin. The interaction graph and any hook are not captured in v1;
+    /// re-install them after restore if the home uses them.
+    pub fn restore(
+        config: ProxyConfig,
+        ceremony_secret: &[u8; 32],
+        validator: HumannessValidator,
+        telemetry: ProxyTelemetry,
+        snap: &HomeSnapshot,
+        mut classifiers: impl FnMut(u16) -> EventClassifier,
+    ) -> Result<Self, SnapshotError> {
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(snap.version));
+        }
+        let hashes: Vec<[u8; 32]> = snap
+            .audit_hashes
+            .iter()
+            .map(|h| <[u8; 32]>::try_from(h.as_slice()))
+            .collect::<Result<_, _>>()
+            .map_err(|_| SnapshotError::AuditChainInvalid)?;
+        let audit = AuditLog::from_parts(snap.audit_entries.clone(), hashes)
+            .ok_or(SnapshotError::AuditChainInvalid)?;
+        let store = TeeKeystore::new();
+        let (keys, psk) = pair(&store, ceremony_secret);
+        let mut quic = QuicServer::new(psk);
+        quic.set_telemetry(fiat_quic::ServerTelemetry::registered(&telemetry.registry));
+        quic.restore_image(&(&snap.quic).into());
+        let mut dns = snap.dns.clone();
+        let rules = snap.rules.as_ref().map(|list| {
+            let mut table =
+                RuleTable::with_telemetry(RuleTelemetry::registered(&telemetry.registry));
+            for (device, key) in list {
+                let ikey = key.intern(&mut dns);
+                table.insert(*device, ikey);
+            }
+            table
+        });
+        let devices = snap
+            .devices
+            .iter()
+            .map(|d| {
+                (
+                    d.device,
+                    DeviceState {
+                        classifier: classifiers(d.device),
+                        classify_at: d.classify_at,
+                        open: d.open.as_ref().map(|e| OpenEvent {
+                            packets: e.packets.clone(),
+                            last: e.last,
+                            fate: e.fate.map(|f| match f {
+                                EventFateSnapshot::AllowRest(r) => EventFate::AllowRest(r),
+                                EventFateSnapshot::DropRest(r) => EventFate::DropRest(r),
+                                EventFateSnapshot::Quarantine => EventFate::Quarantine,
+                            }),
+                        }),
+                        drops: d.drops.iter().copied().collect(),
+                        locked: d.locked,
+                        quarantine: d.quarantine.as_ref().map(|q| QuarantineRecord {
+                            packets: q.packets.clone(),
+                            class: q.class,
+                            deadline: q.deadline,
+                        }),
+                    },
+                )
+            })
+            .collect();
+        Ok(FiatProxy {
+            config,
+            store,
+            keys,
+            quic,
+            validator,
+            devices,
+            dns,
+            started_at: snap.started_at,
+            bootstrap_buffer: snap.bootstrap_buffer.clone(),
+            rules,
+            human_valid_until: snap.human_valid_until,
+            audit,
+            server_random_counter: snap.server_random_counter,
+            interactions: None,
+            unknown_seen: snap.unknown_seen.iter().copied().collect(),
+            stats: snap.stats,
+            telemetry,
+            released_packets: snap.released_packets.clone(),
+            hook: None,
+            degraded: snap.degraded,
+        })
     }
 
     /// Accept the app's handshake and issue a ticket.
@@ -997,6 +1245,9 @@ impl FiatProxy {
         let span = Span::enter(&self.telemetry.stage_decide, &clock);
         let d = self.decide(pkt);
         span.exit();
+        if self.degraded {
+            self.telemetry.degraded_decisions.inc();
+        }
         self.telemetry.note_decision(pkt.ts, pkt.device, d);
         if let Some(h) = &self.hook {
             h.on_decision(pkt.ts, pkt.device, d);
@@ -2719,5 +2970,194 @@ mod tests {
         proxy.start(SimTime::ZERO);
         let b = drive(proxy);
         assert_eq!(a, b);
+    }
+
+    /// Restore a snapshot with the standard plug setup (fresh telemetry,
+    /// same ceremony secret, same classifier).
+    fn restore_plug(snap: &crate::snapshot::HomeSnapshot) -> FiatProxy {
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        FiatProxy::restore(
+            ProxyConfig::default(),
+            &SECRET,
+            validator,
+            ProxyTelemetry::default(),
+            snap,
+            |_| EventClassifier::simple_rule(235),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_byte_identically() {
+        // Twin proxies share a prefix; one is snapshotted and restored
+        // mid-trace. Suffix decisions, stats, rule counts, and the audit
+        // chain must be indistinguishable from the uninterrupted twin.
+        let drive_prefix = |proxy: &mut FiatProxy| {
+            let t = bootstrap(proxy);
+            // A sealed-fate non-manual event left open...
+            proxy.on_packet(&pkt(t, 999));
+            // ...an unverified manual drop (audited, lockout credit)...
+            let mut p = pkt(t + 10_000, 235);
+            p.device = 0;
+            proxy.on_packet(&p);
+            // ...and an unknown device seen once.
+            let mut u = pkt(t + 11_000, 50);
+            u.device = 7;
+            proxy.on_packet(&u);
+            t
+        };
+        let mut uninterrupted = proxy_with_plug();
+        let mut snapshotted = proxy_with_plug();
+        let t = drive_prefix(&mut uninterrupted);
+        drive_prefix(&mut snapshotted);
+
+        let snap = snapshotted.snapshot();
+        let mut restored = restore_plug(&snap);
+        assert_eq!(restored.rule_count(), uninterrupted.rule_count());
+        assert_eq!(restored.audit().head(), uninterrupted.audit().head());
+
+        // Resume: rule hits, the still-open event, a second manual drop,
+        // and a flush must all replay identically.
+        let suffix = [
+            pkt(t + 11_500, 100), // rule hit
+            pkt(t + 12_000, 999), // still within the open event's gap
+            pkt(t + 20_000, 235), // fresh manual drop
+        ];
+        for p in &suffix {
+            assert_eq!(uninterrupted.on_packet(p), restored.on_packet(p));
+        }
+        uninterrupted.flush(SimTime::from_millis(t + 120_000));
+        restored.flush(SimTime::from_millis(t + 120_000));
+        assert_eq!(uninterrupted.stats(), restored.stats());
+        assert_eq!(uninterrupted.audit().head(), restored.audit().head());
+        assert!(restored.audit().verify());
+    }
+
+    #[test]
+    fn snapshot_preserves_zero_rtt_tickets_across_restore() {
+        // A ticket issued before the snapshot keeps working after the
+        // restore (the PSK-derived ticket secrets are re-derivable), and
+        // its replay protection survives too.
+        let mut proxy = proxy_with_plug();
+        let t = bootstrap(&mut proxy);
+        let mut app = FiatApp::new(&SECRET, 11);
+        let ch = app.handshake_request();
+        let sh = proxy.accept_handshake(&ch);
+        app.complete_handshake(&sh).unwrap();
+        let imu = ImuTrace::synthesize(MotionKind::HumanTouch, 500, 3);
+        let z0 = app
+            .authorize_zero_rtt("app", &imu, MotionKind::HumanTouch, t)
+            .unwrap();
+        proxy
+            .on_auth_zero_rtt(&z0, SimTime::from_millis(t))
+            .unwrap();
+
+        let mut restored = restore_plug(&proxy.snapshot());
+        // A replay of the pre-snapshot proof is still caught.
+        assert_eq!(
+            restored.on_auth_zero_rtt(&z0, SimTime::from_millis(t + 1)),
+            Err(AuthError::Transport(fiat_quic::QuicError::Replayed))
+        );
+        // A fresh proof under the old ticket verifies.
+        let z1 = app
+            .authorize_zero_rtt("app", &imu, MotionKind::HumanTouch, t + 1000)
+            .unwrap();
+        assert_eq!(
+            restored.on_auth_zero_rtt(&z1, SimTime::from_millis(t + 1000)),
+            Ok(true)
+        );
+    }
+
+    #[test]
+    fn snapshot_serde_round_trips_byte_identically() {
+        let mut proxy = proxy_with_plug();
+        let t = bootstrap(&mut proxy);
+        proxy.on_packet(&pkt(t, 235));
+        proxy.set_degraded(SimTime::from_millis(t + 1), true);
+        let snap = proxy.snapshot();
+        let bytes = serde_json::to_vec(&snap).unwrap();
+        let back: crate::snapshot::HomeSnapshot = serde_json::from_slice(&bytes).unwrap();
+        let again = serde_json::to_vec(&back).unwrap();
+        assert_eq!(bytes, again);
+        // And two snapshots of the same state serialize identically.
+        assert_eq!(bytes, serde_json::to_vec(&proxy.snapshot()).unwrap());
+    }
+
+    #[test]
+    fn restore_rejects_foreign_versions_and_tampered_audit() {
+        let mut proxy = proxy_with_plug();
+        let t = bootstrap(&mut proxy);
+        proxy.on_packet(&pkt(t, 235));
+        let good = proxy.snapshot();
+
+        let mut wrong_version = good.clone();
+        wrong_version.version = crate::snapshot::SNAPSHOT_VERSION + 1;
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        assert_eq!(
+            FiatProxy::restore(
+                ProxyConfig::default(),
+                &SECRET,
+                validator,
+                ProxyTelemetry::default(),
+                &wrong_version,
+                |_| EventClassifier::simple_rule(235),
+            )
+            .err(),
+            Some(crate::snapshot::SnapshotError::UnsupportedVersion(
+                crate::snapshot::SNAPSHOT_VERSION + 1
+            ))
+        );
+
+        let mut tampered = good.clone();
+        tampered.audit_entries[0].verdict = AuditVerdict::AllowedManualVerified;
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        assert_eq!(
+            FiatProxy::restore(
+                ProxyConfig::default(),
+                &SECRET,
+                validator,
+                ProxyTelemetry::default(),
+                &tampered,
+                |_| EventClassifier::simple_rule(235),
+            )
+            .err(),
+            Some(crate::snapshot::SnapshotError::AuditChainInvalid)
+        );
+    }
+
+    #[test]
+    fn degraded_mode_is_audited_and_counted() {
+        let mut proxy = proxy_with_plug();
+        let t = bootstrap(&mut proxy);
+        assert!(!proxy.is_degraded());
+        proxy.set_degraded(SimTime::from_millis(t), true);
+        proxy.set_degraded(SimTime::from_millis(t), true); // idempotent
+        assert!(proxy.is_degraded());
+        proxy.on_packet(&pkt(t, 100));
+        proxy.on_packet(&pkt(t + 100, 100));
+        proxy.set_degraded(SimTime::from_millis(t + 200), false);
+        proxy.on_packet(&pkt(t + 300, 100));
+
+        assert_eq!(proxy.telemetry().degraded_decision_count(), 2);
+        let transitions: Vec<_> = proxy
+            .audit()
+            .entries()
+            .iter()
+            .filter(|e| e.device == AUDIT_PROXY_DEVICE)
+            .map(|e| e.verdict)
+            .collect();
+        assert_eq!(
+            transitions,
+            vec![
+                AuditVerdict::DegradedModeEntered,
+                AuditVerdict::DegradedModeExited
+            ]
+        );
+        assert!(proxy.audit().verify());
+        let g = proxy
+            .telemetry()
+            .registry()
+            .gauge("fiat_proxy_degraded", &[]);
+        assert_eq!(g.get(), 0);
     }
 }

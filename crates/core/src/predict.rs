@@ -356,6 +356,23 @@ impl RuleTable {
     pub fn insert(&mut self, device: u16, key: InternedFlowKey) {
         self.rules.insert((device, key));
     }
+
+    /// Empty table reporting lookup outcomes through `telemetry` — the
+    /// restore half of a snapshot, where rules are re-inserted rather
+    /// than re-learned (re-learning would double the bucket counters).
+    pub fn with_telemetry(telemetry: RuleTelemetry) -> Self {
+        RuleTable {
+            rules: HashSet::new(),
+            telemetry,
+        }
+    }
+
+    /// Iterate the learned `(device, key)` rules, in arbitrary (hash)
+    /// order. Callers that need determinism — e.g. a snapshot — must
+    /// sort after resolving the interned keys.
+    pub fn iter(&self) -> impl Iterator<Item = &(u16, InternedFlowKey)> {
+        self.rules.iter()
+    }
 }
 
 #[cfg(test)]

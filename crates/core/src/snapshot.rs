@@ -1,0 +1,235 @@
+//! Versioned, serde-round-trippable home state snapshots.
+//!
+//! A [`HomeSnapshot`] captures everything a [`crate::FiatProxy`] needs to
+//! resume mid-trace on another process (or fleet shard): learned rules,
+//! open events, the lockout and quarantine state, the epoch-keyed 0-RTT
+//! replay window, and the full audit chain. The contract, enforced by the
+//! fleet determinism oracle, is that snapshot → restore → resume produces
+//! decisions, stats, and an audit chain byte-identical to the
+//! uninterrupted run.
+//!
+//! Design constraints that shape the format:
+//!
+//! - **Deterministic bytes.** Every collection is a sorted `Vec` (rules
+//!   by `(device, FlowKey)`, devices by id, replay epochs and tickets
+//!   ascending), and `DnsTable`'s own serde representation sorts by IP,
+//!   so serializing the same state twice yields identical bytes — the
+//!   property the round-trip proptest in `fiat-control` pins.
+//! - **No live keys.** The QUIC 1-RTT session key is *not* serialized;
+//!   a restored proxy requires clients to re-handshake for 1-RTT while
+//!   0-RTT tickets (re-derivable from the pairing PSK + epoch) keep
+//!   working. Classifiers are also not serialized — ML model weights are
+//!   provisioning data, re-supplied by the caller at restore.
+//! - **Versioned.** [`HomeSnapshot::version`] must equal
+//!   [`SNAPSHOT_VERSION`]; restore refuses anything else rather than
+//!   guessing at a foreign layout.
+//!
+//! Known v1 exclusions (documented residuals, DESIGN §17): the
+//! interaction graph (`FiatProxy::set_interactions`) and any installed
+//! [`crate::ProxyHook`] are not captured; homes using either must
+//! re-install them after restore.
+
+use crate::audit::AuditEntry;
+use crate::classifier::EventClass;
+use crate::pipeline::{AllowReason, DropReason, ProxyStats};
+use fiat_net::{DnsTable, FlowKey, PacketRecord, SimTime};
+use fiat_quic::{ReplayEpochImage, ReplayImage, ServerImage};
+use serde::{Deserialize, Serialize};
+
+/// Current snapshot layout version. Bump on any incompatible change to
+/// the structs in this module.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot could not be restored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The snapshot's version field does not match [`SNAPSHOT_VERSION`].
+    UnsupportedVersion(u32),
+    /// The exported audit chain fails verification: the snapshot was
+    /// tampered with or truncated and must not be resumed from.
+    AuditChainInvalid,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})"
+                )
+            }
+            SnapshotError::AuditChainInvalid => write!(f, "audit chain failed verification"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Full decision state of one home's proxy (see the module docs).
+///
+/// Compare snapshots through their serialized bytes (the canonical,
+/// deterministic form) — `DnsTable` has no structural equality.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HomeSnapshot {
+    /// Layout version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// When the proxy started (bootstrap anchor).
+    pub started_at: Option<SimTime>,
+    /// Humanness-proof freshness horizon.
+    pub human_valid_until: SimTime,
+    /// Handshake server-random counter (continues unique randoms).
+    pub server_random_counter: u64,
+    /// Whether the proxy was in control-plane degraded mode.
+    pub degraded: bool,
+    /// DNS knowledge (serialized sorted by IP; interner ids rebuilt on
+    /// load).
+    pub dns: DnsTable,
+    /// Bootstrap capture, when the snapshot predates rule learning.
+    pub bootstrap_buffer: Vec<PacketRecord>,
+    /// Learned rules in stringly-keyed form, sorted by `(device, key)`;
+    /// `None` when bootstrap had not completed. Restored by re-interning
+    /// against the restored [`HomeSnapshot::dns`].
+    pub rules: Option<Vec<(u16, FlowKey)>>,
+    /// Unknown devices already audited fail-open, sorted.
+    pub unknown_seen: Vec<u16>,
+    /// Per-device decision state, sorted by device id.
+    pub devices: Vec<DeviceSnapshot>,
+    /// Quarantine releases not yet drained by the interception layer.
+    pub released_packets: Vec<PacketRecord>,
+    /// Decision counters so far.
+    pub stats: ProxyStats,
+    /// Audit entries, parallel to [`HomeSnapshot::audit_hashes`].
+    pub audit_entries: Vec<AuditEntry>,
+    /// Audit chain hashes, 32 bytes each (stored as `Vec<u8>` because
+    /// the vendored serde has no fixed-array impls); restore re-verifies
+    /// the chain and rejects malformed lengths.
+    pub audit_hashes: Vec<Vec<u8>>,
+    /// QUIC server state (ticket issuance + epoch-keyed replay window).
+    pub quic: QuicServerSnapshot,
+}
+
+/// One device's decision state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSnapshot {
+    /// Device id.
+    pub device: u16,
+    /// First-N window (already clamped at registration).
+    pub classify_at: usize,
+    /// Open unpredictable event, if any.
+    pub open: Option<OpenEventSnapshot>,
+    /// Sliding-window unverified-drop episode times, oldest first.
+    pub drops: Vec<SimTime>,
+    /// Brute-force lockout flag.
+    pub locked: bool,
+    /// Pending-verdict quarantine record, if any.
+    pub quarantine: Option<QuarantineSnapshot>,
+}
+
+/// An open unpredictable event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpenEventSnapshot {
+    /// Packets accumulated so far.
+    pub packets: Vec<PacketRecord>,
+    /// High-water timestamp (event-gap anchor).
+    pub last: SimTime,
+    /// Sealed fate, once classified.
+    pub fate: Option<EventFateSnapshot>,
+}
+
+/// Serialized form of a sealed event fate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventFateSnapshot {
+    /// Remaining packets allowed for this reason.
+    AllowRest(AllowReason),
+    /// Remaining packets dropped for this reason.
+    DropRest(DropReason),
+    /// Verdict pending: further packets join the quarantine record.
+    Quarantine,
+}
+
+/// A pending-verdict quarantine record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineSnapshot {
+    /// Held packets.
+    pub packets: Vec<PacketRecord>,
+    /// Class the event was given at its classification point.
+    pub class: EventClass,
+    /// Proof deadline.
+    pub deadline: SimTime,
+}
+
+/// QUIC server state: ticket issuance counter, current epoch, and the
+/// epoch-keyed anti-replay store (serde mirror of
+/// [`fiat_quic::ServerImage`] — the quic crate itself stays serde-free).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuicServerSnapshot {
+    /// Next session-ticket id to issue.
+    pub next_ticket_id: u64,
+    /// Epoch new tickets are issued under.
+    pub current_epoch: u32,
+    /// Per-epoch replay capacity cap.
+    pub replay_max_tickets: Option<usize>,
+    /// Epochs below this are retired.
+    pub replay_retired_below: u32,
+    /// Total epochs retired so far.
+    pub replay_retired_count: u64,
+    /// Live epochs, ascending.
+    pub replay_epochs: Vec<EpochSnapshot>,
+}
+
+/// One live replay epoch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EpochSnapshot {
+    /// Epoch number.
+    pub epoch: u32,
+    /// Highest ticket id evicted by the capacity cap, if any.
+    pub evicted_watermark: Option<u64>,
+    /// `(ticket id, sorted packet numbers)` pairs, ascending by id.
+    pub entries: Vec<(u64, Vec<u64>)>,
+}
+
+impl From<&ServerImage> for QuicServerSnapshot {
+    fn from(img: &ServerImage) -> Self {
+        QuicServerSnapshot {
+            next_ticket_id: img.next_ticket_id,
+            current_epoch: img.current_epoch,
+            replay_max_tickets: img.replay.max_tickets,
+            replay_retired_below: img.replay.retired_below,
+            replay_retired_count: img.replay.retired_count,
+            replay_epochs: img
+                .replay
+                .epochs
+                .iter()
+                .map(|e| EpochSnapshot {
+                    epoch: e.epoch,
+                    evicted_watermark: e.evicted_watermark,
+                    entries: e.entries.clone(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl From<&QuicServerSnapshot> for ServerImage {
+    fn from(snap: &QuicServerSnapshot) -> Self {
+        ServerImage {
+            next_ticket_id: snap.next_ticket_id,
+            current_epoch: snap.current_epoch,
+            replay: ReplayImage {
+                max_tickets: snap.replay_max_tickets,
+                retired_below: snap.replay_retired_below,
+                retired_count: snap.replay_retired_count,
+                epochs: snap
+                    .replay_epochs
+                    .iter()
+                    .map(|e| ReplayEpochImage {
+                        epoch: e.epoch,
+                        evicted_watermark: e.evicted_watermark,
+                        entries: e.entries.clone(),
+                    })
+                    .collect(),
+            },
+        }
+    }
+}

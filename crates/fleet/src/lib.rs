@@ -3,9 +3,16 @@
 //! The paper deploys one FIAT proxy per home; the ROADMAP north star is a
 //! provider-scale service running millions of them. This crate
 //! partitions H simulated homes across T worker threads ("shards"), each
-//! shard owning the [`FiatProxy`] instances for the homes it runs, then
-//! folds the per-home [`MetricRegistry`] snapshots and [`ProxyStats`]
-//! into one fleet-wide view.
+//! shard owning the [`fiat_core::FiatProxy`] instances for the homes it
+//! runs, then folds the per-home [`MetricRegistry`] snapshots and
+//! [`ProxyStats`] into one fleet-wide view.
+//!
+//! Homes enter the fleet through the control plane: [`run_home`]
+//! provisions each proxy with [`fiat_control::enroll_home`] (the mutual-
+//! auth ceremony, device registration, and first session ticket), and
+//! [`run_sharded_rebalancing`] exercises the control plane's home
+//! migration mid-capture — snapshot, restore into a fresh registry,
+//! resume — which must be invisible in the merged fleet view.
 //!
 //! Determinism is the design constraint: a sharded run must produce a
 //! fleet view *identical* to a sequential reference run, or every
@@ -39,8 +46,9 @@
 //! the unprobed runtime pays nothing — not even a branch in its claim
 //! loop — when nobody is profiling.
 
+use fiat_control::{enroll_home, restore_home, snapshot_home, DeviceSpec, HomeProvision};
 use fiat_core::{
-    EventClassifier, FiatProxy, ProxyConfig, ProxyDecision, ProxyHook, ProxyStats, ProxyTelemetry,
+    EventClassifier, ProxyConfig, ProxyDecision, ProxyHook, ProxyStats, ProxyTelemetry,
 };
 use fiat_net::SimTime;
 use fiat_probe::{
@@ -58,9 +66,16 @@ pub mod partition;
 
 pub use partition::{Claim, PartitionPlan};
 
-/// Pairing secret shared by every simulated home (the per-home ceremony
-/// is out of scope for throughput runs).
+/// Pairing secret shared by every simulated home's phone and proxy (the
+/// fleet provisions every home through the real control-plane enrollment
+/// ceremony, but all simulated ceremonies share one secret).
 const SECRET: [u8; 32] = [0xF1; 32];
+
+/// Nonce seed for the simulated enrollment ceremonies. Nonces never
+/// influence packet decisions, so one fixed seed keeps provisioning
+/// deterministic without threading per-home randomness through the
+/// claim loop.
+const ENROLL_SEED: u64 = 0xF1EE;
 
 /// One simulated home: an id plus its generated capture.
 pub struct HomeWorkload {
@@ -139,11 +154,45 @@ pub fn build_workloads(homes: usize, days: f64, seed: u64) -> Vec<HomeWorkload> 
         .collect()
 }
 
-/// Run one home's capture through a fresh proxy and return its stats and
-/// private registry. Deterministic: the proxy is timed by a never-ticking
-/// [`ManualClock`], devices use their scripted simple-rule classifiers,
-/// and no humanness evidence is injected (unverified manual events drop,
-/// exactly as an unattended home would behave).
+/// Simple-rule classifier for one device: classify by command size; ML
+/// devices fall back to a size no packet carries (0), i.e. everything is
+/// non-manual — cheap and deterministic, which is what a throughput
+/// fleet needs.
+fn fleet_classifier(capture: &TestbedTrace, device: u16) -> EventClassifier {
+    let size = capture
+        .devices
+        .get(device as usize)
+        .and_then(|d| d.simple_rule_size)
+        .unwrap_or(0);
+    EventClassifier::simple_rule(size)
+}
+
+/// The control-plane provisioning request for one simulated home.
+fn provision(capture: &TestbedTrace) -> HomeProvision {
+    HomeProvision {
+        config: ProxyConfig::default(),
+        ceremony_secret: SECRET,
+        seed: ENROLL_SEED,
+        dns: capture.trace.dns.clone(),
+        devices: (0..capture.devices.len() as u16)
+            .map(|i| DeviceSpec {
+                device: i,
+                classifier: fleet_classifier(capture, i),
+                min_packets_to_complete: capture.devices[i as usize].min_packets_to_complete,
+            })
+            .collect(),
+        start_at: SimTime::ZERO,
+    }
+}
+
+/// Run one home's capture through a freshly enrolled proxy and return its
+/// stats and private registry. Provisioning goes through the real
+/// control-plane ceremony ([`fiat_control::enroll_home`]: mutual auth,
+/// device registration, first session ticket). Deterministic: the proxy
+/// is timed by a never-ticking [`ManualClock`], devices use their
+/// scripted simple-rule classifiers, and no humanness evidence is
+/// injected (unverified manual events drop, exactly as an unattended
+/// home would behave).
 pub fn run_home(capture: &TestbedTrace) -> HomeRun {
     run_home_with_hook(capture, None)
 }
@@ -156,24 +205,62 @@ pub fn run_home_with_hook(capture: &TestbedTrace, hook: Option<Box<dyn ProxyHook
     let registry = MetricRegistry::new();
     let telemetry = ProxyTelemetry::new(registry.clone(), Arc::new(ManualClock::new()));
     let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
-    let mut proxy =
-        FiatProxy::with_telemetry(ProxyConfig::default(), &SECRET, validator, telemetry);
+    let enrolled = enroll_home(provision(capture), &SECRET, validator, telemetry, None)
+        .expect("fleet enrollment: shared ceremony secret always verifies");
+    let mut proxy = enrolled.proxy;
     if let Some(h) = hook {
         proxy.set_hook(h);
     }
-    proxy.set_dns(capture.trace.dns.clone());
-    for (i, dev) in capture.devices.iter().enumerate() {
-        // Simple-rule devices classify by their command size; ML devices
-        // fall back to a size no packet carries (0), i.e. everything is
-        // non-manual — cheap and deterministic, which is what a
-        // throughput fleet needs.
-        let classifier = EventClassifier::simple_rule(dev.simple_rule_size.unwrap_or(0));
-        proxy.register_device(i as u16, classifier, dev.min_packets_to_complete);
-    }
-    proxy.start(SimTime::ZERO);
     for pkt in &capture.trace.packets {
         proxy.on_packet(pkt);
     }
+    HomeRun {
+        stats: proxy.stats(),
+        registry,
+        packets: capture.trace.packets.len() as u64,
+    }
+}
+
+/// Run one home's capture with a mid-run rebalance at packet index
+/// `split_at`: decide the first `split_at` packets, snapshot the proxy
+/// to serialized bytes ([`fiat_control::snapshot_home`]), restore it
+/// into a **fresh** registry — exactly what a destination shard does
+/// when a home migrates — and decide the rest on the restored proxy.
+///
+/// Restore is telemetry-silent and [`ProxyStats`] travel inside the
+/// snapshot, so folding the pre-move and post-move registries by
+/// addition yields a [`HomeRun`] byte-identical to an uninterrupted
+/// [`run_home`] — the property the fleet rebalance tests pin at every
+/// shard count.
+pub fn run_home_rebalanced(capture: &TestbedTrace, split_at: usize) -> HomeRun {
+    let registry_before = MetricRegistry::new();
+    let telemetry = ProxyTelemetry::new(registry_before.clone(), Arc::new(ManualClock::new()));
+    let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+    let enrolled = enroll_home(provision(capture), &SECRET, validator, telemetry, None)
+        .expect("fleet enrollment: shared ceremony secret always verifies");
+    let mut proxy = enrolled.proxy;
+    let split_at = split_at.min(capture.trace.packets.len());
+    for pkt in &capture.trace.packets[..split_at] {
+        proxy.on_packet(pkt);
+    }
+    let bytes = snapshot_home(&proxy, None);
+    let registry_after = MetricRegistry::new();
+    proxy = restore_home(
+        &bytes,
+        ProxyConfig::default(),
+        &SECRET,
+        HumannessValidator::with_operating_point(1.0, 1.0, 0),
+        ProxyTelemetry::new(registry_after.clone(), Arc::new(ManualClock::new())),
+        |d| fleet_classifier(capture, d),
+        None,
+    )
+    .expect("fleet rebalance: own snapshot always restores");
+    for pkt in &capture.trace.packets[split_at..] {
+        proxy.on_packet(pkt);
+    }
+    let registry = MetricRegistry::new();
+    registry.merge_from(&registry_before);
+    registry.merge_from(&registry_after);
     HomeRun {
         stats: proxy.stats(),
         registry,
@@ -212,6 +299,27 @@ fn fold(outcomes: Vec<ShardOutcome>, shards: usize) -> FleetOutcome {
 /// keeps the merged result byte-identical to [`run_sequential`] no
 /// matter which shard ends up running which home.
 pub fn run_sharded(workloads: &[HomeWorkload], shards: usize) -> FleetOutcome {
+    run_sharded_with(workloads, shards, &|capture| run_home(capture))
+}
+
+/// [`run_sharded`] where every home is rebalanced mid-capture: each
+/// proxy is snapshotted at its midpoint packet and restored into a fresh
+/// registry before resuming ([`run_home_rebalanced`]). The merged view
+/// must stay byte-identical to the uninterrupted [`run_sequential`]
+/// reference at every shard count — the fleet-level proof that a
+/// control-plane home migration is invisible in every counter.
+pub fn run_sharded_rebalancing(workloads: &[HomeWorkload], shards: usize) -> FleetOutcome {
+    run_sharded_with(workloads, shards, &|capture| {
+        run_home_rebalanced(capture, capture.trace.packets.len() / 2)
+    })
+}
+
+/// The shared plan/claim/decide/merge skeleton of the unprobed entry
+/// points, generic over how one home is run.
+fn run_sharded_with<F>(workloads: &[HomeWorkload], shards: usize, runner: &F) -> FleetOutcome
+where
+    F: Fn(&TestbedTrace) -> HomeRun + Sync,
+{
     let shards = shards.clamp(1, workloads.len().max(1));
     let costs: Vec<u64> = workloads.iter().map(home_cost).collect();
     let plan = PartitionPlan::build(&costs, shards);
@@ -226,7 +334,7 @@ pub fn run_sharded(workloads: &[HomeWorkload], shards: usize) -> FleetOutcome {
                     let mut packets = 0u64;
                     let mut homes = 0usize;
                     while let Some(c) = plan.claim(shard) {
-                        let run = run_home(&workloads[c.home].capture);
+                        let run = runner(&workloads[c.home].capture);
                         registry.merge_from(&run.registry);
                         stats += run.stats;
                         packets += run.packets;
@@ -620,6 +728,47 @@ mod tests {
                 fleet.registry.render_prometheus(),
                 reference.registry.render_prometheus(),
                 "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn rebalanced_fleet_is_byte_identical_to_uninterrupted_sequential() {
+        // The tentpole property: migrating every home mid-capture
+        // (snapshot → restore into a fresh registry → resume) merges to
+        // exactly the uninterrupted reference at every shard count.
+        let workloads = small_workloads();
+        let reference = run_sequential(&workloads);
+        for shards in [1, 2, 3, 4] {
+            let fleet = run_sharded_rebalancing(&workloads, shards);
+            assert_eq!(fleet.stats, reference.stats, "{shards} shards");
+            assert_eq!(fleet.packets, reference.packets, "{shards} shards");
+            assert_eq!(fleet.homes, reference.homes, "{shards} shards");
+            assert_eq!(
+                fleet.registry.render_prometheus(),
+                reference.registry.render_prometheus(),
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn rebalance_is_invisible_at_any_split_point() {
+        let workloads = build_workloads(1, 0.05, 9);
+        let capture = &workloads[0].capture;
+        let n = capture.trace.packets.len();
+        assert!(n > 3, "capture too small to split meaningfully");
+        let plain = run_home(capture);
+        // Before any packet, mid-stream, and after the last packet: a
+        // snapshot/restore cycle never shows up in stats or exposition.
+        for split in [0, 1, n / 3, n / 2, n] {
+            let moved = run_home_rebalanced(capture, split);
+            assert_eq!(moved.stats, plain.stats, "split {split}");
+            assert_eq!(moved.packets, plain.packets, "split {split}");
+            assert_eq!(
+                moved.registry.render_prometheus(),
+                plain.registry.render_prometheus(),
+                "split {split}"
             );
         }
     }

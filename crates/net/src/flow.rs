@@ -40,7 +40,10 @@ impl std::fmt::Display for FlowDef {
 }
 
 /// A bucket key under one of the two flow definitions.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Ordered (derive order: variant, then fields lexicographically) so rule
+/// sets can be exported in a canonical sort for deterministic snapshots.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum FlowKey {
     /// Classic 6-tuple.
     Classic {

@@ -7,17 +7,26 @@
 //! handshake_secret = HKDF-Extract(salt="fiat-quic", ikm=PSK)
 //! session_key      = HKDF-Expand(handshake_secret,
 //!                                "1rtt" || client_random || server_random)
-//! ticket_secret    = fresh random, stored server-side against ticket_id
+//! ticket_secret    = HKDF-Expand(Extract("fiat-ticket", PSK),
+//!                                "ticket" || ticket_id || epoch)
 //! early_key        = HKDF-Expand(Extract("fiat-0rtt", ticket_secret), "early")
 //! ```
 //!
 //! Packets are ChaCha20-Poly1305 sealed with the packet number as nonce
 //! and direction tag as AAD, so reflected or re-ordered ciphertext fails
 //! authentication.
+//!
+//! Tickets carry the **epoch** they were issued under. The control plane
+//! rotates the server's current epoch ([`Server::rotate_epoch`]) and
+//! retires old ones ([`Server::retire_epochs_below`]); a retired epoch's
+//! early keys and replay history are dead, so a 0-RTT proof under it is
+//! answered [`QuicError::RetiredEpoch`] and the client falls back to a
+//! 1-RTT re-handshake — the same recovery path as a replay-store
+//! eviction, just driven by key lifecycle instead of capacity.
 
-use crate::replay::ReplayStore;
+use crate::replay::{ReplayImage, ReplayStore};
 use fiat_crypto::{aead, Hkdf};
-use fiat_telemetry::{Counter, MetricRegistry};
+use fiat_telemetry::{Counter, Gauge, MetricRegistry};
 
 /// Errors surfaced by the channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +45,10 @@ pub enum QuicError {
     /// nonce history is gone, so early data under it is refused and the
     /// client must redo a 1-RTT handshake.
     StaleTicket,
+    /// The ticket's key epoch was retired by the control plane; its early
+    /// keys and replay history are gone, so early data under it is
+    /// refused and the client must redo a 1-RTT handshake.
+    RetiredEpoch,
 }
 
 impl std::fmt::Display for QuicError {
@@ -47,6 +60,7 @@ impl std::fmt::Display for QuicError {
             QuicError::BadState => write!(f, "handshake message in wrong state"),
             QuicError::StalePacketNumber => write!(f, "stale packet number"),
             QuicError::StaleTicket => write!(f, "session ticket evicted (stale)"),
+            QuicError::RetiredEpoch => write!(f, "session ticket epoch retired"),
         }
     }
 }
@@ -74,6 +88,9 @@ pub struct ServerHello {
 pub struct SessionTicket {
     /// Server-chosen identifier.
     pub id: u64,
+    /// Key-lifecycle epoch the ticket was issued under; bound into the
+    /// ticket secret, so tickets die with their epoch.
+    pub epoch: u32,
 }
 
 /// A protected 1-RTT packet.
@@ -171,8 +188,9 @@ impl Client {
         };
         self.key = Some(session_key(&self.psk, &client_random, &hello.server_random));
         // The client derives the same ticket secret the server stored:
-        // HKDF(PSK, "ticket" || id) — tickets are PSK-bound.
-        let secret = ticket_secret(&self.psk, hello.ticket.id);
+        // HKDF(PSK, "ticket" || id || epoch) — tickets are PSK- and
+        // epoch-bound.
+        let secret = ticket_secret(&self.psk, hello.ticket.id, hello.ticket.epoch);
         self.ticket = Some((hello.ticket, early_key(&secret)));
         self.state = ClientState::Established;
         self.send_pn = 0;
@@ -235,10 +253,11 @@ impl Client {
     }
 }
 
-fn ticket_secret(psk: &[u8; 32], id: u64) -> [u8; 32] {
-    let mut info = Vec::with_capacity(14);
+fn ticket_secret(psk: &[u8; 32], id: u64, epoch: u32) -> [u8; 32] {
+    let mut info = Vec::with_capacity(18);
     info.extend_from_slice(b"ticket");
     info.extend_from_slice(&id.to_be_bytes());
+    info.extend_from_slice(&epoch.to_be_bytes());
     let mut out = [0u8; 32];
     Hkdf::extract(b"fiat-ticket", psk).expand(&info, &mut out);
     out
@@ -260,8 +279,16 @@ pub struct ServerTelemetry {
     pub zero_rtt_accepted: Counter,
     /// 0-RTT packets rejected by the anti-replay store (§5.3 attack).
     pub zero_rtt_replayed: Counter,
+    /// 0-RTT packets refused because their ticket's epoch was retired
+    /// (the client falls back to 1-RTT).
+    pub zero_rtt_retired: Counter,
     /// Other 0-RTT rejections (unknown ticket, decrypt failure).
     pub zero_rtt_rejected: Counter,
+    /// Replay-store epochs retired over the server's lifetime.
+    pub epochs_retired: Counter,
+    /// Registry for per-epoch replay-entry gauges (labels resolve on
+    /// demand as epochs rotate); `None` when detached.
+    pub registry: Option<MetricRegistry>,
 }
 
 impl ServerTelemetry {
@@ -279,6 +306,14 @@ impl ServerTelemetry {
             "fiat_quic_zero_rtt_total",
             "0-RTT packets processed by the proxy, by result.",
         );
+        registry.describe(
+            "fiat_quic_replay_entries",
+            "Accepted 0-RTT (ticket, nonce) entries tracked, per ticket epoch.",
+        );
+        registry.describe(
+            "fiat_quic_epochs_retired_total",
+            "Replay-store ticket epochs retired by the key lifecycle.",
+        );
         ServerTelemetry {
             handshakes: registry.counter("fiat_quic_handshakes_total", &[]),
             one_rtt_accepted: registry
@@ -289,10 +324,38 @@ impl ServerTelemetry {
                 .counter("fiat_quic_zero_rtt_total", &[("result", "accepted")]),
             zero_rtt_replayed: registry
                 .counter("fiat_quic_zero_rtt_total", &[("result", "replayed")]),
+            zero_rtt_retired: registry
+                .counter("fiat_quic_zero_rtt_total", &[("result", "retired_epoch")]),
             zero_rtt_rejected: registry
                 .counter("fiat_quic_zero_rtt_total", &[("result", "rejected")]),
+            epochs_retired: registry.counter("fiat_quic_epochs_retired_total", &[]),
+            registry: Some(registry.clone()),
         }
     }
+
+    /// Gauge of replay entries tracked under one epoch (resolved on
+    /// demand; `None` when detached). Updated with deltas, never `set`,
+    /// so per-home registries still fold additively in the fleet merge.
+    pub fn replay_entries(&self, epoch: u32) -> Option<Gauge> {
+        self.registry
+            .as_ref()
+            .map(|r| r.gauge("fiat_quic_replay_entries", &[("epoch", &epoch.to_string())]))
+    }
+}
+
+/// Plain-data image of a [`Server`]'s resumable state for home
+/// snapshot/restore. The 1-RTT session key is deliberately absent:
+/// sessions do not survive a restore; clients re-handshake. Ticket
+/// issuance state and the anti-replay store DO survive, so a restored
+/// proxy keeps refusing every 0-RTT packet the original already burned.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServerImage {
+    /// Next ticket id to issue.
+    pub next_ticket_id: u64,
+    /// Current key-lifecycle epoch.
+    pub current_epoch: u32,
+    /// The anti-replay store's contents.
+    pub replay: ReplayImage,
 }
 
 /// Server (IoT proxy) side of the channel.
@@ -300,6 +363,7 @@ pub struct Server {
     psk: [u8; 32],
     key: Option<[u8; 32]>,
     next_ticket_id: u64,
+    current_epoch: u32,
     replay: ReplayStore,
     send_pn: u64,
     recv_pn: u64,
@@ -313,6 +377,7 @@ impl Server {
             psk,
             key: None,
             next_ticket_id: 1,
+            current_epoch: 0,
             replay: ReplayStore::new(),
             send_pn: 0,
             recv_pn: 0,
@@ -344,6 +409,69 @@ impl Server {
         &self.replay
     }
 
+    /// The key-lifecycle epoch new tickets are issued under.
+    pub fn current_epoch(&self) -> u32 {
+        self.current_epoch
+    }
+
+    /// The oldest epoch still served; 0-RTT under anything older is
+    /// refused with [`QuicError::RetiredEpoch`].
+    pub fn oldest_live_epoch(&self) -> u32 {
+        self.replay.retired_below()
+    }
+
+    /// Advance the key-lifecycle epoch: tickets issued from now on bind
+    /// the new epoch's secrets. Previously issued tickets keep working
+    /// until their epoch is retired, so rotation alone never breaks
+    /// 0-RTT. Returns the new epoch.
+    pub fn rotate_epoch(&mut self) -> u32 {
+        self.current_epoch += 1;
+        self.current_epoch
+    }
+
+    /// Retire every epoch strictly below `min_live` (clamped so the
+    /// current epoch always stays live), dropping its replay history —
+    /// the bounded-memory half of the key lifecycle. Returns the number
+    /// of epochs newly retired.
+    pub fn retire_epochs_below(&mut self, min_live: u32) -> u32 {
+        let (newly, dropped) = self.replay.retire_below(min_live.min(self.current_epoch));
+        if newly > 0 {
+            self.telemetry.epochs_retired.add(u64::from(newly));
+            for (epoch, entries) in dropped {
+                if entries > 0 {
+                    if let Some(g) = self.telemetry.replay_entries(epoch) {
+                        g.add(-(entries as i64));
+                    }
+                }
+            }
+        }
+        newly
+    }
+
+    /// Plain-data image of the resumable channel state (ticket issuance,
+    /// epoch, anti-replay store) for a home snapshot.
+    pub fn to_image(&self) -> ServerImage {
+        ServerImage {
+            next_ticket_id: self.next_ticket_id,
+            current_epoch: self.current_epoch,
+            replay: self.replay.to_image(),
+        }
+    }
+
+    /// Restore channel state from an image. Telemetry is deliberately
+    /// untouched: restored replay entries were already counted by the
+    /// registry that witnessed them, so re-counting here would double
+    /// them in an additive fleet merge. The 1-RTT session (if any) is
+    /// dropped; clients re-handshake.
+    pub fn restore_image(&mut self, img: &ServerImage) {
+        self.next_ticket_id = img.next_ticket_id;
+        self.current_epoch = img.current_epoch;
+        self.replay = ReplayStore::from_image(&img.replay);
+        self.key = None;
+        self.send_pn = 0;
+        self.recv_pn = 0;
+    }
+
     /// Accept a ClientHello; returns the ServerHello carrying a fresh
     /// ticket. `server_random` is caller-provided for determinism.
     pub fn accept(&mut self, hello: &ClientHello, server_random: [u8; 32]) -> ServerHello {
@@ -355,7 +483,10 @@ impl Server {
         self.telemetry.handshakes.inc();
         ServerHello {
             server_random,
-            ticket: SessionTicket { id },
+            ticket: SessionTicket {
+                id,
+                epoch: self.current_epoch,
+            },
         }
     }
 
@@ -403,25 +534,37 @@ impl Server {
         match out {
             Ok(_) => self.telemetry.zero_rtt_accepted.inc(),
             Err(QuicError::Replayed) => self.telemetry.zero_rtt_replayed.inc(),
+            Err(QuicError::RetiredEpoch) => self.telemetry.zero_rtt_retired.inc(),
             Err(_) => self.telemetry.zero_rtt_rejected.inc(),
         }
         out
     }
 
     fn accept_zero_rtt_inner(&mut self, pkt: &ZeroRttPacket) -> Result<Vec<u8>, QuicError> {
-        if pkt.ticket.id == 0 || pkt.ticket.id >= self.next_ticket_id {
+        let SessionTicket { id, epoch } = pkt.ticket;
+        if id == 0 || id >= self.next_ticket_id || epoch > self.current_epoch {
             return Err(QuicError::UnknownTicket);
         }
-        // An evicted ticket's nonce history is gone: `check_and_insert`
-        // would accept a verbatim replay as fresh. Refuse the ticket
-        // wholesale and force a new handshake.
-        if self.replay.is_stale(pkt.ticket.id) {
+        // A retired epoch's whole nonce history is gone: inserting into
+        // it would accept a verbatim replay as fresh AND resurrect state
+        // the lifecycle just reclaimed. Refuse the epoch wholesale; the
+        // client re-handshakes under the current one.
+        if self.replay.is_retired(epoch) {
+            return Err(QuicError::RetiredEpoch);
+        }
+        // Same hazard one level down: an evicted ticket's nonce history
+        // is gone. Refuse the ticket wholesale and force a new handshake.
+        if self.replay.is_stale_in(epoch, id) {
             return Err(QuicError::StaleTicket);
         }
-        if !self.replay.check_and_insert(pkt.ticket.id, pkt.nonce) {
+        let outcome = self.replay.check_and_insert_in(epoch, id, pkt.nonce);
+        if !outcome.fresh {
             return Err(QuicError::Replayed);
         }
-        let secret = ticket_secret(&self.psk, pkt.ticket.id);
+        if let Some(g) = self.telemetry.replay_entries(epoch) {
+            g.add(1 - outcome.evicted_entries as i64);
+        }
+        let secret = ticket_secret(&self.psk, id, epoch);
         aead::open(
             &early_key(&secret),
             &nonce_bytes(DIR_CLIENT_TO_SERVER, pkt.nonce),
@@ -785,5 +928,155 @@ mod tests {
             )
             .ticket;
         assert!(t2.id > t1.id);
+        assert_eq!(t1.epoch, 0);
+        assert_eq!(t2.epoch, 0);
+    }
+
+    // ---- ticket-epoch key lifecycle ------------------------------------
+
+    #[test]
+    fn rotation_alone_keeps_old_epoch_tickets_working() {
+        let mut c = Client::new(PSK);
+        let mut s = Server::new(PSK);
+        handshake(&mut c, &mut s); // epoch-0 ticket
+        assert_eq!(s.rotate_epoch(), 1);
+        assert_eq!(s.current_epoch(), 1);
+        // The old ticket's epoch is still live: 0-RTT keeps working
+        // across the rotation (no flag day), replay protection included.
+        let z = c.seal_zero_rtt(b"pre-rotation ticket").unwrap();
+        assert_eq!(s.accept_zero_rtt(&z).unwrap(), b"pre-rotation ticket");
+        assert_eq!(s.accept_zero_rtt(&z), Err(QuicError::Replayed));
+        // New handshakes issue epoch-1 tickets.
+        let mut c2 = Client::new(PSK);
+        handshake(&mut c2, &mut s);
+        let z2 = c2.seal_zero_rtt(b"new epoch").unwrap();
+        assert_eq!(z2.ticket.epoch, 1);
+        assert_eq!(s.accept_zero_rtt(&z2).unwrap(), b"new epoch");
+    }
+
+    #[test]
+    fn replay_across_epoch_retirement_is_rejected() {
+        // The stale-epoch-replay attack: sniff an accepted 0-RTT proof,
+        // wait for the lifecycle to rotate and retire its epoch (which
+        // drops the epoch's nonce history wholesale), replay it. Without
+        // the retired-epoch check the replay would pass the replay store
+        // as fresh — the epoch-level twin of the PR 4 eviction bug.
+        let mut c = Client::new(PSK);
+        let mut s = Server::new(PSK);
+        handshake(&mut c, &mut s); // epoch-0 ticket
+        let sniffed = c.seal_zero_rtt(b"proof").unwrap();
+        assert!(s.accept_zero_rtt(&sniffed).is_ok());
+
+        s.rotate_epoch();
+        assert_eq!(s.retire_epochs_below(1), 1);
+        assert_eq!(s.oldest_live_epoch(), 1);
+
+        // The replayed proof — and any fresh early data under the dead
+        // epoch — is refused; the client's recovery is a re-handshake.
+        assert_eq!(s.accept_zero_rtt(&sniffed), Err(QuicError::RetiredEpoch));
+        let fresh = c.seal_zero_rtt(b"fresh but dead epoch").unwrap();
+        assert_eq!(s.accept_zero_rtt(&fresh), Err(QuicError::RetiredEpoch));
+
+        c.forget_ticket();
+        handshake(&mut c, &mut s); // epoch-1 ticket
+        let z = c.seal_zero_rtt(b"recovered").unwrap();
+        assert_eq!(s.accept_zero_rtt(&z).unwrap(), b"recovered");
+        assert_eq!(s.accept_zero_rtt(&z), Err(QuicError::Replayed));
+    }
+
+    #[test]
+    fn retirement_never_outruns_the_current_epoch() {
+        let mut s = Server::new(PSK);
+        s.rotate_epoch(); // epoch 1
+        assert_eq!(s.retire_epochs_below(99), 1, "clamped to current epoch");
+        assert_eq!(s.oldest_live_epoch(), 1);
+        let mut c = Client::new(PSK);
+        handshake(&mut c, &mut s);
+        let z = c.seal_zero_rtt(b"current epoch survives").unwrap();
+        assert!(s.accept_zero_rtt(&z).is_ok());
+        // Idempotent.
+        assert_eq!(s.retire_epochs_below(1), 0);
+    }
+
+    #[test]
+    fn future_epoch_tickets_are_unknown() {
+        let mut c = Client::new(PSK);
+        let mut s = Server::new(PSK);
+        handshake(&mut c, &mut s);
+        let mut z = c.seal_zero_rtt(b"x").unwrap();
+        z.ticket.epoch = 7; // forged: the server never issued epoch 7
+        assert_eq!(s.accept_zero_rtt(&z), Err(QuicError::UnknownTicket));
+    }
+
+    #[test]
+    fn epoch_telemetry_tracks_entries_and_retirements() {
+        let registry = MetricRegistry::new();
+        let mut s = Server::new(PSK);
+        s.set_telemetry(ServerTelemetry::registered(&registry));
+        let mut c = Client::new(PSK);
+        handshake(&mut c, &mut s);
+        for msg in [b"a".as_ref(), b"b".as_ref()] {
+            assert!(s.accept_zero_rtt(&c.seal_zero_rtt(msg).unwrap()).is_ok());
+        }
+        s.rotate_epoch();
+        let mut c2 = Client::new(PSK);
+        handshake(&mut c2, &mut s);
+        assert!(s.accept_zero_rtt(&c2.seal_zero_rtt(b"c").unwrap()).is_ok());
+
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("fiat_quic_replay_entries{epoch=\"0\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("fiat_quic_replay_entries{epoch=\"1\"} 1"),
+            "{text}"
+        );
+
+        // Retiring epoch 0 settles its gauge back to zero and counts the
+        // retirement; the refused replay shows up under its own result.
+        let stale = c.seal_zero_rtt(b"late").unwrap();
+        assert_eq!(s.retire_epochs_below(1), 1);
+        assert_eq!(s.accept_zero_rtt(&stale), Err(QuicError::RetiredEpoch));
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("fiat_quic_replay_entries{epoch=\"0\"} 0"),
+            "{text}"
+        );
+        assert!(text.contains("fiat_quic_epochs_retired_total 1"), "{text}");
+        assert!(
+            text.contains("fiat_quic_zero_rtt_total{result=\"retired_epoch\"} 1"),
+            "{text}"
+        );
+        assert_eq!(s.telemetry().zero_rtt_retired.get(), 1);
+    }
+
+    #[test]
+    fn server_image_round_trip_preserves_replay_and_issuance() {
+        let mut c = Client::new(PSK);
+        let mut s = Server::new(PSK);
+        handshake(&mut c, &mut s);
+        let z = c.seal_zero_rtt(b"burned").unwrap();
+        assert!(s.accept_zero_rtt(&z).is_ok());
+        s.rotate_epoch();
+        let img = s.to_image();
+
+        let mut restored = Server::new(PSK);
+        restored.restore_image(&img);
+        assert_eq!(restored.current_epoch(), 1);
+        assert_eq!(restored.to_image(), img);
+        // The burned (ticket, nonce) pair stays burned after restore.
+        assert_eq!(restored.accept_zero_rtt(&z), Err(QuicError::Replayed));
+        // Ticket issuance continues where it left off (no id reuse).
+        let t = restored
+            .accept(
+                &ClientHello {
+                    client_random: [0; 32],
+                },
+                [1; 32],
+            )
+            .ticket;
+        assert_eq!(t.id, 2);
+        assert_eq!(t.epoch, 1);
     }
 }

@@ -20,10 +20,10 @@ pub mod connection;
 pub mod replay;
 
 pub use connection::{
-    Client, ClientHello, Packet, QuicError, Server, ServerHello, ServerTelemetry, SessionTicket,
-    ZeroRttPacket,
+    Client, ClientHello, Packet, QuicError, Server, ServerHello, ServerImage, ServerTelemetry,
+    SessionTicket, ZeroRttPacket,
 };
-pub use replay::ReplayStore;
+pub use replay::{InsertOutcome, ReplayEpochImage, ReplayImage, ReplayStore};
 
 /// Network flights before application data flows, 1-RTT mode (one full
 /// round trip: ClientHello out, ServerHello back, then data).

@@ -20,6 +20,8 @@
 //!   `fiat-oracle` differential decision oracle.
 //! - [`ChaosMetrics`] — injected-fault, proof-retry, and false-drop
 //!   counters for the `fiat-chaos` fault-injection harness.
+//! - [`ControlMetrics`] — enrollment, epoch-rotation, snapshot, and
+//!   degraded-mode counters for the `fiat-control` control plane.
 //!
 //! ```
 //! use fiat_telemetry::{ManualClock, MetricRegistry, Span};
@@ -40,6 +42,7 @@
 pub mod attack;
 pub mod chaos;
 pub mod clock;
+pub mod control;
 pub mod expose;
 pub mod journal;
 pub mod metrics;
@@ -49,6 +52,7 @@ pub mod span;
 pub use attack::AttackMetrics;
 pub use chaos::ChaosMetrics;
 pub use clock::{Clock, ManualClock, WallClock};
+pub use control::ControlMetrics;
 pub use expose::{CounterSample, GaugeSample, HistogramSample, Snapshot};
 pub use journal::Journal;
 pub use metrics::{Counter, Gauge, Histogram, MetricRegistry, NUM_BUCKETS};
