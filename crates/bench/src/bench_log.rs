@@ -56,7 +56,9 @@ pub struct BenchRecord {
     /// Civil date (`YYYY-MM-DD`, UTC) the record was taken.
     pub date: String,
     /// Producer: `"seed"` (imported baseline), `"fleet"`
-    /// (`experiments fleet`), or `"profile"` (`experiments profile`).
+    /// (`experiments fleet`), `"profile"` (`experiments profile`), or
+    /// `"soak"` (`experiments soak`, the long-horizon bounded-state
+    /// soak).
     pub source: &'static str,
     /// Free-form context (e.g. what baseline a seed record imports).
     pub note: Option<String>,

@@ -17,6 +17,7 @@
 //! experiments oracle [--quick]    # differential decision oracle vs naive reference
 //! experiments chaos [--quick]     # chaos soak: fault injection vs graceful degradation
 //! experiments control [--quick]   # control plane: enrollment, epoch lifecycle, outage, rebalance
+//! experiments soak [--quick]      # long-horizon soak: weeks of streamed traffic under a memory budget
 //! ```
 //!
 //! Scale knobs: `--days N` (testbed capture length, default 8),
@@ -31,15 +32,18 @@
 //! mirrored to `results/<name>.txt` when `--save` is given, along with a
 //! telemetry snapshot in `results/<name>_metrics.json` (harness timings
 //! for every experiment; full proxy decision-path metrics for those that
-//! drive a `FiatProxy`, e.g. table6). With `--save`, `fleet` and
-//! `profile` also append a trajectory record to `BENCH_fleet.json`, and
+//! drive a `FiatProxy`, e.g. table6). With `--save`, `fleet`, `profile`,
+//! and `soak` also append a trajectory record to `BENCH_fleet.json`,
 //! `profile` dumps its flight-recorder timeline to
-//! `results/trace_profile.jsonl`.
+//! `results/trace_profile.jsonl`, and `soak` writes its deterministic
+//! two-leg report to `results/soak_report.json`. The long soak is not
+//! part of `all` — `--quick` runs the CI smoke fleet (500 homes × 15
+//! simulated days), the default is the full four-week fleet.
 
 use fiat_bench::ml_tables::ModelKind;
 use fiat_bench::{
     attack_exp, bench_log, chaos_exp, control_exp, fig1, fig2, fleet_exp, ml_tables, oracle_exp,
-    profile_exp, table6, table7, tolerance,
+    profile_exp, soak_exp, table6, table7, tolerance,
 };
 use fiat_core::ErrorModel;
 use fiat_telemetry::{MetricRegistry, Span, WallClock};
@@ -251,6 +255,24 @@ fn run_one(name: &str, args: &Args, registry: &MetricRegistry) -> Option<String>
             }
             report.text
         }
+        "soak" => {
+            let outcome = soak_exp::soak_outcome(seed, args.quick, Some(registry));
+            if args.save {
+                std::fs::create_dir_all("results").expect("create results dir");
+                // The deterministic two-leg report (no wall times) —
+                // byte-identical across runs at the same seed, unlike
+                // the registry snapshot the main loop writes.
+                std::fs::write("results/soak_report.json", &outcome.json)
+                    .expect("write soak report");
+                if let Err(e) = bench_log::append_fleet_record(
+                    Path::new(bench_log::BENCH_FLEET_PATH),
+                    &outcome.bench_record(seed),
+                ) {
+                    eprintln!("warning: {} not updated: {e}", bench_log::BENCH_FLEET_PATH);
+                }
+            }
+            outcome.text
+        }
         "attack" => attack_exp::attack_text(seed, args.quick, Some(registry)),
         "oracle" => oracle_exp::oracle_text(seed, args.quick, Some(registry)),
         "chaos" => chaos_exp::chaos_text(seed, args.quick, Some(registry)),
@@ -287,7 +309,7 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
         eprintln!(
-            "usage: experiments <all|fleet|profile|{}> [--days N] [--seed N] [--fast] [--save] \
+            "usage: experiments <all|fleet|profile|soak|{}> [--days N] [--seed N] [--fast] [--save] \
              [--quick] [--full] [--homes H] [--shards T]",
             ALL.join("|")
         );

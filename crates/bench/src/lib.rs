@@ -15,6 +15,7 @@ pub mod fleet_exp;
 pub mod ml_tables;
 pub mod oracle_exp;
 pub mod profile_exp;
+pub mod soak_exp;
 pub mod table6;
 pub mod table7;
 pub mod tolerance;

@@ -27,13 +27,23 @@
 //! measurable degradation (otherwise the harness proves nothing).
 //! `experiments chaos` sweeps fault rates × latency profiles and writes
 //! the scorecard with a PASS/REGRESSION trailer.
+//!
+//! The [`long_soak`] harness asks the *weeks* question instead of the
+//! hours one: hundreds of homes × weeks of streamed simulated traffic,
+//! with a per-home state-size accountant asserting a hard memory budget
+//! at every sample, a snapshot-restore lockstep replay leg, and a
+//! caps-disabled negative control that must breach the same budget.
+//! `experiments soak` runs both legs and gates on zero false drops and
+//! zero breaches (DESIGN §18, ROADMAP 5).
 
 pub mod channel;
 pub mod fault;
+pub mod long_soak;
 pub mod resilient;
 pub mod soak;
 
 pub use channel::{corrupt_attempt, ChannelVerdict, ProofChannel};
 pub use fault::{FaultKind, FaultPlan, FAULT_KINDS};
+pub use long_soak::{run_long_soak, HomeSim, LongSoakConfig, LongSoakReport};
 pub use resilient::{ProofFrame, ProofPlan, ResilientClient};
 pub use soak::{run_soak, SoakConfig, SoakReport};

@@ -1,0 +1,57 @@
+//! Steady-state allocation flatness under the bounded-state caps
+//! (DESIGN §18).
+//!
+//! Byte counting is the ground truth the state accountant approximates:
+//! if every per-home surface is truly capped, a late soak day must
+//! allocate about the same number of bytes as an early steady-state day
+//! — growth in per-day allocation means some structure is still scaling
+//! with uptime (appending to an uncapped journal, scanning an uncapped
+//! table) even if the accountant's element counts look flat.
+
+use fiat_chaos::{HomeSim, LongSoakConfig};
+use fiat_probe::{AllocScope, CountingAllocator};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+#[test]
+fn capped_home_allocates_flat_per_day_in_steady_state() {
+    let cfg = LongSoakConfig {
+        homes: 1,
+        days: 21,
+        replay_every: 0,
+        ..LongSoakConfig::quick(11)
+    };
+    let mut sim = HomeSim::new(&cfg, 0);
+    let mut sink = |_s| {};
+
+    // Day 0 bootstraps and learns; days 1..=5 settle eviction, ghost,
+    // and audit-truncation churn into steady state.
+    for day in 0..6 {
+        sim.run_day(day, &mut sink);
+    }
+
+    let early = AllocScope::enter();
+    sim.run_day(6, &mut sink);
+    let early = early.delta();
+
+    for day in 7..20 {
+        sim.run_day(day, &mut sink);
+    }
+
+    let late = AllocScope::enter();
+    sim.run_day(20, &mut sink);
+    let late = late.delta();
+
+    assert_eq!(sim.false_drops, 0);
+    assert!(early > 0, "allocator not counting");
+    // Two weeks later a day must not cost meaningfully more than it did
+    // in week one. The slack absorbs amortized reallocation (a Vec
+    // doubling on a different day) without letting linear growth hide:
+    // pre-fix, the audit chain alone grew each day's hashing and append
+    // cost without bound.
+    assert!(
+        late <= early + early / 4,
+        "per-day allocations grew: early day 6 = {early} B, late day 20 = {late} B"
+    );
+}

@@ -196,5 +196,74 @@ mod tests {
             let again = serde_json::to_vec(&snap).expect("re-serializes");
             prop_assert_eq!(bytes, again);
         }
+
+        /// A checkpoint-truncated audit chain survives rebalance: drive
+        /// enough entries through a small cap that the journal truncates
+        /// behind a checkpoint, then snapshot → restore → the restored
+        /// chain still verifies (from the checkpoint, not genesis), the
+        /// truncation ledger carries over, and re-snapshotting is
+        /// byte-identical.
+        #[test]
+        fn truncated_audit_chain_survives_rebalance(
+            cap in 4usize..12,
+            extra in 1u16..30,
+        ) {
+            let config = ProxyConfig {
+                max_audit_entries: Some(cap),
+                ..ProxyConfig::default()
+            };
+            let mut proxy = FiatProxy::with_telemetry(
+                config.clone(),
+                &SECRET,
+                HumannessValidator::with_operating_point(1.0, 1.0, 0),
+                plug(),
+            );
+            proxy.start(SimTime::ZERO);
+            // Each unregistered device appends one unknown-device audit
+            // entry at first sighting (past the 20-minute bootstrap —
+            // during the window everything merely buffers); enough of
+            // them force truncation.
+            let sightings = cap as u16 + extra;
+            for d in 0..sightings {
+                let _ = proxy.on_packet(&unknown_pkt(d, 1_300 + u64::from(d)));
+            }
+            prop_assert!(proxy.audit().truncated() > 0, "cap never engaged");
+            prop_assert!(proxy.audit().checkpoint().is_some());
+            prop_assert!(proxy.audit().verify());
+
+            let bytes = snapshot_home(&proxy, None);
+            let restored = restore_home(
+                &bytes,
+                config,
+                &SECRET,
+                HumannessValidator::with_operating_point(1.0, 1.0, 0),
+                plug(),
+                |_| EventClassifier::simple_rule(0),
+                None,
+            ).expect("restore");
+            prop_assert!(restored.audit().verify(), "restored chain fails verification");
+            prop_assert_eq!(restored.audit().truncated(), proxy.audit().truncated());
+            prop_assert_eq!(restored.audit().total_appended(), u64::from(sightings));
+            prop_assert_eq!(restored.audit().checkpoint(), proxy.audit().checkpoint());
+            prop_assert_eq!(snapshot_home(&restored, None), bytes);
+        }
+    }
+
+    fn unknown_pkt(device: u16, at_secs: u64) -> fiat_net::PacketRecord {
+        use fiat_net::{Direction, TcpFlags, TlsVersion, TrafficClass, Transport};
+        fiat_net::PacketRecord {
+            ts: SimTime::from_secs(at_secs),
+            device,
+            direction: Direction::FromDevice,
+            local_ip: std::net::Ipv4Addr::new(192, 168, 1, 50),
+            remote_ip: std::net::Ipv4Addr::new(34, 0, 0, 1),
+            local_port: 40_000,
+            remote_port: 443,
+            transport: Transport::Tcp,
+            tcp_flags: TcpFlags::ack(),
+            tls: TlsVersion::None,
+            size: 100,
+            label: TrafficClass::Control,
+        }
     }
 }

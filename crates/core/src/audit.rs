@@ -4,6 +4,19 @@
 //! whether a human was verified — in a SHA-256 hash chain. An attacker
 //! wanting to hide a silent false negative must rewrite the chain, which
 //! requires breaking into the proxy's TEE (out of the threat model).
+//!
+//! ## Checkpointed truncation
+//!
+//! A proxy that runs for months cannot keep every entry in memory, so the
+//! log supports a bounded mode ([`AuditLog::set_max_entries`]): when the
+//! in-memory chain exceeds the cap, the oldest half is dropped in one
+//! block and the chain hash of the *last dropped entry* becomes the
+//! **checkpoint** — the trust anchor the surviving suffix chains from.
+//! Truncation discards entry bodies, never hash-chain integrity: the
+//! checkpoint commits to everything dropped (it is the head of the
+//! dropped prefix), so [`verify_chain_from`] validates the suffix exactly
+//! as [`verify_chain`] validates a full log, and an external verifier who
+//! archived the dropped prefix can still join the two at the checkpoint.
 
 use crate::classifier::EventClass;
 use fiat_crypto::Sha256;
@@ -105,10 +118,28 @@ impl AuditEntry {
 /// rewritten entry, flipped hash byte, deletion, or reordering breaks at
 /// least one link.
 pub fn verify_chain(entries: &[AuditEntry], hashes: &[[u8; 32]]) -> bool {
+    verify_chain_with(b"fiat-audit-genesis", entries, hashes)
+}
+
+/// Verify an exported `(entries, hashes)` suffix whose chain starts at a
+/// truncation `checkpoint` instead of genesis: `true` iff every stored
+/// hash equals `SHA-256(prev || record)` walking from the checkpoint.
+/// This is what a verifier runs over a log that was checkpoint-truncated
+/// (see the module docs) — the checkpoint is the chain hash of the last
+/// dropped entry and commits to the whole dropped prefix.
+pub fn verify_chain_from(
+    checkpoint: &[u8; 32],
+    entries: &[AuditEntry],
+    hashes: &[[u8; 32]],
+) -> bool {
+    verify_chain_with(checkpoint, entries, hashes)
+}
+
+fn verify_chain_with(anchor: &[u8], entries: &[AuditEntry], hashes: &[[u8; 32]]) -> bool {
     if entries.len() != hashes.len() {
         return false;
     }
-    let mut prev: Vec<u8> = b"fiat-audit-genesis".to_vec();
+    let mut prev: Vec<u8> = anchor.to_vec();
     for (e, stored) in entries.iter().zip(hashes) {
         let mut h = Sha256::new();
         h.update(&prev);
@@ -126,6 +157,13 @@ pub fn verify_chain(entries: &[AuditEntry], hashes: &[[u8; 32]]) -> bool {
 pub struct AuditLog {
     entries: Vec<AuditEntry>,
     hashes: Vec<[u8; 32]>,
+    /// Truncation checkpoint: chain hash of the last dropped entry, or
+    /// `None` when the chain still starts at genesis.
+    checkpoint: Option<[u8; 32]>,
+    /// Entries dropped by checkpointed truncation so far.
+    truncated: u64,
+    /// In-memory entry cap; `None` = unbounded (the historical default).
+    max_entries: Option<usize>,
 }
 
 impl AuditLog {
@@ -139,56 +177,135 @@ impl AuditLog {
     /// [`verify_chain`]: a snapshot that does not verify was tampered
     /// with (or truncated) and must not be resumed from.
     pub fn from_parts(entries: Vec<AuditEntry>, hashes: Vec<[u8; 32]>) -> Option<Self> {
-        if !verify_chain(&entries, &hashes) {
+        Self::from_parts_at(None, 0, entries, hashes)
+    }
+
+    /// Rebuild a log whose chain starts at a truncation `checkpoint`
+    /// (`None` = genesis) with `truncated` entries already dropped.
+    /// Returns `None` when the suffix fails verification from the given
+    /// anchor.
+    pub fn from_parts_at(
+        checkpoint: Option<[u8; 32]>,
+        truncated: u64,
+        entries: Vec<AuditEntry>,
+        hashes: Vec<[u8; 32]>,
+    ) -> Option<Self> {
+        let ok = match &checkpoint {
+            Some(cp) => verify_chain_from(cp, &entries, &hashes),
+            None => verify_chain(&entries, &hashes),
+        };
+        if !ok {
             return None;
         }
-        Some(AuditLog { entries, hashes })
+        Some(AuditLog {
+            entries,
+            hashes,
+            checkpoint,
+            truncated,
+            max_entries: None,
+        })
+    }
+
+    /// Bound the in-memory chain: when an append pushes the length past
+    /// `max`, the oldest half is dropped in one block and the checkpoint
+    /// advances (see the module docs). `None` restores the unbounded
+    /// historical behavior. An over-cap log is truncated immediately.
+    pub fn set_max_entries(&mut self, max: Option<usize>) {
+        self.max_entries = max;
+        self.enforce_cap();
+    }
+
+    /// Configured in-memory entry cap.
+    pub fn max_entries(&self) -> Option<usize> {
+        self.max_entries
+    }
+
+    /// Truncation checkpoint (chain hash of the last dropped entry), or
+    /// `None` while the chain still starts at genesis.
+    pub fn checkpoint(&self) -> Option<[u8; 32]> {
+        self.checkpoint
+    }
+
+    /// Entries dropped by checkpointed truncation so far.
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
+    fn enforce_cap(&mut self) {
+        let Some(max) = self.max_entries else { return };
+        if self.entries.len() <= max {
+            return;
+        }
+        // Drop down to half the cap in one block so truncation cost is
+        // amortized O(1) per append, not O(n) on every over-cap entry.
+        let keep = max / 2;
+        let drop_n = self.entries.len() - keep;
+        self.checkpoint = Some(self.hashes[drop_n - 1]);
+        self.truncated += drop_n as u64;
+        self.entries.drain(..drop_n);
+        self.hashes.drain(..drop_n);
     }
 
     /// Append an entry, extending the hash chain.
     pub fn append(&mut self, entry: AuditEntry) {
         let prev: &[u8] = match self.hashes.last() {
             Some(h) => h,
-            None => b"fiat-audit-genesis",
+            None => match &self.checkpoint {
+                Some(cp) => cp,
+                None => b"fiat-audit-genesis",
+            },
         };
         let mut h = Sha256::new();
         h.update(prev);
         h.update(&entry.encode());
         self.hashes.push(h.finalize());
         self.entries.push(entry);
+        self.enforce_cap();
     }
 
-    /// All entries in order.
+    /// Entries currently in memory, in order (the suffix after any
+    /// checkpointed truncation).
     pub fn entries(&self) -> &[AuditEntry] {
         &self.entries
     }
 
-    /// Number of entries.
+    /// Number of entries currently in memory.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// Whether the log is empty.
+    /// Whether the in-memory log is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
+    /// Entries ever appended, including truncated ones.
+    pub fn total_appended(&self) -> u64 {
+        self.truncated + self.entries.len() as u64
+    }
+
     /// Head hash committing to the whole log (what the TEE would attest).
+    /// Falls back to the checkpoint when every in-memory entry has been
+    /// truncated — the commitment to history never regresses.
     pub fn head(&self) -> Option<[u8; 32]> {
-        self.hashes.last().copied()
+        self.hashes.last().copied().or(self.checkpoint)
     }
 
     /// Per-entry chain hashes, parallel to [`entries`](Self::entries).
     /// Export both and an external party can re-verify the chain with
-    /// [`verify_chain`] without trusting this process.
+    /// [`verify_chain`] (or [`verify_chain_from`] the checkpoint, for a
+    /// truncated log) without trusting this process.
     pub fn hashes(&self) -> &[[u8; 32]] {
         &self.hashes
     }
 
     /// Verify the chain against the stored entries; `false` if any entry
-    /// or hash was altered.
+    /// or hash was altered. A truncated log verifies from its checkpoint.
     pub fn verify(&self) -> bool {
-        verify_chain(&self.entries, &self.hashes)
+        match &self.checkpoint {
+            Some(cp) => verify_chain_from(cp, &self.entries, &self.hashes),
+            None => verify_chain(&self.entries, &self.hashes),
+        }
     }
 
     /// Entries for a device with a given verdict (e.g. to show the user
@@ -408,6 +525,86 @@ mod tests {
             hex(&log.head().unwrap()),
             "f390779bf447069fc045fd0dbc8102481010c136974ce547a97402287bc59b88"
         );
+        assert!(log.verify());
+    }
+
+    #[test]
+    fn checkpointed_truncation_keeps_chain_verifiable() {
+        let mut bounded = AuditLog::new();
+        bounded.set_max_entries(Some(8));
+        let mut unbounded = AuditLog::new();
+        for i in 0..40 {
+            let e = entry(i, 2, AuditVerdict::DroppedUnverified);
+            bounded.append(e.clone());
+            unbounded.append(e);
+        }
+        // The cap held, entries were dropped, and the commitment to the
+        // full history is unchanged: both logs attest the same head.
+        assert!(bounded.len() <= 8);
+        assert!(bounded.truncated() > 0);
+        assert_eq!(bounded.total_appended(), 40);
+        assert_eq!(bounded.head(), unbounded.head());
+        assert!(bounded.verify());
+
+        // The suffix verifies from the checkpoint, not from genesis.
+        let cp = bounded.checkpoint().expect("truncation sets checkpoint");
+        assert!(verify_chain_from(&cp, bounded.entries(), bounded.hashes()));
+        assert!(!verify_chain(bounded.entries(), bounded.hashes()));
+
+        // The checkpoint is the chain hash of the last dropped entry, so
+        // an archived prefix joins the live suffix at the checkpoint.
+        let dropped = bounded.truncated() as usize;
+        assert_eq!(cp, unbounded.hashes()[dropped - 1]);
+        assert!(verify_chain(
+            &unbounded.entries()[..dropped],
+            &unbounded.hashes()[..dropped]
+        ));
+    }
+
+    #[test]
+    fn truncated_log_restores_via_from_parts_at() {
+        let mut log = AuditLog::new();
+        log.set_max_entries(Some(6));
+        for i in 0..20 {
+            log.append(entry(i, 1, AuditVerdict::AllowedManualVerified));
+        }
+        let cp = log.checkpoint();
+        let truncated = log.truncated();
+        let entries = log.entries().to_vec();
+        let hashes = log.hashes().to_vec();
+
+        // A faithful export restores from the checkpoint and the chain
+        // still extends identically to the original.
+        let mut restored = AuditLog::from_parts_at(cp, truncated, entries.clone(), hashes.clone())
+            .expect("restores");
+        assert_eq!(restored.head(), log.head());
+        assert_eq!(restored.truncated(), log.truncated());
+        restored.append(entry(99, 1, AuditVerdict::DroppedUnverified));
+        log.append(entry(99, 1, AuditVerdict::DroppedUnverified));
+        assert_eq!(restored.head(), log.head());
+        assert!(restored.verify());
+
+        // Genesis-anchored restore of a truncated suffix must refuse —
+        // and so must a tampered suffix from the right checkpoint.
+        assert!(AuditLog::from_parts(entries.clone(), hashes.clone()).is_none());
+        let mut bad = entries.clone();
+        bad[0].verdict = AuditVerdict::LockedOut;
+        assert!(AuditLog::from_parts_at(cp, truncated, bad, hashes).is_none());
+    }
+
+    #[test]
+    fn head_falls_back_to_checkpoint_when_all_entries_truncated() {
+        let mut log = AuditLog::new();
+        log.set_max_entries(Some(1));
+        log.append(entry(1, 0, AuditVerdict::DroppedUnverified));
+        let head_before = log.head();
+        log.append(entry(2, 0, AuditVerdict::DroppedUnverified));
+        // max 1 keeps max/2 = 0 entries: everything is truncated, but the
+        // head still commits to both entries (and never regresses).
+        assert!(log.is_empty());
+        assert_eq!(log.truncated(), 2);
+        assert!(log.head().is_some());
+        assert_ne!(log.head(), head_before);
         assert!(log.verify());
     }
 

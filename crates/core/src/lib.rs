@@ -62,7 +62,9 @@ pub use notify::{Notification, NotificationCenter, Severity};
 pub use pairing::pair;
 pub use pipeline::{
     AllowReason, DecisionRecord, DropReason, FiatProxy, ProxyConfig, ProxyDecision, ProxyHook,
-    ProxyStats, ProxyTelemetry,
+    ProxyStats, ProxyTelemetry, StateSize,
 };
-pub use predict::{PredictabilityEngine, PredictabilityReport, RuleTable, RuleTelemetry};
-pub use snapshot::{HomeSnapshot, SnapshotError, SNAPSHOT_VERSION};
+pub use predict::{
+    GhostState, PredictabilityEngine, PredictabilityReport, RuleTable, RuleTelemetry,
+};
+pub use snapshot::{GhostSnapshot, HomeSnapshot, SnapshotError, SNAPSHOT_VERSION};

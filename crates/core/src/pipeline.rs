@@ -36,8 +36,8 @@ use crate::interactions::InteractionGraph;
 use crate::pairing::{pair, Paired};
 use crate::predict::{PredictabilityEngine, RuleTable, RuleTelemetry, DEFAULT_TOLERANCE};
 use crate::snapshot::{
-    DeviceSnapshot, EventFateSnapshot, HomeSnapshot, OpenEventSnapshot, QuarantineSnapshot,
-    SnapshotError, SNAPSHOT_VERSION,
+    DeviceSnapshot, EventFateSnapshot, GhostSnapshot, HomeSnapshot, OpenEventSnapshot,
+    QuarantineSnapshot, SnapshotError, SNAPSHOT_VERSION,
 };
 use fiat_crypto::TeeKeystore;
 use fiat_net::{DnsTable, FlowDef, FlowKey, PacketRecord, SimDuration, SimTime};
@@ -85,6 +85,22 @@ pub struct ProxyConfig {
     /// credit — the episode is already pending a verdict) so a chatty
     /// event cannot grow proxy memory without bound.
     pub quarantine_capacity: usize,
+    /// Rule-table cap: past it the least-recently-matched rule is
+    /// evicted into a ghost with a re-learn path (see
+    /// [`RuleTable::set_capacity`]). The default is generous — far above
+    /// what any home learns — so it only exists to bound hostile or
+    /// pathological growth; `None` disables the cap.
+    pub max_rules: Option<usize>,
+    /// Cap on *concurrent* quarantine records across the home (one
+    /// record per device already bounds each device, but not the number
+    /// of devices with one pending). Admitting a record past the cap
+    /// demotes the record with the oldest deadline first, as if its
+    /// deadline had just passed. `None` disables the cap.
+    pub max_quarantine_records: Option<usize>,
+    /// In-memory audit-chain cap with checkpointed truncation (see
+    /// [`crate::audit::AuditLog::set_max_entries`]). `None` keeps every
+    /// entry in memory.
+    pub max_audit_entries: Option<usize>,
 }
 
 impl Default for ProxyConfig {
@@ -101,6 +117,9 @@ impl Default for ProxyConfig {
             retro_classify: true,
             proof_deadline: None,
             quarantine_capacity: 64,
+            max_rules: Some(65_536),
+            max_quarantine_records: Some(64),
+            max_audit_entries: Some(65_536),
         }
     }
 }
@@ -289,6 +308,95 @@ impl std::iter::Sum for ProxyStats {
             acc += s;
         }
         acc
+    }
+}
+
+/// Point-in-time entry counts of every growable state surface one home's
+/// proxy owns — what the long-horizon soak's accountant samples against
+/// its budget (DESIGN §18). Counts are *entries*, not bytes: each surface
+/// has a fixed-size record, so entry caps are what bound memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateSize {
+    /// Live rule-table entries.
+    pub rules: usize,
+    /// Evicted-rule ghosts awaiting re-learn.
+    pub rule_ghosts: usize,
+    /// Open unpredictable events.
+    pub open_events: usize,
+    /// Packets buffered across open events (≤ `classify_at_cap` each).
+    pub open_packets: usize,
+    /// Pending-verdict quarantine records.
+    pub quarantine_records: usize,
+    /// Packets held across all quarantine records.
+    pub quarantine_held: usize,
+    /// In-memory audit chain entries (post-truncation suffix).
+    pub audit_entries: usize,
+    /// 0-RTT session tickets tracked by the replay store.
+    pub replay_tickets: usize,
+    /// Replayed-packet-number entries across all live epochs.
+    pub replay_entries: usize,
+    /// Live (unretired) ticket epochs.
+    pub replay_epochs: usize,
+    /// Packets buffered during bootstrap (empty once rules are learned).
+    pub bootstrap_buffered: usize,
+    /// Released quarantine packets not yet drained by the interceptor.
+    pub released_pending: usize,
+}
+
+impl StateSize {
+    /// Sum of every surface — the single number compared against the
+    /// soak's per-home budget.
+    pub fn total(&self) -> usize {
+        self.rules
+            + self.rule_ghosts
+            + self.open_events
+            + self.open_packets
+            + self.quarantine_records
+            + self.quarantine_held
+            + self.audit_entries
+            + self.replay_tickets
+            + self.replay_entries
+            + self.replay_epochs
+            + self.bootstrap_buffered
+            + self.released_pending
+    }
+
+    /// Field-wise maximum — fold per-sample sizes into a high-water
+    /// mark (each surface peaks independently, so the result may not
+    /// correspond to any single instant).
+    pub fn max_fields(self, rhs: StateSize) -> StateSize {
+        StateSize {
+            rules: self.rules.max(rhs.rules),
+            rule_ghosts: self.rule_ghosts.max(rhs.rule_ghosts),
+            open_events: self.open_events.max(rhs.open_events),
+            open_packets: self.open_packets.max(rhs.open_packets),
+            quarantine_records: self.quarantine_records.max(rhs.quarantine_records),
+            quarantine_held: self.quarantine_held.max(rhs.quarantine_held),
+            audit_entries: self.audit_entries.max(rhs.audit_entries),
+            replay_tickets: self.replay_tickets.max(rhs.replay_tickets),
+            replay_entries: self.replay_entries.max(rhs.replay_entries),
+            replay_epochs: self.replay_epochs.max(rhs.replay_epochs),
+            bootstrap_buffered: self.bootstrap_buffered.max(rhs.bootstrap_buffered),
+            released_pending: self.released_pending.max(rhs.released_pending),
+        }
+    }
+}
+
+impl std::ops::AddAssign for StateSize {
+    /// Field-wise addition, for fleet-wide aggregation.
+    fn add_assign(&mut self, rhs: StateSize) {
+        self.rules += rhs.rules;
+        self.rule_ghosts += rhs.rule_ghosts;
+        self.open_events += rhs.open_events;
+        self.open_packets += rhs.open_packets;
+        self.quarantine_records += rhs.quarantine_records;
+        self.quarantine_held += rhs.quarantine_held;
+        self.audit_entries += rhs.audit_entries;
+        self.replay_tickets += rhs.replay_tickets;
+        self.replay_entries += rhs.replay_entries;
+        self.replay_epochs += rhs.replay_epochs;
+        self.bootstrap_buffered += rhs.bootstrap_buffered;
+        self.released_pending += rhs.released_pending;
     }
 }
 
@@ -685,6 +793,8 @@ impl FiatProxy {
         let (keys, psk) = pair(&store, ceremony_secret);
         let mut quic = QuicServer::new(psk);
         quic.set_telemetry(fiat_quic::ServerTelemetry::registered(&telemetry.registry));
+        let mut audit = AuditLog::new();
+        audit.set_max_entries(config.max_audit_entries);
         FiatProxy {
             config,
             store,
@@ -697,7 +807,7 @@ impl FiatProxy {
             bootstrap_buffer: Vec::new(),
             rules: None,
             human_valid_until: SimTime::ZERO,
-            audit: AuditLog::new(),
+            audit,
             server_random_counter: 0,
             interactions: None,
             unknown_seen: HashSet::new(),
@@ -796,6 +906,34 @@ impl FiatProxy {
     /// The audit log.
     pub fn audit(&self) -> &AuditLog {
         &self.audit
+    }
+
+    /// Sample the entry count of every growable state surface — the
+    /// long-horizon soak's accountant calls this on a simulated-time
+    /// cadence and asserts [`StateSize::total`] against a hard budget.
+    pub fn state_size(&self) -> StateSize {
+        let mut size = StateSize {
+            rules: self.rules.as_ref().map_or(0, |r| r.len()),
+            rule_ghosts: self.rules.as_ref().map_or(0, |r| r.ghost_len()),
+            audit_entries: self.audit.entries().len(),
+            replay_tickets: self.quic.replay_store().tickets(),
+            replay_entries: self.quic.replay_store().total_entries(),
+            replay_epochs: self.quic.replay_store().live_epochs().len(),
+            bootstrap_buffered: self.bootstrap_buffer.len(),
+            released_pending: self.released_packets.len(),
+            ..StateSize::default()
+        };
+        for dev in self.devices.values() {
+            if let Some(open) = &dev.open {
+                size.open_events += 1;
+                size.open_packets += open.packets.len();
+            }
+            if let Some(q) = &dev.quarantine {
+                size.quarantine_records += 1;
+                size.quarantine_held += q.packets.len();
+            }
+        }
+        size
     }
 
     /// Whether a device is locked out.
@@ -919,14 +1057,30 @@ impl FiatProxy {
             })
             .collect();
         devices.sort_by_key(|d| d.device);
+        // LRU order (not sorted): eviction order is semantic state.
         let rules = self.rules.as_ref().map(|table| {
-            let mut rules: Vec<(u16, FlowKey)> = table
-                .iter()
-                .map(|(dev, key)| (*dev, key.resolve(&self.dns)))
-                .collect();
-            rules.sort();
-            rules
+            table
+                .export_lru()
+                .into_iter()
+                .map(|(dev, key)| (dev, key.resolve(&self.dns)))
+                .collect::<Vec<(u16, FlowKey)>>()
         });
+        let rule_ghosts = self
+            .rules
+            .as_ref()
+            .map(|table| {
+                table
+                    .export_ghosts()
+                    .into_iter()
+                    .map(|g| GhostSnapshot {
+                        device: g.device,
+                        key: g.key.resolve(&self.dns),
+                        last_ts: g.last_ts,
+                        last_bin: g.last_bin,
+                    })
+                    .collect::<Vec<GhostSnapshot>>()
+            })
+            .unwrap_or_default();
         let mut unknown_seen: Vec<u16> = self.unknown_seen.iter().copied().collect();
         unknown_seen.sort_unstable();
         HomeSnapshot {
@@ -938,12 +1092,15 @@ impl FiatProxy {
             dns: self.dns.clone(),
             bootstrap_buffer: self.bootstrap_buffer.clone(),
             rules,
+            rule_ghosts,
             unknown_seen,
             devices,
             released_packets: self.released_packets.clone(),
             stats: self.stats,
             audit_entries: self.audit.entries().to_vec(),
             audit_hashes: self.audit.hashes().iter().map(|h| h.to_vec()).collect(),
+            audit_checkpoint: self.audit.checkpoint().map(|c| c.to_vec()),
+            audit_truncated: self.audit.truncated(),
             quic: (&self.quic.to_image()).into(),
         }
     }
@@ -982,8 +1139,20 @@ impl FiatProxy {
             .map(|h| <[u8; 32]>::try_from(h.as_slice()))
             .collect::<Result<_, _>>()
             .map_err(|_| SnapshotError::AuditChainInvalid)?;
-        let audit = AuditLog::from_parts(snap.audit_entries.clone(), hashes)
-            .ok_or(SnapshotError::AuditChainInvalid)?;
+        let checkpoint = snap
+            .audit_checkpoint
+            .as_ref()
+            .map(|c| <[u8; 32]>::try_from(c.as_slice()))
+            .transpose()
+            .map_err(|_| SnapshotError::AuditChainInvalid)?;
+        let mut audit = AuditLog::from_parts_at(
+            checkpoint,
+            snap.audit_truncated,
+            snap.audit_entries.clone(),
+            hashes,
+        )
+        .ok_or(SnapshotError::AuditChainInvalid)?;
+        audit.set_max_entries(config.max_audit_entries);
         let store = TeeKeystore::new();
         let (keys, psk) = pair(&store, ceremony_secret);
         let mut quic = QuicServer::new(psk);
@@ -993,10 +1162,24 @@ impl FiatProxy {
         let rules = snap.rules.as_ref().map(|list| {
             let mut table =
                 RuleTable::with_telemetry(RuleTelemetry::registered(&telemetry.registry));
+            table.set_tolerance(config.tolerance);
+            // LRU order: inserts re-assign fresh stamps 0..n, preserving
+            // the snapshotted relative eviction order. Ghosts restored
+            // before the cap is applied so nothing is spuriously evicted.
             for (device, key) in list {
                 let ikey = key.intern(&mut dns);
                 table.insert(*device, ikey);
             }
+            for g in &snap.rule_ghosts {
+                let ikey = g.key.intern(&mut dns);
+                table.insert_ghost(crate::predict::GhostState {
+                    device: g.device,
+                    key: ikey,
+                    last_ts: g.last_ts,
+                    last_bin: g.last_bin,
+                });
+            }
+            table.set_capacity(config.max_rules);
             table
         });
         let devices = snap
@@ -1152,6 +1335,7 @@ impl FiatProxy {
                     &self.telemetry,
                     &mut self.stats,
                     self.hook.as_deref(),
+                    now,
                 );
                 continue;
             }
@@ -1183,11 +1367,15 @@ impl FiatProxy {
         }
     }
 
-    /// Demote an expired quarantine record: the held packets are
-    /// discarded, the episode counts toward the lockout window *at the
-    /// deadline* (not at the observing operation's time — resolution is
-    /// lazy, the outcome must not depend on when it is observed), and
-    /// the open event (if still this one) seals as `QuarantineExpired`.
+    /// Demote an expired (or cap-demoted) quarantine record: the held
+    /// packets are discarded, the episode counts toward the lockout
+    /// window, and the open event (if still this one) seals as
+    /// `QuarantineExpired`. The episode time is `min(now, deadline)`:
+    /// for a lazy expiry (`now` past the deadline) that is the deadline
+    /// itself — resolution is lazy, the outcome must not depend on when
+    /// it is observed — while a record-cap demotion lands before its
+    /// deadline and is credited at the demotion time, never a future
+    /// timestamp that would poison the monotone lockout clamp.
     #[allow(clippy::too_many_arguments)]
     fn expire_quarantine(
         device: u16,
@@ -1197,25 +1385,27 @@ impl FiatProxy {
         telemetry: &ProxyTelemetry,
         stats: &mut ProxyStats,
         hook: Option<&dyn ProxyHook>,
+        now: SimTime,
     ) {
         let q = dev.quarantine.take().expect("caller checked presence");
+        let at = now.min(q.deadline);
         stats.quarantine_expired += q.packets.len() as u64;
         telemetry.quarantine_expired_ctr.add(q.packets.len() as u64);
         telemetry.quarantine_depth.add(-(q.packets.len() as i64));
         if let Some(h) = hook {
-            h.on_quarantine_expired(q.deadline, device, q.packets.len() as u64);
+            h.on_quarantine_expired(at, device, q.packets.len() as u64);
         }
-        let locked = Self::record_unverified_drop(&mut dev.drops, q.deadline, config);
+        let locked = Self::record_unverified_drop(&mut dev.drops, at, config);
         if locked && !dev.locked {
             dev.locked = true;
             telemetry.locked_devices_gauge.inc();
             telemetry.lockouts.inc();
             if let Some(h) = hook {
-                h.on_lockout(q.deadline, device);
+                h.on_lockout(at, device);
             }
         }
         audit.append(AuditEntry {
-            ts: q.deadline,
+            ts: at,
             device,
             class: q.class,
             verdict: AuditVerdict::QuarantineExpired,
@@ -1290,12 +1480,13 @@ impl FiatProxy {
             let span = Span::enter(&self.telemetry.stage_rule_learn, &self.telemetry.clock);
             let engine = PredictabilityEngine::new(self.config.flow_def)
                 .with_tolerance(self.config.tolerance);
-            let rules = RuleTable::learn_instrumented(
+            let mut rules = RuleTable::learn_instrumented(
                 &engine,
                 &self.bootstrap_buffer,
                 &self.dns,
                 RuleTelemetry::registered(&self.telemetry.registry),
             );
+            rules.set_capacity(self.config.max_rules);
             span.exit();
             self.telemetry.rules_gauge.set(rules.len() as i64);
             self.rules = Some(rules);
@@ -1303,9 +1494,11 @@ impl FiatProxy {
             self.bootstrap_buffer.shrink_to_fit();
         }
 
-        // Rule hit: predictable.
+        // Rule hit: predictable. The touch variant refreshes the rule's
+        // LRU stamp (bounded mode evicts least-recently-matched) and
+        // advances the ghost re-learn path on misses of evicted keys.
         let span = Span::enter(&self.telemetry.stage_rule_match, &self.telemetry.clock);
-        let hit = self.rules.as_ref().expect("rules learned").matches(
+        let hit = self.rules.as_mut().expect("rules learned").matches_touch(
             self.config.flow_def,
             pkt,
             &self.dns,
@@ -1351,6 +1544,7 @@ impl FiatProxy {
                 &self.telemetry,
                 &mut self.stats,
                 self.hook.as_deref(),
+                now,
             );
             if dev.locked {
                 return ProxyDecision::Drop(DropReason::LockedOut);
@@ -1393,7 +1587,16 @@ impl FiatProxy {
             last: now,
             fate: None,
         });
-        open.packets.push(pkt.clone());
+        // Record the packet only while the verdict is pending: packets
+        // are read exactly at the classification point (or at a retro
+        // close, both fate-`None` paths), so accumulating them after the
+        // fate is sealed was pure unbounded growth — a single long-lived
+        // chatty event would hold every packet it ever sent (and a
+        // quarantined one stored each held packet twice). Found by the
+        // long-horizon soak's state accountant.
+        if open.fate.is_none() {
+            open.packets.push(pkt.clone());
+        }
         // High-water mark, mirroring `events::group_events`: a backwards
         // (reordered) packet joins the open event — its saturating gap is
         // zero — but must not rewind `last`, or the next in-order packet
@@ -1493,14 +1696,31 @@ impl FiatProxy {
         // device already has a verdict pending, which bounds held state
         // to one record per device and keeps a concurrent second event
         // on today's immediate-demotion path.
+        let quarantine_slot_free = dev.quarantine.is_none();
         if let Some(deadline) = self.config.proof_deadline {
-            if dev.quarantine.is_none() {
+            if quarantine_slot_free {
+                // Admission ends the per-device borrow: the home-wide
+                // record cap is counted (and enforced) across *all*
+                // devices before this record joins.
+                if let Some(cap) = self.config.max_quarantine_records {
+                    let live = self
+                        .devices
+                        .values()
+                        .filter(|d| d.quarantine.is_some())
+                        .count();
+                    if live >= cap.max(1) {
+                        self.demote_oldest_quarantine(now);
+                    }
+                }
+                let dev = self.devices.get_mut(&pkt.device).expect("registered above");
                 dev.quarantine = Some(QuarantineRecord {
                     packets: vec![pkt.clone()],
                     class,
                     deadline: now + deadline,
                 });
-                open.fate = Some(EventFate::Quarantine);
+                if let Some(open) = &mut dev.open {
+                    open.fate = Some(EventFate::Quarantine);
+                }
                 self.telemetry.quarantine_held.inc();
                 self.telemetry.quarantine_depth.inc();
                 if let Some(h) = &self.hook {
@@ -1532,6 +1752,35 @@ impl FiatProxy {
             },
         });
         ProxyDecision::Drop(DropReason::ManualUnverified)
+    }
+
+    /// Enforce [`ProxyConfig::max_quarantine_records`]: demote the live
+    /// record with the oldest deadline (ties: lowest device id) exactly
+    /// as if its deadline had passed. The episode is credited at
+    /// `min(now, deadline)` — early demotion must never stamp a *future*
+    /// time into the monotone lockout window.
+    fn demote_oldest_quarantine(&mut self, now: SimTime) {
+        let mut victim: Option<(SimTime, u16)> = None;
+        for (&id, d) in &self.devices {
+            if let Some(q) = &d.quarantine {
+                let cand = (q.deadline, id);
+                if victim.is_none_or(|v| cand < v) {
+                    victim = Some(cand);
+                }
+            }
+        }
+        let Some((_, id)) = victim else { return };
+        let dev = self.devices.get_mut(&id).expect("victim from scan");
+        Self::expire_quarantine(
+            id,
+            dev,
+            &self.config,
+            &mut self.audit,
+            &self.telemetry,
+            &mut self.stats,
+            self.hook.as_deref(),
+            now,
+        );
     }
 
     /// Record an unverified-manual episode at `at` into the sliding
@@ -1582,6 +1831,7 @@ impl FiatProxy {
                     &self.telemetry,
                     &mut self.stats,
                     self.hook.as_deref(),
+                    now,
                 );
             }
             if dev.open.as_ref().is_some_and(|e| now - e.last >= gap) {
@@ -3122,6 +3372,216 @@ mod tests {
             )
             .err(),
             Some(crate::snapshot::SnapshotError::AuditChainInvalid)
+        );
+    }
+
+    // ---- bounded state (DESIGN §18) ------------------------------------
+
+    fn pkt_dev(ts_ms: u64, size: u16, device: u16) -> PacketRecord {
+        PacketRecord {
+            device,
+            ..pkt(ts_ms, size)
+        }
+    }
+
+    #[test]
+    fn record_cap_demotes_oldest_deadline_record() {
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let config = ProxyConfig {
+            proof_deadline: Some(SimDuration::from_secs(60)),
+            max_quarantine_records: Some(2),
+            ..ProxyConfig::default()
+        };
+        let mut proxy = FiatProxy::new(config, &SECRET, validator);
+        for d in 0..3 {
+            proxy.register_device(d, EventClassifier::simple_rule(235), 1);
+        }
+        proxy.start(SimTime::ZERO);
+        let t = bootstrap(&mut proxy);
+
+        assert_eq!(
+            proxy.on_packet(&pkt_dev(t, 235, 0)),
+            ProxyDecision::Quarantine
+        );
+        assert_eq!(
+            proxy.on_packet(&pkt_dev(t + 1_000, 235, 1)),
+            ProxyDecision::Quarantine
+        );
+        // A third concurrent record is over the cap: device 0's record
+        // (oldest deadline) is demoted first, then the new one is held.
+        assert_eq!(
+            proxy.on_packet(&pkt_dev(t + 2_000, 235, 2)),
+            ProxyDecision::Quarantine
+        );
+        assert_eq!(proxy.state_size().quarantine_records, 2);
+        let s = proxy.stats();
+        assert_eq!(s.quarantined, 3);
+        assert_eq!(s.quarantine_expired, 1);
+        let demoted = proxy
+            .audit()
+            .entries()
+            .iter()
+            .find(|e| e.verdict == AuditVerdict::QuarantineExpired)
+            .unwrap();
+        assert_eq!(demoted.device, 0);
+        assert_eq!(
+            demoted.ts,
+            SimTime::from_millis(t + 2_000),
+            "credited at demotion time, never the future deadline"
+        );
+        // A proof still releases the surviving records (devices 1, 2).
+        prove_human(&mut proxy, 1, t + 3_000);
+        assert_eq!(proxy.take_quarantine_releases().len(), 2);
+        assert!(proxy.audit().verify());
+    }
+
+    #[test]
+    fn sealed_event_stops_buffering_packets() {
+        // Drop-fated event: after the verdict the open event must not
+        // keep buffering every in-gap packet (the unbounded-state bug
+        // the soak accountant caught).
+        let mut proxy = proxy_with_plug();
+        let t = bootstrap(&mut proxy);
+        proxy.on_packet(&pkt(t, 235));
+        assert_eq!(proxy.state_size().open_packets, 1);
+        for k in 1..5u64 {
+            proxy.on_packet(&pkt(t + k * 1_000, 235));
+        }
+        assert_eq!(
+            proxy.state_size().open_packets,
+            1,
+            "a sealed event no longer buffers"
+        );
+
+        // Quarantine-fated event: held packets live in the record only,
+        // never a second copy in the open event.
+        let mut proxy = quarantine_proxy(10_000);
+        let t = bootstrap(&mut proxy);
+        for k in 0..4u64 {
+            assert_eq!(
+                proxy.on_packet(&pkt(t + k * 500, 235)),
+                ProxyDecision::Quarantine
+            );
+        }
+        let size = proxy.state_size();
+        assert_eq!(size.quarantine_held, 4);
+        assert_eq!(size.open_packets, 1);
+    }
+
+    #[test]
+    fn snapshot_restores_truncated_audit_chain() {
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let config = ProxyConfig {
+            max_audit_entries: Some(8),
+            ..ProxyConfig::default()
+        };
+        let mut proxy = FiatProxy::new(config.clone(), &SECRET, validator);
+        proxy.register_device(0, EventClassifier::simple_rule(235), 1);
+        proxy.start(SimTime::ZERO);
+        let t = bootstrap(&mut proxy);
+        // Spaced manual drops stay under the lockout tolerance but push
+        // the audit log past its cap several times over.
+        for k in 0..12u64 {
+            proxy.on_packet(&pkt(t + k * 40_000, 235));
+        }
+        assert!(proxy.audit().truncated() > 0);
+        assert!(proxy.audit().checkpoint().is_some());
+        assert!(proxy.audit().verify());
+
+        // The snapshot round-trips the truncated chain byte-identically
+        // and the restored log still verifies (from the checkpoint).
+        let snap = proxy.snapshot();
+        let bytes = serde_json::to_vec(&snap).unwrap();
+        let back: crate::snapshot::HomeSnapshot = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(bytes, serde_json::to_vec(&back).unwrap());
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let mut restored = FiatProxy::restore(
+            config,
+            &SECRET,
+            validator,
+            ProxyTelemetry::default(),
+            &back,
+            |_| EventClassifier::simple_rule(235),
+        )
+        .unwrap();
+        assert!(restored.audit().verify());
+        assert_eq!(restored.audit().head(), proxy.audit().head());
+        assert_eq!(restored.audit().truncated(), proxy.audit().truncated());
+
+        // Resume both: the chains stay in lockstep across further
+        // truncations.
+        for k in 12..20u64 {
+            let p = pkt(t + k * 40_000, 235);
+            assert_eq!(proxy.on_packet(&p), restored.on_packet(&p));
+        }
+        assert_eq!(restored.audit().head(), proxy.audit().head());
+        assert!(restored.audit().verify());
+    }
+
+    #[test]
+    fn snapshot_round_trips_lru_order_and_ghosts() {
+        // Two periodic flows learned, cap 1: the older one is evicted to
+        // a ghost, then touched once so the ghost carries re-learn state.
+        let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+        let config = ProxyConfig {
+            max_rules: Some(1),
+            ..ProxyConfig::default()
+        };
+        let build = || {
+            let validator = HumannessValidator::with_operating_point(1.0, 1.0, 0);
+            let mut proxy = FiatProxy::new(
+                ProxyConfig {
+                    max_rules: Some(1),
+                    ..ProxyConfig::default()
+                },
+                &SECRET,
+                validator,
+            );
+            proxy.register_device(0, EventClassifier::simple_rule(235), 1);
+            proxy.start(SimTime::ZERO);
+            let mut t = 0;
+            while t < 20 * 60 * 1000 {
+                proxy.on_packet(&pkt(t, 100));
+                proxy.on_packet(&pkt(t + 5_000, 150));
+                t += 10_000;
+            }
+            // The size-100 flow (earlier last-seen) was evicted; touch
+            // its ghost so last_ts/last_bin round-trip too.
+            proxy.on_packet(&pkt(t, 100));
+            (proxy, t)
+        };
+        let (mut uninterrupted, t) = build();
+        let (snapshotted, _) = build();
+        assert_eq!(snapshotted.rule_count(), 1);
+        assert_eq!(snapshotted.state_size().rule_ghosts, 1);
+
+        let snap = snapshotted.snapshot();
+        assert_eq!(snap.rule_ghosts.len(), 1);
+        assert!(snap.rule_ghosts[0].last_ts.is_some());
+        let bytes = serde_json::to_vec(&snap).unwrap();
+        let mut restored = FiatProxy::restore(
+            config,
+            &SECRET,
+            validator,
+            ProxyTelemetry::default(),
+            &snap,
+            |_| EventClassifier::simple_rule(235),
+        )
+        .unwrap();
+        // Restore → snapshot reproduces the exact bytes (LRU order and
+        // ghost state are semantic, not incidental).
+        assert_eq!(bytes, serde_json::to_vec(&restored.snapshot()).unwrap());
+
+        // Resume: the ghost re-promotes identically in both twins (two
+        // more qualifying repeats at the same cadence).
+        for k in 1..4u64 {
+            let p = pkt(t + k * 10_000, 100);
+            assert_eq!(uninterrupted.on_packet(&p), restored.on_packet(&p));
+        }
+        assert_eq!(uninterrupted.rule_count(), restored.rule_count());
+        assert_eq!(
+            uninterrupted.state_size().rule_ghosts,
+            restored.state_size().rule_ghosts
         );
     }
 

@@ -263,12 +263,58 @@ impl RuleTelemetry {
     }
 }
 
+/// Exported state of one evicted-rule ghost (see [`RuleTable`]): enough
+/// to resume the re-learn pattern match after a snapshot restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GhostState {
+    /// Device the evicted rule belonged to.
+    pub device: u16,
+    /// The evicted flow key.
+    pub key: InternedFlowKey,
+    /// Timestamp of the last miss on this key, if any.
+    pub last_ts: Option<SimTime>,
+    /// Quantized inter-arrival bin of the last miss pair, if any.
+    pub last_bin: Option<u64>,
+}
+
+/// Per-ghost re-learn progress: a rule evicted by the LRU cap leaves a
+/// ghost behind, and the ghost re-promotes to a rule when the flow
+/// repeats a qualifying interval again — exactly the evidence the
+/// bootstrap learner demanded.
+#[derive(Debug, Clone, Copy)]
+struct Ghost {
+    last_ts: Option<SimTime>,
+    last_bin: Option<u64>,
+    stamp: u64,
+}
+
 /// The enforcement-time rule table (§5.4 "Rules Creation"): flows observed
 /// as predictable during the bootstrap window become allow rules; a rule
 /// hit at enforcement time means "predictable, allow".
+///
+/// ## Bounded mode (LRU + ghost re-learn)
+///
+/// With [`RuleTable::set_capacity`] the table holds at most `cap` rules:
+/// inserting past the cap evicts the least-recently-*matched* rule
+/// (deterministically — every touch takes a unique monotonic stamp, so
+/// the minimum is unambiguous). An evicted rule is not forgotten
+/// outright: it becomes a *ghost*, and if the flow keeps repeating a
+/// qualifying interval (two consecutive inter-arrivals in the same
+/// tolerance bin, at least [`MIN_RULE_INTERVAL`] long — the same
+/// evidence bootstrap learning demanded) it re-promotes to a live rule.
+/// Eviction therefore costs an evicted periodic flow a couple of
+/// event-path traversals (latency), never a false drop, while a hostile
+/// device cycling fresh keys can never grow the table past the cap —
+/// fresh keys were never learned, so they have no ghost and no re-learn
+/// path. Ghosts are capped at the same size and evicted the same way.
 #[derive(Debug, Clone, Default)]
 pub struct RuleTable {
-    rules: HashSet<(u16, InternedFlowKey)>,
+    rules: HashMap<(u16, InternedFlowKey), u64>,
+    ghosts: HashMap<(u16, InternedFlowKey), Ghost>,
+    stamp: u64,
+    cap: Option<usize>,
+    /// Interval quantization bin for ghost re-learn, µs (0 acts as 1).
+    tolerance_us: u64,
     telemetry: RuleTelemetry,
 }
 
@@ -303,7 +349,10 @@ impl RuleTable {
                 .or_default()
                 .push(p.ts);
         }
-        let mut rules = HashSet::new();
+        // Qualifying buckets get their LRU stamps in (last-seen, key)
+        // order, so "least recently matched" is well-defined — and
+        // deterministic — from the moment the table is born.
+        let mut qualifying: Vec<(SimTime, (u16, InternedFlowKey))> = Vec::new();
         for (key, times) in buckets {
             let mut counts: HashMap<u64, (SimDuration, u32)> = HashMap::new();
             for w in times.windows(2) {
@@ -316,22 +365,33 @@ impl RuleTable {
                 .any(|(iv, n)| *n >= 2 && *iv >= MIN_RULE_INTERVAL)
             {
                 telemetry.buckets_learned.inc();
-                rules.insert(key);
+                qualifying.push((*times.last().expect("qualifying bucket nonempty"), key));
             } else {
                 telemetry.buckets_rejected.inc();
             }
         }
-        RuleTable { rules, telemetry }
+        qualifying.sort();
+        let mut table = RuleTable {
+            tolerance_us: engine.tolerance.as_micros(),
+            telemetry,
+            ..RuleTable::default()
+        };
+        for (_, key) in qualifying {
+            table.stamp += 1;
+            table.rules.insert(key, table.stamp);
+        }
+        table
     }
 
-    /// Whether a packet hits a learned rule. This is the per-packet hot
-    /// path: the lookup key is interned ([`InternedFlowKey`]) and never
-    /// touches the heap. Rules only match against the same `DnsTable`
-    /// (interner) they were learned with.
+    /// Whether a packet hits a learned rule, without touching LRU or
+    /// ghost state (read-only observers; the enforcement path uses
+    /// [`RuleTable::matches_touch`]). The lookup key is interned
+    /// ([`InternedFlowKey`]) and never touches the heap. Rules only match
+    /// against the same `DnsTable` (interner) they were learned with.
     pub fn matches(&self, def: FlowDef, pkt: &PacketRecord, dns: &DnsTable) -> bool {
         let hit = self
             .rules
-            .contains(&(pkt.device, InternedFlowKey::of(def, pkt, dns)));
+            .contains_key(&(pkt.device, InternedFlowKey::of(def, pkt, dns)));
         if hit {
             self.telemetry.match_hits.inc();
         } else {
@@ -340,7 +400,52 @@ impl RuleTable {
         hit
     }
 
-    /// Number of rules.
+    /// [`RuleTable::matches`] for the enforcement hot path: a hit
+    /// refreshes the rule's LRU stamp; a miss advances the key's ghost
+    /// (if the rule was evicted) and re-promotes it once the flow repeats
+    /// a qualifying interval — the packet completing the pattern already
+    /// counts as a hit.
+    pub fn matches_touch(&mut self, def: FlowDef, pkt: &PacketRecord, dns: &DnsTable) -> bool {
+        let key = (pkt.device, InternedFlowKey::of(def, pkt, dns));
+        if let Some(stamp) = self.rules.get_mut(&key) {
+            self.stamp += 1;
+            *stamp = self.stamp;
+            self.telemetry.match_hits.inc();
+            return true;
+        }
+        if self.advance_ghost(key, pkt.ts) {
+            self.telemetry.match_hits.inc();
+            return true;
+        }
+        self.telemetry.match_misses.inc();
+        false
+    }
+
+    /// Advance the re-learn pattern for an evicted key; `true` when this
+    /// packet completed the qualifying repeat and the rule was promoted
+    /// back into the table.
+    fn advance_ghost(&mut self, key: (u16, InternedFlowKey), ts: SimTime) -> bool {
+        let Some(g) = self.ghosts.get_mut(&key) else {
+            return false;
+        };
+        self.stamp += 1;
+        g.stamp = self.stamp;
+        let mut promote = false;
+        if let Some(prev) = g.last_ts {
+            let iv = ts - prev;
+            let bin = iv.as_micros() / self.tolerance_us.max(1);
+            promote = g.last_bin == Some(bin) && iv >= MIN_RULE_INTERVAL;
+            g.last_bin = Some(bin);
+        }
+        g.last_ts = Some(ts);
+        if promote {
+            self.ghosts.remove(&key);
+            self.insert(key.0, key.1);
+        }
+        promote
+    }
+
+    /// Number of live rules.
     pub fn len(&self) -> usize {
         self.rules.len()
     }
@@ -350,11 +455,96 @@ impl RuleTable {
         self.rules.is_empty()
     }
 
+    /// Number of evicted-rule ghosts currently tracked.
+    pub fn ghost_len(&self) -> usize {
+        self.ghosts.len()
+    }
+
+    /// Cap the table (and its ghost set) at `cap` entries, evicting
+    /// least-recently-matched rules immediately if already over. `None`
+    /// restores the unbounded historical behavior.
+    pub fn set_capacity(&mut self, cap: Option<usize>) {
+        self.cap = cap;
+        self.evict_rules_over_cap();
+        self.evict_ghosts_over_cap();
+    }
+
+    /// Configured rule cap.
+    pub fn capacity(&self) -> Option<usize> {
+        self.cap
+    }
+
+    /// Override the ghost re-learn tolerance bin (defaults to the learn
+    /// engine's; restore paths re-supply it from config).
+    pub fn set_tolerance(&mut self, tolerance: SimDuration) {
+        self.tolerance_us = tolerance.as_micros();
+    }
+
+    fn evict_rules_over_cap(&mut self) {
+        let Some(cap) = self.cap else { return };
+        while self.rules.len() > cap {
+            // Unique stamps make the minimum unambiguous, so eviction is
+            // deterministic regardless of hash iteration order.
+            let victim = *self
+                .rules
+                .iter()
+                .min_by_key(|(_, s)| **s)
+                .expect("nonempty over-cap table")
+                .0;
+            self.rules.remove(&victim);
+            self.stamp += 1;
+            self.ghosts.insert(
+                victim,
+                Ghost {
+                    last_ts: None,
+                    last_bin: None,
+                    stamp: self.stamp,
+                },
+            );
+            self.evict_ghosts_over_cap();
+        }
+    }
+
+    fn evict_ghosts_over_cap(&mut self) {
+        let Some(cap) = self.cap else { return };
+        while self.ghosts.len() > cap {
+            let victim = *self
+                .ghosts
+                .iter()
+                .min_by_key(|(_, g)| g.stamp)
+                .expect("nonempty over-cap ghosts")
+                .0;
+            self.ghosts.remove(&victim);
+        }
+    }
+
     /// Insert a rule directly (used for the §7 DAG-style allow rules,
     /// e.g. "always allow Alexa → smart light"). Intern the key (via
     /// `FlowKey::intern`) against the same `DnsTable` later lookups use.
+    /// In bounded mode an over-cap insert evicts the least-recently-
+    /// matched rule into a ghost.
     pub fn insert(&mut self, device: u16, key: InternedFlowKey) {
-        self.rules.insert((device, key));
+        let k = (device, key);
+        self.stamp += 1;
+        self.rules.insert(k, self.stamp);
+        self.ghosts.remove(&k);
+        self.evict_rules_over_cap();
+    }
+
+    /// Restore one ghost (snapshot restore path); appended in call order,
+    /// so feeding [`RuleTable::export_ghosts`] back preserves the
+    /// eviction order.
+    pub fn insert_ghost(&mut self, g: GhostState) {
+        self.stamp += 1;
+        self.ghosts.insert(
+            (g.device, g.key),
+            Ghost {
+                last_ts: g.last_ts,
+                last_bin: g.last_bin,
+                stamp: self.stamp,
+            },
+        );
+        self.evict_ghosts_over_cap();
     }
 
     /// Empty table reporting lookup outcomes through `telemetry` — the
@@ -362,16 +552,49 @@ impl RuleTable {
     /// than re-learned (re-learning would double the bucket counters).
     pub fn with_telemetry(telemetry: RuleTelemetry) -> Self {
         RuleTable {
-            rules: HashSet::new(),
             telemetry,
+            ..RuleTable::default()
         }
     }
 
     /// Iterate the learned `(device, key)` rules, in arbitrary (hash)
     /// order. Callers that need determinism — e.g. a snapshot — must
-    /// sort after resolving the interned keys.
+    /// use [`RuleTable::export_lru`] or sort after resolving.
     pub fn iter(&self) -> impl Iterator<Item = &(u16, InternedFlowKey)> {
-        self.rules.iter()
+        self.rules.keys()
+    }
+
+    /// Live rules in LRU order, least recently matched first. Re-inserting
+    /// them in this order (as snapshot restore does) reproduces the
+    /// eviction order exactly, so a restored proxy evicts the same rules
+    /// the uninterrupted one would.
+    pub fn export_lru(&self) -> Vec<(u16, InternedFlowKey)> {
+        let mut v: Vec<(u64, (u16, InternedFlowKey))> =
+            self.rules.iter().map(|(k, s)| (*s, *k)).collect();
+        v.sort_unstable_by_key(|(s, _)| *s);
+        v.into_iter().map(|(_, k)| k).collect()
+    }
+
+    /// Evicted-rule ghosts in LRU order, least recently touched first
+    /// (same restore contract as [`RuleTable::export_lru`]).
+    pub fn export_ghosts(&self) -> Vec<GhostState> {
+        let mut v: Vec<(u64, GhostState)> = self
+            .ghosts
+            .iter()
+            .map(|(k, g)| {
+                (
+                    g.stamp,
+                    GhostState {
+                        device: k.0,
+                        key: k.1,
+                        last_ts: g.last_ts,
+                        last_bin: g.last_bin,
+                    },
+                )
+            })
+            .collect();
+        v.sort_unstable_by_key(|(s, _)| *s);
+        v.into_iter().map(|(_, g)| g).collect()
     }
 }
 
@@ -532,6 +755,125 @@ mod tests {
     #[should_panic(expected = "tolerance must be positive")]
     fn zero_tolerance_rejected() {
         let _ = PredictabilityEngine::new(FlowDef::PortLess).with_tolerance(SimDuration::ZERO);
+    }
+
+    fn key_of(size: u16, dns: &DnsTable) -> InternedFlowKey {
+        InternedFlowKey::of(FlowDef::PortLess, &pkt(0, size, 1), dns)
+    }
+
+    #[test]
+    fn hostile_key_churn_cannot_grow_table_past_cap() {
+        // The satellite-1 regression: a hostile device cycling fresh flow
+        // keys — whether through direct inserts or enforcement lookups —
+        // can never grow the bounded table (or its ghost set) past the
+        // cap.
+        let dns = DnsTable::new();
+        let eng = PredictabilityEngine::new(FlowDef::PortLess);
+        let packets: Vec<PacketRecord> = (0..10).map(|i| pkt(i * 10_000, 100, 5000)).collect();
+        let mut rules = RuleTable::learn(&eng, &packets, &dns);
+        rules.set_capacity(Some(4));
+        for i in 0..1000u64 {
+            rules.insert(0, key_of(200 + (i % 50_000) as u16, &dns));
+            assert!(rules.len() <= 4, "iteration {i}: {} rules", rules.len());
+            assert!(rules.ghost_len() <= 4, "iteration {i}");
+        }
+        let mut touched = rules.clone();
+        for i in 0..1000u64 {
+            // Fresh keys were never learned: no rule, no ghost, no growth.
+            assert!(!touched.matches_touch(
+                FlowDef::PortLess,
+                &pkt(i * 1000, 10_000 + (i % 50_000) as u16, 9),
+                &dns
+            ));
+        }
+        assert_eq!(touched.len(), rules.len());
+        assert_eq!(touched.ghost_len(), rules.ghost_len());
+    }
+
+    #[test]
+    fn evicted_rule_relearns_after_qualifying_repeat() {
+        // Eviction costs an evicted periodic flow latency (two event-path
+        // misses), never permanence: the qualifying repeat re-promotes it.
+        let dns = DnsTable::new();
+        let eng = PredictabilityEngine::new(FlowDef::PortLess);
+        let packets: Vec<PacketRecord> = (0..10).map(|i| pkt(i * 10_000, 100, 5000)).collect();
+        let mut rules = RuleTable::learn(&eng, &packets, &dns);
+        rules.set_capacity(Some(1));
+        rules.insert(0, key_of(222, &dns)); // evicts the learned rule
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules.ghost_len(), 1);
+        assert!(!rules.matches(FlowDef::PortLess, &pkt(100_000, 100, 9), &dns));
+
+        // The periodic flow resumes at its 10 s cadence: the third packet
+        // completes two equal intervals and hits again.
+        assert!(!rules.matches_touch(FlowDef::PortLess, &pkt(200_000, 100, 9), &dns));
+        assert!(!rules.matches_touch(FlowDef::PortLess, &pkt(210_000, 100, 9), &dns));
+        assert!(rules.matches_touch(FlowDef::PortLess, &pkt(220_000, 100, 9), &dns));
+        assert_eq!(rules.len(), 1, "cap still holds after re-promotion");
+        assert!(rules.matches(FlowDef::PortLess, &pkt(230_000, 100, 9), &dns));
+    }
+
+    #[test]
+    fn sub_second_repeats_never_repromote() {
+        // Same guard as bootstrap learning: a command burst repeating a
+        // 33 ms cadence must not resurrect an evicted rule.
+        let dns = DnsTable::new();
+        let eng = PredictabilityEngine::new(FlowDef::PortLess);
+        let packets: Vec<PacketRecord> = (0..10).map(|i| pkt(i * 10_000, 100, 5000)).collect();
+        let mut rules = RuleTable::learn(&eng, &packets, &dns);
+        rules.set_capacity(Some(1));
+        rules.insert(0, key_of(222, &dns));
+        for i in 0..20u64 {
+            assert!(!rules.matches_touch(FlowDef::PortLess, &pkt(200_000 + i * 33, 100, 9), &dns));
+        }
+    }
+
+    #[test]
+    fn eviction_is_least_recently_matched() {
+        let dns = DnsTable::new();
+        let eng = PredictabilityEngine::new(FlowDef::PortLess);
+        let mut packets: Vec<PacketRecord> = (0..6).map(|i| pkt(i * 10_000, 100, 5000)).collect();
+        packets.extend((0..6).map(|i| pkt(i * 10_000 + 500, 200, 5000)));
+        packets.sort_by_key(|p| p.ts);
+        let mut rules = RuleTable::learn(&eng, &packets, &dns);
+        assert_eq!(rules.len(), 2);
+        rules.set_capacity(Some(2));
+        // Touch the size-100 rule; the size-200 rule is now LRU, so the
+        // next insert evicts it and not the fresh match.
+        assert!(rules.matches_touch(FlowDef::PortLess, &pkt(70_000, 100, 9), &dns));
+        rules.insert(0, key_of(55, &dns));
+        assert!(rules.matches(FlowDef::PortLess, &pkt(80_000, 100, 9), &dns));
+        assert!(!rules.matches(FlowDef::PortLess, &pkt(80_000, 200, 9), &dns));
+    }
+
+    #[test]
+    fn export_lru_round_trips_eviction_order() {
+        let dns = DnsTable::new();
+        let (k1, k2, k3) = (key_of(11, &dns), key_of(12, &dns), key_of(13, &dns));
+        let mut rules = RuleTable::new();
+        rules.insert(0, k1);
+        rules.insert(0, k2);
+        rules.insert(0, k3);
+        rules.insert(0, k1); // refresh: k1 is now the most recent
+        assert_eq!(rules.export_lru(), vec![(0, k2), (0, k3), (0, k1)]);
+
+        // Re-inserting the export reproduces the order (restore contract).
+        let mut restored = RuleTable::new();
+        for (d, k) in rules.export_lru() {
+            restored.insert(d, k);
+        }
+        assert_eq!(restored.export_lru(), rules.export_lru());
+        restored.set_capacity(Some(2));
+        assert_eq!(restored.export_lru(), vec![(0, k3), (0, k1)]);
+        assert_eq!(
+            restored.export_ghosts(),
+            vec![GhostState {
+                device: 0,
+                key: k2,
+                last_ts: None,
+                last_bin: None
+            }]
+        );
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //!
 //! Design constraints that shape the format:
 //!
-//! - **Deterministic bytes.** Every collection is a sorted `Vec` (rules
-//!   by `(device, FlowKey)`, devices by id, replay epochs and tickets
+//! - **Deterministic bytes.** Every collection is a canonically ordered
+//!   `Vec` (rules and ghosts in LRU/stamp order — semantic state, since
+//!   eviction follows it — devices by id, replay epochs and tickets
 //!   ascending), and `DnsTable`'s own serde representation sorts by IP,
 //!   so serializing the same state twice yields identical bytes — the
 //!   property the round-trip proptest in `fiat-control` pins.
@@ -24,10 +25,18 @@
 //!   [`SNAPSHOT_VERSION`]; restore refuses anything else rather than
 //!   guessing at a foreign layout.
 //!
-//! Known v1 exclusions (documented residuals, DESIGN §17): the
+//! Known exclusions (documented residuals, DESIGN §17): the
 //! interaction graph (`FiatProxy::set_interactions`) and any installed
 //! [`crate::ProxyHook`] are not captured; homes using either must
 //! re-install them after restore.
+//!
+//! v2 (bounded-state, DESIGN §18) additions over v1: rules are emitted
+//! in LRU order (least-recently-matched first) instead of sorted, so
+//! eviction order survives the round trip; [`GhostSnapshot`]s carry the
+//! evicted-rule re-learn state; and the audit section gains
+//! [`HomeSnapshot::audit_checkpoint`] / [`HomeSnapshot::audit_truncated`]
+//! so a checkpoint-truncated chain restores verifiably from its
+//! checkpoint head rather than genesis.
 
 use crate::audit::AuditEntry;
 use crate::classifier::EventClass;
@@ -38,7 +47,7 @@ use serde::{Deserialize, Serialize};
 
 /// Current snapshot layout version. Bump on any incompatible change to
 /// the structs in this module.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Why a snapshot could not be restored.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,10 +96,14 @@ pub struct HomeSnapshot {
     pub dns: DnsTable,
     /// Bootstrap capture, when the snapshot predates rule learning.
     pub bootstrap_buffer: Vec<PacketRecord>,
-    /// Learned rules in stringly-keyed form, sorted by `(device, key)`;
-    /// `None` when bootstrap had not completed. Restored by re-interning
-    /// against the restored [`HomeSnapshot::dns`].
+    /// Learned rules in stringly-keyed form, in LRU order
+    /// (least-recently-matched first, the eviction order); `None` when
+    /// bootstrap had not completed. Restored by re-interning against the
+    /// restored [`HomeSnapshot::dns`].
     pub rules: Option<Vec<(u16, FlowKey)>>,
+    /// Evicted-rule ghosts in LRU order (re-learn candidates; empty when
+    /// no rule has been evicted or bootstrap had not completed).
+    pub rule_ghosts: Vec<GhostSnapshot>,
     /// Unknown devices already audited fail-open, sorted.
     pub unknown_seen: Vec<u16>,
     /// Per-device decision state, sorted by device id.
@@ -99,12 +112,20 @@ pub struct HomeSnapshot {
     pub released_packets: Vec<PacketRecord>,
     /// Decision counters so far.
     pub stats: ProxyStats,
-    /// Audit entries, parallel to [`HomeSnapshot::audit_hashes`].
+    /// Audit entries, parallel to [`HomeSnapshot::audit_hashes`]. When
+    /// the chain was checkpoint-truncated this is the retained suffix.
     pub audit_entries: Vec<AuditEntry>,
     /// Audit chain hashes, 32 bytes each (stored as `Vec<u8>` because
     /// the vendored serde has no fixed-array impls); restore re-verifies
     /// the chain and rejects malformed lengths.
     pub audit_hashes: Vec<Vec<u8>>,
+    /// Chain hash of the last truncated-away audit entry (32 bytes), if
+    /// the log has ever been checkpoint-truncated; the suffix verifies
+    /// from this anchor instead of genesis.
+    pub audit_checkpoint: Option<Vec<u8>>,
+    /// How many audit entries were truncated away before the retained
+    /// suffix.
+    pub audit_truncated: u64,
     /// QUIC server state (ticket issuance + epoch-keyed replay window).
     pub quic: QuicServerSnapshot,
 }
@@ -146,6 +167,20 @@ pub enum EventFateSnapshot {
     DropRest(DropReason),
     /// Verdict pending: further packets join the quarantine record.
     Quarantine,
+}
+
+/// One evicted rule's re-learn ("ghost") state, stringly keyed like
+/// [`HomeSnapshot::rules`] and re-interned on restore.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GhostSnapshot {
+    /// Device id the evicted rule belonged to.
+    pub device: u16,
+    /// The evicted rule's flow key.
+    pub key: FlowKey,
+    /// Timestamp of the last packet seen on this ghost, if any.
+    pub last_ts: Option<SimTime>,
+    /// Tolerance bin of the last observed inter-arrival, if any.
+    pub last_bin: Option<u64>,
 }
 
 /// A pending-verdict quarantine record.

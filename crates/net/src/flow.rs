@@ -157,8 +157,10 @@ pub enum RemoteId {
 /// per-packet hot path: rule-table lookups and predictability bucketing.
 /// Ids are only meaningful relative to the [`DnsTable`] that produced
 /// them; [`FlowKey`] remains the stable stringly-keyed form for
-/// serialization, audit encoding, and cross-table comparison.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// serialization, audit encoding, and cross-table comparison. Ordered
+/// (derive order) so table-wide operations — LRU stamp assignment at
+/// learn time, eviction tie-breaks — can iterate deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum InternedFlowKey {
     /// Classic 6-tuple (identical to [`FlowKey::Classic`]).
     Classic {

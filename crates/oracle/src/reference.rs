@@ -8,7 +8,10 @@
 //! shares none of its machinery:
 //!
 //! - no interned flow keys: every packet allocates a stringly
-//!   [`FlowKey`], and the rule "table" is a linear `Vec` scan;
+//!   [`FlowKey`], and the rule "table" is a linear `Vec` scan kept in
+//!   LRU order (least recently matched at the front) — the bounded-mode
+//!   eviction and ghost re-learn policies (DESIGN §18) are re-derived
+//!   here over plain `Vec`s, not imported;
 //! - no rule-table type: learning is an O(n²) bucket-and-scan rewrite
 //!   of the §2.1 heuristic, with its own hard-coded 1 s minimum rule
 //!   interval (deliberately *not* imported from `fiat_core::predict`,
@@ -16,7 +19,9 @@
 //! - no `VecDeque` lockout window: a plain `Vec` re-filtered on every
 //!   drop;
 //! - no hash chain: the audit trail is a bare `Vec<AuditEntry>` the
-//!   fuzzer compares entry-by-entry against the real log;
+//!   fuzzer compares entry-by-entry against the real log, truncated
+//!   from the front under `max_audit_entries` exactly like the real
+//!   log's checkpointed truncation (keep half, count the dropped);
 //! - no interaction-graph type: cascades recurse over a flat edge list.
 //!
 //! The only components shared with the real proxy are *inputs and
@@ -89,6 +94,18 @@ struct RefDevice {
     quarantine: Option<RefQuarantine>,
 }
 
+/// An evicted rule's re-learn state: the flow re-promotes once it
+/// repeats a qualifying interval (two consecutive inter-arrivals in the
+/// same tolerance bin, at least [`MIN_RULE_INTERVAL`] long) — the same
+/// evidence bootstrap learning demanded.
+#[derive(Debug, Clone)]
+struct RefGhost {
+    device: u16,
+    key: FlowKey,
+    last_ts: Option<SimTime>,
+    last_bin: Option<u64>,
+}
+
 /// Naive reference decision pipeline. See the module docs.
 pub struct ReferenceProxy {
     config: ProxyConfig,
@@ -96,7 +113,11 @@ pub struct ReferenceProxy {
     started_at: Option<SimTime>,
     bootstrap_buffer: Vec<PacketRecord>,
     /// `None` until the first post-bootstrap packet triggers learning.
+    /// Kept in LRU order: least recently matched at the front, so the
+    /// bounded-mode eviction victim is always `rules[0]`.
     rules: Option<Vec<(u16, FlowKey)>>,
+    /// Evicted-rule ghosts, LRU order like `rules`.
+    ghosts: Vec<RefGhost>,
     devices: BTreeMap<u16, RefDevice>,
     unknown_seen: Vec<u16>,
     human_valid_until: SimTime,
@@ -106,6 +127,8 @@ pub struct ReferenceProxy {
     interactions: Option<RefGraph>,
     stats: ProxyStats,
     audit: Vec<AuditEntry>,
+    /// Entries truncated off the front of `audit` by the cap.
+    audit_truncated: u64,
 }
 
 #[derive(Debug, Default)]
@@ -143,12 +166,14 @@ impl ReferenceProxy {
             started_at: None,
             bootstrap_buffer: Vec::new(),
             rules: None,
+            ghosts: Vec::new(),
             devices: BTreeMap::new(),
             unknown_seen: Vec::new(),
             human_valid_until: SimTime::ZERO,
             interactions: None,
             stats: ProxyStats::default(),
             audit: Vec::new(),
+            audit_truncated: 0,
         }
     }
 
@@ -220,7 +245,7 @@ impl ReferenceProxy {
                 .expect("filtered above")
                 .deadline;
             if now > deadline {
-                self.expire_quarantine(id);
+                self.expire_quarantine(id, now);
                 continue;
             }
             let dev = self.devices.get_mut(&id).expect("filtered above");
@@ -233,7 +258,7 @@ impl ReferenceProxy {
             if let Some(g) = &mut self.interactions {
                 g.authorized_at.insert(id, now);
             }
-            self.audit.push(AuditEntry {
+            self.push_audit(AuditEntry {
                 ts: now,
                 device: id,
                 class: q.class,
@@ -254,15 +279,18 @@ impl ReferenceProxy {
         }
     }
 
-    /// Demote an expired quarantine: held packets discarded, episode
-    /// credited to the lockout window at the *deadline*, audit entry
-    /// backdated likewise, and the open event (if still the quarantined
+    /// Demote an expired (or cap-demoted) quarantine: held packets
+    /// discarded, episode credited to the lockout window at
+    /// `min(now, deadline)` — the deadline itself for a lazy expiry,
+    /// the demotion time for a record-cap demotion — audit entry
+    /// stamped likewise, and the open event (if still the quarantined
     /// one) sealed as `QuarantineExpired`.
-    fn expire_quarantine(&mut self, device: u16) {
+    fn expire_quarantine(&mut self, device: u16, now: SimTime) {
         let dev = self.devices.get_mut(&device).expect("caller checked");
         let q = dev.quarantine.take().expect("caller checked");
+        let at = now.min(q.deadline);
         self.stats.quarantine_expired += q.held;
-        let locked = record_unverified_drop(&mut dev.drops, q.deadline, &self.config);
+        let locked = record_unverified_drop(&mut dev.drops, at, &self.config);
         if locked && !dev.locked {
             dev.locked = true;
         }
@@ -271,12 +299,44 @@ impl ReferenceProxy {
                 open.fate = Some(Fate::DropRest(DropReason::QuarantineExpired));
             }
         }
-        self.audit.push(AuditEntry {
-            ts: q.deadline,
+        self.push_audit(AuditEntry {
+            ts: at,
             device,
             class: q.class,
             verdict: AuditVerdict::QuarantineExpired,
         });
+    }
+
+    /// Demote the live record with the oldest deadline (ties: lowest
+    /// device id), mirroring the real proxy's record-cap enforcement.
+    fn demote_oldest_quarantine(&mut self, now: SimTime) {
+        let mut victim: Option<(SimTime, u16)> = None;
+        for (&id, d) in &self.devices {
+            if let Some(q) = &d.quarantine {
+                let cand = (q.deadline, id);
+                if victim.is_none_or(|v| cand < v) {
+                    victim = Some(cand);
+                }
+            }
+        }
+        if let Some((_, id)) = victim {
+            self.expire_quarantine(id, now);
+        }
+    }
+
+    /// Append an audit entry, enforcing `max_audit_entries` exactly like
+    /// the real log's checkpointed truncation: past the cap, drop the
+    /// oldest half in one block and count the dropped entries.
+    fn push_audit(&mut self, entry: AuditEntry) {
+        self.audit.push(entry);
+        if let Some(max) = self.config.max_audit_entries {
+            if self.audit.len() > max {
+                let keep = max / 2;
+                let drop_n = self.audit.len() - keep;
+                self.audit.drain(..drop_n);
+                self.audit_truncated += drop_n as u64;
+            }
+        }
     }
 
     /// Decision counters so far.
@@ -288,6 +348,22 @@ impl ReferenceProxy {
     /// checks the real proxy's chain separately).
     pub fn audit_entries(&self) -> &[AuditEntry] {
         &self.audit
+    }
+
+    /// Entries truncated off the front of the audit trail by the cap
+    /// (compare with the real log's `truncated()`).
+    pub fn audit_truncated(&self) -> u64 {
+        self.audit_truncated
+    }
+
+    /// Live learned-rule count (0 while bootstrap is still running).
+    pub fn rule_count(&self) -> usize {
+        self.rules.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Evicted-rule ghost count.
+    pub fn ghost_count(&self) -> usize {
+        self.ghosts.len()
     }
 
     /// Whether a device is locked out.
@@ -339,13 +415,24 @@ impl ReferenceProxy {
         if self.rules.is_none() {
             let rules = self.learn_rules();
             self.rules = Some(rules);
+            // The cap applies from the moment the table is born, exactly
+            // like the real proxy's post-learn `set_capacity`.
+            self.apply_rule_cap();
         }
 
         let key = (
             pkt.device,
             FlowKey::of(self.config.flow_def, pkt, &self.dns),
         );
-        if self.rules.as_ref().expect("rules learned").contains(&key) {
+        let rules = self.rules.as_mut().expect("rules learned");
+        if let Some(pos) = rules.iter().position(|k| *k == key) {
+            // LRU touch: a hit moves the rule to the most-recently-
+            // matched end, so `rules[0]` stays the eviction victim.
+            let k = rules.remove(pos);
+            rules.push(k);
+            return ProxyDecision::Allow(AllowReason::RuleHit);
+        }
+        if self.advance_ghost(&key, now) {
             return ProxyDecision::Allow(AllowReason::RuleHit);
         }
 
@@ -358,7 +445,7 @@ impl ReferenceProxy {
             // Fail open for unenrolled devices, audited once per device.
             if !self.unknown_seen.contains(&pkt.device) {
                 self.unknown_seen.push(pkt.device);
-                self.audit.push(AuditEntry {
+                self.push_audit(AuditEntry {
                     ts: now,
                     device: pkt.device,
                     class: EventClass::Control,
@@ -377,7 +464,7 @@ impl ReferenceProxy {
             .get(&pkt.device)
             .is_some_and(|d| d.quarantine.as_ref().is_some_and(|q| now > q.deadline))
         {
-            self.expire_quarantine(pkt.device);
+            self.expire_quarantine(pkt.device, now);
             if self.devices[&pkt.device].locked {
                 return ProxyDecision::Drop(DropReason::LockedOut);
             }
@@ -412,7 +499,13 @@ impl ReferenceProxy {
             last: now,
             fate: None,
         });
-        open.packets.push(pkt.clone());
+        // Buffer only while the verdict is pending: a sealed event's
+        // packets are never re-read, so holding them would grow memory
+        // for as long as the event stays open (the unbounded-state bug
+        // DESIGN §18 fixed).
+        if open.fate.is_none() {
+            open.packets.push(pkt.clone());
+        }
         open.last = open.last.max(now);
 
         if let Some(fate) = open.fate {
@@ -449,7 +542,7 @@ impl ReferenceProxy {
         let class = dev.classifier.classify_event(&ev, &open.packets);
         if !class.is_manual() {
             open.fate = Some(Fate::AllowRest(AllowReason::NonManual));
-            self.audit.push(AuditEntry {
+            self.push_audit(AuditEntry {
                 ts: now,
                 device: pkt.device,
                 class,
@@ -463,7 +556,7 @@ impl ReferenceProxy {
             if let Some(g) = &mut self.interactions {
                 g.authorized_at.insert(pkt.device, now);
             }
-            self.audit.push(AuditEntry {
+            self.push_audit(AuditEntry {
                 ts: now,
                 device: pkt.device,
                 class,
@@ -481,7 +574,7 @@ impl ReferenceProxy {
             if let Some(g) = &mut self.interactions {
                 g.authorized_at.insert(pkt.device, now);
             }
-            self.audit.push(AuditEntry {
+            self.push_audit(AuditEntry {
                 ts: now,
                 device: pkt.device,
                 class,
@@ -496,12 +589,28 @@ impl ReferenceProxy {
         // the same device demotes immediately — one record per device.
         if let Some(dl) = self.config.proof_deadline {
             if !quarantine_pending {
-                open.fate = Some(Fate::Quarantine);
+                // Home-wide record cap: admitting this record past it
+                // demotes the oldest-deadline record first, before the
+                // new record joins (mirrors the real proxy's ordering).
+                if let Some(cap) = self.config.max_quarantine_records {
+                    let live = self
+                        .devices
+                        .values()
+                        .filter(|d| d.quarantine.is_some())
+                        .count();
+                    if live >= cap.max(1) {
+                        self.demote_oldest_quarantine(now);
+                    }
+                }
+                let dev = self.devices.get_mut(&pkt.device).expect("checked above");
                 dev.quarantine = Some(RefQuarantine {
                     held: 1,
                     class,
                     deadline: now + dl,
                 });
+                if let Some(open) = &mut dev.open {
+                    open.fate = Some(Fate::Quarantine);
+                }
                 return ProxyDecision::Quarantine;
             }
         }
@@ -511,7 +620,7 @@ impl ReferenceProxy {
         if locked {
             dev.locked = true;
         }
-        self.audit.push(AuditEntry {
+        self.push_audit(AuditEntry {
             ts: now,
             device: pkt.device,
             class,
@@ -537,7 +646,7 @@ impl ReferenceProxy {
                 .as_ref()
                 .is_some_and(|q| now > q.deadline)
             {
-                self.expire_quarantine(id);
+                self.expire_quarantine(id, now);
             }
             let dev = self.devices.get_mut(&id).expect("id from keys()");
             let stale = if dev.open.as_ref().is_some_and(|e| now - e.last >= gap) {
@@ -569,7 +678,7 @@ impl ReferenceProxy {
         let dev = self.devices.get_mut(&device).expect("caller checked");
         let class = dev.classifier.classify_event(&ev, &event.packets);
         if !class.is_manual() {
-            self.audit.push(AuditEntry {
+            self.push_audit(AuditEntry {
                 ts: end,
                 device,
                 class,
@@ -583,7 +692,7 @@ impl ReferenceProxy {
                 .as_ref()
                 .is_some_and(|g| g.cascade_covers(device, end));
         if vouched {
-            self.audit.push(AuditEntry {
+            self.push_audit(AuditEntry {
                 ts: end,
                 device,
                 class,
@@ -596,7 +705,7 @@ impl ReferenceProxy {
         if locked && !dev.locked {
             dev.locked = true;
         }
-        self.audit.push(AuditEntry {
+        self.push_audit(AuditEntry {
             ts: end,
             device,
             class,
@@ -614,7 +723,9 @@ impl ReferenceProxy {
     /// is its representative), and keep buckets where some bin repeats
     /// (≥ 2 pairs) with a representative of at least
     /// [`MIN_RULE_INTERVAL`]. Out-of-order arrivals saturate to a zero
-    /// interval, which can never found a rule.
+    /// interval, which can never found a rule. Qualifying buckets are
+    /// returned sorted by (last packet seen, key), so the newborn table
+    /// is already in LRU order — least recently seen flow at the front.
     fn learn_rules(&self) -> Vec<(u16, FlowKey)> {
         let mut buckets: Vec<((u16, FlowKey), Vec<SimTime>)> = Vec::new();
         for p in &self.bootstrap_buffer {
@@ -625,7 +736,7 @@ impl ReferenceProxy {
             }
         }
         let tol = self.config.tolerance.as_micros().max(1);
-        let mut rules = Vec::new();
+        let mut qualifying: Vec<(SimTime, (u16, FlowKey))> = Vec::new();
         for (key, times) in buckets {
             // (bin, representative interval, pair count)
             let mut bins: Vec<(u64, SimDuration, u32)> = Vec::new();
@@ -641,10 +752,74 @@ impl ReferenceProxy {
                 .iter()
                 .any(|&(_, iv, n)| n >= 2 && iv >= MIN_RULE_INTERVAL)
             {
-                rules.push(key);
+                qualifying.push((*times.last().expect("bucket nonempty"), key));
             }
         }
-        rules
+        qualifying.sort();
+        qualifying.into_iter().map(|(_, key)| key).collect()
+    }
+
+    /// Advance the re-learn pattern of an evicted rule. Every touch
+    /// refreshes the ghost's LRU position; two consecutive
+    /// inter-arrivals in the same tolerance bin, at least
+    /// [`MIN_RULE_INTERVAL`] apart, promote the ghost back into the
+    /// rule table — and the promoting packet itself counts as a hit.
+    fn advance_ghost(&mut self, key: &(u16, FlowKey), now: SimTime) -> bool {
+        let Some(pos) = self
+            .ghosts
+            .iter()
+            .position(|g| g.device == key.0 && g.key == key.1)
+        else {
+            return false;
+        };
+        let mut g = self.ghosts.remove(pos);
+        let mut promote = false;
+        if let Some(prev) = g.last_ts {
+            let iv = now - prev;
+            let bin = iv.as_micros() / self.config.tolerance.as_micros().max(1);
+            promote = g.last_bin == Some(bin) && iv >= MIN_RULE_INTERVAL;
+            g.last_bin = Some(bin);
+        }
+        g.last_ts = Some(now);
+        if promote {
+            self.insert_rule(key.0, key.1.clone());
+        } else {
+            self.ghosts.push(g);
+        }
+        promote
+    }
+
+    /// Insert (or refresh) a rule at the most-recently-matched end,
+    /// dropping any ghost for the same key, then enforce the cap.
+    fn insert_rule(&mut self, device: u16, key: FlowKey) {
+        self.ghosts
+            .retain(|g| !(g.device == device && g.key == key));
+        let rules = self.rules.as_mut().expect("rules learned");
+        rules.retain(|k| !(k.0 == device && k.1 == key));
+        rules.push((device, key));
+        self.apply_rule_cap();
+    }
+
+    /// Evict least-recently-matched rules (the front of the `Vec`) into
+    /// ghosts until the table fits `max_rules`; the ghost list obeys the
+    /// same cap, dropping its own least-recently-touched entries.
+    fn apply_rule_cap(&mut self) {
+        let Some(cap) = self.config.max_rules else {
+            return;
+        };
+        let rules = self.rules.as_mut().expect("rules learned");
+        while rules.len() > cap {
+            let (device, key) = rules.remove(0);
+            self.ghosts.push(RefGhost {
+                device,
+                key,
+                last_ts: None,
+                last_bin: None,
+            });
+            while self.ghosts.len() > cap {
+                self.ghosts.remove(0);
+            }
+        }
     }
 }
 

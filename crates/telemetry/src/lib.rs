@@ -22,6 +22,8 @@
 //!   counters for the `fiat-chaos` fault-injection harness.
 //! - [`ControlMetrics`] — enrollment, epoch-rotation, snapshot, and
 //!   degraded-mode counters for the `fiat-control` control plane.
+//! - [`StateMetrics`] — bounded-state gauges + high-water marks
+//!   (`fiat_state_*`) for the long-horizon soak's per-home accountant.
 //!
 //! ```
 //! use fiat_telemetry::{ManualClock, MetricRegistry, Span};
@@ -48,6 +50,7 @@ pub mod journal;
 pub mod metrics;
 pub mod oracle;
 pub mod span;
+pub mod state;
 
 pub use attack::AttackMetrics;
 pub use chaos::ChaosMetrics;
@@ -58,3 +61,4 @@ pub use journal::Journal;
 pub use metrics::{Counter, Gauge, Histogram, MetricRegistry, NUM_BUCKETS};
 pub use oracle::OracleMetrics;
 pub use span::Span;
+pub use state::{StateMetrics, StatePair};

@@ -1,0 +1,143 @@
+//! Bounded-state gauges for the long-horizon soak (`fiat-chaos`).
+//!
+//! The proxy is designed to run for months on a home gateway, so every
+//! state machine it owns must have a provable ceiling. This module gives
+//! the state-size accountant a first-class metric family — one current
+//! gauge and one high-water-mark gauge per bounded surface:
+//!
+//! - `fiat_state_rules` / `fiat_state_rules_hwm` — live rule-table
+//!   entries (capped by LRU eviction).
+//! - `fiat_state_quarantine_records` / `_hwm` — concurrent
+//!   pending-verdict quarantine records (capped by oldest-deadline-first
+//!   demotion).
+//! - `fiat_state_quarantine_held` / `_hwm` — packets held across all
+//!   quarantine records.
+//! - `fiat_state_audit_entries` / `_hwm` — in-memory audit chain length
+//!   (capped by checkpointed truncation).
+//!
+//! In a fleet these are sampled per home and the registry keeps the max
+//! across homes via [`crate::Gauge::set_max`], so the exported value is
+//! "worst home in the fleet" — the number the memory budget must cover.
+
+use crate::metrics::{Gauge, MetricRegistry};
+
+/// Metric name for live rule-table entries.
+pub const STATE_RULES: &str = "fiat_state_rules";
+/// Metric name for concurrent quarantine records.
+pub const STATE_QUARANTINE_RECORDS: &str = "fiat_state_quarantine_records";
+/// Metric name for packets held across quarantine records.
+pub const STATE_QUARANTINE_HELD: &str = "fiat_state_quarantine_held";
+/// Metric name for in-memory audit chain length.
+pub const STATE_AUDIT_ENTRIES: &str = "fiat_state_audit_entries";
+
+/// One current/high-water gauge pair.
+#[derive(Debug, Clone)]
+pub struct StatePair {
+    current: Gauge,
+    hwm: Gauge,
+}
+
+impl StatePair {
+    fn new(registry: &MetricRegistry, name: &str, help: &str) -> Self {
+        let hwm_name = format!("{name}_hwm");
+        registry.describe(name, help);
+        registry.describe(&hwm_name, &format!("High-water mark of {name}."));
+        Self {
+            current: registry.gauge(name, &[]),
+            hwm: registry.gauge(&hwm_name, &[]),
+        }
+    }
+
+    /// Record a sample: sets the current gauge, raises the high-water
+    /// mark if exceeded.
+    pub fn sample(&self, v: i64) {
+        self.current.set(v);
+        self.hwm.set_max(v);
+    }
+
+    /// Current value.
+    pub fn current(&self) -> i64 {
+        self.current.get()
+    }
+
+    /// High-water mark so far.
+    pub fn high_water(&self) -> i64 {
+        self.hwm.get()
+    }
+}
+
+/// Handle bundle for the per-home bounded-state accountant.
+#[derive(Debug, Clone)]
+pub struct StateMetrics {
+    /// Live rule-table entries.
+    pub rules: StatePair,
+    /// Concurrent pending-verdict quarantine records.
+    pub quarantine_records: StatePair,
+    /// Packets held across all quarantine records.
+    pub quarantine_held: StatePair,
+    /// In-memory audit chain length.
+    pub audit_entries: StatePair,
+}
+
+impl StateMetrics {
+    /// Register descriptions and resolve all gauge pairs.
+    pub fn new(registry: &MetricRegistry) -> Self {
+        Self {
+            rules: StatePair::new(
+                registry,
+                STATE_RULES,
+                "Live rule-table entries (LRU-capped).",
+            ),
+            quarantine_records: StatePair::new(
+                registry,
+                STATE_QUARANTINE_RECORDS,
+                "Concurrent pending-verdict quarantine records (demotion-capped).",
+            ),
+            quarantine_held: StatePair::new(
+                registry,
+                STATE_QUARANTINE_HELD,
+                "Packets held across all quarantine records.",
+            ),
+            audit_entries: StatePair::new(
+                registry,
+                STATE_AUDIT_ENTRIES,
+                "In-memory audit chain length (truncation-capped).",
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_track_current_and_high_water() {
+        let registry = MetricRegistry::new();
+        let m = StateMetrics::new(&registry);
+        m.rules.sample(10);
+        m.rules.sample(40);
+        m.rules.sample(7);
+        assert_eq!(m.rules.current(), 7);
+        assert_eq!(m.rules.high_water(), 40);
+
+        m.quarantine_held.sample(3);
+        assert_eq!(m.quarantine_held.high_water(), 3);
+
+        let text = registry.render_prometheus();
+        assert!(text.contains("fiat_state_rules 7"));
+        assert!(text.contains("fiat_state_rules_hwm 40"));
+        assert!(text.contains("fiat_state_quarantine_held 3"));
+        assert!(text.contains("fiat_state_audit_entries 0"));
+    }
+
+    #[test]
+    fn gauge_set_max_never_lowers() {
+        let g = Gauge::new();
+        g.set_max(5);
+        g.set_max(3);
+        assert_eq!(g.get(), 5);
+        g.set_max(9);
+        assert_eq!(g.get(), 9);
+    }
+}
