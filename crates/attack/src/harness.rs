@@ -31,12 +31,13 @@ use crate::scorecard::{AttackOutcome, AttackVerdict};
 use crate::strategies::{AttackAction, AttackStrategy, Recon};
 use fiat_core::audit::{verify_chain, AuditEntry, AuditVerdict};
 use fiat_core::{AllowReason, EventClassifier, FiatApp, FiatProxy, ProxyConfig, ProxyDecision};
+use fiat_fingerprint::{FingerprintEngine, MatcherConfig, SignatureSet};
 use fiat_net::{PacketRecord, SimDuration, SimTime, Trace};
 use fiat_quic::ZeroRttPacket;
 use fiat_sensors::{HumannessValidator, ImuTrace, MotionKind};
 use fiat_simnet::{InterceptQueue, Verdict};
 use fiat_telemetry::AttackMetrics;
-use fiat_trace::{testbed_devices, DeviceModel, Location};
+use fiat_trace::{fingerprint_corpus, testbed_devices, DeviceModel, Location};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -105,7 +106,20 @@ pub fn run_attack(
         EventClassifier::simple_rule(command_size),
         dev.min_packets_to_complete,
     );
-    proxy.set_dns(trace.dns.clone());
+    // Strategies that switch on the fingerprint gate get a trained
+    // engine, with the training corpus's DNS vocabulary merged so
+    // claimed classes resolve.
+    let mut dns = trace.dns.clone();
+    if proxy_config.fingerprint_unknown {
+        let corpus = fingerprint_corpus(config.seed);
+        for (_, t) in &corpus {
+            dns.merge(&t.dns);
+        }
+        let matcher = MatcherConfig::default();
+        let sigs = SignatureSet::learn(&corpus, matcher.evidence_window);
+        proxy.set_fingerprinter(Box::new(FingerprintEngine::new(sigs, matcher)));
+    }
+    proxy.set_dns(dns);
     proxy.start(SimTime::ZERO);
 
     // --- The paired app: handshake during bootstrap, one 0-RTT
@@ -352,6 +366,17 @@ pub fn run_attack(
         detected = !verify_chain(&entries, &hashes);
     }
 
+    // The fingerprint gate's sealed quarantine/spoof verdicts are
+    // detection evidence: on an N = 1 device the single command may slip
+    // through the provisional evidence window, but the spoofer is
+    // flagged in the audit trail and every later packet drops.
+    let fingerprint_flagged = proxy.audit().entries().iter().any(|e| {
+        matches!(
+            e.verdict,
+            AuditVerdict::SpoofSuspected | AuditVerdict::UnknownQuarantined
+        )
+    });
+
     let stats = proxy.stats();
     let verdict = if tamper {
         if detected {
@@ -360,7 +385,11 @@ pub fn run_attack(
             AttackVerdict::Allowed
         }
     } else if completed || replay_opened_window {
-        AttackVerdict::Allowed
+        if fingerprint_flagged {
+            AttackVerdict::Detected
+        } else {
+            AttackVerdict::Allowed
+        }
     } else {
         AttackVerdict::Blocked
     };

@@ -23,6 +23,13 @@
 //! | `gap-evasion`  | retrospective classification          | blocked  |
 //! | `audit-tamper` | hash-chained audit log                | detected |
 //! | `quarantine-probe` | pending-verdict quarantine        | blocked  |
+//! | `device-spoofing` | behavioral fingerprint gate        | blocked† |
+//!
+//! † `detected` on an N = 1 device: the single command packet slips
+//! through the gate's provisional evidence window, but the spoofer is
+//! flagged in the audit trail and permanently quarantined. Run with
+//! `DeviceSpoofing { gate: false }` the same strategy is the *negative
+//! control* for the legacy unknown-MAC fail-open and scores `allowed`.
 //!
 //! \* `allowed` rows are *documented residual risks*, not bugs: an
 //! on-LAN attacker who can spoof the device's address can ride any
@@ -43,9 +50,9 @@ pub mod strategies;
 pub use harness::{run_attack, RunConfig};
 pub use scorecard::{AttackOutcome, AttackVerdict, Scorecard};
 pub use strategies::{
-    standard_strategies, AttackAction, AttackStrategy, AuditTamper, BucketMimicry, GapEvasion,
-    LockoutProbe, QuarantineProbe, Recon, ReplayAttack, RulePoisonFast, RulePoisonSlow,
-    StaleEpochReplay,
+    standard_strategies, AttackAction, AttackStrategy, AuditTamper, BucketMimicry, DeviceSpoofing,
+    GapEvasion, LockoutProbe, QuarantineProbe, Recon, ReplayAttack, RulePoisonFast, RulePoisonSlow,
+    StaleEpochReplay, SPOOFED_DEVICE,
 };
 
 #[cfg(test)]
@@ -211,6 +218,43 @@ mod tests {
     fn audit_tampering_is_detected_by_the_chain() {
         let o = run(&AuditTamper, PLUG);
         assert_eq!(o.verdict, AttackVerdict::Detected);
+    }
+
+    #[test]
+    fn device_spoofing_rides_the_fail_open_with_the_gate_off() {
+        // Negative control: the legacy unknown-MAC fail-open delivers
+        // every spoofed packet and the command completes unchallenged.
+        let o = run(&DeviceSpoofing { gate: false }, CAMERA);
+        assert_eq!(o.verdict, AttackVerdict::Allowed);
+        assert!(o.completed);
+        assert_eq!(o.dropped, 0, "fail-open must not drop anything");
+    }
+
+    #[test]
+    fn device_spoofing_is_quarantined_when_the_gate_is_on() {
+        // The behavioral gate seals a verdict inside the evidence window
+        // (24 packets, below the camera's N = 41), so the command never
+        // completes and the stream is cut mid-flight.
+        let o = run(&DeviceSpoofing { gate: true }, CAMERA);
+        assert_eq!(o.verdict, AttackVerdict::Blocked);
+        assert!(!o.completed);
+        assert!(o.dropped > 0, "sealed quarantine must drop the stream");
+        assert!(o.time_to_block_ms.is_some());
+        // The provisional window is bounded: at most window-1 spoofed
+        // packets ever reached the home.
+        assert!(o.delivered < 41, "provisional window leaked a command");
+    }
+
+    #[test]
+    fn device_spoofing_against_an_n1_device_is_detected() {
+        // SP10 completes on a single packet, which fits inside the
+        // provisional evidence window — but the gate still seals a
+        // quarantine, flags the spoofer in the audit trail, and drops
+        // everything after the verdict.
+        let o = run(&DeviceSpoofing { gate: true }, PLUG);
+        assert_eq!(o.verdict, AttackVerdict::Detected);
+        assert!(o.completed, "N = 1 slips the provisional window");
+        assert!(o.dropped > 0, "post-seal traffic must still drop");
     }
 
     #[test]

@@ -474,6 +474,66 @@ impl AttackStrategy for QuarantineProbe {
     }
 }
 
+/// Device id the spoofing attacker's unknown MAC maps to (any id the
+/// testbed does not register).
+pub const SPOOFED_DEVICE: u16 = 999;
+
+/// Device spoofing: a rogue device joins the LAN under an *unregistered*
+/// MAC, points its traffic at the target's cloud relay (the address-level
+/// half of an impersonation — everything a MAC/DNS spoofer controls), and
+/// pumps command traffic at the home. Its wire behavior is its own TLS
+/// stack's, not the claimed device class's, which it cannot fake.
+///
+/// With `gate: false` this is the negative control for the legacy
+/// unknown-MAC fail-open: every packet rides `AllowReason::UnknownDevice`
+/// and the command completes (`allowed`). With `gate: true` the run
+/// enables `ProxyConfig::fingerprint_unknown`: the behavioral gate
+/// accumulates its bounded evidence window and quarantines the device —
+/// `blocked` outright, or `detected` on an N=1 target whose single
+/// command slipped through the provisional window before the verdict
+/// sealed (the audit carries the quarantine/spoof entry either way).
+pub struct DeviceSpoofing {
+    /// Whether the run switches the fingerprint gate on.
+    pub gate: bool,
+}
+
+impl AttackStrategy for DeviceSpoofing {
+    fn name(&self) -> &'static str {
+        "device-spoofing"
+    }
+    fn defense(&self) -> &'static str {
+        "behavioral fingerprint gate (unknown-MAC quarantine)"
+    }
+    fn config(&self, base: ProxyConfig) -> ProxyConfig {
+        ProxyConfig {
+            fingerprint_unknown: self.gate,
+            ..base
+        }
+    }
+    fn plan(&self, recon: &Recon, rng: &mut StdRng) -> Vec<AttackAction> {
+        // Two sustained pushes: the first outlives any plausible
+        // evidence window (so the verdict seals mid-stream), the second
+        // starts a minute later and must land on the *cached* sealed
+        // verdict. Sizes are the attacker stack's own (~1 KiB frames),
+        // not the device class's distinctive command size.
+        let mut actions = Vec::new();
+        let mut push = |start: SimTime, count: usize, rng: &mut StdRng| {
+            let mut t = start;
+            for i in 0..count {
+                let mut p = recon.command_packet(t);
+                p.device = SPOOFED_DEVICE;
+                p.local_ip = Ipv4Addr::new(192, 168, 1, 199);
+                p.size = if i % 2 == 0 { 999 } else { 1001 };
+                actions.push(AttackAction::Inject(p));
+                t += SimDuration::from_micros(rng.gen_range(120_000..180_000));
+            }
+        };
+        push(recon.attack_start, 60, rng);
+        push(recon.attack_start + SimDuration::from_secs(60), 20, rng);
+        actions
+    }
+}
+
 /// The standard red-team panel, in scorecard order.
 pub fn standard_strategies() -> Vec<Box<dyn AttackStrategy>> {
     vec![
@@ -486,6 +546,7 @@ pub fn standard_strategies() -> Vec<Box<dyn AttackStrategy>> {
         Box::new(GapEvasion),
         Box::new(AuditTamper),
         Box::new(QuarantineProbe),
+        Box::new(DeviceSpoofing { gate: true }),
     ]
 }
 

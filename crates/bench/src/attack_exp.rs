@@ -73,10 +73,23 @@ pub fn attack_text(seed: u64, quick: bool, registry: Option<&MetricRegistry>) ->
         ok = false;
         out.push_str("POSTURE REGRESSION: audit-tamper went undetected\n");
     }
+    // Device spoofing is blocked on first-N devices and detected on
+    // N = 1 devices (the command slips the provisional window but the
+    // spoofer is flagged and quarantined) — what must never happen with
+    // the gate on is a clean `allowed`.
+    if card
+        .outcomes()
+        .iter()
+        .any(|o| o.strategy == "device-spoofing" && o.verdict == AttackVerdict::Allowed)
+    {
+        ok = false;
+        out.push_str("POSTURE REGRESSION: device-spoofing went unchallenged\n");
+    }
     if ok {
         out.push_str(
             "posture: PASS (replay, stale-epoch-replay, poison-fast, lockout-probe, \
-             gap-evasion, quarantine-probe blocked; audit-tamper detected)\n",
+             gap-evasion, quarantine-probe blocked; audit-tamper detected; \
+             device-spoofing never allowed)\n",
         );
     }
     out
@@ -89,8 +102,8 @@ mod tests {
     #[test]
     fn quick_scorecard_holds_the_security_posture() {
         let card = attack_scorecard(42, true, None);
-        // 9 strategies x 2 devices.
-        assert_eq!(card.outcomes().len(), 18);
+        // 10 strategies x 2 devices.
+        assert_eq!(card.outcomes().len(), 20);
         assert!(card.all_scored("replay", AttackVerdict::Blocked));
         assert!(card.all_scored("stale-epoch-replay", AttackVerdict::Blocked));
         assert!(card.all_scored("poison-fast", AttackVerdict::Blocked));
@@ -98,6 +111,15 @@ mod tests {
         assert!(card.all_scored("gap-evasion", AttackVerdict::Blocked));
         assert!(card.all_scored("quarantine-probe", AttackVerdict::Blocked));
         assert!(card.all_scored("audit-tamper", AttackVerdict::Detected));
+        // device-spoofing is mixed (Blocked on the camera, Detected on
+        // the N = 1 plug) but must never score a clean Allowed.
+        let spoof: Vec<_> = card
+            .outcomes()
+            .iter()
+            .filter(|o| o.strategy == "device-spoofing")
+            .collect();
+        assert_eq!(spoof.len(), 2);
+        assert!(spoof.iter().all(|o| o.verdict != AttackVerdict::Allowed));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! experiments fleet [--homes H] [--shards T] [--full]  # sharded multi-home throughput sweep
 //! experiments profile [--quick|--full]  # shard-scaling profile: per-stage breakdown + bottleneck
 //! experiments attack [--quick]    # adversarial red-team scorecard
+//! experiments fingerprint [--quick] # behavioral unknown-device gate: accuracy, spoofs, flip
 //! experiments oracle [--quick]    # differential decision oracle vs naive reference
 //! experiments chaos [--quick]     # chaos soak: fault injection vs graceful degradation
 //! experiments control [--quick]   # control plane: enrollment, epoch lifecycle, outage, rebalance
@@ -42,8 +43,8 @@
 
 use fiat_bench::ml_tables::ModelKind;
 use fiat_bench::{
-    attack_exp, bench_log, chaos_exp, control_exp, fig1, fig2, fleet_exp, ml_tables, oracle_exp,
-    profile_exp, soak_exp, table6, table7, tolerance,
+    attack_exp, bench_log, chaos_exp, control_exp, fig1, fig2, fingerprint_exp, fleet_exp,
+    ml_tables, oracle_exp, profile_exp, soak_exp, table6, table7, tolerance,
 };
 use fiat_core::ErrorModel;
 use fiat_telemetry::{MetricRegistry, Span, WallClock};
@@ -274,6 +275,7 @@ fn run_one(name: &str, args: &Args, registry: &MetricRegistry) -> Option<String>
             outcome.text
         }
         "attack" => attack_exp::attack_text(seed, args.quick, Some(registry)),
+        "fingerprint" => fingerprint_exp::fingerprint_text(seed, args.quick, Some(registry)),
         "oracle" => oracle_exp::oracle_text(seed, args.quick, Some(registry)),
         "chaos" => chaos_exp::chaos_text(seed, args.quick, Some(registry)),
         "control" => control_exp::control_text(seed, args.quick, Some(registry)),
@@ -284,7 +286,7 @@ fn run_one(name: &str, args: &Args, registry: &MetricRegistry) -> Option<String>
     Some(text)
 }
 
-const ALL: [&str; 18] = [
+const ALL: [&str; 19] = [
     "fig1a",
     "fig1b",
     "fig1c",
@@ -300,6 +302,7 @@ const ALL: [&str; 18] = [
     "tolerance",
     "appendixa",
     "attack",
+    "fingerprint",
     "oracle",
     "chaos",
     "control",

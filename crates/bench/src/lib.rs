@@ -11,6 +11,7 @@ pub mod control_exp;
 pub mod corpus;
 pub mod fig1;
 pub mod fig2;
+pub mod fingerprint_exp;
 pub mod fleet_exp;
 pub mod ml_tables;
 pub mod oracle_exp;

@@ -45,11 +45,13 @@ use fiat_core::{
     EventClassifier, FiatApp, FiatProxy, HomeSnapshot, ProxyConfig, ProxyDecision, ProxyStats,
     StateSize,
 };
+use fiat_fingerprint::{FingerprintEngine, MatcherConfig, SignatureSet};
 use fiat_net::{
     Direction, PacketRecord, SimDuration, SimTime, TcpFlags, TlsVersion, TrafficClass, Transport,
 };
 use fiat_sensors::{HumannessValidator, ImuTrace, MotionKind};
 use fiat_telemetry::{ManualClock, MetricRegistry, StateMetrics};
+use fiat_trace::fingerprint_corpus;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -116,7 +118,10 @@ impl LongSoakConfig {
     }
 
     /// The proxy configuration this leg runs: generous-but-finite caps,
-    /// or none at all for the negative control.
+    /// or none at all for the negative control. The fingerprint gate is
+    /// on in both legs — its evidence state is FIFO-capped by
+    /// construction ([`soak_matcher`]), so it rides inside the budget
+    /// rather than being one of the caps the negative control disables.
     pub fn proxy_config(&self) -> ProxyConfig {
         ProxyConfig {
             bootstrap: SimDuration::from_mins(10),
@@ -124,8 +129,20 @@ impl LongSoakConfig {
             max_rules: if self.capped { Some(8) } else { None },
             max_quarantine_records: if self.capped { Some(4) } else { None },
             max_audit_entries: if self.capped { Some(128) } else { None },
+            fingerprint_unknown: true,
             ..Default::default()
         }
+    }
+}
+
+/// Matcher caps for the soak's gate: at most 8 open evidence windows and
+/// 16 cached verdicts, so `StateSize::fingerprint_evidence` contributes
+/// a hard ≤ 24 entries to the budget no matter how many strangers visit.
+fn soak_matcher() -> MatcherConfig {
+    MatcherConfig {
+        max_tracked: 8,
+        max_sealed: 16,
+        ..MatcherConfig::default()
     }
 }
 
@@ -190,6 +207,9 @@ enum Act {
 pub struct HomeSim {
     cfg: LongSoakConfig,
     config: ProxyConfig,
+    /// Trained fingerprint signatures, kept to rebuild the shadow's gate
+    /// on restore (engine state is deliberately not snapshotted).
+    sigs: SignatureSet,
     proxy: FiatProxy,
     /// Restored twin driven in lockstep after [`HomeSim::begin_shadow`].
     shadow: Option<FiatProxy>,
@@ -219,8 +239,9 @@ fn perfect_validator() -> HumannessValidator {
 }
 
 impl HomeSim {
-    /// Build one home and complete its first handshake.
-    pub fn new(cfg: &LongSoakConfig, home: u32) -> Self {
+    /// Build one home and complete its first handshake. `sigs` is the
+    /// fleet-shared trained signature set for the fingerprint gate.
+    pub fn new(cfg: &LongSoakConfig, home: u32, sigs: &SignatureSet) -> Self {
         let config = cfg.proxy_config();
         let mut proxy = FiatProxy::with_telemetry(
             config.clone(),
@@ -233,6 +254,10 @@ impl HomeSim {
         for dev in 0u16..8 {
             proxy.register_device(dev, EventClassifier::simple_rule(MANUAL_SIZE), 1);
         }
+        proxy.set_fingerprinter(Box::new(FingerprintEngine::new(
+            sigs.clone(),
+            soak_matcher(),
+        )));
         proxy.start(SimTime::ZERO);
         let mut app = FiatApp::new(&SECRET, cfg.seed ^ u64::from(home).wrapping_mul(0x9e37));
         let ch = app.handshake_request();
@@ -242,6 +267,7 @@ impl HomeSim {
         HomeSim {
             cfg: *cfg,
             config,
+            sigs: sigs.clone(),
             proxy,
             shadow: None,
             app,
@@ -394,9 +420,34 @@ impl HomeSim {
             self.manual_events += 1;
         }
 
-        // Mid-storm sample (records at their concurrent peak) plus the
-        // end-of-day sample taken by `run_day` after the flush.
+        // Strangers (ids from 100, unique per day so the snapshot-replay
+        // leg never re-queries a pre-snapshot sealed verdict): three
+        // unknown devices a day, each bursting exactly one evidence
+        // window so its verdict seals before midnight. They keep the
+        // fingerprint gate's tracked/sealed FIFOs under daily churn for
+        // the whole soak; their quarantine drops are not false drops.
+        for v in 0..3u16 {
+            let vid = 100 + day as u16 * 3 + v;
+            for p in 0..24u64 {
+                let t = at((15 + u64::from(v)) * 3_600 + p * 40);
+                acts.push((
+                    t,
+                    Act::Pkt(Self::pkt(
+                        t,
+                        vid,
+                        1_400 + v * 7,
+                        8443,
+                        TrafficClass::Control,
+                    )),
+                ));
+            }
+        }
+
+        // Mid-storm sample (records at their concurrent peak), a
+        // mid-stranger-burst sample (open evidence windows live), plus
+        // the end-of-day sample taken by `run_day` after the flush.
         acts.push((at(43_206), Act::Sample));
+        acts.push((at(15 * 3_600 + 490), Act::Sample));
 
         acts.sort_by_key(|&(t, _)| t);
         acts
@@ -424,7 +475,16 @@ impl HomeSim {
             &parsed,
             |_| EventClassifier::simple_rule(MANUAL_SIZE),
         ) {
-            Ok(p) => {
+            Ok(mut p) => {
+                // The gate is not part of the snapshot; the restored twin
+                // gets a fresh engine. Lockstep still holds because every
+                // stranger's ids are day-unique and its window seals
+                // within the day: verdicts cached before the snapshot are
+                // never queried again after it.
+                p.set_fingerprinter(Box::new(FingerprintEngine::new(
+                    self.sigs.clone(),
+                    soak_matcher(),
+                )));
                 self.shadow = Some(p);
                 true
             }
@@ -555,8 +615,15 @@ pub fn run_long_soak(cfg: &LongSoakConfig, metrics: Option<&StateMetrics>) -> Lo
         replay_state_mismatches: 0,
         stats: ProxyStats::default(),
     };
+    // One trained signature set for the whole fleet: training is per
+    // deployment, not per home, and sharing keeps the 500-home smoke off
+    // the corpus generator's hot path.
+    let sigs = SignatureSet::learn(
+        &fingerprint_corpus(cfg.seed ^ 0xf1a7),
+        soak_matcher().evidence_window,
+    );
     for home in 0..cfg.homes {
-        let mut sim = HomeSim::new(cfg, home);
+        let mut sim = HomeSim::new(cfg, home, &sigs);
         let replay = cfg.replay_every > 0 && home % cfg.replay_every == 0 && cfg.days > 1;
         for day in 0..cfg.days {
             if replay && day == cfg.days / 2 {
@@ -638,6 +705,14 @@ mod tests {
         );
         assert!(report.replay_checked > 0, "replay leg skipped: {report:?}");
         assert!(report.proofs_delivered > 0);
+        // The fingerprint gate ran under the budget: stranger evidence
+        // was live at some sample, and never past its FIFO caps (8
+        // tracked + 16 sealed).
+        assert!(
+            report.hwm.fingerprint_evidence > 0,
+            "gate never held evidence: {report:?}"
+        );
+        assert!(report.hwm.fingerprint_evidence <= 24, "{report:?}");
     }
 
     #[test]

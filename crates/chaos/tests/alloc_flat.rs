@@ -9,7 +9,9 @@
 //! table) even if the accountant's element counts look flat.
 
 use fiat_chaos::{HomeSim, LongSoakConfig};
+use fiat_fingerprint::{MatcherConfig, SignatureSet};
 use fiat_probe::{AllocScope, CountingAllocator};
+use fiat_trace::fingerprint_corpus;
 
 #[global_allocator]
 static ALLOC: CountingAllocator = CountingAllocator;
@@ -22,7 +24,11 @@ fn capped_home_allocates_flat_per_day_in_steady_state() {
         replay_every: 0,
         ..LongSoakConfig::quick(11)
     };
-    let mut sim = HomeSim::new(&cfg, 0);
+    let sigs = SignatureSet::learn(
+        &fingerprint_corpus(cfg.seed ^ 0xf1a7),
+        MatcherConfig::default().evidence_window,
+    );
+    let mut sim = HomeSim::new(&cfg, 0, &sigs);
     let mut sink = |_s| {};
 
     // Day 0 bootstraps and learns; days 1..=5 settle eviction, ghost,

@@ -57,6 +57,16 @@ pub enum AuditVerdict {
     DegradedModeEntered,
     /// The control plane came back; the proxy left degraded mode.
     DegradedModeExited,
+    /// An unknown device's traffic behaviorally matched its claimed
+    /// class: provisional allow, recorded once when the fingerprint
+    /// evidence window sealed.
+    FingerprintMatched,
+    /// An unknown device's traffic behaviorally matched a *different*
+    /// class than the one it claims (spoof suspected): quarantined.
+    SpoofSuspected,
+    /// An unknown device produced no confident behavioral match inside
+    /// the evidence window: quarantined instead of the legacy fail-open.
+    UnknownQuarantined,
 }
 
 /// One audit record.
@@ -97,6 +107,9 @@ impl AuditEntry {
             AuditVerdict::QuarantineExpired => 7,
             AuditVerdict::DegradedModeEntered => 8,
             AuditVerdict::DegradedModeExited => 9,
+            AuditVerdict::FingerprintMatched => 10,
+            AuditVerdict::SpoofSuspected => 11,
+            AuditVerdict::UnknownQuarantined => 12,
         };
         let mut fnv: u32 = 0x811c_9dc5;
         for &b in &out[..12] {

@@ -61,8 +61,9 @@ pub use interactions::InteractionGraph;
 pub use notify::{Notification, NotificationCenter, Severity};
 pub use pairing::pair;
 pub use pipeline::{
-    AllowReason, DecisionRecord, DropReason, FiatProxy, ProxyConfig, ProxyDecision, ProxyHook,
-    ProxyStats, ProxyTelemetry, StateSize,
+    AllowReason, DecisionRecord, DropReason, FiatProxy, FingerprintGate, FingerprintObservation,
+    FingerprintVerdict, ProxyConfig, ProxyDecision, ProxyHook, ProxyStats, ProxyTelemetry,
+    StateSize,
 };
 pub use predict::{
     GhostState, PredictabilityEngine, PredictabilityReport, RuleTable, RuleTelemetry,

@@ -170,6 +170,45 @@ impl NotificationCenter {
                     message: "Proxy control plane restored — key lifecycle resumed".to_string(),
                 });
             }
+            AuditVerdict::SpoofSuspected => {
+                // One entry per sealed evidence window, so no cooldown
+                // needed — and an impersonation attempt is exactly what
+                // the user must see immediately.
+                self.pending.push(Notification {
+                    at: entry.ts,
+                    device: entry.device,
+                    severity: Severity::Critical,
+                    message: format!(
+                        "Device {} behaves like a different device class than it claims — \
+                         possible spoofing; its traffic is quarantined",
+                        entry.device
+                    ),
+                });
+            }
+            AuditVerdict::UnknownQuarantined => {
+                self.pending.push(Notification {
+                    at: entry.ts,
+                    device: entry.device,
+                    severity: Severity::Warning,
+                    message: format!(
+                        "Unrecognized device {} matched no known behavior — \
+                         its traffic is quarantined until enrolled",
+                        entry.device
+                    ),
+                });
+            }
+            AuditVerdict::FingerprintMatched => {
+                self.pending.push(Notification {
+                    at: entry.ts,
+                    device: entry.device,
+                    severity: Severity::Info,
+                    message: format!(
+                        "Unenrolled device {} provisionally allowed: behavior matches its \
+                         claimed class — enroll it to lift the provisional status",
+                        entry.device
+                    ),
+                });
+            }
             AuditVerdict::AllowedNonManual => {}
         }
     }

@@ -101,6 +101,12 @@ pub struct ProxyConfig {
     /// [`crate::audit::AuditLog::set_max_entries`]). `None` keeps every
     /// entry in memory.
     pub max_audit_entries: Option<usize>,
+    /// Route unknown-MAC traffic through the behavioral fingerprint gate
+    /// (when one is installed with [`FiatProxy::set_fingerprinter`])
+    /// instead of the legacy fail-open. Off by default so existing
+    /// deployments keep the incremental-deployment behavior until the
+    /// operator flips the knob.
+    pub fingerprint_unknown: bool,
 }
 
 impl Default for ProxyConfig {
@@ -120,6 +126,7 @@ impl Default for ProxyConfig {
             max_rules: Some(65_536),
             max_quarantine_records: Some(64),
             max_audit_entries: Some(65_536),
+            fingerprint_unknown: false,
         }
     }
 }
@@ -144,11 +151,14 @@ pub enum AllowReason {
     /// Remainder of a quarantined manual event whose humanness proof
     /// arrived (late) before the proof deadline.
     QuarantineReleased,
+    /// Unregistered device whose traffic behaviorally matched its
+    /// claimed class (fingerprint gate): provisional allow with audit.
+    FingerprintMatched,
 }
 
 impl AllowReason {
     /// All variants, in [`ProxyStats`] field order.
-    pub const ALL: [AllowReason; 8] = [
+    pub const ALL: [AllowReason; 9] = [
         AllowReason::Bootstrap,
         AllowReason::RuleHit,
         AllowReason::FirstN,
@@ -157,6 +167,7 @@ impl AllowReason {
         AllowReason::Cascade,
         AllowReason::UnknownDevice,
         AllowReason::QuarantineReleased,
+        AllowReason::FingerprintMatched,
     ];
 
     /// Stable snake_case name used as the telemetry `reason` label.
@@ -170,6 +181,7 @@ impl AllowReason {
             AllowReason::Cascade => "cascade",
             AllowReason::UnknownDevice => "unknown_device",
             AllowReason::QuarantineReleased => "quarantine_released",
+            AllowReason::FingerprintMatched => "fingerprint_matched",
         }
     }
 }
@@ -184,14 +196,18 @@ pub enum DropReason {
     /// Remainder of a quarantined manual event whose proof deadline
     /// passed without a humanness proof.
     QuarantineExpired,
+    /// Unregistered device quarantined by the fingerprint gate: its
+    /// evidence window sealed on spoof-suspected or no-confident-match.
+    UnknownQuarantined,
 }
 
 impl DropReason {
     /// All variants, in [`ProxyStats`] field order.
-    pub const ALL: [DropReason; 3] = [
+    pub const ALL: [DropReason; 4] = [
         DropReason::ManualUnverified,
         DropReason::LockedOut,
         DropReason::QuarantineExpired,
+        DropReason::UnknownQuarantined,
     ];
 
     /// Stable snake_case name used as the telemetry `reason` label.
@@ -200,6 +216,7 @@ impl DropReason {
             DropReason::ManualUnverified => "manual_unverified",
             DropReason::LockedOut => "locked_out",
             DropReason::QuarantineExpired => "quarantine_expired",
+            DropReason::UnknownQuarantined => "unknown_quarantined",
         }
     }
 }
@@ -243,6 +260,12 @@ pub struct ProxyStats {
     /// secondary count like `retro_unverified` and not part of
     /// [`ProxyStats::total`].
     pub quarantine_expired: u64,
+    /// Packets of unregistered devices allowed because the fingerprint
+    /// gate matched the claimed class.
+    pub fingerprint_matched: u64,
+    /// Packets of unregistered devices dropped by the fingerprint gate
+    /// (spoof suspected or no confident match after the window).
+    pub dropped_unknown: u64,
 }
 
 impl ProxyStats {
@@ -260,11 +283,16 @@ impl ProxyStats {
             + self.quarantined
             + self.quarantine_released
             + self.dropped_quarantine
+            + self.fingerprint_matched
+            + self.dropped_unknown
     }
 
     /// Total packets dropped.
     pub fn dropped(&self) -> u64 {
-        self.dropped_unverified + self.dropped_lockout + self.dropped_quarantine
+        self.dropped_unverified
+            + self.dropped_lockout
+            + self.dropped_quarantine
+            + self.dropped_unknown
     }
 
     /// Fraction of (post-bootstrap) traffic handled by rules alone — the
@@ -298,6 +326,8 @@ impl std::ops::AddAssign for ProxyStats {
         self.quarantine_released += rhs.quarantine_released;
         self.dropped_quarantine += rhs.dropped_quarantine;
         self.quarantine_expired += rhs.quarantine_expired;
+        self.fingerprint_matched += rhs.fingerprint_matched;
+        self.dropped_unknown += rhs.dropped_unknown;
     }
 }
 
@@ -341,6 +371,9 @@ pub struct StateSize {
     pub bootstrap_buffered: usize,
     /// Released quarantine packets not yet drained by the interceptor.
     pub released_pending: usize,
+    /// Fingerprint-gate entries: unknown devices under an open evidence
+    /// window plus cached sealed verdicts (both FIFO-capped).
+    pub fingerprint_evidence: usize,
 }
 
 impl StateSize {
@@ -359,6 +392,7 @@ impl StateSize {
             + self.replay_epochs
             + self.bootstrap_buffered
             + self.released_pending
+            + self.fingerprint_evidence
     }
 
     /// Field-wise maximum — fold per-sample sizes into a high-water
@@ -378,6 +412,7 @@ impl StateSize {
             replay_epochs: self.replay_epochs.max(rhs.replay_epochs),
             bootstrap_buffered: self.bootstrap_buffered.max(rhs.bootstrap_buffered),
             released_pending: self.released_pending.max(rhs.released_pending),
+            fingerprint_evidence: self.fingerprint_evidence.max(rhs.fingerprint_evidence),
         }
     }
 }
@@ -397,6 +432,7 @@ impl std::ops::AddAssign for StateSize {
         self.replay_epochs += rhs.replay_epochs;
         self.bootstrap_buffered += rhs.bootstrap_buffered;
         self.released_pending += rhs.released_pending;
+        self.fingerprint_evidence += rhs.fingerprint_evidence;
     }
 }
 
@@ -474,6 +510,56 @@ pub trait ProxyHook: Send {
     /// A quarantine record expired at its deadline; `packets` held
     /// packets were discarded.
     fn on_quarantine_expired(&self, _ts: SimTime, _device: u16, _packets: u64) {}
+}
+
+/// Behavioral identity verdict for one unknown device, produced by a
+/// [`FingerprintGate`] once its evidence window seals (and cached for
+/// every later packet of the same device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FingerprintVerdict {
+    /// Still accumulating evidence: the window has not sealed yet.
+    Pending,
+    /// Behavior confidently matched the signature at this index, and it
+    /// is consistent with the class the device claims (or the device
+    /// claims nothing recognizable).
+    Match(u16),
+    /// Behavior confidently matched a *different* signature than the
+    /// class the device claims by its destinations — spoof suspected.
+    Spoof {
+        /// Signature index of the claimed class.
+        claimed: u16,
+        /// Signature index the behavior actually matched.
+        matched: u16,
+    },
+    /// No signature within the confidence threshold (or the margin to
+    /// the runner-up was too thin): explicit no-confident-match.
+    NoMatch,
+}
+
+/// One [`FingerprintGate::observe`] result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FingerprintObservation {
+    /// The verdict as of this packet.
+    pub verdict: FingerprintVerdict,
+    /// `true` exactly once per device: on the packet that sealed its
+    /// evidence window. The proxy writes the audit entry on this edge.
+    pub just_sealed: bool,
+}
+
+/// Online behavioral device-identity matcher, installed with
+/// [`FiatProxy::set_fingerprinter`] and consulted for every packet of an
+/// *unregistered* device when [`ProxyConfig::fingerprint_unknown`] is
+/// set. The concrete matcher lives in `fiat-fingerprint`; the trait keeps
+/// the dependency arrow pointing into `fiat-core`, mirroring
+/// [`ProxyHook`].
+pub trait FingerprintGate: Send {
+    /// Fold one packet of an unknown device into its evidence window and
+    /// report the current verdict. Must be deterministic and, once a
+    /// device's window has sealed, allocation-free.
+    fn observe(&mut self, pkt: &PacketRecord, dns: &DnsTable) -> FingerprintObservation;
+    /// Entries currently held (open evidence windows + cached sealed
+    /// verdicts) for [`FiatProxy::state_size`] accounting.
+    fn state_size(&self) -> usize;
 }
 
 /// One recent verdict, kept in the proxy's bounded decision [`Journal`].
@@ -760,6 +846,7 @@ pub struct FiatProxy {
     telemetry: ProxyTelemetry,
     released_packets: Vec<PacketRecord>,
     hook: Option<Box<dyn ProxyHook>>,
+    fingerprinter: Option<Box<dyn FingerprintGate>>,
     degraded: bool,
 }
 
@@ -815,6 +902,7 @@ impl FiatProxy {
             telemetry,
             released_packets: Vec::new(),
             hook: None,
+            fingerprinter: None,
             degraded: false,
         }
     }
@@ -824,6 +912,14 @@ impl FiatProxy {
     /// `None`.
     pub fn set_hook(&mut self, hook: Box<dyn ProxyHook>) {
         self.hook = Some(hook);
+    }
+
+    /// Install a behavioral fingerprint gate for unknown-MAC traffic
+    /// (see [`FingerprintGate`]). The gate only takes effect when
+    /// [`ProxyConfig::fingerprint_unknown`] is also set, so installing
+    /// one under the default config changes nothing.
+    pub fn set_fingerprinter(&mut self, gate: Box<dyn FingerprintGate>) {
+        self.fingerprinter = Some(gate);
     }
 
     /// Decision counters accumulated since start.
@@ -921,6 +1017,7 @@ impl FiatProxy {
             replay_epochs: self.quic.replay_store().live_epochs().len(),
             bootstrap_buffered: self.bootstrap_buffer.len(),
             released_pending: self.released_packets.len(),
+            fingerprint_evidence: self.fingerprinter.as_ref().map_or(0, |g| g.state_size()),
             ..StateSize::default()
         };
         for dev in self.devices.values() {
@@ -1231,6 +1328,10 @@ impl FiatProxy {
             telemetry,
             released_packets: snap.released_packets.clone(),
             hook: None,
+            // Like the hook and interaction graph, the fingerprint gate
+            // is runtime wiring, not snapshotted state — re-install it
+            // after restore. Its evidence windows restart from empty.
+            fingerprinter: None,
             degraded: snap.degraded,
         })
     }
@@ -1458,6 +1559,10 @@ impl FiatProxy {
             ProxyDecision::Drop(DropReason::QuarantineExpired) => {
                 self.stats.dropped_quarantine += 1
             }
+            ProxyDecision::Allow(AllowReason::FingerprintMatched) => {
+                self.stats.fingerprint_matched += 1
+            }
+            ProxyDecision::Drop(DropReason::UnknownQuarantined) => self.stats.dropped_unknown += 1,
             ProxyDecision::Quarantine => self.stats.quarantined += 1,
         }
         d
@@ -1512,7 +1617,43 @@ impl FiatProxy {
         let human_fresh = now <= self.human_valid_until;
         let gap = self.config.event_gap;
         let Some(dev) = self.devices.get_mut(&pkt.device) else {
-            // Unknown device: fail open during incremental deployment,
+            // Unknown device. With the fingerprint gate enabled its
+            // traffic is identified behaviorally: packets are allowed
+            // while evidence accumulates (bounded window, so an attacker
+            // cannot complete a long command before the verdict), then
+            // the sealed verdict — matched / spoof-suspected / no match
+            // — decides every later packet. One audit entry per device,
+            // written on the sealing edge.
+            if self.config.fingerprint_unknown {
+                if let Some(gate) = self.fingerprinter.as_mut() {
+                    let obs = gate.observe(pkt, &self.dns);
+                    if obs.just_sealed {
+                        let verdict = match obs.verdict {
+                            FingerprintVerdict::Match(_) => AuditVerdict::FingerprintMatched,
+                            FingerprintVerdict::Spoof { .. } => AuditVerdict::SpoofSuspected,
+                            _ => AuditVerdict::UnknownQuarantined,
+                        };
+                        self.audit.append(AuditEntry {
+                            ts: now,
+                            device: pkt.device,
+                            class: EventClass::Control,
+                            verdict,
+                        });
+                    }
+                    return match obs.verdict {
+                        FingerprintVerdict::Pending => {
+                            ProxyDecision::Allow(AllowReason::UnknownDevice)
+                        }
+                        FingerprintVerdict::Match(_) => {
+                            ProxyDecision::Allow(AllowReason::FingerprintMatched)
+                        }
+                        FingerprintVerdict::Spoof { .. } | FingerprintVerdict::NoMatch => {
+                            ProxyDecision::Drop(DropReason::UnknownQuarantined)
+                        }
+                    };
+                }
+            }
+            // Legacy path: fail open during incremental deployment,
             // attributed to its own reason (not FirstN) so the stat and
             // per-reason counter stay honest. Audited once per device at
             // first sighting so the operator can see which devices

@@ -1,0 +1,208 @@
+//! Integer packet-feature histogram shared by training and the online
+//! matcher.
+//!
+//! Three feature groups, all computed from fields the proxy already sees
+//! per packet (no payload inspection):
+//!
+//! - **size × direction** — 16 size buckets per direction. The buckets
+//!   are deliberately fine below ~256 B: IoT keep-alives have stable,
+//!   class-distinctive sizes (a plug's 60 B ping vs a camera's 88 B API
+//!   poll), and that is where identification power lives per the
+//!   fingerprinting survey's feature ranking.
+//! - **inter-arrival time** — 8 log-scale buckets over the gap to the
+//!   device's previous packet, from millisecond bursts up through the
+//!   minute-scale cadence of periodic control flows. The top buckets
+//!   deliberately resolve 30 s / 60 s / 120 s-class keep-alive periods:
+//!   cadence survives size padding, so it anchors identity when a
+//!   privacy countermeasure reshapes packet lengths.
+//! - **size delta** — 8 buckets over `|size - previous size|` for the
+//!   same device. A constant-pad countermeasure shifts every absolute
+//!   size but leaves the deltas untouched, so this group keeps a padded
+//!   plug (60/66 B, delta 6) from colliding with a camera (88/97/102 B,
+//!   deltas 5–14) whose absolute buckets the padding happens to reach.
+//! - **transport** — TCP/UDP packet counts (the NTP/STUN fraction).
+//!
+//! Histograms are integer counts and profiles are per-mille integers, so
+//! every comparison is exact and the naive oracle mirror can reproduce
+//! the arithmetic bit for bit.
+
+use fiat_net::{Direction, PacketRecord, SimTime, Transport};
+
+/// Size buckets per direction.
+pub const SIZE_BUCKETS: usize = 16;
+/// Inter-arrival-time buckets.
+pub const IAT_BUCKETS: usize = 8;
+/// Consecutive size-delta buckets.
+pub const DELTA_BUCKETS: usize = 8;
+/// Total feature dimensions: size×2 directions, IAT, size delta,
+/// transport.
+pub const FEATURE_COUNT: usize = 2 * SIZE_BUCKETS + IAT_BUCKETS + DELTA_BUCKETS + 2;
+
+/// Upper bounds (inclusive) of the first `SIZE_BUCKETS - 1` size buckets;
+/// anything larger falls in the last bucket.
+pub const SIZE_THRESHOLDS: [u16; SIZE_BUCKETS - 1] = [
+    64, 80, 96, 112, 128, 160, 192, 224, 256, 320, 384, 512, 768, 1024, 2048,
+];
+
+/// Upper bounds (inclusive, in milliseconds) of the first
+/// `IAT_BUCKETS - 1` inter-arrival buckets.
+pub const IAT_THRESHOLDS_MS: [u64; IAT_BUCKETS - 1] =
+    [16, 256, 4_096, 30_000, 60_000, 90_000, 240_000];
+
+/// Upper bounds (inclusive) of the first `DELTA_BUCKETS - 1`
+/// consecutive-size-delta buckets.
+pub const DELTA_THRESHOLDS: [u16; DELTA_BUCKETS - 1] = [0, 4, 8, 16, 32, 64, 256];
+
+/// Normalization groups: each `(start, end)` slice of the feature vector
+/// is scaled to per-mille independently, so the sparse transport pair is
+/// not drowned by the size histogram.
+pub const GROUPS: [(usize, usize); 4] = [
+    (0, 2 * SIZE_BUCKETS),
+    (2 * SIZE_BUCKETS, 2 * SIZE_BUCKETS + IAT_BUCKETS),
+    (
+        2 * SIZE_BUCKETS + IAT_BUCKETS,
+        2 * SIZE_BUCKETS + IAT_BUCKETS + DELTA_BUCKETS,
+    ),
+    (
+        2 * SIZE_BUCKETS + IAT_BUCKETS + DELTA_BUCKETS,
+        FEATURE_COUNT,
+    ),
+];
+
+/// Bucket index for a wire size.
+pub fn size_bucket(size: u16) -> usize {
+    SIZE_THRESHOLDS
+        .iter()
+        .position(|&t| size <= t)
+        .unwrap_or(SIZE_BUCKETS - 1)
+}
+
+/// Bucket index for an inter-arrival gap in milliseconds.
+pub fn iat_bucket(ms: u64) -> usize {
+    IAT_THRESHOLDS_MS
+        .iter()
+        .position(|&t| ms <= t)
+        .unwrap_or(IAT_BUCKETS - 1)
+}
+
+/// Bucket index for a consecutive size delta.
+pub fn delta_bucket(delta: u16) -> usize {
+    DELTA_THRESHOLDS
+        .iter()
+        .position(|&t| delta <= t)
+        .unwrap_or(DELTA_BUCKETS - 1)
+}
+
+/// Fold one packet into `hist`. `last` is the timestamp and size of the
+/// same device's previous packet (`None` for its first), which feeds the
+/// IAT and size-delta groups.
+pub fn fold_packet(
+    hist: &mut [u32; FEATURE_COUNT],
+    pkt: &PacketRecord,
+    last: Option<(SimTime, u16)>,
+) {
+    let dir_base = match pkt.direction {
+        Direction::FromDevice => 0,
+        Direction::ToDevice => SIZE_BUCKETS,
+    };
+    hist[dir_base + size_bucket(pkt.size)] += 1;
+    if let Some((prev_ts, prev_size)) = last {
+        hist[2 * SIZE_BUCKETS + iat_bucket(pkt.ts.since(prev_ts).as_millis())] += 1;
+        let delta_base = 2 * SIZE_BUCKETS + IAT_BUCKETS;
+        hist[delta_base + delta_bucket(pkt.size.abs_diff(prev_size))] += 1;
+    }
+    let transport_base = 2 * SIZE_BUCKETS + IAT_BUCKETS + DELTA_BUCKETS;
+    match pkt.transport {
+        Transport::Tcp => hist[transport_base] += 1,
+        Transport::Udp => hist[transport_base + 1] += 1,
+    }
+}
+
+/// Per-mille profile of a histogram: each [`GROUPS`] slice is scaled to
+/// sum (approximately, integer division truncates) 1000. A group with no
+/// mass stays all-zero.
+pub fn profile(hist: &[u32; FEATURE_COUNT]) -> [u16; FEATURE_COUNT] {
+    let mut out = [0u16; FEATURE_COUNT];
+    for (start, end) in GROUPS {
+        let total: u64 = hist[start..end].iter().map(|&c| u64::from(c)).sum();
+        if total == 0 {
+            continue;
+        }
+        for i in start..end {
+            out[i] = (u64::from(hist[i]) * 1000 / total) as u16;
+        }
+    }
+    out
+}
+
+/// L1 distance between two per-mille profiles (0..=6000).
+pub fn l1(a: &[u16; FEATURE_COUNT], b: &[u16; FEATURE_COUNT]) -> u32 {
+    let mut d = 0u32;
+    for i in 0..FEATURE_COUNT {
+        d += u32::from(a[i].abs_diff(b[i]));
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_range() {
+        assert_eq!(size_bucket(0), 0);
+        assert_eq!(size_bucket(64), 0);
+        assert_eq!(size_bucket(65), 1);
+        assert_eq!(size_bucket(2048), SIZE_BUCKETS - 2);
+        assert_eq!(size_bucket(u16::MAX), SIZE_BUCKETS - 1);
+        assert_eq!(iat_bucket(0), 0);
+        assert_eq!(iat_bucket(16), 0);
+        assert_eq!(iat_bucket(17), 1);
+        assert_eq!(iat_bucket(60_000), 4);
+        assert_eq!(iat_bucket(90_000), 5);
+        assert_eq!(iat_bucket(120_000), 6);
+        assert_eq!(iat_bucket(240_000), IAT_BUCKETS - 2);
+        assert_eq!(iat_bucket(u64::MAX), IAT_BUCKETS - 1);
+        assert_eq!(delta_bucket(0), 0);
+        assert_eq!(delta_bucket(1), 1);
+        assert_eq!(delta_bucket(6), 2);
+        assert_eq!(delta_bucket(9), 3);
+        assert_eq!(delta_bucket(256), DELTA_BUCKETS - 2);
+        assert_eq!(delta_bucket(u16::MAX), DELTA_BUCKETS - 1);
+    }
+
+    #[test]
+    fn thresholds_are_strictly_increasing() {
+        assert!(SIZE_THRESHOLDS.windows(2).all(|w| w[0] < w[1]));
+        assert!(IAT_THRESHOLDS_MS.windows(2).all(|w| w[0] < w[1]));
+        assert!(DELTA_THRESHOLDS.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn profile_normalizes_per_group() {
+        let mut hist = [0u32; FEATURE_COUNT];
+        hist[0] = 3;
+        hist[1] = 1;
+        let transport_base = 2 * SIZE_BUCKETS + IAT_BUCKETS + DELTA_BUCKETS;
+        hist[transport_base] = 10; // tcp only
+        let p = profile(&hist);
+        assert_eq!(p[0], 750);
+        assert_eq!(p[1], 250);
+        // Empty IAT and delta groups stay zero.
+        assert!(p[2 * SIZE_BUCKETS..transport_base].iter().all(|&v| v == 0));
+        assert_eq!(p[transport_base], 1000);
+    }
+
+    #[test]
+    fn l1_is_symmetric_and_zero_on_self() {
+        let mut a = [0u16; FEATURE_COUNT];
+        let mut b = [0u16; FEATURE_COUNT];
+        a[0] = 600;
+        a[5] = 400;
+        b[0] = 500;
+        b[7] = 500;
+        assert_eq!(l1(&a, &a), 0);
+        assert_eq!(l1(&a, &b), l1(&b, &a));
+        assert_eq!(l1(&a, &b), 100 + 400 + 500);
+    }
+}

@@ -1,0 +1,39 @@
+//! Behavioral device identification for unknown-MAC traffic.
+//!
+//! FIAT's decision path historically *failed open* for unregistered
+//! devices (`AllowReason::UnknownDevice`): anything with an unknown MAC
+//! sailed past enforcement. This crate closes that hole the way the
+//! WiFinger line of work suggests — packet-level behavior is identifying
+//! — without trusting anything the device says about itself:
+//!
+//! 1. **Training** ([`SignatureSet::learn`]): one [`ClassSignature`] per
+//!    labeled class trace — an integer per-mille profile over bucketed
+//!    packet sizes × direction, log-scale inter-arrival gaps, and
+//!    transport mix, plus the class's cloud-domain vocabulary.
+//! 2. **Online evidence** ([`FingerprintEngine`]): each unknown device
+//!    gets a bounded evidence window (default 24 packets — below any
+//!    testbed command-completion threshold). While it fills, packets
+//!    pass provisionally; the window then *seals* with one verdict that
+//!    is cached and applied to all later traffic.
+//! 3. **Verdict** ([`fiat_core::FingerprintVerdict`]): the nearest
+//!    signature under an L1 threshold *and* a runner-up margin. A
+//!    confident match that contradicts the class the device claims by
+//!    its destinations is `Spoof` — but only after a *second* full
+//!    window independently confirms the same wrong class (one reshaped
+//!    media burst is not an accusation; a spoofer misbehaves in every
+//!    window). An ambiguous or distant profile is `NoMatch` — never a
+//!    cross-class guess, so padding/shaping countermeasures degrade to
+//!    quarantine, not misattribution.
+//!
+//! The proxy consumes the engine through the [`fiat_core::FingerprintGate`]
+//! trait behind the `ProxyConfig::fingerprint_unknown` knob; the naive
+//! mirror in `fiat-oracle` recomputes the same integer arithmetic from
+//! scratch to keep this implementation honest under differential fuzz.
+
+mod engine;
+pub mod features;
+mod signature;
+
+pub use engine::{FingerprintEngine, MatcherConfig, MAX_CLAIM_DOMAINS};
+pub use features::{FEATURE_COUNT, IAT_BUCKETS, SIZE_BUCKETS};
+pub use signature::{ClassSignature, SignatureSet, MAX_EXEMPLARS};

@@ -1,0 +1,208 @@
+//! End-to-end matcher battery over the seeded labeled corpus: genuine
+//! devices identify as their own class (never a false quarantine),
+//! spoofed devices resolve as `Spoof`, and the evidence-window edge
+//! behaves exactly as documented.
+
+use fiat_core::{FingerprintGate, FingerprintObservation, FingerprintVerdict};
+use fiat_fingerprint::{FingerprintEngine, MatcherConfig, SignatureSet};
+use fiat_net::{DnsTable, SimDuration, Trace};
+use fiat_trace::{class_trace, fingerprint_corpus, spoofed_trace, testbed_devices, CORPUS_CLASSES};
+
+fn trained_engine(seed: u64) -> FingerprintEngine {
+    let corpus = fingerprint_corpus(seed);
+    let cfg = MatcherConfig::default();
+    FingerprintEngine::new(SignatureSet::learn(&corpus, cfg.evidence_window), cfg)
+}
+
+/// Feed one single-device trace through the engine (merging its DNS so
+/// claims resolve) and return the sealed verdict.
+fn run_trace(
+    engine: &mut FingerprintEngine,
+    trace: &Trace,
+    dns: &mut DnsTable,
+) -> Option<FingerprintVerdict> {
+    dns.merge(&trace.dns);
+    let mut sealed = None;
+    for pkt in &trace.packets {
+        let FingerprintObservation {
+            verdict,
+            just_sealed,
+        } = engine.observe(pkt, dns);
+        if just_sealed {
+            assert!(sealed.is_none(), "window sealed twice");
+            sealed = Some(verdict);
+        }
+    }
+    sealed
+}
+
+fn corpus_dns(seed: u64) -> DnsTable {
+    let mut dns = DnsTable::new();
+    for (_, trace) in fingerprint_corpus(seed) {
+        dns.merge(&trace.dns);
+    }
+    dns
+}
+
+#[test]
+fn genuine_devices_identify_as_their_own_class() {
+    let devices = testbed_devices();
+    let mut engine = trained_engine(1);
+    let mut dns = corpus_dns(1);
+    for eval_seed in [101u64, 202, 303, 404] {
+        for (ci, (label, dev)) in CORPUS_CLASSES.iter().enumerate() {
+            let device_id = 500 + (eval_seed % 100) as u16 * 10 + ci as u16;
+            let mut trace = class_trace(&devices[*dev], device_id, eval_seed ^ (ci as u64) << 32);
+            trace.packets.truncate(200);
+            let verdict = run_trace(&mut engine, &trace, &mut dns)
+                .unwrap_or_else(|| panic!("{label}: window never sealed"));
+            assert_eq!(
+                verdict,
+                FingerprintVerdict::Match(ci as u16),
+                "{label} (seed {eval_seed}) misidentified: {verdict:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn spoofed_devices_are_flagged_as_spoof() {
+    let devices = testbed_devices();
+    let mut engine = trained_engine(1);
+    let mut dns = corpus_dns(1);
+    // Each pair: a device that claims class `claimed` while behaving
+    // like class `behaved` (indices into CORPUS_CLASSES).
+    let pairs = [(2usize, 1usize), (1, 0), (3, 4), (0, 2)];
+    for (i, (claimed_ci, behaved_ci)) in pairs.iter().enumerate() {
+        let claimed = &devices[CORPUS_CLASSES[*claimed_ci].1];
+        let behaved = &devices[CORPUS_CLASSES[*behaved_ci].1];
+        let trace = spoofed_trace(
+            claimed,
+            behaved,
+            700 + i as u16,
+            SimDuration::from_secs(3600),
+            55 + i as u64,
+        );
+        let verdict = run_trace(&mut engine, &trace, &mut dns).expect("window seals");
+        assert_eq!(
+            verdict,
+            FingerprintVerdict::Spoof {
+                claimed: *claimed_ci as u16,
+                matched: *behaved_ci as u16,
+            },
+            "spoof pair {claimed_ci}<-{behaved_ci} not flagged: {verdict:?}"
+        );
+    }
+}
+
+#[test]
+fn unrecognizable_behavior_is_no_match_not_a_guess() {
+    // Constant 999 B uplink packets at a fixed 10 ms cadence resemble no
+    // trained class: the verdict must be the explicit NoMatch.
+    use fiat_net::{
+        Direction, PacketRecord, SimTime, TcpFlags, TlsVersion, TrafficClass, Transport,
+    };
+    let mut engine = trained_engine(1);
+    let dns = corpus_dns(1);
+    let mut sealed = None;
+    for i in 0..40u64 {
+        let pkt = PacketRecord {
+            ts: SimTime::from_millis(10 * i),
+            device: 999,
+            direction: Direction::FromDevice,
+            local_ip: "192.168.1.9".parse().unwrap(),
+            remote_ip: "1.2.3.4".parse().unwrap(),
+            local_port: 50_000,
+            remote_port: 443,
+            transport: Transport::Tcp,
+            tcp_flags: TcpFlags::psh_ack(),
+            tls: TlsVersion::None,
+            size: 999,
+            label: TrafficClass::Control,
+        };
+        let obs = engine.observe(&pkt, &dns);
+        if obs.just_sealed {
+            sealed = Some(obs.verdict);
+        }
+    }
+    assert_eq!(sealed, Some(FingerprintVerdict::NoMatch));
+}
+
+#[test]
+fn window_edge_is_exact() {
+    // Packets 1..window-1 are Pending; packet #window seals with the
+    // verdict; every later packet replays the cached verdict without
+    // re-sealing.
+    let devices = testbed_devices();
+    let mut engine = trained_engine(1);
+    let mut dns = corpus_dns(1);
+    let window = engine.config().evidence_window as usize;
+    let trace = class_trace(&devices[CORPUS_CLASSES[1].1], 321, 77);
+    dns.merge(&trace.dns);
+    assert!(trace.packets.len() > window + 10);
+    for (i, pkt) in trace.packets.iter().take(window + 10).enumerate() {
+        let obs = engine.observe(pkt, &dns);
+        if i + 1 < window {
+            assert_eq!(obs.verdict, FingerprintVerdict::Pending, "packet {i}");
+            assert!(!obs.just_sealed);
+        } else {
+            assert_eq!(obs.verdict, FingerprintVerdict::Match(1), "packet {i}");
+            assert_eq!(obs.just_sealed, i + 1 == window);
+        }
+    }
+    assert_eq!(
+        engine.sealed_verdict(321),
+        Some(FingerprintVerdict::Match(1))
+    );
+    assert_eq!(engine.sealed_counts(), [1, 0, 0]);
+}
+
+#[test]
+fn tracked_and_sealed_are_fifo_capped() {
+    use fiat_net::{
+        Direction, PacketRecord, SimTime, TcpFlags, TlsVersion, TrafficClass, Transport,
+    };
+    let corpus = fingerprint_corpus(1);
+    let cfg = MatcherConfig {
+        max_tracked: 4,
+        max_sealed: 4,
+        evidence_window: 3,
+        ..MatcherConfig::default()
+    };
+    let mut engine = FingerprintEngine::new(SignatureSet::learn(&corpus, cfg.evidence_window), cfg);
+    let dns = DnsTable::new();
+    let pkt = |device: u16, i: u64| PacketRecord {
+        ts: SimTime::from_millis(i),
+        device,
+        direction: Direction::FromDevice,
+        local_ip: "192.168.1.9".parse().unwrap(),
+        remote_ip: "1.2.3.4".parse().unwrap(),
+        local_port: 50_000,
+        remote_port: 443,
+        transport: Transport::Tcp,
+        tcp_flags: TcpFlags::psh_ack(),
+        tls: TlsVersion::None,
+        size: 999,
+        label: TrafficClass::Control,
+    };
+    // Open 6 windows with one packet each: the first two devices are
+    // FIFO-evicted, state never exceeds the cap.
+    for d in 0..6u16 {
+        engine.observe(&pkt(d, u64::from(d)), &dns);
+    }
+    assert_eq!(engine.state_size(), 4);
+    // Device 0 was evicted: two more packets still leave it Pending
+    // (its evidence restarted), the third seals it.
+    assert!(!engine.observe(&pkt(0, 100), &dns).just_sealed);
+    assert!(!engine.observe(&pkt(0, 101), &dns).just_sealed);
+    assert!(engine.observe(&pkt(0, 102), &dns).just_sealed);
+    // Seal 4 more devices: the sealed cache caps at 4 too.
+    for d in 10..14u16 {
+        for i in 0..3u64 {
+            engine.observe(&pkt(d, 200 + u64::from(d) * 10 + i), &dns);
+        }
+    }
+    assert_eq!(engine.sealed_verdict(0), None, "FIFO evicted from sealed");
+    assert!(engine.sealed_verdict(13).is_some());
+    assert!(engine.state_size() <= 8);
+}

@@ -16,9 +16,15 @@
 use crate::reference::ReferenceProxy;
 use fiat_core::audit::AuditEntry;
 use fiat_core::{EventClassifier, FiatApp, FiatProxy, ProxyConfig, ProxyDecision, ProxyStats};
-use fiat_net::{DnsTable, PacketRecord, SimDuration, SimTime};
+use fiat_fingerprint::{FingerprintEngine, MatcherConfig, SignatureSet};
+use fiat_net::{
+    Direction, DnsTable, PacketRecord, SimDuration, SimTime, TcpFlags, TlsVersion, TrafficClass,
+    Transport,
+};
 use fiat_sensors::{HumannessValidator, ImuTrace, MotionKind};
-use fiat_trace::{TestbedConfig, TestbedTrace};
+use fiat_trace::{
+    class_trace, fingerprint_corpus, spoofed_trace, testbed_devices, TestbedConfig, TestbedTrace,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
@@ -41,6 +47,19 @@ pub enum Op {
     ClearLockout(u16),
 }
 
+/// Fingerprint-gate setup shared by both sides of a scenario: the seed
+/// the labeled training corpus derives from, plus the matcher numbers.
+/// The real side runs a `FingerprintEngine` over the learned signatures;
+/// the reference side runs the naive mirror over the *same* signatures
+/// (shared data, independent arithmetic — like the event classifier).
+#[derive(Debug, Clone)]
+pub struct FingerprintSetup {
+    /// Seed for [`fiat_trace::fingerprint_corpus`].
+    pub corpus_seed: u64,
+    /// Evidence-window and matcher parameters.
+    pub matcher: MatcherConfig,
+}
+
 /// A complete differential scenario: shared configuration, the device
 /// matrix, the interaction DAG, DNS knowledge, and the op list.
 #[derive(Debug, Clone)]
@@ -55,6 +74,9 @@ pub struct Scenario {
     pub cascade_window: SimDuration,
     /// DNS observed during the capture.
     pub dns: DnsTable,
+    /// Fingerprint gate trained on both sides (`None` leaves the
+    /// legacy unknown-device fail-open in force).
+    pub fingerprint: Option<FingerprintSetup>,
     /// The op list, in execution order.
     pub ops: Vec<Op>,
 }
@@ -85,6 +107,9 @@ pub struct ChaosStats {
     /// Injected quarantine probes (held-then-released and
     /// held-then-expired manual bursts).
     pub quarantine_probes: u64,
+    /// Injected unknown-device fingerprint packets (genuine, spoofed,
+    /// unclassifiable, and FIFO-flood traffic).
+    pub fingerprint_probes: u64,
     /// Interleaved humanness proofs.
     pub verify_ops: u64,
     /// Interleaved flush calls.
@@ -101,6 +126,7 @@ impl std::ops::AddAssign for ChaosStats {
         self.skewed += rhs.skewed;
         self.boundary_probes += rhs.boundary_probes;
         self.quarantine_probes += rhs.quarantine_probes;
+        self.fingerprint_probes += rhs.fingerprint_probes;
         self.verify_ops += rhs.verify_ops;
         self.flush_ops += rhs.flush_ops;
         self.clear_ops += rhs.clear_ops;
@@ -109,6 +135,7 @@ impl std::ops::AddAssign for ChaosStats {
 
 /// Where and how the two implementations disagreed.
 #[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // error-path only; ProxyStats inline keeps reporting simple
 pub enum DivergenceKind {
     /// Per-packet verdicts differ.
     Decision {
@@ -229,6 +256,10 @@ fn build_real(sc: &Scenario) -> FiatProxy {
         proxy.set_interactions(g);
     }
     proxy.set_dns(sc.dns.clone());
+    if let Some(fp) = &sc.fingerprint {
+        let sigs = learn_signatures(fp);
+        proxy.set_fingerprinter(Box::new(FingerprintEngine::new(sigs, fp.matcher)));
+    }
     proxy.start(SimTime::ZERO);
     proxy
 }
@@ -242,8 +273,20 @@ fn build_reference(sc: &Scenario, config: &ProxyConfig) -> ReferenceProxy {
         reference.set_interactions(sc.cascade_window, &sc.edges);
     }
     reference.set_dns(sc.dns.clone());
+    if let Some(fp) = &sc.fingerprint {
+        let sigs = learn_signatures(fp);
+        reference.set_fingerprint(sigs.signatures().to_vec(), fp.matcher);
+    }
     reference.start(SimTime::ZERO);
     reference
+}
+
+/// Train the signature set a setup describes (shared by both sides —
+/// training is an *input* to the decision path, like the classifier; the
+/// differential check covers the online matching, not learning).
+fn learn_signatures(fp: &FingerprintSetup) -> SignatureSet {
+    let corpus = fingerprint_corpus(fp.corpus_seed);
+    SignatureSet::learn(&corpus, fp.matcher.evidence_window)
 }
 
 /// Run one scenario differentially; `None` means full agreement.
@@ -263,9 +306,39 @@ pub fn run_scenario_with_real_config(
         config: real_config.clone(),
         ..sc.clone()
     };
-    let mut real = build_real(&sc_real);
-    let mut reference = build_reference(sc, &sc.config);
+    run_pair(build_real(&sc_real), build_reference(sc, &sc.config), sc)
+}
 
+/// [`run_scenario`], but the real side's fingerprint engine gets its own
+/// matcher numbers while the naive mirror keeps the scenario's. With a
+/// perturbed matcher this is the fingerprint drift self-test: a silent
+/// change to a threshold or the evidence window must surface as a
+/// divergence.
+pub fn run_scenario_with_real_matcher(
+    sc: &Scenario,
+    real_matcher: MatcherConfig,
+) -> Option<Divergence> {
+    let fp = sc
+        .fingerprint
+        .clone()
+        .expect("scenario has no fingerprint setup to perturb");
+    let sc_real = Scenario {
+        fingerprint: Some(FingerprintSetup {
+            matcher: real_matcher,
+            ..fp
+        }),
+        ..sc.clone()
+    };
+    run_pair(build_real(&sc_real), build_reference(sc, &sc.config), sc)
+}
+
+/// Drive one prebuilt real/reference pair through a scenario's op list
+/// and compare decisions, stats, audit trail, and the hash chain.
+fn run_pair(
+    mut real: FiatProxy,
+    mut reference: ReferenceProxy,
+    sc: &Scenario,
+) -> Option<Divergence> {
     // One handshake up front; each VerifyHuman op reuses the ticket
     // with a fresh 0-RTT nonce.
     let mut app = FiatApp::new(&SECRET, 1);
@@ -379,7 +452,17 @@ pub fn build_scenario(seed: u64, quick: bool) -> (Scenario, ChaosStats) {
         lockout_threshold: 1,
         lockout_window: SimDuration::from_mins(30),
         proof_deadline: Some(SimDuration::from_secs(3)),
+        fingerprint_unknown: true,
         ..Default::default()
+    };
+    // Tight FIFO caps so the tracked-window and sealed-verdict eviction
+    // paths actually fire on a short capture; thresholds stay at their
+    // defaults so the genuine/spoofed/unclassifiable probes land their
+    // intended verdicts.
+    let matcher = MatcherConfig {
+        max_tracked: 48,
+        max_sealed: 4,
+        ..MatcherConfig::default()
     };
     let devices: Vec<(u16, u16, usize)> = tb
         .devices
@@ -401,6 +484,8 @@ pub fn build_scenario(seed: u64, quick: bool) -> (Scenario, ChaosStats) {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let mut stats = ChaosStats::default();
     let mut packets = tb.trace.packets.clone();
+    let mut dns = tb.trace.dns.clone();
+    inject_fingerprint_traffic(&mut packets, &mut dns, &config, seed, &mut stats);
     mutate_packets(&mut packets, &mut rng, &config, &mut stats);
     inject_manual_fragments(&mut packets, &devices, &mut rng, &config, &mut stats);
     let mut forced_proofs = inject_cascade_probes(&mut packets, &devices, &mut rng, &config);
@@ -523,11 +608,90 @@ pub fn build_scenario(seed: u64, quick: bool) -> (Scenario, ChaosStats) {
             // is actually the deciding branch.
             edges: vec![(0, 3), (0, 5), (4, 9)],
             cascade_window: SimDuration::from_secs(120),
-            dns: tb.trace.dns,
+            dns,
+            fingerprint: Some(FingerprintSetup {
+                corpus_seed: seed ^ 0xf1f1,
+                matcher,
+            }),
             ops,
         },
         stats,
     )
+}
+
+/// Inject unknown-MAC traffic for the fingerprint gate, post-bootstrap
+/// so it reaches the behavioral path instead of the bootstrap buffer:
+///
+/// - device 200: a genuine (but unregistered) camera — should match;
+/// - device 201: a plug-claiming device with camera wire behavior — the
+///   spoof path, including the two-window confirmation restart;
+/// - device 202: constant-size machine-gun chatter matching no trained
+///   class — the explicit no-match;
+/// - devices 300..: one-window-short visitors that overflow the tracked
+///   FIFO, exercising open-window eviction and re-tracking.
+///
+/// Each probe trace's DNS is merged into the capture's table so claimed
+/// classes resolve on both sides.
+fn inject_fingerprint_traffic(
+    packets: &mut Vec<PacketRecord>,
+    dns: &mut DnsTable,
+    config: &ProxyConfig,
+    seed: u64,
+    stats: &mut ChaosStats,
+) {
+    let devices = testbed_devices();
+    let start = SimTime::ZERO + config.bootstrap + SimDuration::from_secs(60);
+
+    let mut add = |trace: fiat_net::Trace, cap: usize, stats: &mut ChaosStats| {
+        dns.merge(&trace.dns);
+        for pkt in trace.packets.iter().take(cap) {
+            let mut p = pkt.clone();
+            p.ts = SimTime::from_micros(start.as_micros() + pkt.ts.as_micros());
+            insert_sorted(packets, p);
+            stats.fingerprint_probes += 1;
+        }
+    };
+    // WyzeCam is testbed index 2 (trained class 1), SP10 plug index 3
+    // (trained class 2).
+    add(class_trace(&devices[2], 200, seed ^ 0xa1), 60, stats);
+    add(
+        spoofed_trace(
+            &devices[3],
+            &devices[2],
+            201,
+            SimDuration::from_secs(7200),
+            seed ^ 0xa2,
+        ),
+        110,
+        stats,
+    );
+
+    let synth = |ts: SimTime, device: u16, size: u16| PacketRecord {
+        ts,
+        device,
+        direction: Direction::FromDevice,
+        local_ip: std::net::Ipv4Addr::new(192, 168, 9, (device % 250) as u8),
+        remote_ip: std::net::Ipv4Addr::new(198, 51, 100, 7),
+        local_port: 40_000,
+        remote_port: 443,
+        transport: Transport::Tcp,
+        tcp_flags: TcpFlags::psh_ack(),
+        tls: TlsVersion::Tls13,
+        size,
+        label: TrafficClass::Control,
+    };
+    for i in 0..40u64 {
+        let ts = SimTime::from_micros(start.as_micros() + 10_000_000 + i * 123_000);
+        insert_sorted(packets, synth(ts, 202, 999));
+        stats.fingerprint_probes += 1;
+    }
+    for id in 0..60u64 {
+        for j in 0..2u64 {
+            let ts = SimTime::from_micros(start.as_micros() + id * 977_000 + j * 500_000);
+            insert_sorted(packets, synth(ts, 300 + id as u16, 100 + (id % 7) as u16));
+            stats.fingerprint_probes += 1;
+        }
+    }
 }
 
 /// Apply the timestamp-chaos mutations in place.
@@ -888,8 +1052,14 @@ pub fn render_report(report: &OracleReport) -> String {
     let c = &report.chaos;
     writeln!(
         out,
-        "chaos: {} swaps, {} moves, {} dups, {} skewed, {} boundary probes, {} quarantine probes",
-        c.swaps, c.moves, c.dups, c.skewed, c.boundary_probes, c.quarantine_probes
+        "chaos: {} swaps, {} moves, {} dups, {} skewed, {} boundary probes, {} quarantine probes, {} fingerprint probes",
+        c.swaps,
+        c.moves,
+        c.dups,
+        c.skewed,
+        c.boundary_probes,
+        c.quarantine_probes,
+        c.fingerprint_probes
     )
     .unwrap();
     writeln!(

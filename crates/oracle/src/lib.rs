@@ -31,7 +31,8 @@ pub mod reference;
 
 pub use fuzzer::{
     build_scenario, render_report, run_differential, run_scenario, run_scenario_with_real_config,
-    shrink, ChaosStats, Divergence, DivergenceKind, DivergenceReport, Op, OracleReport, Scenario,
+    run_scenario_with_real_matcher, shrink, ChaosStats, Divergence, DivergenceKind,
+    DivergenceReport, FingerprintSetup, Op, OracleReport, Scenario,
 };
 pub use reference::ReferenceProxy;
 
@@ -205,6 +206,7 @@ mod tests {
             edges: Vec::new(),
             cascade_window: SimDuration::from_secs(30),
             dns: DnsTable::new(),
+            fingerprint: None,
             ops,
         };
         if let Some(d) = run_scenario(&sc) {
@@ -305,6 +307,37 @@ mod tests {
         assert!(
             run_scenario_with_real_config(&sc, &hair_trigger).is_some(),
             "oracle failed to flag a 1 ms proof deadline"
+        );
+    }
+
+    #[test]
+    fn oracle_detects_fingerprint_matcher_drift() {
+        // Self-test for the fingerprint half of the oracle: scenarios
+        // carry genuine/spoofed/unclassifiable unknown-device probes,
+        // so a real-engine deviation in the match threshold or the
+        // evidence-window length must surface against the naive mirror.
+        use fiat_fingerprint::MatcherConfig;
+        let (sc, chaos) = build_scenario(11, true);
+        assert!(
+            chaos.fingerprint_probes > 0,
+            "scenario builder stopped injecting fingerprint probes"
+        );
+        let fp = sc.fingerprint.clone().expect("fingerprinting enabled");
+        let paranoid = MatcherConfig {
+            max_distance: 0,
+            ..fp.matcher
+        };
+        assert!(
+            run_scenario_with_real_matcher(&sc, paranoid).is_some(),
+            "oracle failed to flag a zeroed match threshold"
+        );
+        let short_window = MatcherConfig {
+            evidence_window: fp.matcher.evidence_window / 2,
+            ..fp.matcher
+        };
+        assert!(
+            run_scenario_with_real_matcher(&sc, short_window).is_some(),
+            "oracle failed to flag a halved evidence window"
         );
     }
 

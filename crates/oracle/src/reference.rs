@@ -37,9 +37,10 @@
 use fiat_core::audit::{AuditEntry, AuditVerdict};
 use fiat_core::classifier::EventClass;
 use fiat_core::{
-    AllowReason, DropReason, EventClassifier, ProxyConfig, ProxyDecision, ProxyStats,
-    UnpredictableEvent,
+    AllowReason, DropReason, EventClassifier, FingerprintVerdict, ProxyConfig, ProxyDecision,
+    ProxyStats, UnpredictableEvent,
 };
+use fiat_fingerprint::{ClassSignature, MatcherConfig, FEATURE_COUNT, MAX_CLAIM_DOMAINS};
 use fiat_net::{DnsTable, FlowKey, PacketRecord, SimDuration, SimTime};
 use std::collections::BTreeMap;
 
@@ -106,6 +107,296 @@ struct RefGhost {
     last_bin: Option<u64>,
 }
 
+/// One unknown device's open fingerprint evidence, kept naive: the raw
+/// packets are stored whole and the histogram is recomputed from scratch
+/// at seal time (the real engine folds incrementally into a fixed
+/// array). Claimed domains are plain strings, not interned ids.
+#[derive(Debug, Clone, Default)]
+struct RefEvidence {
+    /// `(timestamp µs, wire size, from_device, udp)` per packet, in
+    /// arrival order.
+    packets: Vec<(u64, u16, bool, bool)>,
+    claims: Vec<String>,
+    /// Wrong class a previous full window confidently matched; a spoof
+    /// verdict needs a second consecutive window agreeing on it.
+    candidate: Option<u16>,
+}
+
+/// Naive mirror of the `fiat-fingerprint` evidence engine (DESIGN §19).
+///
+/// Shares only *data* with the real engine — the learned
+/// [`ClassSignature`] exemplars/domains and the [`MatcherConfig`]
+/// numbers, the same way the oracle shares the event classifier — but
+/// none of the arithmetic: bucket ladders are independent hard-coded
+/// `if` chains, per-mille normalization and L1 distances are recomputed
+/// from raw stored packets at seal time, and claimed-class resolution is
+/// a linear string scan instead of interned-id binary search. A silent
+/// change to a threshold constant or to the window/FIFO/two-window
+/// semantics in `fiat-fingerprint` therefore shows up as a divergence.
+struct RefFingerprint {
+    sigs: Vec<ClassSignature>,
+    cfg: MatcherConfig,
+    tracked: Vec<(u16, RefEvidence)>,
+    sealed: Vec<(u16, FingerprintVerdict)>,
+}
+
+impl RefFingerprint {
+    fn new(sigs: Vec<ClassSignature>, mut cfg: MatcherConfig) -> RefFingerprint {
+        // The same clamps the real engine applies at construction.
+        cfg.claim_domains = cfg.claim_domains.min(MAX_CLAIM_DOMAINS);
+        cfg.evidence_window = cfg.evidence_window.max(1);
+        RefFingerprint {
+            sigs,
+            cfg,
+            tracked: Vec::new(),
+            sealed: Vec::new(),
+        }
+    }
+
+    /// Redeclared feature layout: 16 size buckets × 2 directions, 8
+    /// inter-arrival buckets, 8 size-delta buckets, 2 transport counts.
+    /// The literal ladders below are *not* imported from
+    /// `fiat_fingerprint::features` — that is the point.
+    fn ref_size_bucket(size: u16) -> usize {
+        if size <= 64 {
+            0
+        } else if size <= 80 {
+            1
+        } else if size <= 96 {
+            2
+        } else if size <= 112 {
+            3
+        } else if size <= 128 {
+            4
+        } else if size <= 160 {
+            5
+        } else if size <= 192 {
+            6
+        } else if size <= 224 {
+            7
+        } else if size <= 256 {
+            8
+        } else if size <= 320 {
+            9
+        } else if size <= 384 {
+            10
+        } else if size <= 512 {
+            11
+        } else if size <= 768 {
+            12
+        } else if size <= 1024 {
+            13
+        } else if size <= 2048 {
+            14
+        } else {
+            15
+        }
+    }
+
+    fn ref_iat_bucket(ms: u64) -> usize {
+        if ms <= 16 {
+            0
+        } else if ms <= 256 {
+            1
+        } else if ms <= 4_096 {
+            2
+        } else if ms <= 30_000 {
+            3
+        } else if ms <= 60_000 {
+            4
+        } else if ms <= 90_000 {
+            5
+        } else if ms <= 240_000 {
+            6
+        } else {
+            7
+        }
+    }
+
+    fn ref_delta_bucket(delta: u16) -> usize {
+        if delta == 0 {
+            0
+        } else if delta <= 4 {
+            1
+        } else if delta <= 8 {
+            2
+        } else if delta <= 16 {
+            3
+        } else if delta <= 32 {
+            4
+        } else if delta <= 64 {
+            5
+        } else if delta <= 256 {
+            6
+        } else {
+            7
+        }
+    }
+
+    /// Recompute the per-mille window profile from the raw packets —
+    /// histogram, then per-group normalization over the literal group
+    /// bounds (size 0..32, IAT 32..40, delta 40..48, transport 48..50).
+    fn ref_profile(packets: &[(u64, u16, bool, bool)]) -> [u16; FEATURE_COUNT] {
+        let mut hist = [0u64; FEATURE_COUNT];
+        let mut prev: Option<(u64, u16)> = None;
+        for &(ts_us, size, from_device, udp) in packets {
+            let base = if from_device { 0 } else { 16 };
+            hist[base + Self::ref_size_bucket(size)] += 1;
+            if let Some((prev_us, prev_size)) = prev {
+                let gap_ms = ts_us.saturating_sub(prev_us) / 1_000;
+                hist[32 + Self::ref_iat_bucket(gap_ms)] += 1;
+                let delta = size.abs_diff(prev_size);
+                hist[40 + Self::ref_delta_bucket(delta)] += 1;
+            }
+            prev = Some((ts_us, size));
+            if udp {
+                hist[49] += 1;
+            } else {
+                hist[48] += 1;
+            }
+        }
+        let mut out = [0u16; FEATURE_COUNT];
+        for (start, end) in [(0usize, 32usize), (32, 40), (40, 48), (48, 50)] {
+            let total: u64 = hist[start..end].iter().sum();
+            if total == 0 {
+                continue;
+            }
+            for i in start..end {
+                out[i] = (hist[i] * 1000 / total) as u16;
+            }
+        }
+        out
+    }
+
+    /// Nearest-exemplar L1 distance to one class.
+    fn ref_class_distance(sig: &ClassSignature, obs: &[u16; FEATURE_COUNT]) -> u32 {
+        let mut best = u32::MAX;
+        for e in &sig.exemplars {
+            let mut d = 0u32;
+            for i in 0..FEATURE_COUNT {
+                d += u32::from(e[i].abs_diff(obs[i]));
+            }
+            best = best.min(d);
+        }
+        best
+    }
+
+    /// The confident behavioral match: nearest class under the distance
+    /// threshold, with the runner-up at least `min_margin` behind. Ties
+    /// keep the lowest index, like the real matcher.
+    fn ref_behavioral(&self, obs: &[u16; FEATURE_COUNT]) -> Option<u16> {
+        let dists: Vec<u32> = self
+            .sigs
+            .iter()
+            .map(|s| Self::ref_class_distance(s, obs))
+            .collect();
+        let mut best: Option<(usize, u32)> = None;
+        for (i, &d) in dists.iter().enumerate() {
+            if best.is_none_or(|(_, bd)| d < bd) {
+                best = Some((i, d));
+            }
+        }
+        let (bi, bd) = best?;
+        if bd > self.cfg.max_distance {
+            return None;
+        }
+        let runner = dists
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != bi)
+            .map(|(_, &d)| d)
+            .min()
+            .unwrap_or(u32::MAX);
+        if runner != u32::MAX && runner - bd < self.cfg.min_margin {
+            return None;
+        }
+        Some(bi as u16)
+    }
+
+    /// The class the device claims by its destinations: most overlap
+    /// between its claimed domains and a class's domain vocabulary,
+    /// ties toward the lowest index, zero overlap is no claim.
+    fn ref_claimed(&self, claims: &[String]) -> Option<u16> {
+        let mut best: Option<(u16, usize)> = None;
+        for (i, sig) in self.sigs.iter().enumerate() {
+            let overlap = claims.iter().filter(|c| sig.domains.contains(c)).count();
+            if overlap > 0 && best.is_none_or(|(_, b)| overlap > b) {
+                best = Some((i as u16, overlap));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Mirror of `FingerprintEngine::observe`: cached sealed verdict,
+    /// else accumulate into the device's FIFO-capped window; a full
+    /// window seals — with the two-consecutive-window confirmation rule
+    /// before any spoof verdict. Returns the verdict plus the
+    /// just-sealed edge (which is when the audit entry is written).
+    fn observe(&mut self, pkt: &PacketRecord, dns: &DnsTable) -> (FingerprintVerdict, bool) {
+        if let Some(&(_, v)) = self.sealed.iter().find(|(d, _)| *d == pkt.device) {
+            return (v, false);
+        }
+        let idx = match self.tracked.iter().position(|(d, _)| *d == pkt.device) {
+            Some(i) => i,
+            None => {
+                if self.tracked.len() == self.cfg.max_tracked {
+                    self.tracked.remove(0);
+                }
+                self.tracked.push((pkt.device, RefEvidence::default()));
+                self.tracked.len() - 1
+            }
+        };
+        let ev = &mut self.tracked[idx].1;
+        ev.packets.push((
+            pkt.ts.as_micros(),
+            pkt.size,
+            pkt.direction == fiat_net::Direction::FromDevice,
+            pkt.transport == fiat_net::Transport::Udp,
+        ));
+        if ev.claims.len() < self.cfg.claim_domains {
+            if let fiat_net::RemoteId::Domain(id) = dns.remote_id(pkt.remote_ip) {
+                let d = dns.domain_str(id);
+                if !ev.claims.iter().any(|c| c == d) {
+                    ev.claims.push(d.to_string());
+                }
+            }
+        }
+        if (ev.packets.len() as u32) < self.cfg.evidence_window {
+            return (FingerprintVerdict::Pending, false);
+        }
+
+        let obs = Self::ref_profile(&ev.packets);
+        let verdict = match self.ref_behavioral(&obs) {
+            Some(b) => match self.ref_claimed(&self.tracked[idx].1.claims) {
+                Some(c) if c != b => FingerprintVerdict::Spoof {
+                    claimed: c,
+                    matched: b,
+                },
+                _ => FingerprintVerdict::Match(b),
+            },
+            None => FingerprintVerdict::NoMatch,
+        };
+        if let FingerprintVerdict::Spoof { matched, .. } = verdict {
+            let ev = &mut self.tracked[idx].1;
+            if ev.candidate != Some(matched) {
+                // First contradictory window: restart with the candidate
+                // armed; the device reads as NoMatch (quarantined, not
+                // yet accused) until a second window agrees.
+                ev.packets.clear();
+                ev.claims.clear();
+                ev.candidate = Some(matched);
+                return (FingerprintVerdict::NoMatch, false);
+            }
+        }
+        let (device, _) = self.tracked.remove(idx);
+        if self.sealed.len() == self.cfg.max_sealed {
+            self.sealed.remove(0);
+        }
+        self.sealed.push((device, verdict));
+        (verdict, true)
+    }
+}
+
 /// Naive reference decision pipeline. See the module docs.
 pub struct ReferenceProxy {
     config: ProxyConfig,
@@ -120,6 +411,10 @@ pub struct ReferenceProxy {
     ghosts: Vec<RefGhost>,
     devices: BTreeMap<u16, RefDevice>,
     unknown_seen: Vec<u16>,
+    /// Naive fingerprint mirror; `None` means the gate is uninstalled
+    /// (the legacy unknown-device fail-open applies, gate knob or not),
+    /// exactly like the real proxy's optional boxed gate.
+    fingerprint: Option<RefFingerprint>,
     human_valid_until: SimTime,
     /// Interaction DAG as a flat `trigger → target` edge list, plus the
     /// last authorized time per device. `None` means no graph installed
@@ -169,6 +464,7 @@ impl ReferenceProxy {
             ghosts: Vec::new(),
             devices: BTreeMap::new(),
             unknown_seen: Vec::new(),
+            fingerprint: None,
             human_valid_until: SimTime::ZERO,
             interactions: None,
             stats: ProxyStats::default(),
@@ -204,6 +500,14 @@ impl ReferenceProxy {
     /// Provide the capture's DNS knowledge.
     pub fn set_dns(&mut self, dns: DnsTable) {
         self.dns = dns;
+    }
+
+    /// Install the naive fingerprint mirror over shared learned
+    /// signatures and matcher numbers (effective only when
+    /// `ProxyConfig::fingerprint_unknown` is set, mirroring
+    /// `FiatProxy::set_fingerprinter`).
+    pub fn set_fingerprint(&mut self, sigs: Vec<ClassSignature>, cfg: MatcherConfig) {
+        self.fingerprint = Some(RefFingerprint::new(sigs, cfg));
     }
 
     /// Begin operation; bootstrap runs until `now + config.bootstrap`.
@@ -385,6 +689,10 @@ impl ReferenceProxy {
             ProxyDecision::Allow(AllowReason::QuarantineReleased) => {
                 self.stats.quarantine_released += 1
             }
+            ProxyDecision::Allow(AllowReason::FingerprintMatched) => {
+                self.stats.fingerprint_matched += 1
+            }
+            ProxyDecision::Drop(DropReason::UnknownQuarantined) => self.stats.dropped_unknown += 1,
             ProxyDecision::Drop(DropReason::ManualUnverified) => self.stats.dropped_unverified += 1,
             ProxyDecision::Drop(DropReason::LockedOut) => self.stats.dropped_lockout += 1,
             ProxyDecision::Drop(DropReason::QuarantineExpired) => {
@@ -442,6 +750,36 @@ impl ReferenceProxy {
         let gap = self.config.event_gap;
 
         if !self.devices.contains_key(&pkt.device) {
+            // Fingerprint gate first (when installed and enabled): the
+            // behavioral verdict decides, and the legacy fail-open below
+            // never runs for this device.
+            if self.config.fingerprint_unknown && self.fingerprint.is_some() {
+                let (verdict, just_sealed) = {
+                    let fp = self.fingerprint.as_mut().expect("checked above");
+                    fp.observe(pkt, &self.dns)
+                };
+                if just_sealed {
+                    self.push_audit(AuditEntry {
+                        ts: now,
+                        device: pkt.device,
+                        class: EventClass::Control,
+                        verdict: match verdict {
+                            FingerprintVerdict::Match(_) => AuditVerdict::FingerprintMatched,
+                            FingerprintVerdict::Spoof { .. } => AuditVerdict::SpoofSuspected,
+                            _ => AuditVerdict::UnknownQuarantined,
+                        },
+                    });
+                }
+                return match verdict {
+                    FingerprintVerdict::Pending => ProxyDecision::Allow(AllowReason::UnknownDevice),
+                    FingerprintVerdict::Match(_) => {
+                        ProxyDecision::Allow(AllowReason::FingerprintMatched)
+                    }
+                    FingerprintVerdict::Spoof { .. } | FingerprintVerdict::NoMatch => {
+                        ProxyDecision::Drop(DropReason::UnknownQuarantined)
+                    }
+                };
+            }
             // Fail open for unenrolled devices, audited once per device.
             if !self.unknown_seen.contains(&pkt.device) {
                 self.unknown_seen.push(pkt.device);

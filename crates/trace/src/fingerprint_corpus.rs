@@ -1,0 +1,205 @@
+//! Labeled per-class training corpora and a spoofed-device generator for
+//! the fingerprint subsystem (`fiat-fingerprint`).
+//!
+//! The corpus is deliberately *class*-level, not model-level: one
+//! representative Table 1 device per [`crate::device::DeviceKind`]. Two
+//! Echo Dot generations are not behaviorally separable in a 24-packet
+//! window, and the gate's job is "is this really a camera?", not "which
+//! camera firmware?". The residual cold-start risk (a genuine device of
+//! an *untrained* class quarantines as no-match until its class is
+//! enrolled) is documented in DESIGN §19.
+
+use crate::device::DeviceModel;
+use crate::location::Location;
+use crate::testbed::testbed_devices;
+use fiat_net::{SimDuration, SimTime, Trace, TrafficClass};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The class labels and their representative testbed device index, in
+/// signature order: 0 smart-speaker (EchoDot4), 1 camera (WyzeCam),
+/// 2 smart-plug (SP10), 3 thermostat (Nest-E), 4 robot-vacuum (E4).
+pub const CORPUS_CLASSES: [(&str, usize); 5] = [
+    ("smart-speaker", 0),
+    ("camera", 2),
+    ("smart-plug", 3),
+    ("thermostat", 5),
+    ("robot-vacuum", 7),
+];
+
+/// Capture length for one class trace: two hours is hundreds of
+/// keep-alive rounds for every testbed cadence, plus a dozen events.
+pub const CLASS_TRACE_DURATION: SimDuration = SimDuration::from_secs(2 * 3600);
+
+/// One labeled single-device capture of `model`: its full periodic
+/// control plane plus a spread of manual/automated/control events (so
+/// the signature also absorbs event mass and the relay domain enters the
+/// class's domain vocabulary).
+pub fn class_trace(model: &DeviceModel, device_id: u16, seed: u64) -> Trace {
+    let mut trace = Trace::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    model.emit_control(
+        &mut trace,
+        device_id,
+        Location::Us,
+        CLASS_TRACE_DURATION,
+        &mut rng,
+    );
+    let classes = [
+        TrafficClass::Manual,
+        TrafficClass::Automated,
+        TrafficClass::Control,
+    ];
+    let mut start = SimTime::ZERO + SimDuration::from_secs(300);
+    let step = SimDuration::from_secs(600);
+    let mut i = 0usize;
+    while start < SimTime::ZERO + CLASS_TRACE_DURATION {
+        model.emit_event(
+            &mut trace,
+            device_id,
+            Location::Us,
+            classes[i % classes.len()],
+            start,
+            &mut rng,
+        );
+        start += step;
+        i += 1;
+    }
+    trace.finish();
+    trace
+}
+
+/// Training captures per class in [`fingerprint_corpus`]. Several
+/// independently-phased replicas widen the exemplar pool so an online
+/// window (whose periodic flows start at arbitrary phase) has a close
+/// training neighbor.
+pub const CORPUS_REPLICAS: u16 = 6;
+
+/// The labeled training corpus: one `(label, trace)` per
+/// [`CORPUS_CLASSES`] entry, all derived from `seed` deterministically.
+/// Each class trace holds [`CORPUS_REPLICAS`] device ids with distinct
+/// flow phases; signature learning chunks per device id, so the replicas
+/// multiply exemplars without smearing cadences.
+pub fn fingerprint_corpus(seed: u64) -> Vec<(String, Trace)> {
+    let devices = testbed_devices();
+    CORPUS_CLASSES
+        .iter()
+        .enumerate()
+        .map(|(i, (label, dev))| {
+            let mut trace = Trace::new();
+            for rep in 0..CORPUS_REPLICAS {
+                let rep_seed = seed ^ ((i as u64 + 1) << 48) ^ ((rep as u64 + 1) << 24);
+                trace.merge(class_trace(&devices[*dev], rep, rep_seed));
+            }
+            trace.finish();
+            (label.to_string(), trace)
+        })
+        .collect()
+}
+
+/// A spoofed device: it *claims* to be `claimed` — every destination is
+/// one of `claimed`'s cloud endpoints, exactly what a MAC/DNS-level
+/// impersonator controls — but its wire behavior (packet sizes, cadence,
+/// direction mix, transport) is `behaved`'s, which it cannot fake
+/// without also being that kind of device. The fingerprint gate should
+/// resolve the contradiction as `Spoof { claimed, matched }`.
+pub fn spoofed_trace(
+    claimed: &DeviceModel,
+    behaved: &DeviceModel,
+    device_id: u16,
+    duration: SimDuration,
+    seed: u64,
+) -> Trace {
+    let n_claimed = claimed.control_flows.len().max(1);
+    let control_flows = behaved
+        .control_flows
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let mut f = f.clone();
+            f.domain = claimed.control_flows[i % n_claimed].domain.clone();
+            f
+        })
+        .collect();
+    let hybrid = DeviceModel {
+        name: format!("{}-claiming-{}", behaved.name, claimed.name),
+        kind: behaved.kind,
+        endpoint_base: claimed.endpoint_base,
+        control_flows,
+        control_events: None,
+        automated: None,
+        manual: None,
+        min_packets_to_complete: behaved.min_packets_to_complete,
+        simple_rule_size: None,
+        confusion: 0.0,
+    };
+    let mut trace = Trace::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    hybrid.emit_control(&mut trace, device_id, Location::Us, duration, &mut rng);
+    trace.finish();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fiat_net::RemoteId;
+
+    #[test]
+    fn corpus_has_five_distinct_labeled_classes() {
+        let corpus = fingerprint_corpus(7);
+        assert_eq!(corpus.len(), 5);
+        let labels: Vec<&str> = corpus.iter().map(|(l, _)| l.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "smart-speaker",
+                "camera",
+                "smart-plug",
+                "thermostat",
+                "robot-vacuum"
+            ]
+        );
+        for (label, trace) in &corpus {
+            assert!(
+                trace.packets.len() > 100,
+                "{label}: only {} packets",
+                trace.packets.len()
+            );
+            assert!(trace.packets.windows(2).all(|w| w[0].ts <= w[1].ts));
+        }
+    }
+
+    #[test]
+    fn corpus_is_deterministic_per_seed() {
+        let a = fingerprint_corpus(3);
+        let b = fingerprint_corpus(3);
+        let c = fingerprint_corpus(4);
+        assert_eq!(a[0].1.packets, b[0].1.packets);
+        assert_ne!(a[0].1.packets, c[0].1.packets);
+    }
+
+    #[test]
+    fn spoofed_trace_wears_claimed_domains_with_behaved_sizes() {
+        let devices = testbed_devices();
+        let plug = &devices[3]; // SP10
+        let cam = &devices[2]; // WyzeCam
+        let spoof = spoofed_trace(plug, cam, 900, SimDuration::from_secs(3600), 11);
+        assert!(!spoof.packets.is_empty());
+        // Every destination resolves to a plug domain...
+        for pkt in &spoof.packets {
+            let RemoteId::Domain(id) = spoof.dns.remote_id(pkt.remote_ip) else {
+                panic!("unregistered remote ip");
+            };
+            assert!(
+                spoof.dns.domain_str(id).contains("teckin"),
+                "unexpected domain {}",
+                spoof.dns.domain_str(id)
+            );
+        }
+        // ...but no packet has the plug's keep-alive sizes (60/66 B);
+        // the wire behavior is the camera's (88/97/102 B).
+        let sizes: Vec<u16> = spoof.packets.iter().map(|p| p.size).collect();
+        assert!(sizes.iter().all(|s| [88, 97, 102].contains(s)));
+    }
+}

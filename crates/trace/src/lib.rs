@@ -17,12 +17,18 @@
 //! - [`datasets`]: YourThings-like and Mon(IoT)r-like corpora, the Bose
 //!   SoundTouch flows of Figure 1(a), and IoT-Inspector-style 5-second
 //!   aggregation.
+//! - [`fingerprint_corpus`]: labeled per-class training corpora and a
+//!   spoofed-device generator for `fiat-fingerprint`.
 
 pub mod datasets;
 pub mod device;
+pub mod fingerprint_corpus;
 pub mod location;
 pub mod testbed;
 
 pub use device::{DeviceModel, EventShape, PeriodicFlow};
+pub use fingerprint_corpus::{
+    class_trace, fingerprint_corpus, spoofed_trace, CLASS_TRACE_DURATION, CORPUS_CLASSES,
+};
 pub use location::Location;
 pub use testbed::{testbed_devices, TestbedConfig, TestbedTrace};
