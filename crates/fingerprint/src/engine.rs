@@ -24,9 +24,12 @@ pub struct MatcherConfig {
     /// ambiguous and degrades to no-confident-match rather than risking
     /// a cross-class flip.
     pub min_margin: u32,
-    /// Concurrent open evidence windows (FIFO eviction past the cap).
+    /// Concurrent open evidence windows. Past the cap the
+    /// least-recently-active window is evicted — and *sealed* with its
+    /// partial evidence, so eviction is never a free evidence reset.
     pub max_tracked: usize,
-    /// Cached sealed verdicts (FIFO eviction past the cap).
+    /// Cached sealed verdicts (least-recently-replayed eviction past
+    /// the cap).
     pub max_sealed: usize,
     /// Distinct destination domains recorded as the device's *claim*
     /// (clamped to [`MAX_CLAIM_DOMAINS`]).
@@ -56,11 +59,14 @@ struct Evidence {
     claims: [u32; MAX_CLAIM_DOMAINS],
     n_claims: usize,
     /// Class a previous full window confidently matched *against* the
-    /// device's claim. A spoof verdict needs two consecutive windows
-    /// agreeing on the same wrong class; a single contradictory window
-    /// (e.g. one media burst reshaped by a padding countermeasure into
-    /// another class's buckets) only restarts the window with this
-    /// candidate armed, and its traffic is dropped meanwhile.
+    /// device's claim. A single contradictory window (e.g. one media
+    /// burst reshaped by a padding countermeasure into another class's
+    /// buckets) only restarts the window with this candidate armed, and
+    /// the device's traffic is dropped (`NoMatch`) while the
+    /// confirmation window fills; a second consecutive window that
+    /// confidently matches *any* wrong class seals the spoof verdict.
+    /// Exactly one restart — an attacker alternating mimicry between
+    /// classes cannot re-arm forever.
     candidate: Option<u16>,
 }
 
@@ -90,9 +96,11 @@ impl Evidence {
 /// caches the sealed verdict for every later packet.
 ///
 /// Determinism and allocation discipline: all state lives in two
-/// `Vec`s preallocated to their FIFO caps, every decision is integer
-/// arithmetic, and after a device's window seals its packets cost one
-/// linear scan and zero allocations (pinned by `tests/zero_alloc.rs`).
+/// `Vec`s preallocated to their caps and kept in LRU order (front =
+/// eviction victim; touches move to the back without reallocating),
+/// every decision is integer arithmetic, and after a device's window
+/// seals its packets cost one linear scan and zero allocations (pinned
+/// by `tests/zero_alloc.rs`).
 pub struct FingerprintEngine {
     signatures: SignatureSet,
     cfg: MatcherConfig,
@@ -106,6 +114,8 @@ impl FingerprintEngine {
     pub fn new(signatures: SignatureSet, mut cfg: MatcherConfig) -> FingerprintEngine {
         cfg.claim_domains = cfg.claim_domains.min(MAX_CLAIM_DOMAINS);
         cfg.evidence_window = cfg.evidence_window.max(1);
+        cfg.max_tracked = cfg.max_tracked.max(1);
+        cfg.max_sealed = cfg.max_sealed.max(1);
         FingerprintEngine {
             signatures,
             tracked: Vec::with_capacity(cfg.max_tracked),
@@ -163,29 +173,67 @@ impl FingerprintEngine {
             None => FingerprintVerdict::NoMatch,
         }
     }
+
+    /// Record a sealed verdict in the FIFO cache and the totals.
+    fn commit(&mut self, device: u16, verdict: FingerprintVerdict) {
+        self.sealed_total[match verdict {
+            FingerprintVerdict::Match(_) => 0,
+            FingerprintVerdict::Spoof { .. } => 1,
+            _ => 2,
+        }] += 1;
+        if self.sealed.len() >= self.cfg.max_sealed {
+            self.sealed.remove(0);
+        }
+        self.sealed.push((device, verdict));
+    }
 }
 
 impl FingerprintGate for FingerprintEngine {
     fn observe(&mut self, pkt: &PacketRecord, dns: &DnsTable) -> FingerprintObservation {
-        // Steady state: the device's verdict is already sealed.
-        if let Some(v) = self.sealed_verdict(pkt.device) {
+        // Steady state: the device's verdict is already sealed. The
+        // replay refreshes the entry's LRU slot, so an active device's
+        // verdict cannot be flushed out of the cache by a burst of
+        // throwaway-MAC seals (which would reopen its Pending window).
+        if let Some(i) = self.sealed.iter().position(|(d, _)| *d == pkt.device) {
+            let entry = self.sealed.remove(i);
+            let v = entry.1;
+            self.sealed.push(entry);
             return FingerprintObservation {
                 verdict: v,
                 just_sealed: false,
             };
         }
 
-        // Find or open the device's evidence window (FIFO-capped).
-        let idx = match self.tracked.iter().position(|(d, _)| *d == pkt.device) {
-            Some(i) => i,
+        // Find the device's evidence window, refreshing its LRU slot,
+        // or open one. Past the cap the least-recently-active window is
+        // evicted — a one-shot throwaway MAC, not a device that is
+        // actively sending — and the victim is *sealed* with whatever
+        // partial evidence it has, rather than discarded: silently
+        // dropping an open window would let a device that floods
+        // throwaway MACs reset its own evidence each cycle and stay
+        // Pending (allowed) forever. An un-confirmed Spoof from partial
+        // evidence is demoted to NoMatch — still quarantined, but the
+        // accusation keeps requiring a prior full contradictory window.
+        match self.tracked.iter().position(|(d, _)| *d == pkt.device) {
+            Some(i) => {
+                let entry = self.tracked.remove(i);
+                self.tracked.push(entry);
+            }
             None => {
-                if self.tracked.len() == self.cfg.max_tracked {
-                    self.tracked.remove(0);
+                if self.tracked.len() >= self.cfg.max_tracked {
+                    let (victim, ev) = self.tracked.remove(0);
+                    let verdict = match self.seal(&ev, dns) {
+                        FingerprintVerdict::Spoof { .. } if ev.candidate.is_none() => {
+                            FingerprintVerdict::NoMatch
+                        }
+                        v => v,
+                    };
+                    self.commit(victim, verdict);
                 }
                 self.tracked.push((pkt.device, Evidence::new()));
-                self.tracked.len() - 1
             }
         };
+        let idx = self.tracked.len() - 1;
 
         let ev = &mut self.tracked[idx].1;
         let prev = (ev.seen > 0).then_some((ev.last_ts, ev.last_size));
@@ -203,41 +251,48 @@ impl FingerprintGate for FingerprintEngine {
         }
 
         if ev.seen < self.cfg.evidence_window {
+            // While a spoof candidate is armed the device is already
+            // quarantined: its confirmation-window traffic reads NoMatch
+            // (drop), never Pending (allow) — otherwise a spoofer whose
+            // first window sealed contradictory would get a second
+            // window of forwarded packets, enough to finish a command.
             return FingerprintObservation {
-                verdict: FingerprintVerdict::Pending,
+                verdict: if ev.candidate.is_some() {
+                    FingerprintVerdict::NoMatch
+                } else {
+                    FingerprintVerdict::Pending
+                },
                 just_sealed: false,
             };
         }
 
-        // Window full: decide. The deciding packet itself already
-        // receives the verdict, so at most `evidence_window - 1` packets
-        // of an unknown device are ever forwarded.
+        // Window full: decide. Only the first window forwards traffic
+        // (the confirmation window reads NoMatch throughout), so at most
+        // `evidence_window - 1` packets of an unknown device are ever
+        // forwarded, spoofer or not.
         let ev = self.tracked[idx].1;
         let verdict = self.seal(&ev, dns);
         if let FingerprintVerdict::Spoof { matched, .. } = verdict {
-            if ev.candidate != Some(matched) {
-                // First contradictory window (or a different wrong
-                // class than last time): arm the candidate and demand a
-                // second window of agreement before the accusation.
-                // Until then the device's traffic reads as NoMatch —
-                // quarantined, but not yet branded a spoofer.
+            if ev.candidate.is_none() {
+                // First contradictory window: arm the candidate and
+                // demand a second contradictory window before the
+                // accusation. Until then the device's traffic reads as
+                // NoMatch — quarantined, but not yet branded a spoofer.
                 self.tracked[idx].1.restart(matched);
                 return FingerprintObservation {
                     verdict: FingerprintVerdict::NoMatch,
                     just_sealed: false,
                 };
             }
+            // Candidate armed: any confident wrong class confirms. A
+            // genuine device's fluke window is followed by Match or
+            // NoMatch; only sustained wrong-class behavior lands here,
+            // and letting a different wrong class re-arm would let an
+            // attacker alternate mimicry between two classes and never
+            // seal.
         }
         let (device, _) = self.tracked.remove(idx);
-        self.sealed_total[match verdict {
-            FingerprintVerdict::Match(_) => 0,
-            FingerprintVerdict::Spoof { .. } => 1,
-            _ => 2,
-        }] += 1;
-        if self.sealed.len() == self.cfg.max_sealed {
-            self.sealed.remove(0);
-        }
-        self.sealed.push((device, verdict));
+        self.commit(device, verdict);
         FingerprintObservation {
             verdict,
             just_sealed: true,

@@ -14,16 +14,24 @@
 //!    gets a bounded evidence window (default 24 packets — below any
 //!    testbed command-completion threshold). While it fills, packets
 //!    pass provisionally; the window then *seals* with one verdict that
-//!    is cached and applied to all later traffic.
+//!    is cached and applied to all later traffic. Evicting an open
+//!    window under the tracking cap seals it with its partial evidence
+//!    (never a silent evidence reset), and both the tracked and sealed
+//!    caches evict least-recently-active, so throwaway-MAC floods
+//!    cannot flush an active device's state.
 //! 3. **Verdict** ([`fiat_core::FingerprintVerdict`]): the nearest
 //!    signature under an L1 threshold *and* a runner-up margin. A
 //!    confident match that contradicts the class the device claims by
-//!    its destinations is `Spoof` — but only after a *second* full
-//!    window independently confirms the same wrong class (one reshaped
-//!    media burst is not an accusation; a spoofer misbehaves in every
-//!    window). An ambiguous or distant profile is `NoMatch` — never a
-//!    cross-class guess, so padding/shaping countermeasures degrade to
-//!    quarantine, not misattribution.
+//!    its destinations is `Spoof` — but only after a second full
+//!    window independently confirms a wrong class (one reshaped media
+//!    burst is not an accusation; a spoofer misbehaves in every
+//!    window). The confirmation window's traffic is already
+//!    quarantined (`NoMatch`, not `Pending`), so at most one window of
+//!    packets is ever forwarded, and exactly one restart is allowed —
+//!    alternating mimicry between classes cannot re-arm forever. An
+//!    ambiguous or distant profile is `NoMatch` — never a cross-class
+//!    guess, so padding/shaping countermeasures degrade to quarantine,
+//!    not misattribution.
 //!
 //! The proxy consumes the engine through the [`fiat_core::FingerprintGate`]
 //! trait behind the `ProxyConfig::fingerprint_unknown` knob; the naive

@@ -158,20 +158,134 @@ fn window_edge_is_exact() {
 }
 
 #[test]
-fn tracked_and_sealed_are_fifo_capped() {
+fn spoof_confirmation_quarantines_instead_of_allowing() {
+    // A spoofer whose first window seals contradictory must NOT get a
+    // second window of forwarded traffic while the confirmation fills:
+    // across the whole run at most `evidence_window - 1` packets are
+    // allowed — below the 41-packet command-completion threshold the
+    // window size was chosen to stay under — and once quarantine starts
+    // it never reverts to allow.
+    let devices = testbed_devices();
+    let mut engine = trained_engine(1);
+    let mut dns = corpus_dns(1);
+    let window = engine.config().evidence_window as usize;
+    let trace = spoofed_trace(
+        &devices[CORPUS_CLASSES[2].1],
+        &devices[CORPUS_CLASSES[1].1],
+        710,
+        SimDuration::from_secs(3600),
+        55,
+    );
+    dns.merge(&trace.dns);
+    let mut allowed = 0usize;
+    let mut dropping = false;
+    let mut sealed = None;
+    for pkt in &trace.packets {
+        let obs = engine.observe(pkt, &dns);
+        match obs.verdict {
+            FingerprintVerdict::Pending | FingerprintVerdict::Match(_) => {
+                assert!(!dropping, "quarantined device allowed again");
+                allowed += 1;
+            }
+            _ => dropping = true,
+        }
+        if obs.just_sealed {
+            sealed = Some(obs.verdict);
+        }
+    }
+    assert!(matches!(sealed, Some(FingerprintVerdict::Spoof { .. })));
+    assert!(allowed < window, "{allowed} packets forwarded");
+    assert!(allowed < 41, "spoofer could complete a WyzeCam command");
+}
+
+#[test]
+fn alternating_mimicry_cannot_rearm_the_candidate_forever() {
+    // Synthetic three-class world with full control over behavior:
+    // class A = tiny packets, class B = big packets, class C is what
+    // the device *claims* via its destination domain. The device plays
+    // one window of B then switches to A. The first contradictory
+    // window arms candidate B; the A-shaped confirmation window matches
+    // a *different* wrong class — which must still confirm the spoof
+    // (re-arming on every swap would let the device alternate mimicry
+    // between two classes and keep a window of traffic allowed forever).
+    use fiat_fingerprint::features::{fold_packet, profile};
+    use fiat_fingerprint::{ClassSignature, FEATURE_COUNT};
+    use fiat_net::SimTime;
+
+    let cfg = MatcherConfig::default();
+    let window = cfg.evidence_window as usize;
+    let shaped = |start: u64, n: usize, size: u16| -> Vec<fiat_net::PacketRecord> {
+        (0..n)
+            .map(|i| {
+                let mut p = flood_pkt(880, start + 10 * i as u64);
+                p.size = size;
+                p
+            })
+            .collect()
+    };
+    let phase_b = shaped(0, window, 999);
+    let phase_a = shaped(10 * window as u64, window, 60);
+    let exemplar = |pkts: &[fiat_net::PacketRecord]| -> [u16; FEATURE_COUNT] {
+        let mut hist = [0u32; FEATURE_COUNT];
+        let mut prev: Option<(SimTime, u16)> = None;
+        for p in pkts {
+            fold_packet(&mut hist, p, prev);
+            prev = Some((p.ts, p.size));
+        }
+        profile(&hist)
+    };
+    let sig = |label: &str, ex: [u16; FEATURE_COUNT], domain: &str| ClassSignature {
+        label: label.to_string(),
+        exemplars: vec![ex],
+        domains: vec![domain.to_string()],
+        packets: window as u64,
+    };
+    // Class C's exemplar is far from both phases (sizes in bucket 5).
+    let sigs = SignatureSet::from_signatures(vec![
+        sig("a", exemplar(&phase_a), "a.example"),
+        sig("b", exemplar(&phase_b), "b.example"),
+        sig("c", exemplar(&shaped(0, window, 160)), "c.example"),
+    ]);
+    let mut dns = DnsTable::new();
+    dns.observe_forward("1.2.3.4".parse().unwrap(), "c.example");
+    let mut engine = FingerprintEngine::new(sigs, cfg);
+
+    let mut sealed = None;
+    for (i, pkt) in phase_b.iter().chain(&phase_a).enumerate() {
+        let obs = engine.observe(pkt, &dns);
+        if i >= window {
+            assert_eq!(
+                obs.verdict,
+                if obs.just_sealed {
+                    FingerprintVerdict::Spoof {
+                        claimed: 2,
+                        matched: 0,
+                    }
+                } else {
+                    FingerprintVerdict::NoMatch
+                },
+                "confirmation-window packet {i} was not quarantined"
+            );
+        }
+        if obs.just_sealed {
+            sealed = Some(obs.verdict);
+        }
+    }
+    assert_eq!(
+        sealed,
+        Some(FingerprintVerdict::Spoof {
+            claimed: 2,
+            matched: 0,
+        }),
+        "class-swapping spoofer re-armed instead of sealing"
+    );
+}
+
+fn flood_pkt(device: u16, i: u64) -> fiat_net::PacketRecord {
     use fiat_net::{
         Direction, PacketRecord, SimTime, TcpFlags, TlsVersion, TrafficClass, Transport,
     };
-    let corpus = fingerprint_corpus(1);
-    let cfg = MatcherConfig {
-        max_tracked: 4,
-        max_sealed: 4,
-        evidence_window: 3,
-        ..MatcherConfig::default()
-    };
-    let mut engine = FingerprintEngine::new(SignatureSet::learn(&corpus, cfg.evidence_window), cfg);
-    let dns = DnsTable::new();
-    let pkt = |device: u16, i: u64| PacketRecord {
+    PacketRecord {
         ts: SimTime::from_millis(i),
         device,
         direction: Direction::FromDevice,
@@ -184,25 +298,105 @@ fn tracked_and_sealed_are_fifo_capped() {
         tls: TlsVersion::None,
         size: 999,
         label: TrafficClass::Control,
-    };
-    // Open 6 windows with one packet each: the first two devices are
-    // FIFO-evicted, state never exceeds the cap.
-    for d in 0..6u16 {
-        engine.observe(&pkt(d, u64::from(d)), &dns);
     }
-    assert_eq!(engine.state_size(), 4);
-    // Device 0 was evicted: two more packets still leave it Pending
-    // (its evidence restarted), the third seals it.
-    assert!(!engine.observe(&pkt(0, 100), &dns).just_sealed);
-    assert!(!engine.observe(&pkt(0, 101), &dns).just_sealed);
-    assert!(engine.observe(&pkt(0, 102), &dns).just_sealed);
+}
+
+#[test]
+fn tracked_and_sealed_are_lru_capped() {
+    let corpus = fingerprint_corpus(1);
+    let cfg = MatcherConfig {
+        max_tracked: 4,
+        max_sealed: 4,
+        evidence_window: 3,
+        ..MatcherConfig::default()
+    };
+    let mut engine = FingerprintEngine::new(SignatureSet::learn(&corpus, cfg.evidence_window), cfg);
+    let dns = DnsTable::new();
+    // Open 6 windows with one packet each: the two least recently
+    // active devices are evicted, and eviction *seals* their partial
+    // evidence (a silently discarded window would be an
+    // attacker-resettable reset).
+    for d in 0..6u16 {
+        engine.observe(&flood_pkt(d, u64::from(d)), &dns);
+    }
+    assert_eq!(engine.state_size(), 6, "4 tracked + 2 evicted-and-sealed");
+    let evicted = engine.sealed_verdict(0).expect("eviction seals");
+    assert!(engine.sealed_verdict(1).is_some());
+    // The evicted device's next packet replays the cached verdict
+    // instead of reopening a Pending window.
+    let obs = engine.observe(&flood_pkt(0, 100), &dns);
+    assert_eq!(obs.verdict, evicted);
+    assert!(!obs.just_sealed);
+    assert_eq!(engine.state_size(), 6, "no re-tracking after seal");
     // Seal 4 more devices: the sealed cache caps at 4 too.
     for d in 10..14u16 {
         for i in 0..3u64 {
-            engine.observe(&pkt(d, 200 + u64::from(d) * 10 + i), &dns);
+            engine.observe(&flood_pkt(d, 200 + u64::from(d) * 10 + i), &dns);
         }
     }
-    assert_eq!(engine.sealed_verdict(0), None, "FIFO evicted from sealed");
+    assert_eq!(engine.sealed_verdict(0), None, "LRU evicted from sealed");
     assert!(engine.sealed_verdict(13).is_some());
     assert!(engine.state_size() <= 8);
+}
+
+#[test]
+fn mac_flood_cannot_keep_a_device_pending_forever() {
+    // A device that also emits packets from throwaway MACs used to evict
+    // its own open window each cycle, so its verdict never sealed and
+    // all of its traffic stayed Pending (allowed) indefinitely. Now the
+    // forced eviction seals the partial evidence: across the whole
+    // flood the target device gets at most `evidence_window - 1`
+    // provisionally allowed packets, then a cached verdict.
+    let corpus = fingerprint_corpus(1);
+    let cfg = MatcherConfig::default();
+    let mut engine = FingerprintEngine::new(SignatureSet::learn(&corpus, cfg.evidence_window), cfg);
+    let dns = DnsTable::new();
+    let window = cfg.evidence_window as u64;
+    let target = 400u16;
+    let mut pending = 0u64;
+    let mut t = 0u64;
+    for cycle in 0..40u64 {
+        // A few target packets, then a full FIFO of throwaway MACs.
+        for _ in 0..window / 4 {
+            t += 1;
+            if engine.observe(&flood_pkt(target, t), &dns).verdict == FingerprintVerdict::Pending {
+                pending += 1;
+            }
+        }
+        for m in 0..cfg.max_tracked as u64 {
+            t += 1;
+            let mac = 1000 + (cycle * cfg.max_tracked as u64 + m) as u16;
+            engine.observe(&flood_pkt(mac, t), &dns);
+        }
+    }
+    assert!(
+        pending < window,
+        "{pending} packets rode the flood-reset fail-open"
+    );
+    assert!(
+        engine.sealed_verdict(target).is_some(),
+        "flooded device never sealed"
+    );
+}
+
+#[test]
+fn degenerate_caps_are_clamped_not_panicking() {
+    let corpus = fingerprint_corpus(1);
+    let cfg = MatcherConfig {
+        max_tracked: 0,
+        max_sealed: 0,
+        evidence_window: 1,
+        ..MatcherConfig::default()
+    };
+    let mut engine = FingerprintEngine::new(SignatureSet::learn(&corpus, 1), cfg);
+    assert_eq!(engine.config().max_tracked, 1);
+    assert_eq!(engine.config().max_sealed, 1);
+    let dns = DnsTable::new();
+    // Exercise both the tracked and sealed eviction paths at cap 1.
+    for d in 0..4u16 {
+        for i in 0..2u64 {
+            engine.observe(&flood_pkt(d, u64::from(d) * 10 + i), &dns);
+        }
+    }
+    assert!(engine.state_size() <= 2);
 }

@@ -117,8 +117,10 @@ struct RefEvidence {
     /// arrival order.
     packets: Vec<(u64, u16, bool, bool)>,
     claims: Vec<String>,
-    /// Wrong class a previous full window confidently matched; a spoof
-    /// verdict needs a second consecutive window agreeing on it.
+    /// Wrong class a previous full window confidently matched. While
+    /// armed the device's traffic reads `NoMatch` (dropped); a second
+    /// window confidently matching *any* wrong class seals `Spoof` —
+    /// exactly one restart, no re-arming.
     candidate: Option<u16>,
 }
 
@@ -145,6 +147,8 @@ impl RefFingerprint {
         // The same clamps the real engine applies at construction.
         cfg.claim_domains = cfg.claim_domains.min(MAX_CLAIM_DOMAINS);
         cfg.evidence_window = cfg.evidence_window.max(1);
+        cfg.max_tracked = cfg.max_tracked.max(1);
+        cfg.max_sealed = cfg.max_sealed.max(1);
         RefFingerprint {
             sigs,
             cfg,
@@ -327,25 +331,70 @@ impl RefFingerprint {
         best.map(|(i, _)| i)
     }
 
-    /// Mirror of `FingerprintEngine::observe`: cached sealed verdict,
-    /// else accumulate into the device's FIFO-capped window; a full
-    /// window seals — with the two-consecutive-window confirmation rule
-    /// before any spoof verdict. Returns the verdict plus the
-    /// just-sealed edge (which is when the audit entry is written).
+    /// Seal a window's raw evidence: behavioral nearest-signature
+    /// decision crossed with the claimed class.
+    fn seal_verdict(&self, ev: &RefEvidence) -> FingerprintVerdict {
+        let obs = Self::ref_profile(&ev.packets);
+        match self.ref_behavioral(&obs) {
+            Some(b) => match self.ref_claimed(&ev.claims) {
+                Some(c) if c != b => FingerprintVerdict::Spoof {
+                    claimed: c,
+                    matched: b,
+                },
+                _ => FingerprintVerdict::Match(b),
+            },
+            None => FingerprintVerdict::NoMatch,
+        }
+    }
+
+    /// Record a sealed verdict in the FIFO cache.
+    fn commit(&mut self, device: u16, verdict: FingerprintVerdict) {
+        if self.sealed.len() >= self.cfg.max_sealed {
+            self.sealed.remove(0);
+        }
+        self.sealed.push((device, verdict));
+    }
+
+    /// Mirror of `FingerprintEngine::observe`: cached sealed verdict
+    /// (LRU-refreshed on replay), else accumulate into the device's
+    /// LRU-capped window; a full window seals — with the one-restart
+    /// spoof confirmation rule (armed candidate drops traffic, any
+    /// confident wrong class confirms) and forced evictions sealing
+    /// their partial evidence. Returns the verdict plus the just-sealed
+    /// edge (which is when the audit entry is written).
     fn observe(&mut self, pkt: &PacketRecord, dns: &DnsTable) -> (FingerprintVerdict, bool) {
-        if let Some(&(_, v)) = self.sealed.iter().find(|(d, _)| *d == pkt.device) {
+        if let Some(i) = self.sealed.iter().position(|(d, _)| *d == pkt.device) {
+            let entry = self.sealed.remove(i);
+            let v = entry.1;
+            self.sealed.push(entry);
             return (v, false);
         }
-        let idx = match self.tracked.iter().position(|(d, _)| *d == pkt.device) {
-            Some(i) => i,
+        match self.tracked.iter().position(|(d, _)| *d == pkt.device) {
+            Some(i) => {
+                // Touch: the active window moves to the back; the
+                // eviction victim is always the least recently active.
+                let entry = self.tracked.remove(i);
+                self.tracked.push(entry);
+            }
             None => {
-                if self.tracked.len() == self.cfg.max_tracked {
-                    self.tracked.remove(0);
+                if self.tracked.len() >= self.cfg.max_tracked {
+                    // Forced eviction seals the victim with its partial
+                    // evidence (un-confirmed Spoof demoted to NoMatch),
+                    // like the real engine: a discarded open window
+                    // would be an attacker-resettable fail-open.
+                    let (victim, ev) = self.tracked.remove(0);
+                    let verdict = match self.seal_verdict(&ev) {
+                        FingerprintVerdict::Spoof { .. } if ev.candidate.is_none() => {
+                            FingerprintVerdict::NoMatch
+                        }
+                        v => v,
+                    };
+                    self.commit(victim, verdict);
                 }
                 self.tracked.push((pkt.device, RefEvidence::default()));
-                self.tracked.len() - 1
             }
         };
+        let idx = self.tracked.len() - 1;
         let ev = &mut self.tracked[idx].1;
         ev.packets.push((
             pkt.ts.as_micros(),
@@ -362,26 +411,24 @@ impl RefFingerprint {
             }
         }
         if (ev.packets.len() as u32) < self.cfg.evidence_window {
-            return (FingerprintVerdict::Pending, false);
+            // An armed candidate quarantines the device while the
+            // confirmation window fills: NoMatch (drop), never Pending.
+            let v = if ev.candidate.is_some() {
+                FingerprintVerdict::NoMatch
+            } else {
+                FingerprintVerdict::Pending
+            };
+            return (v, false);
         }
 
-        let obs = Self::ref_profile(&ev.packets);
-        let verdict = match self.ref_behavioral(&obs) {
-            Some(b) => match self.ref_claimed(&self.tracked[idx].1.claims) {
-                Some(c) if c != b => FingerprintVerdict::Spoof {
-                    claimed: c,
-                    matched: b,
-                },
-                _ => FingerprintVerdict::Match(b),
-            },
-            None => FingerprintVerdict::NoMatch,
-        };
+        let verdict = self.seal_verdict(&self.tracked[idx].1);
         if let FingerprintVerdict::Spoof { matched, .. } = verdict {
             let ev = &mut self.tracked[idx].1;
-            if ev.candidate != Some(matched) {
+            if ev.candidate.is_none() {
                 // First contradictory window: restart with the candidate
                 // armed; the device reads as NoMatch (quarantined, not
-                // yet accused) until a second window agrees.
+                // yet accused). Any confident wrong class in the second
+                // window confirms — no re-arming.
                 ev.packets.clear();
                 ev.claims.clear();
                 ev.candidate = Some(matched);
@@ -389,10 +436,7 @@ impl RefFingerprint {
             }
         }
         let (device, _) = self.tracked.remove(idx);
-        if self.sealed.len() == self.cfg.max_sealed {
-            self.sealed.remove(0);
-        }
-        self.sealed.push((device, verdict));
+        self.commit(device, verdict);
         (verdict, true)
     }
 }
